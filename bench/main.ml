@@ -1,0 +1,300 @@
+(* Benchmark harness.
+
+   Two layers:
+   1. Bechamel micro-benchmarks — one [Test.make] per primitive cost
+      centre (hashing, signing, verification, end-to-end checksummed
+      cell update).
+   2. The figure/table harness — regenerates every table and figure of
+      the paper's Section 5 as CSV series (see DESIGN.md's
+      per-experiment index).
+
+   Usage:
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- fig7      # one experiment
+     TEP_SCALE=full dune exec bench/main.exe   # paper-size workloads *)
+
+open Tep_store
+open Tep_core
+open Tep_workload
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let cfg = Experiments.config_of_env () in
+  let env = Scenario.make_env ~seed:"bench-micro" () in
+  let p =
+    Participant.create ~bits:cfg.Experiments.rsa_bits ~ca:env.Scenario.ca
+      ~name:"bench" env.Scenario.drbg
+  in
+  Participant.Directory.register env.Scenario.directory p;
+  let payload = String.make 256 'x' in
+  let signature = Participant.sign p payload in
+  let pk = Participant.public_key p in
+  let db =
+    Synth.build_database ~seed:"bench-micro-db"
+      [ { Synth.name = "t1"; attrs = 8; rows = 400 } ]
+  in
+  let eng = Engine.create ~directory:env.Scenario.directory db in
+  let drbg = Tep_crypto.Drbg.create ~seed:"bench-drbg" in
+  let counter = ref 0 in
+  [
+    Test.make ~name:"sha1-256B"
+      (Staged.stage (fun () -> ignore (Tep_crypto.Sha1.digest payload)));
+    Test.make ~name:"sha256-256B"
+      (Staged.stage (fun () -> ignore (Tep_crypto.Sha256.digest payload)));
+    Test.make ~name:"md5-256B"
+      (Staged.stage (fun () -> ignore (Tep_crypto.Md5.digest payload)));
+    Test.make ~name:"hmac-sha256"
+      (Staged.stage (fun () ->
+           ignore
+             (Tep_crypto.Hmac.mac ~algo:Tep_crypto.Digest_algo.SHA256
+                ~key:"key" payload)));
+    Test.make ~name:"rsa-sign"
+      (Staged.stage (fun () -> ignore (Participant.sign p payload)));
+    Test.make ~name:"rsa-verify"
+      (Staged.stage (fun () ->
+           ignore
+             (Tep_crypto.Rsa.verify ~algo:Tep_crypto.Digest_algo.SHA256 pk
+                ~msg:payload ~signature)));
+    Test.make ~name:"drbg-32B"
+      (Staged.stage (fun () -> ignore (Tep_crypto.Drbg.generate drbg 32)));
+    Test.make ~name:"engine-update-cell"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore
+             (Engine.update_cell eng p ~table:"t1" ~row:(!counter mod 400)
+                ~col:(!counter mod 8)
+                (Value.Int !counter))));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  print_endline "## micro — Bechamel micro-benchmarks (ns per run)";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let bench_cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:None ()
+  in
+  let suite = Test.make_grouped ~name:"tep" (micro_tests ()) in
+  let raw = Benchmark.all bench_cfg [ instance ] suite in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  Printf.printf "%-32s %16s\n" "benchmark" "ns/op";
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some (e :: _) -> Printf.printf "%-32s %16.1f\n" name e
+      | _ -> Printf.printf "%-32s %16s\n" name "n/a")
+    (List.sort compare rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure/table harness                                                *)
+(* ------------------------------------------------------------------ *)
+
+let cfg = lazy (Experiments.config_of_env ())
+
+let header title = Printf.printf "## %s\n" title
+
+let run_table1 () =
+  header "table1 — Table 1(b): synthetic database node counts";
+  Printf.printf "tables,expected_nodes,actual_nodes,match\n";
+  List.iter
+    (fun r ->
+      Printf.printf "\"%s\",%d,%d,%b\n" r.Experiments.tables
+        r.Experiments.expected_nodes r.Experiments.actual_nodes
+        (r.Experiments.expected_nodes = r.Experiments.actual_nodes))
+    (Experiments.table1 (Lazy.force cfg));
+  print_newline ()
+
+let run_fig6 () =
+  header "fig6 — average hashing time vs database size (expect ~linear)";
+  Printf.printf "nodes,seconds,us_per_node\n";
+  List.iter
+    (fun p ->
+      Printf.printf "%d,%.4f,%.3f\n" p.Experiments.f6_nodes
+        p.Experiments.f6_seconds
+        (p.Experiments.f6_seconds *. 1e6 /. float_of_int p.Experiments.f6_nodes))
+    (Experiments.fig6 (Lazy.force cfg));
+  print_newline ()
+
+let run_fig7 () =
+  header
+    "fig7 — output-tree hashing, Basic vs Economical (expect Basic ~flat, \
+     Economical growing with updates)";
+  Printf.printf
+    "updated_cells,basic_s,economical_s,basic_nodes,economical_nodes\n";
+  List.iter
+    (fun p ->
+      Printf.printf "%d,%.4f,%.4f,%d,%d\n" p.Experiments.f7_updates
+        p.Experiments.f7_basic_s p.Experiments.f7_economical_s
+        p.Experiments.f7_basic_nodes p.Experiments.f7_economical_nodes)
+    (Experiments.fig7 (Lazy.force cfg));
+  print_newline ()
+
+let pp_metrics_row label (m : Engine.metrics) =
+  Printf.printf "\"%s\",%.4f,%.4f,%.4f,%.4f,%d,%d\n" label m.Engine.hash_s
+    m.Engine.sign_s m.Engine.store_s
+    (m.Engine.hash_s +. m.Engine.sign_s +. m.Engine.store_s)
+    m.Engine.records_emitted m.Engine.checksum_bytes
+
+let run_fig8 () =
+  header
+    "fig8 — time overhead by operation type (expect deletes < inserts ~ \
+     updates)";
+  Printf.printf "operation,hash_s,sign_s,store_s,total_s,records,bytes\n";
+  List.iter
+    (fun r -> pp_metrics_row r.Experiments.b_label r.Experiments.b_metrics)
+    (Experiments.fig8_9 (Lazy.force cfg));
+  print_newline ()
+
+let run_fig9 () =
+  header
+    "fig9 — space overhead by operation type (expect inserts/updates >> \
+     deletes)";
+  Printf.printf "operation,records,checksum_bytes\n";
+  List.iter
+    (fun r ->
+      Printf.printf "\"%s\",%d,%d\n" r.Experiments.b_label
+        r.Experiments.b_metrics.Engine.records_emitted
+        r.Experiments.b_metrics.Engine.checksum_bytes)
+    (Experiments.fig8_9 (Lazy.force cfg));
+  print_newline ()
+
+let run_fig10 () =
+  header
+    "fig10 — time overhead vs %deletes in mixed operations (expect \
+     decreasing)";
+  Printf.printf
+    "deletes_pct,inserts_pct,updates_pct,hash_s,sign_s,store_s,total_s,records\n";
+  List.iter
+    (fun r ->
+      let m = r.Experiments.c_metrics in
+      Printf.printf "%.1f,%.1f,%.1f,%.4f,%.4f,%.4f,%.4f,%d\n"
+        r.Experiments.c_deletes_pct r.Experiments.c_inserts_pct
+        r.Experiments.c_updates_pct m.Engine.hash_s m.Engine.sign_s
+        m.Engine.store_s
+        (m.Engine.hash_s +. m.Engine.sign_s +. m.Engine.store_s)
+        m.Engine.records_emitted)
+    (Experiments.fig10_11 (Lazy.force cfg));
+  print_newline ()
+
+let run_fig11 () =
+  header "fig11 — space overhead vs %deletes (expect decreasing)";
+  Printf.printf "deletes_pct,records,checksum_bytes\n";
+  List.iter
+    (fun r ->
+      Printf.printf "%.1f,%d,%d\n" r.Experiments.c_deletes_pct
+        r.Experiments.c_metrics.Engine.records_emitted
+        r.Experiments.c_metrics.Engine.checksum_bytes)
+    (Experiments.fig10_11 (Lazy.force cfg));
+  print_newline ()
+
+let run_bigdb () =
+  header
+    "bigdb — streaming hash of a large 2-column table (paper: 18.9M rows, \
+     0.02156 ms/node)";
+  let r = Experiments.bigdb (Lazy.force cfg) in
+  Printf.printf "rows,nodes,seconds,ms_per_node\n";
+  Printf.printf "%d,%d,%.2f,%.5f\n\n" r.Experiments.big_rows
+    r.Experiments.big_nodes r.Experiments.big_seconds
+    r.Experiments.big_ms_per_node
+
+let run_ablation_chaining () =
+  header
+    "ablation-chaining — §3.2 local (per-object) vs global checksum chains";
+  let r = Experiments.ablation_chaining (Lazy.force cfg) in
+  Printf.printf "metric,local,global\n";
+  Printf.printf "critical_path_dependent_signatures,%d,%d\n"
+    r.Experiments.local_critical_path r.Experiments.global_critical_path;
+  Printf.printf "wall_s_for_%d_ops_on_%d_cores,%.3f,%.3f\n" r.Experiments.ch_ops
+    r.Experiments.ch_cores r.Experiments.local_wall_s
+    r.Experiments.global_wall_s;
+  Printf.printf "verify_one_object_s,%.4f,%.4f\n" r.Experiments.local_verify_s
+    r.Experiments.global_verify_s;
+  Printf.printf "objects_failing_after_1_corruption_of_%d,%d,%d\n\n"
+    r.Experiments.ch_objects r.Experiments.local_failed_after_corruption
+    r.Experiments.global_failed_after_corruption
+
+let run_ablation_baseline () =
+  header
+    "ablation-baseline — plain vs Hasan-style linear vs this paper's engine";
+  Printf.printf "scheme,ops,wall_s,space_bytes,fine_grained\n";
+  List.iter
+    (fun r ->
+      Printf.printf "\"%s\",%d,%.3f,%d,%b\n" r.Experiments.bl_scheme
+        r.Experiments.bl_ops r.Experiments.bl_wall_s
+        r.Experiments.bl_space_bytes r.Experiments.bl_fine_grained)
+    (Experiments.ablation_baseline (Lazy.force cfg));
+  print_newline ()
+
+let run_ablation_signing () =
+  header
+    "ablation-signing — RSA checksums (non-repudiation, the paper) vs \
+     keyed HMAC tags (single trust domain)";
+  Printf.printf "scheme,ops,sign_wall_s,verify_wall_s,checksum_bytes,non_repudiation\n";
+  List.iter
+    (fun r ->
+      Printf.printf "\"%s\",%d,%.4f,%.4f,%d,%b\n" r.Experiments.sg_scheme
+        r.Experiments.sg_ops r.Experiments.sg_sign_wall_s
+        r.Experiments.sg_verify_wall_s r.Experiments.sg_checksum_bytes
+        r.Experiments.sg_non_repudiation)
+    (Experiments.ablation_signing (Lazy.force cfg));
+  print_newline ()
+
+let run_ablation_audit () =
+  header
+    "ablation-audit — full re-verification vs checkpointed incremental \
+     audit (extension; expect full cost growing, incremental ~flat)";
+  Printf.printf "round,total_records,full_s,full_records,incr_s,incr_records\n";
+  List.iter
+    (fun r ->
+      Printf.printf "%d,%d,%.4f,%d,%.4f,%d\n" r.Experiments.au_round
+        r.Experiments.au_total_records r.Experiments.au_full_s
+        r.Experiments.au_full_records r.Experiments.au_incr_s
+        r.Experiments.au_incr_records)
+    (Experiments.ablation_audit (Lazy.force cfg));
+  print_newline ()
+
+let all =
+  [
+    ("table1", run_table1);
+    ("fig6", run_fig6);
+    ("fig7", run_fig7);
+    ("fig8", run_fig8);
+    ("fig9", run_fig9);
+    ("fig10", run_fig10);
+    ("fig11", run_fig11);
+    ("bigdb", run_bigdb);
+    ("ablation-chaining", run_ablation_chaining);
+    ("ablation-baseline", run_ablation_baseline);
+    ("ablation-signing", run_ablation_signing);
+    ("ablation-audit", run_ablation_audit);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let cfgv = Lazy.force cfg in
+  Printf.printf
+    "# tamper-evident provenance benchmarks (scale=%.2f, rsa=%d bits, runs=%d)\n"
+    cfgv.Experiments.scale cfgv.Experiments.rsa_bits cfgv.Experiments.runs;
+  Printf.printf "# set TEP_SCALE=full for paper-size workloads\n\n";
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst all
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %s (known: %s)\n" name
+            (String.concat ", " (List.map fst all));
+          exit 1)
+    requested

@@ -1,0 +1,756 @@
+(* provdb — a command-line front end for the tamper-evident provenance
+   engine.
+
+   A workspace directory holds a backend database snapshot, the forest
+   / oid mapping, the provenance store, the CA, and participant
+   credentials.  Operations are performed as a named participant and
+   persist everything back.
+
+     provdb init ws --table 'stock:sku,qty'
+     provdb participant ws alice
+     provdb insert ws --as alice --table stock --values 'WIDGET-1,100'
+     provdb update ws --as alice --table stock --row 0 --column qty --value 90
+     provdb verify ws
+     provdb show ws --table stock --row 0 --col 1
+     provdb tamper ws --attack data
+     provdb stats ws *)
+
+open Tep_store
+open Tep_tree
+open Tep_core
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Workspace persistence                                               *)
+(* ------------------------------------------------------------------ *)
+
+type workspace = {
+  dir : string;
+  ca : Tep_crypto.Pki.ca;
+  directory : Participant.Directory.t;
+  participants : (string * Participant.t) list;
+  engine : Engine.t;
+}
+
+let ( // ) = Filename.concat
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let load_workspace dir =
+  if not (Sys.file_exists (dir // "ca")) then
+    fail "%s is not a provdb workspace (run `provdb init %s` first)" dir dir
+  else begin
+    match Tep_crypto.Pki.ca_of_string (read_file (dir // "ca")) with
+    | None -> fail "corrupt CA file"
+    | Some ca -> (
+        let directory =
+          Participant.Directory.create
+            ~ca_key:(Tep_crypto.Pki.ca_public_key ca)
+        in
+        let pdir = dir // "participants" in
+        let participants =
+          if Sys.file_exists pdir then
+            Sys.readdir pdir |> Array.to_list |> List.sort compare
+            |> List.filter_map (fun f ->
+                   match Participant.of_string (read_file (pdir // f)) with
+                   | Some p ->
+                       Participant.Directory.register directory p;
+                       Some (Participant.name p, p)
+                   | None -> None)
+          else []
+        in
+        match Snapshot.load (dir // "backend.snap") with
+        | Error e -> fail "backend: %s" e
+        | Ok db -> (
+            match Provstore.of_string (read_file (dir // "prov.dat")) with
+            | Error e -> fail "provenance store: %s" e
+            | Ok prov ->
+                let forest, _ = Forest.decode (read_file (dir // "forest.dat")) 0 in
+                let view, _ =
+                  Tree_view.decode (read_file (dir // "view.dat")) 0
+                in
+                let engine =
+                  Engine.of_parts ~provstore:prov ~directory ~forest ~view db
+                in
+                Ok { dir; ca; directory; participants; engine }))
+  end
+
+let save_workspace ws =
+  let dir = ws.dir in
+  write_file (dir // "ca") (Tep_crypto.Pki.ca_to_string ws.ca);
+  (match Snapshot.save (Engine.backend ws.engine) (dir // "backend.snap") with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  write_file (dir // "prov.dat") (Provstore.to_string (Engine.provstore ws.engine));
+  let buf = Buffer.create 4096 in
+  Forest.encode buf (Engine.forest ws.engine);
+  write_file (dir // "forest.dat") (Buffer.contents buf);
+  Buffer.clear buf;
+  Tree_view.encode buf (Engine.mapping ws.engine);
+  write_file (dir // "view.dat") (Buffer.contents buf)
+
+let with_workspace ?(save = true) dir f =
+  match load_workspace dir with
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      1
+  | Ok ws -> (
+      match f ws with
+      | Ok msg ->
+          if save then save_workspace ws;
+          if msg <> "" then print_endline msg;
+          0
+      | Error e ->
+          prerr_endline ("error: " ^ e);
+          1)
+
+let get_participant ws name =
+  match List.assoc_opt name ws.participants with
+  | Some p -> Ok p
+  | None ->
+      fail "no participant %s (add with `provdb participant %s %s`)" name
+        ws.dir name
+
+(* ------------------------------------------------------------------ *)
+(* Value / schema parsing                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_value ty s =
+  match ty with
+  | Value.TInt -> (
+      match int_of_string_opt s with
+      | Some i -> Ok (Value.Int i)
+      | None -> if s = "NULL" then Ok Value.Null else fail "not an int: %s" s)
+  | Value.TFloat -> (
+      match float_of_string_opt s with
+      | Some f -> Ok (Value.Float f)
+      | None -> if s = "NULL" then Ok Value.Null else fail "not a float: %s" s)
+  | Value.TBool -> (
+      match bool_of_string_opt s with
+      | Some b -> Ok (Value.Bool b)
+      | None -> if s = "NULL" then Ok Value.Null else fail "not a bool: %s" s)
+  | Value.TText -> Ok (if s = "NULL" then Value.Null else Value.Text s)
+  | Value.TBlob -> Ok (Value.Blob s)
+
+(* "name:col1,col2@int,col3@text" -> table name + schema *)
+let parse_table_spec spec =
+  match String.index_opt spec ':' with
+  | None -> fail "table spec must be name:col[,col...]: %s" spec
+  | Some i ->
+      let name = String.sub spec 0 i in
+      let cols =
+        String.split_on_char ','
+          (String.sub spec (i + 1) (String.length spec - i - 1))
+      in
+      if cols = [] || List.exists (fun c -> c = "") cols then
+        fail "empty column in %s" spec
+      else begin
+        let parse_col c =
+          match String.split_on_char '@' c with
+          | [ n ] -> { Schema.name = n; ty = Value.TText; nullable = true }
+          | [ n; "int" ] -> { Schema.name = n; ty = Value.TInt; nullable = true }
+          | [ n; "float" ] ->
+              { Schema.name = n; ty = Value.TFloat; nullable = true }
+          | [ n; "bool" ] -> { Schema.name = n; ty = Value.TBool; nullable = true }
+          | [ n; "text" ] -> { Schema.name = n; ty = Value.TText; nullable = true }
+          | _ -> failwith ("bad column spec " ^ c)
+        in
+        match List.map parse_col cols with
+        | cols -> Ok (name, Schema.make cols)
+        | exception Failure e -> Error e
+      end
+
+let locate_oid ws ~table ~row ~col =
+  let m = Engine.mapping ws.engine in
+  match (table, row, col) with
+  | None, None, None -> Ok (Engine.root_oid ws.engine)
+  | Some t, None, None -> (
+      match Tree_view.table_oid m t with
+      | Some o -> Ok o
+      | None -> fail "no table %s" t)
+  | Some t, Some r, None -> (
+      match Tree_view.row_oid m t r with
+      | Some o -> Ok o
+      | None -> fail "no row %d in %s" r t)
+  | Some t, Some r, Some c -> (
+      match Tree_view.cell_oid m t r c with
+      | Some o -> Ok o
+      | None -> fail "no cell (%s, %d, %d)" t r c)
+  | _ -> fail "--row/--col require --table"
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_init dir tables seed =
+  if Sys.file_exists (dir // "ca") then begin
+    prerr_endline "error: workspace already initialised";
+    1
+  end
+  else begin
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    Unix.mkdir (dir // "participants") 0o755;
+    let drbg =
+      match seed with
+      | Some s -> Tep_crypto.Drbg.create ~seed:s
+      | None -> Tep_crypto.Drbg.create_system ()
+    in
+    let ca = Tep_crypto.Pki.create_ca ~name:"provdb CA" drbg in
+    let directory =
+      Participant.Directory.create ~ca_key:(Tep_crypto.Pki.ca_public_key ca)
+    in
+    let db = Database.create ~name:(Filename.basename dir) in
+    let rec add_tables = function
+      | [] -> Ok ()
+      | spec :: rest -> (
+          match parse_table_spec spec with
+          | Error e -> Error e
+          | Ok (name, schema) -> (
+              match Database.create_table db ~name schema with
+              | Ok _ -> add_tables rest
+              | Error e -> Error e))
+    in
+    match add_tables tables with
+    | Error e ->
+        prerr_endline ("error: " ^ e);
+        1
+    | Ok () ->
+        let engine = Engine.create ~directory db in
+        let ws = { dir; ca; directory; participants = []; engine } in
+        save_workspace ws;
+        Printf.printf "initialised %s with %d table(s)\n" dir
+          (List.length tables);
+        0
+  end
+
+let cmd_participant dir name seed =
+  with_workspace dir (fun ws ->
+      if List.mem_assoc name ws.participants then
+        fail "participant %s already exists" name
+      else begin
+        let drbg =
+          match seed with
+          | Some s -> Tep_crypto.Drbg.create ~seed:s
+          | None -> Tep_crypto.Drbg.create_system ()
+        in
+        let p = Participant.create ~ca:ws.ca ~name drbg in
+        write_file (ws.dir // "participants" // name) (Participant.to_string p);
+        Ok
+          (Printf.sprintf "added participant %s (key %s)" name
+             (Participant.key_fingerprint p))
+      end)
+
+let cmd_insert dir as_ table values =
+  with_workspace dir (fun ws ->
+      match get_participant ws as_ with
+      | Error e -> Error e
+      | Ok p -> (
+          match Database.get_table (Engine.backend ws.engine) table with
+          | None -> fail "no table %s" table
+          | Some tbl -> (
+              let cols = Schema.columns (Table.schema tbl) in
+              let raw = String.split_on_char ',' values in
+              if List.length raw <> List.length cols then
+                fail "expected %d values, got %d" (List.length cols)
+                  (List.length raw)
+              else begin
+                let rec build acc cols raw =
+                  match (cols, raw) with
+                  | [], [] -> Ok (List.rev acc)
+                  | c :: cs, v :: vs -> (
+                      match parse_value c.Schema.ty v with
+                      | Ok v -> build (v :: acc) cs vs
+                      | Error e -> Error e)
+                  | _ -> Error "arity"
+                in
+                match build [] cols raw with
+                | Error e -> Error e
+                | Ok cells -> (
+                    match
+                      Engine.insert_row ws.engine p ~table
+                        (Array.of_list cells)
+                    with
+                    | Ok row ->
+                        Ok
+                          (Printf.sprintf "inserted row %d (%d records)" row
+                             (Engine.last_metrics ws.engine).Engine.records_emitted)
+                    | Error e -> Error e)
+              end)))
+
+let cmd_update dir as_ table row column value =
+  with_workspace dir (fun ws ->
+      match get_participant ws as_ with
+      | Error e -> Error e
+      | Ok p -> (
+          match Database.get_table (Engine.backend ws.engine) table with
+          | None -> fail "no table %s" table
+          | Some tbl -> (
+              match Schema.column_index (Table.schema tbl) column with
+              | None -> fail "no column %s in %s" column table
+              | Some col -> (
+                  let ty = (Schema.column_at (Table.schema tbl) col).Schema.ty in
+                  match parse_value ty value with
+                  | Error e -> Error e
+                  | Ok v -> (
+                      match
+                        Engine.update_cell ws.engine p ~table ~row ~col v
+                      with
+                      | Ok () ->
+                          Ok
+                            (Printf.sprintf "updated %s[%d].%s (%d records)"
+                               table row column
+                               (Engine.last_metrics ws.engine).Engine.records_emitted)
+                      | Error e -> Error e)))))
+
+let cmd_delete dir as_ table row =
+  with_workspace dir (fun ws ->
+      match get_participant ws as_ with
+      | Error e -> Error e
+      | Ok p -> (
+          match Engine.delete_row ws.engine p ~table row with
+          | Ok () ->
+              Ok
+                (Printf.sprintf "deleted %s[%d] (%d inherited records)" table
+                   row
+                   (Engine.last_metrics ws.engine).Engine.records_emitted)
+          | Error e -> Error e))
+
+let cmd_verify dir table row col =
+  with_workspace ~save:false dir (fun ws ->
+      match locate_oid ws ~table ~row ~col with
+      | Error e -> Error e
+      | Ok oid -> (
+          match Engine.verify_object ws.engine oid with
+          | Error e -> Error e
+          | Ok report ->
+              (* With no target narrowing, additionally audit every
+                 stored record (catches corruption in chains that are
+                 not part of the root's provenance object). *)
+              let audit =
+                if table = None then
+                  Verifier.verify_records ~algo:(Engine.algo ws.engine)
+                    ~directory:ws.directory
+                    (Provstore.all (Engine.provstore ws.engine))
+                else report
+              in
+              Format.printf "%a@." Verifier.pp_report report;
+              if table = None && not (Verifier.ok audit) then
+                Format.printf "store audit: %a@." Verifier.pp_report audit;
+              if Verifier.ok report && Verifier.ok audit then Ok ""
+              else Error "verification failed"))
+
+let cmd_show dir table row col dot =
+  with_workspace ~save:false dir (fun ws ->
+      match locate_oid ws ~table ~row ~col with
+      | Error e -> Error e
+      | Ok oid -> (
+          match Engine.deliver ws.engine oid with
+          | Error e -> Error e
+          | Ok (_, records) ->
+              if dot then print_string (Dag.to_dot (Dag.build records))
+              else
+                List.iter (fun r -> Format.printf "%a@." Record.pp r) records;
+              Ok ""))
+
+let cmd_stats dir =
+  with_workspace ~save:false dir (fun ws ->
+      let prov = Engine.provstore ws.engine in
+      let db = Engine.backend ws.engine in
+      Printf.printf "tables:              %s\n"
+        (String.concat ", " (Database.table_names db));
+      Printf.printf "rows:                %d\n" (Database.total_rows db);
+      Printf.printf "tree nodes:          %d\n"
+        (Forest.node_count (Engine.forest ws.engine));
+      Printf.printf "participants:        %s\n"
+        (String.concat ", " (List.map fst ws.participants));
+      Printf.printf "provenance records:  %d\n" (Provstore.record_count prov);
+      Printf.printf "objects tracked:     %d\n" (Provstore.object_count prov);
+      Printf.printf "checksum bytes:      %d (paper schema)\n"
+        (Provstore.paper_space_bytes prov);
+      Printf.printf "root hash:           %s\n"
+        (Tep_crypto.Digest_algo.to_hex (Engine.root_hash ws.engine));
+      Ok "")
+
+let cmd_tamper dir attack =
+  with_workspace ~save:(attack = "data") dir (fun ws ->
+      match attack with
+      | "data" -> (
+          (* mutate a cell behind the engine's back *)
+          let forest = Engine.forest ws.engine in
+          let victim =
+            List.concat_map
+              (fun r -> Forest.children forest r)
+              (Forest.roots forest)
+            |> List.concat_map (fun t -> Forest.children forest t)
+            |> List.concat_map (fun r -> Forest.children forest r)
+          in
+          match victim with
+          | cell :: _ ->
+              ignore (Forest.update forest cell (Value.Text "TAMPERED"));
+              Ok "silently modified one cell; run `provdb verify` to see detection"
+          | [] -> Error "no cells to tamper with")
+      | "provenance" ->
+          let path = ws.dir // "prov.dat" in
+          let s = Bytes.of_string (read_file path) in
+          let mid = Bytes.length s - 20 in
+          Bytes.set s mid
+            (Char.chr (Char.code (Bytes.get s mid) lxor 1));
+          write_file path (Bytes.to_string s);
+          Ok "flipped one byte of prov.dat; the next load will reject it"
+      | other -> fail "unknown attack %s (known: data, provenance)" other)
+
+let cmd_export dir table row col deep out =
+  with_workspace ~save:false dir (fun ws ->
+      match locate_oid ws ~table ~row ~col with
+      | Error e -> Error e
+      | Ok oid -> (
+          match Bundle.create ~deep ws.engine oid with
+          | Error e -> Error e
+          | Ok b -> (
+              match Bundle.save b out with
+              | Error e -> Error e
+              | Ok () ->
+                  Ok
+                    (Printf.sprintf
+                       "wrote %s: %d records, %d certificates, participants: %s"
+                       out
+                       (List.length b.Bundle.records)
+                       (List.length b.Bundle.certificates)
+                       (String.concat ", " (Bundle.participants b))))))
+
+(* Standalone recipient check: needs no workspace. *)
+let cmd_check path ca_key_file =
+  match Bundle.load path with
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      1
+  | Ok b -> (
+      let trusted_ca =
+        match ca_key_file with
+        | None ->
+            prerr_endline
+              "warning: trusting the CA key embedded in the bundle; pass \
+               --ca-key for an out-of-band trust anchor";
+            None
+        | Some f -> (
+            match Tep_crypto.Rsa.public_of_string (String.trim (read_file f)) with
+            | Some k -> Some k
+            | None -> failwith "unreadable CA key file")
+      in
+      let report = Bundle.verify ?trusted_ca b in
+      Format.printf "%a@." Verifier.pp_report report;
+      if Verifier.ok report then 0 else 1)
+
+let cmd_ca_key dir =
+  with_workspace ~save:false dir (fun ws ->
+      Ok
+        (Tep_crypto.Rsa.public_to_string
+           (Participant.Directory.ca_key ws.directory)))
+
+let cmd_audit dir =
+  with_workspace ~save:false dir (fun ws ->
+      let ckpt_path = ws.dir // "audit.ckpt" in
+      let cp =
+        if Sys.file_exists ckpt_path then
+          match Audit.of_string (read_file ckpt_path) with
+          | Ok cp -> cp
+          | Error _ -> Audit.empty
+        else Audit.empty
+      in
+      let report, cp', examined =
+        Audit.incremental_audit ~algo:(Engine.algo ws.engine)
+          ~directory:ws.directory cp
+          (Engine.provstore ws.engine)
+      in
+      Format.printf "%a@." Verifier.pp_report report;
+      Printf.printf "examined %d new record(s); checkpoint covers %d object(s)\n"
+        examined (Audit.objects cp');
+      write_file ckpt_path (Audit.to_string cp');
+      if Verifier.ok report then Ok "" else Error "audit failed")
+
+let cmd_prune dir =
+  with_workspace ~save:false dir (fun ws ->
+      let prov = Engine.provstore ws.engine in
+      let before = Provstore.record_count prov in
+      let live = ref [] in
+      List.iter
+        (fun root ->
+          Forest.iter_preorder (Engine.forest ws.engine) root (fun o _ ->
+              live := o :: !live))
+        (Forest.roots (Engine.forest ws.engine));
+      let pruned = Provstore.prune prov ~live:!live in
+      (* swap in the pruned store by persisting it; the engine in this
+         process keeps the old one, so just write and report *)
+      write_file (ws.dir // "prov.dat") (Provstore.to_string pruned);
+      (* prevent the outer save from clobbering prov.dat *)
+      Ok
+        (Printf.sprintf
+           "pruned %d -> %d records (%d bytes reclaimed in paper schema)"
+           before
+           (Provstore.record_count pruned)
+           ((before - Provstore.record_count pruned) * Provstore.paper_row_bytes)))
+
+(* Tiny predicate parser: conjunctions of comparisons,
+   e.g. "qty > 50 and sku = WIDGET-1" *)
+let parse_predicate schema input =
+  let parse_atom atom =
+    let atom = String.trim atom in
+    let ops = [ ("<=", Query.Le); (">=", Query.Ge); ("<>", Query.Ne);
+                ("=", Query.Eq); ("<", Query.Lt); (">", Query.Gt) ] in
+    let rec try_ops = function
+      | [] -> Error (Printf.sprintf "cannot parse %S" atom)
+      | (sym, op) :: rest -> (
+          match String.index_opt atom sym.[0] with
+          | Some i
+            when String.length atom >= i + String.length sym
+                 && String.sub atom i (String.length sym) = sym ->
+              let col = String.trim (String.sub atom 0 i) in
+              let rhs =
+                String.trim
+                  (String.sub atom
+                     (i + String.length sym)
+                     (String.length atom - i - String.length sym))
+              in
+              (match Schema.column_index schema col with
+              | None -> Error (Printf.sprintf "unknown column %s" col)
+              | Some ci -> (
+                  let ty = (Schema.column_at schema ci).Schema.ty in
+                  match parse_value ty rhs with
+                  | Ok v -> Ok (Query.Cmp (col, op, v))
+                  | Error e -> Error e))
+          | _ -> try_ops rest)
+    in
+    (* "col is null" special form *)
+    match String.lowercase_ascii atom with
+    | a when Filename.check_suffix a " is null" ->
+        let col = String.trim (String.sub atom 0 (String.length atom - 8)) in
+        if Schema.column_index schema col = None then
+          Error (Printf.sprintf "unknown column %s" col)
+        else Ok (Query.IsNull col)
+    | _ -> try_ops ops
+  in
+  (* split on " and " *)
+  let rec split acc s =
+    let low = String.lowercase_ascii s in
+    match
+      let rec find i =
+        if i + 5 > String.length low then None
+        else if String.sub low i 5 = " and " then Some i
+        else find (i + 1)
+      in
+      find 0
+    with
+    | Some i ->
+        split (String.sub s 0 i :: acc) (String.sub s (i + 5) (String.length s - i - 5))
+    | None -> List.rev (s :: acc)
+  in
+  let atoms = split [] input in
+  List.fold_left
+    (fun acc atom ->
+      match (acc, parse_atom atom) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok p, Ok a -> Ok (Query.And (p, a)))
+    (Ok Query.True) atoms
+
+let cmd_select dir table where blame =
+  with_workspace ~save:false dir (fun ws ->
+      match Database.get_table (Engine.backend ws.engine) table with
+      | None -> fail "no table %s" table
+      | Some tbl -> (
+          let schema = Table.schema tbl in
+          let pred =
+            match where with
+            | None -> Ok Query.True
+            | Some w -> parse_predicate schema w
+          in
+          match pred with
+          | Error e -> Error e
+          | Ok pred -> (
+              match Query.select tbl pred with
+              | Error e -> Error e
+              | Ok rows ->
+                  let cols = Schema.columns schema in
+                  let row_blame r =
+                    if not blame then ""
+                    else
+                      let writer =
+                        match
+                          Tree_view.row_oid (Engine.mapping ws.engine) table
+                            r.Table.id
+                        with
+                        | None -> None
+                        | Some oid ->
+                            Prov_query.last_writer
+                              (Engine.provstore ws.engine) oid
+                      in
+                      " | " ^ Option.value ~default:"-" writer
+                  in
+                  Printf.printf "row | %s%s\n"
+                    (String.concat " | "
+                       (List.map (fun c -> c.Schema.name) cols))
+                    (if blame then " | last_writer" else "");
+                  List.iter
+                    (fun r ->
+                      Printf.printf "%3d | %s%s\n" r.Table.id
+                        (String.concat " | "
+                           (Array.to_list
+                              (Array.map Value.to_string r.Table.cells)))
+                        (row_blame r))
+                    rows;
+                  Printf.printf "(%d rows)\n" (List.length rows);
+                  Ok "")))
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let dir_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKSPACE")
+
+let as_arg =
+  Arg.(required & opt (some string) None & info [ "as" ] ~docv:"PARTICIPANT")
+
+let table_opt = Arg.(value & opt (some string) None & info [ "table" ])
+let table_req = Arg.(required & opt (some string) None & info [ "table" ])
+let row_opt = Arg.(value & opt (some int) None & info [ "row" ])
+let row_req = Arg.(required & opt (some int) None & info [ "row" ])
+let col_opt = Arg.(value & opt (some int) None & info [ "col" ])
+
+let init_cmd =
+  let tables =
+    Arg.(value & opt_all string [] & info [ "table" ] ~docv:"NAME:COL[@TYPE],...")
+  in
+  let seed = Arg.(value & opt (some string) None & info [ "seed" ]) in
+  Cmd.v (Cmd.info "init" ~doc:"Create a workspace")
+    Term.(const cmd_init $ dir_arg $ tables $ seed)
+
+let participant_cmd =
+  let pname = Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME") in
+  let seed = Arg.(value & opt (some string) None & info [ "seed" ]) in
+  Cmd.v
+    (Cmd.info "participant" ~doc:"Register a participant (generates a keypair)")
+    Term.(const cmd_participant $ dir_arg $ pname $ seed)
+
+let insert_cmd =
+  let values =
+    Arg.(required & opt (some string) None & info [ "values" ] ~docv:"V1,V2,...")
+  in
+  Cmd.v (Cmd.info "insert" ~doc:"Insert a row")
+    Term.(const cmd_insert $ dir_arg $ as_arg $ table_req $ values)
+
+let update_cmd =
+  let column =
+    Arg.(required & opt (some string) None & info [ "column" ] ~docv:"NAME")
+  in
+  let value = Arg.(required & opt (some string) None & info [ "value" ]) in
+  Cmd.v (Cmd.info "update" ~doc:"Update one cell")
+    Term.(const cmd_update $ dir_arg $ as_arg $ table_req $ row_req $ column $ value)
+
+let delete_cmd =
+  Cmd.v (Cmd.info "delete" ~doc:"Delete a row")
+    Term.(const cmd_delete $ dir_arg $ as_arg $ table_req $ row_req)
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Verify provenance (whole database, or --table/--row/--col)")
+    Term.(const cmd_verify $ dir_arg $ table_opt $ row_opt $ col_opt)
+
+let show_cmd =
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Graphviz output") in
+  Cmd.v (Cmd.info "show" ~doc:"Print an object's provenance records")
+    Term.(const cmd_show $ dir_arg $ table_opt $ row_opt $ col_opt $ dot)
+
+let stats_cmd =
+  Cmd.v (Cmd.info "stats" ~doc:"Workspace statistics")
+    Term.(const cmd_stats $ dir_arg)
+
+let export_cmd =
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let deep =
+    Arg.(value & flag & info [ "deep" ] ~doc:"Include descendants' provenance")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export an object + provenance as a portable bundle")
+    Term.(const cmd_export $ dir_arg $ table_opt $ row_opt $ col_opt $ deep $ out)
+
+let check_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"BUNDLE") in
+  let ca_key = Arg.(value & opt (some string) None & info [ "ca-key" ] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Verify a bundle as a data recipient (no workspace needed)")
+    Term.(const cmd_check $ path $ ca_key)
+
+let ca_key_cmd =
+  Cmd.v (Cmd.info "ca-key" ~doc:"Print the workspace CA public key")
+    Term.(const cmd_ca_key $ dir_arg)
+
+let audit_cmd =
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Incremental audit: verify only records added since the last audit")
+    Term.(const cmd_audit $ dir_arg)
+
+let prune_cmd =
+  Cmd.v
+    (Cmd.info "prune"
+       ~doc:"Drop provenance of deleted objects (keeps cited prefixes)")
+    Term.(const cmd_prune $ dir_arg)
+
+let select_cmd =
+  let where =
+    Arg.(value & opt (some string) None & info [ "where" ] ~docv:"PRED"
+           ~doc:"e.g. 'qty > 50 and sku = WIDGET-1'")
+  in
+  let blame =
+    Arg.(value & flag & info [ "blame" ] ~doc:"Append a last-writer column")
+  in
+  Cmd.v (Cmd.info "select" ~doc:"Query a table")
+    Term.(const cmd_select $ dir_arg $ table_req $ where $ blame)
+
+let tamper_cmd =
+  let attack =
+    Arg.(required & opt (some string) None & info [ "attack" ] ~docv:"data|provenance")
+  in
+  Cmd.v (Cmd.info "tamper" ~doc:"Inject tampering (for demonstrations)")
+    Term.(const cmd_tamper $ dir_arg $ attack)
+
+let () =
+  let info =
+    Cmd.info "provdb" ~version:"1.0.0"
+      ~doc:"Tamper-evident database provenance (Zhang/Chapman/LeFevre 2009)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            init_cmd;
+            participant_cmd;
+            insert_cmd;
+            update_cmd;
+            delete_cmd;
+            verify_cmd;
+            show_cmd;
+            stats_cmd;
+            export_cmd;
+            check_cmd;
+            ca_key_cmd;
+            audit_cmd;
+            prune_cmd;
+            select_cmd;
+            tamper_cmd;
+          ]))

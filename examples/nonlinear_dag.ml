@@ -1,0 +1,83 @@
+(* Reproduces Figures 2 and 3: the worked non-linear provenance
+   example with integrity checksums, printed as the paper's table,
+   plus a Graphviz rendering of the DAG.
+
+     dune exec examples/nonlinear_dag.exe *)
+
+open Tep_core
+open Tep_workload
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+let () =
+  let env = Scenario.make_env ~seed:"figure2" () in
+  let f = Scenario.figure2 env in
+  let store = f.Scenario.store in
+
+  (* Deliver D: its provenance object is the 7-record DAG. *)
+  let data, records = ok (Atomic.deliver store f.Scenario.d) in
+
+  print_endline "=== Figure 3: provenance records with checksums ===";
+  Printf.printf "%-6s %-12s %-22s %-12s %s\n" "seqID" "participant" "input"
+    "output" "checksum";
+  let name_of oid =
+    match
+      List.assoc_opt (Tep_tree.Oid.to_int oid)
+        [
+          (Tep_tree.Oid.to_int f.Scenario.a, "A");
+          (Tep_tree.Oid.to_int f.Scenario.b, "B");
+          (Tep_tree.Oid.to_int f.Scenario.c, "C");
+          (Tep_tree.Oid.to_int f.Scenario.d, "D");
+        ]
+    with
+    | Some n -> n
+    | None -> Tep_tree.Oid.to_string oid
+  in
+  List.iter
+    (fun (r : Record.t) ->
+      let inputs =
+        match r.Record.input_oids with
+        | [] -> "{}"
+        | oids -> "{" ^ String.concat "," (List.map name_of oids) ^ "}"
+      in
+      let output =
+        Printf.sprintf "(%s,%s)" (name_of r.Record.output_oid)
+          (match r.Record.output_value with
+          | Some v -> Tep_store.Value.to_string v
+          | None -> "?")
+      in
+      Printf.printf "%-6d %-12s %-22s %-12s %s...\n" r.Record.seq_id
+        r.Record.participant inputs output (Record.checksum_hex r))
+    records;
+
+  (* DAG structure *)
+  let dag = Dag.build records in
+  Printf.printf "\nDAG: %d records, depth %d, linear: %b, roots (inserts): %d\n"
+    (Dag.size dag) (Dag.depth dag) (Dag.is_linear dag)
+    (List.length (Dag.roots dag));
+
+  print_endline "\n=== Graphviz (pipe into dot -Tpng) ===";
+  print_string (Dag.to_dot dag);
+
+  (* Recipient verification of D, per Section 3's procedure. *)
+  let report =
+    Verifier.verify ~algo:(Atomic.algo store)
+      ~directory:env.Scenario.directory ~data records
+  in
+  Format.printf "@.verification of D: %a@." Verifier.pp_report report;
+  assert (Verifier.ok report);
+
+  (* The multiversion subtlety: C was built from the ORIGINAL a1, not
+     the current a3 — visible in the provenance. *)
+  let c6 =
+    List.find (fun r -> Tep_tree.Oid.equal r.Record.output_oid f.Scenario.c) records
+  in
+  let a_insert =
+    List.find
+      (fun (r : Record.t) ->
+        Tep_tree.Oid.equal r.Record.output_oid f.Scenario.a && r.Record.seq_id = 0)
+      records
+  in
+  assert (List.nth c6.Record.input_hashes 0 = a_insert.Record.output_hash);
+  print_endline "confirmed: C6 cites h(A,a1) — the original version of A";
+  print_endline "nonlinear_dag done."

@@ -1,0 +1,73 @@
+(* Quickstart: track provenance for a small relational database,
+   deliver an object to a recipient, and verify it.
+
+     dune exec examples/quickstart.exe *)
+
+open Tep_store
+open Tep_core
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+let () =
+  (* 1. Set up a PKI: a certificate authority and two participants. *)
+  let drbg = Tep_crypto.Drbg.create_system () in
+  let ca = Tep_crypto.Pki.create_ca ~name:"Example CA" drbg in
+  let directory =
+    Participant.Directory.create ~ca_key:(Tep_crypto.Pki.ca_public_key ca)
+  in
+  let alice = Participant.create ~ca ~name:"alice" drbg in
+  let bob = Participant.create ~ca ~name:"bob" drbg in
+  Participant.Directory.register directory alice;
+  Participant.Directory.register directory bob;
+  print_endline "participants: alice, bob (certified by Example CA)";
+
+  (* 2. Create a backend database and attach the provenance engine. *)
+  let db = Database.create ~name:"inventory" in
+  let schema =
+    Schema.make
+      [
+        { Schema.name = "sku"; ty = Value.TText; nullable = false };
+        { Schema.name = "qty"; ty = Value.TInt; nullable = false };
+      ]
+  in
+  ignore (ok (Database.create_table db ~name:"stock" schema));
+  let engine = Engine.create ~directory db in
+
+  (* 3. Perform tracked operations.  Every mutation emits signed
+     provenance records for the touched object and its ancestors. *)
+  let r1 =
+    ok
+      (Engine.insert_row engine alice ~table:"stock"
+         [| Value.Text "WIDGET-1"; Value.Int 100 |])
+  in
+  let _r2 =
+    ok
+      (Engine.insert_row engine alice ~table:"stock"
+         [| Value.Text "GADGET-2"; Value.Int 40 |])
+  in
+  ok
+    (Engine.update_cell_named engine bob ~table:"stock" ~row:r1 ~column:"qty"
+       (Value.Int 93));
+  Printf.printf "3 operations recorded; %d provenance records, %d bytes\n"
+    (Provstore.record_count (Engine.provstore engine))
+    (Provstore.paper_space_bytes (Engine.provstore engine));
+
+  (* 4. Deliver the whole database to a recipient and verify. *)
+  let data, records = ok (Engine.deliver engine (Engine.root_oid engine)) in
+  let report = Verifier.verify ~algo:(Engine.algo engine) ~directory ~data records in
+  Format.printf "recipient check: %a@." Verifier.pp_report report;
+
+  (* 5. Inspect a single cell's provenance chain. *)
+  let cell =
+    Option.get (Tep_tree.Tree_view.cell_oid (Engine.mapping engine) "stock" r1 1)
+  in
+  let _, cell_records = ok (Engine.deliver engine cell) in
+  print_endline "provenance of stock.row0.qty:";
+  List.iter (fun r -> Format.printf "  %a@." Record.pp r) cell_records;
+
+  (* 6. Tamper with the data behind the engine's back... *)
+  ignore (Tep_tree.Forest.update (Engine.forest engine) cell (Value.Int 9999));
+  let report = ok (Engine.verify_object engine (Engine.root_oid engine)) in
+  Format.printf "after silent edit: %a@." Verifier.pp_report report;
+  if Verifier.ok report then failwith "BUG: tampering went undetected";
+  print_endline "quickstart done."

@@ -1,0 +1,55 @@
+(* The Section-5.2 scale-out experiment: hash a database too large to
+   treat as an in-memory tree, one row at a time, in bounded memory —
+   and confirm the result is bit-identical to the tree hash.
+
+     dune exec examples/streaming_hash.exe [rows]   (default 200_000) *)
+
+open Tep_store
+open Tep_tree
+open Tep_workload
+
+let () =
+  let rows =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200_000
+  in
+  Printf.printf "building Title table with %d rows...\n%!" rows;
+  let db = Synth.build_title_database ~rows in
+  let algo = Tep_crypto.Digest_algo.SHA1 in
+
+  let t0 = Unix.gettimeofday () in
+  let h, nodes = Streaming.hash_database_with_counts algo db in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "streaming hash: %s\n" (Tep_crypto.Digest_algo.to_hex h);
+  Printf.printf "%d nodes in %.2fs = %.5f ms/node (paper: 0.02156 ms/node on
+ 2009 hardware, 18.9M rows)\n" nodes dt (dt *. 1000. /. float_of_int nodes);
+
+  (* cross-check against the materialised tree on a small prefix *)
+  let small = Synth.build_title_database ~rows:500 in
+  let f = Forest.create () in
+  let m = Tree_view.build f small in
+  let tree_hash =
+    match Forest.subtree f (Tree_view.root m) with
+    | Ok s -> Merkle.hash_subtree algo s
+    | Error e -> failwith e
+  in
+  let stream_hash = Streaming.hash_database algo small in
+  assert (String.equal tree_hash stream_hash);
+  print_endline "cross-check vs materialised tree (500 rows): identical";
+
+  (* the row-pull interface: hash rows arriving from a cursor *)
+  let tbl = Database.get_table_exn db "Title" in
+  let remaining = ref (Table.rows tbl) in
+  let pull () =
+    match !remaining with
+    | [] -> None
+    | r :: rest ->
+        remaining := rest;
+        Some (r.Table.id, r.Table.cells)
+  in
+  let h2, _ =
+    Streaming.hash_rows algo ~schema_arity:2 ~table_oid:1 ~table_name:"Title"
+      ~row_count:(Table.row_count tbl) pull
+  in
+  Printf.printf "cursor-fed table hash: %s...\n"
+    (String.sub (Tep_crypto.Digest_algo.to_hex h2) 0 16);
+  print_endline "streaming_hash done."

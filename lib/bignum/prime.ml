@@ -1,0 +1,135 @@
+type byte_source = int -> string
+
+let small_primes =
+  (* Sieve of Eratosthenes below 1000. *)
+  let limit = 1000 in
+  let sieve = Array.make (limit + 1) true in
+  sieve.(0) <- false;
+  sieve.(1) <- false;
+  let i = ref 2 in
+  while !i * !i <= limit do
+    if sieve.(!i) then begin
+      let j = ref (!i * !i) in
+      while !j <= limit do
+        sieve.(!j) <- false;
+        j := !j + !i
+      done
+    end;
+    incr i
+  done;
+  let out = ref [] in
+  for k = limit downto 2 do
+    if sieve.(k) then out := k :: !out
+  done;
+  Array.of_list !out
+
+let random_bits src k =
+  if k <= 0 then Nat.zero
+  else begin
+    let nbytes = (k + 7) / 8 in
+    let s = Bytes.of_string (src nbytes) in
+    let extra = (nbytes * 8) - k in
+    if extra > 0 then begin
+      let b = Char.code (Bytes.get s 0) in
+      Bytes.set s 0 (Char.chr (b land (0xff lsr extra)))
+    end;
+    Nat.of_bytes_be (Bytes.unsafe_to_string s)
+  end
+
+let random_below src n =
+  if Nat.is_zero n then invalid_arg "Prime.random_below: zero bound";
+  let k = Nat.num_bits n in
+  let rec draw () =
+    let x = random_bits src k in
+    if Nat.compare x n < 0 then x else draw ()
+  in
+  draw ()
+
+(* One Miller-Rabin round with base [a] on odd [n] = d * 2^s + 1. *)
+let mr_round mont n_minus_1 d s a =
+  let x = ref (Zmod.Montgomery.pow mont a d) in
+  if Nat.is_one !x || Nat.equal !x n_minus_1 then true
+  else begin
+    let witness = ref true in
+    (let r = ref 1 in
+     while !witness && !r < s do
+       x := Zmod.Montgomery.pow mont !x Nat.two;
+       if Nat.equal !x n_minus_1 then witness := false;
+       incr r
+     done);
+    not !witness
+  end
+
+let is_probably_prime ?(rounds = 20) src n =
+  if Nat.compare n Nat.two < 0 then false
+  else if Nat.equal n Nat.two then true
+  else if Nat.is_even n then false
+  else begin
+    match Nat.to_int_opt n with
+    | Some v when v < 1_000_000 ->
+        (* Exact trial division for small inputs. *)
+        let rec go i =
+          if i >= Array.length small_primes then
+            (* all small primes tried; for v < 10^6 sqrt(v) < 1000 *)
+            true
+          else
+            let p = small_primes.(i) in
+            if p * p > v then true
+            else if v mod p = 0 then v = p
+            else go (i + 1)
+        in
+        go 0
+    | _ ->
+        let divisible =
+          Array.exists
+            (fun p -> Nat.is_zero (Nat.rem n (Nat.of_int p)))
+            small_primes
+        in
+        if divisible then false
+        else begin
+          let n_minus_1 = Nat.sub n Nat.one in
+          (* n-1 = d * 2^s with d odd *)
+          let rec split d s =
+            if Nat.is_even d then split (Nat.shift_right d 1) (s + 1)
+            else (d, s)
+          in
+          let d, s = split n_minus_1 0 in
+          let mont = Zmod.Montgomery.create n in
+          let n_minus_3 = Nat.sub n (Nat.of_int 3) in
+          let rec rounds_ok i =
+            if i >= rounds then true
+            else begin
+              (* base in [2, n-2] *)
+              let a = Nat.add (random_below src n_minus_3) Nat.two in
+              if mr_round mont n_minus_1 d s a then rounds_ok (i + 1)
+              else false
+            end
+          in
+          rounds_ok 0
+        end
+  end
+
+let generate src ~bits =
+  if bits < 8 then invalid_arg "Prime.generate: need at least 8 bits";
+  let top_two =
+    Nat.add
+      (Nat.shift_left Nat.one (bits - 1))
+      (Nat.shift_left Nat.one (bits - 2))
+  in
+  let rec attempt () =
+    let candidate =
+      let r = random_bits src (bits - 2) in
+      let c = Nat.add top_two r in
+      if Nat.is_even c then Nat.add c Nat.one else c
+    in
+    (* March forward in steps of 2 for a while before redrawing, to
+       amortise the random draw. *)
+    let rec march c tries =
+      if tries = 0 then attempt ()
+      else if Nat.num_bits c <> bits then attempt ()
+      else if is_probably_prime src c then c
+      else march (Nat.add c Nat.two) (tries - 1)
+    in
+    march candidate 64
+  in
+  attempt ()

@@ -1,0 +1,30 @@
+(** Primality testing and random prime generation.
+
+    Randomness is supplied by the caller as a byte source
+    (in practice {!Tep_crypto.Drbg}), keeping this library free of any
+    dependency on the crypto layer above it. *)
+
+type byte_source = int -> string
+(** [src n] must return [n] fresh pseudo-random bytes. *)
+
+val is_probably_prime : ?rounds:int -> byte_source -> Nat.t -> bool
+(** Miller–Rabin with [rounds] random bases (default 20), preceded by
+    trial division by small primes.  Deterministically correct for
+    inputs below 3317044064679887385961981 when given enough rounds;
+    probabilistic above. *)
+
+val random_bits : byte_source -> int -> Nat.t
+(** [random_bits src k] draws a uniform natural in [[0, 2^k)]. *)
+
+val random_below : byte_source -> Nat.t -> Nat.t
+(** [random_below src n] draws a uniform natural in [[0, n)] by
+    rejection sampling. @raise Invalid_argument if [n] is zero. *)
+
+val generate : byte_source -> bits:int -> Nat.t
+(** [generate src ~bits] returns a random probable prime of exactly
+    [bits] bits with the top two bits set (so that the product of two
+    such primes has exactly [2*bits] bits, as RSA key generation
+    requires). @raise Invalid_argument if [bits < 8]. *)
+
+val small_primes : int array
+(** The primes below 1000, used for trial division. *)

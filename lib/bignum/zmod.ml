@@ -1,0 +1,167 @@
+let limb_bits = Nat.limb_bits
+let base = 1 lsl limb_bits
+let limb_mask = base - 1
+
+let rec gcd a b = if Nat.is_zero b then a else gcd b (Nat.rem a b)
+
+(* Extended Euclid, tracking only the coefficient of [a] and carrying
+   its sign separately (Nat has no negatives). *)
+let modinv a m =
+  if Nat.compare m Nat.one <= 0 then invalid_arg "Zmod.modinv: modulus <= 1";
+  let a = Nat.rem a m in
+  (* Invariants: r_i = s_i * a (mod m), with sign_i the sign of s_i. *)
+  let rec go r0 s0 sign0 r1 s1 sign1 =
+    if Nat.is_zero r1 then
+      if Nat.is_one r0 then
+        Some (if sign0 >= 0 then Nat.rem s0 m else Nat.sub m (Nat.rem s0 m))
+      else None
+    else begin
+      let q, r2 = Nat.divmod r0 r1 in
+      (* s2 = s0 - q*s1, with signs. *)
+      let qs1 = Nat.mul q s1 in
+      let s2, sign2 =
+        if sign0 = sign1 || Nat.is_zero qs1 then
+          if Nat.compare s0 qs1 >= 0 then (Nat.sub s0 qs1, sign0)
+          else (Nat.sub qs1 s0, -sign0)
+        else (Nat.add s0 qs1, sign0)
+      in
+      go r1 s1 sign1 r2 s2 sign2
+    end
+  in
+  if Nat.is_zero a then None
+  else go m Nat.zero 1 a Nat.one 1
+
+let mod_mul a b m = Nat.rem (Nat.mul a b) m
+
+module Montgomery = struct
+  type ctx = {
+    m : Nat.t;
+    n : int; (* limb count of m *)
+    m_limbs : int array;
+    m' : int; (* -m^{-1} mod base *)
+    r2 : Nat.t; (* R^2 mod m, R = base^n *)
+  }
+
+  let modulus ctx = ctx.m
+
+  (* Inverse of x modulo 2^26 by Newton iteration (x odd). *)
+  let inv_limb x =
+    let y = ref x in
+    (* y *= 2 - x*y doubles correct bits each step; 5 steps > 26 bits. *)
+    for _ = 1 to 5 do
+      y := (!y * (2 - (x * !y))) land limb_mask
+    done;
+    !y land limb_mask
+
+  let create m =
+    if Nat.is_even m || Nat.compare m Nat.one <= 0 then
+      invalid_arg "Montgomery.create: modulus must be odd and > 1";
+    let n = Nat.num_limbs m in
+    let m_limbs = Array.init n (Nat.get_limb m) in
+    let m' = (base - inv_limb m_limbs.(0)) land limb_mask in
+    let r = Nat.shift_left Nat.one (n * limb_bits) in
+    let r2 = Nat.rem (Nat.mul r r) m in
+    { m; n; m_limbs; m'; r2 }
+
+  (* CIOS Montgomery multiplication: returns a*b*R^{-1} mod m as limbs.
+     Inputs are limb arrays of length n (zero-padded). *)
+  let mont_mul ctx (a : int array) (b : int array) : int array =
+    let n = ctx.n in
+    let m = ctx.m_limbs and m' = ctx.m' in
+    let t = Array.make (n + 2) 0 in
+    for i = 0 to n - 1 do
+      let ai = a.(i) in
+      (* t += ai * b *)
+      let carry = ref 0 in
+      for j = 0 to n - 1 do
+        let p = t.(j) + (ai * b.(j)) + !carry in
+        t.(j) <- p land limb_mask;
+        carry := p lsr limb_bits
+      done;
+      let s = t.(n) + !carry in
+      t.(n) <- s land limb_mask;
+      t.(n + 1) <- t.(n + 1) + (s lsr limb_bits);
+      (* u = t[0] * m' mod base; t += u*m; t >>= limb_bits *)
+      let u = (t.(0) * m') land limb_mask in
+      let carry = ref 0 in
+      for j = 0 to n - 1 do
+        let p = t.(j) + (u * m.(j)) + !carry in
+        t.(j) <- p land limb_mask;
+        carry := p lsr limb_bits
+      done;
+      let s = t.(n) + !carry in
+      t.(n) <- s land limb_mask;
+      t.(n + 1) <- t.(n + 1) + (s lsr limb_bits);
+      (* shift one limb right (t.(0) is now zero) *)
+      for j = 0 to n do
+        t.(j) <- t.(j + 1)
+      done;
+      t.(n + 1) <- 0
+    done;
+    (* Result in t[0..n]; subtract m if >= m. *)
+    let res = Array.sub t 0 (n + 1) in
+    let ge =
+      if res.(n) <> 0 then true
+      else begin
+        let rec cmp i =
+          if i < 0 then true (* equal *)
+          else if res.(i) <> m.(i) then res.(i) > m.(i)
+          else cmp (i - 1)
+        in
+        cmp (n - 1)
+      end
+    in
+    if ge then begin
+      let borrow = ref 0 in
+      for i = 0 to n - 1 do
+        let d = res.(i) - m.(i) - !borrow in
+        if d < 0 then begin
+          res.(i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          res.(i) <- d;
+          borrow := 0
+        end
+      done;
+      res.(n) <- res.(n) - !borrow
+    end;
+    Array.sub res 0 n
+
+  let to_limbs ctx x =
+    let x = Nat.rem x ctx.m in
+    Array.init ctx.n (Nat.get_limb x)
+
+  let pow ctx b e =
+    if Nat.is_zero e then Nat.rem Nat.one ctx.m
+    else begin
+      let b_mont = mont_mul ctx (to_limbs ctx b) (to_limbs ctx ctx.r2) in
+      let acc = ref (mont_mul ctx (to_limbs ctx Nat.one) (to_limbs ctx ctx.r2)) in
+      (* Left-to-right square and multiply. *)
+      for i = Nat.num_bits e - 1 downto 0 do
+        acc := mont_mul ctx !acc !acc;
+        if Nat.testbit e i then acc := mont_mul ctx !acc b_mont
+      done;
+      (* Convert out of Montgomery form: multiply by 1. *)
+      let one_limbs = Array.make ctx.n 0 in
+      one_limbs.(0) <- 1;
+      let out = mont_mul ctx !acc one_limbs in
+      Nat.of_limbs out
+    end
+end
+
+(* Division-based square-and-multiply, for even moduli. *)
+let modpow_naive b e m =
+  let b = ref (Nat.rem b m) in
+  let acc = ref (Nat.rem Nat.one m) in
+  for i = 0 to Nat.num_bits e - 1 do
+    if Nat.testbit e i then acc := mod_mul !acc !b m;
+    b := mod_mul !b !b m
+  done;
+  !acc
+
+let modpow b e m =
+  if Nat.is_zero m then invalid_arg "Zmod.modpow: zero modulus";
+  if Nat.is_one m then Nat.zero
+  else if Nat.is_even m then modpow_naive b e m
+  else Montgomery.pow (Montgomery.create m) b e

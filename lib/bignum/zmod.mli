@@ -1,0 +1,35 @@
+(** Modular arithmetic over {!Nat.t}.
+
+    Provides the number-theoretic operations RSA needs: GCD, modular
+    inverse, and modular exponentiation.  Exponentiation over odd
+    moduli uses Montgomery multiplication (CIOS); even moduli fall
+    back to division-based reduction. *)
+
+val gcd : Nat.t -> Nat.t -> Nat.t
+(** Greatest common divisor; [gcd 0 b = b]. *)
+
+val modinv : Nat.t -> Nat.t -> Nat.t option
+(** [modinv a m] is [Some x] with [a*x = 1 (mod m)] when
+    [gcd a m = 1], and [None] otherwise.
+    @raise Invalid_argument if [m <= 1]. *)
+
+val modpow : Nat.t -> Nat.t -> Nat.t -> Nat.t
+(** [modpow b e m] is [b^e mod m].
+    @raise Invalid_argument if [m] is zero. *)
+
+val mod_mul : Nat.t -> Nat.t -> Nat.t -> Nat.t
+(** [mod_mul a b m = (a*b) mod m]. *)
+
+(** Reusable Montgomery context for repeated exponentiation modulo the
+    same odd modulus (used by RSA-CRT signing on hot paths). *)
+module Montgomery : sig
+  type ctx
+
+  val create : Nat.t -> ctx
+  (** @raise Invalid_argument if the modulus is even or [<= 1]. *)
+
+  val modulus : ctx -> Nat.t
+
+  val pow : ctx -> Nat.t -> Nat.t -> Nat.t
+  (** [pow ctx b e = b^e mod (modulus ctx)]. *)
+end

@@ -1,0 +1,299 @@
+open Tep_tree
+
+(* Per-object high-water mark: seq, checksum, and output hash of the
+   last verified record (the hash is needed to validate the boundary
+   link of the next update). *)
+type hwm = { hw_seq : int; hw_checksum : string; hw_hash : string }
+
+type checkpoint = hwm Oid.Map.t
+
+let empty = Oid.Map.empty
+
+let objects cp = Oid.Map.cardinal cp
+
+let mark cp oid =
+  Option.map (fun h -> (h.hw_seq, h.hw_checksum)) (Oid.Map.find_opt oid cp)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental per-object verification                                 *)
+(* ------------------------------------------------------------------ *)
+
+type obj_result = {
+  violations : Verifier.violation list;
+  examined : int;
+  signatures : int;
+  new_hwm : hwm option; (* advance only when the object is clean *)
+}
+
+let check_object ~directory ~store cp oid records : obj_result =
+  let prev_hwm = Oid.Map.find_opt oid cp in
+  (* Anchor consistency: the audited record must still be present,
+     unchanged.  A store whose history for this object was rewritten
+     or truncated below the checkpoint fails here even if the
+     replacement chain is internally consistent. *)
+  let anchor_violation =
+    match prev_hwm with
+    | None -> None
+    | Some h -> (
+        match
+          List.find_opt (fun r -> r.Record.seq_id = h.hw_seq) records
+        with
+        | Some r when String.equal r.Record.checksum h.hw_checksum -> None
+        | Some r ->
+            Some
+              (Verifier.Broken_link
+                 {
+                   oid;
+                   seq = r.Record.seq_id;
+                   reason = "audited record was replaced (history rewrite)";
+                 })
+        | None ->
+            Some
+              (Verifier.Seq_gap
+                 { oid; after_seq = h.hw_seq; found_seq = -1 }))
+  in
+  match anchor_violation with
+  | Some v ->
+      (* keep the old mark so the rewrite keeps being reported *)
+      { violations = [ v ]; examined = 1; signatures = 0; new_hwm = prev_hwm }
+  | None ->
+  let new_records =
+    match prev_hwm with
+    | None -> records
+    | Some h -> List.filter (fun r -> r.Record.seq_id > h.hw_seq) records
+  in
+  if new_records = [] then
+    { violations = []; examined = 0; signatures = 0; new_hwm = prev_hwm }
+  else begin
+    let violations = ref [] in
+    let add v = violations := v :: !violations in
+    let signatures = ref 0 in
+    (* 1. signatures of new records *)
+    List.iter
+      (fun r ->
+        incr signatures;
+        match Checksum.verify_record directory r with
+        | Ok () -> ()
+        | Error reason ->
+            add (Verifier.Bad_signature { oid; seq = r.Record.seq_id; reason }))
+      new_records;
+    (* 2. boundary + structure *)
+    let check_first (r : Record.t) =
+      match (prev_hwm, r.Record.kind) with
+      | Some h, Record.Update ->
+          if r.Record.seq_id <> h.hw_seq + 1 then
+            add
+              (Verifier.Seq_gap
+                 { oid; after_seq = h.hw_seq; found_seq = r.Record.seq_id })
+          else if r.Record.prev_checksums <> [ h.hw_checksum ] then
+            add
+              (Verifier.Broken_link
+                 {
+                   oid;
+                   seq = r.Record.seq_id;
+                   reason = "does not chain onto the audited checkpoint";
+                 })
+          else if r.Record.input_hashes <> [ h.hw_hash ] then
+            add
+              (Verifier.Broken_link
+                 {
+                   oid;
+                   seq = r.Record.seq_id;
+                   reason = "input hash differs from the audited state";
+                 })
+      | Some _, _ ->
+          add
+            (Verifier.Malformed
+               {
+                 oid;
+                 seq = r.Record.seq_id;
+                 reason = "non-update record after the chain started";
+               })
+      | None, Record.Insert | None, Record.Import ->
+          if r.Record.seq_id <> 0 then
+            add
+              (Verifier.First_record_invalid
+                 { oid; reason = "insert/import must have seq 0" })
+      | None, Record.Aggregate ->
+          (* citations resolve against the whole store; the cited
+             records belong to other objects' (audited) chains *)
+          let n = List.length r.Record.input_hashes in
+          if
+            n = 0
+            || List.length r.Record.prev_checksums <> n
+            || List.length r.Record.input_oids <> n
+          then
+            add
+              (Verifier.Malformed
+                 {
+                   oid;
+                   seq = r.Record.seq_id;
+                   reason = "aggregate arity mismatch";
+                 })
+          else begin
+            let max_seq = ref (-1) in
+            List.iteri
+              (fun i pc ->
+                match Provstore.find_by_checksum store pc with
+                | None ->
+                    add
+                      (Verifier.Dangling_prev
+                         {
+                           oid;
+                           seq = r.Record.seq_id;
+                           missing = Tep_crypto.Digest_algo.to_hex pc;
+                         })
+                | Some cited ->
+                    if !max_seq < cited.Record.seq_id then
+                      max_seq := cited.Record.seq_id;
+                    if
+                      not
+                        (Oid.equal cited.Record.output_oid
+                           (List.nth r.Record.input_oids i))
+                      || not
+                           (String.equal cited.Record.output_hash
+                              (List.nth r.Record.input_hashes i))
+                    then
+                      add
+                        (Verifier.Broken_link
+                           {
+                             oid;
+                             seq = r.Record.seq_id;
+                             reason =
+                               Printf.sprintf "aggregate citation %d mismatch" i;
+                           }))
+              r.Record.prev_checksums;
+            if !max_seq >= 0 && r.Record.seq_id <> !max_seq + 1 then
+              add
+                (Verifier.Broken_link
+                   {
+                     oid;
+                     seq = r.Record.seq_id;
+                     reason = "aggregate seq is not max input seq + 1";
+                   })
+          end
+      | None, Record.Update ->
+          add
+            (Verifier.First_record_invalid
+               { oid; reason = "chain starts with an update record" })
+    in
+    (match new_records with r :: _ -> check_first r | [] -> ());
+    let rec walk = function
+      | (a : Record.t) :: (b : Record.t) :: rest ->
+          if b.Record.seq_id <> a.Record.seq_id + 1 then
+            add
+              (Verifier.Seq_gap
+                 { oid; after_seq = a.Record.seq_id; found_seq = b.Record.seq_id })
+          else if b.Record.kind <> Record.Update then
+            add
+              (Verifier.Malformed
+                 { oid; seq = b.Record.seq_id; reason = "mid-chain non-update" })
+          else begin
+            if b.Record.prev_checksums <> [ a.Record.checksum ] then
+              add
+                (Verifier.Broken_link
+                   { oid; seq = b.Record.seq_id; reason = "prev checksum mismatch" });
+            if b.Record.input_hashes <> [ a.Record.output_hash ] then
+              add
+                (Verifier.Broken_link
+                   { oid; seq = b.Record.seq_id; reason = "input hash mismatch" })
+          end;
+          walk (b :: rest)
+      | _ -> ()
+    in
+    walk new_records;
+    let clean = !violations = [] in
+    let new_hwm =
+      if clean then
+        match List.rev new_records with
+        | last :: _ ->
+            Some
+              {
+                hw_seq = last.Record.seq_id;
+                hw_checksum = last.Record.checksum;
+                hw_hash = last.Record.output_hash;
+              }
+        | [] -> prev_hwm
+      else prev_hwm
+    in
+    {
+      violations = List.rev !violations;
+      examined = List.length new_records;
+      signatures = !signatures;
+      new_hwm;
+    }
+  end
+
+let incremental_audit ~algo:_ ~directory cp store =
+  let violations = ref [] in
+  let examined = ref 0 in
+  let signatures = ref 0 in
+  let objs = Provstore.objects store in
+  let cp' =
+    List.fold_left
+      (fun acc oid ->
+        let r =
+          check_object ~directory ~store cp oid (Provstore.records_for store oid)
+        in
+        violations := !violations @ r.violations;
+        examined := !examined + r.examined;
+        signatures := !signatures + r.signatures;
+        match r.new_hwm with
+        | Some h -> Oid.Map.add oid h acc
+        | None -> acc)
+      Oid.Map.empty objs
+  in
+  ( {
+      Verifier.violations = !violations;
+      records_checked = !examined;
+      objects_checked = List.length objs;
+      signatures_checked = !signatures;
+    },
+    cp',
+    !examined )
+
+let full_audit ~algo ~directory store =
+  let report, cp, _ = incremental_audit ~algo ~directory empty store in
+  (report, cp)
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "TEPAUD1"
+
+let to_string cp =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  Tep_store.Value.add_varint buf (Oid.Map.cardinal cp);
+  Oid.Map.iter
+    (fun oid h ->
+      Tep_store.Value.add_varint buf (Oid.to_int oid);
+      Tep_store.Value.add_varint buf h.hw_seq;
+      Tep_store.Value.add_string buf h.hw_checksum;
+      Tep_store.Value.add_string buf h.hw_hash)
+    cp;
+  Buffer.contents buf
+
+let of_string s =
+  try
+    if String.length s < 7 || String.sub s 0 7 <> magic then
+      Error "checkpoint: bad magic"
+    else begin
+      let count, off = Tep_store.Value.read_varint s 7 in
+      let off = ref off in
+      let cp = ref Oid.Map.empty in
+      for _ = 1 to count do
+        let oid, o = Tep_store.Value.read_varint s !off in
+        let seq, o = Tep_store.Value.read_varint s o in
+        let cksum, o = Tep_store.Value.read_string s o in
+        let hash, o = Tep_store.Value.read_string s o in
+        off := o;
+        cp :=
+          Oid.Map.add (Oid.of_int oid)
+            { hw_seq = seq; hw_checksum = cksum; hw_hash = hash }
+            !cp
+      done;
+      Ok !cp
+    end
+  with Failure e -> Error ("checkpoint: " ^ e)

@@ -1,0 +1,49 @@
+(** Incremental auditing.
+
+    The paper's recipient re-verifies whole provenance objects from
+    their genesis on every delivery.  A standing auditor can do much
+    better: after one full verification it records, per object, the
+    last verified (seq, checksum) pair — a {e checkpoint} — and later
+    verifies only the records appended since, checking that the first
+    new record of each object chains onto the checkpointed checksum.
+    Tampering with already-audited history is caught by the chain
+    break at the checkpoint boundary; tampering after the checkpoint
+    is caught by the normal checks.
+
+    Checkpoints are serialisable so periodic audit jobs can persist
+    them between runs. *)
+
+open Tep_tree
+
+type checkpoint
+
+val empty : checkpoint
+
+val objects : checkpoint -> int
+(** Number of objects with a recorded high-water mark. *)
+
+val mark : checkpoint -> Oid.t -> (int * string) option
+(** The (seq, checksum) high-water mark for an object, if audited. *)
+
+val full_audit :
+  algo:Tep_crypto.Digest_algo.algo ->
+  directory:Participant.Directory.t ->
+  Provstore.t ->
+  Verifier.report * checkpoint
+(** Verify every record in the store; on success the checkpoint covers
+    every object's latest record.  (A failed report yields a
+    checkpoint covering only clean objects.) *)
+
+val incremental_audit :
+  algo:Tep_crypto.Digest_algo.algo ->
+  directory:Participant.Directory.t ->
+  checkpoint ->
+  Provstore.t ->
+  Verifier.report * checkpoint * int
+(** Verify only records newer than the checkpoint (plus boundary
+    links).  Returns the report, the advanced checkpoint, and the
+    number of records actually examined — the audit cost, which is
+    proportional to the {e new} work, not to history length. *)
+
+val to_string : checkpoint -> string
+val of_string : string -> (checkpoint, string) result

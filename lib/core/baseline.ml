@@ -1,0 +1,330 @@
+module Digest_algo = Tep_crypto.Digest_algo
+
+type op = Insert of int * string | Update of int * string | Delete of int
+
+let frame fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "TEPBL1";
+  List.iter
+    (fun f ->
+      Tep_store.Value.add_varint buf (String.length f);
+      Buffer.add_string buf f)
+    fields;
+  Buffer.contents buf
+
+let hash_obj algo oid value = Digest_algo.digest algo (frame [ string_of_int oid; value ])
+
+module Plain = struct
+  type rec_ = { seq : int; participant : string; oid : int }
+
+  type t = {
+    mutable records : rec_ list;
+    values : (int, string * int) Hashtbl.t; (* oid -> value, seq *)
+  }
+
+  let create () = { records = []; values = Hashtbl.create 64 }
+
+  let apply t ~participant op =
+    let push oid seq = t.records <- { seq; participant; oid } :: t.records in
+    match op with
+    | Insert (oid, v) ->
+        Hashtbl.replace t.values oid (v, 0);
+        push oid 0
+    | Update (oid, v) ->
+        let seq =
+          match Hashtbl.find_opt t.values oid with
+          | Some (_, s) -> s + 1
+          | None -> 0
+        in
+        Hashtbl.replace t.values oid (v, seq);
+        push oid seq
+    | Delete oid -> Hashtbl.remove t.values oid
+
+  let record_count t = List.length t.records
+  let space_bytes t = record_count t * 12
+end
+
+type entry = {
+  seq : int;
+  participant : string;
+  oid : int;
+  in_hash : string;
+  out_hash : string;
+  prev : string; (* previous checksum, or "\x00" genesis *)
+  mutable checksum : string;
+}
+
+let genesis = "\x00"
+
+let entry_payload e =
+  frame
+    [
+      string_of_int e.seq;
+      string_of_int e.oid;
+      e.in_hash;
+      e.out_hash;
+      e.prev;
+    ]
+
+let sign_entry p e = { e with checksum = Participant.sign p (entry_payload e) }
+
+let verify_entry dir e =
+  match Participant.Directory.lookup dir e.participant with
+  | None -> Error (Printf.sprintf "unknown participant %s" e.participant)
+  | Some cert ->
+      if
+        Tep_crypto.Rsa.verify ~algo:Digest_algo.SHA256 cert.Tep_crypto.Pki.subject_key
+          ~msg:(entry_payload e) ~signature:e.checksum
+      then Ok ()
+      else Error (Printf.sprintf "bad checksum at seq %d (oid %d)" e.seq e.oid)
+
+(* Check one object's chain links: seqs consecutive, prev checksums and
+   in/out hashes chaining. *)
+let check_links entries =
+  let rec go prev = function
+    | [] -> Ok ()
+    | e :: rest -> (
+        match prev with
+        | None ->
+            if e.seq <> 0 then Error "chain does not start at seq 0"
+            else if e.prev <> genesis then Error "first record has a prev"
+            else go (Some e) rest
+        | Some p ->
+            if e.seq <> p.seq + 1 then
+              Error (Printf.sprintf "seq gap: %d after %d" e.seq p.seq)
+            else if not (String.equal e.prev p.checksum) then
+              Error (Printf.sprintf "broken prev link at seq %d" e.seq)
+            else if not (String.equal e.in_hash p.out_hash) then
+              Error (Printf.sprintf "input hash mismatch at seq %d" e.seq)
+            else go (Some e) rest)
+  in
+  go None entries
+
+module Linear = struct
+  type t = {
+    algo : Digest_algo.algo;
+    chains : (int, entry list ref) Hashtbl.t; (* newest first *)
+    mutable count : int;
+  }
+
+  let create ?(algo = Digest_algo.SHA1) () =
+    { algo; chains = Hashtbl.create 64; count = 0 }
+
+  let chain t oid =
+    match Hashtbl.find_opt t.chains oid with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Hashtbl.replace t.chains oid c;
+        c
+
+  let apply t p op =
+    match op with
+    | Insert (oid, v) ->
+        let c = chain t oid in
+        if !c <> [] then Error (Printf.sprintf "object %d already exists" oid)
+        else begin
+          let e =
+            sign_entry p
+              {
+                seq = 0;
+                participant = Participant.name p;
+                oid;
+                in_hash = genesis;
+                out_hash = hash_obj t.algo oid v;
+                prev = genesis;
+                checksum = "";
+              }
+          in
+          c := [ e ];
+          t.count <- t.count + 1;
+          Ok ()
+        end
+    | Update (oid, v) -> (
+        let c = chain t oid in
+        match !c with
+        | [] -> Error (Printf.sprintf "object %d does not exist" oid)
+        | last :: _ ->
+            let e =
+              sign_entry p
+                {
+                  seq = last.seq + 1;
+                  participant = Participant.name p;
+                  oid;
+                  in_hash = last.out_hash;
+                  out_hash = hash_obj t.algo oid v;
+                  prev = last.checksum;
+                  checksum = "";
+                }
+            in
+            c := e :: !c;
+            t.count <- t.count + 1;
+            Ok ())
+    | Delete oid ->
+        Hashtbl.remove t.chains oid;
+        Ok ()
+
+  let record_count t = t.count
+
+  let space_bytes t =
+    Hashtbl.fold (fun _ c acc -> acc + (List.length !c * 140)) t.chains 0
+
+  let verify_object t dir oid =
+    match Hashtbl.find_opt t.chains oid with
+    | None -> Error (Printf.sprintf "object %d has no provenance" oid)
+    | Some c ->
+        let entries = List.rev !c in
+        let rec sigs = function
+          | [] -> Ok ()
+          | e :: rest -> (
+              match verify_entry dir e with
+              | Ok () -> sigs rest
+              | Error _ as err -> err)
+        in
+        (match sigs entries with
+        | Error e -> Error e
+        | Ok () -> (
+            match check_links entries with
+            | Error e -> Error e
+            | Ok () -> Ok (List.length entries)))
+
+  let verify_all t dir =
+    Hashtbl.fold
+      (fun oid _ (ok, bad) ->
+        match verify_object t dir oid with
+        | Ok _ -> (ok + 1, bad)
+        | Error _ -> (ok, bad + 1))
+      t.chains (0, 0)
+
+  let corrupt t oid =
+    match Hashtbl.find_opt t.chains oid with
+    | None | Some { contents = [] } -> false
+    | Some c ->
+        let e = List.nth !c (List.length !c / 2) in
+        e.checksum <-
+          String.mapi
+            (fun i ch -> if i = 0 then Char.chr (Char.code ch lxor 1) else ch)
+            e.checksum;
+        true
+end
+
+module Global = struct
+  type t = {
+    algo : Digest_algo.algo;
+    mutable entries : entry list; (* newest first; one global chain *)
+    values : (int, string) Hashtbl.t;
+    mutable count : int;
+    lock : Mutex.t;
+  }
+
+  let create ?(algo = Digest_algo.SHA1) () =
+    {
+      algo;
+      entries = [];
+      values = Hashtbl.create 64;
+      count = 0;
+      lock = Mutex.create ();
+    }
+
+  let apply t p op =
+    Mutex.lock t.lock;
+    let result =
+      let head_checksum, head_seq =
+        match t.entries with
+        | [] -> (genesis, -1)
+        | e :: _ -> (e.checksum, e.seq)
+      in
+      let push oid in_hash out_hash =
+        let e =
+          sign_entry p
+            {
+              seq = head_seq + 1;
+              participant = Participant.name p;
+              oid;
+              in_hash;
+              out_hash;
+              prev = head_checksum;
+              checksum = "";
+            }
+        in
+        t.entries <- e :: t.entries;
+        t.count <- t.count + 1
+      in
+      match op with
+      | Insert (oid, v) ->
+          if Hashtbl.mem t.values oid then
+            Error (Printf.sprintf "object %d already exists" oid)
+          else begin
+            Hashtbl.replace t.values oid v;
+            push oid genesis (hash_obj t.algo oid v);
+            Ok ()
+          end
+      | Update (oid, v) -> (
+          match Hashtbl.find_opt t.values oid with
+          | None -> Error (Printf.sprintf "object %d does not exist" oid)
+          | Some old ->
+              Hashtbl.replace t.values oid v;
+              push oid (hash_obj t.algo oid old) (hash_obj t.algo oid v);
+              Ok ())
+      | Delete oid ->
+          Hashtbl.remove t.values oid;
+          Ok ()
+    in
+    Mutex.unlock t.lock;
+    result
+
+  let record_count t = t.count
+
+  let space_bytes t = t.count * 140
+
+  (* Global chain: verifying any object means checking every link of
+     the shared chain up to that object's last record. *)
+  let verify_object t dir oid =
+    let entries = List.rev t.entries in
+    let rec go prev n relevant = function
+      | [] ->
+          if relevant = 0 then
+            Error (Printf.sprintf "object %d has no provenance" oid)
+          else Ok relevant
+      | e :: rest -> (
+          (match prev with
+          | None ->
+              if e.prev <> genesis then Error "first record has a prev" else Ok ()
+          | Some (p : entry) ->
+              if e.seq <> p.seq + 1 then Error "seq gap in global chain"
+              else if not (String.equal e.prev p.checksum) then
+                Error (Printf.sprintf "broken global link at seq %d" e.seq)
+              else Ok ())
+          |> function
+          | Error err -> Error err
+          | Ok () -> (
+              match verify_entry dir e with
+              | Error err -> Error err
+              | Ok () ->
+                  go (Some e) (n + 1)
+                    (if e.oid = oid then relevant + 1 else relevant)
+                    rest))
+    in
+    go None 0 0 entries
+
+  let verify_all t dir =
+    let oids = Hashtbl.create 64 in
+    List.iter (fun e -> Hashtbl.replace oids e.oid ()) t.entries;
+    Hashtbl.fold
+      (fun oid () (ok, bad) ->
+        match verify_object t dir oid with
+        | Ok _ -> (ok + 1, bad)
+        | Error _ -> (ok, bad + 1))
+      oids (0, 0)
+
+  let corrupt t oid =
+    match List.filter (fun e -> e.oid = oid) t.entries with
+    | [] -> false
+    | es ->
+        let e = List.nth es (List.length es / 2) in
+        e.checksum <-
+          String.mapi
+            (fun i ch -> if i = 0 then Char.chr (Char.code ch lxor 1) else ch)
+            e.checksum;
+        true
+end

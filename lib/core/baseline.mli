@@ -1,0 +1,77 @@
+(** Comparison baselines for the evaluation and ablations.
+
+    All three operate on a simple store of atomic string-valued
+    objects, so the ablation benches compare checksum strategies on
+    identical workloads:
+
+    - {!Plain}: provenance records with no integrity protection — the
+      cost floor; the paper's "overhead" is measured against this.
+    - {!Linear}: per-object hash-chained checksums over atomic
+      objects — the Hasan et al. (FAST'09) scheme this paper extends.
+      No compound objects, no aggregation support.
+    - {!Global}: one global checksum chain across all objects — the
+      rejected design of Section 3.2.  Correct, but serialises all
+      participants through a single chain head, and corruption
+      anywhere breaks verification of {e every} object. *)
+
+type op = Insert of int * string | Update of int * string | Delete of int
+(** Atomic operations on object ids. *)
+
+module Plain : sig
+  type t
+
+  val create : unit -> t
+  val apply : t -> participant:string -> op -> unit
+  val record_count : t -> int
+  val space_bytes : t -> int
+  (** 12 bytes per record: ⟨SeqID, Participant, Oid⟩ with no checksum
+      column. *)
+end
+
+module Linear : sig
+  type t
+
+  val create : ?algo:Tep_crypto.Digest_algo.algo -> unit -> t
+  val apply : t -> Participant.t -> op -> (unit, string) result
+  (** [Delete] drops the chain (like the paper, deletion ends an
+      object's provenance). *)
+
+  val record_count : t -> int
+  val space_bytes : t -> int
+
+  val verify_object :
+    t -> Participant.Directory.t -> int -> (int, string) result
+  (** Verify one object's chain; returns its length.  Other objects'
+      corruption does not affect it (failure locality). *)
+
+  val verify_all : t -> Participant.Directory.t -> int * int
+  (** (objects verified ok, objects failing). *)
+
+  val corrupt : t -> int -> bool
+  (** Flip a byte in some checksum of the given object's chain;
+      [false] if the object has no records. *)
+end
+
+module Global : sig
+  type t
+
+  val create : ?algo:Tep_crypto.Digest_algo.algo -> unit -> t
+
+  val apply : t -> Participant.t -> op -> (unit, string) result
+  (** Every record chains to the global head — participants must
+      serialise here (the Section 3.2 bottleneck).  Thread-safe via a
+      single mutex so the contention is measurable with domains. *)
+
+  val record_count : t -> int
+  val space_bytes : t -> int
+
+  val verify_object : t -> Participant.Directory.t -> int -> (int, string) result
+  (** Verifying one object requires walking (and checking) the whole
+      global chain up to its last record. *)
+
+  val verify_all : t -> Participant.Directory.t -> int * int
+
+  val corrupt : t -> int -> bool
+  (** Corrupt some record of the given object — with global chaining
+      this breaks every object verified through that point. *)
+end

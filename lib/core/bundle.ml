@@ -1,0 +1,140 @@
+open Tep_store
+open Tep_tree
+open Tep_crypto
+
+type t = {
+  algo : Digest_algo.algo;
+  data : Subtree.t;
+  records : Record.t list;
+  certificates : Pki.certificate list;
+  ca_key : Rsa.public_key;
+}
+
+let certs_for directory records =
+  let names =
+    List.sort_uniq compare
+      (List.map (fun r -> r.Record.participant) records)
+  in
+  List.filter_map (Participant.Directory.lookup directory) names
+
+let create ?deep engine oid =
+  match Engine.deliver ?deep engine oid with
+  | Error e -> Error e
+  | Ok (data, records) ->
+      let directory = Engine.directory engine in
+      Ok
+        {
+          algo = Engine.algo engine;
+          data;
+          records;
+          certificates = certs_for directory records;
+          ca_key = Participant.Directory.ca_key directory;
+        }
+
+let of_atomic store directory oid =
+  match Atomic.deliver store oid with
+  | Error e -> Error e
+  | Ok (data, records) ->
+      Ok
+        {
+          algo = Atomic.algo store;
+          data;
+          records;
+          certificates = certs_for directory records;
+          ca_key = Participant.Directory.ca_key directory;
+        }
+
+let participants t =
+  List.sort_uniq compare (List.map (fun r -> r.Record.participant) t.records)
+
+let verify ?trusted_ca t =
+  let ca_key = Option.value trusted_ca ~default:t.ca_key in
+  let directory = Participant.Directory.create ~ca_key in
+  List.iter
+    (fun cert ->
+      (* Invalid certificates are silently dropped; their subjects'
+         records then fail signature verification. *)
+      ignore (Participant.Directory.register_certificate directory cert))
+    t.certificates;
+  Verifier.verify ~algo:t.algo ~directory ~data:t.data t.records
+
+let magic = "TEPBNDL1"
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Value.add_string buf (Digest_algo.name t.algo);
+  Subtree.encode buf t.data;
+  Value.add_varint buf (List.length t.records);
+  List.iter (Record.encode buf) t.records;
+  Value.add_varint buf (List.length t.certificates);
+  List.iter
+    (fun c -> Value.add_string buf (Pki.certificate_to_string c))
+    t.certificates;
+  Value.add_string buf (Rsa.public_to_string t.ca_key);
+  let body = Buffer.contents buf in
+  body ^ Sha256.digest body
+
+let of_string s =
+  try
+    let dlen = Sha256.digest_size in
+    if String.length s < String.length magic + dlen then
+      Error "bundle: too short"
+    else begin
+      let body = String.sub s 0 (String.length s - dlen) in
+      let trailer = String.sub s (String.length s - dlen) dlen in
+      if not (String.equal (Sha256.digest body) trailer) then
+        Error "bundle: integrity trailer mismatch"
+      else if String.sub body 0 8 <> magic then Error "bundle: bad magic"
+      else begin
+        let off = 8 in
+        let algo_name, off = Value.read_string body off in
+        match Digest_algo.of_name algo_name with
+        | None -> Error ("bundle: unknown algo " ^ algo_name)
+        | Some algo ->
+            let data, off = Subtree.decode body off in
+            let n, off = Value.read_varint body off in
+            let off = ref off in
+            let records =
+              List.init n (fun _ ->
+                  let r, o = Record.decode body !off in
+                  off := o;
+                  r)
+            in
+            let nc, o = Value.read_varint body !off in
+            off := o;
+            let certificates =
+              List.init nc (fun _ ->
+                  let cs, o = Value.read_string body !off in
+                  off := o;
+                  match Pki.certificate_of_string cs with
+                  | Some c -> c
+                  | None -> failwith "bad certificate")
+            in
+            let ca_s, o = Value.read_string body !off in
+            off := o;
+            (match Rsa.public_of_string ca_s with
+            | None -> Error "bundle: bad CA key"
+            | Some ca_key ->
+                if !off <> String.length body then
+                  Error "bundle: trailing garbage"
+                else Ok { algo; data; records; certificates; ca_key })
+      end
+    end
+  with Failure e | Invalid_argument e -> Error ("bundle: " ^ e)
+
+let save t path =
+  try
+    let oc = open_out_bin path in
+    output_string oc (to_string t);
+    close_out oc;
+    Ok ()
+  with Sys_error e -> Error e
+
+let load path =
+  try
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    of_string s
+  with Sys_error e -> Error e

@@ -1,0 +1,51 @@
+(** Portable delivery bundles.
+
+    The paper's data recipient "obtains one or more data objects …
+    each data object is accompanied by a provenance object".  A bundle
+    is exactly that shipment, self-contained and file-serialisable:
+    the object snapshot, its provenance records, and the certificates
+    of every participant appearing in them.
+
+    The CA public key is the recipient's trust anchor.  It travels in
+    the bundle for convenience, but a recipient who trusts the
+    embedded key trusts the sender — pass [~trusted_ca] to {!verify}
+    with an out-of-band copy for real deployments. *)
+
+open Tep_tree
+
+type t = {
+  algo : Tep_crypto.Digest_algo.algo;
+  data : Subtree.t;
+  records : Record.t list;
+  certificates : Tep_crypto.Pki.certificate list;
+  ca_key : Tep_crypto.Rsa.public_key;
+}
+
+val create : ?deep:bool -> Engine.t -> Oid.t -> (t, string) result
+(** Package an object from a live engine: snapshot + provenance DAG
+    closure + the certificates of all participants cited.  [~deep]
+    additionally ships every descendant object's provenance (see
+    {!Engine.deliver}). *)
+
+val of_atomic : Atomic.t -> Participant.Directory.t -> Oid.t -> (t, string) result
+(** Same, from the Section-3 atomic store. *)
+
+val verify : ?trusted_ca:Tep_crypto.Rsa.public_key -> t -> Verifier.report
+(** Recipient-side check: build a directory from the bundled
+    certificates (validated against [trusted_ca], or the embedded key
+    if omitted) and run the full {!Verifier}.  Certificates that fail
+    CA validation are dropped, so records by their subjects surface as
+    signature violations. *)
+
+val participants : t -> string list
+
+(** {1 Serialisation} *)
+
+val to_string : t -> string
+(** Binary encoding with a SHA-256 integrity trailer (detects
+    accidental corruption; {e malicious} tampering is what the
+    provenance checksums themselves catch). *)
+
+val of_string : string -> (t, string) result
+val save : t -> string -> (unit, string) result
+val load : string -> (t, string) result

@@ -1,0 +1,52 @@
+(** Explicit provenance DAGs (Definition 1 / Figure 2).
+
+    A provenance object is a set of records partially ordered by
+    [seq_id]; the checksum back-links make the DAG explicit.  This
+    module reconstructs that graph from a record list for querying,
+    topological traversal, and rendering. *)
+
+
+type node = {
+  record : Record.t;
+  predecessors : int list;  (** indices into {!nodes} *)
+  successors : int list;
+}
+
+type t
+
+val build : Record.t list -> t
+(** Nodes are indexed in [seq_id] order.  Predecessor edges follow
+    [prev_checksums]; edges whose target checksum is not present in
+    the list are recorded as {!dangling}. *)
+
+val nodes : t -> node array
+val size : t -> int
+
+val dangling : t -> (int * string) list
+(** (node index, missing predecessor checksum) pairs — evidence of
+    removed records. *)
+
+val roots : t -> int list
+(** Nodes with no predecessors (inserts / imports). *)
+
+val sinks : t -> int list
+(** Nodes with no successors (most recent records). *)
+
+val topological : t -> int list
+(** Predecessors before successors.  @raise Failure on a cycle (which
+    only a malformed/tampered provenance object can contain). *)
+
+val is_linear : t -> bool
+(** True when the DAG is a single chain — the Hasan et al. special
+    case. *)
+
+val records_of_participant : t -> string -> Record.t list
+
+val depth : t -> int
+(** Longest path length (1 for a single record). *)
+
+val to_dot : t -> string
+(** Graphviz rendering (records as nodes, labelled with participant,
+    kind, seq). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,557 @@
+open Tep_store
+open Tep_tree
+
+type mode = Basic | Economical
+
+type metrics = {
+  hash_s : float;
+  sign_s : float;
+  store_s : float;
+  records_emitted : int;
+  nodes_hashed : int;
+  checksum_bytes : int;
+}
+
+let zero_metrics =
+  {
+    hash_s = 0.;
+    sign_s = 0.;
+    store_s = 0.;
+    records_emitted = 0;
+    nodes_hashed = 0;
+    checksum_bytes = 0;
+  }
+
+let add_metrics a b =
+  {
+    hash_s = a.hash_s +. b.hash_s;
+    sign_s = a.sign_s +. b.sign_s;
+    store_s = a.store_s +. b.store_s;
+    records_emitted = a.records_emitted + b.records_emitted;
+    nodes_hashed = a.nodes_hashed + b.nodes_hashed;
+    checksum_bytes = a.checksum_bytes + b.checksum_bytes;
+  }
+
+(* Pre-state of an object captured before its first mutation in a
+   complex operation. *)
+type captured = {
+  before_hash : string option; (* None: object created in this batch *)
+  prev_record : Record.t option;
+  mutable direct : bool; (* directly modified (vs ancestor-inherited) *)
+  (* Filled at aggregate time for aggregate outputs: *)
+  mutable agg_inputs : (Oid.t * string * string) list option;
+      (* (input oid, input hash, prev checksum) *)
+}
+
+type batch = {
+  participant : Participant.t;
+  touched : captured Oid.Tbl.t;
+  mutable b_hash_s : float;
+}
+
+type t = {
+  db : Database.t;
+  forest : Forest.t;
+  view : Tree_view.mapping;
+  cache : Merkle.cache;
+  prov : Provstore.t;
+  dir : Participant.Directory.t;
+  wal : Wal.t option;
+  mutable mode : mode;
+  mutable batch : batch option;
+  mutable last : metrics;
+  mutable total : metrics;
+}
+
+let now () = Unix.gettimeofday ()
+
+let backend t = t.db
+let forest t = t.forest
+let provstore t = t.prov
+let directory t = t.dir
+let mapping t = t.view
+let root_oid t = Tree_view.root t.view
+let algo t = Merkle.algo t.cache
+let mode t = t.mode
+let set_mode t m = t.mode <- m
+let last_metrics t = t.last
+let total_metrics t = t.total
+
+let of_parts ?(algo = Tep_crypto.Digest_algo.SHA1) ?(mode = Economical) ?wal
+    ?provstore ~directory ~forest ~view db =
+  let cache = Merkle.create_cache algo forest in
+  (* Warm the cache so economical commits start incremental. *)
+  (match Merkle.hash cache (Tree_view.root view) with
+  | Ok _ -> ()
+  | Error e -> failwith ("Engine.create: " ^ e));
+  {
+    db;
+    forest;
+    view;
+    cache;
+    prov =
+      (match provstore with
+      | Some p -> p
+      | None -> Provstore.create ~algo ());
+    dir = directory;
+    wal;
+    mode;
+    batch = None;
+    last = zero_metrics;
+    total = zero_metrics;
+  }
+
+let create ?algo ?mode ?wal ?provstore ~directory db =
+  let forest = Forest.create () in
+  let view = Tree_view.build forest db in
+  of_parts ?algo ?mode ?wal ?provstore ~directory ~forest ~view db
+
+let root_hash t =
+  match Merkle.hash t.cache (root_oid t) with
+  | Ok h -> h
+  | Error e -> failwith ("Engine.root_hash: " ^ e)
+
+let wal_log t entry = match t.wal with None -> () | Some w -> Wal.append w entry
+
+(* ------------------------------------------------------------------ *)
+(* Batch capture                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let require_batch t op =
+  match t.batch with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Engine.%s: no active batch" op)
+
+(* Record the pre-state of [oid] (which must currently exist) and of
+   all its ancestors, if not captured yet in this batch. *)
+let capture_existing t b ~direct oid =
+  let capture_one ~direct oid =
+    match Oid.Tbl.find_opt b.touched oid with
+    | Some c -> if direct then c.direct <- true
+    | None ->
+        let t0 = now () in
+        let before_hash =
+          match Merkle.hash t.cache oid with
+          | Ok h -> Some h
+          | Error e -> failwith ("Engine.capture: " ^ e)
+        in
+        b.b_hash_s <- b.b_hash_s +. (now () -. t0);
+        let prev_record = Provstore.latest t.prov oid in
+        Oid.Tbl.replace b.touched oid
+          { before_hash; prev_record; direct; agg_inputs = None }
+  in
+  capture_one ~direct oid;
+  List.iter (capture_one ~direct:false) (Forest.ancestors t.forest oid)
+
+(* Record a brand-new object (no pre-state).  The parent path must
+   have been captured with [capture_existing] BEFORE the insertion
+   mutated the tree. *)
+let mark_created b oid =
+  Oid.Tbl.replace b.touched oid
+    { before_hash = None; prev_record = None; direct = true; agg_inputs = None }
+
+(* ------------------------------------------------------------------ *)
+(* Commit: emit one record per surviving touched object                *)
+(* ------------------------------------------------------------------ *)
+
+let object_depth t oid = List.length (Forest.ancestors t.forest oid)
+
+let commit t (b : batch) : metrics =
+  if t.mode = Basic then Merkle.clear t.cache;
+  Merkle.reset_stats t.cache;
+  let hash_s = ref b.b_hash_s and sign_s = ref 0. and store_s = ref 0. in
+  let records = ref 0 in
+  (* Deepest objects first: their hashes warm the cache for ancestors,
+     and their records read naturally (actual before inherited). *)
+  let survivors =
+    Oid.Tbl.fold
+      (fun oid c acc ->
+        if Forest.mem t.forest oid then (oid, c) :: acc else acc)
+      b.touched []
+    |> List.sort (fun (a, _) (bo, _) ->
+           let d = Stdlib.compare (object_depth t bo) (object_depth t a) in
+           if d <> 0 then d else Oid.compare a bo)
+  in
+  List.iter
+    (fun (oid, c) ->
+      let t0 = now () in
+      let output_hash =
+        match Merkle.hash t.cache oid with
+        | Ok h -> h
+        | Error e -> failwith ("Engine.commit: " ^ e)
+      in
+      hash_s := !hash_s +. (now () -. t0);
+      let kind, seq_id, input_oids, input_hashes, prev_checksums =
+        match c.agg_inputs with
+        | Some inputs ->
+            let oids = List.map (fun (o, _, _) -> o) inputs in
+            let hashes = List.map (fun (_, h, _) -> h) inputs in
+            let prevs = List.map (fun (_, _, p) -> p) inputs in
+            let max_seq =
+              List.fold_left
+                (fun acc (o, _, _) ->
+                  match Provstore.latest t.prov o with
+                  | Some r -> max acc r.Record.seq_id
+                  | None -> acc)
+                (-1) inputs
+            in
+            (Record.Aggregate, max_seq + 1, oids, hashes, prevs)
+        | None -> (
+            match (c.before_hash, c.prev_record) with
+            | None, _ -> (Record.Insert, 0, [], [], [])
+            | Some h, Some prev ->
+                ( Record.Update,
+                  prev.Record.seq_id + 1,
+                  [ oid ],
+                  [ h ],
+                  [ prev.Record.checksum ] )
+            | Some h, None -> (Record.Import, 0, [ oid ], [ h ], []))
+      in
+      let payload =
+        Checksum.payload ~kind ~seq_id ~output_oid:oid ~input_hashes
+          ~output_hash ~prev_checksums
+      in
+      let t0 = now () in
+      let checksum = Checksum.sign b.participant payload in
+      sign_s := !sign_s +. (now () -. t0);
+      let output_value =
+        if Forest.is_leaf t.forest oid then
+          match Forest.value t.forest oid with Ok v -> Some v | Error _ -> None
+        else None
+      in
+      let record =
+        {
+          Record.seq_id;
+          participant = Participant.name b.participant;
+          kind;
+          inherited = not c.direct;
+          input_oids;
+          input_hashes;
+          output_oid = oid;
+          output_hash;
+          output_value;
+          prev_checksums;
+          checksum;
+        }
+      in
+      let t0 = now () in
+      Provstore.append t.prov record;
+      store_s := !store_s +. (now () -. t0);
+      incr records)
+    survivors;
+  {
+    hash_s = !hash_s;
+    sign_s = !sign_s;
+    store_s = !store_s;
+    records_emitted = !records;
+    nodes_hashed = (Merkle.stats t.cache).Merkle.nodes_hashed;
+    checksum_bytes = !records * Provstore.paper_row_bytes;
+  }
+
+let complex_op t participant body =
+  match t.batch with
+  | Some _ -> Error "Engine.complex_op: already inside a complex operation"
+  | None ->
+      let b =
+        { participant; touched = Oid.Tbl.create 64; b_hash_s = 0. }
+      in
+      t.batch <- Some b;
+      let result =
+        match body () with
+        | exception e ->
+            t.batch <- None;
+            raise e
+        | r -> r
+      in
+      (match result with
+      | Error e ->
+          t.batch <- None;
+          Error e
+      | Ok v ->
+          let m = commit t b in
+          t.batch <- None;
+          t.last <- m;
+          t.total <- add_metrics t.total m;
+          Ok (v, m))
+
+(* Run [f] inside the current batch, or as a singleton complex op. *)
+let in_batch t participant f =
+  match t.batch with
+  | Some b ->
+      if Participant.name b.participant <> Participant.name participant then
+        Error "Engine: complex operation participant mismatch"
+      else f b
+  | None -> (
+      match complex_op t participant (fun () -> f (require_batch t "in_batch")) with
+      | Ok (v, _) -> Ok v
+      | Error e -> Error e)
+
+(* ------------------------------------------------------------------ *)
+(* Primitive object operations                                         *)
+(* ------------------------------------------------------------------ *)
+
+let insert_object t p ?parent value =
+  in_batch t p (fun b ->
+      match parent with
+      | Some par when not (Forest.mem t.forest par) ->
+          Error (Printf.sprintf "parent %s not found" (Oid.to_string par))
+      | _ -> (
+          (* Capture the ancestor path before the tree changes. *)
+          Option.iter (capture_existing t b ~direct:false) parent;
+          match Forest.insert ?parent t.forest value with
+          | Error e -> Error e
+          | Ok oid ->
+              mark_created b oid;
+              Ok oid))
+
+let update_object t p oid value =
+  in_batch t p (fun b ->
+      if not (Forest.mem t.forest oid) then
+        Error (Printf.sprintf "no object %s" (Oid.to_string oid))
+      else begin
+        capture_existing t b ~direct:true oid;
+        match Forest.update t.forest oid value with
+        | Error e -> Error e
+        | Ok _prev ->
+            (* Keep the relational backend in sync for cell locations. *)
+            (match Tree_view.locate t.view oid with
+            | Some (Tree_view.Cell (tbl, row, col)) -> (
+                match Database.get_table t.db tbl with
+                | Some table ->
+                    (match Table.update_cell table row col value with
+                    | Ok _ -> wal_log t (Wal.Update_cell (tbl, row, col, value))
+                    | Error e -> failwith ("Engine.update_object: " ^ e))
+                | None -> ())
+            | _ -> ());
+            Ok ()
+      end)
+
+let delete_object t p oid =
+  in_batch t p (fun b ->
+      if not (Forest.mem t.forest oid) then
+        Error (Printf.sprintf "no object %s" (Oid.to_string oid))
+      else begin
+        capture_existing t b ~direct:true oid;
+        match Forest.delete t.forest oid with
+        | Error e -> Error e
+        | Ok _ ->
+            Tree_view.unregister t.view oid;
+            Ok ()
+      end)
+
+let delete_object_subtree t p oid =
+  in_batch t p (fun b ->
+      if not (Forest.mem t.forest oid) then
+        Error (Printf.sprintf "no object %s" (Oid.to_string oid))
+      else begin
+        capture_existing t b ~direct:true oid;
+        let removed = ref [] in
+        Forest.iter_preorder t.forest oid (fun o _ -> removed := o :: !removed);
+        match Forest.delete_subtree t.forest oid with
+        | Error e -> Error e
+        | Ok n ->
+            List.iter (Tree_view.unregister t.view) !removed;
+            Ok n
+      end)
+
+let aggregate_objects t p ?(value = Value.Text "aggregate") inputs =
+  in_batch t p (fun b ->
+      if inputs = [] then Error "aggregate: no inputs"
+      else begin
+        (* Capture input hashes and latest checksums; make sure every
+           input has a citable record (emitting Imports if needed). *)
+        let rec input_info acc = function
+          | [] -> Ok (List.rev acc)
+          | oid :: rest -> (
+              if not (Forest.mem t.forest oid) then
+                Error (Printf.sprintf "no object %s" (Oid.to_string oid))
+              else
+                let t0 = now () in
+                let h =
+                  match Merkle.hash t.cache oid with
+                  | Ok h -> h
+                  | Error e -> failwith e
+                in
+                b.b_hash_s <- b.b_hash_s +. (now () -. t0);
+                match Provstore.latest t.prov oid with
+                | Some r -> input_info ((oid, h, r.Record.checksum) :: acc) rest
+                | None ->
+                    (* Emit an Import record for the untracked input. *)
+                    let payload =
+                      Checksum.payload ~kind:Record.Import ~seq_id:0
+                        ~output_oid:oid ~input_hashes:[ h ] ~output_hash:h
+                        ~prev_checksums:[]
+                    in
+                    let checksum = Checksum.sign b.participant payload in
+                    Provstore.append t.prov
+                      {
+                        Record.seq_id = 0;
+                        participant = Participant.name b.participant;
+                        kind = Record.Import;
+                        inherited = false;
+                        input_oids = [ oid ];
+                        input_hashes = [ h ];
+                        output_oid = oid;
+                        output_hash = h;
+                        output_value = None;
+                        prev_checksums = [];
+                        checksum;
+                      };
+                    input_info ((oid, h, checksum) :: acc) rest)
+        in
+        match input_info [] inputs with
+        | Error e -> Error e
+        | Ok infos -> (
+            match Forest.aggregate t.forest value inputs with
+            | Error e -> Error e
+            | Ok (boid, _mapping) ->
+                Oid.Tbl.replace b.touched boid
+                  {
+                    before_hash = None;
+                    prev_record = None;
+                    direct = true;
+                    agg_inputs = Some infos;
+                  };
+                Ok boid)
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Relational operations                                               *)
+(* ------------------------------------------------------------------ *)
+
+let create_table t p ~name schema =
+  in_batch t p (fun b ->
+      match Database.create_table t.db ~name schema with
+      | Error e -> Error e
+      | Ok _ ->
+          wal_log t (Wal.Create_table (name, schema));
+          let root = root_oid t in
+          capture_existing t b ~direct:false root;
+          (match
+             Forest.insert ~parent:root t.forest (Tree_view.table_value name)
+           with
+          | Error e -> Error e
+          | Ok toid ->
+              Tree_view.register_table t.view name toid;
+              mark_created b toid;
+              Ok ()))
+
+let insert_row t p ~table cells =
+  in_batch t p (fun b ->
+      match Database.get_table t.db table with
+      | None -> Error (Printf.sprintf "no table %s" table)
+      | Some tbl -> (
+          match Tree_view.table_oid t.view table with
+          | None -> Error (Printf.sprintf "table %s has no tree node" table)
+          | Some toid -> (
+              match Table.insert tbl cells with
+              | Error e -> Error e
+              | Ok row_id ->
+                  wal_log t (Wal.Insert_row (table, row_id, cells));
+                  (* Capture table/root pre-state before growing the
+                     tree. *)
+                  capture_existing t b ~direct:false toid;
+                  (match
+                     Forest.insert ~parent:toid t.forest
+                       (Tree_view.row_value row_id)
+                   with
+                  | Error e -> failwith e
+                  | Ok roid ->
+                      Tree_view.register_row t.view table row_id roid;
+                      mark_created b roid;
+                      Array.iteri
+                        (fun col v ->
+                          match Forest.insert ~parent:roid t.forest v with
+                          | Error e -> failwith e
+                          | Ok coid ->
+                              Tree_view.register_cell t.view table row_id col
+                                coid;
+                              mark_created b coid)
+                        cells;
+                      Ok row_id))))
+
+let delete_row t p ~table row =
+  in_batch t p (fun b ->
+      match Database.get_table t.db table with
+      | None -> Error (Printf.sprintf "no table %s" table)
+      | Some tbl -> (
+          match Tree_view.row_oid t.view table row with
+          | None -> Error (Printf.sprintf "no row %d in %s" row table)
+          | Some roid ->
+              if not (Table.delete tbl row) then
+                Error (Printf.sprintf "no row %d in %s" row table)
+              else begin
+                wal_log t (Wal.Delete_row (table, row));
+                capture_existing t b ~direct:true roid;
+                let cells = Forest.children t.forest roid in
+                List.iter
+                  (fun coid ->
+                    match Forest.delete t.forest coid with
+                    | Ok _ -> Tree_view.unregister t.view coid
+                    | Error e -> failwith e)
+                  cells;
+                (match Forest.delete t.forest roid with
+                | Ok _ -> Tree_view.unregister t.view roid
+                | Error e -> failwith e);
+                Ok ()
+              end))
+
+let update_cell t p ~table ~row ~col value =
+  in_batch t p (fun b ->
+      match Database.get_table t.db table with
+      | None -> Error (Printf.sprintf "no table %s" table)
+      | Some tbl -> (
+          match Tree_view.cell_oid t.view table row col with
+          | None ->
+              Error
+                (Printf.sprintf "no cell (%s, row %d, col %d)" table row col)
+          | Some coid -> (
+              capture_existing t b ~direct:true coid;
+              match Table.update_cell tbl row col value with
+              | Error e -> Error e
+              | Ok _prev -> (
+                  wal_log t (Wal.Update_cell (table, row, col, value));
+                  match Forest.update t.forest coid value with
+                  | Ok _ -> Ok ()
+                  | Error e -> failwith e))))
+
+let update_cell_named t p ~table ~row ~column value =
+  match Database.get_table t.db table with
+  | None -> Error (Printf.sprintf "no table %s" table)
+  | Some tbl -> (
+      match Schema.column_index (Table.schema tbl) column with
+      | None -> Error (Printf.sprintf "no column %s in %s" column table)
+      | Some col -> update_cell t p ~table ~row ~col value)
+
+(* ------------------------------------------------------------------ *)
+(* Delivery / verification                                             *)
+(* ------------------------------------------------------------------ *)
+
+let deliver ?(deep = false) t oid =
+  match Forest.subtree t.forest oid with
+  | Error e -> Error e
+  | Ok snapshot ->
+      let records =
+        if not deep then Provstore.provenance_object t.prov oid
+        else begin
+          (* union of the provenance objects of the whole subtree *)
+          let seen = Hashtbl.create 256 in
+          let out = ref [] in
+          Forest.iter_preorder t.forest oid (fun o _ ->
+              List.iter
+                (fun (r : Record.t) ->
+                  if not (Hashtbl.mem seen r.Record.checksum) then begin
+                    Hashtbl.replace seen r.Record.checksum ();
+                    out := r :: !out
+                  end)
+                (Provstore.provenance_object t.prov o));
+          List.sort Record.compare_seq !out
+        end
+      in
+      Ok (snapshot, records)
+
+let verify_object t oid =
+  match deliver t oid with
+  | Error e -> Error e
+  | Ok (data, records) ->
+      Ok (Verifier.verify ~algo:(algo t) ~directory:t.dir ~data records)

@@ -1,0 +1,97 @@
+open Tep_tree
+
+let history = Provstore.records_for
+
+let value_history store oid =
+  List.filter_map
+    (fun (r : Record.t) ->
+      Option.map
+        (fun v -> (r.Record.seq_id, r.Record.participant, v))
+        r.Record.output_value)
+    (history store oid)
+
+let last_writer store oid =
+  Option.map
+    (fun (r : Record.t) -> r.Record.participant)
+    (Provstore.latest store oid)
+
+let writers store oid =
+  List.fold_left
+    (fun acc (r : Record.t) ->
+      if List.mem r.Record.participant acc then acc
+      else acc @ [ r.Record.participant ])
+    [] (history store oid)
+
+let contributors store oid =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Record.t) ->
+      let c =
+        Option.value (Hashtbl.find_opt counts r.Record.participant) ~default:0
+      in
+      Hashtbl.replace counts r.Record.participant (c + 1))
+    (Provstore.provenance_object store oid);
+  Hashtbl.fold (fun p c acc -> (p, c) :: acc) counts []
+  |> List.sort (fun (pa, ca) (pb, cb) ->
+         let c = compare cb ca in
+         if c <> 0 then c else compare pa pb)
+
+let derived_from store oid =
+  let closure = Provstore.provenance_object store oid in
+  List.filter_map
+    (fun (r : Record.t) ->
+      if Oid.equal r.Record.output_oid oid then None else Some r.Record.output_oid)
+    closure
+  |> List.sort_uniq Oid.compare
+
+let derivatives store oid =
+  (* forward edges: scan every record's aggregation inputs *)
+  let direct =
+    List.filter_map
+      (fun (r : Record.t) ->
+        if
+          r.Record.kind = Record.Aggregate
+          && List.exists (Oid.equal oid) r.Record.input_oids
+        then Some r.Record.output_oid
+        else None)
+      (Provstore.all store)
+    |> List.sort_uniq Oid.compare
+  in
+  (* transitive closure *)
+  let seen = Oid.Tbl.create 16 in
+  let rec go frontier =
+    match frontier with
+    | [] -> ()
+    | o :: rest ->
+        if Oid.Tbl.mem seen o then go rest
+        else begin
+          Oid.Tbl.replace seen o ();
+          let next =
+            List.filter_map
+              (fun (r : Record.t) ->
+                if
+                  r.Record.kind = Record.Aggregate
+                  && List.exists (Oid.equal o) r.Record.input_oids
+                then Some r.Record.output_oid
+                else None)
+              (Provstore.all store)
+          in
+          go (next @ rest)
+        end
+  in
+  go direct;
+  Oid.Tbl.fold (fun o () acc -> o :: acc) seen [] |> List.sort Oid.compare
+
+let touched_by store participant =
+  List.filter
+    (fun oid ->
+      List.exists
+        (fun (r : Record.t) -> r.Record.participant = participant)
+        (history store oid))
+    (Provstore.objects store)
+
+let record_at store oid seq =
+  List.find_opt (fun (r : Record.t) -> r.Record.seq_id = seq) (history store oid)
+
+let state_hash_at store oid seq =
+  Option.map (fun (r : Record.t) -> r.Record.output_hash) (record_at store oid seq)

@@ -1,0 +1,171 @@
+open Tep_store
+open Tep_tree
+
+type t = {
+  algo : Tep_crypto.Digest_algo.algo;
+  by_object : Record.t list ref Oid.Tbl.t; (* newest first *)
+  by_checksum : (string, Record.t) Hashtbl.t;
+  mutable arrival : Record.t list; (* newest first *)
+  mutable count : int;
+  relation : Table.t;
+  participant_ids : (string, int) Hashtbl.t;
+}
+
+let relation_schema =
+  Schema.make
+    [
+      { Schema.name = "SeqID"; ty = Value.TInt; nullable = false };
+      { Schema.name = "Participant"; ty = Value.TInt; nullable = false };
+      { Schema.name = "Oid"; ty = Value.TInt; nullable = false };
+      { Schema.name = "Checksum"; ty = Value.TBlob; nullable = false };
+    ]
+
+let create ?(algo = Tep_crypto.Digest_algo.SHA1) () =
+  {
+    algo;
+    by_object = Oid.Tbl.create 1024;
+    by_checksum = Hashtbl.create 1024;
+    arrival = [];
+    count = 0;
+    relation = Table.create ~name:"provenance" relation_schema;
+    participant_ids = Hashtbl.create 16;
+  }
+
+let algo t = t.algo
+
+let participant_id t name =
+  match Hashtbl.find_opt t.participant_ids name with
+  | Some i -> i
+  | None ->
+      let i = Hashtbl.length t.participant_ids in
+      Hashtbl.replace t.participant_ids name i;
+      i
+
+let append t (r : Record.t) =
+  let chain =
+    match Oid.Tbl.find_opt t.by_object r.Record.output_oid with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Oid.Tbl.replace t.by_object r.Record.output_oid c;
+        c
+  in
+  (match !chain with
+  | prev :: _ when prev.Record.seq_id >= r.Record.seq_id ->
+      invalid_arg
+        (Printf.sprintf
+           "Provstore.append: seq %d for %s not greater than existing %d"
+           r.Record.seq_id
+           (Oid.to_string r.Record.output_oid)
+           prev.Record.seq_id)
+  | _ -> ());
+  chain := r :: !chain;
+  Hashtbl.replace t.by_checksum r.Record.checksum r;
+  t.arrival <- r :: t.arrival;
+  t.count <- t.count + 1;
+  ignore
+    (Table.insert t.relation
+       [|
+         Value.Int r.Record.seq_id;
+         Value.Int (participant_id t r.Record.participant);
+         Value.Int (Oid.to_int r.Record.output_oid);
+         Value.Blob r.Record.checksum;
+       |])
+
+let latest t oid =
+  match Oid.Tbl.find_opt t.by_object oid with
+  | Some { contents = r :: _ } -> Some r
+  | _ -> None
+
+let records_for t oid =
+  match Oid.Tbl.find_opt t.by_object oid with
+  | Some c -> List.rev !c
+  | None -> []
+
+let find_by_checksum t c = Hashtbl.find_opt t.by_checksum c
+
+let provenance_object t oid =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let rec visit (r : Record.t) =
+    if not (Hashtbl.mem seen r.Record.checksum) then begin
+      Hashtbl.replace seen r.Record.checksum ();
+      out := r :: !out;
+      List.iter
+        (fun c ->
+          match find_by_checksum t c with
+          | Some pred -> visit pred
+          | None -> () (* dangling edge: the verifier will flag it *))
+        r.Record.prev_checksums
+    end
+  in
+  List.iter visit (records_for t oid);
+  List.sort Record.compare_seq !out
+
+let all t = List.rev t.arrival
+
+let record_count t = t.count
+
+let object_count t = Oid.Tbl.length t.by_object
+
+let objects t =
+  Oid.Tbl.fold (fun oid _ acc -> oid :: acc) t.by_object []
+  |> List.sort Oid.compare
+
+let relation t = t.relation
+
+let space_bytes t =
+  let buf = Buffer.create 4096 in
+  Table.encode buf t.relation;
+  Buffer.length buf
+
+let paper_row_bytes = 4 + 4 + 4 + 128
+
+let paper_space_bytes t = t.count * paper_row_bytes
+
+let prune t ~live =
+  let keep = Hashtbl.create 1024 in
+  List.iter
+    (fun oid ->
+      List.iter
+        (fun (r : Record.t) -> Hashtbl.replace keep r.Record.checksum ())
+        (provenance_object t oid))
+    live;
+  let t' = create ~algo:t.algo () in
+  (* arrival order preserves per-object seq monotonicity *)
+  List.iter
+    (fun (r : Record.t) ->
+      if Hashtbl.mem keep r.Record.checksum then append t' r)
+    (all t);
+  t'
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "TEPPROV1";
+  Buffer.add_string buf (Tep_crypto.Digest_algo.name t.algo);
+  Buffer.add_char buf '\n';
+  Value.add_varint buf t.count;
+  List.iter (fun r -> Record.encode buf r) (all t);
+  Buffer.contents buf
+
+let of_string s =
+  try
+    if String.length s < 8 || String.sub s 0 8 <> "TEPPROV1" then
+      Error "provstore: bad magic"
+    else begin
+      let nl = String.index_from s 8 '\n' in
+      let algo_name = String.sub s 8 (nl - 8) in
+      match Tep_crypto.Digest_algo.of_name algo_name with
+      | None -> Error ("provstore: unknown algo " ^ algo_name)
+      | Some algo ->
+          let count, off = Value.read_varint s (nl + 1) in
+          let t = create ~algo () in
+          let off = ref off in
+          for _ = 1 to count do
+            let r, o = Record.decode s !off in
+            off := o;
+            append t r
+          done;
+          Ok t
+    end
+  with Failure e | Invalid_argument e -> Error ("provstore: " ^ e)

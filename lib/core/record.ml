@@ -1,0 +1,144 @@
+open Tep_store
+open Tep_tree
+
+type kind = Insert | Import | Update | Aggregate
+
+type t = {
+  seq_id : int;
+  participant : string;
+  kind : kind;
+  inherited : bool;
+  input_oids : Oid.t list;
+  input_hashes : string list;
+  output_oid : Oid.t;
+  output_hash : string;
+  output_value : Value.t option;
+  prev_checksums : string list;
+  checksum : string;
+}
+
+let kind_name = function
+  | Insert -> "insert"
+  | Import -> "import"
+  | Update -> "update"
+  | Aggregate -> "aggregate"
+
+let compare_seq a b =
+  let c = Stdlib.compare a.seq_id b.seq_id in
+  if c <> 0 then c else Oid.compare a.output_oid b.output_oid
+
+let kind_tag = function Insert -> 0 | Import -> 1 | Update -> 2 | Aggregate -> 3
+
+let kind_of_tag = function
+  | 0 -> Insert
+  | 1 -> Import
+  | 2 -> Update
+  | 3 -> Aggregate
+  | n -> failwith (Printf.sprintf "Record.decode: bad kind %d" n)
+
+let encode buf t =
+  Buffer.add_char buf 'R';
+  Value.add_varint buf t.seq_id;
+  Value.add_string buf t.participant;
+  Buffer.add_char buf (Char.chr (kind_tag t.kind));
+  Buffer.add_char buf (if t.inherited then '\x01' else '\x00');
+  Value.add_varint buf (List.length t.input_oids);
+  List.iter (fun o -> Value.add_varint buf (Oid.to_int o)) t.input_oids;
+  Value.add_varint buf (List.length t.input_hashes);
+  List.iter (Value.add_string buf) t.input_hashes;
+  Value.add_varint buf (Oid.to_int t.output_oid);
+  Value.add_string buf t.output_hash;
+  (match t.output_value with
+  | None -> Buffer.add_char buf '\x00'
+  | Some v ->
+      Buffer.add_char buf '\x01';
+      Value.encode buf v);
+  Value.add_varint buf (List.length t.prev_checksums);
+  List.iter (Value.add_string buf) t.prev_checksums;
+  Value.add_string buf t.checksum
+
+let decode s off =
+  if off >= String.length s || s.[off] <> 'R' then
+    failwith "Record.decode: bad magic";
+  let seq_id, off = Value.read_varint s (off + 1) in
+  let participant, off = Value.read_string s off in
+  if off + 2 > String.length s then failwith "Record.decode: truncated";
+  let kind = kind_of_tag (Char.code s.[off]) in
+  let inherited = s.[off + 1] = '\x01' in
+  let off = off + 2 in
+  let n_oids, off = Value.read_varint s off in
+  let off = ref off in
+  let input_oids =
+    List.init n_oids (fun _ ->
+        let o, o' = Value.read_varint s !off in
+        off := o';
+        Oid.of_int o)
+  in
+  let n_hashes, o = Value.read_varint s !off in
+  off := o;
+  let input_hashes =
+    List.init n_hashes (fun _ ->
+        let h, o = Value.read_string s !off in
+        off := o;
+        h)
+  in
+  let output_oid, o = Value.read_varint s !off in
+  let output_hash, o = Value.read_string s o in
+  off := o;
+  let output_value =
+    if !off >= String.length s then failwith "Record.decode: truncated"
+    else if s.[!off] = '\x00' then begin
+      incr off;
+      None
+    end
+    else begin
+      let v, o = Value.decode s (!off + 1) in
+      off := o;
+      Some v
+    end
+  in
+  let n_prev, o = Value.read_varint s !off in
+  off := o;
+  let prev_checksums =
+    List.init n_prev (fun _ ->
+        let c, o = Value.read_string s !off in
+        off := o;
+        c)
+  in
+  let checksum, o = Value.read_string s !off in
+  ( {
+      seq_id;
+      participant;
+      kind;
+      inherited;
+      input_oids;
+      input_hashes;
+      output_oid = Oid.of_int output_oid;
+      output_hash;
+      output_value;
+      prev_checksums;
+      checksum;
+    },
+    o )
+
+let encoded t =
+  let buf = Buffer.create 256 in
+  encode buf t;
+  Buffer.contents buf
+
+let checksum_hex t =
+  let hex = Tep_crypto.Digest_algo.to_hex t.checksum in
+  if String.length hex > 12 then String.sub hex 0 12 else hex
+
+let pp fmt t =
+  Format.fprintf fmt "[seq %d] %s %s%s %a -> %a%s (C=%s)" t.seq_id t.participant
+    (kind_name t.kind)
+    (if t.inherited then " (inherited)" else "")
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ",")
+       Oid.pp)
+    t.input_oids Oid.pp t.output_oid
+    (match t.output_value with
+    | Some v -> Printf.sprintf " = %s" (Value.to_string v)
+    | None -> "")
+    (checksum_hex t)

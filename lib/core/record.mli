@@ -1,0 +1,60 @@
+(** Provenance records (Section 2.1, extended in Section 4.2).
+
+    A record documents one operation:
+    [(seqID, p, {subtree(A_1)...subtree(A_n)}, subtree(A))] plus the
+    integrity checksum of Section 3/4.3.
+
+    Records store the {e hashes} of the input and output compound
+    objects (that is what the checksum signs, and what the paper's
+    provenance database persists: ⟨SeqID, Participant, Oid,
+    Checksum⟩).  Small atomic values may additionally be embedded
+    ([output_value]) so worked examples can render Figure-3-style
+    tables; the engine leaves them out on large compound objects. *)
+
+open Tep_tree
+
+type kind =
+  | Insert  (** new object; no input, no previous checksum *)
+  | Import
+      (** first record of an object that pre-existed provenance
+          tracking; like [Insert] but with the pre-state hash bound in *)
+  | Update  (** value change, or structural change under a compound *)
+  | Aggregate  (** combine n input objects into a new output object *)
+
+type t = {
+  seq_id : int;
+  participant : string;
+  kind : kind;
+  inherited : bool;
+      (** true when this record was propagated to an ancestor of the
+          directly-modified object (Section 4.2) *)
+  input_oids : Oid.t list;
+      (** which objects were read: [[output_oid]] for updates, the
+          aggregated objects for aggregates, empty for inserts *)
+  input_hashes : string list;
+      (** [h(subtree(A_i))] for each input, aligned with
+          [input_oids] *)
+  output_oid : Oid.t;
+  output_hash : string;  (** [h(subtree(A))] after the operation *)
+  output_value : Tep_store.Value.t option;
+      (** embedded value for atomic demos; [None] for big compounds *)
+  prev_checksums : string list;
+      (** checksums of the immediate predecessor records, one per
+          input ([C_{i-1}] for updates, [C_1..C_n] for aggregates;
+          empty for [Insert]/[Import]) — these are the DAG edges *)
+  checksum : string;  (** the participant's signature (Section 3) *)
+}
+
+val compare_seq : t -> t -> int
+(** Order records by [seq_id] (the partial order of Definition 1),
+    breaking ties by output oid. *)
+
+val encode : Buffer.t -> t -> unit
+val decode : string -> int -> t * int
+val encoded : t -> string
+
+val checksum_hex : t -> string
+(** First 12 hex chars of the checksum, for display. *)
+
+val pp : Format.formatter -> t -> unit
+val kind_name : kind -> string

@@ -1,0 +1,143 @@
+open Tep_store
+open Tep_tree
+open Tep_crypto
+
+type t = {
+  algo : Digest_algo.algo;
+  proof : Proof.t;
+  root_records : Record.t list;
+  certificates : Pki.certificate list;
+  ca_key : Rsa.public_key;
+}
+
+(* The Merkle cache is internal to the engine; rebuild a scratch one
+   bound to the same forest for proof construction. *)
+let create engine oid =
+  let forest = Engine.forest engine in
+  let cache = Merkle.create_cache (Engine.algo engine) forest in
+  match Proof.prove cache forest oid with
+  | Error e -> Error e
+  | Ok proof -> (
+      let root = Proof.root_oid proof in
+      match Provstore.provenance_object (Engine.provstore engine) root with
+      | [] ->
+          Error
+            (Printf.sprintf "root %s has no provenance to bind the hash"
+             (Oid.to_string root))
+      | root_records ->
+          let directory = Engine.directory engine in
+          let names =
+            List.sort_uniq compare
+              (List.map (fun r -> r.Record.participant) root_records)
+          in
+          let certificates =
+            List.filter_map (Participant.Directory.lookup directory) names
+          in
+          Ok
+            {
+              algo = Engine.algo engine;
+              proof;
+              root_records;
+              certificates;
+              ca_key = Participant.Directory.ca_key directory;
+            })
+
+let leaf_value t = t.proof.Proof.leaf_value
+let leaf_oid t = t.proof.Proof.leaf_oid
+
+let verify ?trusted_ca t =
+  let ca_key = Option.value trusted_ca ~default:t.ca_key in
+  let directory = Participant.Directory.create ~ca_key in
+  List.iter
+    (fun cert ->
+      ignore (Participant.Directory.register_certificate directory cert))
+    t.certificates;
+  let report =
+    Verifier.verify_records ~algo:t.algo ~directory t.root_records
+  in
+  if not (Verifier.ok report) then Ok report
+  else begin
+    let root = Proof.root_oid t.proof in
+    let latest =
+      List.fold_left
+        (fun acc (r : Record.t) ->
+          if not (Oid.equal r.Record.output_oid root) then acc
+          else
+            match acc with
+            | Some (b : Record.t) when b.Record.seq_id >= r.Record.seq_id -> acc
+            | _ -> Some r)
+        None t.root_records
+    in
+    match latest with
+    | None ->
+        Error
+          (Printf.sprintf "no record for proof root %s" (Oid.to_string root))
+    | Some r -> (
+        match Proof.verify t.algo ~root_hash:r.Record.output_hash t.proof with
+        | Ok () -> Ok report
+        | Error e -> Error e)
+  end
+
+let size_bytes t = Proof.size_bytes t.proof
+
+let magic = "TEPSLCE1"
+
+let to_string t =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf magic;
+  Value.add_string buf (Digest_algo.name t.algo);
+  Proof.encode buf t.proof;
+  Value.add_varint buf (List.length t.root_records);
+  List.iter (Record.encode buf) t.root_records;
+  Value.add_varint buf (List.length t.certificates);
+  List.iter
+    (fun c -> Value.add_string buf (Pki.certificate_to_string c))
+    t.certificates;
+  Value.add_string buf (Rsa.public_to_string t.ca_key);
+  let body = Buffer.contents buf in
+  body ^ Sha256.digest body
+
+let of_string s =
+  try
+    let dlen = Sha256.digest_size in
+    if String.length s < 8 + dlen then Error "slice: too short"
+    else begin
+      let body = String.sub s 0 (String.length s - dlen) in
+      let trailer = String.sub s (String.length s - dlen) dlen in
+      if not (String.equal (Sha256.digest body) trailer) then
+        Error "slice: integrity trailer mismatch"
+      else if String.sub body 0 8 <> magic then Error "slice: bad magic"
+      else begin
+        let algo_name, off = Value.read_string body 8 in
+        match Digest_algo.of_name algo_name with
+        | None -> Error ("slice: unknown algo " ^ algo_name)
+        | Some algo ->
+            let proof, off = Proof.decode body off in
+            let n, off = Value.read_varint body off in
+            let off = ref off in
+            let root_records =
+              List.init n (fun _ ->
+                  let r, o = Record.decode body !off in
+                  off := o;
+                  r)
+            in
+            let nc, o = Value.read_varint body !off in
+            off := o;
+            let certificates =
+              List.init nc (fun _ ->
+                  let cs, o = Value.read_string body !off in
+                  off := o;
+                  match Pki.certificate_of_string cs with
+                  | Some c -> c
+                  | None -> failwith "bad certificate")
+            in
+            let ca_s, o = Value.read_string body !off in
+            off := o;
+            (match Rsa.public_of_string ca_s with
+            | None -> Error "slice: bad CA key"
+            | Some ca_key ->
+                if !off <> String.length body then Error "slice: trailing garbage"
+                else Ok { algo; proof; root_records; certificates; ca_key })
+      end
+    end
+  with Failure e | Invalid_argument e -> Error ("slice: " ^ e)

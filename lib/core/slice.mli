@@ -1,0 +1,40 @@
+(** Slice delivery: one atomic object out of a large compound object,
+    with a Merkle membership proof instead of the full subtree.
+
+    A {!Bundle} of a whole table ships every row; a slice ships a
+    single cell, the O(depth × fanout) proof path to the table/root,
+    and the root object's signed provenance chain that binds the root
+    hash.  The recipient gets the same guarantee — this cell value is
+    exactly what the provenance-verified database state contains —
+    at a fraction of the bytes. *)
+
+open Tep_store
+open Tep_tree
+
+type t = {
+  algo : Tep_crypto.Digest_algo.algo;
+  proof : Proof.t;
+  root_records : Record.t list;
+      (** provenance object of the proof's root (binds the root hash) *)
+  certificates : Tep_crypto.Pki.certificate list;
+  ca_key : Tep_crypto.Rsa.public_key;
+}
+
+val create : Engine.t -> Oid.t -> (t, string) result
+(** Slice out one atomic object (a cell, typically).
+    @return [Error] if the object is compound or untracked. *)
+
+val leaf_value : t -> Value.t
+val leaf_oid : t -> Oid.t
+
+val verify :
+  ?trusted_ca:Tep_crypto.Rsa.public_key -> t -> (Verifier.report, string) result
+(** (1) verify the root's provenance records and signatures, (2) check
+    the proof chains the leaf to the latest record's output hash.
+    [Error] carries proof-level failures; a returned report carries
+    record-level violations. *)
+
+val size_bytes : t -> int
+
+val to_string : t -> string
+val of_string : string -> (t, string) result

@@ -1,0 +1,126 @@
+open Tep_store
+open Tep_tree
+
+let flip_first_byte s =
+  if s = "" then "\x01"
+  else
+    String.mapi
+      (fun i c -> if i = 0 then Char.chr (Char.code c lxor 0x01) else c)
+      s
+
+let at_idx idx f records =
+  List.mapi (fun i r -> if i = idx then f r else r) records
+
+let modify_output_hash ~idx records =
+  at_idx idx
+    (fun (r : Record.t) ->
+      { r with Record.output_hash = flip_first_byte r.Record.output_hash })
+    records
+
+let modify_embedded_value ~idx v records =
+  at_idx idx (fun r -> { r with Record.output_value = Some v }) records
+
+let reattribute ~idx ~to_ records =
+  at_idx idx (fun r -> { r with Record.participant = to_ }) records
+
+let sign_record attacker (r : Record.t) =
+  let payload =
+    Checksum.payload ~kind:r.Record.kind ~seq_id:r.Record.seq_id
+      ~output_oid:r.Record.output_oid ~input_hashes:r.Record.input_hashes
+      ~output_hash:r.Record.output_hash
+      ~prev_checksums:r.Record.prev_checksums
+  in
+  {
+    r with
+    Record.participant = Participant.name attacker;
+    checksum = Checksum.sign attacker payload;
+  }
+
+let resign_as ~idx ~attacker records =
+  at_idx idx
+    (fun (r : Record.t) ->
+      sign_record attacker
+        { r with Record.output_hash = flip_first_byte r.Record.output_hash })
+    records
+
+let remove ~idx records = List.filteri (fun i _ -> i <> idx) records
+
+let insert_forged ~after ~attacker records =
+  match List.nth_opt records after with
+  | None -> Error "insert_forged: index out of range"
+  | Some (anchor : Record.t) ->
+      let forged_hash =
+        Tep_crypto.Digest_algo.digest Tep_crypto.Digest_algo.SHA256 "forged"
+      in
+      let forged =
+        sign_record attacker
+          {
+            Record.seq_id = anchor.Record.seq_id + 1;
+            participant = Participant.name attacker;
+            kind = Record.Update;
+            inherited = false;
+            input_oids = [ anchor.Record.output_oid ];
+            input_hashes = [ anchor.Record.output_hash ];
+            output_oid = anchor.Record.output_oid;
+            output_hash = forged_hash;
+            output_value = None;
+            prev_checksums = [ anchor.Record.checksum ];
+            checksum = "";
+          }
+      in
+      (* Splice right after the anchor, leaving later records as they
+         were (the attacker cannot re-sign other participants'
+         successors). *)
+      let before, after_l =
+        List.filteri (fun i _ -> i <= after) records,
+        List.filteri (fun i _ -> i > after) records
+      in
+      Ok (before @ (forged :: after_l))
+
+let rec perturb_first_leaf (t : Subtree.t) =
+  match t.Subtree.children with
+  | [] ->
+      let v =
+        match t.Subtree.value with
+        | Value.Int i -> Value.Int (i + 1)
+        | Value.Text s -> Value.Text (s ^ "!")
+        | Value.Float f -> Value.Float (f +. 1.)
+        | Value.Bool b -> Value.Bool (not b)
+        | Value.Blob s -> Value.Blob (flip_first_byte s)
+        | Value.Null -> Value.Int 0
+      in
+      { t with Subtree.value = v }
+  | c :: rest -> { t with Subtree.children = perturb_first_leaf c :: rest }
+
+let tamper_data_value = perturb_first_leaf
+let reassign_provenance = perturb_first_leaf
+
+let collude_remove_span ~first ~last ~resign records =
+  if first >= last then Error "collude_remove_span: first must precede last"
+  else
+    match (List.nth_opt records first, List.nth_opt records last) with
+    | Some (a : Record.t), Some (b : Record.t) -> (
+        if not (Oid.equal a.Record.output_oid b.Record.output_oid) then
+          Error "collude_remove_span: records belong to different objects"
+        else
+          match resign b.Record.participant with
+          | None ->
+              Error
+                (Printf.sprintf "collude_remove_span: no key for %s"
+                   b.Record.participant)
+          | Some colluder ->
+              (* Bridge b directly onto a and re-sign. *)
+              let bridged =
+                sign_record colluder
+                  {
+                    b with
+                    Record.seq_id = a.Record.seq_id + 1;
+                    input_hashes = [ a.Record.output_hash ];
+                    prev_checksums = [ a.Record.checksum ];
+                  }
+              in
+              Ok
+                (List.filteri (fun i _ -> i <= first || i >= last) records
+                |> List.map (fun (r : Record.t) ->
+                       if r == b then bridged else r)))
+    | _ -> Error "collude_remove_span: index out of range"

@@ -1,0 +1,61 @@
+(** Attack injection (the threat model of Section 2.2).
+
+    Each function simulates one of the attacks R1–R7 by manipulating a
+    delivered provenance object (a record list) and/or the delivered
+    data, exactly as an insider attacker could.  They are used by the
+    test suite and the security examples to demonstrate that
+    {!Verifier.verify} detects every attack the paper guarantees
+    detection for.
+
+    Attackers that hold real keys (insiders) are modelled by passing
+    their {!Participant.t}, which lets the attack re-sign the records
+    it forges — the strongest version of each attack. *)
+
+open Tep_store
+open Tep_tree
+
+val modify_output_hash : idx:int -> Record.t list -> Record.t list
+(** R1: flip a bit of record [idx]'s output hash, leaving the stored
+    checksum untouched. *)
+
+val modify_embedded_value : idx:int -> Value.t -> Record.t list -> Record.t list
+(** R1: overwrite the embedded output value of record [idx]. *)
+
+val reattribute : idx:int -> to_:string -> Record.t list -> Record.t list
+(** R1/R8: claim record [idx] was made by participant [to_]. *)
+
+val resign_as : idx:int -> attacker:Participant.t -> Record.t list -> Record.t list
+(** R1 (insider): the attacker tampers with record [idx]'s output hash
+    {e and} re-signs it with their own key under their own name.
+    Detected through the broken linkage with the successor record. *)
+
+val remove : idx:int -> Record.t list -> Record.t list
+(** R2: drop record [idx] from the provenance object. *)
+
+val insert_forged :
+  after:int -> attacker:Participant.t -> Record.t list -> (Record.t list, string) result
+(** R3: fabricate an extra update record (correctly signed by the
+    insider attacker) claiming an operation that never happened, and
+    splice it after record [after] of that object's chain. *)
+
+val reassign_provenance : Subtree.t -> Subtree.t
+(** R5 helper: returns a different data object (same shape, one value
+    perturbed) to pair with an unmodified provenance object. *)
+
+val tamper_data_value : Subtree.t -> Subtree.t
+(** R4 helper: perturb one leaf value of the delivered object without
+    touching provenance. *)
+
+val collude_remove_span :
+  first:int ->
+  last:int ->
+  resign:(string -> Participant.t option) ->
+  Record.t list ->
+  (Record.t list, string) result
+(** R6/R7: colluders owning records [first] and [last] (of the same
+    object chain) delete every record strictly between them and
+    re-sign record [last] so it chains directly to [first].  [resign]
+    must return the colluders' credentials by name.  Detected whenever
+    a non-colluding record (or the delivered object) follows the
+    span — the boundary the paper states ("any provenance record that
+    has an immediate successor"). *)

@@ -1,0 +1,29 @@
+(** HMAC-DRBG (NIST SP 800-90A style) deterministic random bit
+    generator.
+
+    All randomness in this repository flows through a DRBG so that key
+    generation, workload generation and experiments are reproducible
+    from a seed.  Seed from [/dev/urandom] via {!create_system} when
+    real entropy is wanted. *)
+
+type t
+
+val create : seed:string -> t
+(** Instantiate from arbitrary seed material. *)
+
+val create_system : unit -> t
+(** Seed from [/dev/urandom] (falls back to PID/time mixing if the
+    device is unavailable). *)
+
+val reseed : t -> string -> unit
+(** Mix additional entropy into the state. *)
+
+val generate : t -> int -> string
+(** [generate t n] returns [n] pseudo-random bytes. *)
+
+val byte_source : t -> Tep_bignum.Prime.byte_source
+(** Adapter for the bignum layer. *)
+
+val uniform_int : t -> int -> int
+(** [uniform_int t bound] draws uniformly from [[0, bound)] without
+    modulo bias. @raise Invalid_argument if [bound <= 0]. *)

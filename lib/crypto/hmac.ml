@@ -1,0 +1,28 @@
+let block_size (_ : Digest_algo.algo) = 64
+(* MD5, SHA-1 and SHA-256 all use 64-byte blocks. *)
+
+let mac ~algo ~key msg =
+  let bs = block_size algo in
+  let key =
+    if String.length key > bs then Digest_algo.digest algo key else key
+  in
+  let key_block =
+    key ^ String.make (bs - String.length key) '\000'
+  in
+  let xor_with byte =
+    String.map (fun c -> Char.chr (Char.code c lxor byte)) key_block
+  in
+  let inner = Digest_algo.digest algo (xor_with 0x36 ^ msg) in
+  Digest_algo.digest algo (xor_with 0x5c ^ inner)
+
+let hex ~algo ~key msg = Digest_algo.to_hex (mac ~algo ~key msg)
+
+let equal_constant_time a b =
+  if String.length a <> String.length b then false
+  else begin
+    let diff = ref 0 in
+    String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code b.[i])) a;
+    !diff = 0
+  end
+
+let verify ~algo ~key ~msg ~tag = equal_constant_time (mac ~algo ~key msg) tag

@@ -1,0 +1,13 @@
+(** HMAC (RFC 2104) over any {!Digest_algo.algo}.  Used by
+    {!Drbg} and available for keyed provenance-store MACs. *)
+
+val mac : algo:Digest_algo.algo -> key:string -> string -> string
+(** [mac ~algo ~key msg] is the HMAC tag (same width as the digest). *)
+
+val hex : algo:Digest_algo.algo -> key:string -> string -> string
+
+val verify : algo:Digest_algo.algo -> key:string -> msg:string -> tag:string -> bool
+(** Constant-time tag comparison. *)
+
+val equal_constant_time : string -> string -> bool
+(** Timing-safe string equality (length leak only). *)

@@ -1,0 +1,15 @@
+(** MD5 (RFC 1321), 16-byte digests.  Included because the paper lists
+    MD5 as an alternative hash; retained for compatibility use only —
+    prefer {!Sha256} for new deployments. *)
+
+type ctx
+
+val digest_size : int
+(** 16 bytes. *)
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val update_sub : ctx -> string -> int -> int -> unit
+val final : ctx -> string
+val digest : string -> string
+val hex : string -> string

@@ -1,0 +1,66 @@
+(** RSA key generation and PKCS#1 v1.5 signatures.
+
+    The paper signs provenance checksums with 1024-bit RSA producing
+    128-byte signatures; that is the default here.  Signing uses the
+    Chinese-Remainder-Theorem optimisation with precomputed Montgomery
+    contexts. *)
+
+type public_key = {
+  n : Tep_bignum.Nat.t;  (** modulus *)
+  e : Tep_bignum.Nat.t;  (** public exponent *)
+}
+
+type private_key
+(** Holds the CRT components (p, q, dP, dQ, qInv) plus (n, d). *)
+
+type keypair = { public : public_key; private_ : private_key }
+
+val default_bits : int
+(** 1024, as in the paper. *)
+
+val generate : ?bits:int -> ?e:int -> Drbg.t -> keypair
+(** Generate a fresh keypair.  [bits] is the modulus size (default
+    1024); [e] the public exponent (default 65537).
+    @raise Invalid_argument if [bits < 128] or [e] is even. *)
+
+val public_of_private : private_key -> public_key
+
+val key_bytes : public_key -> int
+(** Modulus length in bytes (the signature length): 128 for 1024-bit
+    keys. *)
+
+(** {1 Signatures (EMSA-PKCS1-v1_5)} *)
+
+val sign : ?algo:Digest_algo.algo -> private_key -> string -> string
+(** [sign key msg] hashes [msg] (default {!Digest_algo.SHA1}), wraps
+    the digest in a DER [DigestInfo], applies PKCS#1 v1.5 padding and
+    exponentiates.  Returns a signature of exactly [key_bytes] bytes. *)
+
+val verify :
+  ?algo:Digest_algo.algo -> public_key -> msg:string -> signature:string -> bool
+(** Full encode-then-compare verification (immune to padding-laxity
+    forgeries). *)
+
+(** {1 Raw primitives (exposed for tests)} *)
+
+val raw_sign : private_key -> Tep_bignum.Nat.t -> Tep_bignum.Nat.t
+val raw_public : public_key -> Tep_bignum.Nat.t -> Tep_bignum.Nat.t
+
+val emsa_pkcs1_v1_5 : Digest_algo.algo -> int -> string -> string
+(** [emsa_pkcs1_v1_5 algo len msg] is the padded encoding of
+    [hash(msg)] at [len] bytes. @raise Invalid_argument if [len] is
+    too small for the digest. *)
+
+(** {1 Serialisation} *)
+
+val public_to_string : public_key -> string
+(** Compact textual encoding ["rsa-pub:<hex n>:<hex e>"]. *)
+
+val public_of_string : string -> public_key option
+
+val private_to_string : private_key -> string
+val private_of_string : string -> private_key option
+
+val fingerprint : public_key -> string
+(** SHA-256 of the serialised public key, hex, truncated to 16 chars.
+    Used as a stable participant key identifier. *)

@@ -1,0 +1,15 @@
+(** SHA-256 (FIPS 180-2), 32-byte digests.  Offered alongside
+    {!Sha1} so deployments can choose a collision-resistant hash; the
+    provenance layer is parametric in the digest algorithm. *)
+
+type ctx
+
+val digest_size : int
+(** 32 bytes. *)
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val update_sub : ctx -> string -> int -> int -> unit
+val final : ctx -> string
+val digest : string -> string
+val hex : string -> string

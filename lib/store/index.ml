@@ -1,0 +1,143 @@
+(* Value → row-id multimap keyed by the value's deterministic
+   encoding. *)
+
+type t = {
+  column : string;
+  col_idx : int;
+  buckets : (string, int list ref) Hashtbl.t; (* encoded value -> ids *)
+}
+
+let key v = Value.encoded v
+
+let add_id t v id =
+  let k = key v in
+  match Hashtbl.find_opt t.buckets k with
+  | Some l -> l := id :: !l
+  | None -> Hashtbl.replace t.buckets k (ref [ id ])
+
+let remove_id t v id =
+  let k = key v in
+  match Hashtbl.find_opt t.buckets k with
+  | None -> ()
+  | Some l ->
+      l := List.filter (fun i -> i <> id) !l;
+      if !l = [] then Hashtbl.remove t.buckets k
+
+let create table ~column =
+  match Schema.column_index (Table.schema table) column with
+  | None -> Error (Printf.sprintf "no column %s" column)
+  | Some col_idx ->
+      let t = { column; col_idx; buckets = Hashtbl.create 256 } in
+      Table.iter (fun r -> add_id t r.Table.cells.(col_idx) r.Table.id) table;
+      Ok t
+
+let column t = t.column
+
+let lookup t v =
+  match Hashtbl.find_opt t.buckets (key v) with
+  | Some l -> List.sort compare !l
+  | None -> []
+
+let on_insert t id cells = add_id t cells.(t.col_idx) id
+let on_delete t id cells = remove_id t cells.(t.col_idx) id
+
+let on_update t id ~old_value ~new_value =
+  if not (Value.equal old_value new_value) then begin
+    remove_id t old_value id;
+    add_id t new_value id
+  end
+
+let cardinality t = Hashtbl.length t.buckets
+
+let index_create = create
+
+module Indexed_table = struct
+  type table = t
+  type nonrec t = { tbl : Table.t; mutable indexes : table list }
+
+  let create tbl = { tbl; indexes = [] }
+  let table t = t.tbl
+
+  let add_index t ~column =
+    if List.exists (fun ix -> ix.column = column) t.indexes then
+      Error (Printf.sprintf "column %s already indexed" column)
+    else
+      match index_create t.tbl ~column with
+      | Error e -> Error e
+      | Ok ix ->
+          t.indexes <- ix :: t.indexes;
+          Ok ()
+
+  let indexed_columns t =
+    List.sort compare (List.map (fun ix -> ix.column) t.indexes)
+
+  let insert t cells =
+    match Table.insert t.tbl cells with
+    | Error e -> Error e
+    | Ok id ->
+        List.iter (fun ix -> on_insert ix id cells) t.indexes;
+        Ok id
+
+  let delete t id =
+    match Table.get t.tbl id with
+    | None -> false
+    | Some r ->
+        let deleted = Table.delete t.tbl id in
+        if deleted then
+          List.iter (fun ix -> on_delete ix id r.Table.cells) t.indexes;
+        deleted
+
+  let update_cell t id col v =
+    match Table.update_cell t.tbl id col v with
+    | Error e -> Error e
+    | Ok prev ->
+        List.iter
+          (fun ix ->
+            if ix.col_idx = col then
+              on_update ix id ~old_value:prev ~new_value:v)
+          t.indexes;
+        Ok prev
+
+  let find_index t column =
+    List.find_opt (fun ix -> ix.column = column) t.indexes
+
+  let rows_of_ids t ids =
+    List.filter_map (Table.get t.tbl) ids
+
+  let select_eq t ~column v =
+    match find_index t column with
+    | Some ix -> Ok (rows_of_ids t (lookup ix v))
+    | None -> Query.select t.tbl (Query.Cmp (column, Query.Eq, v))
+
+  (* Pull one indexable Eq conjunct out of a predicate, returning the
+     residual predicate to filter with. *)
+  let rec split_indexable t pred =
+    match pred with
+    | Query.Cmp (col, Query.Eq, v) when find_index t col <> None ->
+        Some ((col, v), Query.True)
+    | Query.And (a, b) -> (
+        match split_indexable t a with
+        | Some (hit, residual) -> Some (hit, Query.And (residual, b))
+        | None -> (
+            match split_indexable t b with
+            | Some (hit, residual) -> Some (hit, Query.And (a, residual))
+            | None -> None))
+    | _ -> None
+
+  let select t pred =
+    match split_indexable t pred with
+    | None -> Query.select t.tbl pred
+    | Some ((col, v), residual) -> (
+        let ix = Option.get (find_index t col) in
+        let candidates = rows_of_ids t (lookup ix v) in
+        let schema = Table.schema t.tbl in
+        let rec filter acc = function
+          | [] -> Ok (List.rev acc)
+          | r :: rest -> (
+              match Query.matches schema residual r with
+              | Ok true -> filter (r :: acc) rest
+              | Ok false -> filter acc rest
+              | Error e -> Error e)
+        in
+        filter [] candidates)
+end

@@ -1,0 +1,51 @@
+(** Secondary hash indexes over table columns.
+
+    Query's scans are O(rows); an {!Index.t} maintains a value → row-id
+    multimap for one column, kept consistent through its own update
+    hooks.  {!Indexed_table} bundles a table with any number of
+    indexes and routes equality predicates through them. *)
+
+type t
+
+val create : Table.t -> column:string -> (t, string) result
+(** Build an index over the current rows.  Fails on unknown columns. *)
+
+val column : t -> string
+
+val lookup : t -> Value.t -> int list
+(** Row ids whose indexed cell equals the value, ascending. *)
+
+val on_insert : t -> int -> Value.t array -> unit
+(** Notify the index of a row insertion (cells as stored). *)
+
+val on_delete : t -> int -> Value.t array -> unit
+val on_update : t -> int -> old_value:Value.t -> new_value:Value.t -> unit
+
+val cardinality : t -> int
+(** Number of distinct indexed values. *)
+
+(** A table plus maintained indexes; mutations must go through this
+    wrapper to keep the indexes consistent. *)
+module Indexed_table : sig
+  type table = t
+  type t
+
+  val create : Table.t -> t
+  val table : t -> Table.t
+
+  val add_index : t -> column:string -> (unit, string) result
+  val indexed_columns : t -> string list
+
+  val insert : t -> Value.t array -> (int, string) result
+  val delete : t -> int -> bool
+  val update_cell : t -> int -> int -> Value.t -> (Value.t, string) result
+
+  val select_eq : t -> column:string -> Value.t -> (Table.row list, string) result
+  (** Uses the index when one exists for [column], otherwise falls
+      back to a scan. *)
+
+  val select : t -> Query.pred -> (Table.row list, string) result
+  (** Routes top-level [Cmp (col, Eq, v)] (or such a conjunct of an
+      [And]) through an index and filters the remainder; otherwise
+      scans. *)
+end

@@ -1,0 +1,196 @@
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type pred =
+  | True
+  | Cmp of string * cmp * Value.t
+  | IsNull of string
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+let cmp_ok op c =
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let rec matches schema pred (row : Table.row) =
+  match pred with
+  | True -> Ok true
+  | Cmp (col, op, v) -> (
+      match Schema.column_index schema col with
+      | None -> Error (Printf.sprintf "unknown column %s" col)
+      | Some i ->
+          let cell = row.Table.cells.(i) in
+          if cell = Value.Null then Ok false (* SQL: NULL compares unknown *)
+          else Ok (cmp_ok op (Value.compare cell v)))
+  | IsNull col -> (
+      match Schema.column_index schema col with
+      | None -> Error (Printf.sprintf "unknown column %s" col)
+      | Some i -> Ok (row.Table.cells.(i) = Value.Null))
+  | And (a, b) -> (
+      match matches schema a row with
+      | Ok true -> matches schema b row
+      | r -> r)
+  | Or (a, b) -> (
+      match matches schema a row with
+      | Ok false -> matches schema b row
+      | r -> r)
+  | Not a -> (
+      match matches schema a row with Ok b -> Ok (not b) | Error e -> Error e)
+
+let scan table pred f =
+  let schema = Table.schema table in
+  let err = ref None in
+  Table.iter
+    (fun row ->
+      if !err = None then
+        match matches schema pred row with
+        | Ok true -> f row
+        | Ok false -> ()
+        | Error e -> err := Some e)
+    table;
+  match !err with None -> Ok () | Some e -> Error e
+
+let select table pred =
+  let acc = ref [] in
+  match scan table pred (fun r -> acc := r :: !acc) with
+  | Ok () -> Ok (List.rev !acc)
+  | Error e -> Error e
+
+let count table pred =
+  let n = ref 0 in
+  match scan table pred (fun _ -> incr n) with
+  | Ok () -> Ok !n
+  | Error e -> Error e
+
+let delete_where table pred =
+  match select table pred with
+  | Error e -> Error e
+  | Ok rows ->
+      let ids = List.map (fun r -> r.Table.id) rows in
+      List.iter (fun id -> ignore (Table.delete table id)) ids;
+      Ok ids
+
+let update_where table pred assignments =
+  let schema = Table.schema table in
+  let resolved =
+    List.map
+      (fun (col, v) ->
+        match Schema.column_index schema col with
+        | None -> Error (Printf.sprintf "unknown column %s" col)
+        | Some i -> Ok (i, v))
+      assignments
+  in
+  match
+    List.fold_left
+      (fun acc r ->
+        match (acc, r) with
+        | Error e, _ -> Error e
+        | Ok l, Ok x -> Ok (x :: l)
+        | Ok _, Error e -> Error e)
+      (Ok []) resolved
+  with
+  | Error e -> Error e
+  | Ok assignments -> (
+      match select table pred with
+      | Error e -> Error e
+      | Ok rows ->
+          let ids = List.map (fun r -> r.Table.id) rows in
+          let err = ref None in
+          List.iter
+            (fun id ->
+              List.iter
+                (fun (col, v) ->
+                  if !err = None then
+                    match Table.update_cell table id col v with
+                    | Ok _ -> ()
+                    | Error e -> err := Some e)
+                assignments)
+            ids;
+          (match !err with None -> Ok ids | Some e -> Error e))
+
+type agg = Count | Sum of string | Avg of string | Min of string | Max of string
+
+let numeric v =
+  match v with
+  | Value.Int i -> Some (float_of_int i)
+  | Value.Float f -> Some f
+  | _ -> None
+
+let aggregate table pred agg =
+  match select table pred with
+  | Error e -> Error e
+  | Ok rows -> (
+      let schema = Table.schema table in
+      let col_values col =
+        match Schema.column_index schema col with
+        | None -> Error (Printf.sprintf "unknown column %s" col)
+        | Some i ->
+            Ok
+              (List.filter_map
+                 (fun r ->
+                   let v = r.Table.cells.(i) in
+                   if v = Value.Null then None else Some v)
+                 rows)
+      in
+      match agg with
+      | Count -> Ok (Value.Int (List.length rows))
+      | Sum col -> (
+          match col_values col with
+          | Error e -> Error e
+          | Ok [] -> Ok Value.Null
+          | Ok vs -> (
+              match List.map numeric vs with
+              | nums when List.for_all Option.is_some nums ->
+                  let total =
+                    List.fold_left (fun a n -> a +. Option.get n) 0. nums
+                  in
+                  (* Preserve int-ness when all inputs are ints. *)
+                  if List.for_all (function Value.Int _ -> true | _ -> false) vs
+                  then Ok (Value.Int (int_of_float total))
+                  else Ok (Value.Float total)
+              | _ -> Error (Printf.sprintf "column %s is not numeric" col)))
+      | Avg col -> (
+          match col_values col with
+          | Error e -> Error e
+          | Ok [] -> Ok Value.Null
+          | Ok vs -> (
+              match List.map numeric vs with
+              | nums when List.for_all Option.is_some nums ->
+                  let total =
+                    List.fold_left (fun a n -> a +. Option.get n) 0. nums
+                  in
+                  Ok (Value.Float (total /. float_of_int (List.length vs)))
+              | _ -> Error (Printf.sprintf "column %s is not numeric" col)))
+      | Min col -> (
+          match col_values col with
+          | Error e -> Error e
+          | Ok [] -> Ok Value.Null
+          | Ok (v :: vs) ->
+              Ok (List.fold_left (fun a b -> if Value.compare b a < 0 then b else a) v vs))
+      | Max col -> (
+          match col_values col with
+          | Error e -> Error e
+          | Ok [] -> Ok Value.Null
+          | Ok (v :: vs) ->
+              Ok (List.fold_left (fun a b -> if Value.compare b a > 0 then b else a) v vs)))
+
+let cmp_name = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp_pred fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | Cmp (c, op, v) -> Format.fprintf fmt "%s %s %a" c (cmp_name op) Value.pp v
+  | IsNull c -> Format.fprintf fmt "%s is null" c
+  | And (a, b) -> Format.fprintf fmt "(%a and %a)" pp_pred a pp_pred b
+  | Or (a, b) -> Format.fprintf fmt "(%a or %a)" pp_pred a pp_pred b
+  | Not a -> Format.fprintf fmt "not %a" pp_pred a

@@ -1,0 +1,39 @@
+(** A small predicate/query layer over {!Table}: filtered scans,
+    bulk updates/deletes, and the aggregate functions the provenance
+    engine's [Aggregate] operation uses. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type pred =
+  | True
+  | Cmp of string * cmp * Value.t  (** column-name comparison *)
+  | IsNull of string
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+val matches : Schema.t -> pred -> Table.row -> (bool, string) result
+(** Evaluate a predicate on a row; fails on unknown column names. *)
+
+val select : Table.t -> pred -> (Table.row list, string) result
+(** Rows matching the predicate, in row-id order. *)
+
+val count : Table.t -> pred -> (int, string) result
+
+val delete_where : Table.t -> pred -> (int list, string) result
+(** Delete matching rows; returns the deleted ids. *)
+
+val update_where :
+  Table.t -> pred -> (string * Value.t) list -> (int list, string) result
+(** Set the given columns on matching rows; returns the touched ids. *)
+
+(** {1 Aggregates} *)
+
+type agg = Count | Sum of string | Avg of string | Min of string | Max of string
+
+val aggregate : Table.t -> pred -> agg -> (Value.t, string) result
+(** [Sum]/[Avg] require numeric columns; [Null] cells are skipped (SQL
+    semantics).  Empty input yields [Int 0] for [Count], [Null]
+    otherwise. *)
+
+val pp_pred : Format.formatter -> pred -> unit

@@ -1,0 +1,46 @@
+let magic = "TEPSNAP1"
+
+let to_string db =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Database.encode buf db;
+  let body = Buffer.contents buf in
+  body ^ Tep_crypto.Sha256.digest body
+
+let of_string s =
+  let dlen = Tep_crypto.Sha256.digest_size in
+  let len = String.length s in
+  if len < String.length magic + dlen then Error "snapshot: too short"
+  else begin
+    let body = String.sub s 0 (len - dlen) in
+    let trailer = String.sub s (len - dlen) dlen in
+    if not (String.equal (Tep_crypto.Sha256.digest body) trailer) then
+      Error "snapshot: integrity trailer mismatch"
+    else if not (String.length body >= 8 && String.sub body 0 8 = magic) then
+      Error "snapshot: bad magic"
+    else
+      try
+        let db, off = Database.decode body 8 in
+        if off <> String.length body then Error "snapshot: trailing garbage"
+        else Ok db
+      with Failure e -> Error ("snapshot: " ^ e)
+  end
+
+let save db path =
+  try
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc (to_string db);
+    close_out oc;
+    Sys.rename tmp path;
+    Ok ()
+  with Sys_error e -> Error e
+
+let load path =
+  try
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    of_string s
+  with Sys_error e -> Error e

@@ -1,0 +1,14 @@
+(** Whole-database snapshots with an integrity trailer.
+
+    Format: magic, database encoding, SHA-256 of the body.  A snapshot
+    whose trailer does not match is rejected — the storage layer's own
+    (non-cryptographic-keyed) tamper check, independent of the
+    provenance checksums built on top. *)
+
+val to_string : Database.t -> string
+val of_string : string -> (Database.t, string) result
+
+val save : Database.t -> string -> (unit, string) result
+(** Write atomically (temp file + rename). *)
+
+val load : string -> (Database.t, string) result

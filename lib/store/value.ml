@@ -1,0 +1,144 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Text of string
+  | Blob of string
+
+type ty = TBool | TInt | TFloat | TText | TBlob
+
+let type_of = function
+  | Null -> None
+  | Bool _ -> Some TBool
+  | Int _ -> Some TInt
+  | Float _ -> Some TFloat
+  | Text _ -> Some TText
+  | Blob _ -> Some TBlob
+
+let ty_name = function
+  | TBool -> "bool"
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TText -> "text"
+  | TBlob -> "blob"
+
+let conforms ty v = match type_of v with None -> true | Some t -> t = ty
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | Text _ -> 4
+  | Blob _ -> 5
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Text x, Text y -> Stdlib.compare x y
+  | Blob x, Blob y -> Stdlib.compare x y
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let to_string = function
+  | Null -> "NULL"
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.17g" f
+  | Text s -> s
+  | Blob s -> "0x" ^ Tep_crypto.Digest_algo.to_hex s
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+(* Tag byte, then a fixed or length-prefixed payload.  Ints are
+   zig-zag varints so negative values encode compactly. *)
+
+let add_varint buf n =
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let b = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag n = (n lsr 1) lxor (- (n land 1))
+
+let add_string buf s =
+  add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let encode buf = function
+  | Null -> Buffer.add_char buf '\x00'
+  | Bool false -> Buffer.add_char buf '\x01'
+  | Bool true -> Buffer.add_char buf '\x02'
+  | Int i ->
+      Buffer.add_char buf '\x03';
+      add_varint buf (zigzag i)
+  | Float f ->
+      Buffer.add_char buf '\x04';
+      Buffer.add_int64_be buf (Int64.bits_of_float f)
+  | Text s ->
+      Buffer.add_char buf '\x05';
+      add_string buf s
+  | Blob s ->
+      Buffer.add_char buf '\x06';
+      add_string buf s
+
+let read_varint s off =
+  let n = ref 0 and shift = ref 0 and off = ref off and continue = ref true in
+  while !continue do
+    if !off >= String.length s then failwith "Value.decode: truncated varint";
+    let b = Char.code s.[!off] in
+    incr off;
+    n := !n lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then continue := false
+    else if !shift > 63 then failwith "Value.decode: varint overflow"
+  done;
+  (!n, !off)
+
+let read_string s off =
+  let len, off = read_varint s off in
+  if off + len > String.length s then failwith "Value.decode: truncated string";
+  (String.sub s off len, off + len)
+
+let decode s off =
+  if off >= String.length s then failwith "Value.decode: empty";
+  match s.[off] with
+  | '\x00' -> (Null, off + 1)
+  | '\x01' -> (Bool false, off + 1)
+  | '\x02' -> (Bool true, off + 1)
+  | '\x03' ->
+      let n, off' = read_varint s (off + 1) in
+      (Int (unzigzag n), off')
+  | '\x04' ->
+      if off + 9 > String.length s then failwith "Value.decode: truncated float";
+      let bits = ref 0L in
+      for i = 1 to 8 do
+        bits := Int64.logor (Int64.shift_left !bits 8)
+                  (Int64.of_int (Char.code s.[off + i]))
+      done;
+      (Float (Int64.float_of_bits !bits), off + 9)
+  | '\x05' ->
+      let str, off' = read_string s (off + 1) in
+      (Text str, off')
+  | '\x06' ->
+      let str, off' = read_string s (off + 1) in
+      (Blob str, off')
+  | c -> failwith (Printf.sprintf "Value.decode: bad tag %#x" (Char.code c))
+
+let encoded v =
+  let buf = Buffer.create 16 in
+  encode buf v;
+  Buffer.contents buf

@@ -1,0 +1,49 @@
+(** Typed cell values for the relational engine. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Text of string
+  | Blob of string
+
+type ty = TBool | TInt | TFloat | TText | TBlob
+
+val type_of : t -> ty option
+(** [None] for [Null]. *)
+
+val ty_name : ty -> string
+
+val conforms : ty -> t -> bool
+(** [Null] conforms to every type (nullability is checked by
+    {!Schema}). *)
+
+val compare : t -> t -> int
+(** Total order: [Null] sorts first, then by type, then by value. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val encode : Buffer.t -> t -> unit
+(** Deterministic tagged binary encoding (also the hashing input — two
+    values encode equal iff they are equal). *)
+
+val decode : string -> int -> t * int
+(** [decode s off] returns the value and the offset just past it.
+    @raise Failure on malformed input. *)
+
+val encoded : t -> string
+
+(** {1 Wire-format helpers, shared by sibling codecs} *)
+
+val add_varint : Buffer.t -> int -> unit
+(** Unsigned LEB128. *)
+
+val add_string : Buffer.t -> string -> unit
+(** Length-prefixed bytes. *)
+
+val read_varint : string -> int -> int * int
+val read_string : string -> int -> string * int

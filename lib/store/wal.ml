@@ -1,0 +1,185 @@
+type entry =
+  | Create_table of string * Schema.t
+  | Drop_table of string
+  | Insert_row of string * int * Value.t array
+  | Delete_row of string * int
+  | Update_cell of string * int * int * Value.t
+  | Update_row of string * int * Value.t array
+
+type sink = Memory of entry list ref | File of string * out_channel
+
+type t = { sink : sink; mutable count : int }
+
+let in_memory () = { sink = Memory (ref []); count = 0 }
+
+let open_file path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  { sink = File (path, oc); count = 0 }
+
+let encode_cells buf cells =
+  Value.add_varint buf (Array.length cells);
+  Array.iter (Value.encode buf) cells
+
+let decode_cells s off =
+  let n, off = Value.read_varint s off in
+  let off = ref off in
+  let cells =
+    Array.init n (fun _ ->
+        let v, o = Value.decode s !off in
+        off := o;
+        v)
+  in
+  (cells, !off)
+
+let encode_entry buf = function
+  | Create_table (name, schema) ->
+      Buffer.add_char buf '\x01';
+      Value.add_string buf name;
+      Schema.encode buf schema
+  | Drop_table name ->
+      Buffer.add_char buf '\x02';
+      Value.add_string buf name
+  | Insert_row (tbl, id, cells) ->
+      Buffer.add_char buf '\x03';
+      Value.add_string buf tbl;
+      Value.add_varint buf id;
+      encode_cells buf cells
+  | Delete_row (tbl, id) ->
+      Buffer.add_char buf '\x04';
+      Value.add_string buf tbl;
+      Value.add_varint buf id
+  | Update_cell (tbl, id, col, v) ->
+      Buffer.add_char buf '\x05';
+      Value.add_string buf tbl;
+      Value.add_varint buf id;
+      Value.add_varint buf col;
+      Value.encode buf v
+  | Update_row (tbl, id, cells) ->
+      Buffer.add_char buf '\x06';
+      Value.add_string buf tbl;
+      Value.add_varint buf id;
+      encode_cells buf cells
+
+let decode_entry s off =
+  if off >= String.length s then failwith "Wal.decode_entry: empty";
+  match s.[off] with
+  | '\x01' ->
+      let name, off = Value.read_string s (off + 1) in
+      let schema, off = Schema.decode s off in
+      (Create_table (name, schema), off)
+  | '\x02' ->
+      let name, off = Value.read_string s (off + 1) in
+      (Drop_table name, off)
+  | '\x03' ->
+      let tbl, off = Value.read_string s (off + 1) in
+      let id, off = Value.read_varint s off in
+      let cells, off = decode_cells s off in
+      (Insert_row (tbl, id, cells), off)
+  | '\x04' ->
+      let tbl, off = Value.read_string s (off + 1) in
+      let id, off = Value.read_varint s off in
+      (Delete_row (tbl, id), off)
+  | '\x05' ->
+      let tbl, off = Value.read_string s (off + 1) in
+      let id, off = Value.read_varint s off in
+      let col, off = Value.read_varint s off in
+      let v, off = Value.decode s off in
+      (Update_cell (tbl, id, col, v), off)
+  | '\x06' ->
+      let tbl, off = Value.read_string s (off + 1) in
+      let id, off = Value.read_varint s off in
+      let cells, off = decode_cells s off in
+      (Update_row (tbl, id, cells), off)
+  | c -> failwith (Printf.sprintf "Wal.decode_entry: bad tag %#x" (Char.code c))
+
+(* On-disk framing: varint length + entry bytes, so a torn final write
+   is detectable as a truncated frame. *)
+let append t entry =
+  t.count <- t.count + 1;
+  match t.sink with
+  | Memory r -> r := entry :: !r
+  | File (_, oc) ->
+      let body = Buffer.create 64 in
+      encode_entry body entry;
+      let frame = Buffer.create 72 in
+      Value.add_varint frame (Buffer.length body);
+      Buffer.add_buffer frame body;
+      output_string oc (Buffer.contents frame)
+
+let flush t = match t.sink with Memory _ -> () | File (_, oc) -> Stdlib.flush oc
+
+let close t = match t.sink with Memory _ -> () | File (_, oc) -> close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let entries = ref [] in
+  let off = ref 0 in
+  (try
+     while !off < len do
+       let flen, o = Value.read_varint s !off in
+       if o + flen > len then raise Exit (* torn tail frame: stop *)
+       else begin
+         let e, o' = decode_entry s o in
+         if o' <> o + flen then failwith "Wal: frame length mismatch";
+         entries := e :: !entries;
+         off := o + flen
+       end
+     done
+   with Exit -> ());
+  List.rev !entries
+
+let entries t =
+  match t.sink with
+  | Memory r -> List.rev !r
+  | File (path, oc) ->
+      Stdlib.flush oc;
+      read_file path
+
+let entry_count t = t.count
+
+let replay entries db =
+  let apply = function
+    | Create_table (name, schema) -> (
+        match Database.create_table db ~name schema with
+        | Ok _ -> Ok ()
+        | Error e -> Error e)
+    | Drop_table name ->
+        if Database.drop_table db name then Ok ()
+        else Error (Printf.sprintf "drop: no table %s" name)
+    | Insert_row (tbl, id, cells) -> (
+        match Database.get_table db tbl with
+        | None -> Error (Printf.sprintf "insert: no table %s" tbl)
+        | Some t -> Table.insert_with_id t id cells)
+    | Delete_row (tbl, id) -> (
+        match Database.get_table db tbl with
+        | None -> Error (Printf.sprintf "delete: no table %s" tbl)
+        | Some t ->
+            if Table.delete t id then Ok ()
+            else Error (Printf.sprintf "delete: no row %d in %s" id tbl))
+    | Update_cell (tbl, id, col, v) -> (
+        match Database.get_table db tbl with
+        | None -> Error (Printf.sprintf "update: no table %s" tbl)
+        | Some t -> (
+            match Table.update_cell t id col v with
+            | Ok _ -> Ok ()
+            | Error e -> Error e))
+    | Update_row (tbl, id, cells) -> (
+        match Database.get_table db tbl with
+        | None -> Error (Printf.sprintf "update: no table %s" tbl)
+        | Some t -> (
+            match Table.update_row t id cells with
+            | Ok _ -> Ok ()
+            | Error e -> Error e))
+  in
+  List.fold_left
+    (fun acc e -> match acc with Error _ -> acc | Ok () -> apply e)
+    (Ok ()) entries
+
+let load_and_replay path db =
+  let entries = read_file path in
+  match replay entries db with
+  | Ok () -> Ok (List.length entries)
+  | Error e -> Error e

@@ -1,0 +1,37 @@
+(** Write-ahead log: a durable, replayable record of every mutation to
+    a {!Database}.  The provenance engine journals backend mutations
+    here so a crashed backend can be rebuilt and re-checked against the
+    provenance store. *)
+
+type entry =
+  | Create_table of string * Schema.t
+  | Drop_table of string
+  | Insert_row of string * int * Value.t array  (** table, row id, cells *)
+  | Delete_row of string * int
+  | Update_cell of string * int * int * Value.t  (** table, row, col, new *)
+  | Update_row of string * int * Value.t array
+
+type t
+
+val in_memory : unit -> t
+val open_file : string -> t
+(** Append mode; creates the file if missing. *)
+
+val append : t -> entry -> unit
+val flush : t -> unit
+val close : t -> unit
+
+val entries : t -> entry list
+(** All entries appended so far (for an [open_file] log, re-reads the
+    file, including entries from previous sessions). *)
+
+val entry_count : t -> int
+
+val replay : entry list -> Database.t -> (unit, string) result
+(** Apply entries in order to a database. *)
+
+val load_and_replay : string -> Database.t -> (int, string) result
+(** Replay a log file into a database; returns the entry count. *)
+
+val encode_entry : Buffer.t -> entry -> unit
+val decode_entry : string -> int -> entry * int

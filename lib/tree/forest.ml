@@ -1,0 +1,232 @@
+open Tep_store
+
+type node = {
+  oid : Oid.t;
+  mutable value : Value.t;
+  mutable parent : Oid.t option;
+  (* Children sorted ascending by oid; oids are allocated
+     monotonically, so plain append keeps the order. *)
+  mutable children : Oid.t list;
+}
+
+type t = {
+  nodes : node Oid.Tbl.t;
+  mutable roots : Oid.Set.t;
+  gen : Oid.gen;
+  mutable listeners : (Oid.t -> unit) list;
+}
+
+type node_info = {
+  oid : Oid.t;
+  value : Value.t;
+  parent : Oid.t option;
+  children : Oid.t list;
+}
+
+let create () =
+  {
+    nodes = Oid.Tbl.create 1024;
+    roots = Oid.Set.empty;
+    gen = Oid.gen ();
+    listeners = [];
+  }
+
+let fresh_oid t = Oid.fresh t.gen
+
+let on_change t f = t.listeners <- f :: t.listeners
+
+let notify t oid = List.iter (fun f -> f oid) t.listeners
+
+let mem t oid = Oid.Tbl.mem t.nodes oid
+
+let find t oid = Oid.Tbl.find_opt t.nodes oid
+
+let insert_sorted oid lst =
+  let rec go = function
+    | [] -> [ oid ]
+    | x :: rest when Oid.compare x oid < 0 -> x :: go rest
+    | l -> oid :: l
+  in
+  go lst
+
+let insert ?oid ?parent t v =
+  let oid =
+    match oid with
+    | Some o ->
+        Oid.bump_past t.gen o;
+        o
+    | None -> Oid.fresh t.gen
+  in
+  if mem t oid then Error (Printf.sprintf "oid %s already in use" (Oid.to_string oid))
+  else
+    match parent with
+    | Some p when not (mem t p) ->
+        Error (Printf.sprintf "parent %s not found" (Oid.to_string p))
+    | _ ->
+        Oid.Tbl.replace t.nodes oid { oid; value = v; parent; children = [] };
+        (match parent with
+        | None -> t.roots <- Oid.Set.add oid t.roots
+        | Some p ->
+            let pn = Oid.Tbl.find t.nodes p in
+            pn.children <- insert_sorted oid pn.children;
+            notify t p);
+        notify t oid;
+        Ok oid
+
+let delete t oid =
+  match find t oid with
+  | None -> Error (Printf.sprintf "no object %s" (Oid.to_string oid))
+  | Some n when n.children <> [] ->
+      Error (Printf.sprintf "%s is not a leaf" (Oid.to_string oid))
+  | Some n ->
+      (* Notify before unlinking so listeners can still walk the
+         ancestor path from the vanishing node. *)
+      notify t oid;
+      Oid.Tbl.remove t.nodes oid;
+      (match n.parent with
+      | None -> t.roots <- Oid.Set.remove oid t.roots
+      | Some p ->
+          let pn = Oid.Tbl.find t.nodes p in
+          pn.children <- List.filter (fun c -> not (Oid.equal c oid)) pn.children);
+      Ok n.value
+
+let update t oid v =
+  match find t oid with
+  | None -> Error (Printf.sprintf "no object %s" (Oid.to_string oid))
+  | Some n ->
+      let prev = n.value in
+      n.value <- v;
+      notify t oid;
+      Ok prev
+
+let value t oid =
+  match find t oid with
+  | None -> Error (Printf.sprintf "no object %s" (Oid.to_string oid))
+  | Some n -> Ok n.value
+
+let parent t oid = match find t oid with None -> None | Some n -> n.parent
+
+let children t oid = match find t oid with None -> [] | Some n -> n.children
+
+let info t oid =
+  match find t oid with
+  | None -> None
+  | Some n ->
+      Some { oid = n.oid; value = n.value; parent = n.parent; children = n.children }
+
+let ancestors t oid =
+  let rec go acc oid =
+    match parent t oid with None -> List.rev acc | Some p -> go (p :: acc) p
+  in
+  go [] oid
+
+let root_of t oid =
+  if not (mem t oid) then raise Not_found;
+  match List.rev (ancestors t oid) with [] -> oid | r :: _ -> r
+
+let roots t = Oid.Set.elements t.roots
+
+let node_count t = Oid.Tbl.length t.nodes
+
+let rec subtree_of_node t (n : node) =
+  Subtree.make n.oid n.value
+    (List.map (fun c -> subtree_of_node t (Oid.Tbl.find t.nodes c)) n.children)
+
+let subtree t oid =
+  match find t oid with
+  | None -> Error (Printf.sprintf "no object %s" (Oid.to_string oid))
+  | Some n -> Ok (subtree_of_node t n)
+
+let is_leaf t oid =
+  match find t oid with Some n -> n.children = [] | None -> false
+
+let iter_preorder t oid f =
+  let rec go oid =
+    match find t oid with
+    | None -> ()
+    | Some n ->
+        f n.oid n.value;
+        List.iter go n.children
+  in
+  go oid
+
+let delete_subtree t oid =
+  match find t oid with
+  | None -> Error (Printf.sprintf "no object %s" (Oid.to_string oid))
+  | Some _ ->
+      let order = ref [] in
+      iter_preorder t oid (fun o _ -> order := o :: !order);
+      (* !order is reverse preorder = valid leaf-first deletion order. *)
+      let n = List.length !order in
+      List.iter (fun o -> match delete t o with Ok _ -> () | Error e -> failwith e) !order;
+      Ok n
+
+let aggregate t v inputs =
+  let missing = List.filter (fun o -> not (mem t o)) inputs in
+  match missing with
+  | o :: _ -> Error (Printf.sprintf "no object %s" (Oid.to_string o))
+  | [] ->
+      if inputs = [] then Error "aggregate: no inputs"
+      else begin
+        let b =
+          match insert t v with Ok o -> o | Error e -> failwith e
+        in
+        let mapping = ref Oid.Map.empty in
+        let rec copy parent src_oid =
+          let n = Oid.Tbl.find t.nodes src_oid in
+          let dst =
+            match insert ~parent t n.value with
+            | Ok o -> o
+            | Error e -> failwith e
+          in
+          mapping := Oid.Map.add src_oid dst !mapping;
+          List.iter (copy dst) n.children
+        in
+        List.iter (copy b) inputs;
+        Ok (b, !mapping)
+      end
+
+let encode buf t =
+  Value.add_varint buf (Oid.next_value t.gen);
+  Value.add_varint buf (Oid.Tbl.length t.nodes);
+  (* Oids are allocated monotonically and parents precede children, so
+     emitting in oid order lets decode insert directly. *)
+  let nodes =
+    Oid.Tbl.fold (fun _ (n : node) acc -> n :: acc) t.nodes []
+    |> List.sort (fun (a : node) (b : node) -> Oid.compare a.oid b.oid)
+  in
+  List.iter
+    (fun (n : node) ->
+      Value.add_varint buf (Oid.to_int n.oid);
+      (match n.parent with
+      | None -> Buffer.add_char buf '\x00'
+      | Some p ->
+          Buffer.add_char buf '\x01';
+          Value.add_varint buf (Oid.to_int p));
+      Value.encode buf n.value)
+    nodes
+
+let decode s off =
+  let watermark, off = Value.read_varint s off in
+  let count, off = Value.read_varint s off in
+  let t = create () in
+  let off = ref off in
+  for _ = 1 to count do
+    let oid, o = Value.read_varint s !off in
+    if o >= String.length s then failwith "Forest.decode: truncated";
+    let parent, o =
+      match s.[o] with
+      | '\x00' -> (None, o + 1)
+      | '\x01' ->
+          let p, o = Value.read_varint s (o + 1) in
+          (Some (Oid.of_int p), o)
+      | _ -> failwith "Forest.decode: bad parent tag"
+    in
+    let v, o = Value.decode s o in
+    off := o;
+    match insert ~oid:(Oid.of_int oid) ?parent t v with
+    | Ok _ -> ()
+    | Error e -> failwith ("Forest.decode: " ^ e)
+  done;
+  Oid.bump_past t.gen (Oid.of_int (max 0 (watermark - 1)));
+  (t, !off)

@@ -1,0 +1,96 @@
+(** The mutable forest of compound objects — the paper's abstract
+    database |D (Section 4.1).
+
+    Every atomic object is a triple [(id, value, {child_ids})]; any
+    node's subtree is a compound object.  Primitive operations mirror
+    the paper's: leaf insert, leaf delete, value update, and aggregate.
+    Children are kept sorted by oid (the global total order). *)
+
+type t
+
+type node_info = {
+  oid : Oid.t;
+  value : Tep_store.Value.t;
+  parent : Oid.t option;
+  children : Oid.t list;  (** sorted ascending *)
+}
+
+val create : unit -> t
+
+val fresh_oid : t -> Oid.t
+(** Reserve an oid without inserting a node (the engine pre-allocates
+    oids for provenance records). *)
+
+(** {1 Primitive operations} *)
+
+val insert :
+  ?oid:Oid.t -> ?parent:Oid.t -> t -> Tep_store.Value.t -> (Oid.t, string) result
+(** Add a new leaf object.  Without [?parent] the object becomes a
+    root.  With [?oid] the caller supplies a pre-reserved identifier.
+    Fails if the parent is missing or the oid is already in use. *)
+
+val delete : t -> Oid.t -> (Tep_store.Value.t, string) result
+(** Delete a {e leaf}; returns its last value.  Fails on missing nodes
+    and on nodes with children (the paper's primitive deletes are
+    leaf-only). *)
+
+val delete_subtree : t -> Oid.t -> (int, string) result
+(** Convenience: post-order cascade of leaf deletes.  Returns the
+    number of nodes removed. *)
+
+val update : t -> Oid.t -> Tep_store.Value.t -> (Tep_store.Value.t, string) result
+(** Set a node's value; returns the previous value. *)
+
+val aggregate :
+  t -> Tep_store.Value.t -> Oid.t list -> (Oid.t * Oid.t Oid.Map.t, string) result
+(** [aggregate f v inputs] deep-copies each input subtree under fresh
+    oids and mounts the copies as children of a new root [B] with
+    value [v].  Returns [B]'s oid and the old-oid → new-oid mapping.
+    The inputs themselves are left untouched, preserving their
+    provenance chains. *)
+
+(** {1 Inspection} *)
+
+val mem : t -> Oid.t -> bool
+val info : t -> Oid.t -> node_info option
+val value : t -> Oid.t -> (Tep_store.Value.t, string) result
+val parent : t -> Oid.t -> Oid.t option
+val children : t -> Oid.t -> Oid.t list
+
+val ancestors : t -> Oid.t -> Oid.t list
+(** Nearest first, root last; empty for roots. *)
+
+val root_of : t -> Oid.t -> Oid.t
+(** Topmost ancestor (the node itself if a root). @raise Not_found *)
+
+val roots : t -> Oid.t list
+(** Sorted. *)
+
+val node_count : t -> int
+
+val subtree : t -> Oid.t -> (Subtree.t, string) result
+(** Immutable snapshot of the compound object rooted here. *)
+
+val is_leaf : t -> Oid.t -> bool
+
+val iter_preorder : t -> Oid.t -> (Oid.t -> Tep_store.Value.t -> unit) -> unit
+(** Walk a subtree root-first, children in oid order.  No-op when the
+    oid is absent. *)
+
+(** {1 Persistence} *)
+
+val encode : Buffer.t -> t -> unit
+(** Serialise all nodes (oids, parents, values) and the oid allocator
+    watermark, so oids of deleted objects are never reused after a
+    reload. *)
+
+val decode : string -> int -> t * int
+
+(** {1 Change notification}
+
+    The Merkle cache subscribes to mutations so Economical hashing can
+    invalidate exactly the changed node and its ancestor path. *)
+
+val on_change : t -> (Oid.t -> unit) -> unit
+(** Register a listener called with each structurally-affected oid
+    (the mutated node; for inserts/deletes also the parent). *)

@@ -1,0 +1,126 @@
+open Tep_store
+module Digest_algo = Tep_crypto.Digest_algo
+
+(* Frame layout for a node with children c1..ck (oid-sorted):
+     'N' | varint oid | value | varint k | c1.oid .. ck.oid
+   followed by the child hashes.  The encoding is injective: every
+   field is self-delimiting, so distinct (id, value, children) triples
+   produce distinct frames. *)
+let node_frame buf oid value (children : Oid.t list) =
+  Buffer.add_char buf 'N';
+  Value.add_varint buf (Oid.to_int oid);
+  Value.encode buf value;
+  Value.add_varint buf (List.length children);
+  List.iter (fun c -> Value.add_varint buf (Oid.to_int c)) children
+
+let hash_value algo oid value =
+  let buf = Buffer.create 32 in
+  Buffer.add_char buf 'A';
+  Value.add_varint buf (Oid.to_int oid);
+  Value.encode buf value;
+  Digest_algo.digest algo (Buffer.contents buf)
+
+let rec hash_subtree algo (t : Subtree.t) =
+  let child_hashes = List.map (hash_subtree algo) t.Subtree.children in
+  let buf = Buffer.create 64 in
+  node_frame buf t.Subtree.oid t.Subtree.value
+    (List.map (fun c -> c.Subtree.oid) t.Subtree.children);
+  List.iter (Buffer.add_string buf) child_hashes;
+  Digest_algo.digest algo (Buffer.contents buf)
+
+let node_hash algo oid value (children : (Oid.t * string) list) =
+  let buf = Buffer.create 64 in
+  node_frame buf oid value (List.map fst children);
+  List.iter (fun (_, h) -> Buffer.add_string buf h) children;
+  Digest_algo.digest algo (Buffer.contents buf)
+
+type stats = { nodes_hashed : int; cache_hits : int; invalidations : int }
+
+type cache = {
+  algo : Digest_algo.algo;
+  forest : Forest.t;
+  tbl : string Oid.Tbl.t;
+  mutable nodes_hashed : int;
+  mutable cache_hits : int;
+  mutable invalidations : int;
+}
+
+let invalidate c oid =
+  let drop o =
+    if Oid.Tbl.mem c.tbl o then begin
+      Oid.Tbl.remove c.tbl o;
+      c.invalidations <- c.invalidations + 1
+    end
+  in
+  drop oid;
+  List.iter drop (Forest.ancestors c.forest oid)
+
+let create_cache algo forest =
+  let c =
+    {
+      algo;
+      forest;
+      tbl = Oid.Tbl.create 4096;
+      nodes_hashed = 0;
+      cache_hits = 0;
+      invalidations = 0;
+    }
+  in
+  Forest.on_change forest (fun oid -> invalidate c oid);
+  c
+
+let algo c = c.algo
+
+let hash_node c oid value children child_hashes =
+  let buf = Buffer.create 64 in
+  node_frame buf oid value children;
+  List.iter (Buffer.add_string buf) child_hashes;
+  c.nodes_hashed <- c.nodes_hashed + 1;
+  Digest_algo.digest c.algo (Buffer.contents buf)
+
+let hash c oid =
+  let rec go oid =
+    match Oid.Tbl.find_opt c.tbl oid with
+    | Some h ->
+        c.cache_hits <- c.cache_hits + 1;
+        h
+    | None -> (
+        match Forest.info c.forest oid with
+        | None -> failwith (Printf.sprintf "no object %s" (Oid.to_string oid))
+        | Some info ->
+            let child_hashes = List.map go info.Forest.children in
+            let h =
+              hash_node c oid info.Forest.value info.Forest.children child_hashes
+            in
+            Oid.Tbl.replace c.tbl oid h;
+            h)
+  in
+  match go oid with h -> Ok h | exception Failure e -> Error e
+
+let hash_basic c oid =
+  let rec go oid =
+    match Forest.info c.forest oid with
+    | None -> failwith (Printf.sprintf "no object %s" (Oid.to_string oid))
+    | Some info ->
+        let child_hashes = List.map go info.Forest.children in
+        let h =
+          hash_node c oid info.Forest.value info.Forest.children child_hashes
+        in
+        Oid.Tbl.replace c.tbl oid h;
+        h
+  in
+  match go oid with h -> Ok h | exception Failure e -> Error e
+
+let clear c = Oid.Tbl.reset c.tbl
+
+let stats c =
+  {
+    nodes_hashed = c.nodes_hashed;
+    cache_hits = c.cache_hits;
+    invalidations = c.invalidations;
+  }
+
+let reset_stats c =
+  c.nodes_hashed <- 0;
+  c.cache_hits <- 0;
+  c.invalidations <- 0

@@ -1,0 +1,68 @@
+(** Merkle-style recursive hashing of compound objects (Section 4.3).
+
+    The hash of a node is
+    [h(frame(oid, value, child oids) | h(child_1) | ... | h(child_k))]
+    with children in the global oid order — exactly the recursive
+    scheme of the paper's Figure 5, which lets the checksum layer reuse
+    a child's hash when an ancestor's inherited record needs hashing.
+
+    Two strategies are provided, matching the paper's comparison in
+    Figure 7:
+
+    - {b Basic}: hash every node of the tree from scratch.
+    - {b Economical}: keep a per-node hash cache, invalidate only the
+      changed node and its root path, and recompute just the dirty
+      spine. *)
+
+val hash_subtree : Tep_crypto.Digest_algo.algo -> Subtree.t -> string
+(** Pure hash of a snapshot (no cache).  This is the definition the
+    cached variants must agree with. *)
+
+val hash_value :
+  Tep_crypto.Digest_algo.algo -> Oid.t -> Tep_store.Value.t -> string
+(** Hash of an atomic object [(A, val)] — the [h(A, val)] of
+    Section 3's checksums. *)
+
+val node_hash :
+  Tep_crypto.Digest_algo.algo ->
+  Oid.t ->
+  Tep_store.Value.t ->
+  (Oid.t * string) list ->
+  string
+(** Hash of a node from its identity and its children's (oid, hash)
+    pairs (oid-sorted) — the one-level step of the recursive
+    definition, exposed for {!Proof} verification. *)
+
+(** {1 Cached (Economical) hashing} *)
+
+type cache
+
+type stats = {
+  nodes_hashed : int;  (** frames actually digested since reset *)
+  cache_hits : int;
+  invalidations : int;
+}
+
+val create_cache : Tep_crypto.Digest_algo.algo -> Forest.t -> cache
+(** Attach a cache to a forest.  The cache subscribes to the forest's
+    change feed and invalidates the changed node plus its ancestor
+    path automatically. *)
+
+val algo : cache -> Tep_crypto.Digest_algo.algo
+
+val hash : cache -> Oid.t -> (string, string) result
+(** Economical hash: recompute only nodes absent from the cache
+    (i.e. on invalidated paths), reuse everything else. *)
+
+val hash_basic : cache -> Oid.t -> (string, string) result
+(** Basic strategy: ignore and refresh the cache for the whole
+    subtree — every node is re-hashed.  (Repopulates the cache so a
+    later economical pass starts warm.) *)
+
+val invalidate : cache -> Oid.t -> unit
+(** Manual invalidation of a node and its ancestor path. *)
+
+val clear : cache -> unit
+
+val stats : cache -> stats
+val reset_stats : cache -> unit

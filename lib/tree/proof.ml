@@ -1,0 +1,131 @@
+open Tep_store
+module Digest_algo = Tep_crypto.Digest_algo
+
+type step = {
+  node_oid : Oid.t;
+  node_value : Value.t;
+  children : (Oid.t * string) list;
+}
+
+type t = { leaf_oid : Oid.t; leaf_value : Value.t; path : step list }
+
+let prove cache forest oid =
+  match Forest.info forest oid with
+  | None -> Error (Printf.sprintf "no object %s" (Oid.to_string oid))
+  | Some info when info.Forest.children <> [] ->
+      Error
+        (Printf.sprintf "%s is not atomic; deliver its subtree instead"
+           (Oid.to_string oid))
+  | Some info ->
+      let step_of parent_oid =
+        match Forest.info forest parent_oid with
+        | None -> failwith "Proof.prove: broken parent link"
+        | Some p ->
+            let children =
+              List.map
+                (fun c ->
+                  match Merkle.hash cache c with
+                  | Ok h -> (c, h)
+                  | Error e -> failwith e)
+                p.Forest.children
+            in
+            {
+              node_oid = p.Forest.oid;
+              node_value = p.Forest.value;
+              children;
+            }
+      in
+      (match List.map step_of (Forest.ancestors forest oid) with
+      | path -> Ok { leaf_oid = oid; leaf_value = info.Forest.value; path }
+      | exception Failure e -> Error e)
+
+let root_oid t =
+  match List.rev t.path with
+  | [] -> t.leaf_oid
+  | last :: _ -> last.node_oid
+
+let verify algo ~root_hash t =
+  (* Leaf hash: atomic node, no children. *)
+  let leaf_hash = Merkle.node_hash algo t.leaf_oid t.leaf_value [] in
+  let rec climb current_oid current_hash = function
+    | [] ->
+        if String.equal current_hash root_hash then Ok ()
+        else Error "proof: root hash mismatch"
+    | step :: rest -> (
+        match List.assoc_opt current_oid step.children with
+        | None ->
+            Error
+              (Printf.sprintf "proof: %s is not a child of %s"
+                 (Oid.to_string current_oid)
+                 (Oid.to_string step.node_oid))
+        | Some listed ->
+            if not (String.equal listed current_hash) then
+              Error "proof: child hash mismatch"
+            else begin
+              (* children must be strictly oid-sorted (canonical form,
+                 prevents duplicate-child games) *)
+              let rec sorted = function
+                | (a, _) :: ((b, _) :: _ as rest) ->
+                    Oid.compare a b < 0 && sorted rest
+                | _ -> true
+              in
+              if not (sorted step.children) then
+                Error "proof: unsorted children"
+              else
+                let parent_hash =
+                  Merkle.node_hash algo step.node_oid step.node_value
+                    step.children
+                in
+                climb step.node_oid parent_hash rest
+            end)
+  in
+  climb t.leaf_oid leaf_hash t.path
+
+let encode buf t =
+  Buffer.add_char buf 'P';
+  Value.add_varint buf (Oid.to_int t.leaf_oid);
+  Value.encode buf t.leaf_value;
+  Value.add_varint buf (List.length t.path);
+  List.iter
+    (fun s ->
+      Value.add_varint buf (Oid.to_int s.node_oid);
+      Value.encode buf s.node_value;
+      Value.add_varint buf (List.length s.children);
+      List.iter
+        (fun (o, h) ->
+          Value.add_varint buf (Oid.to_int o);
+          Value.add_string buf h)
+        s.children)
+    t.path
+
+let decode s off =
+  if off >= String.length s || s.[off] <> 'P' then
+    failwith "Proof.decode: bad magic";
+  let leaf_oid, off = Value.read_varint s (off + 1) in
+  let leaf_value, off = Value.decode s off in
+  let nsteps, off = Value.read_varint s off in
+  if nsteps > String.length s then failwith "Proof.decode: implausible size";
+  let off = ref off in
+  let path =
+    List.init nsteps (fun _ ->
+        let node_oid, o = Value.read_varint s !off in
+        let node_value, o = Value.decode s o in
+        let nch, o = Value.read_varint s o in
+        if nch > String.length s then failwith "Proof.decode: implausible size";
+        let o = ref o in
+        let children =
+          List.init nch (fun _ ->
+              let c, o' = Value.read_varint s !o in
+              let h, o' = Value.read_string s o' in
+              o := o';
+              (Oid.of_int c, h))
+        in
+        off := !o;
+        { node_oid = Oid.of_int node_oid; node_value; children })
+  in
+  ({ leaf_oid = Oid.of_int leaf_oid; leaf_value; path }, !off)
+
+let size_bytes t =
+  let buf = Buffer.create 256 in
+  encode buf t;
+  Buffer.length buf

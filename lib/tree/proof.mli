@@ -1,0 +1,49 @@
+(** Merkle membership proofs.
+
+    A recipient who trusts a compound object's root hash (because the
+    latest signed provenance record binds it) can be convinced that
+    one atomic object deep inside has a particular value {e without}
+    receiving the whole tree: the proof carries, for each step from
+    the leaf to the root, the node's frame data and the sibling
+    hashes — O(depth × fanout) instead of O(size).
+
+    This is the authenticated-data-structure connection the paper's
+    related work points at (Merkle 1989; outsourced-database
+    verification), applied to the provenance tree. *)
+
+open Tep_store
+
+(** One step of the path: the parent node's identity and the child
+    hashes it commits to, with the proven child's position left
+    implicit by [child_oid]. *)
+type step = {
+  node_oid : Oid.t;
+  node_value : Value.t;
+  children : (Oid.t * string) list;  (** (child oid, child hash), oid-sorted *)
+}
+
+type t = {
+  leaf_oid : Oid.t;
+  leaf_value : Value.t;
+  path : step list;  (** leaf's parent first, root last *)
+}
+
+val prove : Merkle.cache -> Forest.t -> Oid.t -> (t, string) result
+(** Build a membership proof for an atomic object (uses the cache for
+    sibling hashes; cost O(dirty path) on a warm cache). *)
+
+val root_oid : t -> Oid.t
+(** The root the proof chains to (the leaf itself for a root leaf). *)
+
+val verify :
+  Tep_crypto.Digest_algo.algo -> root_hash:string -> t -> (unit, string) result
+(** Recompute the hash chain from the leaf up and compare with the
+    trusted root hash.  Also checks structural sanity (each step's
+    parent actually lists the previous node as a child). *)
+
+val size_bytes : t -> int
+(** Serialised size — what a slice delivery ships instead of the
+    whole subtree. *)
+
+val encode : Buffer.t -> t -> unit
+val decode : string -> int -> t * int

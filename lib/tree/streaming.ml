@@ -1,0 +1,97 @@
+open Tep_store
+module Digest_algo = Tep_crypto.Digest_algo
+
+(* Node frames must be byte-identical to Merkle.node_frame. *)
+let add_frame buf oid value child_oids =
+  Buffer.add_char buf 'N';
+  Value.add_varint buf oid;
+  Value.encode buf value;
+  Value.add_varint buf (List.length child_oids);
+  List.iter (Value.add_varint buf) child_oids
+
+let leaf_hash algo oid value =
+  let buf = Buffer.create 32 in
+  add_frame buf oid value [];
+  Digest_algo.digest algo (Buffer.contents buf)
+
+(* Oids per row slot: row oid, then one oid per cell. *)
+let row_slot_width arity = 1 + arity
+
+let hash_rows algo ~schema_arity ~table_oid ~table_name ~row_count pull =
+  let arity = schema_arity in
+  let row_oid j = table_oid + 1 + (j * row_slot_width arity) in
+  let ctx = Digest_algo.init algo in
+  (* Table frame first: oid, value, count, row oids (all arithmetic). *)
+  let frame = Buffer.create 256 in
+  add_frame frame table_oid (Tree_view.table_value table_name)
+    (List.init row_count row_oid);
+  Digest_algo.update ctx (Buffer.contents frame);
+  (* Then one row hash at a time. *)
+  let nodes = ref 1 in
+  let j = ref 0 in
+  let rec loop () =
+    match pull () with
+    | None -> ()
+    | Some (id, cells) ->
+        if !j >= row_count then
+          invalid_arg "Streaming.hash_rows: more rows than row_count";
+        if Array.length cells <> arity then
+          invalid_arg "Streaming.hash_rows: arity mismatch";
+        let roid = row_oid !j in
+        let row_buf = Buffer.create 256 in
+        add_frame row_buf roid (Tree_view.row_value id)
+          (List.init arity (fun c -> roid + 1 + c));
+        Array.iteri
+          (fun c v -> Buffer.add_string row_buf (leaf_hash algo (roid + 1 + c) v))
+          cells;
+        Digest_algo.update ctx (Buffer.contents row_buf |> Digest_algo.digest algo);
+        nodes := !nodes + 1 + arity;
+        incr j;
+        loop ()
+  in
+  loop ();
+  if !j <> row_count then
+    invalid_arg "Streaming.hash_rows: fewer rows than row_count";
+  (Digest_algo.final ctx, !nodes)
+
+let hash_database_with_counts algo db =
+  let tables = Database.tables db in
+  (* Root is oid 0; table oids depend on the sizes of earlier tables. *)
+  let table_oids =
+    let next = ref 1 in
+    List.map
+      (fun tbl ->
+        let toid = !next in
+        next :=
+          toid + 1
+          + (Table.row_count tbl * row_slot_width (Schema.arity (Table.schema tbl)));
+        (tbl, toid))
+      tables
+  in
+  let ctx = Digest_algo.init algo in
+  let frame = Buffer.create 64 in
+  add_frame frame 0 (Tree_view.root_value db) (List.map snd table_oids);
+  Digest_algo.update ctx (Buffer.contents frame);
+  let nodes = ref 1 in
+  List.iter
+    (fun (tbl, toid) ->
+      let rows = ref (Table.rows tbl) in
+      let pull () =
+        match !rows with
+        | [] -> None
+        | r :: rest ->
+            rows := rest;
+            Some (r.Table.id, r.Table.cells)
+      in
+      let h, n =
+        hash_rows algo
+          ~schema_arity:(Schema.arity (Table.schema tbl))
+          ~table_oid:toid ~table_name:(Table.name tbl)
+          ~row_count:(Table.row_count tbl) pull
+      in
+      Digest_algo.update ctx h;
+      nodes := !nodes + n)
+    table_oids;
+  (Digest_algo.final ctx, !nodes)
+
+let hash_database algo db = fst (hash_database_with_counts algo db)

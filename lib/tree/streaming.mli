@@ -1,0 +1,34 @@
+(** Bounded-memory hashing of a database's tree view.
+
+    Implements the scale-out strategy of Section 5.2: "read one row at
+    a time, hashing the row and the cells in it, and updating the
+    table's hash value with the row's hash value" — without ever
+    materialising the tree.  Produces bit-identical root hashes to
+    {!Merkle.hash_subtree} over {!Tree_view.build}'s forest. *)
+
+val hash_database :
+  Tep_crypto.Digest_algo.algo -> Tep_store.Database.t -> string
+(** Root hash of the depth-4 tree view.  Memory use is O(one row). *)
+
+val hash_database_with_counts :
+  Tep_crypto.Digest_algo.algo -> Tep_store.Database.t -> string * int
+(** Also returns the number of tree nodes hashed (for per-node timing
+    reports, as in the paper's 18.9M-row experiment). *)
+
+val hash_rows :
+  Tep_crypto.Digest_algo.algo ->
+  schema_arity:int ->
+  table_oid:int ->
+  table_name:string ->
+  row_count:int ->
+  (unit -> (int * Tep_store.Value.t array) option) ->
+  string * int
+(** Lower-level row-pull interface: hash a single table from a row
+    iterator (id, cells) so callers can feed rows from disk or a
+    network cursor.  [row_count] must equal the number of rows the
+    iterator yields (the node frame is emitted before the rows are
+    pulled, which is what keeps memory O(1)).  Returns the table hash
+    and the node count.  Oids are assigned by the {!Tree_view} layout
+    rule starting just past [table_oid].
+    @raise Invalid_argument if the iterator length differs from
+    [row_count]. *)

@@ -1,0 +1,75 @@
+open Tep_store
+
+type t = { oid : Oid.t; value : Value.t; children : t list }
+
+let atom oid value = { oid; value; children = [] }
+
+let make oid value children =
+  let sorted =
+    List.sort (fun a b -> Oid.compare a.oid b.oid) children
+  in
+  let rec dup_check = function
+    | a :: (b :: _ as rest) ->
+        if Oid.equal a.oid b.oid then
+          invalid_arg "Subtree.make: duplicate child oid"
+        else dup_check rest
+    | _ -> ()
+  in
+  dup_check sorted;
+  { oid; value; children = sorted }
+
+let rec size t = List.fold_left (fun acc c -> acc + size c) 1 t.children
+
+let rec depth t =
+  1 + List.fold_left (fun acc c -> max acc (depth c)) 0 t.children
+
+let rec find t oid =
+  if Oid.equal t.oid oid then Some t
+  else
+    List.fold_left
+      (fun acc c -> match acc with Some _ -> acc | None -> find c oid)
+      None t.children
+
+let rec oids t = t.oid :: List.concat_map oids t.children
+
+let rec compare a b =
+  let c = Oid.compare a.oid b.oid in
+  if c <> 0 then c
+  else
+    let c = Value.compare a.value b.value in
+    if c <> 0 then c
+    else List.compare compare a.children b.children
+
+let equal a b = compare a b = 0
+
+let rec encode buf t =
+  Value.add_varint buf (Oid.to_int t.oid);
+  Value.encode buf t.value;
+  Value.add_varint buf (List.length t.children);
+  List.iter (encode buf) t.children
+
+let rec decode s off =
+  let oid, off = Value.read_varint s off in
+  let value, off = Value.decode s off in
+  let n, off = Value.read_varint s off in
+  let off = ref off in
+  let children =
+    List.init n (fun _ ->
+        let c, o = decode s !off in
+        off := o;
+        c)
+  in
+  (make (Oid.of_int oid) value children, !off)
+
+let encoded t =
+  let buf = Buffer.create 64 in
+  encode buf t;
+  Buffer.contents buf
+
+let rec pp_indent fmt indent t =
+  Format.fprintf fmt "%s%a = %a@\n" indent Oid.pp t.oid Value.pp t.value;
+  List.iter (pp_indent fmt (indent ^ "  ")) t.children
+
+let pp fmt t = pp_indent fmt "" t
+
+let to_string t = Format.asprintf "%a" pp t

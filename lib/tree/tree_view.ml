@@ -1,0 +1,149 @@
+open Tep_store
+
+type location =
+  | Root
+  | Table of string
+  | Row of string * int
+  | Cell of string * int * int
+
+type mapping = {
+  root : Oid.t;
+  forward : (location, Oid.t) Hashtbl.t;
+  reverse : location Oid.Tbl.t;
+}
+
+let root m = m.root
+
+let root_value db = Value.Text (Database.name db)
+let table_value name = Value.Text name
+let row_value id = Value.Int id
+
+let register m loc oid =
+  Hashtbl.replace m.forward loc oid;
+  Oid.Tbl.replace m.reverse oid loc
+
+let register_table m name oid = register m (Table name) oid
+let register_row m tbl id oid = register m (Row (tbl, id)) oid
+let register_cell m tbl id col oid = register m (Cell (tbl, id, col)) oid
+
+let unregister m oid =
+  match Oid.Tbl.find_opt m.reverse oid with
+  | None -> ()
+  | Some loc ->
+      Oid.Tbl.remove m.reverse oid;
+      Hashtbl.remove m.forward loc
+
+let table_oid m name = Hashtbl.find_opt m.forward (Table name)
+let row_oid m tbl id = Hashtbl.find_opt m.forward (Row (tbl, id))
+let cell_oid m tbl id col = Hashtbl.find_opt m.forward (Cell (tbl, id, col))
+let locate m oid = Oid.Tbl.find_opt m.reverse oid
+
+let build forest db =
+  let root =
+    match Forest.insert forest (root_value db) with
+    | Ok o -> o
+    | Error e -> failwith e
+  in
+  let m =
+    { root; forward = Hashtbl.create 4096; reverse = Oid.Tbl.create 4096 }
+  in
+  Oid.Tbl.replace m.reverse root Root;
+  Hashtbl.replace m.forward Root root;
+  List.iter
+    (fun tbl ->
+      let tname = Table.name tbl in
+      let toid =
+        match Forest.insert ~parent:root forest (table_value tname) with
+        | Ok o -> o
+        | Error e -> failwith e
+      in
+      register_table m tname toid;
+      Table.iter
+        (fun r ->
+          let roid =
+            match Forest.insert ~parent:toid forest (row_value r.Table.id) with
+            | Ok o -> o
+            | Error e -> failwith e
+          in
+          register_row m tname r.Table.id roid;
+          Array.iteri
+            (fun col v ->
+              let coid =
+                match Forest.insert ~parent:roid forest v with
+                | Ok o -> o
+                | Error e -> failwith e
+              in
+              register_cell m tname r.Table.id col coid)
+            r.Table.cells)
+        tbl)
+    (Database.tables db);
+  m
+
+let encode buf m =
+  Value.add_varint buf (Oid.to_int m.root);
+  Value.add_varint buf (Hashtbl.length m.forward);
+  Hashtbl.iter
+    (fun loc oid ->
+      (match loc with
+      | Root -> Buffer.add_char buf '\x00'
+      | Table t ->
+          Buffer.add_char buf '\x01';
+          Value.add_string buf t
+      | Row (t, r) ->
+          Buffer.add_char buf '\x02';
+          Value.add_string buf t;
+          Value.add_varint buf r
+      | Cell (t, r, c) ->
+          Buffer.add_char buf '\x03';
+          Value.add_string buf t;
+          Value.add_varint buf r;
+          Value.add_varint buf c);
+      Value.add_varint buf (Oid.to_int oid))
+    m.forward
+
+let decode s off =
+  let root, off = Value.read_varint s off in
+  let count, off = Value.read_varint s off in
+  (* Each entry is at least 2 bytes; reject counts a hostile input
+     cannot possibly back, and never preallocate from untrusted
+     sizes. *)
+  if count < 0 || count > (String.length s - off) / 2 then
+    failwith "Tree_view.decode: implausible entry count";
+  let size_hint = min 65_536 (max 16 count) in
+  let m =
+    {
+      root = Oid.of_int root;
+      forward = Hashtbl.create size_hint;
+      reverse = Oid.Tbl.create size_hint;
+    }
+  in
+  let off = ref off in
+  for _ = 1 to count do
+    if !off >= String.length s then failwith "Tree_view.decode: truncated";
+    let tag = s.[!off] in
+    incr off;
+    let loc =
+      match tag with
+      | '\x00' -> Root
+      | '\x01' ->
+          let t, o = Value.read_string s !off in
+          off := o;
+          Table t
+      | '\x02' ->
+          let t, o = Value.read_string s !off in
+          let r, o = Value.read_varint s o in
+          off := o;
+          Row (t, r)
+      | '\x03' ->
+          let t, o = Value.read_string s !off in
+          let r, o = Value.read_varint s o in
+          let c, o = Value.read_varint s o in
+          off := o;
+          Cell (t, r, c)
+      | _ -> failwith "Tree_view.decode: bad location tag"
+    in
+    let oid, o = Value.read_varint s !off in
+    off := o;
+    register m loc (Oid.of_int oid)
+  done;
+  (m, !off)

@@ -1,0 +1,47 @@
+(** The depth-4 tree view of a relational database (Section 5.1):
+    root → tables → rows → cells.
+
+    [build] materialises the view inside a {!Forest} with a
+    deterministic oid layout; {!Streaming} reproduces the same root
+    hash without materialising anything.  Internal nodes carry
+    descriptive values (database / table names, row ids), leaves carry
+    the cell values. *)
+
+type location =
+  | Root
+  | Table of string
+  | Row of string * int  (** table, row id *)
+  | Cell of string * int * int  (** table, row id, column index *)
+
+type mapping
+
+val build : Forest.t -> Tep_store.Database.t -> mapping
+(** Insert the whole tree view into the forest (which should be
+    freshly created).  Oids are assigned root-first, tables in name
+    order, rows in id order, cells in column order — the layout
+    {!Streaming} assumes. *)
+
+val root : mapping -> Oid.t
+val table_oid : mapping -> string -> Oid.t option
+val row_oid : mapping -> string -> int -> Oid.t option
+val cell_oid : mapping -> string -> int -> int -> Oid.t option
+val locate : mapping -> Oid.t -> location option
+
+(** {1 Registration of engine-driven changes}
+
+    When the provenance engine inserts or deletes rows after the
+    initial build it must keep the mapping in sync. *)
+
+val register_row : mapping -> string -> int -> Oid.t -> unit
+val register_cell : mapping -> string -> int -> int -> Oid.t -> unit
+val register_table : mapping -> string -> Oid.t -> unit
+val unregister : mapping -> Oid.t -> unit
+
+(** {1 Persistence} *)
+
+val encode : Buffer.t -> mapping -> unit
+val decode : string -> int -> mapping * int
+
+val root_value : Tep_store.Database.t -> Tep_store.Value.t
+val table_value : string -> Tep_store.Value.t
+val row_value : int -> Tep_store.Value.t

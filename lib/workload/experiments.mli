@@ -1,0 +1,153 @@
+(** Reproduction harness for every table and figure of Section 5.
+
+    Each function regenerates one artifact of the paper's evaluation
+    and returns its data series; the bench executable formats them as
+    CSV.  All experiments accept a [scale] factor applied to the
+    paper's row counts (pure-OCaml RSA on this substrate is slower
+    than JCE on the paper's Celeron, so the default bench scale is
+    0.1; set [TEP_SCALE=full] to run paper-size).  Signing uses
+    [rsa_bits] (1024 in the paper; benches default to 512 to keep the
+    sweep under a few minutes — the series shapes are unaffected). *)
+
+open Tep_core
+
+type config = {
+  scale : float;  (** row-count multiplier vs the paper's Table 1 *)
+  rsa_bits : int;
+  seed : string;
+  runs : int;  (** repetitions for timed points *)
+}
+
+val default_config : config
+val config_of_env : unit -> config
+(** Reads [TEP_SCALE] (float or ["full"]), [TEP_RSA_BITS], [TEP_RUNS]. *)
+
+(** {1 Table 1} *)
+
+type table1_row = {
+  tables : string;  (** e.g. "1,2,3" *)
+  expected_nodes : int;
+  actual_nodes : int;
+}
+
+val table1 : config -> table1_row list
+(** Builds the four cumulative databases and counts tree nodes
+    (at [scale = 1.0] these are 36002/66003/88004/118005; see
+    {!Synth.paper_node_counts} for the two paper typos). *)
+
+(** {1 Figure 6 — hashing time vs database size} *)
+
+type fig6_point = { f6_nodes : int; f6_seconds : float }
+
+val fig6 : config -> fig6_point list
+
+(** {1 Figure 7 — Basic vs Economical output hashing} *)
+
+type fig7_point = {
+  f7_updates : int;  (** cells updated in the complex operation *)
+  f7_basic_s : float;  (** output-tree hash time, Basic *)
+  f7_economical_s : float;  (** output-tree hash time, Economical *)
+  f7_basic_nodes : int;
+  f7_economical_nodes : int;
+}
+
+val fig7 : config -> fig7_point list
+
+(** {1 Figures 8 and 9 — per-operation-type overheads (Setup B)} *)
+
+type setup_b_row = {
+  b_label : string;
+  b_metrics : Engine.metrics;
+      (** time overheads (hash/sign/store) for Figure 8;
+          [checksum_bytes] for Figure 9 *)
+}
+
+val fig8_9 : config -> setup_b_row list
+
+(** {1 Figures 10 and 11 — mixed-operation overheads (Setup C)} *)
+
+type setup_c_row = {
+  c_deletes_pct : float;
+  c_inserts_pct : float;
+  c_updates_pct : float;
+  c_metrics : Engine.metrics;
+}
+
+val fig10_11 : config -> setup_c_row list
+
+(** {1 The large-database streaming-hash experiment (§5.2)} *)
+
+type bigdb_result = {
+  big_rows : int;
+  big_nodes : int;
+  big_seconds : float;
+  big_ms_per_node : float;  (** the paper reports 0.02156 ms/node *)
+}
+
+val bigdb : config -> bigdb_result
+
+(** {1 Ablations} *)
+
+type chaining_result = {
+  ch_objects : int;
+  ch_ops : int;
+  ch_cores : int;  (** physical cores available to the run *)
+  local_wall_s : float;  (** per-object chains, 2 domains in parallel *)
+  global_wall_s : float;  (** single global chain, serialised *)
+  local_critical_path : int;
+      (** longest chain of dependent checksum computations (per-object
+          chain length) — the §3.2 serialisation bottleneck, measured
+          independently of core count *)
+  global_critical_path : int;  (** = total ops: everything serialises *)
+  local_failed_after_corruption : int;  (** objects failing verification *)
+  global_failed_after_corruption : int;
+  local_verify_s : float;  (** verify one object *)
+  global_verify_s : float;
+}
+
+val ablation_chaining : config -> chaining_result
+(** Section 3.2: local vs global checksum chaining — parallelism and
+    failure locality. *)
+
+type baseline_row = {
+  bl_scheme : string;  (** plain / linear (Hasan) / tep (this paper) *)
+  bl_ops : int;
+  bl_wall_s : float;
+  bl_space_bytes : int;
+  bl_fine_grained : bool;  (** can it verify a single cell? *)
+}
+
+val ablation_baseline : config -> baseline_row list
+(** Cost of atomic-object checksum schemes vs this paper's
+    compound-object engine on an equivalent update workload. *)
+
+type signing_row = {
+  sg_scheme : string;
+  sg_ops : int;
+  sg_sign_wall_s : float;
+  sg_verify_wall_s : float;
+  sg_checksum_bytes : int;
+  sg_non_repudiation : bool;
+}
+
+val ablation_signing : config -> signing_row list
+(** Design-choice ablation: the paper's RSA signatures (which provide
+    non-repudiation, R8) vs keyed HMAC-SHA256 tags (orders of
+    magnitude cheaper, but any key holder can forge — only usable
+    inside a single trust domain).  Both runs chain the same checksum
+    payloads. *)
+
+type audit_row = {
+  au_round : int;
+  au_total_records : int;
+  au_full_s : float;  (** re-verify the whole store from scratch *)
+  au_full_records : int;
+  au_incr_s : float;  (** incremental audit from the kept checkpoint *)
+  au_incr_records : int;  (** records actually examined *)
+}
+
+val ablation_audit : config -> audit_row list
+(** Extension experiment: recipient-style full verification vs the
+    checkpointed incremental auditor, across growing history.  Full
+    cost grows with total records; incremental cost tracks only the
+    per-round delta. *)

@@ -1,0 +1,155 @@
+open Tep_store
+open Tep_core
+open Tep_tree
+
+type env = {
+  ca : Tep_crypto.Pki.ca;
+  directory : Participant.Directory.t;
+  drbg : Tep_crypto.Drbg.t;
+}
+
+let make_env ?(seed = "tep-scenario") () =
+  let drbg = Tep_crypto.Drbg.create ~seed in
+  let ca = Tep_crypto.Pki.create_ca ~name:"TEP Root CA" drbg in
+  let directory =
+    Participant.Directory.create ~ca_key:(Tep_crypto.Pki.ca_public_key ca)
+  in
+  { ca; directory; drbg }
+
+let participant env name =
+  let p = Participant.create ~ca:env.ca ~name env.drbg in
+  Participant.Directory.register env.directory p;
+  p
+
+type clinical = {
+  engine : Engine.t;
+  trial_result : Oid.t;
+  patients_amended : int list;
+  participants : (string * Participant.t) list;
+}
+
+let ok = function Ok v -> v | Error e -> failwith ("Scenario: " ^ e)
+
+let clinical_trial ?(patients = 8) env =
+  let paul = participant env "PCP Paul" in
+  let clinic = participant env "Perfect Saints Clinic" in
+  let pamela = participant env "PCP Pamela" in
+  let labs = participant env "GoodStewards Labs" in
+  let trustus = participant env "TrustUsRx" in
+  let db = Database.create ~name:"clinical_trial" in
+  let engine = Engine.create ~directory:env.directory db in
+  let schema =
+    Schema.make
+      [
+        { Schema.name = "Age"; ty = Value.TInt; nullable = false };
+        { Schema.name = "Weight"; ty = Value.TInt; nullable = false };
+        { Schema.name = "Endocrine"; ty = Value.TInt; nullable = true };
+        { Schema.name = "White_Count"; ty = Value.TInt; nullable = true };
+      ]
+  in
+  ok (Engine.create_table engine paul ~name:"patients" schema);
+  (* Paul collects ages and weights. *)
+  let row_ids =
+    List.init patients (fun _ ->
+        ok
+          (Engine.insert_row engine paul ~table:"patients"
+             [|
+               Value.Int (18 + Tep_crypto.Drbg.uniform_int env.drbg 60);
+               Value.Int (45 + Tep_crypto.Drbg.uniform_int env.drbg 60);
+               Value.Null;
+               Value.Null;
+             |]))
+  in
+  (* The clinic fills in endocrine activity, one complex op. *)
+  ignore
+    (ok
+       (Engine.complex_op engine clinic (fun () ->
+            List.fold_left
+              (fun acc row ->
+                match acc with
+                | Error _ -> acc
+                | Ok () ->
+                    Engine.update_cell_named engine clinic ~table:"patients"
+                      ~row ~column:"Endocrine"
+                      (Value.Int (Tep_crypto.Drbg.uniform_int env.drbg 300)))
+              (Ok ()) row_ids)));
+  (* Pamela amends the endocrine value for one patient (patient #4 in
+     the paper's story). *)
+  let amended = List.nth row_ids (min 4 (patients - 1)) in
+  ok
+    (Engine.update_cell_named engine pamela ~table:"patients" ~row:amended
+       ~column:"Endocrine" (Value.Int 212));
+  (* GoodStewards Labs determines white blood cell counts. *)
+  ignore
+    (ok
+       (Engine.complex_op engine labs (fun () ->
+            List.fold_left
+              (fun acc row ->
+                match acc with
+                | Error _ -> acc
+                | Ok () ->
+                    Engine.update_cell_named engine labs ~table:"patients" ~row
+                      ~column:"White_Count"
+                      (Value.Int (4000 + Tep_crypto.Drbg.uniform_int env.drbg 7000)))
+              (Ok ()) row_ids)));
+  (* TrustUsRx aggregates all patient rows into the trial result. *)
+  let row_oids =
+    List.map
+      (fun row ->
+        match Tree_view.row_oid (Engine.mapping engine) "patients" row with
+        | Some o -> o
+        | None -> failwith "Scenario: row oid missing")
+      row_ids
+  in
+  let trial_result =
+    ok
+      (Engine.aggregate_objects engine trustus
+         ~value:(Value.Text "trial_result") row_oids)
+  in
+  {
+    engine;
+    trial_result;
+    patients_amended = [ amended ];
+    participants =
+      [
+        ("PCP Paul", paul);
+        ("Perfect Saints Clinic", clinic);
+        ("PCP Pamela", pamela);
+        ("GoodStewards Labs", labs);
+        ("TrustUsRx", trustus);
+      ];
+  }
+
+type figure2 = {
+  store : Atomic.t;
+  a : Oid.t;
+  b : Oid.t;
+  c : Oid.t;
+  d : Oid.t;
+  f2_participants : (string * Participant.t) list;
+}
+
+let figure2 env =
+  let p1 = participant env "p1" in
+  let p2 = participant env "p2" in
+  let p3 = participant env "p3" in
+  let store = Atomic.create env.directory in
+  let v name i = Value.Text (Printf.sprintf "%s%d" name i) in
+  (* seq 0: p2 inserts A (a1) and B (b1): checksums C1, C2. *)
+  let a, _c1 = Atomic.insert store p2 (v "a" 1) in
+  let b, _c2 = Atomic.insert store p2 (v "b" 1) in
+  (* seq 1: p1 updates A -> a2 (C3); p2 updates B -> b2 (C4). *)
+  let _c3 = ok (Atomic.update store p1 a (v "a" 2)) in
+  let _c4 = ok (Atomic.update store p2 b (v "b" 2)) in
+  (* seq 2: p2 updates A -> a3 (C5). *)
+  let _c5 = ok (Atomic.update store p2 a (v "a" 3)) in
+  (* seq 2: p3 aggregates the ORIGINAL A (a1, version 0) with B (b2,
+     version 1) into C (C6). *)
+  let c, _c6 =
+    ok (Atomic.aggregate store p3 ~value:(v "c" 1) [ (a, Some 0); (b, Some 1) ])
+  in
+  (* seq 3: p1 aggregates A (a3) and C into D (C7). *)
+  let d, _c7 =
+    ok (Atomic.aggregate store p1 ~value:(v "d" 1) [ (a, None); (c, None) ])
+  in
+  { store; a; b; c; d; f2_participants = [ ("p1", p1); ("p2", p2); ("p3", p3) ] }

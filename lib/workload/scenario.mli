@@ -1,0 +1,50 @@
+(** The paper's running examples, built programmatically.
+
+    - {!clinical_trial} reproduces Example 1 / Figure 1: PCP Paul
+      collects ages and weights, Perfect Saints Clinic produces
+      endocrine measurements (later amended by PCP Pamela),
+      GoodStewards Labs determines white-cell counts, and TrustUsRx
+      aggregates everything for the FDA.
+    - {!figure2} reproduces Figure 2/3: objects A and B inserted by
+      p2, repeatedly updated, aggregated into C and then D — the
+      worked non-linear provenance example with checksums. *)
+
+open Tep_core
+open Tep_tree
+
+type env = {
+  ca : Tep_crypto.Pki.ca;
+  directory : Participant.Directory.t;
+  drbg : Tep_crypto.Drbg.t;
+}
+
+val make_env : ?seed:string -> unit -> env
+
+val participant : env -> string -> Participant.t
+(** Create and register a participant. *)
+
+type clinical = {
+  engine : Engine.t;
+  trial_result : Oid.t;  (** the aggregate delivered to the FDA *)
+  patients_amended : int list;  (** row ids whose endocrine was amended *)
+  participants : (string * Participant.t) list;
+}
+
+val clinical_trial : ?patients:int -> env -> clinical
+(** Build the TrustUsRx scenario with [patients] (default 8) patient
+    records and return the delivered aggregate. *)
+
+type figure2 = {
+  store : Atomic.t;
+  a : Oid.t;
+  b : Oid.t;
+  c : Oid.t;
+  d : Oid.t;
+  f2_participants : (string * Participant.t) list;
+}
+
+val figure2 : env -> figure2
+(** The exact operation sequence of Figure 2 on the atomic-object
+    protocol, including the multiversion reads (C aggregates the
+    {e original} value a1 of A); the provenance of [d] is the
+    7-record DAG with the checksums of Figure 3. *)

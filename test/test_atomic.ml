@@ -1,0 +1,158 @@
+(* The Section-3 atomic protocol, including the exact Figure 2/3
+   worked example. *)
+open Tep_store
+open Tep_tree
+open Tep_core
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let env () =
+  let drbg = Tep_crypto.Drbg.create ~seed:"test-atomic" in
+  let ca = Tep_crypto.Pki.create_ca ~name:"CA" drbg in
+  let dir = Participant.Directory.create ~ca_key:(Tep_crypto.Pki.ca_public_key ca) in
+  let p name =
+    let p = Participant.create ~ca ~name drbg in
+    Participant.Directory.register dir p;
+    p
+  in
+  (dir, p)
+
+let test_insert_update_verify () =
+  let dir, p = env () in
+  let alice = p "alice" in
+  let s = Atomic.create dir in
+  let a, r0 = Atomic.insert s alice (Value.Int 1) in
+  Alcotest.(check int) "insert seq 0" 0 r0.Record.seq_id;
+  let r1 = ok (Atomic.update s alice a (Value.Int 2)) in
+  Alcotest.(check int) "update seq 1" 1 r1.Record.seq_id;
+  Alcotest.(check bool) "chains" true
+    (r1.Record.prev_checksums = [ r0.Record.checksum ]);
+  Alcotest.(check bool) "current" true
+    (Atomic.current s a = Some (Value.Int 2));
+  Alcotest.(check bool) "old version" true
+    (Atomic.version s a 0 = Some (Value.Int 1));
+  let report = ok (Atomic.verify s a) in
+  Alcotest.(check bool) "verifies" true (Verifier.ok report)
+
+let test_update_missing () =
+  let dir, p = env () in
+  let alice = p "alice" in
+  let s = Atomic.create dir in
+  match Atomic.update s alice (Oid.of_int 99) (Value.Int 1) with
+  | Ok _ -> Alcotest.fail "updated missing object"
+  | Error _ -> ()
+
+let test_delete () =
+  let dir, p = env () in
+  let alice = p "alice" in
+  let s = Atomic.create dir in
+  let a, _ = Atomic.insert s alice (Value.Int 1) in
+  ok (Atomic.delete s a);
+  Alcotest.(check bool) "gone" true (Atomic.current s a = None);
+  (match Atomic.deliver s a with
+  | Ok _ -> Alcotest.fail "delivered deleted object"
+  | Error _ -> ());
+  match Atomic.delete s a with
+  | Ok () -> Alcotest.fail "double delete"
+  | Error _ -> ()
+
+(* ---- the Figure 2 / Figure 3 worked example ---- *)
+
+let figure3 () =
+  let dir, p = env () in
+  let p1 = p "p1" and p2 = p "p2" and p3 = p "p3" in
+  let s = Atomic.create dir in
+  let v name i = Value.Text (Printf.sprintf "%s%d" name i) in
+  let a, c1 = Atomic.insert s p2 (v "a" 1) in
+  let b, c2 = Atomic.insert s p2 (v "b" 1) in
+  let c3 = ok (Atomic.update s p1 a (v "a" 2)) in
+  let c4 = ok (Atomic.update s p2 b (v "b" 2)) in
+  let c5 = ok (Atomic.update s p2 a (v "a" 3)) in
+  let c, c6 = ok (Atomic.aggregate s p3 ~value:(v "c" 1) [ (a, Some 0); (b, Some 1) ]) in
+  let d, c7 = ok (Atomic.aggregate s p1 ~value:(v "d" 1) [ (a, None); (c, None) ]) in
+  (dir, s, (a, b, c, d), (c1, c2, c3, c4, c5, c6, c7))
+
+let test_figure3_seq_ids () =
+  let _, _, _, (c1, c2, c3, c4, c5, c6, c7) = figure3 () in
+  (* the seqID column of Figure 3 *)
+  Alcotest.(check (list int)) "seq ids"
+    [ 0; 0; 1; 1; 2; 2; 3 ]
+    (List.map (fun r -> r.Record.seq_id) [ c1; c2; c3; c4; c5; c6; c7 ])
+
+let test_figure3_participants () =
+  let _, _, _, (c1, c2, c3, c4, c5, c6, c7) = figure3 () in
+  Alcotest.(check (list string)) "participants"
+    [ "p2"; "p2"; "p1"; "p2"; "p2"; "p3"; "p1" ]
+    (List.map (fun r -> r.Record.participant) [ c1; c2; c3; c4; c5; c6; c7 ])
+
+let test_figure3_chaining () =
+  let _, _, _, (c1, _c2, c3, c4, c5, c6, c7) = figure3 () in
+  (* C3 = S(h(A,a1)|h(A,a2)|C1); C6 cites C1 and C4; C7 cites C5 and C6 *)
+  Alcotest.(check bool) "C3 <- C1" true (c3.Record.prev_checksums = [ c1.Record.checksum ]);
+  Alcotest.(check bool) "C5 <- C3" true (c5.Record.prev_checksums = [ c3.Record.checksum ]);
+  Alcotest.(check bool) "C6 <- C1,C4" true
+    (c6.Record.prev_checksums = [ c1.Record.checksum; c4.Record.checksum ]);
+  Alcotest.(check bool) "C7 <- C5,C6" true
+    (c7.Record.prev_checksums = [ c5.Record.checksum; c6.Record.checksum ]);
+  (* C6's first input hash is h(A, a1), i.e. version 0 of A *)
+  Alcotest.(check bool) "C6 reads a1" true
+    (List.nth c6.Record.input_hashes 0 = c1.Record.output_hash)
+
+let test_figure3_delivery_and_verification () =
+  let dir, s, (_, _, _, d), _ = figure3 () in
+  let data, records = ok (Atomic.deliver s d) in
+  Alcotest.(check int) "7-record provenance object" 7 (List.length records);
+  let report = Verifier.verify ~algo:(Atomic.algo s) ~directory:dir ~data records in
+  Alcotest.(check bool) "verifies clean" true (Verifier.ok report);
+  (* DAG shape *)
+  let dag = Dag.build records in
+  Alcotest.(check bool) "non-linear" false (Dag.is_linear dag);
+  Alcotest.(check int) "two inserts" 2 (List.length (Dag.roots dag))
+
+let test_figure3_b_subset () =
+  let _, s, (_, b, _, _), _ = figure3 () in
+  let _, records = ok (Atomic.deliver s b) in
+  (* B's provenance object is just its own 2-record chain *)
+  Alcotest.(check int) "B chain" 2 (List.length records)
+
+let test_aggregate_missing_version () =
+  let dir, p = env () in
+  let alice = p "alice" in
+  let s = Atomic.create dir in
+  let a, _ = Atomic.insert s alice (Value.Int 1) in
+  match Atomic.aggregate s alice ~value:Value.Null [ (a, Some 5) ] with
+  | Ok _ -> Alcotest.fail "missing version accepted"
+  | Error _ -> ()
+
+let test_latest_seq () =
+  let dir, p = env () in
+  let alice = p "alice" in
+  let s = Atomic.create dir in
+  let a, _ = Atomic.insert s alice (Value.Int 1) in
+  ignore (ok (Atomic.update s alice a (Value.Int 2)));
+  Alcotest.(check (option int)) "latest" (Some 1) (Atomic.latest_seq s a);
+  Alcotest.(check (option int)) "missing" None (Atomic.latest_seq s (Oid.of_int 77))
+
+let () =
+  Alcotest.run "atomic"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "insert/update/verify" `Quick
+            test_insert_update_verify;
+          Alcotest.test_case "update missing" `Quick test_update_missing;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "aggregate missing version" `Quick
+            test_aggregate_missing_version;
+          Alcotest.test_case "latest_seq" `Quick test_latest_seq;
+        ] );
+      ( "figure3",
+        [
+          Alcotest.test_case "seq ids" `Quick test_figure3_seq_ids;
+          Alcotest.test_case "participants" `Quick test_figure3_participants;
+          Alcotest.test_case "chaining" `Quick test_figure3_chaining;
+          Alcotest.test_case "delivery & verification" `Quick
+            test_figure3_delivery_and_verification;
+          Alcotest.test_case "B subset" `Quick test_figure3_b_subset;
+        ] );
+    ]

@@ -1,0 +1,117 @@
+(* Baselines: plain tracking, Hasan-style linear chains, global chain;
+   failure-locality contrast between local and global chaining. *)
+open Tep_core
+open Baseline
+
+let env () =
+  let drbg = Tep_crypto.Drbg.create ~seed:"test-baseline" in
+  let ca = Tep_crypto.Pki.create_ca ~name:"CA" drbg in
+  let dir = Participant.Directory.create ~ca_key:(Tep_crypto.Pki.ca_public_key ca) in
+  let mk name =
+    let p = Participant.create ~ca ~name drbg in
+    Participant.Directory.register dir p;
+    p
+  in
+  (dir, mk "alice", mk "bob")
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let test_plain_counts () =
+  let t = Plain.create () in
+  Plain.apply t ~participant:"p" (Insert (1, "v1"));
+  Plain.apply t ~participant:"p" (Update (1, "v2"));
+  Plain.apply t ~participant:"p" (Delete 1);
+  Alcotest.(check int) "two records (deletes drop)" 2 (Plain.record_count t);
+  Alcotest.(check int) "12 bytes each" 24 (Plain.space_bytes t)
+
+let test_linear_chain () =
+  let dir, alice, bob = env () in
+  let t = Linear.create () in
+  ok (Linear.apply t alice (Insert (1, "v1")));
+  ok (Linear.apply t bob (Update (1, "v2")));
+  ok (Linear.apply t alice (Update (1, "v3")));
+  Alcotest.(check int) "records" 3 (Linear.record_count t);
+  Alcotest.(check int) "chain verified" 3 (ok (Linear.verify_object t dir 1));
+  (match Linear.apply t alice (Insert (1, "dup")) with
+  | Ok () -> Alcotest.fail "duplicate insert accepted"
+  | Error _ -> ());
+  match Linear.apply t alice (Update (99, "x")) with
+  | Ok () -> Alcotest.fail "update of missing accepted"
+  | Error _ -> ()
+
+let test_linear_corruption_is_local () =
+  let dir, alice, _ = env () in
+  let t = Linear.create () in
+  for oid = 1 to 5 do
+    ok (Linear.apply t alice (Insert (oid, "v")));
+    ok (Linear.apply t alice (Update (oid, "w")))
+  done;
+  Alcotest.(check bool) "corrupted" true (Linear.corrupt t 3);
+  let good, bad = Linear.verify_all t dir in
+  Alcotest.(check int) "only one object fails" 1 bad;
+  Alcotest.(check int) "others fine" 4 good;
+  (* unaffected object still verifies on its own *)
+  Alcotest.(check int) "object 1 intact" 2 (ok (Linear.verify_object t dir 1))
+
+let test_global_chain () =
+  let dir, alice, bob = env () in
+  let t = Global.create () in
+  ok (Global.apply t alice (Insert (1, "v1")));
+  ok (Global.apply t bob (Insert (2, "w1")));
+  ok (Global.apply t alice (Update (1, "v2")));
+  Alcotest.(check int) "records" 3 (Global.record_count t);
+  Alcotest.(check bool) "verify 1" true (Result.is_ok (Global.verify_object t dir 1));
+  Alcotest.(check bool) "verify 2" true (Result.is_ok (Global.verify_object t dir 2))
+
+let test_global_corruption_is_global () =
+  let dir, alice, _ = env () in
+  let t = Global.create () in
+  for oid = 1 to 5 do
+    ok (Global.apply t alice (Insert (oid, "v")));
+    ok (Global.apply t alice (Update (oid, "w")))
+  done;
+  Alcotest.(check bool) "corrupted" true (Global.corrupt t 3);
+  let good, bad = Global.verify_all t dir in
+  (* §3.2: corruption anywhere breaks everyone downstream *)
+  Alcotest.(check bool) "most objects fail" true (bad >= 4);
+  Alcotest.(check bool) "far fewer pass than local" true (good <= 1)
+
+let test_global_serialises () =
+  (* the global chain's seq is a single counter across objects *)
+  let dir, alice, bob = env () in
+  ignore dir;
+  let t = Global.create () in
+  ok (Global.apply t alice (Insert (1, "a")));
+  ok (Global.apply t bob (Insert (2, "b")));
+  ok (Global.apply t alice (Update (2, "b2")));
+  Alcotest.(check int) "three records" 3 (Global.record_count t)
+
+let test_delete_semantics () =
+  let dir, alice, _ = env () in
+  let lt = Linear.create () in
+  ok (Linear.apply lt alice (Insert (1, "v")));
+  ok (Linear.apply lt alice (Delete 1));
+  (match Linear.verify_object lt dir 1 with
+  | Ok _ -> Alcotest.fail "deleted object still has provenance"
+  | Error _ -> ());
+  let gt = Global.create () in
+  ok (Global.apply gt alice (Insert (1, "v")));
+  ok (Global.apply gt alice (Delete 1));
+  ok (Global.apply gt alice (Insert (1, "v2")))
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "plain counts" `Quick test_plain_counts;
+          Alcotest.test_case "linear chain" `Quick test_linear_chain;
+          Alcotest.test_case "linear corruption local" `Quick
+            test_linear_corruption_is_local;
+          Alcotest.test_case "global chain" `Quick test_global_chain;
+          Alcotest.test_case "global corruption global" `Quick
+            test_global_corruption_is_global;
+          Alcotest.test_case "global serialises" `Quick test_global_serialises;
+          Alcotest.test_case "delete semantics" `Quick test_delete_semantics;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+(* Delivery bundles: packaging, serialisation, recipient verification,
+   trust-anchor handling. *)
+open Tep_store
+open Tep_tree
+open Tep_core
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let fixture () =
+  let drbg = Tep_crypto.Drbg.create ~seed:"test-bundle" in
+  let ca = Tep_crypto.Pki.create_ca ~name:"CA" drbg in
+  let dir = Participant.Directory.create ~ca_key:(Tep_crypto.Pki.ca_public_key ca) in
+  let mk name =
+    let p = Participant.create ~bits:512 ~ca ~name drbg in
+    Participant.Directory.register dir p;
+    p
+  in
+  let alice = mk "alice" and bob = mk "bob" in
+  let db = Database.create ~name:"b" in
+  ignore (ok (Database.create_table db ~name:"t" (Schema.all_int [ "a" ])));
+  let eng = Engine.create ~directory:dir db in
+  let row = ok (Engine.insert_row eng alice ~table:"t" [| Value.Int 1 |]) in
+  ok (Engine.update_cell eng bob ~table:"t" ~row ~col:0 (Value.Int 2));
+  (ca, dir, eng, drbg)
+
+let test_create_and_verify () =
+  let _, _, eng, _ = fixture () in
+  let b = ok (Bundle.create eng (Engine.root_oid eng)) in
+  Alcotest.(check (list string)) "participants" [ "alice"; "bob" ]
+    (Bundle.participants b);
+  Alcotest.(check int) "two certs" 2 (List.length b.Bundle.certificates);
+  let report = Bundle.verify b in
+  Alcotest.(check bool) "verifies" true (Verifier.ok report)
+
+let test_serialisation_roundtrip () =
+  let _, _, eng, _ = fixture () in
+  let b = ok (Bundle.create eng (Engine.root_oid eng)) in
+  let b' = ok (Bundle.of_string (Bundle.to_string b)) in
+  Alcotest.(check int) "records" (List.length b.Bundle.records)
+    (List.length b'.Bundle.records);
+  Alcotest.(check bool) "data equal" true (Subtree.equal b.Bundle.data b'.Bundle.data);
+  Alcotest.(check bool) "verifies after roundtrip" true
+    (Verifier.ok (Bundle.verify b'))
+
+let test_corruption_rejected () =
+  let _, _, eng, _ = fixture () in
+  let b = ok (Bundle.create eng (Engine.root_oid eng)) in
+  let s = Bytes.of_string (Bundle.to_string b) in
+  Bytes.set s (Bytes.length s / 3)
+    (Char.chr (Char.code (Bytes.get s (Bytes.length s / 3)) lxor 1));
+  match Bundle.of_string (Bytes.to_string s) with
+  | Ok _ -> Alcotest.fail "corrupt bundle accepted"
+  | Error _ -> ()
+
+let test_file_roundtrip () =
+  let _, _, eng, _ = fixture () in
+  let b = ok (Bundle.create eng (Engine.root_oid eng)) in
+  let path = Filename.temp_file "tep_bundle" ".tep" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with _ -> ())
+    (fun () ->
+      ok (Bundle.save b path);
+      let b' = ok (Bundle.load path) in
+      Alcotest.(check bool) "verifies" true (Verifier.ok (Bundle.verify b')))
+
+let test_trusted_ca_mismatch () =
+  let _, _, eng, drbg = fixture () in
+  let b = ok (Bundle.create eng (Engine.root_oid eng)) in
+  (* a recipient whose trust anchor is a DIFFERENT CA must reject *)
+  let other_ca = Tep_crypto.Pki.create_ca ~bits:512 ~name:"Other" drbg in
+  let report =
+    Bundle.verify ~trusted_ca:(Tep_crypto.Pki.ca_public_key other_ca) b
+  in
+  Alcotest.(check bool) "foreign anchor rejects" false (Verifier.ok report)
+
+let test_forged_ca_swap () =
+  (* a forger replaces the embedded CA and certificates with his own,
+     but cannot re-sign other participants' records *)
+  let _, _, eng, drbg = fixture () in
+  let b = ok (Bundle.create eng (Engine.root_oid eng)) in
+  let evil_ca = Tep_crypto.Pki.create_ca ~bits:512 ~name:"CA" drbg in
+  let evil_certs =
+    List.map
+      (fun (c : Tep_crypto.Pki.certificate) ->
+        let kp = Tep_crypto.Rsa.generate ~bits:512 drbg in
+        Tep_crypto.Pki.issue evil_ca ~subject:c.Tep_crypto.Pki.subject
+          kp.Tep_crypto.Rsa.public)
+      b.Bundle.certificates
+  in
+  let forged =
+    {
+      b with
+      Bundle.ca_key = Tep_crypto.Pki.ca_public_key evil_ca;
+      certificates = evil_certs;
+    }
+  in
+  (* even trusting the embedded (evil) anchor, record signatures fail:
+     the attacker does not hold alice's or bob's true keys *)
+  let report = Bundle.verify forged in
+  Alcotest.(check bool) "swap detected" false (Verifier.ok report)
+
+let test_tampered_data_in_bundle () =
+  let _, _, eng, _ = fixture () in
+  let b = ok (Bundle.create eng (Engine.root_oid eng)) in
+  let forged = { b with Bundle.data = Tamper.tamper_data_value b.Bundle.data } in
+  Alcotest.(check bool) "detected" false (Verifier.ok (Bundle.verify forged))
+
+let test_atomic_bundle () =
+  let drbg = Tep_crypto.Drbg.create ~seed:"test-bundle-atomic" in
+  let ca = Tep_crypto.Pki.create_ca ~name:"CA" drbg in
+  let dir = Participant.Directory.create ~ca_key:(Tep_crypto.Pki.ca_public_key ca) in
+  let alice = Participant.create ~bits:512 ~ca ~name:"alice" drbg in
+  Participant.Directory.register dir alice;
+  let s = Atomic.create dir in
+  let a, _ = Atomic.insert s alice (Value.Int 1) in
+  ignore (ok (Atomic.update s alice a (Value.Int 2)));
+  let b = ok (Bundle.of_atomic s dir a) in
+  Alcotest.(check bool) "verifies" true (Verifier.ok (Bundle.verify b));
+  Alcotest.(check int) "2 records" 2 (List.length b.Bundle.records)
+
+let () =
+  Alcotest.run "bundle"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "create & verify" `Quick test_create_and_verify;
+          Alcotest.test_case "serialisation" `Quick
+            test_serialisation_roundtrip;
+          Alcotest.test_case "corruption rejected" `Quick
+            test_corruption_rejected;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "trusted CA mismatch" `Quick
+            test_trusted_ca_mismatch;
+          Alcotest.test_case "forged CA swap" `Quick test_forged_ca_swap;
+          Alcotest.test_case "tampered data" `Quick
+            test_tampered_data_in_bundle;
+          Alcotest.test_case "atomic bundle" `Quick test_atomic_bundle;
+        ] );
+    ]

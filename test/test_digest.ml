@@ -1,0 +1,136 @@
+(* Hash functions against published test vectors, plus incremental /
+   one-shot agreement properties. *)
+open Tep_crypto
+
+let check = Alcotest.(check string)
+
+(* FIPS 180 / RFC 1321 vectors. *)
+let sha1_vectors =
+  [
+    ("", "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    ("abc", "a9993e364706816aba3e25717850c26c9cd0d89d");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1" );
+    ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+       ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+      "a49b2446a02c645bf419f995b67091253a04a259" );
+    ("The quick brown fox jumps over the lazy dog", "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+  ]
+
+let sha256_vectors =
+  [
+    ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+       ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" );
+  ]
+
+let md5_vectors =
+  [
+    ("", "d41d8cd98f00b204e9800998ecf8427e");
+    ("a", "0cc175b9c0f1b6a831c399e269772661");
+    ("abc", "900150983cd24fb0d6963f7d28e17f72");
+    ("message digest", "f96b697d7cb7938d525a2f31aaf161d0");
+    ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b");
+    ( "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+      "d174ab98d277d9f5a5611c2c9f419d9f" );
+    ( "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+      "57edf4a22be3c955ac49da2e2107b67a" );
+  ]
+
+let vec_tests name hex vectors =
+  List.mapi
+    (fun i (input, expected) ->
+      Alcotest.test_case (Printf.sprintf "%s vector %d" name i) `Quick
+        (fun () -> check input expected (hex input)))
+    vectors
+
+let test_million_a () =
+  check "sha1 10^6 x a" "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+    (Sha1.hex (String.make 1_000_000 'a'));
+  check "sha256 10^6 x a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex (String.make 1_000_000 'a'))
+
+let test_digest_sizes () =
+  Alcotest.(check int) "md5" 16 Md5.digest_size;
+  Alcotest.(check int) "sha1" 20 Sha1.digest_size;
+  Alcotest.(check int) "sha256" 32 Sha256.digest_size;
+  List.iter
+    (fun a ->
+      Alcotest.(check int)
+        (Digest_algo.name a)
+        (Digest_algo.size a)
+        (String.length (Digest_algo.digest a "x")))
+    Digest_algo.all
+
+let test_algo_names () =
+  Alcotest.(check (option string))
+    "sha is sha1" (Some "sha1")
+    (Option.map Digest_algo.name (Digest_algo.of_name "SHA"));
+  Alcotest.(check (option string))
+    "sha-256" (Some "sha256")
+    (Option.map Digest_algo.name (Digest_algo.of_name "sha-256"));
+  Alcotest.(check bool) "unknown" true (Digest_algo.of_name "blake2" = None)
+
+let test_hex_roundtrip () =
+  let s = "\x00\x01\xfe\xff\x80 abc" in
+  check "roundtrip" s (Digest_algo.of_hex (Digest_algo.to_hex s));
+  Alcotest.check_raises "odd" (Invalid_argument "Digest_algo.of_hex: odd length")
+    (fun () -> ignore (Digest_algo.of_hex "abc"))
+
+(* Property: any split of the input through the incremental API gives
+   the one-shot digest. *)
+let prop_incremental algo =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "%s incremental = one-shot" (Digest_algo.name algo))
+    ~count:200
+    QCheck2.Gen.(
+      pair (string_size ~gen:char (int_range 0 300)) (int_range 0 300))
+    (fun (s, cut) ->
+      let cut = if String.length s = 0 then 0 else cut mod (String.length s + 1) in
+      let ctx = Digest_algo.init algo in
+      Digest_algo.update ctx (String.sub s 0 cut);
+      Digest_algo.update ctx (String.sub s cut (String.length s - cut));
+      String.equal (Digest_algo.final ctx) (Digest_algo.digest algo s))
+
+let prop_update_sub algo =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "%s update_sub window" (Digest_algo.name algo))
+    ~count:200
+    QCheck2.Gen.(string_size ~gen:char (int_range 0 400))
+    (fun s ->
+      let padded = "xx" ^ s ^ "yy" in
+      let ctx = Digest_algo.init algo in
+      Digest_algo.update_sub ctx padded 2 (String.length s);
+      String.equal (Digest_algo.final ctx) (Digest_algo.digest algo s))
+
+let prop_distinct =
+  QCheck2.Test.make ~name:"distinct inputs hash apart (sha256)" ~count:300
+    QCheck2.Gen.(pair (string_size ~gen:char (int_range 0 40)) (string_size ~gen:char (int_range 0 40)))
+    (fun (a, b) ->
+      QCheck2.assume (not (String.equal a b));
+      not (String.equal (Sha256.digest a) (Sha256.digest b)))
+
+let () =
+  Alcotest.run "digest"
+    [
+      ("sha1-vectors", vec_tests "sha1" Sha1.hex sha1_vectors);
+      ("sha256-vectors", vec_tests "sha256" Sha256.hex sha256_vectors);
+      ("md5-vectors", vec_tests "md5" Md5.hex md5_vectors);
+      ( "unit",
+        [
+          Alcotest.test_case "million a" `Slow test_million_a;
+          Alcotest.test_case "digest sizes" `Quick test_digest_sizes;
+          Alcotest.test_case "algo names" `Quick test_algo_names;
+          Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          ([ prop_distinct ]
+          @ List.map prop_incremental Digest_algo.all
+          @ List.map prop_update_sub Digest_algo.all) );
+    ]

@@ -1,0 +1,86 @@
+(* HMAC-DRBG behaviour: determinism, seed separation, uniformity. *)
+open Tep_crypto
+
+let test_determinism () =
+  let a = Drbg.create ~seed:"seed" and b = Drbg.create ~seed:"seed" in
+  Alcotest.(check string) "same stream" (Drbg.generate a 256) (Drbg.generate b 256);
+  Alcotest.(check string) "continues equal" (Drbg.generate a 64) (Drbg.generate b 64)
+
+let test_seed_separation () =
+  let a = Drbg.create ~seed:"seed-1" and b = Drbg.create ~seed:"seed-2" in
+  Alcotest.(check bool)
+    "different" false
+    (String.equal (Drbg.generate a 64) (Drbg.generate b 64))
+
+let test_reseed_diverges () =
+  let a = Drbg.create ~seed:"s" and b = Drbg.create ~seed:"s" in
+  Drbg.reseed a "extra entropy";
+  Alcotest.(check bool)
+    "diverged" false
+    (String.equal (Drbg.generate a 32) (Drbg.generate b 32))
+
+let test_lengths () =
+  let d = Drbg.create ~seed:"len" in
+  List.iter
+    (fun n -> Alcotest.(check int) (string_of_int n) n (String.length (Drbg.generate d n)))
+    [ 0; 1; 31; 32; 33; 100; 1000 ];
+  Alcotest.check_raises "negative" (Invalid_argument "Drbg.generate: negative length")
+    (fun () -> ignore (Drbg.generate d (-1)))
+
+let test_uniform_int_range () =
+  let d = Drbg.create ~seed:"uniform" in
+  for _ = 1 to 2000 do
+    let x = Drbg.uniform_int d 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done;
+  Alcotest.(check int) "bound 1" 0 (Drbg.uniform_int d 1);
+  Alcotest.check_raises "bound 0" (Invalid_argument "Drbg.uniform_int: bound <= 0")
+    (fun () -> ignore (Drbg.uniform_int d 0))
+
+let test_uniform_int_coverage () =
+  (* Every residue of a small bound should appear in a long run. *)
+  let d = Drbg.create ~seed:"coverage" in
+  let seen = Array.make 10 false in
+  for _ = 1 to 1000 do
+    seen.(Drbg.uniform_int d 10) <- true
+  done;
+  Alcotest.(check bool) "all residues seen" true (Array.for_all Fun.id seen)
+
+let test_byte_distribution () =
+  (* Chi-squared-ish sanity: no byte value wildly over-represented. *)
+  let d = Drbg.create ~seed:"dist" in
+  let counts = Array.make 256 0 in
+  let n = 65536 in
+  String.iter (fun c -> counts.(Char.code c) <- counts.(Char.code c) + 1)
+    (Drbg.generate d n);
+  let expected = n / 256 in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "byte %d balanced" i)
+        true
+        (c > expected / 3 && c < expected * 3))
+    counts
+
+let test_system_seeding () =
+  let a = Drbg.create_system () and b = Drbg.create_system () in
+  Alcotest.(check bool)
+    "system streams differ" false
+    (String.equal (Drbg.generate a 32) (Drbg.generate b 32))
+
+let () =
+  Alcotest.run "drbg"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed separation" `Quick test_seed_separation;
+          Alcotest.test_case "reseed diverges" `Quick test_reseed_diverges;
+          Alcotest.test_case "lengths" `Quick test_lengths;
+          Alcotest.test_case "uniform_int range" `Quick test_uniform_int_range;
+          Alcotest.test_case "uniform_int coverage" `Quick
+            test_uniform_int_coverage;
+          Alcotest.test_case "byte distribution" `Quick test_byte_distribution;
+          Alcotest.test_case "system seeding" `Quick test_system_seeding;
+        ] );
+    ]

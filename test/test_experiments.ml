@@ -1,0 +1,170 @@
+(* The experiment harness itself: each figure generator runs at tiny
+   scale and produces series with the paper's qualitative shape. *)
+open Tep_core
+open Tep_workload
+
+let tiny =
+  {
+    Experiments.scale = 0.02;
+    rsa_bits = 512;
+    seed = "test-experiments";
+    runs = 1;
+  }
+
+let total (m : Engine.metrics) =
+  m.Engine.hash_s +. m.Engine.sign_s +. m.Engine.store_s
+
+let test_table1 () =
+  let rows = Experiments.table1 tiny in
+  Alcotest.(check int) "four rows" 4 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) r.Experiments.tables r.Experiments.expected_nodes
+        r.Experiments.actual_nodes)
+    rows
+
+let test_fig6_monotone () =
+  let pts = Experiments.fig6 tiny in
+  Alcotest.(check int) "four points" 4 (List.length pts);
+  let rec mono = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "nodes increase" true
+          (b.Experiments.f6_nodes > a.Experiments.f6_nodes);
+        mono rest
+    | _ -> ()
+  in
+  mono pts;
+  List.iter
+    (fun p -> Alcotest.(check bool) "positive time" true (p.Experiments.f6_seconds > 0.))
+    pts
+
+let test_fig7_shapes () =
+  let pts = Experiments.fig7 tiny in
+  Alcotest.(check bool) "several points" true (List.length pts >= 5);
+  let first = List.hd pts and last = List.nth pts (List.length pts - 1) in
+  (* Basic hashes the whole tree regardless of update count *)
+  Alcotest.(check int) "basic constant nodes" first.Experiments.f7_basic_nodes
+    last.Experiments.f7_basic_nodes;
+  (* Economical work grows with updates *)
+  Alcotest.(check bool) "economical grows" true
+    (last.Experiments.f7_economical_nodes > first.Experiments.f7_economical_nodes);
+  Alcotest.(check bool) "economical <= basic" true
+    (last.Experiments.f7_economical_nodes <= last.Experiments.f7_basic_nodes);
+  (* at 1 update, economical touches only the 4-node path *)
+  Alcotest.(check int) "single update = path" 4
+    first.Experiments.f7_economical_nodes
+
+let test_fig8_9_ordering () =
+  let rows = Experiments.fig8_9 tiny in
+  Alcotest.(check int) "four workloads" 4 (List.length rows);
+  match rows with
+  | [ del; ins; upd_few; upd_many ] ->
+      Alcotest.(check bool) "deletes cheapest (time)" true
+        (total del.Experiments.b_metrics < total ins.Experiments.b_metrics);
+      Alcotest.(check bool) "deletes cheapest (space)" true
+        (del.Experiments.b_metrics.Engine.checksum_bytes
+        < ins.Experiments.b_metrics.Engine.checksum_bytes);
+      (* inserts ~ updates-in-same-rows: identical record counts *)
+      Alcotest.(check int) "inserts = updates records"
+        ins.Experiments.b_metrics.Engine.records_emitted
+        upd_few.Experiments.b_metrics.Engine.records_emitted;
+      Alcotest.(check bool) "wide updates cost more" true
+        (upd_many.Experiments.b_metrics.Engine.records_emitted
+        > upd_few.Experiments.b_metrics.Engine.records_emitted)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_fig10_11_decreasing () =
+  let rows = Experiments.fig10_11 tiny in
+  Alcotest.(check int) "four mixes" 4 (List.length rows);
+  let rec mono = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "deletes pct increases" true
+          (b.Experiments.c_deletes_pct > a.Experiments.c_deletes_pct);
+        Alcotest.(check bool) "records decrease" true
+          (b.Experiments.c_metrics.Engine.records_emitted
+          <= a.Experiments.c_metrics.Engine.records_emitted);
+        mono rest
+    | _ -> ()
+  in
+  mono rows
+
+let test_bigdb () =
+  let r = Experiments.bigdb tiny in
+  Alcotest.(check bool) "nodes counted" true (r.Experiments.big_nodes > 0);
+  Alcotest.(check int) "node arithmetic"
+    (2 + (r.Experiments.big_rows * 3))
+    r.Experiments.big_nodes;
+  Alcotest.(check bool) "rate positive" true (r.Experiments.big_ms_per_node > 0.)
+
+let test_ablation_chaining () =
+  let r = Experiments.ablation_chaining tiny in
+  Alcotest.(check bool) "local path shorter" true
+    (r.Experiments.local_critical_path < r.Experiments.global_critical_path);
+  Alcotest.(check int) "local corruption contained" 1
+    r.Experiments.local_failed_after_corruption;
+  Alcotest.(check int) "global corruption total" r.Experiments.ch_objects
+    r.Experiments.global_failed_after_corruption;
+  Alcotest.(check bool) "global verify costlier" true
+    (r.Experiments.global_verify_s > r.Experiments.local_verify_s)
+
+let test_ablation_baseline () =
+  let rows = Experiments.ablation_baseline tiny in
+  Alcotest.(check int) "three schemes" 3 (List.length rows);
+  let fine = List.filter (fun r -> r.Experiments.bl_fine_grained) rows in
+  Alcotest.(check int) "only tep is fine-grained" 1 (List.length fine);
+  (* plain < linear < tep in space *)
+  match rows with
+  | [ plain; linear; tep ] ->
+      Alcotest.(check bool) "plain smallest" true
+        (plain.Experiments.bl_space_bytes < linear.Experiments.bl_space_bytes);
+      Alcotest.(check bool) "tep largest" true
+        (tep.Experiments.bl_space_bytes > linear.Experiments.bl_space_bytes)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_ablation_signing () =
+  let rows = Experiments.ablation_signing tiny in
+  Alcotest.(check int) "two schemes" 2 (List.length rows);
+  match rows with
+  | [ rsa; hmac ] ->
+      Alcotest.(check bool) "hmac much cheaper" true
+        (hmac.Experiments.sg_sign_wall_s < rsa.Experiments.sg_sign_wall_s /. 5.);
+      Alcotest.(check bool) "rsa provides non-repudiation" true
+        rsa.Experiments.sg_non_repudiation;
+      Alcotest.(check bool) "hmac does not" false
+        hmac.Experiments.sg_non_repudiation
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_ablation_audit () =
+  let rows = Experiments.ablation_audit tiny in
+  Alcotest.(check int) "five rounds" 5 (List.length rows);
+  let first = List.hd rows and last = List.nth rows 4 in
+  Alcotest.(check bool) "full grows" true
+    (last.Experiments.au_full_records > first.Experiments.au_full_records);
+  Alcotest.(check bool) "incremental flat" true
+    (last.Experiments.au_incr_records <= first.Experiments.au_incr_records + 2)
+
+let test_config_env () =
+  let c = Experiments.default_config in
+  Alcotest.(check bool) "reduced default" true (c.Experiments.scale < 1.0);
+  Alcotest.(check bool) "runs positive" true (c.Experiments.runs >= 1)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "harness",
+        [
+          Alcotest.test_case "table1" `Slow test_table1;
+          Alcotest.test_case "fig6 monotone" `Quick test_fig6_monotone;
+          Alcotest.test_case "fig7 shapes" `Quick test_fig7_shapes;
+          Alcotest.test_case "fig8/9 ordering" `Quick test_fig8_9_ordering;
+          Alcotest.test_case "fig10/11 decreasing" `Quick
+            test_fig10_11_decreasing;
+          Alcotest.test_case "bigdb" `Quick test_bigdb;
+          Alcotest.test_case "ablation chaining" `Quick test_ablation_chaining;
+          Alcotest.test_case "ablation baseline" `Quick
+            test_ablation_baseline;
+          Alcotest.test_case "ablation signing" `Quick test_ablation_signing;
+          Alcotest.test_case "ablation audit" `Quick test_ablation_audit;
+          Alcotest.test_case "config" `Quick test_config_env;
+        ] );
+    ]

@@ -1,0 +1,168 @@
+(* Forest: primitive operations, ancestry, aggregation, notifications. *)
+open Tep_store
+open Tep_tree
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let iv i = Value.Int i
+
+let test_insert_roots () =
+  let f = Forest.create () in
+  let a = ok (Forest.insert f (iv 1)) in
+  let b = ok (Forest.insert f (iv 2)) in
+  Alcotest.(check int) "two roots" 2 (List.length (Forest.roots f));
+  Alcotest.(check bool) "distinct" false (Oid.equal a b);
+  Alcotest.(check int) "count" 2 (Forest.node_count f)
+
+let test_insert_children () =
+  let f = Forest.create () in
+  let root = ok (Forest.insert f (iv 0)) in
+  let c1 = ok (Forest.insert ~parent:root f (iv 1)) in
+  let c2 = ok (Forest.insert ~parent:root f (iv 2)) in
+  Alcotest.(check (list int)) "children sorted"
+    [ Oid.to_int c1; Oid.to_int c2 ]
+    (List.map Oid.to_int (Forest.children f root));
+  Alcotest.(check bool) "parent" true (Forest.parent f c1 = Some root);
+  Alcotest.(check int) "one root" 1 (List.length (Forest.roots f))
+
+let test_insert_errors () =
+  let f = Forest.create () in
+  let root = ok (Forest.insert f (iv 0)) in
+  (match Forest.insert ~parent:(Oid.of_int 999) f (iv 1) with
+  | Ok _ -> Alcotest.fail "missing parent accepted"
+  | Error _ -> ());
+  match Forest.insert ~oid:root f (iv 1) with
+  | Ok _ -> Alcotest.fail "duplicate oid accepted"
+  | Error _ -> ()
+
+let test_update () =
+  let f = Forest.create () in
+  let a = ok (Forest.insert f (iv 1)) in
+  let prev = ok (Forest.update f a (iv 9)) in
+  Alcotest.(check bool) "prev" true (Value.equal prev (iv 1));
+  Alcotest.(check bool) "new" true (Value.equal (ok (Forest.value f a)) (iv 9))
+
+let test_delete_leaf_only () =
+  let f = Forest.create () in
+  let root = ok (Forest.insert f (iv 0)) in
+  let child = ok (Forest.insert ~parent:root f (iv 1)) in
+  (match Forest.delete f root with
+  | Ok _ -> Alcotest.fail "deleted non-leaf"
+  | Error _ -> ());
+  ignore (ok (Forest.delete f child));
+  Alcotest.(check (list int)) "unlinked" [] (List.map Oid.to_int (Forest.children f root));
+  ignore (ok (Forest.delete f root));
+  Alcotest.(check int) "empty" 0 (Forest.node_count f)
+
+let test_delete_subtree () =
+  let f = Forest.create () in
+  let root = ok (Forest.insert f (iv 0)) in
+  let mid = ok (Forest.insert ~parent:root f (iv 1)) in
+  let _ = ok (Forest.insert ~parent:mid f (iv 2)) in
+  let _ = ok (Forest.insert ~parent:mid f (iv 3)) in
+  let n = ok (Forest.delete_subtree f mid) in
+  Alcotest.(check int) "removed" 3 n;
+  Alcotest.(check int) "remaining" 1 (Forest.node_count f)
+
+let test_ancestors_root_of () =
+  let f = Forest.create () in
+  let a = ok (Forest.insert f (iv 0)) in
+  let b = ok (Forest.insert ~parent:a f (iv 1)) in
+  let c = ok (Forest.insert ~parent:b f (iv 2)) in
+  Alcotest.(check (list int)) "ancestors nearest-first"
+    [ Oid.to_int b; Oid.to_int a ]
+    (List.map Oid.to_int (Forest.ancestors f c));
+  Alcotest.(check int) "root_of" (Oid.to_int a) (Oid.to_int (Forest.root_of f c));
+  Alcotest.(check int) "root_of root" (Oid.to_int a) (Oid.to_int (Forest.root_of f a));
+  Alcotest.(check (list int)) "root has none" [] (List.map Oid.to_int (Forest.ancestors f a))
+
+let test_subtree_snapshot () =
+  let f = Forest.create () in
+  let a = ok (Forest.insert f (Value.Text "r")) in
+  let b = ok (Forest.insert ~parent:a f (iv 1)) in
+  let _ = ok (Forest.insert ~parent:b f (iv 2)) in
+  let snap = ok (Forest.subtree f a) in
+  Alcotest.(check int) "size" 3 (Subtree.size snap);
+  (* snapshot is detached: later mutation doesn't change it *)
+  ignore (ok (Forest.update f b (iv 99)));
+  (match Subtree.find snap b with
+  | Some t -> Alcotest.(check bool) "immutable" true (Value.equal t.Subtree.value (iv 1))
+  | None -> Alcotest.fail "node missing in snapshot")
+
+let test_aggregate () =
+  let f = Forest.create () in
+  let a = ok (Forest.insert f (iv 1)) in
+  let a1 = ok (Forest.insert ~parent:a f (iv 11)) in
+  let b = ok (Forest.insert f (iv 2)) in
+  let before = Forest.node_count f in
+  let agg, mapping = ok (Forest.aggregate f (Value.Text "agg") [ a; b ]) in
+  (* copies: root + copy of a + copy of a1 + copy of b *)
+  Alcotest.(check int) "added nodes" (before + 4) (Forest.node_count f);
+  Alcotest.(check int) "mapping size" 3 (Oid.Map.cardinal mapping);
+  (* originals untouched *)
+  Alcotest.(check bool) "a intact" true (Forest.mem f a);
+  Alcotest.(check bool) "a1 intact" true (Forest.mem f a1);
+  (* copied structure mirrors original *)
+  let copy_a = Oid.Map.find a mapping in
+  Alcotest.(check int) "copy has child" 1 (List.length (Forest.children f copy_a));
+  Alcotest.(check bool) "agg is root" true (Forest.parent f agg = None);
+  (match Forest.aggregate f Value.Null [] with
+  | Ok _ -> Alcotest.fail "empty aggregate accepted"
+  | Error _ -> ());
+  match Forest.aggregate f Value.Null [ Oid.of_int 12345 ] with
+  | Ok _ -> Alcotest.fail "missing input accepted"
+  | Error _ -> ()
+
+let test_iter_preorder () =
+  let f = Forest.create () in
+  let a = ok (Forest.insert f (iv 0)) in
+  let b = ok (Forest.insert ~parent:a f (iv 1)) in
+  let _ = ok (Forest.insert ~parent:b f (iv 2)) in
+  let _ = ok (Forest.insert ~parent:a f (iv 3)) in
+  let order = ref [] in
+  Forest.iter_preorder f a (fun o _ -> order := Oid.to_int o :: !order);
+  Alcotest.(check int) "visited all" 4 (List.length !order);
+  Alcotest.(check int) "root first" (Oid.to_int a) (List.nth (List.rev !order) 0)
+
+let test_notifications () =
+  let f = Forest.create () in
+  let events = ref [] in
+  Forest.on_change f (fun o -> events := Oid.to_int o :: !events);
+  let a = ok (Forest.insert f (iv 0)) in
+  let b = ok (Forest.insert ~parent:a f (iv 1)) in
+  Alcotest.(check bool) "insert notified" true (List.mem (Oid.to_int b) !events);
+  events := [];
+  ignore (ok (Forest.update f b (iv 5)));
+  Alcotest.(check (list int)) "update notifies node" [ Oid.to_int b ] !events;
+  events := [];
+  ignore (ok (Forest.delete f b));
+  Alcotest.(check bool) "delete notifies node" true (List.mem (Oid.to_int b) !events)
+
+let test_fresh_oid_reservation () =
+  let f = Forest.create () in
+  let reserved = Forest.fresh_oid f in
+  let a = ok (Forest.insert f (iv 0)) in
+  Alcotest.(check bool) "no clash" false (Oid.equal reserved a);
+  let b = ok (Forest.insert ~oid:reserved f (iv 1)) in
+  Alcotest.(check bool) "reserved usable" true (Oid.equal b reserved)
+
+let () =
+  Alcotest.run "forest"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "insert roots" `Quick test_insert_roots;
+          Alcotest.test_case "insert children" `Quick test_insert_children;
+          Alcotest.test_case "insert errors" `Quick test_insert_errors;
+          Alcotest.test_case "update" `Quick test_update;
+          Alcotest.test_case "delete leaf only" `Quick test_delete_leaf_only;
+          Alcotest.test_case "delete subtree" `Quick test_delete_subtree;
+          Alcotest.test_case "ancestors/root_of" `Quick
+            test_ancestors_root_of;
+          Alcotest.test_case "subtree snapshot" `Quick test_subtree_snapshot;
+          Alcotest.test_case "aggregate" `Quick test_aggregate;
+          Alcotest.test_case "iter preorder" `Quick test_iter_preorder;
+          Alcotest.test_case "notifications" `Quick test_notifications;
+          Alcotest.test_case "fresh oid" `Quick test_fresh_oid_reservation;
+        ] );
+    ]

@@ -1,0 +1,141 @@
+(* Secondary indexes: maintenance under mutation, query routing,
+   agreement with scans. *)
+open Tep_store
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let schema =
+  Schema.make
+    [
+      { Schema.name = "k"; ty = Value.TInt; nullable = false };
+      { Schema.name = "grp"; ty = Value.TText; nullable = false };
+    ]
+
+let mk () =
+  let t = Index.Indexed_table.create (Table.create ~name:"t" schema) in
+  ok (Index.Indexed_table.add_index t ~column:"grp");
+  for i = 0 to 19 do
+    ignore
+      (ok
+         (Index.Indexed_table.insert t
+            [| Value.Int i; Value.Text (if i mod 2 = 0 then "even" else "odd") |]))
+  done;
+  t
+
+let test_lookup () =
+  let t = mk () in
+  let evens = ok (Index.Indexed_table.select_eq t ~column:"grp" (Value.Text "even")) in
+  Alcotest.(check int) "10 evens" 10 (List.length evens);
+  Alcotest.(check int) "none" 0
+    (List.length (ok (Index.Indexed_table.select_eq t ~column:"grp" (Value.Text "ghost"))))
+
+let test_unindexed_fallback () =
+  let t = mk () in
+  let r = ok (Index.Indexed_table.select_eq t ~column:"k" (Value.Int 5)) in
+  Alcotest.(check int) "scan fallback" 1 (List.length r)
+
+let test_maintenance_on_update () =
+  let t = mk () in
+  (* flip row 0 to odd *)
+  ignore (ok (Index.Indexed_table.update_cell t 0 1 (Value.Text "odd")));
+  Alcotest.(check int) "evens shrink" 9
+    (List.length (ok (Index.Indexed_table.select_eq t ~column:"grp" (Value.Text "even"))));
+  Alcotest.(check int) "odds grow" 11
+    (List.length (ok (Index.Indexed_table.select_eq t ~column:"grp" (Value.Text "odd"))))
+
+let test_maintenance_on_delete () =
+  let t = mk () in
+  Alcotest.(check bool) "deleted" true (Index.Indexed_table.delete t 0);
+  Alcotest.(check bool) "gone twice" false (Index.Indexed_table.delete t 0);
+  Alcotest.(check int) "evens shrink" 9
+    (List.length (ok (Index.Indexed_table.select_eq t ~column:"grp" (Value.Text "even"))))
+
+let test_select_routing () =
+  let t = mk () in
+  (* indexed Eq conjunct + residual filter *)
+  let pred =
+    Query.And
+      ( Query.Cmp ("grp", Query.Eq, Value.Text "even"),
+        Query.Cmp ("k", Query.Lt, Value.Int 10) )
+  in
+  let via_index = ok (Index.Indexed_table.select t pred) in
+  let via_scan = ok (Query.select (Index.Indexed_table.table t) pred) in
+  Alcotest.(check int) "counts agree" (List.length via_scan) (List.length via_index);
+  Alcotest.(check (list int)) "ids agree"
+    (List.map (fun r -> r.Table.id) via_scan)
+    (List.sort compare (List.map (fun r -> r.Table.id) via_index))
+
+let test_duplicate_index_rejected () =
+  let t = mk () in
+  match Index.Indexed_table.add_index t ~column:"grp" with
+  | Ok () -> Alcotest.fail "duplicate accepted"
+  | Error _ -> ()
+
+let test_unknown_column () =
+  let t = Index.Indexed_table.create (Table.create ~name:"x" schema) in
+  match Index.Indexed_table.add_index t ~column:"nope" with
+  | Ok () -> Alcotest.fail "unknown column accepted"
+  | Error _ -> ()
+
+let test_cardinality () =
+  let tbl = Table.create ~name:"c" schema in
+  for i = 0 to 9 do
+    ignore (Table.insert tbl [| Value.Int i; Value.Text (string_of_int (i mod 3)) |])
+  done;
+  let ix = ok (Index.create tbl ~column:"grp") in
+  Alcotest.(check int) "3 groups" 3 (Index.cardinality ix);
+  Alcotest.(check string) "column" "grp" (Index.column ix)
+
+let prop_index_agrees_with_scan =
+  QCheck2.Test.make ~name:"indexed select = scan select" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 40) (pair (int_range 0 8) (int_range 0 3)))
+        (int_range 0 3))
+    (fun (rows, probe) ->
+      let t = Index.Indexed_table.create (Table.create ~name:"p" schema) in
+      (match Index.Indexed_table.add_index t ~column:"grp" with
+      | Ok () -> ()
+      | Error e -> failwith e);
+      List.iter
+        (fun (k, g) ->
+          ignore
+            (Index.Indexed_table.insert t
+               [| Value.Int k; Value.Text (string_of_int g) |]))
+        rows;
+      let v = Value.Text (string_of_int probe) in
+      let via_ix =
+        match Index.Indexed_table.select_eq t ~column:"grp" v with
+        | Ok l -> List.map (fun r -> r.Table.id) l
+        | Error e -> failwith e
+      in
+      let via_scan =
+        match
+          Query.select (Index.Indexed_table.table t)
+            (Query.Cmp ("grp", Query.Eq, v))
+        with
+        | Ok l -> List.map (fun r -> r.Table.id) l
+        | Error e -> failwith e
+      in
+      List.sort compare via_ix = via_scan)
+
+let () =
+  Alcotest.run "index"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "lookup" `Quick test_lookup;
+          Alcotest.test_case "unindexed fallback" `Quick
+            test_unindexed_fallback;
+          Alcotest.test_case "maintenance on update" `Quick
+            test_maintenance_on_update;
+          Alcotest.test_case "maintenance on delete" `Quick
+            test_maintenance_on_delete;
+          Alcotest.test_case "select routing" `Quick test_select_routing;
+          Alcotest.test_case "duplicate rejected" `Quick
+            test_duplicate_index_rejected;
+          Alcotest.test_case "unknown column" `Quick test_unknown_column;
+          Alcotest.test_case "cardinality" `Quick test_cardinality;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_index_agrees_with_scan ]);
+    ]

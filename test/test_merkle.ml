@@ -1,0 +1,166 @@
+(* Merkle hashing: definition agreement, cache behaviour, economical vs
+   basic, sensitivity properties. *)
+open Tep_store
+open Tep_tree
+
+let algo = Tep_crypto.Digest_algo.SHA1
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let iv i = Value.Int i
+
+let build_chain f depth =
+  let root = ok (Forest.insert f (iv 0)) in
+  let rec go parent d acc =
+    if d = 0 then List.rev acc
+    else
+      let n = ok (Forest.insert ~parent f (iv d)) in
+      go n (d - 1) (n :: acc)
+  in
+  (root, go root depth [])
+
+let test_leaf_hash_definition () =
+  (* leaf hash depends on both oid and value *)
+  let h1 = Merkle.hash_subtree algo (Subtree.atom (Oid.of_int 1) (iv 5)) in
+  let h2 = Merkle.hash_subtree algo (Subtree.atom (Oid.of_int 2) (iv 5)) in
+  let h3 = Merkle.hash_subtree algo (Subtree.atom (Oid.of_int 1) (iv 6)) in
+  Alcotest.(check bool) "oid matters" false (String.equal h1 h2);
+  Alcotest.(check bool) "value matters" false (String.equal h1 h3);
+  Alcotest.(check int) "sha1 width" 20 (String.length h1)
+
+let test_hash_value_vs_subtree () =
+  (* atom-frame hash (h(A,val) of Section 3) is distinct from node
+     hash but also deterministic *)
+  let a = Merkle.hash_value algo (Oid.of_int 1) (iv 5) in
+  let b = Merkle.hash_value algo (Oid.of_int 1) (iv 5) in
+  Alcotest.(check string) "deterministic" a b
+
+let test_cache_agrees_with_pure () =
+  let f = Forest.create () in
+  let root = ok (Forest.insert f (Value.Text "r")) in
+  let a = ok (Forest.insert ~parent:root f (iv 1)) in
+  let _ = ok (Forest.insert ~parent:a f (iv 2)) in
+  let _ = ok (Forest.insert ~parent:root f (iv 3)) in
+  let cache = Merkle.create_cache algo f in
+  let pure = Merkle.hash_subtree algo (ok (Forest.subtree f root)) in
+  Alcotest.(check string) "economical" pure (ok (Merkle.hash cache root));
+  Alcotest.(check string) "basic" pure (ok (Merkle.hash_basic cache root))
+
+let test_cache_invalidation_path () =
+  let f = Forest.create () in
+  let root, chain = build_chain f 10 in
+  let cache = Merkle.create_cache algo f in
+  let _ = ok (Merkle.hash cache root) in
+  Merkle.reset_stats cache;
+  (* update the deepest node: exactly depth+1 nodes re-hashed *)
+  let deepest = List.nth chain 9 in
+  ignore (ok (Forest.update f deepest (iv 999)));
+  let _ = ok (Merkle.hash cache root) in
+  let stats = Merkle.stats cache in
+  Alcotest.(check int) "path only" 11 stats.Merkle.nodes_hashed;
+  (* second hash with no changes: zero work *)
+  Merkle.reset_stats cache;
+  let _ = ok (Merkle.hash cache root) in
+  Alcotest.(check int) "warm cache" 0 (Merkle.stats cache).Merkle.nodes_hashed
+
+let test_basic_rehashes_everything () =
+  let f = Forest.create () in
+  let root, _ = build_chain f 10 in
+  let cache = Merkle.create_cache algo f in
+  let _ = ok (Merkle.hash cache root) in
+  Merkle.reset_stats cache;
+  let _ = ok (Merkle.hash_basic cache root) in
+  Alcotest.(check int) "all nodes" 11 (Merkle.stats cache).Merkle.nodes_hashed
+
+let test_update_changes_root_hash () =
+  let f = Forest.create () in
+  let root, chain = build_chain f 5 in
+  let cache = Merkle.create_cache algo f in
+  let h0 = ok (Merkle.hash cache root) in
+  ignore (ok (Forest.update f (List.nth chain 2) (iv 77)));
+  let h1 = ok (Merkle.hash cache root) in
+  Alcotest.(check bool) "changed" false (String.equal h0 h1)
+
+let test_structure_changes_hash () =
+  let f = Forest.create () in
+  let root = ok (Forest.insert f (iv 0)) in
+  let cache = Merkle.create_cache algo f in
+  let h0 = ok (Merkle.hash cache root) in
+  let leaf = ok (Forest.insert ~parent:root f (iv 1)) in
+  let h1 = ok (Merkle.hash cache root) in
+  Alcotest.(check bool) "insert changes" false (String.equal h0 h1);
+  ignore (ok (Forest.delete f leaf));
+  let h2 = ok (Merkle.hash cache root) in
+  Alcotest.(check string) "delete restores" (Tep_crypto.Digest_algo.to_hex h0)
+    (Tep_crypto.Digest_algo.to_hex h2)
+
+let test_missing_node () =
+  let f = Forest.create () in
+  let cache = Merkle.create_cache algo f in
+  match Merkle.hash cache (Oid.of_int 5) with
+  | Ok _ -> Alcotest.fail "hashed missing node"
+  | Error _ -> ()
+
+let test_clear () =
+  let f = Forest.create () in
+  let root, _ = build_chain f 4 in
+  let cache = Merkle.create_cache algo f in
+  let _ = ok (Merkle.hash cache root) in
+  Merkle.clear cache;
+  Merkle.reset_stats cache;
+  let _ = ok (Merkle.hash cache root) in
+  Alcotest.(check int) "recomputed after clear" 5
+    (Merkle.stats cache).Merkle.nodes_hashed
+
+(* Property: for random small trees, the hash distinguishes any single
+   value mutation. *)
+let gen_tree =
+  QCheck2.Gen.(
+    let* n = int_range 1 12 in
+    let* values = list_size (return n) (int_range 0 100) in
+    return values)
+
+let prop_mutation_detected =
+  QCheck2.Test.make ~name:"single mutation changes root hash" ~count:100
+    QCheck2.Gen.(pair gen_tree (int_range 0 1000))
+    (fun (values, pick) ->
+      let f = Forest.create () in
+      let root = ok (Forest.insert f (iv (-1))) in
+      let nodes =
+        List.map
+          (fun v ->
+            (* random-ish shape: attach to a previous node *)
+            ok (Forest.insert ~parent:root f (iv v)))
+          values
+      in
+      let cache = Merkle.create_cache algo f in
+      let h0 = ok (Merkle.hash cache root) in
+      let victim = List.nth nodes (pick mod List.length nodes) in
+      let old = ok (Forest.value f victim) in
+      ignore (ok (Forest.update f victim (Value.Int 1_000_000)));
+      let h1 = ok (Merkle.hash cache root) in
+      ignore (ok (Forest.update f victim old));
+      let h2 = ok (Merkle.hash cache root) in
+      (not (String.equal h0 h1)) && String.equal h0 h2)
+
+let () =
+  Alcotest.run "merkle"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "leaf hash definition" `Quick
+            test_leaf_hash_definition;
+          Alcotest.test_case "hash_value" `Quick test_hash_value_vs_subtree;
+          Alcotest.test_case "cache agrees with pure" `Quick
+            test_cache_agrees_with_pure;
+          Alcotest.test_case "invalidation path" `Quick
+            test_cache_invalidation_path;
+          Alcotest.test_case "basic rehashes all" `Quick
+            test_basic_rehashes_everything;
+          Alcotest.test_case "update changes root" `Quick
+            test_update_changes_root_hash;
+          Alcotest.test_case "structure changes hash" `Quick
+            test_structure_changes_hash;
+          Alcotest.test_case "missing node" `Quick test_missing_node;
+          Alcotest.test_case "clear" `Quick test_clear;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_mutation_detected ]);
+    ]

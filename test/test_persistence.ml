@@ -1,0 +1,242 @@
+(* Cross-session persistence: forest / tree-view codecs, participant
+   and CA serialisation, and full engine resume via Engine.of_parts. *)
+open Tep_store
+open Tep_tree
+open Tep_core
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let iv i = Value.Int i
+
+(* ---- forest codec ---- *)
+
+let test_forest_roundtrip () =
+  let f = Forest.create () in
+  let a = ok (Forest.insert f (Value.Text "root")) in
+  let b = ok (Forest.insert ~parent:a f (iv 1)) in
+  let _c = ok (Forest.insert ~parent:b f (iv 2)) in
+  let d = ok (Forest.insert f (iv 3)) in
+  ignore (ok (Forest.delete f d));
+  (* d's oid must NOT be reused after reload *)
+  let buf = Buffer.create 256 in
+  Forest.encode buf f;
+  let f', off = Forest.decode (Buffer.contents buf) 0 in
+  Alcotest.(check int) "consumed" (Buffer.length buf) off;
+  Alcotest.(check int) "node count" (Forest.node_count f) (Forest.node_count f');
+  Alcotest.(check bool) "same subtree" true
+    (Subtree.equal (ok (Forest.subtree f a)) (ok (Forest.subtree f' a)));
+  let fresh = ok (Forest.insert f' (iv 9)) in
+  Alcotest.(check bool) "watermark: deleted oid not reused" true
+    (Oid.compare fresh d > 0)
+
+let test_forest_roundtrip_hash_stable () =
+  let algo = Tep_crypto.Digest_algo.SHA1 in
+  let f = Forest.create () in
+  let root = ok (Forest.insert f (Value.Text "r")) in
+  for i = 1 to 30 do
+    ignore (ok (Forest.insert ~parent:root f (iv i)))
+  done;
+  let h = Merkle.hash_subtree algo (ok (Forest.subtree f root)) in
+  let buf = Buffer.create 256 in
+  Forest.encode buf f;
+  let f', _ = Forest.decode (Buffer.contents buf) 0 in
+  let h' = Merkle.hash_subtree algo (ok (Forest.subtree f' root)) in
+  Alcotest.(check string) "hash stable" (Tep_crypto.Digest_algo.to_hex h)
+    (Tep_crypto.Digest_algo.to_hex h')
+
+let prop_forest_roundtrip =
+  QCheck2.Test.make ~name:"random forest codec roundtrip" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 30) (int_range 0 100))
+    (fun values ->
+      let f = Forest.create () in
+      let nodes = ref [] in
+      List.iteri
+        (fun i v ->
+          let parent =
+            match !nodes with
+            | [] -> None
+            | l -> Some (List.nth l (i * 7 mod List.length l))
+          in
+          match Forest.insert ?parent f (iv v) with
+          | Ok o -> nodes := o :: !nodes
+          | Error _ -> ())
+        values;
+      let buf = Buffer.create 256 in
+      Forest.encode buf f;
+      let f', _ = Forest.decode (Buffer.contents buf) 0 in
+      Forest.node_count f = Forest.node_count f'
+      && List.for_all
+           (fun o ->
+             match (Forest.subtree f o, Forest.subtree f' o) with
+             | Ok a, Ok b -> Subtree.equal a b
+             | _ -> false)
+           (Forest.roots f))
+
+(* ---- tree view codec ---- *)
+
+let test_view_roundtrip () =
+  let db = Database.create ~name:"p" in
+  let t = ok (Database.create_table db ~name:"t" (Schema.all_int [ "a"; "b" ])) in
+  for i = 0 to 4 do
+    ignore (Table.insert t [| iv i; iv i |])
+  done;
+  let f = Forest.create () in
+  let m = Tree_view.build f db in
+  let buf = Buffer.create 256 in
+  Tree_view.encode buf m;
+  let m', off = Tree_view.decode (Buffer.contents buf) 0 in
+  Alcotest.(check int) "consumed" (Buffer.length buf) off;
+  Alcotest.(check bool) "root" true (Oid.equal (Tree_view.root m) (Tree_view.root m'));
+  for i = 0 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "row %d" i)
+      true
+      (Tree_view.row_oid m "t" i = Tree_view.row_oid m' "t" i);
+    Alcotest.(check bool)
+      (Printf.sprintf "cell %d" i)
+      true
+      (Tree_view.cell_oid m "t" i 1 = Tree_view.cell_oid m' "t" i 1)
+  done;
+  (* reverse lookup reconstructed *)
+  let coid = Option.get (Tree_view.cell_oid m' "t" 2 0) in
+  Alcotest.(check bool) "locate" true
+    (Tree_view.locate m' coid = Some (Tree_view.Cell ("t", 2, 0)))
+
+(* ---- participant / CA serialisation ---- *)
+
+let test_participant_roundtrip () =
+  let drbg = Tep_crypto.Drbg.create ~seed:"persist" in
+  let ca = Tep_crypto.Pki.create_ca ~name:"CA" drbg in
+  let p = Participant.create ~bits:512 ~ca ~name:"weird name |:@" drbg in
+  match Participant.of_string (Participant.to_string p) with
+  | None -> Alcotest.fail "roundtrip failed"
+  | Some p' ->
+      Alcotest.(check string) "name" (Participant.name p) (Participant.name p');
+      (* restored credentials still sign verifiably *)
+      let s = Participant.sign p' "payload" in
+      Alcotest.(check bool) "signs" true
+        (Tep_crypto.Rsa.verify ~algo:Tep_crypto.Digest_algo.SHA256
+           (Participant.public_key p) ~msg:"payload" ~signature:s);
+      Alcotest.(check bool) "cert intact" true
+        (Tep_crypto.Pki.verify_certificate
+           ~ca_key:(Tep_crypto.Pki.ca_public_key ca)
+           (Participant.certificate p'))
+
+let test_participant_garbage () =
+  Alcotest.(check bool) "garbage" true (Participant.of_string "junk" = None)
+
+let test_ca_roundtrip () =
+  let drbg = Tep_crypto.Drbg.create ~seed:"persist-ca" in
+  let ca = Tep_crypto.Pki.create_ca ~name:"Root" drbg in
+  let kp = Tep_crypto.Rsa.generate ~bits:512 drbg in
+  let c1 = Tep_crypto.Pki.issue ca ~subject:"x" kp.Tep_crypto.Rsa.public in
+  match Tep_crypto.Pki.ca_of_string (Tep_crypto.Pki.ca_to_string ca) with
+  | None -> Alcotest.fail "CA roundtrip failed"
+  | Some ca' ->
+      (* serial counter continues; old certs still verify *)
+      let c2 = Tep_crypto.Pki.issue ca' ~subject:"y" kp.Tep_crypto.Rsa.public in
+      Alcotest.(check bool) "serial continues" true
+        (c2.Tep_crypto.Pki.serial > c1.Tep_crypto.Pki.serial);
+      Alcotest.(check bool) "old cert valid under restored CA key" true
+        (Tep_crypto.Pki.verify_certificate
+           ~ca_key:(Tep_crypto.Pki.ca_public_key ca')
+           c1)
+
+(* ---- full engine resume ---- *)
+
+let test_engine_resume () =
+  let drbg = Tep_crypto.Drbg.create ~seed:"resume" in
+  let ca = Tep_crypto.Pki.create_ca ~name:"CA" drbg in
+  let dir = Participant.Directory.create ~ca_key:(Tep_crypto.Pki.ca_public_key ca) in
+  let alice = Participant.create ~bits:512 ~ca ~name:"alice" drbg in
+  Participant.Directory.register dir alice;
+  let db = Database.create ~name:"resume" in
+  ignore (ok (Database.create_table db ~name:"t" (Schema.all_int [ "a" ])));
+  let eng = Engine.create ~directory:dir db in
+  (* session 1: mutate, including inserts/deletes that disturb the
+     default layout *)
+  let r0 = ok (Engine.insert_row eng alice ~table:"t" [| iv 1 |]) in
+  let r1 = ok (Engine.insert_row eng alice ~table:"t" [| iv 2 |]) in
+  ok (Engine.delete_row eng alice ~table:"t" r0);
+  ok (Engine.update_cell eng alice ~table:"t" ~row:r1 ~col:0 (iv 3));
+  (* persist everything *)
+  let snap = Snapshot.to_string (Engine.backend eng) in
+  let prov_s = Provstore.to_string (Engine.provstore eng) in
+  let fbuf = Buffer.create 256 in
+  Forest.encode fbuf (Engine.forest eng);
+  let vbuf = Buffer.create 256 in
+  Tree_view.encode vbuf (Engine.mapping eng);
+  (* session 2: reload and verify the resumed state *)
+  let db' = ok (Snapshot.of_string snap) in
+  let prov' = ok (Provstore.of_string prov_s) in
+  let forest', _ = Forest.decode (Buffer.contents fbuf) 0 in
+  let view', _ = Tree_view.decode (Buffer.contents vbuf) 0 in
+  let eng' = Engine.of_parts ~provstore:prov' ~directory:dir ~forest:forest' ~view:view' db' in
+  let report = ok (Engine.verify_object eng' (Engine.root_oid eng')) in
+  Alcotest.(check bool) "resumed state verifies" true (Verifier.ok report);
+  (* continue the history: chains must extend, not fork *)
+  ok (Engine.update_cell eng' alice ~table:"t" ~row:r1 ~col:0 (iv 4));
+  let report = ok (Engine.verify_object eng' (Engine.root_oid eng')) in
+  Alcotest.(check bool) "extended history verifies" true (Verifier.ok report);
+  let cell = Option.get (Tree_view.cell_oid (Engine.mapping eng') "t" r1 0) in
+  let recs = Provstore.records_for (Engine.provstore eng') cell in
+  Alcotest.(check int) "cell chain continued" 3 (List.length recs);
+  (* a fresh insert must not collide with the deleted row's oids *)
+  let r2 = ok (Engine.insert_row eng' alice ~table:"t" [| iv 9 |]) in
+  let roid2 = Option.get (Tree_view.row_oid (Engine.mapping eng') "t" r2) in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "no oid collision with history" true
+        (not (Oid.equal r.Record.output_oid roid2)
+        || r.Record.seq_id = 0))
+    (Provstore.all (Engine.provstore eng'));
+  let report = ok (Engine.verify_object eng' (Engine.root_oid eng')) in
+  Alcotest.(check bool) "still verifies" true (Verifier.ok report)
+
+let test_rebuild_vs_resume_divergence () =
+  (* Demonstrates WHY of_parts exists: rebuilding the view after
+     engine-driven inserts would assign different oids. *)
+  let drbg = Tep_crypto.Drbg.create ~seed:"diverge" in
+  let ca = Tep_crypto.Pki.create_ca ~name:"CA" drbg in
+  let dir = Participant.Directory.create ~ca_key:(Tep_crypto.Pki.ca_public_key ca) in
+  let alice = Participant.create ~bits:512 ~ca ~name:"alice" drbg in
+  Participant.Directory.register dir alice;
+  let db = Database.create ~name:"d" in
+  ignore (ok (Database.create_table db ~name:"t" (Schema.all_int [ "a" ])));
+  let eng = Engine.create ~directory:dir db in
+  let r0 = ok (Engine.insert_row eng alice ~table:"t" [| iv 1 |]) in
+  ok (Engine.delete_row eng alice ~table:"t" r0);
+  let r1 = ok (Engine.insert_row eng alice ~table:"t" [| iv 2 |]) in
+  let original = Option.get (Tree_view.row_oid (Engine.mapping eng) "t" r1) in
+  (* a rebuilt view compacts oids -> different assignment *)
+  let f2 = Forest.create () in
+  let m2 = Tree_view.build f2 (Engine.backend eng) in
+  let rebuilt = Option.get (Tree_view.row_oid m2 "t" r1) in
+  Alcotest.(check bool) "rebuild diverges" false (Oid.equal original rebuilt)
+
+let () =
+  Alcotest.run "persistence"
+    [
+      ( "codecs",
+        [
+          Alcotest.test_case "forest roundtrip" `Quick test_forest_roundtrip;
+          Alcotest.test_case "forest hash stable" `Quick
+            test_forest_roundtrip_hash_stable;
+          Alcotest.test_case "view roundtrip" `Quick test_view_roundtrip;
+          QCheck_alcotest.to_alcotest prop_forest_roundtrip;
+        ] );
+      ( "credentials",
+        [
+          Alcotest.test_case "participant roundtrip" `Quick
+            test_participant_roundtrip;
+          Alcotest.test_case "participant garbage" `Quick
+            test_participant_garbage;
+          Alcotest.test_case "ca roundtrip" `Quick test_ca_roundtrip;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "resume" `Quick test_engine_resume;
+          Alcotest.test_case "rebuild diverges (why of_parts)" `Quick
+            test_rebuild_vs_resume_divergence;
+        ] );
+    ]

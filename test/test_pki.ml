@@ -1,0 +1,75 @@
+(* Certificate authority and certificate validation. *)
+open Tep_crypto
+
+let drbg = Drbg.create ~seed:"test-pki"
+let ca = Pki.create_ca ~name:"Root CA" drbg
+let ca_key = Pki.ca_public_key ca
+let alice = Rsa.generate ~bits:512 drbg
+let bob = Rsa.generate ~bits:512 drbg
+
+let test_issue_verify () =
+  let cert = Pki.issue ca ~subject:"alice" alice.Rsa.public in
+  Alcotest.(check string) "subject" "alice" cert.Pki.subject;
+  Alcotest.(check string) "issuer" "Root CA" cert.Pki.issuer;
+  Alcotest.(check bool) "verifies" true (Pki.verify_certificate ~ca_key cert)
+
+let test_serials_increase () =
+  let c1 = Pki.issue ca ~subject:"s1" alice.Rsa.public in
+  let c2 = Pki.issue ca ~subject:"s2" bob.Rsa.public in
+  Alcotest.(check bool) "monotone" true (c2.Pki.serial > c1.Pki.serial)
+
+let test_tampered_subject () =
+  let cert = Pki.issue ca ~subject:"alice" alice.Rsa.public in
+  Alcotest.(check bool)
+    "renamed subject fails" false
+    (Pki.verify_certificate ~ca_key { cert with Pki.subject = "mallory" })
+
+let test_swapped_key () =
+  let cert = Pki.issue ca ~subject:"alice" alice.Rsa.public in
+  Alcotest.(check bool)
+    "swapped key fails" false
+    (Pki.verify_certificate ~ca_key
+       { cert with Pki.subject_key = bob.Rsa.public })
+
+let test_wrong_ca () =
+  let other_ca = Pki.create_ca ~name:"Root CA" drbg in
+  let cert = Pki.issue ca ~subject:"alice" alice.Rsa.public in
+  Alcotest.(check bool)
+    "foreign CA key fails" false
+    (Pki.verify_certificate ~ca_key:(Pki.ca_public_key other_ca) cert)
+
+let test_tbs_binding () =
+  (* the to-be-signed string must distinguish field boundaries *)
+  let c1 = Pki.issue ca ~subject:"ab" alice.Rsa.public in
+  let c2 = { c1 with Pki.subject = "a"; Pki.issuer = "bRoot CA" } in
+  Alcotest.(check bool)
+    "field-shift forgery fails" false
+    (Pki.verify_certificate ~ca_key c2)
+
+let test_serialisation () =
+  let cert = Pki.issue ca ~subject:"weird|name:with delims" alice.Rsa.public in
+  match Pki.certificate_of_string (Pki.certificate_to_string cert) with
+  | Some c ->
+      Alcotest.(check string) "subject" cert.Pki.subject c.Pki.subject;
+      Alcotest.(check bool) "still verifies" true (Pki.verify_certificate ~ca_key c)
+  | None -> Alcotest.fail "roundtrip failed"
+
+let test_bad_serialisation () =
+  Alcotest.(check bool) "garbage" true (Pki.certificate_of_string "garbage" = None);
+  Alcotest.(check bool) "empty" true (Pki.certificate_of_string "" = None)
+
+let () =
+  Alcotest.run "pki"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "issue & verify" `Quick test_issue_verify;
+          Alcotest.test_case "serials increase" `Quick test_serials_increase;
+          Alcotest.test_case "tampered subject" `Quick test_tampered_subject;
+          Alcotest.test_case "swapped key" `Quick test_swapped_key;
+          Alcotest.test_case "wrong CA" `Quick test_wrong_ca;
+          Alcotest.test_case "tbs field binding" `Quick test_tbs_binding;
+          Alcotest.test_case "serialisation" `Quick test_serialisation;
+          Alcotest.test_case "bad serialisation" `Quick test_bad_serialisation;
+        ] );
+    ]

@@ -1,0 +1,103 @@
+(* Primality testing and prime generation. *)
+open Tep_bignum
+
+let drbg = Tep_crypto.Drbg.create ~seed:"test-prime"
+let src = Tep_crypto.Drbg.byte_source drbg
+
+let known_primes =
+  [ 2; 3; 5; 7; 11; 13; 97; 541; 7919; 104729; 999983; 2147483647 ]
+
+let known_composites =
+  [ 4; 6; 9; 15; 91; 561 (* Carmichael *); 41041 (* Carmichael *); 999982 ]
+
+let test_small_primes_table () =
+  Alcotest.(check int) "count below 1000" 168 (Array.length Prime.small_primes);
+  Alcotest.(check int) "first" 2 Prime.small_primes.(0);
+  Alcotest.(check int) "last" 997 Prime.small_primes.(167)
+
+let test_known_primes () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (string_of_int p) true
+        (Prime.is_probably_prime src (Nat.of_int p)))
+    known_primes
+
+let test_known_composites () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (string_of_int c) false
+        (Prime.is_probably_prime src (Nat.of_int c)))
+    known_composites;
+  Alcotest.(check bool) "0" false (Prime.is_probably_prime src Nat.zero);
+  Alcotest.(check bool) "1" false (Prime.is_probably_prime src Nat.one)
+
+let test_big_primes () =
+  (* Mersenne primes 2^89-1, 2^107-1, 2^127-1 and a neighbour. *)
+  List.iter
+    (fun k ->
+      let m = Nat.sub (Nat.shift_left Nat.one k) Nat.one in
+      Alcotest.(check bool)
+        (Printf.sprintf "2^%d-1" k)
+        true
+        (Prime.is_probably_prime src m))
+    [ 89; 107; 127 ];
+  let not_mersenne = Nat.sub (Nat.shift_left Nat.one 97) Nat.one in
+  Alcotest.(check bool) "2^97-1 composite" false
+    (Prime.is_probably_prime src not_mersenne)
+
+let test_random_below () =
+  let bound = Nat.of_int 1000 in
+  for _ = 1 to 200 do
+    let x = Prime.random_below src bound in
+    Alcotest.(check bool) "in range" true (Nat.compare x bound < 0)
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Prime.random_below: zero bound") (fun () ->
+      ignore (Prime.random_below src Nat.zero))
+
+let test_random_bits () =
+  for k = 1 to 64 do
+    let x = Prime.random_bits src k in
+    Alcotest.(check bool)
+      (Printf.sprintf "bits <= %d" k)
+      true
+      (Nat.num_bits x <= k)
+  done
+
+let test_generate () =
+  List.iter
+    (fun bits ->
+      let p = Prime.generate src ~bits in
+      Alcotest.(check int) "exact bit length" bits (Nat.num_bits p);
+      Alcotest.(check bool) "top two bits set" true (Nat.testbit p (bits - 2));
+      Alcotest.(check bool) "odd" true (not (Nat.is_even p));
+      Alcotest.(check bool) "prime" true (Prime.is_probably_prime src p))
+    [ 64; 128; 256 ];
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Prime.generate: need at least 8 bits") (fun () ->
+      ignore (Prime.generate src ~bits:4))
+
+let test_product_width () =
+  (* Top-two-bits guarantee: p*q of two k-bit primes has 2k bits. *)
+  for _ = 1 to 5 do
+    let p = Prime.generate src ~bits:96 and q = Prime.generate src ~bits:96 in
+    Alcotest.(check int) "product width" 192 (Nat.num_bits (Nat.mul p q))
+  done
+
+let () =
+  Alcotest.run "prime"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "sieve table" `Quick test_small_primes_table;
+          Alcotest.test_case "known primes" `Quick test_known_primes;
+          Alcotest.test_case "known composites" `Quick test_known_composites;
+          Alcotest.test_case "big primes" `Quick test_big_primes;
+          Alcotest.test_case "random_below" `Quick test_random_below;
+          Alcotest.test_case "random_bits" `Quick test_random_bits;
+          Alcotest.test_case "generate" `Quick test_generate;
+          Alcotest.test_case "product width" `Quick test_product_width;
+        ] );
+    ]

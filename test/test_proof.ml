@@ -1,0 +1,244 @@
+(* Merkle membership proofs and slice delivery. *)
+open Tep_store
+open Tep_tree
+open Tep_core
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+let algo = Tep_crypto.Digest_algo.SHA1
+
+let build_forest () =
+  let f = Forest.create () in
+  let root = ok (Forest.insert f (Value.Text "db")) in
+  let t1 = ok (Forest.insert ~parent:root f (Value.Text "t1")) in
+  let rows =
+    List.init 5 (fun i ->
+        let r = ok (Forest.insert ~parent:t1 f (Value.Int i)) in
+        let cells =
+          List.init 3 (fun c ->
+              ok (Forest.insert ~parent:r f (Value.Int ((i * 10) + c))))
+        in
+        (r, cells))
+  in
+  let cache = Merkle.create_cache algo f in
+  let root_hash = ok (Merkle.hash cache root) in
+  (f, cache, root, root_hash, rows)
+
+let test_prove_verify () =
+  let f, cache, _, root_hash, rows = build_forest () in
+  List.iter
+    (fun (_, cells) ->
+      List.iter
+        (fun cell ->
+          let p = ok (Proof.prove cache f cell) in
+          (match Proof.verify algo ~root_hash p with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail e);
+          Alcotest.(check int) "path depth" 3 (List.length p.Proof.path))
+        cells)
+    rows
+
+let test_proof_of_root_leaf () =
+  let f = Forest.create () in
+  let lone = ok (Forest.insert f (Value.Int 42)) in
+  let cache = Merkle.create_cache algo f in
+  let h = ok (Merkle.hash cache lone) in
+  let p = ok (Proof.prove cache f lone) in
+  Alcotest.(check int) "empty path" 0 (List.length p.Proof.path);
+  Alcotest.(check bool) "root is self" true (Oid.equal (Proof.root_oid p) lone);
+  match Proof.verify algo ~root_hash:h p with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_compound_rejected () =
+  let f, cache, _, _, rows = build_forest () in
+  let row, _ = List.hd rows in
+  match Proof.prove cache f row with
+  | Ok _ -> Alcotest.fail "compound object proven as atomic"
+  | Error _ -> ()
+
+let test_wrong_value_rejected () =
+  let f, cache, _, root_hash, rows = build_forest () in
+  let _, cells = List.hd rows in
+  let p = ok (Proof.prove cache f (List.hd cells)) in
+  let forged = { p with Proof.leaf_value = Value.Int 999_999 } in
+  match Proof.verify algo ~root_hash forged with
+  | Ok () -> Alcotest.fail "forged value accepted"
+  | Error _ -> ()
+
+let test_wrong_root_rejected () =
+  let f, cache, _, _, rows = build_forest () in
+  let _, cells = List.hd rows in
+  let p = ok (Proof.prove cache f (List.hd cells)) in
+  match Proof.verify algo ~root_hash:(String.make 20 'x') p with
+  | Ok () -> Alcotest.fail "wrong root accepted"
+  | Error _ -> ()
+
+let test_sibling_swap_rejected () =
+  let f, cache, _, root_hash, rows = build_forest () in
+  let _, cells = List.hd rows in
+  let p = ok (Proof.prove cache f (List.hd cells)) in
+  (* perturb a sibling hash in the first step *)
+  let forged =
+    match p.Proof.path with
+    | s :: rest ->
+        let children =
+          List.map
+            (fun (o, h) ->
+              if Oid.equal o p.Proof.leaf_oid then (o, h)
+              else (o, String.map (fun c -> Char.chr (Char.code c lxor 1)) h))
+            s.Proof.children
+        in
+        { p with Proof.path = { s with Proof.children } :: rest }
+    | [] -> Alcotest.fail "expected a path"
+  in
+  match Proof.verify algo ~root_hash forged with
+  | Ok () -> Alcotest.fail "sibling forgery accepted"
+  | Error _ -> ()
+
+let test_codec_roundtrip () =
+  let f, cache, _, root_hash, rows = build_forest () in
+  let _, cells = List.nth rows 2 in
+  let p = ok (Proof.prove cache f (List.nth cells 1)) in
+  let buf = Buffer.create 256 in
+  Proof.encode buf p;
+  let p', off = Proof.decode (Buffer.contents buf) 0 in
+  Alcotest.(check int) "consumed" (Buffer.length buf) off;
+  (match Proof.verify algo ~root_hash p' with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "size_bytes" (Buffer.length buf) (Proof.size_bytes p)
+
+(* ---- slices ---- *)
+
+let engine_fixture () =
+  let drbg = Tep_crypto.Drbg.create ~seed:"test-slice" in
+  let ca = Tep_crypto.Pki.create_ca ~bits:512 ~name:"CA" drbg in
+  let dir = Participant.Directory.create ~ca_key:(Tep_crypto.Pki.ca_public_key ca) in
+  let alice = Participant.create ~bits:512 ~ca ~name:"alice" drbg in
+  Participant.Directory.register dir alice;
+  let db = Database.create ~name:"s" in
+  (* documents table: the realistic slice-delivery case is big cell
+     payloads, where proof-path hashes are far smaller than data *)
+  let schema =
+    Schema.make
+      [
+        { Schema.name = "id"; ty = Value.TInt; nullable = false };
+        { Schema.name = "doc"; ty = Value.TText; nullable = false };
+        { Schema.name = "status"; ty = Value.TInt; nullable = false };
+      ]
+  in
+  ignore (ok (Database.create_table db ~name:"t" schema));
+  let eng = Engine.create ~directory:dir db in
+  (* bulk-load in one complex operation: short history, large state *)
+  ignore
+    (ok
+       (Engine.complex_op eng alice (fun () ->
+            let rec go i =
+              if i >= 200 then Ok ()
+              else
+                match
+                  Engine.insert_row eng alice ~table:"t"
+                    [|
+                      Value.Int i;
+                      Value.Text (String.make 120 (Char.chr (65 + (i mod 26))));
+                      Value.Int 0;
+                    |]
+                with
+                | Ok _ -> go (i + 1)
+                | Error e -> Error e
+            in
+            go 0)));
+  ok (Engine.update_cell eng alice ~table:"t" ~row:7 ~col:2 (Value.Int 777));
+  (eng, alice, drbg)
+
+let test_slice_roundtrip_and_verify () =
+  let eng, _, _ = engine_fixture () in
+  let cell = Option.get (Tree_view.cell_oid (Engine.mapping eng) "t" 7 2) in
+  let slice = ok (Slice.create eng cell) in
+  Alcotest.(check bool) "value carried" true
+    (Value.equal (Slice.leaf_value slice) (Value.Int 777));
+  let report = ok (Slice.verify slice) in
+  Alcotest.(check bool) "verifies" true (Verifier.ok report);
+  (* wire roundtrip *)
+  let slice' = ok (Slice.of_string (Slice.to_string slice)) in
+  Alcotest.(check bool) "roundtrip verifies" true
+    (Verifier.ok (ok (Slice.verify slice')))
+
+let test_slice_much_smaller_than_bundle () =
+  let eng, _, _ = engine_fixture () in
+  let cell = Option.get (Tree_view.cell_oid (Engine.mapping eng) "t" 7 2) in
+  let slice = ok (Slice.create eng cell) in
+  let bundle = ok (Bundle.create eng (Engine.root_oid eng)) in
+  let slice_bytes = String.length (Slice.to_string slice) in
+  let bundle_bytes = String.length (Bundle.to_string bundle) in
+  Alcotest.(check bool)
+    (Printf.sprintf "slice %dB < bundle %dB" slice_bytes bundle_bytes)
+    true
+    (slice_bytes * 2 < bundle_bytes)
+
+let test_slice_forged_value () =
+  let eng, _, _ = engine_fixture () in
+  let cell = Option.get (Tree_view.cell_oid (Engine.mapping eng) "t" 7 2) in
+  let slice = ok (Slice.create eng cell) in
+  let forged =
+    {
+      slice with
+      Slice.proof = { slice.Slice.proof with Proof.leaf_value = Value.Int 1 };
+    }
+  in
+  match Slice.verify forged with
+  | Ok report -> Alcotest.(check bool) "rejected" false (Verifier.ok report)
+  | Error _ -> ()
+
+let test_slice_stale_after_update () =
+  (* a slice proves membership in a STATE; after the state moves on,
+     the old slice no longer verifies against fresh provenance *)
+  let eng, alice, _ = engine_fixture () in
+  let cell = Option.get (Tree_view.cell_oid (Engine.mapping eng) "t" 7 2) in
+  let slice = ok (Slice.create eng cell) in
+  ok (Engine.update_cell eng alice ~table:"t" ~row:3 ~col:0 (Value.Int 5));
+  let fresh = ok (Slice.create eng cell) in
+  (* old slice still verifies against its own records (they chain),
+     but mixing the old proof with the new records must fail *)
+  let mixed = { slice with Slice.root_records = fresh.Slice.root_records } in
+  (match Slice.verify mixed with
+  | Ok report -> Alcotest.(check bool) "stale proof rejected" false (Verifier.ok report)
+  | Error _ -> ());
+  Alcotest.(check bool) "fresh slice fine" true
+    (Verifier.ok (ok (Slice.verify fresh)))
+
+let test_slice_foreign_ca () =
+  let eng, _, drbg = engine_fixture () in
+  let cell = Option.get (Tree_view.cell_oid (Engine.mapping eng) "t" 7 2) in
+  let slice = ok (Slice.create eng cell) in
+  let other = Tep_crypto.Pki.create_ca ~bits:512 ~name:"Other" drbg in
+  match Slice.verify ~trusted_ca:(Tep_crypto.Pki.ca_public_key other) slice with
+  | Ok report -> Alcotest.(check bool) "foreign anchor rejected" false (Verifier.ok report)
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "proof"
+    [
+      ( "merkle-proofs",
+        [
+          Alcotest.test_case "prove & verify all cells" `Quick
+            test_prove_verify;
+          Alcotest.test_case "root leaf" `Quick test_proof_of_root_leaf;
+          Alcotest.test_case "compound rejected" `Quick test_compound_rejected;
+          Alcotest.test_case "wrong value" `Quick test_wrong_value_rejected;
+          Alcotest.test_case "wrong root" `Quick test_wrong_root_rejected;
+          Alcotest.test_case "sibling forgery" `Quick
+            test_sibling_swap_rejected;
+          Alcotest.test_case "codec" `Quick test_codec_roundtrip;
+        ] );
+      ( "slices",
+        [
+          Alcotest.test_case "roundtrip & verify" `Quick
+            test_slice_roundtrip_and_verify;
+          Alcotest.test_case "smaller than bundle" `Quick
+            test_slice_much_smaller_than_bundle;
+          Alcotest.test_case "forged value" `Quick test_slice_forged_value;
+          Alcotest.test_case "stale proof" `Quick test_slice_stale_after_update;
+          Alcotest.test_case "foreign CA" `Quick test_slice_foreign_ca;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+(* Provenance queries: history, blame, contribution, derivation. *)
+open Tep_store
+open Tep_tree
+open Tep_core
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let fixture () =
+  let drbg = Tep_crypto.Drbg.create ~seed:"test-pq" in
+  let ca = Tep_crypto.Pki.create_ca ~bits:512 ~name:"CA" drbg in
+  let dir = Participant.Directory.create ~ca_key:(Tep_crypto.Pki.ca_public_key ca) in
+  let mk name =
+    let p = Participant.create ~bits:512 ~ca ~name drbg in
+    Participant.Directory.register dir p;
+    p
+  in
+  let alice = mk "alice" and bob = mk "bob" in
+  let db = Database.create ~name:"pq" in
+  ignore (ok (Database.create_table db ~name:"t" (Schema.all_int [ "a" ])));
+  let eng = Engine.create ~directory:dir db in
+  let r0 = ok (Engine.insert_row eng alice ~table:"t" [| Value.Int 1 |]) in
+  let r1 = ok (Engine.insert_row eng alice ~table:"t" [| Value.Int 2 |]) in
+  ok (Engine.update_cell eng bob ~table:"t" ~row:r0 ~col:0 (Value.Int 10));
+  ok (Engine.update_cell eng alice ~table:"t" ~row:r0 ~col:0 (Value.Int 20));
+  let row0 = Option.get (Tree_view.row_oid (Engine.mapping eng) "t" r0) in
+  let row1 = Option.get (Tree_view.row_oid (Engine.mapping eng) "t" r1) in
+  let cell = Option.get (Tree_view.cell_oid (Engine.mapping eng) "t" r0 0) in
+  let agg = ok (Engine.aggregate_objects eng bob ~value:(Value.Text "agg") [ row0; row1 ]) in
+  let agg2 = ok (Engine.aggregate_objects eng alice ~value:(Value.Text "agg2") [ agg ]) in
+  (eng, alice, bob, cell, row0, row1, agg, agg2)
+
+let store eng = Engine.provstore eng
+
+let test_history_and_values () =
+  let eng, _, _, cell, _, _, _, _ = fixture () in
+  let h = Prov_query.history (store eng) cell in
+  Alcotest.(check int) "3 records" 3 (List.length h);
+  let vh = Prov_query.value_history (store eng) cell in
+  Alcotest.(check (list (triple int string (of_pp Value.pp))))
+    "value timeline"
+    [ (0, "alice", Value.Int 1); (1, "bob", Value.Int 10); (2, "alice", Value.Int 20) ]
+    (List.map (fun (s, p, v) -> (s, p, v)) vh)
+
+let test_writers () =
+  let eng, _, _, cell, _, _, _, _ = fixture () in
+  Alcotest.(check (option string)) "last writer" (Some "alice")
+    (Prov_query.last_writer (store eng) cell);
+  Alcotest.(check (list string)) "writers in order" [ "alice"; "bob" ]
+    (Prov_query.writers (store eng) cell)
+
+let test_contributors () =
+  let eng, _, _, _, _, _, agg, _ = fixture () in
+  let cs = Prov_query.contributors (store eng) agg in
+  Alcotest.(check bool) "both participants" true
+    (List.mem_assoc "alice" cs && List.mem_assoc "bob" cs);
+  (* sorted by count descending *)
+  match cs with
+  | (_, c1) :: (_, c2) :: _ -> Alcotest.(check bool) "sorted" true (c1 >= c2)
+  | _ -> Alcotest.fail "expected two contributors"
+
+let test_derived_from () =
+  let eng, _, _, _, row0, row1, agg, agg2 = fixture () in
+  let d = Prov_query.derived_from (store eng) agg in
+  Alcotest.(check bool) "rows included" true
+    (List.exists (Oid.equal row0) d && List.exists (Oid.equal row1) d);
+  let d2 = Prov_query.derived_from (store eng) agg2 in
+  Alcotest.(check bool) "transitive through agg" true
+    (List.exists (Oid.equal agg) d2 && List.exists (Oid.equal row0) d2)
+
+let test_derivatives () =
+  let eng, _, _, _, row0, _, agg, agg2 = fixture () in
+  let d = Prov_query.derivatives (store eng) row0 in
+  Alcotest.(check bool) "agg downstream" true (List.exists (Oid.equal agg) d);
+  Alcotest.(check bool) "agg2 transitively downstream" true
+    (List.exists (Oid.equal agg2) d);
+  Alcotest.(check (list int)) "agg2 has no derivatives" []
+    (List.map Oid.to_int (Prov_query.derivatives (store eng) agg2))
+
+let test_touched_by () =
+  let eng, _, _, cell, _, _, _, _ = fixture () in
+  let bobs = Prov_query.touched_by (store eng) "bob" in
+  Alcotest.(check bool) "bob touched the cell" true (List.exists (Oid.equal cell) bobs);
+  Alcotest.(check (list int)) "nobody named carol" []
+    (List.map Oid.to_int (Prov_query.touched_by (store eng) "carol"))
+
+let test_state_hash_at () =
+  let eng, _, _, cell, _, _, _, _ = fixture () in
+  (match Prov_query.state_hash_at (store eng) cell 1 with
+  | Some h ->
+      let r2 = Option.get (Prov_query.record_at (store eng) cell 2) in
+      Alcotest.(check (list string)) "v1 hash feeds v2 input"
+        [ Tep_crypto.Digest_algo.to_hex h ]
+        (List.map Tep_crypto.Digest_algo.to_hex r2.Record.input_hashes)
+  | None -> Alcotest.fail "missing version");
+  Alcotest.(check bool) "absent version" true
+    (Prov_query.state_hash_at (store eng) cell 99 = None)
+
+let () =
+  Alcotest.run "prov_query"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "history & values" `Quick test_history_and_values;
+          Alcotest.test_case "writers" `Quick test_writers;
+          Alcotest.test_case "contributors" `Quick test_contributors;
+          Alcotest.test_case "derived_from" `Quick test_derived_from;
+          Alcotest.test_case "derivatives" `Quick test_derivatives;
+          Alcotest.test_case "touched_by" `Quick test_touched_by;
+          Alcotest.test_case "state_hash_at" `Quick test_state_hash_at;
+        ] );
+    ]

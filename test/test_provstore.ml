@@ -1,0 +1,156 @@
+(* Provenance store: chains, DAG closure, relational mirror, codec. *)
+open Tep_store
+open Tep_tree
+open Tep_core
+
+let mk_rec ?(kind = Record.Update) ?(prevs = []) ?(inputs = []) ~seq ~oid
+    ~checksum () =
+  {
+    Record.seq_id = seq;
+    participant = "p";
+    kind;
+    inherited = false;
+    input_oids = List.map fst inputs;
+    input_hashes = List.map snd inputs;
+    output_oid = Oid.of_int oid;
+    output_hash = Printf.sprintf "h-%d-%d" oid seq;
+    output_value = None;
+    prev_checksums = prevs;
+    checksum;
+  }
+
+let test_append_latest () =
+  let s = Provstore.create () in
+  Provstore.append s (mk_rec ~kind:Record.Insert ~seq:0 ~oid:1 ~checksum:"c0" ());
+  Provstore.append s (mk_rec ~seq:1 ~oid:1 ~checksum:"c1" ());
+  Provstore.append s (mk_rec ~kind:Record.Insert ~seq:0 ~oid:2 ~checksum:"c2" ());
+  Alcotest.(check int) "count" 3 (Provstore.record_count s);
+  Alcotest.(check int) "objects" 2 (Provstore.object_count s);
+  (match Provstore.latest s (Oid.of_int 1) with
+  | Some r -> Alcotest.(check int) "latest seq" 1 r.Record.seq_id
+  | None -> Alcotest.fail "missing");
+  Alcotest.(check int) "records_for" 2
+    (List.length (Provstore.records_for s (Oid.of_int 1)));
+  Alcotest.(check bool) "find_by_checksum" true
+    (Provstore.find_by_checksum s "c1" <> None)
+
+let test_seq_monotonic () =
+  let s = Provstore.create () in
+  Provstore.append s (mk_rec ~seq:5 ~oid:1 ~checksum:"a" ());
+  Alcotest.(check bool) "regression rejected" true
+    (try
+       Provstore.append s (mk_rec ~seq:5 ~oid:1 ~checksum:"b" ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_provenance_object_closure () =
+  (* A and B feed an aggregate C; closure from C pulls in everything. *)
+  let s = Provstore.create () in
+  Provstore.append s (mk_rec ~kind:Record.Insert ~seq:0 ~oid:1 ~checksum:"a0" ());
+  Provstore.append s
+    (mk_rec ~seq:1 ~oid:1 ~checksum:"a1" ~prevs:[ "a0" ]
+       ~inputs:[ (Oid.of_int 1, "h-1-0") ] ());
+  Provstore.append s (mk_rec ~kind:Record.Insert ~seq:0 ~oid:2 ~checksum:"b0" ());
+  Provstore.append s
+    (mk_rec ~kind:Record.Aggregate ~seq:2 ~oid:3 ~checksum:"c0"
+       ~prevs:[ "a1"; "b0" ]
+       ~inputs:[ (Oid.of_int 1, "h-1-1"); (Oid.of_int 2, "h-2-0") ]
+       ());
+  let prov = Provstore.provenance_object s (Oid.of_int 3) in
+  Alcotest.(check int) "closure size" 4 (List.length prov);
+  (* closure of A alone excludes B and C *)
+  Alcotest.(check int) "A closure" 2
+    (List.length (Provstore.provenance_object s (Oid.of_int 1)));
+  (* sorted by seq *)
+  let seqs = List.map (fun r -> r.Record.seq_id) prov in
+  Alcotest.(check (list int)) "sorted" (List.sort compare seqs) seqs
+
+let test_relation_mirror () =
+  let s = Provstore.create () in
+  Provstore.append s (mk_rec ~kind:Record.Insert ~seq:0 ~oid:1 ~checksum:"x" ());
+  Provstore.append s (mk_rec ~seq:1 ~oid:1 ~checksum:"y" ());
+  let rel = Provstore.relation s in
+  Alcotest.(check int) "rows" 2 (Table.row_count rel);
+  Alcotest.(check int) "4 columns" 4 (Schema.arity (Table.schema rel));
+  (* space accounting *)
+  Alcotest.(check int) "paper bytes" (2 * 140) (Provstore.paper_space_bytes s);
+  Alcotest.(check bool) "encoded bytes positive" true (Provstore.space_bytes s > 0)
+
+let test_serialisation () =
+  let s = Provstore.create () in
+  Provstore.append s (mk_rec ~kind:Record.Insert ~seq:0 ~oid:1 ~checksum:"c0" ());
+  Provstore.append s
+    (mk_rec ~seq:1 ~oid:1 ~checksum:"c1" ~prevs:[ "c0" ]
+       ~inputs:[ (Oid.of_int 1, "h-1-0") ] ());
+  match Provstore.of_string (Provstore.to_string s) with
+  | Ok s' ->
+      Alcotest.(check int) "count" 2 (Provstore.record_count s');
+      Alcotest.(check bool) "latest" true
+        ((Option.get (Provstore.latest s' (Oid.of_int 1))).Record.seq_id = 1)
+  | Error e -> Alcotest.fail e
+
+let test_serialisation_garbage () =
+  (match Provstore.of_string "garbage" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ());
+  match Provstore.of_string "TEPPROV1zzz\n\x05" with
+  | Ok _ -> Alcotest.fail "bad algo accepted"
+  | Error _ -> ()
+
+let test_all_arrival_order () =
+  let s = Provstore.create () in
+  Provstore.append s (mk_rec ~kind:Record.Insert ~seq:0 ~oid:2 ~checksum:"b" ());
+  Provstore.append s (mk_rec ~kind:Record.Insert ~seq:0 ~oid:1 ~checksum:"a" ());
+  Alcotest.(check (list string)) "arrival order" [ "b"; "a" ]
+    (List.map (fun r -> r.Record.checksum) (Provstore.all s))
+
+let test_prune () =
+  let s = Provstore.create () in
+  (* A: insert + update; B: insert; C = agg(A@1, B@0); then A updated
+     again; D: insert (dead, feeds nothing) *)
+  Provstore.append s (mk_rec ~kind:Record.Insert ~seq:0 ~oid:1 ~checksum:"a0" ());
+  Provstore.append s
+    (mk_rec ~seq:1 ~oid:1 ~checksum:"a1" ~prevs:[ "a0" ]
+       ~inputs:[ (Oid.of_int 1, "h-1-0") ] ());
+  Provstore.append s (mk_rec ~kind:Record.Insert ~seq:0 ~oid:2 ~checksum:"b0" ());
+  Provstore.append s
+    (mk_rec ~kind:Record.Aggregate ~seq:2 ~oid:3 ~checksum:"c0"
+       ~prevs:[ "a1"; "b0" ]
+       ~inputs:[ (Oid.of_int 1, "h-1-1"); (Oid.of_int 2, "h-2-0") ]
+       ());
+  Provstore.append s
+    (mk_rec ~seq:2 ~oid:1 ~checksum:"a2" ~prevs:[ "a1" ]
+       ~inputs:[ (Oid.of_int 1, "h-1-1") ] ());
+  Provstore.append s (mk_rec ~kind:Record.Insert ~seq:0 ~oid:4 ~checksum:"d0" ());
+  Alcotest.(check int) "before" 6 (Provstore.record_count s);
+  (* only C is live: keep C + its cited prefixes of A and B; drop A@2 and D *)
+  let p = Provstore.prune s ~live:[ Oid.of_int 3 ] in
+  Alcotest.(check int) "after" 4 (Provstore.record_count p);
+  Alcotest.(check bool) "A@2 dropped" true
+    (Provstore.find_by_checksum p "a2" = None);
+  Alcotest.(check bool) "D dropped" true
+    (Provstore.find_by_checksum p "d0" = None);
+  Alcotest.(check bool) "cited prefix kept" true
+    (Provstore.find_by_checksum p "a0" <> None
+    && Provstore.find_by_checksum p "a1" <> None);
+  (* original untouched *)
+  Alcotest.(check int) "original intact" 6 (Provstore.record_count s);
+  (* pruning with everything live is the identity on counts *)
+  let full = Provstore.prune s ~live:(Provstore.objects s) in
+  Alcotest.(check int) "identity" 6 (Provstore.record_count full)
+
+let () =
+  Alcotest.run "provstore"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "append/latest" `Quick test_append_latest;
+          Alcotest.test_case "seq monotonic" `Quick test_seq_monotonic;
+          Alcotest.test_case "closure" `Quick test_provenance_object_closure;
+          Alcotest.test_case "relation mirror" `Quick test_relation_mirror;
+          Alcotest.test_case "serialisation" `Quick test_serialisation;
+          Alcotest.test_case "garbage" `Quick test_serialisation_garbage;
+          Alcotest.test_case "arrival order" `Quick test_all_arrival_order;
+          Alcotest.test_case "prune" `Quick test_prune;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+(* Predicates, bulk updates/deletes, aggregates. *)
+open Tep_store
+open Query
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let mk_table () =
+  let schema =
+    Schema.make
+      [
+        { Schema.name = "id"; ty = Value.TInt; nullable = false };
+        { Schema.name = "score"; ty = Value.TInt; nullable = true };
+        { Schema.name = "name"; ty = Value.TText; nullable = false };
+      ]
+  in
+  let t = Table.create ~name:"people" schema in
+  List.iter
+    (fun (i, s, n) ->
+      ignore
+        (Table.insert t
+           [|
+             Value.Int i;
+             (match s with Some v -> Value.Int v | None -> Value.Null);
+             Value.Text n;
+           |]))
+    [
+      (1, Some 10, "ann");
+      (2, Some 20, "bob");
+      (3, None, "carol");
+      (4, Some 40, "dave");
+      (5, Some 50, "ann");
+    ];
+  t
+
+let test_select_cmp () =
+  let t = mk_table () in
+  Alcotest.(check int) "gt" 2
+    (List.length (ok (select t (Cmp ("score", Gt, Value.Int 20)))));
+  Alcotest.(check int) "eq text" 2
+    (List.length (ok (select t (Cmp ("name", Eq, Value.Text "ann")))));
+  Alcotest.(check int) "ne" 3
+    (List.length (ok (select t (Cmp ("name", Ne, Value.Text "ann")))));
+  Alcotest.(check int) "le" 2
+    (List.length (ok (select t (Cmp ("score", Le, Value.Int 20)))))
+
+let test_null_semantics () =
+  let t = mk_table () in
+  (* NULL never matches a comparison, even Ne *)
+  Alcotest.(check int) "null not in ne" 3
+    (List.length (ok (select t (Cmp ("score", Ne, Value.Int 10)))));
+  Alcotest.(check int) "is null" 1 (List.length (ok (select t (IsNull "score"))));
+  Alcotest.(check int) "not null" 4
+    (List.length (ok (select t (Not (IsNull "score")))))
+
+let test_boolean_ops () =
+  let t = mk_table () in
+  let p =
+    And (Cmp ("score", Ge, Value.Int 20), Cmp ("name", Ne, Value.Text "dave"))
+  in
+  Alcotest.(check int) "and" 2 (List.length (ok (select t p)));
+  let p = Or (Cmp ("name", Eq, Value.Text "carol"), Cmp ("id", Eq, Value.Int 1)) in
+  Alcotest.(check int) "or" 2 (List.length (ok (select t p)));
+  Alcotest.(check int) "true" 5 (List.length (ok (select t True)))
+
+let test_unknown_column () =
+  let t = mk_table () in
+  match select t (Cmp ("nope", Eq, Value.Int 1)) with
+  | Ok _ -> Alcotest.fail "unknown column accepted"
+  | Error e -> Alcotest.(check string) "msg" "unknown column nope" e
+
+let test_count () =
+  let t = mk_table () in
+  Alcotest.(check int) "count" 2 (ok (count t (Cmp ("name", Eq, Value.Text "ann"))))
+
+let test_delete_where () =
+  let t = mk_table () in
+  let ids = ok (delete_where t (Cmp ("score", Lt, Value.Int 25))) in
+  Alcotest.(check int) "deleted" 2 (List.length ids);
+  Alcotest.(check int) "remaining" 3 (Table.row_count t)
+
+let test_update_where () =
+  let t = mk_table () in
+  let ids = ok (update_where t (Cmp ("name", Eq, Value.Text "ann")) [ ("score", Value.Int 0) ]) in
+  Alcotest.(check int) "touched" 2 (List.length ids);
+  Alcotest.(check int) "zeroed" 2 (ok (count t (Cmp ("score", Eq, Value.Int 0))));
+  match update_where t True [ ("nope", Value.Int 0) ] with
+  | Ok _ -> Alcotest.fail "unknown column accepted"
+  | Error _ -> ()
+
+let test_aggregates () =
+  let t = mk_table () in
+  let v = Alcotest.testable Value.pp Value.equal in
+  Alcotest.check v "count" (Value.Int 5) (ok (aggregate t True Count));
+  Alcotest.check v "sum skips null" (Value.Int 120) (ok (aggregate t True (Sum "score")));
+  Alcotest.check v "avg" (Value.Float 30.) (ok (aggregate t True (Avg "score")));
+  Alcotest.check v "min" (Value.Int 10) (ok (aggregate t True (Min "score")));
+  Alcotest.check v "max" (Value.Int 50) (ok (aggregate t True (Max "score")));
+  Alcotest.check v "min text" (Value.Text "ann") (ok (aggregate t True (Min "name")));
+  (* empty input *)
+  Alcotest.check v "empty sum" Value.Null
+    (ok (aggregate t (Cmp ("id", Gt, Value.Int 100)) (Sum "score")));
+  Alcotest.check v "empty count" (Value.Int 0)
+    (ok (aggregate t (Cmp ("id", Gt, Value.Int 100)) Count));
+  (* non-numeric sum *)
+  match aggregate t True (Sum "name") with
+  | Ok _ -> Alcotest.fail "text sum accepted"
+  | Error _ -> ()
+
+let test_pp () =
+  let p = And (Cmp ("a", Le, Value.Int 3), Not (IsNull "b")) in
+  Alcotest.(check string) "render" "(a <= 3 and not b is null)"
+    (Format.asprintf "%a" pp_pred p)
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "select cmp" `Quick test_select_cmp;
+          Alcotest.test_case "null semantics" `Quick test_null_semantics;
+          Alcotest.test_case "boolean ops" `Quick test_boolean_ops;
+          Alcotest.test_case "unknown column" `Quick test_unknown_column;
+          Alcotest.test_case "count" `Quick test_count;
+          Alcotest.test_case "delete_where" `Quick test_delete_where;
+          Alcotest.test_case "update_where" `Quick test_update_where;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+    ]

@@ -1,0 +1,100 @@
+(* Provenance record codec and helpers. *)
+open Tep_store
+open Tep_tree
+open Tep_core
+
+let sample kind =
+  {
+    Record.seq_id = 3;
+    participant = "alice";
+    kind;
+    inherited = kind = Record.Update;
+    input_oids = [ Oid.of_int 1; Oid.of_int 2 ];
+    input_hashes = [ "hash-one"; "hash-two" ];
+    output_oid = Oid.of_int 7;
+    output_hash = "out-hash";
+    output_value = Some (Value.Int 42);
+    prev_checksums = [ "prev-a"; "prev-b" ];
+    checksum = String.make 128 '\x5a';
+  }
+
+let all_kinds = [ Record.Insert; Record.Import; Record.Update; Record.Aggregate ]
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun kind ->
+      let r = sample kind in
+      let enc = Record.encoded r in
+      let r', off = Record.decode enc 0 in
+      Alcotest.(check int) "consumed" (String.length enc) off;
+      Alcotest.(check string) "stable" enc (Record.encoded r'))
+    all_kinds
+
+let test_codec_no_value () =
+  let r = { (sample Record.Update) with Record.output_value = None } in
+  let r', _ = Record.decode (Record.encoded r) 0 in
+  Alcotest.(check bool) "none preserved" true (r'.Record.output_value = None)
+
+let test_codec_empty_lists () =
+  let r =
+    {
+      (sample Record.Insert) with
+      Record.input_oids = [];
+      input_hashes = [];
+      prev_checksums = [];
+    }
+  in
+  let r', _ = Record.decode (Record.encoded r) 0 in
+  Alcotest.(check int) "no inputs" 0 (List.length r'.Record.input_hashes)
+
+let test_decode_garbage () =
+  (try
+     ignore (Record.decode "garbage" 0);
+     Alcotest.fail "garbage accepted"
+   with Failure _ -> ());
+  try
+    ignore (Record.decode (String.sub (Record.encoded (sample Record.Update)) 0 10) 0);
+    Alcotest.fail "truncation accepted"
+  with Failure _ -> ()
+
+let test_compare_seq () =
+  let a = { (sample Record.Update) with Record.seq_id = 1 } in
+  let b = { (sample Record.Update) with Record.seq_id = 2 } in
+  Alcotest.(check bool) "order" true (Record.compare_seq a b < 0);
+  let c = { a with Record.output_oid = Oid.of_int 99 } in
+  Alcotest.(check bool) "tie by oid" true (Record.compare_seq a c < 0)
+
+let test_kind_names () =
+  Alcotest.(check (list string)) "names"
+    [ "insert"; "import"; "update"; "aggregate" ]
+    (List.map Record.kind_name all_kinds)
+
+let test_checksum_hex () =
+  Alcotest.(check int) "12 chars" 12 (String.length (Record.checksum_hex (sample Record.Update)))
+
+let test_pp () =
+  let s = Format.asprintf "%a" Record.pp (sample Record.Aggregate) in
+  let contains sub =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "participant" true (contains "alice");
+  Alcotest.(check bool) "kind" true (contains "aggregate");
+  Alcotest.(check bool) "seq" true (contains "seq 3")
+
+let () =
+  Alcotest.run "record"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "codec no value" `Quick test_codec_no_value;
+          Alcotest.test_case "codec empty lists" `Quick test_codec_empty_lists;
+          Alcotest.test_case "decode garbage" `Quick test_decode_garbage;
+          Alcotest.test_case "compare_seq" `Quick test_compare_seq;
+          Alcotest.test_case "kind names" `Quick test_kind_names;
+          Alcotest.test_case "checksum hex" `Quick test_checksum_hex;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+    ]

@@ -1,0 +1,174 @@
+(* RSA key generation, PKCS#1 v1.5 signatures, serialisation. *)
+open Tep_bignum
+open Tep_crypto
+
+let drbg = Drbg.create ~seed:"test-rsa"
+
+(* One shared 1024-bit keypair (generation is the slow part). *)
+let kp = Rsa.generate drbg
+let kp512 = Rsa.generate ~bits:512 drbg
+
+let test_key_shape () =
+  Alcotest.(check int) "1024-bit modulus" 1024 (Nat.num_bits kp.Rsa.public.Rsa.n);
+  Alcotest.(check int) "128-byte signatures" 128 (Rsa.key_bytes kp.Rsa.public);
+  Alcotest.(check int) "512-bit modulus" 512 (Nat.num_bits kp512.Rsa.public.Rsa.n);
+  Alcotest.(check string)
+    "e = 65537" "10001"
+    (Nat.to_hex kp.Rsa.public.Rsa.e)
+
+let test_sign_verify () =
+  List.iter
+    (fun msg ->
+      let s = Rsa.sign kp.Rsa.private_ msg in
+      Alcotest.(check int) "sig length" 128 (String.length s);
+      Alcotest.(check bool)
+        "verifies" true
+        (Rsa.verify kp.Rsa.public ~msg ~signature:s))
+    [ ""; "x"; "hello provenance"; String.make 10_000 'q' ]
+
+let test_wrong_message () =
+  let s = Rsa.sign kp.Rsa.private_ "message one" in
+  Alcotest.(check bool)
+    "other message fails" false
+    (Rsa.verify kp.Rsa.public ~msg:"message two" ~signature:s)
+
+let test_corrupted_signature () =
+  let s = Rsa.sign kp.Rsa.private_ "msg" in
+  for pos = 0 to 127 do
+    let bad = Bytes.of_string s in
+    Bytes.set bad pos (Char.chr (Char.code (Bytes.get bad pos) lxor 0x40));
+    if pos mod 17 = 0 then
+      Alcotest.(check bool)
+        (Printf.sprintf "flip byte %d" pos)
+        false
+        (Rsa.verify kp.Rsa.public ~msg:"msg" ~signature:(Bytes.to_string bad))
+  done
+
+let test_wrong_key () =
+  let s = Rsa.sign kp.Rsa.private_ "msg" in
+  Alcotest.(check bool)
+    "other key fails" false
+    (Rsa.verify
+       { kp512.Rsa.public with Rsa.n = kp512.Rsa.public.Rsa.n }
+       ~msg:"msg" ~signature:s)
+
+let test_wrong_length_signature () =
+  Alcotest.(check bool)
+    "short sig" false
+    (Rsa.verify kp.Rsa.public ~msg:"m" ~signature:"short");
+  Alcotest.(check bool)
+    "sig >= n rejected" false
+    (Rsa.verify kp.Rsa.public ~msg:"m"
+       ~signature:(Nat.to_bytes_be_padded 128 kp.Rsa.public.Rsa.n))
+
+let test_algo_choice () =
+  let s256 = Rsa.sign ~algo:Digest_algo.SHA256 kp.Rsa.private_ "m" in
+  Alcotest.(check bool)
+    "sha256 verifies with sha256" true
+    (Rsa.verify ~algo:Digest_algo.SHA256 kp.Rsa.public ~msg:"m" ~signature:s256);
+  Alcotest.(check bool)
+    "sha256 fails as sha1" false
+    (Rsa.verify ~algo:Digest_algo.SHA1 kp.Rsa.public ~msg:"m" ~signature:s256)
+
+let test_raw_roundtrip () =
+  (* raw_public (raw_sign m) = m for m < n: the CRT path agrees with
+     the plain exponentiation. *)
+  let src = Drbg.byte_source drbg in
+  for _ = 1 to 5 do
+    let m = Nat.rem (Prime.random_bits src 1000) kp.Rsa.public.Rsa.n in
+    let s = Rsa.raw_sign kp.Rsa.private_ m in
+    Alcotest.(check string)
+      "roundtrip" (Nat.to_hex m)
+      (Nat.to_hex (Rsa.raw_public kp.Rsa.public s))
+  done
+
+let test_emsa_shape () =
+  let em = Rsa.emsa_pkcs1_v1_5 Digest_algo.SHA1 128 "msg" in
+  Alcotest.(check int) "length" 128 (String.length em);
+  Alcotest.(check char) "leading 00" '\x00' em.[0];
+  Alcotest.(check char) "block type 01" '\x01' em.[1];
+  Alcotest.(check char) "ff padding" '\xff' em.[2];
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Rsa.emsa_pkcs1_v1_5: key too small") (fun () ->
+      ignore (Rsa.emsa_pkcs1_v1_5 Digest_algo.SHA256 32 "m"))
+
+let test_serialisation () =
+  (match Rsa.public_of_string (Rsa.public_to_string kp.Rsa.public) with
+  | Some pk ->
+      Alcotest.(check string)
+        "public roundtrip"
+        (Rsa.public_to_string kp.Rsa.public)
+        (Rsa.public_to_string pk)
+  | None -> Alcotest.fail "public roundtrip");
+  (match Rsa.private_of_string (Rsa.private_to_string kp.Rsa.private_) with
+  | Some sk ->
+      let s = Rsa.sign sk "roundtrip" in
+      Alcotest.(check bool)
+        "private roundtrip signs" true
+        (Rsa.verify kp.Rsa.public ~msg:"roundtrip" ~signature:s)
+  | None -> Alcotest.fail "private roundtrip");
+  Alcotest.(check bool) "garbage public" true (Rsa.public_of_string "junk" = None);
+  Alcotest.(check bool) "garbage private" true (Rsa.private_of_string "junk" = None)
+
+let test_fingerprint () =
+  Alcotest.(check int) "16 hex chars" 16 (String.length (Rsa.fingerprint kp.Rsa.public));
+  Alcotest.(check bool)
+    "distinct keys, distinct fingerprints" false
+    (String.equal (Rsa.fingerprint kp.Rsa.public) (Rsa.fingerprint kp512.Rsa.public))
+
+let test_determinism () =
+  (* Same DRBG seed -> same keypair (reproducible experiments). *)
+  let k1 = Rsa.generate ~bits:512 (Drbg.create ~seed:"fixed") in
+  let k2 = Rsa.generate ~bits:512 (Drbg.create ~seed:"fixed") in
+  Alcotest.(check string)
+    "same key"
+    (Rsa.public_to_string k1.Rsa.public)
+    (Rsa.public_to_string k2.Rsa.public)
+
+let test_invalid_params () =
+  Alcotest.check_raises "tiny modulus"
+    (Invalid_argument "Rsa.generate: modulus too small") (fun () ->
+      ignore (Rsa.generate ~bits:64 drbg));
+  Alcotest.check_raises "even exponent"
+    (Invalid_argument "Rsa.generate: bad public exponent") (fun () ->
+      ignore (Rsa.generate ~e:4 drbg))
+
+let prop_sign_verify_512 =
+  QCheck2.Test.make ~name:"sign/verify roundtrip (512-bit)" ~count:25
+    QCheck2.Gen.(string_size ~gen:char (int_range 0 200))
+    (fun msg ->
+      let s = Rsa.sign kp512.Rsa.private_ msg in
+      Rsa.verify kp512.Rsa.public ~msg ~signature:s)
+
+let prop_tamper_detected =
+  QCheck2.Test.make ~name:"any appended byte breaks verification" ~count:25
+    QCheck2.Gen.(pair (string_size ~gen:char (int_range 1 100)) char)
+    (fun (msg, extra) ->
+      let s = Rsa.sign kp512.Rsa.private_ msg in
+      not (Rsa.verify kp512.Rsa.public ~msg:(msg ^ String.make 1 extra) ~signature:s))
+
+let () =
+  Alcotest.run "rsa"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "key shape" `Quick test_key_shape;
+          Alcotest.test_case "sign/verify" `Quick test_sign_verify;
+          Alcotest.test_case "wrong message" `Quick test_wrong_message;
+          Alcotest.test_case "corrupted signature" `Quick
+            test_corrupted_signature;
+          Alcotest.test_case "wrong key" `Quick test_wrong_key;
+          Alcotest.test_case "wrong-length signature" `Quick
+            test_wrong_length_signature;
+          Alcotest.test_case "algo choice" `Quick test_algo_choice;
+          Alcotest.test_case "raw roundtrip" `Quick test_raw_roundtrip;
+          Alcotest.test_case "emsa shape" `Quick test_emsa_shape;
+          Alcotest.test_case "serialisation" `Quick test_serialisation;
+          Alcotest.test_case "fingerprint" `Quick test_fingerprint;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "invalid params" `Quick test_invalid_params;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sign_verify_512; prop_tamper_detected ] );
+    ]

@@ -1,0 +1,83 @@
+(* Schemas: construction, validation, codec. *)
+open Tep_store
+
+let mk name ty nullable = { Schema.name; ty; nullable }
+
+let patient_schema =
+  Schema.make
+    [
+      mk "Age" Value.TInt false;
+      mk "Name" Value.TText false;
+      mk "Endocrine" Value.TFloat true;
+    ]
+
+let test_make_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Schema.make: no columns")
+    (fun () -> ignore (Schema.make []));
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Schema.make: duplicate column a") (fun () ->
+      ignore (Schema.make [ mk "a" Value.TInt false; mk "a" Value.TInt false ]));
+  Alcotest.check_raises "empty name"
+    (Invalid_argument "Schema.make: empty column name") (fun () ->
+      ignore (Schema.make [ mk "" Value.TInt false ]))
+
+let test_lookup () =
+  Alcotest.(check int) "arity" 3 (Schema.arity patient_schema);
+  Alcotest.(check (option int)) "Age" (Some 0) (Schema.column_index patient_schema "Age");
+  Alcotest.(check (option int)) "Endocrine" (Some 2) (Schema.column_index patient_schema "Endocrine");
+  Alcotest.(check (option int)) "missing" None (Schema.column_index patient_schema "zzz");
+  Alcotest.(check string) "column_at" "Name" (Schema.column_at patient_schema 1).Schema.name
+
+let valid = [| Value.Int 30; Value.Text "x"; Value.Float 1.5 |]
+
+let test_validate_ok () =
+  (match Schema.validate_row patient_schema valid with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Schema.validate_row patient_schema [| Value.Int 1; Value.Text "y"; Value.Null |] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("nullable null rejected: " ^ e)
+
+let test_validate_errors () =
+  let expect_err row msg =
+    match Schema.validate_row patient_schema row with
+    | Ok () -> Alcotest.fail ("expected failure: " ^ msg)
+    | Error _ -> ()
+  in
+  expect_err [| Value.Int 1 |] "arity";
+  expect_err [| Value.Text "no"; Value.Text "x"; Value.Null |] "type";
+  expect_err [| Value.Null; Value.Text "x"; Value.Null |] "non-nullable null"
+
+let test_codec () =
+  let buf = Buffer.create 64 in
+  Schema.encode buf patient_schema;
+  let s, off = Schema.decode (Buffer.contents buf) 0 in
+  Alcotest.(check int) "consumed" (Buffer.length buf) off;
+  Alcotest.(check string) "same" (Schema.to_string patient_schema) (Schema.to_string s)
+
+let test_all_int () =
+  let s = Schema.all_int [ "a"; "b" ] in
+  Alcotest.(check int) "arity" 2 (Schema.arity s);
+  match Schema.validate_row s [| Value.Int 1; Value.Null |] with
+  | Ok () -> Alcotest.fail "all_int columns must be non-nullable"
+  | Error _ -> ()
+
+let test_to_string () =
+  Alcotest.(check string)
+    "render" "Age int not null, Name text not null, Endocrine float"
+    (Schema.to_string patient_schema)
+
+let () =
+  Alcotest.run "schema"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "make errors" `Quick test_make_errors;
+          Alcotest.test_case "lookup" `Quick test_lookup;
+          Alcotest.test_case "validate ok" `Quick test_validate_ok;
+          Alcotest.test_case "validate errors" `Quick test_validate_errors;
+          Alcotest.test_case "codec" `Quick test_codec;
+          Alcotest.test_case "all_int" `Quick test_all_int;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ] );
+    ]

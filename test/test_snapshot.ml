@@ -1,0 +1,92 @@
+(* Snapshots: roundtrip, integrity trailer, corruption detection. *)
+open Tep_store
+
+let build_db () =
+  let db = Database.create ~name:"snapdb" in
+  (match Database.create_table db ~name:"t1" (Schema.all_int [ "a"; "b" ]) with
+  | Ok t ->
+      for i = 1 to 30 do
+        ignore (Table.insert t [| Value.Int i; Value.Int (i * i) |])
+      done
+  | Error e -> failwith e);
+  (match
+     Database.create_table db ~name:"t2"
+       (Schema.make
+          [
+            { Schema.name = "k"; ty = Value.TText; nullable = false };
+            { Schema.name = "v"; ty = Value.TFloat; nullable = true };
+          ])
+   with
+  | Ok t ->
+      ignore (Table.insert t [| Value.Text "pi"; Value.Float 3.14 |]);
+      ignore (Table.insert t [| Value.Text "none"; Value.Null |])
+  | Error e -> failwith e);
+  db
+
+let db_fingerprint db =
+  Tep_tree.Streaming.hash_database Tep_crypto.Digest_algo.SHA256 db
+
+let test_roundtrip () =
+  let db = build_db () in
+  match Snapshot.of_string (Snapshot.to_string db) with
+  | Ok db' ->
+      Alcotest.(check string) "identical content" (db_fingerprint db) (db_fingerprint db');
+      Alcotest.(check (list string)) "tables" (Database.table_names db)
+        (Database.table_names db');
+      Alcotest.(check int) "node count" (Database.node_count db)
+        (Database.node_count db')
+  | Error e -> Alcotest.fail e
+
+let test_corruption_detected () =
+  let db = build_db () in
+  let s = Snapshot.to_string db in
+  (* flip one byte in the middle *)
+  let bad = Bytes.of_string s in
+  let mid = Bytes.length bad / 2 in
+  Bytes.set bad mid (Char.chr (Char.code (Bytes.get bad mid) lxor 1));
+  (match Snapshot.of_string (Bytes.to_string bad) with
+  | Ok _ -> Alcotest.fail "corruption accepted"
+  | Error e ->
+      Alcotest.(check bool) "trailer mentioned" true
+        (String.length e > 0));
+  (* truncation *)
+  match Snapshot.of_string (String.sub s 0 (String.length s - 1)) with
+  | Ok _ -> Alcotest.fail "truncation accepted"
+  | Error _ -> ()
+
+let test_too_short () =
+  match Snapshot.of_string "tiny" with
+  | Ok _ -> Alcotest.fail "accepted"
+  | Error e -> Alcotest.(check string) "msg" "snapshot: too short" e
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "tep_snap" ".db" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with _ -> ())
+    (fun () ->
+      let db = build_db () in
+      (match Snapshot.save db path with Ok () -> () | Error e -> Alcotest.fail e);
+      match Snapshot.load path with
+      | Ok db' ->
+          Alcotest.(check string) "file roundtrip" (db_fingerprint db)
+            (db_fingerprint db')
+      | Error e -> Alcotest.fail e)
+
+let test_load_missing () =
+  match Snapshot.load "/nonexistent/path/x.db" with
+  | Ok _ -> Alcotest.fail "missing file loaded"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "corruption detected" `Quick
+            test_corruption_detected;
+          Alcotest.test_case "too short" `Quick test_too_short;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "load missing" `Quick test_load_missing;
+        ] );
+    ]

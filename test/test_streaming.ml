@@ -1,0 +1,137 @@
+(* Streaming hashing: agreement with the in-memory tree hash, bounded
+   row-pull interface, error handling. *)
+open Tep_store
+open Tep_tree
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let build_db tables =
+  let db = Database.create ~name:"sdb" in
+  List.iter
+    (fun (name, attrs, rows) ->
+      let t =
+        match Database.create_table db ~name (Schema.all_int
+                 (List.init attrs (fun i -> Printf.sprintf "c%d" i))) with
+        | Ok t -> t
+        | Error e -> failwith e
+      in
+      for r = 0 to rows - 1 do
+        ignore (Table.insert t (Array.init attrs (fun c -> Value.Int ((r * 31) + c))))
+      done)
+    tables;
+  db
+
+let tree_hash algo db =
+  let f = Forest.create () in
+  let m = Tree_view.build f db in
+  Merkle.hash_subtree algo (ok (Forest.subtree f (Tree_view.root m)))
+
+let test_agreement_cases () =
+  List.iter
+    (fun algo ->
+      List.iter
+        (fun tables ->
+          let db = build_db tables in
+          Alcotest.(check string)
+            (Printf.sprintf "%s %d tables" (Tep_crypto.Digest_algo.name algo)
+               (List.length tables))
+            (Tep_crypto.Digest_algo.to_hex (tree_hash algo db))
+            (Tep_crypto.Digest_algo.to_hex (Streaming.hash_database algo db)))
+        [
+          [];
+          [ ("t", 1, 0) ];
+          [ ("t", 3, 1) ];
+          [ ("t", 2, 10) ];
+          [ ("a", 2, 5); ("b", 4, 3) ];
+          [ ("z", 1, 1); ("a", 1, 1) ] (* name order matters *);
+        ])
+    [ Tep_crypto.Digest_algo.SHA1; Tep_crypto.Digest_algo.SHA256 ]
+
+let test_node_counts () =
+  let db = build_db [ ("a", 2, 5); ("b", 4, 3) ] in
+  let _, n = Streaming.hash_database_with_counts Tep_crypto.Digest_algo.SHA1 db in
+  Alcotest.(check int) "matches Database.node_count" (Database.node_count db) n
+
+let test_deleted_rows_affect_layout () =
+  (* deleting a row changes the streamed hash *)
+  let db = build_db [ ("t", 2, 5) ] in
+  let h0 = Streaming.hash_database Tep_crypto.Digest_algo.SHA1 db in
+  ignore (Table.delete (Database.get_table_exn db "t") 2);
+  let h1 = Streaming.hash_database Tep_crypto.Digest_algo.SHA1 db in
+  Alcotest.(check bool) "changed" false (String.equal h0 h1)
+
+let test_hash_rows_interface () =
+  let algo = Tep_crypto.Digest_algo.SHA1 in
+  let db = build_db [ ("t", 2, 4) ] in
+  let tbl = Database.get_table_exn db "t" in
+  let rows = ref (Table.rows tbl) in
+  let pull () =
+    match !rows with
+    | [] -> None
+    | r :: rest ->
+        rows := rest;
+        Some (r.Table.id, r.Table.cells)
+  in
+  let h, nodes =
+    Streaming.hash_rows algo ~schema_arity:2 ~table_oid:1 ~table_name:"t"
+      ~row_count:4 pull
+  in
+  Alcotest.(check int) "nodes" (1 + (4 * 3)) nodes;
+  (* must equal the table subtree hash from the forest view *)
+  let f = Forest.create () in
+  let m = Tree_view.build f db in
+  let toid = Option.get (Tree_view.table_oid m "t") in
+  Alcotest.(check string)
+    "table hash"
+    (Tep_crypto.Digest_algo.to_hex (Merkle.hash_subtree algo (ok (Forest.subtree f toid))))
+    (Tep_crypto.Digest_algo.to_hex h)
+
+let test_row_count_mismatch () =
+  let algo = Tep_crypto.Digest_algo.SHA1 in
+  let pull_none () = None in
+  (try
+     ignore
+       (Streaming.hash_rows algo ~schema_arity:1 ~table_oid:1 ~table_name:"t"
+          ~row_count:2 pull_none);
+     Alcotest.fail "short iterator accepted"
+   with Invalid_argument _ -> ());
+  let extra = ref 3 in
+  let pull_many () =
+    if !extra > 0 then begin
+      decr extra;
+      Some (0, [| Value.Int 0 |])
+    end
+    else None
+  in
+  try
+    ignore
+      (Streaming.hash_rows algo ~schema_arity:1 ~table_oid:1 ~table_name:"t"
+         ~row_count:1 pull_many);
+    Alcotest.fail "long iterator accepted"
+  with Invalid_argument _ -> ()
+
+let test_large_streaming_consistency () =
+  (* a moderately large table to exercise multi-block hashing *)
+  let db = build_db [ ("big", 3, 500) ] in
+  Alcotest.(check string)
+    "large agreement"
+    (Tep_crypto.Digest_algo.to_hex (tree_hash Tep_crypto.Digest_algo.SHA256 db))
+    (Tep_crypto.Digest_algo.to_hex
+       (Streaming.hash_database Tep_crypto.Digest_algo.SHA256 db))
+
+let () =
+  Alcotest.run "streaming"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "agreement" `Quick test_agreement_cases;
+          Alcotest.test_case "node counts" `Quick test_node_counts;
+          Alcotest.test_case "deletion changes hash" `Quick
+            test_deleted_rows_affect_layout;
+          Alcotest.test_case "hash_rows" `Quick test_hash_rows_interface;
+          Alcotest.test_case "row_count mismatch" `Quick
+            test_row_count_mismatch;
+          Alcotest.test_case "large consistency" `Quick
+            test_large_streaming_consistency;
+        ] );
+    ]

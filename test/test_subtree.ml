@@ -1,0 +1,98 @@
+(* Oids and subtree snapshots. *)
+open Tep_store
+open Tep_tree
+
+let oid = Oid.of_int
+
+let leaf i v = Subtree.atom (oid i) (Value.Int v)
+
+let sample =
+  Subtree.make (oid 0) (Value.Text "root")
+    [
+      Subtree.make (oid 1) (Value.Text "left") [ leaf 3 30; leaf 4 40 ];
+      leaf 2 20;
+    ]
+
+let test_oid_basics () =
+  Alcotest.(check int) "roundtrip" 7 (Oid.to_int (Oid.of_int 7));
+  Alcotest.(check string) "to_string" "#7" (Oid.to_string (oid 7));
+  Alcotest.(check bool) "equal" true (Oid.equal (oid 1) (oid 1));
+  Alcotest.(check bool) "compare" true (Oid.compare (oid 1) (oid 2) < 0);
+  Alcotest.check_raises "negative" (Invalid_argument "Oid.of_int: negative")
+    (fun () -> ignore (Oid.of_int (-1)))
+
+let test_oid_gen () =
+  let g = Oid.gen () in
+  let a = Oid.fresh g and b = Oid.fresh g in
+  Alcotest.(check bool) "fresh distinct" false (Oid.equal a b);
+  Oid.bump_past g (oid 100);
+  Alcotest.(check bool) "bumped" true (Oid.to_int (Oid.fresh g) > 100)
+
+let test_children_sorted () =
+  let t = Subtree.make (oid 0) Value.Null [ leaf 5 0; leaf 1 0; leaf 3 0 ] in
+  Alcotest.(check (list int)) "sorted"
+    [ 1; 3; 5 ]
+    (List.map (fun c -> Oid.to_int c.Subtree.oid) t.Subtree.children)
+
+let test_duplicate_children () =
+  Alcotest.check_raises "dup" (Invalid_argument "Subtree.make: duplicate child oid")
+    (fun () -> ignore (Subtree.make (oid 0) Value.Null [ leaf 1 0; leaf 1 0 ]))
+
+let test_size_depth () =
+  Alcotest.(check int) "size" 5 (Subtree.size sample);
+  Alcotest.(check int) "depth" 3 (Subtree.depth sample);
+  Alcotest.(check int) "leaf size" 1 (Subtree.size (leaf 9 0));
+  Alcotest.(check int) "leaf depth" 1 (Subtree.depth (leaf 9 0))
+
+let test_find () =
+  (match Subtree.find sample (oid 4) with
+  | Some t -> Alcotest.(check bool) "value" true (Value.equal t.Subtree.value (Value.Int 40))
+  | None -> Alcotest.fail "not found");
+  (match Subtree.find sample (oid 0) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "root not found");
+  Alcotest.(check bool) "missing" true (Subtree.find sample (oid 99) = None)
+
+let test_oids_preorder () =
+  Alcotest.(check (list int)) "preorder" [ 0; 1; 3; 4; 2 ]
+    (List.map Oid.to_int (Subtree.oids sample))
+
+let test_equality () =
+  Alcotest.(check bool) "self" true (Subtree.equal sample sample);
+  let other = Subtree.make (oid 0) (Value.Text "root") [ leaf 2 20 ] in
+  Alcotest.(check bool) "different" false (Subtree.equal sample other)
+
+let test_codec () =
+  let enc = Subtree.encoded sample in
+  let t, off = Subtree.decode enc 0 in
+  Alcotest.(check int) "consumed" (String.length enc) off;
+  Alcotest.(check bool) "equal" true (Subtree.equal sample t)
+
+let contains sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_pp () =
+  let s = Subtree.to_string (leaf 7 42) in
+  Alcotest.(check bool) "mentions oid" true (contains "#7" s);
+  Alcotest.(check bool) "mentions value" true (contains "42" s)
+
+let () =
+  Alcotest.run "subtree"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "oid basics" `Quick test_oid_basics;
+          Alcotest.test_case "oid gen" `Quick test_oid_gen;
+          Alcotest.test_case "children sorted" `Quick test_children_sorted;
+          Alcotest.test_case "duplicate children" `Quick
+            test_duplicate_children;
+          Alcotest.test_case "size/depth" `Quick test_size_depth;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "preorder oids" `Quick test_oids_preorder;
+          Alcotest.test_case "equality" `Quick test_equality;
+          Alcotest.test_case "codec" `Quick test_codec;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+    ]

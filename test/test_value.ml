@@ -1,0 +1,152 @@
+(* Typed values: ordering, typing, codec. *)
+open Tep_store
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let all_samples =
+  [
+    Value.Null;
+    Value.Bool false;
+    Value.Bool true;
+    Value.Int 0;
+    Value.Int (-42);
+    Value.Int max_int;
+    Value.Int (min_int + 1);
+    Value.Float 0.;
+    Value.Float 3.14159;
+    Value.Float (-1e300);
+    Value.Float infinity;
+    Value.Text "";
+    Value.Text "hello";
+    Value.Text "\x00\xff binary-ish";
+    Value.Blob "";
+    Value.Blob "\x00\x01\x02";
+  ]
+
+let test_type_of () =
+  Alcotest.(check bool) "null" true (Value.type_of Value.Null = None);
+  Alcotest.(check bool) "int" true (Value.type_of (Value.Int 3) = Some Value.TInt);
+  Alcotest.(check bool)
+    "text" true
+    (Value.type_of (Value.Text "x") = Some Value.TText)
+
+let test_conforms () =
+  Alcotest.(check bool) "null conforms to int" true (Value.conforms Value.TInt Value.Null);
+  Alcotest.(check bool) "int conforms" true (Value.conforms Value.TInt (Value.Int 1));
+  Alcotest.(check bool) "text not int" false (Value.conforms Value.TInt (Value.Text "1"))
+
+let test_compare_total_order () =
+  (* Null < Bool < Int < Float < Text < Blob; within type natural. *)
+  Alcotest.(check bool) "null first" true (Value.compare Value.Null (Value.Bool false) < 0);
+  Alcotest.(check bool) "bool < int" true (Value.compare (Value.Bool true) (Value.Int (-5)) < 0);
+  Alcotest.(check bool) "int order" true (Value.compare (Value.Int 1) (Value.Int 2) < 0);
+  Alcotest.(check bool) "text order" true (Value.compare (Value.Text "a") (Value.Text "b") < 0);
+  (* reflexive / antisymmetric spot checks *)
+  List.iter
+    (fun v -> Alcotest.(check int) "self" 0 (Value.compare v v))
+    all_samples
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun v ->
+      let enc = Value.encoded v in
+      let v', off = Value.decode enc 0 in
+      Alcotest.check value (Value.to_string v) v v';
+      Alcotest.(check int) "consumed all" (String.length enc) off)
+    all_samples
+
+let test_codec_stream () =
+  (* several values concatenated decode in sequence *)
+  let buf = Buffer.create 64 in
+  List.iter (Value.encode buf) all_samples;
+  let s = Buffer.contents buf in
+  let off = ref 0 in
+  List.iter
+    (fun v ->
+      let v', o = Value.decode s !off in
+      off := o;
+      Alcotest.check value "stream" v v')
+    all_samples;
+  Alcotest.(check int) "end" (String.length s) !off
+
+let test_decode_errors () =
+  (try
+     ignore (Value.decode "" 0);
+     Alcotest.fail "empty should fail"
+   with Failure _ -> ());
+  (try
+     ignore (Value.decode "\x99" 0);
+     Alcotest.fail "bad tag should fail"
+   with Failure _ -> ());
+  try
+    ignore (Value.decode "\x05\xff" 0);
+    Alcotest.fail "truncated string should fail"
+  with Failure _ -> ()
+
+let test_varint () =
+  let buf = Buffer.create 16 in
+  List.iter (Value.add_varint buf) [ 0; 1; 127; 128; 300; max_int ];
+  let s = Buffer.contents buf in
+  let off = ref 0 in
+  List.iter
+    (fun n ->
+      let n', o = Value.read_varint s !off in
+      off := o;
+      Alcotest.(check int) "varint" n n')
+    [ 0; 1; 127; 128; 300; max_int ]
+
+let test_to_string () =
+  Alcotest.(check string) "null" "NULL" (Value.to_string Value.Null);
+  Alcotest.(check string) "int" "42" (Value.to_string (Value.Int 42));
+  Alcotest.(check string) "blob hex" "0x0001" (Value.to_string (Value.Blob "\x00\x01"))
+
+let gen_value =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) int;
+        map (fun f -> Value.Float f) float;
+        map (fun s -> Value.Text s) (string_size ~gen:char (int_range 0 50));
+        map (fun s -> Value.Blob s) (string_size ~gen:char (int_range 0 50));
+      ])
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"codec roundtrip" ~count:1000 gen_value (fun v ->
+      match v with
+      | Value.Float f when Float.is_nan f -> true (* NaN <> NaN by compare? Stdlib.compare handles *)
+      | _ ->
+          let v', _ = Value.decode (Value.encoded v) 0 in
+          Value.compare v v' = 0)
+
+let degenerate_float = function
+  | Value.Float f -> Float.is_nan f || f = 0. (* -0. = 0. but bits differ *)
+  | _ -> false
+
+let prop_injective =
+  QCheck2.Test.make ~name:"encoding injective" ~count:1000
+    QCheck2.Gen.(pair gen_value gen_value)
+    (fun (a, b) ->
+      QCheck2.assume (not (degenerate_float a || degenerate_float b));
+      if Value.compare a b = 0 then String.equal (Value.encoded a) (Value.encoded b)
+      else not (String.equal (Value.encoded a) (Value.encoded b)))
+
+let () =
+  Alcotest.run "value"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "type_of" `Quick test_type_of;
+          Alcotest.test_case "conforms" `Quick test_conforms;
+          Alcotest.test_case "total order" `Quick test_compare_total_order;
+          Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "codec stream" `Quick test_codec_stream;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "varint" `Quick test_varint;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_injective ]
+      );
+    ]

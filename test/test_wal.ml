@@ -1,0 +1,115 @@
+(* Write-ahead log: entry codec, replay, file persistence, torn tails. *)
+open Tep_store
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let sample_entries =
+  [
+    Wal.Create_table ("t", Schema.all_int [ "a"; "b" ]);
+    Wal.Insert_row ("t", 0, [| Value.Int 1; Value.Int 2 |]);
+    Wal.Insert_row ("t", 1, [| Value.Int 3; Value.Int 4 |]);
+    Wal.Update_cell ("t", 0, 1, Value.Int 42);
+    Wal.Update_row ("t", 1, [| Value.Int 5; Value.Int 6 |]);
+    Wal.Delete_row ("t", 0);
+    Wal.Drop_table "missing_is_error";
+  ]
+
+let test_entry_codec () =
+  List.iter
+    (fun e ->
+      let buf = Buffer.create 64 in
+      Wal.encode_entry buf e;
+      let e', off = Wal.decode_entry (Buffer.contents buf) 0 in
+      Alcotest.(check int) "consumed" (Buffer.length buf) off;
+      let buf2 = Buffer.create 64 in
+      Wal.encode_entry buf2 e';
+      Alcotest.(check string) "stable" (Buffer.contents buf) (Buffer.contents buf2))
+    sample_entries
+
+let test_memory_log () =
+  let w = Wal.in_memory () in
+  List.iter (Wal.append w) sample_entries;
+  Alcotest.(check int) "count" (List.length sample_entries) (Wal.entry_count w);
+  Alcotest.(check int) "entries" (List.length sample_entries)
+    (List.length (Wal.entries w))
+
+let test_replay () =
+  let w = Wal.in_memory () in
+  List.iteri (fun i e -> if i < 6 then Wal.append w e) sample_entries;
+  let db = Database.create ~name:"replayed" in
+  ok (Wal.replay (Wal.entries w) db);
+  let t = Database.get_table_exn db "t" in
+  Alcotest.(check int) "one row left" 1 (Table.row_count t);
+  match Table.get t 1 with
+  | Some r -> Alcotest.(check bool) "updated row" true (Value.equal r.Table.cells.(0) (Value.Int 5))
+  | None -> Alcotest.fail "row 1 missing"
+
+let test_replay_error () =
+  let db = Database.create ~name:"x" in
+  match Wal.replay [ Wal.Insert_row ("ghost", 0, [||]) ] db with
+  | Ok () -> Alcotest.fail "insert into missing table accepted"
+  | Error _ -> ()
+
+let with_temp_file f =
+  let path = Filename.temp_file "tep_wal" ".log" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with _ -> ()) (fun () -> f path)
+
+let test_file_log_roundtrip () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let w = Wal.open_file path in
+      List.iteri (fun i e -> if i < 6 then Wal.append w e) sample_entries;
+      Wal.close w;
+      let db = Database.create ~name:"replayed" in
+      let n = ok (Wal.load_and_replay path db) in
+      Alcotest.(check int) "entries" 6 n;
+      Alcotest.(check int) "rows" 1
+        (Table.row_count (Database.get_table_exn db "t")))
+
+let test_file_log_append_sessions () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let w1 = Wal.open_file path in
+      Wal.append w1 (List.nth sample_entries 0);
+      Wal.close w1;
+      let w2 = Wal.open_file path in
+      Wal.append w2 (List.nth sample_entries 1);
+      Wal.close w2;
+      let w3 = Wal.open_file path in
+      Alcotest.(check int) "both sessions" 2 (List.length (Wal.entries w3));
+      Wal.close w3)
+
+let test_torn_tail () =
+  with_temp_file (fun path ->
+      Sys.remove path;
+      let w = Wal.open_file path in
+      Wal.append w (List.nth sample_entries 0);
+      Wal.append w (List.nth sample_entries 1);
+      Wal.close w;
+      (* truncate mid-frame to simulate a crash *)
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let content = really_input_string ic len in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc (String.sub content 0 (len - 3));
+      close_out oc;
+      let w = Wal.open_file path in
+      Alcotest.(check int) "only intact frames" 1 (List.length (Wal.entries w));
+      Wal.close w)
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "entry codec" `Quick test_entry_codec;
+          Alcotest.test_case "memory log" `Quick test_memory_log;
+          Alcotest.test_case "replay" `Quick test_replay;
+          Alcotest.test_case "replay error" `Quick test_replay_error;
+          Alcotest.test_case "file roundtrip" `Quick test_file_log_roundtrip;
+          Alcotest.test_case "append sessions" `Quick
+            test_file_log_append_sessions;
+          Alcotest.test_case "torn tail" `Quick test_torn_tail;
+        ] );
+    ]

@@ -1,0 +1,166 @@
+(* Workloads: Table 1 node counts, Table 2 operation mixes, paper
+   scenarios. *)
+open Tep_store
+open Tep_core
+open Tep_workload
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let test_table1_node_counts () =
+  (* the headline check: our synthetic databases have exactly the node
+     counts of Table 1(b) *)
+  List.iteri
+    (fun i expected ->
+      let db = Synth.paper_database (i + 1) in
+      Alcotest.(check int)
+        (Printf.sprintf "database %d" (i + 1))
+        expected (Database.node_count db))
+    Synth.paper_node_counts
+
+let test_table1_specs () =
+  Alcotest.(check int) "4 tables" 4 (List.length Synth.paper_tables);
+  let t1 = List.hd Synth.paper_tables in
+  Alcotest.(check int) "t1 attrs" 8 t1.Synth.attrs;
+  Alcotest.(check int) "t1 rows" 4000 t1.Synth.rows
+
+let test_determinism () =
+  let h db = Tep_tree.Streaming.hash_database Tep_crypto.Digest_algo.SHA1 db in
+  let a = Synth.build_database ~seed:"s" [ List.hd Synth.paper_tables ] in
+  let b = Synth.build_database ~seed:"s" [ List.hd Synth.paper_tables ] in
+  Alcotest.(check string) "same seed same db" (Digest.to_hex (Digest.string (h a)))
+    (Digest.to_hex (Digest.string (h b)));
+  let c = Synth.build_database ~seed:"other" [ List.hd Synth.paper_tables ] in
+  Alcotest.(check bool) "different seed" false (String.equal (h a) (h c))
+
+let test_scale () =
+  let spec = Synth.scale 0.1 (List.hd Synth.paper_tables) in
+  Alcotest.(check int) "scaled rows" 400 spec.Synth.rows;
+  let tiny = Synth.scale 0.00001 (List.hd Synth.paper_tables) in
+  Alcotest.(check int) "min 1 row" 1 tiny.Synth.rows
+
+let test_title_database () =
+  let db = Synth.build_title_database ~rows:100 in
+  (* nodes: 1 root + 1 table + 100 rows * (1 + 2 cells) *)
+  Alcotest.(check int) "node count" (2 + 300) (Database.node_count db)
+
+let small_engine () =
+  let env = Scenario.make_env ~seed:"wl" () in
+  let p = Scenario.participant env "worker" in
+  let db =
+    Synth.build_database ~seed:"wl-db"
+      [ { Synth.name = "t1"; attrs = 4; rows = 50 } ]
+  in
+  let eng = Engine.create ~directory:env.Scenario.directory db in
+  (eng, p, env)
+
+let test_setup_a_points () =
+  Alcotest.(check int) "1 + 10 + 7 points" 18 (List.length Ops_gen.setup_a_points);
+  Alcotest.(check int) "first" 1 (List.hd Ops_gen.setup_a_points);
+  Alcotest.(check bool) "has 4000" true (List.mem 4000 Ops_gen.setup_a_points);
+  Alcotest.(check bool) "has 32000" true (List.mem 32000 Ops_gen.setup_a_points)
+
+let test_updates_spread () =
+  let eng, p, env = small_engine () in
+  let op =
+    Ops_gen.updates_spread env.Scenario.drbg (Engine.backend eng) ~table:"t1"
+      ~cells:20 ~max_rows:10
+  in
+  Alcotest.(check int) "20 primitives" 20 (List.length op);
+  let m = ok (Ops_gen.apply eng p op) in
+  (* 20 cell updates in 10 rows: <=20 cell records + 10 rows + table + root *)
+  Alcotest.(check bool) "records plausible" true
+    (m.Engine.records_emitted >= 20 && m.Engine.records_emitted <= 32);
+  Alcotest.(check bool) "verifies" true
+    (Verifier.ok (ok (Engine.verify_object eng (Engine.root_oid eng))))
+
+let test_all_deletes_inserts () =
+  let eng, p, env = small_engine () in
+  let del = Ops_gen.all_deletes (Engine.backend eng) ~table:"t1" ~count:10 in
+  Alcotest.(check int) "10 deletes" 10 (List.length del);
+  let m = ok (Ops_gen.apply eng p del) in
+  (* all targets die: only table + root records *)
+  Alcotest.(check int) "2 inherited" 2 m.Engine.records_emitted;
+  let ins = Ops_gen.all_inserts env.Scenario.drbg (Engine.backend eng) ~table:"t1" ~count:5 in
+  let m = ok (Ops_gen.apply eng p ins) in
+  (* 5 rows * (1 row + 4 cells) + table + root *)
+  Alcotest.(check int) "insert records" (5 * 5 + 2) m.Engine.records_emitted;
+  Alcotest.(check int) "row count" 45
+    (Table.row_count (Database.get_table_exn (Engine.backend eng) "t1"))
+
+let test_mixed_ops_composition () =
+  let eng, _, env = small_engine () in
+  List.iter
+    (fun mix ->
+      let op =
+        Ops_gen.mixed_ops env.Scenario.drbg (Engine.backend eng) ~table:"t1"
+          ~total:100 mix
+      in
+      let dels =
+        List.length
+          (List.filter (function Ops_gen.Delete_row _ -> true | _ -> false) op)
+      in
+      let expected = int_of_float (float_of_int 100 *. mix.Ops_gen.deletes_pct /. 100.) in
+      (* live-row exhaustion can reduce deletes, never increase *)
+      Alcotest.(check bool)
+        (Printf.sprintf "deletes ~%d" expected)
+        true
+        (dels <= expected && dels >= min expected 40))
+    Ops_gen.paper_mixes
+
+let test_paper_mixes () =
+  Alcotest.(check int) "four mixes" 4 (List.length Ops_gen.paper_mixes);
+  List.iter
+    (fun m ->
+      let total = m.Ops_gen.deletes_pct +. m.Ops_gen.inserts_pct +. m.Ops_gen.updates_pct in
+      Alcotest.(check bool) "sums to 100" true (abs_float (total -. 100.) < 0.5))
+    Ops_gen.paper_mixes
+
+let test_clinical_trial () =
+  let env = Scenario.make_env () in
+  let c = Scenario.clinical_trial ~patients:5 env in
+  (* the FDA verifies the delivered trial result *)
+  let report = ok (Engine.verify_object c.Scenario.engine c.Scenario.trial_result) in
+  Alcotest.(check bool) "trial verifies" true (Verifier.ok report);
+  (* provenance includes Pamela's amendment *)
+  let _, records = ok (Engine.deliver c.Scenario.engine c.Scenario.trial_result) in
+  let by_pamela =
+    List.filter (fun r -> r.Record.participant = "PCP Pamela") records
+  in
+  Alcotest.(check bool) "amendment visible" true (by_pamela <> []);
+  Alcotest.(check int) "five participants" 5 (List.length c.Scenario.participants)
+
+let test_figure2_scenario () =
+  let env = Scenario.make_env () in
+  let f = Scenario.figure2 env in
+  let _, records = ok (Atomic.deliver f.Scenario.store f.Scenario.d) in
+  Alcotest.(check int) "7 records" 7 (List.length records);
+  let report = ok (Atomic.verify f.Scenario.store f.Scenario.d) in
+  Alcotest.(check bool) "verifies" true (Verifier.ok report)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "synth",
+        [
+          Alcotest.test_case "table 1(b) node counts" `Quick
+            test_table1_node_counts;
+          Alcotest.test_case "table 1(a) specs" `Quick test_table1_specs;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "scale" `Quick test_scale;
+          Alcotest.test_case "title database" `Quick test_title_database;
+        ] );
+      ( "ops",
+        [
+          Alcotest.test_case "setup A points" `Quick test_setup_a_points;
+          Alcotest.test_case "updates spread" `Quick test_updates_spread;
+          Alcotest.test_case "all deletes/inserts" `Quick
+            test_all_deletes_inserts;
+          Alcotest.test_case "mixed ops" `Quick test_mixed_ops_composition;
+          Alcotest.test_case "paper mixes" `Quick test_paper_mixes;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "clinical trial" `Quick test_clinical_trial;
+          Alcotest.test_case "figure 2" `Quick test_figure2_scenario;
+        ] );
+    ]

@@ -1,0 +1,171 @@
+(* XML documents over the forest model: parsing, printing, forest
+   mapping, and provenance over document edits. *)
+open Tep_store
+open Tep_tree
+open Tep_core
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let sample =
+  {|<?xml version="1.0"?>
+<protein id="P53" organism="human">
+  <name>Cellular tumor antigen p53</name>
+  <sequence length="393">MEEPQSDPSV</sequence>
+  <keywords>
+    <kw>tumor suppressor</kw>
+    <kw>DNA-binding</kw>
+  </keywords>
+</protein>|}
+
+let test_parse_structure () =
+  match ok (Xml.parse sample) with
+  | Xml.Element (name, attrs, children) ->
+      Alcotest.(check string) "root" "protein" name;
+      Alcotest.(check (list (pair string string)))
+        "attrs"
+        [ ("id", "P53"); ("organism", "human") ]
+        attrs;
+      Alcotest.(check int) "children" 3 (List.length children)
+  | Xml.Text _ -> Alcotest.fail "expected element"
+
+let test_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Xml.parse bad with
+      | Ok _ -> Alcotest.fail ("accepted: " ^ bad)
+      | Error _ -> ())
+    [
+      "";
+      "<a>";
+      "<a></b>";
+      "<a x=y></a>";
+      "just text";
+      "<a></a><b></b>";
+      "<a>&unknown;</a>";
+    ]
+
+let test_escape_roundtrip () =
+  let doc =
+    Xml.Element
+      ("x", [ ("attr", "a<b&\"c'") ], [ Xml.Text "5 < 6 && \"quoted\"" ])
+  in
+  let doc' = ok (Xml.parse (Xml.to_string doc)) in
+  Alcotest.(check bool) "roundtrip" true (doc = doc')
+
+let test_print_parse_roundtrip () =
+  let doc = ok (Xml.parse sample) in
+  let doc' = ok (Xml.parse (Xml.to_string doc)) in
+  Alcotest.(check bool) "stable" true (doc = doc');
+  (* indented form parses back too *)
+  let doc'' = ok (Xml.parse (Xml.to_string ~indent:true doc)) in
+  Alcotest.(check bool) "indented stable" true (doc = doc'')
+
+let test_forest_roundtrip () =
+  let doc = ok (Xml.parse sample) in
+  let f = Forest.create () in
+  let root = ok (Xml.to_forest f doc) in
+  (* node count: protein + 2 attrs + name(+text) + sequence(+attr+text)
+     + keywords + 2 kw (+2 texts) = 13 *)
+  Alcotest.(check int) "nodes" 13 (Forest.node_count f);
+  let doc' = ok (Xml.of_forest f root) in
+  Alcotest.(check bool) "roundtrip through forest" true (doc = doc')
+
+let test_of_forest_rejects_non_xml () =
+  let f = Forest.create () in
+  let o = ok (Forest.insert f (Value.Int 42)) in
+  match Xml.of_forest f o with
+  | Ok _ -> Alcotest.fail "non-XML accepted"
+  | Error _ -> ()
+
+let test_provenance_over_document () =
+  (* the paper's XML use case: track who edited which element *)
+  let drbg = Tep_crypto.Drbg.create ~seed:"xml" in
+  let ca = Tep_crypto.Pki.create_ca ~bits:512 ~name:"CA" drbg in
+  let dir = Participant.Directory.create ~ca_key:(Tep_crypto.Pki.ca_public_key ca) in
+  let curator = Participant.create ~bits:512 ~ca ~name:"curator" drbg in
+  Participant.Directory.register dir curator;
+  let db = Database.create ~name:"docs" in
+  let eng = Engine.create ~directory:dir db in
+  let doc = ok (Xml.parse sample) in
+  (* ingest the document as one complex operation *)
+  let root, _ =
+    ok
+      (Engine.complex_op eng curator (fun () ->
+           let f = Engine.forest eng in
+           (* build via engine-tracked primitive inserts *)
+           let rec build ?parent node =
+             match node with
+             | Xml.Text t -> Engine.insert_object eng curator ?parent (Xml.text_value t)
+             | Xml.Element (name, attrs, children) -> (
+                 match
+                   Engine.insert_object eng curator ?parent (Xml.element_value name)
+                 with
+                 | Error e -> Error e
+                 | Ok oid ->
+                     let rec go = function
+                       | [] -> Ok oid
+                       | `A (k, v) :: rest -> (
+                           match
+                             Engine.insert_object eng curator ~parent:oid
+                               (Xml.attribute_value k v)
+                           with
+                           | Ok _ -> go rest
+                           | Error e -> Error e)
+                       | `C c :: rest -> (
+                           match build ~parent:oid c with
+                           | Ok _ -> go rest
+                           | Error e -> Error e)
+                     in
+                     go
+                       (List.map (fun (k, v) -> `A (k, v)) attrs
+                       @ List.map (fun c -> `C c) children))
+           in
+           ignore f;
+           build doc))
+  in
+  (* every node got an insert record *)
+  Alcotest.(check int) "records = nodes" 13
+    (Provstore.record_count (Engine.provstore eng));
+  (* edit the sequence text *)
+  let seq_text =
+    let f = Engine.forest eng in
+    let rec find oid =
+      match Forest.value f oid with
+      | Ok (Value.Text "MEEPQSDPSV") -> Some oid
+      | _ ->
+          List.fold_left
+            (fun acc c -> match acc with Some _ -> acc | None -> find c)
+            None (Forest.children f oid)
+    in
+    Option.get (find root)
+  in
+  ok (Engine.update_object eng curator seq_text (Xml.text_value "MEEPQSDPSVEPPLSQ"));
+  (* verify + recover the edited document *)
+  let report = ok (Engine.verify_object eng root) in
+  Alcotest.(check bool) "document verifies" true (Verifier.ok report);
+  let doc' = ok (Xml.of_forest (Engine.forest eng) root) in
+  let printed = Xml.to_string doc' in
+  let contains sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "edit visible" true (contains "MEEPQSDPSVEPPLSQ" printed)
+
+let () =
+  Alcotest.run "xml"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "parse structure" `Quick test_parse_structure;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "escapes" `Quick test_escape_roundtrip;
+          Alcotest.test_case "print/parse roundtrip" `Quick
+            test_print_parse_roundtrip;
+          Alcotest.test_case "forest roundtrip" `Quick test_forest_roundtrip;
+          Alcotest.test_case "non-XML rejected" `Quick
+            test_of_forest_rejects_non_xml;
+          Alcotest.test_case "provenance over document" `Quick
+            test_provenance_over_document;
+        ] );
+    ]

@@ -1,0 +1,99 @@
+(* Modular arithmetic: gcd, modinv, modpow (Montgomery and naive). *)
+open Tep_bignum
+
+let nat = Alcotest.testable (Fmt.of_to_string Nat.to_decimal) Nat.equal
+
+let n = Nat.of_int
+
+let gen_nat bits =
+  QCheck2.Gen.(
+    let* s = string_size ~gen:char (return ((bits + 7) / 8)) in
+    return (Nat.of_bytes_be s))
+
+let test_gcd () =
+  Alcotest.check nat "gcd(12,18)" (n 6) (Zmod.gcd (n 12) (n 18));
+  Alcotest.check nat "gcd(17,31)" (n 1) (Zmod.gcd (n 17) (n 31));
+  Alcotest.check nat "gcd(0,5)" (n 5) (Zmod.gcd (n 0) (n 5));
+  Alcotest.check nat "gcd(5,0)" (n 5) (Zmod.gcd (n 5) (n 0))
+
+let test_modinv_known () =
+  (match Zmod.modinv (n 3) (n 7) with
+  | Some x -> Alcotest.check nat "3^-1 mod 7" (n 5) x
+  | None -> Alcotest.fail "expected inverse");
+  (match Zmod.modinv (n 6) (n 9) with
+  | Some _ -> Alcotest.fail "6 has no inverse mod 9"
+  | None -> ());
+  Alcotest.check_raises "modulus 1" (Invalid_argument "Zmod.modinv: modulus <= 1")
+    (fun () -> ignore (Zmod.modinv (n 3) (n 1)))
+
+let test_modpow_known () =
+  Alcotest.check nat "2^10 mod 1000" (n 24) (Zmod.modpow (n 2) (n 10) (n 1000));
+  Alcotest.check nat "5^0 mod 7" (n 1) (Zmod.modpow (n 5) (n 0) (n 7));
+  Alcotest.check nat "0^5 mod 7" (n 0) (Zmod.modpow (n 0) (n 5) (n 7));
+  (* Fermat: a^(p-1) = 1 mod p *)
+  let p = Nat.of_decimal "170141183460469231731687303715884105727" in
+  Alcotest.check nat "fermat" Nat.one
+    (Zmod.modpow (n 123456789) (Nat.sub p Nat.one) p);
+  (* even modulus falls back to the naive path *)
+  Alcotest.check nat "even modulus" (n 6) (Zmod.modpow (n 6) (n 3) (n 10));
+  Alcotest.check_raises "zero modulus"
+    (Invalid_argument "Zmod.modpow: zero modulus") (fun () ->
+      ignore (Zmod.modpow (n 2) (n 2) Nat.zero))
+
+let test_montgomery_vs_naive () =
+  let seed = ref 99 in
+  let next () =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !seed
+  in
+  for _ = 1 to 50 do
+    let b = n (next ()) and e = n (next () land 0xFFFF) in
+    let m = n ((next () lor 1) + 2) in
+    (* odd, > 2 *)
+    let mont = Zmod.Montgomery.create m in
+    Alcotest.check nat "mont = mod_mul chain"
+      (Zmod.modpow b e m)
+      (Zmod.Montgomery.pow mont b e)
+  done
+
+let prop_modinv =
+  QCheck2.Test.make ~name:"modinv correct when gcd=1" ~count:200
+    QCheck2.Gen.(pair (gen_nat 128) (gen_nat 160))
+    (fun (a, m) ->
+      QCheck2.assume (Nat.compare m Nat.two > 0);
+      match Zmod.modinv a m with
+      | Some x -> Nat.is_one (Nat.rem (Nat.mul (Nat.rem a m) x) m)
+      | None -> not (Nat.is_one (Zmod.gcd a m)))
+
+let prop_modpow_mul =
+  QCheck2.Test.make ~name:"b^(e1+e2) = b^e1 * b^e2 (mod m)" ~count:100
+    QCheck2.Gen.(quad (gen_nat 64) (gen_nat 16) (gen_nat 16) (gen_nat 80))
+    (fun (b, e1, e2, m) ->
+      QCheck2.assume (Nat.compare m Nat.two > 0);
+      let lhs = Zmod.modpow b (Nat.add e1 e2) m in
+      let rhs = Zmod.mod_mul (Zmod.modpow b e1 m) (Zmod.modpow b e2 m) m in
+      Nat.equal lhs rhs)
+
+let prop_gcd_divides =
+  QCheck2.Test.make ~name:"gcd divides both" ~count:300
+    QCheck2.Gen.(pair (gen_nat 100) (gen_nat 100))
+    (fun (a, b) ->
+      let g = Zmod.gcd a b in
+      if Nat.is_zero g then Nat.is_zero a && Nat.is_zero b
+      else Nat.is_zero (Nat.rem a g) && Nat.is_zero (Nat.rem b g))
+
+let () =
+  Alcotest.run "zmod"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "modinv" `Quick test_modinv_known;
+          Alcotest.test_case "modpow" `Quick test_modpow_known;
+          Alcotest.test_case "montgomery vs naive" `Quick
+            test_montgomery_vs_naive;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_modinv; prop_modpow_mul; prop_gcd_divides ] );
+    ]
