@@ -30,6 +30,7 @@ type workspace = {
   directory : Participant.Directory.t;
   participants : (string * Participant.t) list;
   engine : Engine.t;
+  wal : Wal.t;
 }
 
 let ( // ) = Filename.concat
@@ -46,14 +47,18 @@ let write_file path s =
   close_out oc
 
 let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+let ckpt_dir dir = dir // "checkpoints"
+let wal_path dir = dir // "wal.log"
 
-let load_workspace dir =
+(* CA + participant credentials, shared by normal loads and by
+   [recover] (which rebuilds everything else from checkpoints). *)
+let load_identity dir =
   if not (Sys.file_exists (dir // "ca")) then
     fail "%s is not a provdb workspace (run `provdb init %s` first)" dir dir
   else begin
     match Tep_crypto.Pki.ca_of_string (read_file (dir // "ca")) with
     | None -> fail "corrupt CA file"
-    | Some ca -> (
+    | Some ca ->
         let directory =
           Participant.Directory.create
             ~ca_key:(Tep_crypto.Pki.ca_public_key ca)
@@ -70,21 +75,39 @@ let load_workspace dir =
                    | None -> None)
           else []
         in
-        match Snapshot.load (dir // "backend.snap") with
-        | Error e -> fail "backend: %s" e
-        | Ok db -> (
-            match Provstore.of_string (read_file (dir // "prov.dat")) with
-            | Error e -> fail "provenance store: %s" e
-            | Ok prov ->
-                let forest, _ = Forest.decode (read_file (dir // "forest.dat")) 0 in
-                let view, _ =
-                  Tree_view.decode (read_file (dir // "view.dat")) 0
-                in
-                let engine =
-                  Engine.of_parts ~provstore:prov ~directory ~forest ~view db
-                in
-                Ok { dir; ca; directory; participants; engine }))
+        Ok (ca, directory, participants)
   end
+
+let load_workspace dir =
+  match load_identity dir with
+  | Error e -> Error e
+  | Ok (ca, directory, participants) -> (
+      match Snapshot.load (dir // "backend.snap") with
+      | Error e -> fail "backend: %s" e
+      | Ok db -> (
+          match Provstore.of_string (read_file (dir // "prov.dat")) with
+          | Error e -> fail "provenance store: %s" e
+          | Ok prov ->
+              let forest, _ = Forest.decode (read_file (dir // "forest.dat")) 0 in
+              let view, _ =
+                Tree_view.decode (read_file (dir // "view.dat")) 0
+              in
+              let wal = Wal.open_file (wal_path dir) in
+              (* a non-empty log means the last session died before its
+                 checkpoint: its committed tail is only in the WAL *)
+              (match Wal.salvage_file (wal_path dir) with
+              | Ok sv when sv.Wal.entries <> [] ->
+                  Printf.eprintf
+                    "warning: %d un-checkpointed WAL frame(s) found — a \
+                     previous session crashed; run `provdb recover %s` to \
+                     replay them (continuing discards them at next save)\n"
+                    (List.length sv.Wal.entries) dir
+              | _ -> ());
+              let engine =
+                Engine.of_parts ~wal ~provstore:prov ~directory ~forest ~view
+                  db
+              in
+              Ok { dir; ca; directory; participants; engine; wal }))
 
 let save_workspace ws =
   let dir = ws.dir in
@@ -98,7 +121,12 @@ let save_workspace ws =
   write_file (dir // "forest.dat") (Buffer.contents buf);
   Buffer.clear buf;
   Tree_view.encode buf (Engine.mapping ws.engine);
-  write_file (dir // "view.dat") (Buffer.contents buf)
+  write_file (dir // "view.dat") (Buffer.contents buf);
+  (* checkpoint generation + WAL truncation: the crash-safe copy of
+     everything written above *)
+  match Recovery.checkpoint ~dir:(ckpt_dir dir) ~wal:ws.wal ws.engine with
+  | Ok _gen -> ()
+  | Error e -> failwith e
 
 let with_workspace ?(save = true) dir f =
   match load_workspace dir with
@@ -226,8 +254,9 @@ let cmd_init dir tables seed =
         prerr_endline ("error: " ^ e);
         1
     | Ok () ->
-        let engine = Engine.create ~directory db in
-        let ws = { dir; ca; directory; participants = []; engine } in
+        let wal = Wal.open_file (wal_path dir) in
+        let engine = Engine.create ~wal ~directory db in
+        let ws = { dir; ca; directory; participants = []; engine; wal } in
         save_workspace ws;
         Printf.printf "initialised %s with %d table(s)\n" dir
           (List.length tables);
@@ -611,6 +640,51 @@ let cmd_select dir table where blame =
                   Printf.printf "(%d rows)\n" (List.length rows);
                   Ok "")))
 
+let cmd_checkpoint dir keep =
+  with_workspace ~save:false dir (fun ws ->
+      match
+        Recovery.checkpoint ?keep ~dir:(ckpt_dir ws.dir) ~wal:ws.wal ws.engine
+      with
+      | Error e -> Error e
+      | Ok gen ->
+          Ok
+            (Printf.sprintf
+               "wrote checkpoint generation %d (lsn %d); %d generation(s) \
+                retained"
+               gen (Wal.last_seq ws.wal)
+               (List.length (Recovery.generations ~dir:(ckpt_dir ws.dir)))))
+
+(* Rebuild the workspace from the newest valid checkpoint generation
+   plus the WAL tail — the path to take after a crash, or after
+   `tamper --attack provenance` wrecks prov.dat. *)
+let cmd_recover dir =
+  match load_identity dir with
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      1
+  | Ok (ca, directory, participants) -> (
+      match
+        (* save_workspace below writes the post-recovery checkpoint,
+           so recover itself need not *)
+        Recovery.recover ~final_checkpoint:false ~dir:(ckpt_dir dir)
+          ~wal_path:(wal_path dir) ~directory ()
+      with
+      | Error e ->
+          prerr_endline ("error: " ^ e);
+          1
+      | Ok (engine, wal, report) ->
+          Format.printf "%a@." Recovery.pp_report report;
+          let ws = { dir; ca; directory; participants; engine; wal } in
+          save_workspace ws;
+          print_endline "workspace files rewritten from recovered state";
+          if report.Recovery.hash_verified then 0
+          else begin
+            prerr_endline
+              "error: recovered root hash does not match committed \
+               provenance — run `provdb verify` to locate the tampering";
+            1
+          end)
+
 (* ------------------------------------------------------------------ *)
 (* Cmdliner plumbing                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -722,6 +796,24 @@ let select_cmd =
   Cmd.v (Cmd.info "select" ~doc:"Query a table")
     Term.(const cmd_select $ dir_arg $ table_req $ where $ blame)
 
+let checkpoint_cmd =
+  let keep =
+    Arg.(value & opt (some int) None & info [ "keep" ] ~docv:"N"
+           ~doc:"Checkpoint generations to retain (default 2)")
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Write a checkpoint generation and truncate the WAL")
+    Term.(const cmd_checkpoint $ dir_arg $ keep)
+
+let recover_cmd =
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Rebuild the workspace from the newest valid checkpoint plus the \
+          WAL tail (crash recovery)")
+    Term.(const cmd_recover $ dir_arg)
+
 let tamper_cmd =
   let attack =
     Arg.(required & opt (some string) None & info [ "attack" ] ~docv:"data|provenance")
@@ -753,4 +845,6 @@ let () =
             prune_cmd;
             select_cmd;
             tamper_cmd;
+            checkpoint_cmd;
+            recover_cmd;
           ]))

@@ -111,7 +111,19 @@ let root_hash t =
   | Ok h -> h
   | Error e -> failwith ("Engine.root_hash: " ^ e)
 
-let wal_log t entry = match t.wal with None -> () | Some w -> Wal.append w entry
+(* WAL appends are retried internally on transient errors; a
+   persistent failure means the mutation's durability cannot be
+   guaranteed, so it must not be silently ignored.  Simulated crashes
+   (Tep_fault.Fault.Crash) propagate untouched. *)
+let wal_log t entry =
+  match t.wal with
+  | None -> ()
+  | Some w -> (
+      match Wal.append w entry with
+      | Ok () -> ()
+      | Error e -> failwith ("Engine: " ^ e))
+
+let wal_present t = Option.is_some t.wal
 
 (* ------------------------------------------------------------------ *)
 (* Batch capture                                                       *)
@@ -236,9 +248,28 @@ let commit t (b : batch) : metrics =
       in
       let t0 = now () in
       Provstore.append t.prov record;
+      (* Journal the record itself so post-checkpoint provenance
+         survives a crash (Recovery re-appends it on replay). *)
+      if wal_present t then wal_log t (Wal.Blob (Record.encoded record));
       store_s := !store_s +. (now () -. t0);
       incr records)
     survivors;
+  (* Commit marker: everything journaled before it is now one atomic
+     recovery unit; frames after the last marker are rolled back. *)
+  if wal_present t then begin
+    let root_hash =
+      match Merkle.hash t.cache (Tree_view.root t.view) with
+      | Ok h -> h
+      | Error e -> failwith ("Engine.commit: " ^ e)
+    in
+    wal_log t (Wal.Commit root_hash);
+    match t.wal with
+    | Some w -> (
+        match Wal.flush w with
+        | Ok () -> ()
+        | Error e -> failwith ("Engine: " ^ e))
+    | None -> ()
+  end;
   {
     hash_s = !hash_s;
     sign_s = !sign_s;
@@ -268,7 +299,15 @@ let complex_op t participant body =
           t.batch <- None;
           Error e
       | Ok v ->
-          let m = commit t b in
+          let m =
+            match commit t b with
+            | m -> m
+            | exception e ->
+                (* A crash or WAL failure mid-commit must not leave the
+                   engine wedged inside a phantom batch. *)
+                t.batch <- None;
+                raise e
+          in
           t.batch <- None;
           t.last <- m;
           t.total <- add_metrics t.total m;

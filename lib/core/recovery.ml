@@ -1,0 +1,470 @@
+open Tep_store
+open Tep_tree
+
+type rejected = { path : string; reason : string }
+
+type report = {
+  generation : int;
+  checkpoint_lsn : int;
+  rejected : rejected list;
+  entries_replayed : int;
+  records_replayed : int;
+  frames_dropped : int;
+  skipped_frames : int;
+  torn_tail : bool;
+  root_hash : string;
+  committed_root_hash : string option;
+  prov_root_hash : string option;
+  hash_verified : bool;
+}
+
+let pp_report fmt r =
+  let hex = Tep_crypto.Digest_algo.to_hex in
+  Format.fprintf fmt
+    "@[<v>recovered from generation %d (lsn %d)@,%a\
+     replayed: %d entries, %d provenance records; dropped %d uncommitted \
+     frame(s)@,\
+     wal damage: %d skipped region(s)%s@,\
+     root hash: %s@,\
+     cross-check: %s@]"
+    r.generation r.checkpoint_lsn
+    (fun fmt -> function
+      | [] -> ()
+      | rej ->
+          List.iter
+            (fun { path; reason } ->
+              Format.fprintf fmt "rejected %s: %s@," path reason)
+            rej)
+    r.rejected r.entries_replayed r.records_replayed r.frames_dropped
+    r.skipped_frames
+    (if r.torn_tail then ", torn tail" else "")
+    (hex r.root_hash)
+    (if r.hash_verified then "ok"
+     else
+       Printf.sprintf "MISMATCH (committed %s, provenance %s)"
+         (match r.committed_root_hash with Some h -> hex h | None -> "-")
+         (match r.prov_root_hash with Some h -> hex h | None -> "-"))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint file codec                                               *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "TEPCKPT1"
+
+type ckpt = {
+  c_gen : int;
+  c_lsn : int;
+  c_root_hash : string;
+  c_db : Database.t;
+  c_forest : Forest.t;
+  c_view : Tree_view.mapping;
+  c_prov : Provstore.t;
+}
+
+let encode_checkpoint ~gen ~lsn engine =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf magic;
+  Value.add_varint buf gen;
+  Value.add_varint buf (lsn + 1) (* lsn >= -1 *);
+  Value.add_string buf (Engine.root_hash engine);
+  Database.encode buf (Engine.backend engine);
+  Forest.encode buf (Engine.forest engine);
+  Tree_view.encode buf (Engine.mapping engine);
+  Value.add_string buf (Provstore.to_string (Engine.provstore engine));
+  let body = Buffer.contents buf in
+  body ^ Tep_crypto.Sha256.digest body
+
+let decode_checkpoint s =
+  let dlen = Tep_crypto.Sha256.digest_size in
+  let len = String.length s in
+  if len < String.length magic + dlen then Error "checkpoint: too short"
+  else begin
+    let body = String.sub s 0 (len - dlen) in
+    let trailer = String.sub s (len - dlen) dlen in
+    if not (String.equal (Tep_crypto.Sha256.digest body) trailer) then
+      Error "checkpoint: integrity trailer mismatch"
+    else if String.sub body 0 8 <> magic then Error "checkpoint: bad magic"
+    else
+      try
+        let gen, off = Value.read_varint body 8 in
+        let lsn1, off = Value.read_varint body off in
+        let root_hash, off = Value.read_string body off in
+        let db, off = Database.decode body off in
+        let forest, off = Forest.decode body off in
+        let view, off = Tree_view.decode body off in
+        let prov_s, off = Value.read_string body off in
+        if off <> String.length body then Error "checkpoint: trailing garbage"
+        else
+          match Provstore.of_string prov_s with
+          | Error e -> Error ("checkpoint: provenance store: " ^ e)
+          | Ok prov ->
+              Ok
+                {
+                  c_gen = gen;
+                  c_lsn = lsn1 - 1;
+                  c_root_hash = root_hash;
+                  c_db = db;
+                  c_forest = forest;
+                  c_view = view;
+                  c_prov = prov;
+                }
+      with Failure e | Invalid_argument e -> Error ("checkpoint: " ^ e)
+  end
+
+let generation_path ~dir gen = Filename.concat dir (Printf.sprintf "ckpt-%06d.snap" gen)
+
+let generations ~dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun f ->
+           if
+             String.length f = 16
+             && String.sub f 0 5 = "ckpt-"
+             && Filename.check_suffix f ".snap"
+           then
+             match int_of_string_opt (String.sub f 5 6) with
+             | Some g -> Some (g, Filename.concat dir f)
+             | None -> None
+           else None)
+    |> List.sort (fun (a, _) (b, _) -> Stdlib.compare b a)
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_generation path =
+  match read_whole path with
+  | exception Sys_error e -> Error e
+  | s -> decode_checkpoint s
+
+let ensure_dir dir =
+  try Unix.mkdir dir 0o755
+  with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let checkpoint ?(keep = 2) ~dir ~wal engine =
+  let keep = max 1 keep in
+  ensure_dir dir;
+  match Wal.checkpoint wal with
+  | Error e -> Error ("checkpoint: wal: " ^ e)
+  | Ok lsn -> (
+      let gen =
+        match generations ~dir with (g, _) :: _ -> g + 1 | [] -> 0
+      in
+      let data = encode_checkpoint ~gen ~lsn engine in
+      match Snapshot.write_atomic (generation_path ~dir gen) data with
+      | Error e -> Error ("checkpoint: " ^ e)
+      | Ok () -> (
+          match Wal.truncate wal ~upto:lsn with
+          | Error e -> Error ("checkpoint: " ^ e)
+          | Ok () ->
+              (* Old generations are pruned last: losing them can only
+                 happen once the new one is durably in place. *)
+              generations ~dir
+              |> List.iteri (fun i (_, path) ->
+                     if i >= keep then
+                       try Sys.remove path with Sys_error _ -> ());
+              Ok gen))
+
+(* ------------------------------------------------------------------ *)
+(* Replay: mirror the engine's forest/view mutations exactly           *)
+(* ------------------------------------------------------------------ *)
+
+(* Oid assignment comes from Forest.insert's allocator; because the
+   crashed engine performed these same operations in this same order
+   on this same forest state, replay reproduces identical oids — the
+   property Engine.of_parts relies on. *)
+let apply_relational db forest view entry =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun s -> Error ("replay: " ^ s)) fmt in
+  match entry with
+  | Wal.Create_table (name, schema) ->
+      let* _t =
+        match Database.create_table db ~name schema with
+        | Ok t -> Ok t
+        | Error e -> err "create_table %s: %s" name e
+      in
+      let* toid =
+        match
+          Forest.insert ~parent:(Tree_view.root view) forest
+            (Tree_view.table_value name)
+        with
+        | Ok o -> Ok o
+        | Error e -> err "create_table %s: %s" name e
+      in
+      Tree_view.register_table view name toid;
+      Ok ()
+  | Wal.Drop_table name -> (
+      match Tree_view.table_oid view name with
+      | None -> err "drop_table: no table %s" name
+      | Some toid ->
+          let removed = ref [] in
+          Forest.iter_preorder forest toid (fun o _ -> removed := o :: !removed);
+          let* _n =
+            match Forest.delete_subtree forest toid with
+            | Ok n -> Ok n
+            | Error e -> err "drop_table %s: %s" name e
+          in
+          List.iter (Tree_view.unregister view) !removed;
+          if Database.drop_table db name then Ok ()
+          else err "drop_table: no table %s" name)
+  | Wal.Insert_row (tbl, id, cells) -> (
+      match (Database.get_table db tbl, Tree_view.table_oid view tbl) with
+      | None, _ | _, None -> err "insert_row: no table %s" tbl
+      | Some t, Some toid ->
+          let* () =
+            match Table.insert_with_id t id cells with
+            | Ok () -> Ok ()
+            | Error e -> err "insert_row %s/%d: %s" tbl id e
+          in
+          let* roid =
+            match
+              Forest.insert ~parent:toid forest (Tree_view.row_value id)
+            with
+            | Ok o -> Ok o
+            | Error e -> err "insert_row %s/%d: %s" tbl id e
+          in
+          Tree_view.register_row view tbl id roid;
+          let rec cells_loop col =
+            if col >= Array.length cells then Ok ()
+            else
+              match Forest.insert ~parent:roid forest cells.(col) with
+              | Error e -> err "insert_row %s/%d cell %d: %s" tbl id col e
+              | Ok coid ->
+                  Tree_view.register_cell view tbl id col coid;
+                  cells_loop (col + 1)
+          in
+          cells_loop 0)
+  | Wal.Delete_row (tbl, id) -> (
+      match (Database.get_table db tbl, Tree_view.row_oid view tbl id) with
+      | None, _ -> err "delete_row: no table %s" tbl
+      | _, None -> err "delete_row: no row %d in %s" id tbl
+      | Some t, Some roid ->
+          if not (Table.delete t id) then err "delete_row: no row %d in %s" id tbl
+          else begin
+            let rec delete_all = function
+              | [] -> Ok ()
+              | oid :: rest -> (
+                  match Forest.delete forest oid with
+                  | Ok _ ->
+                      Tree_view.unregister view oid;
+                      delete_all rest
+                  | Error e -> err "delete_row %s/%d: %s" tbl id e)
+            in
+            let* () = delete_all (Forest.children forest roid) in
+            let* _v =
+              match Forest.delete forest roid with
+              | Ok v -> Ok v
+              | Error e -> err "delete_row %s/%d: %s" tbl id e
+            in
+            Tree_view.unregister view roid;
+            Ok ()
+          end)
+  | Wal.Update_cell (tbl, id, col, v) -> (
+      match (Database.get_table db tbl, Tree_view.cell_oid view tbl id col) with
+      | None, _ -> err "update_cell: no table %s" tbl
+      | _, None -> err "update_cell: no cell (%s, %d, %d)" tbl id col
+      | Some t, Some coid ->
+          let* _prev =
+            match Table.update_cell t id col v with
+            | Ok p -> Ok p
+            | Error e -> err "update_cell %s/%d/%d: %s" tbl id col e
+          in
+          let* _prev =
+            match Forest.update forest coid v with
+            | Ok p -> Ok p
+            | Error e -> err "update_cell %s/%d/%d: %s" tbl id col e
+          in
+          Ok ())
+  | Wal.Update_row (tbl, id, cells) -> (
+      match Database.get_table db tbl with
+      | None -> err "update_row: no table %s" tbl
+      | Some t ->
+          let* _prev =
+            match Table.update_row t id cells with
+            | Ok p -> Ok p
+            | Error e -> err "update_row %s/%d: %s" tbl id e
+          in
+          let rec cells_loop col =
+            if col >= Array.length cells then Ok ()
+            else
+              match Tree_view.cell_oid view tbl id col with
+              | None -> err "update_row: no cell (%s, %d, %d)" tbl id col
+              | Some coid -> (
+                  match Forest.update forest coid cells.(col) with
+                  | Ok _ -> cells_loop (col + 1)
+                  | Error e -> err "update_row %s/%d/%d: %s" tbl id col e)
+          in
+          cells_loop 0)
+  | Wal.Commit _ | Wal.Blob _ -> Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Recover                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let recover ?mode ?wal_path ?(final_checkpoint = true) ~dir ~directory () =
+  let wal_path =
+    match wal_path with Some p -> p | None -> Filename.concat dir "wal.log"
+  in
+  match generations ~dir with
+  | [] -> Error (Printf.sprintf "recover: no checkpoint generations in %s" dir)
+  | gens -> (
+      (* 1. newest valid generation, collecting rejections *)
+      let rec pick rej = function
+        | [] ->
+            Error
+              (Printf.sprintf "recover: all %d generation(s) invalid: %s"
+                 (List.length gens)
+                 (String.concat "; "
+                    (List.rev_map
+                       (fun r -> r.path ^ ": " ^ r.reason)
+                       rej)))
+        | (_, path) :: rest -> (
+            match load_generation path with
+            | Ok c -> Ok (c, List.rev rej)
+            | Error reason -> pick ({ path; reason } :: rej) rest)
+      in
+      match pick [] gens with
+      | Error e -> Error e
+      | Ok (c, rejected) -> (
+          (* 2. salvage the WAL tail past the checkpoint LSN *)
+          let sv =
+            if Sys.file_exists wal_path then
+              match Wal.salvage_file wal_path with
+              | Ok sv -> sv
+              | Error _ ->
+                  {
+                    Wal.entries = [];
+                    skipped_frames = 0;
+                    torn_tail = false;
+                    bytes_salvaged = 0;
+                  }
+            else
+              {
+                Wal.entries = [];
+                skipped_frames = 0;
+                torn_tail = false;
+                bytes_salvaged = 0;
+              }
+          in
+          let tail =
+            List.filter (fun (s, _) -> s > c.c_lsn) sv.Wal.entries
+          in
+          (* 3. contiguous prefix (a seq gap means lost frames: nothing
+             after it can be trusted to apply), cut at the last commit
+             marker *)
+          let rec contiguous expect acc = function
+            | (s, e) :: rest when s = expect ->
+                contiguous (s + 1) ((s, e) :: acc) rest
+            | rest -> (List.rev acc, List.length rest)
+          in
+          let prefix, gap_dropped = contiguous (c.c_lsn + 1) [] tail in
+          let last_commit =
+            List.fold_left
+              (fun (i, last) (_, e) ->
+                match e with
+                | Wal.Commit _ -> (i + 1, i)
+                | _ -> (i + 1, last))
+              (0, -1) prefix
+            |> snd
+          in
+          let replayable = List.filteri (fun i _ -> i <= last_commit) prefix in
+          let frames_dropped =
+            gap_dropped + (List.length prefix - List.length replayable)
+          in
+          (* 4. apply *)
+          let entries_replayed = ref 0 in
+          let records_replayed = ref 0 in
+          let committed = ref None in
+          let apply_one (_, entry) =
+            match entry with
+            | Wal.Blob payload -> (
+                match Record.decode payload 0 with
+                | exception (Failure e | Invalid_argument e) ->
+                    Error ("replay: bad provenance record: " ^ e)
+                | record, _ -> (
+                    match Provstore.append c.c_prov record with
+                    | () ->
+                        incr records_replayed;
+                        Ok ()
+                    | exception Invalid_argument e ->
+                        Error ("replay: provenance append: " ^ e)))
+            | Wal.Commit h ->
+                committed := Some h;
+                Ok ()
+            | e -> (
+                match apply_relational c.c_db c.c_forest c.c_view e with
+                | Ok () ->
+                    incr entries_replayed;
+                    Ok ()
+                | Error _ as err -> err)
+          in
+          let rec apply_all = function
+            | [] -> Ok ()
+            | x :: rest -> (
+                match apply_one x with
+                | Ok () -> apply_all rest
+                | Error _ as e -> e)
+          in
+          match apply_all replayable with
+          | Error e -> Error e
+          | Ok () -> (
+              (* 5. rebuild the engine on the recovered parts *)
+              let wal = Wal.open_file wal_path in
+              match
+                Engine.of_parts
+                  ~algo:(Provstore.algo c.c_prov)
+                  ?mode ~wal ~provstore:c.c_prov ~directory ~forest:c.c_forest
+                  ~view:c.c_view c.c_db
+              with
+              | exception Failure e ->
+                  Wal.close wal;
+                  Error ("recover: " ^ e)
+              | engine -> (
+                  (* 6. cross-check the recovered root hash *)
+                  let root_hash = Engine.root_hash engine in
+                  let committed_root_hash =
+                    match !committed with
+                    | Some h -> Some h
+                    | None -> Some c.c_root_hash
+                  in
+                  let prov_root_hash =
+                    Option.map
+                      (fun r -> r.Record.output_hash)
+                      (Provstore.latest c.c_prov (Engine.root_oid engine))
+                  in
+                  let matches = function
+                    | Some h -> String.equal h root_hash
+                    | None -> true
+                  in
+                  let hash_verified =
+                    matches committed_root_hash && matches prov_root_hash
+                  in
+                  let report =
+                    {
+                      generation = c.c_gen;
+                      checkpoint_lsn = c.c_lsn;
+                      rejected;
+                      entries_replayed = !entries_replayed;
+                      records_replayed = !records_replayed;
+                      frames_dropped;
+                      skipped_frames = sv.Wal.skipped_frames;
+                      torn_tail = sv.Wal.torn_tail;
+                      root_hash;
+                      committed_root_hash;
+                      prov_root_hash;
+                      hash_verified;
+                    }
+                  in
+                  (* 7. checkpoint, so dropped frames are gone for good *)
+                  if final_checkpoint then
+                    match checkpoint ~dir ~wal engine with
+                    | Ok _ -> Ok (engine, wal, report)
+                    | Error e -> Error ("recover: final checkpoint: " ^ e)
+                  else Ok (engine, wal, report)))))

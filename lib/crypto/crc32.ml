@@ -1,0 +1,36 @@
+(* Table-driven reflected CRC-32, polynomial 0xEDB88320 (zlib). *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let compute s off len =
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Crc32.compute";
+  let table = Lazy.force table in
+  let c = ref 0xFFFFFFFF in
+  for i = off to off + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let digest s = compute s 0 (String.length s)
+
+let add_be buf c =
+  Buffer.add_char buf (Char.chr ((c lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((c lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((c lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (c land 0xff))
+
+let read_be s off =
+  if off < 0 || off + 4 > String.length s then invalid_arg "Crc32.read_be";
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]

@@ -1,0 +1,20 @@
+(** CRC-32 (IEEE 802.3 / zlib polynomial, reflected).
+
+    Not a cryptographic digest — used by the storage layer to detect
+    accidental corruption (torn writes, bit rot) in WAL frames, where a
+    keyed or collision-resistant hash would be overkill.  The checksum
+    is returned as a non-negative [int] in [0, 2^32). *)
+
+val compute : string -> int -> int -> int
+(** [compute s off len] is the CRC-32 of [s.[off .. off+len-1]].
+    @raise Invalid_argument on out-of-range slices. *)
+
+val digest : string -> int
+(** CRC-32 of a whole string. *)
+
+val add_be : Buffer.t -> int -> unit
+(** Append a checksum as 4 big-endian bytes. *)
+
+val read_be : string -> int -> int
+(** Read 4 big-endian bytes at [off] back into a checksum.
+    @raise Invalid_argument if fewer than 4 bytes remain. *)

@@ -1,7 +1,31 @@
 (** Write-ahead log: a durable, replayable record of every mutation to
     a {!Database}.  The provenance engine journals backend mutations
     here so a crashed backend can be rebuilt and re-checked against the
-    provenance store. *)
+    provenance store.
+
+    {1 On-disk format}
+
+    v2 files (the only format written for new logs) begin with the
+    header ["TEPWAL2\n" · varint(base_seq)] — [base_seq] is the
+    sequence number the first frame is expected to carry, so a log
+    {!truncate}d to empty still remembers where numbering resumes —
+    and contain frames
+
+    {v varint(body_len) · varint(seq) · entry · crc32(4 bytes, BE) v}
+
+    where [body_len] covers everything after the length varint, [seq]
+    is a monotonically increasing frame sequence number (the log's
+    LSN), and the CRC-32 covers [varint(seq) · entry].  v1 files (no
+    magic, [varint(len) · entry] frames, written by earlier versions)
+    are read transparently, with sequence numbers synthesised by
+    position; {!truncate} upgrades them to v2.
+
+    Reading is {e salvage-mode}: corruption never raises.  A torn
+    final frame is reported as [torn_tail]; a corrupt mid-file frame
+    is skipped and the reader re-synchronises on the next frame whose
+    CRC validates and whose sequence number continues the monotone
+    order, so every intact frame after the damage is still
+    recovered. *)
 
 type entry =
   | Create_table of string * Schema.t
@@ -10,28 +34,95 @@ type entry =
   | Delete_row of string * int
   | Update_cell of string * int * int * Value.t  (** table, row, col, new *)
   | Update_row of string * int * Value.t array
+  | Commit of string
+      (** commit marker written by the engine at complex-operation
+          commit; the payload is the post-commit root hash.  Recovery
+          replays only up to the last marker — frames after it belong
+          to an operation that never committed. *)
+  | Blob of string
+      (** opaque payload journaled by upper layers (the engine logs
+          each emitted provenance record here, {!Tep_core.Record}
+          encoded); ignored by {!replay} *)
+
+val is_relational : entry -> bool
+(** True for the six backend-mutating entries, false for
+    [Commit]/[Blob]. *)
+
+type salvage = {
+  entries : (int * entry) list;  (** (frame seq, entry), in log order *)
+  skipped_frames : int;
+      (** corrupt regions skipped mid-file (each maximal damaged run
+          counts once — the true frame count inside garbage is
+          unknowable) *)
+  torn_tail : bool;
+      (** the file ends in an incomplete frame (crash mid-append) *)
+  bytes_salvaged : int;  (** bytes of intact frames recovered *)
+}
 
 type t
 
 val in_memory : unit -> t
-val open_file : string -> t
-(** Append mode; creates the file if missing. *)
 
-val append : t -> entry -> unit
-val flush : t -> unit
+val open_file : ?sync:bool -> string -> t
+(** Append mode; creates the file (v2) if missing or empty.  Existing
+    files are scanned (salvage-mode) to learn the next sequence
+    number, and keep their format: v1 logs continue to receive v1
+    frames so a mixed-version file never exists.  With [~sync:true]
+    every append is flushed and fsynced before returning (durable but
+    slow); otherwise call {!flush}/{!sync} at commit boundaries.
+    @raise Sys_error if the file cannot be opened. *)
+
+val append : t -> entry -> (unit, string) result
+(** Append one entry.  Transient I/O errors are retried a bounded
+    number of times; a persistent failure returns [Error] and does
+    {e not} count the entry, so {!entry_count} never exceeds what was
+    handed to the OS. *)
+
+val flush : t -> (unit, string) result
+val sync : t -> (unit, string) result
+(** [flush] pushes buffered frames to the OS; [sync] additionally
+    fsyncs to the device. *)
+
 val close : t -> unit
+
+val last_seq : t -> int
+(** Sequence number of the last appended frame; [-1] when the log is
+    empty.  For a reopened file this continues across sessions. *)
+
+val checkpoint : t -> (int, string) result
+(** Make everything appended so far durable ([sync]) and return the
+    last sequence number — the LSN a snapshot taken {e now} covers.
+    Pass it to {!truncate} once the snapshot is safely on disk. *)
+
+val truncate : t -> upto:int -> (unit, string) result
+(** Drop all frames with [seq <= upto] (atomically: rewrite to a temp
+    file, fsync, rename, reopen).  Surviving frames keep their
+    sequence numbers, so LSNs remain comparable across truncations.
+    A v1 log is rewritten in v2 format. *)
 
 val entries : t -> entry list
 (** All entries appended so far (for an [open_file] log, re-reads the
-    file, including entries from previous sessions). *)
+    file in salvage mode, including entries from previous sessions). *)
 
 val entry_count : t -> int
+(** Entries successfully appended through this handle (failed appends
+    are not counted). *)
+
+val salvage_file : string -> (salvage, string) result
+(** Read a log file in salvage mode.  Never raises on corrupt
+    content; [Error] only for I/O failures (missing file, etc.). *)
+
+val read_file : string -> entry list
+(** Salvaged entries of a log file, discarding the damage report.
+    @raise Sys_error on I/O failure. *)
 
 val replay : entry list -> Database.t -> (unit, string) result
-(** Apply entries in order to a database. *)
+(** Apply entries in order to a database.  [Commit]/[Blob] entries are
+    skipped. *)
 
 val load_and_replay : string -> Database.t -> (int, string) result
-(** Replay a log file into a database; returns the entry count. *)
+(** Salvage a log file and replay it into a database; returns the
+    number of entries applied. *)
 
 val encode_entry : Buffer.t -> entry -> unit
 val decode_entry : string -> int -> entry * int

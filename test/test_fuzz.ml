@@ -49,6 +49,33 @@ let fuzz_decoders =
         ignore (Tep_crypto.Rsa.public_of_string s));
   ]
 
+(* WAL salvage must accept ANY byte string: worst case is an empty
+   entry list plus damage counters, never an exception.  Exercised
+   both bare (v1 parse) and under the v2 magic (framed parse). *)
+let salvage_tmp = lazy (Filename.temp_file "tep_fuzz_wal" ".log")
+
+let salvage_of_bytes s =
+  let path = Lazy.force salvage_tmp in
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc;
+  match Wal.salvage_file path with
+  | Ok sv ->
+      (* sanity of the damage report, not just absence of exceptions *)
+      sv.Wal.bytes_salvaged >= 0
+      && sv.Wal.bytes_salvaged <= String.length s
+      && sv.Wal.skipped_frames >= 0
+  | Error _ -> false (* the file exists; I/O must succeed *)
+
+let fuzz_salvage =
+  [
+    QCheck2.Test.make ~name:"Wal.salvage arbitrary bytes" ~count:2000 gen_bytes
+      salvage_of_bytes;
+    QCheck2.Test.make ~name:"Wal.salvage v2 magic + arbitrary bytes"
+      ~count:2000 gen_bytes
+      (fun s -> salvage_of_bytes ("TEPWAL2\n" ^ s));
+  ]
+
 (* Corrupting a valid encoding must either fail to parse or parse to
    something the verifier/integrity layer rejects — never silently
    yield the original. *)
@@ -149,6 +176,7 @@ let () =
   Alcotest.run "fuzz"
     [
       ("decoders", List.map QCheck_alcotest.to_alcotest fuzz_decoders);
+      ("salvage", List.map QCheck_alcotest.to_alcotest fuzz_salvage);
       ( "integrity",
         List.map QCheck_alcotest.to_alcotest
           [ prop_bundle_bitflip; prop_any_field_tamper_detected ] );

@@ -77,6 +77,124 @@ let test_load_missing () =
   | Ok _ -> Alcotest.fail "missing file loaded"
   | Error _ -> ()
 
+(* --- failure paths, driven by fault injection ---------------------- *)
+
+module Fault = Tep_fault.Fault
+
+let with_faulty_save f =
+  let path = Filename.temp_file "tep_snap" ".db" in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.reset ();
+      (try Sys.remove path with _ -> ());
+      try Sys.remove (path ^ ".tmp") with _ -> ())
+    (fun () -> f path)
+
+let no_tmp_leak path =
+  Alcotest.(check bool) "no .tmp leak" false (Sys.file_exists (path ^ ".tmp"))
+
+(* A persistent transient error exhausts the retry budget: save
+   reports Error, leaks no temp file, and leaves the old file alone. *)
+let test_transient_exhausted () =
+  with_faulty_save (fun path ->
+      let db = build_db () in
+      (match Snapshot.save db path with Ok () -> () | Error e -> failwith e);
+      let before = db_fingerprint db in
+      Fault.arm "snapshot.save.write" (Fault.Transient 99);
+      (match Snapshot.save (Database.create ~name:"other") path with
+      | Ok () -> Alcotest.fail "save succeeded through persistent fault"
+      | Error _ -> ());
+      Fault.reset ();
+      no_tmp_leak path;
+      match Snapshot.load path with
+      | Ok db' ->
+          Alcotest.(check string) "old file untouched" before
+            (db_fingerprint db')
+      | Error e -> Alcotest.fail e)
+
+(* A transient error within the retry budget is invisible to callers. *)
+let test_transient_retried () =
+  with_faulty_save (fun path ->
+      let db = build_db () in
+      Fault.arm "snapshot.save.write" (Fault.Transient 2);
+      (match Snapshot.save db path with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("retry should have absorbed: " ^ e));
+      no_tmp_leak path;
+      match Snapshot.load path with
+      | Ok db' ->
+          Alcotest.(check string) "saved" (db_fingerprint db)
+            (db_fingerprint db')
+      | Error e -> Alcotest.fail e)
+
+(* Crashing at any save site leaks no temp file and never clobbers the
+   previous snapshot; a subsequent save succeeds. *)
+let test_crash_sites () =
+  List.iter
+    (fun site ->
+      with_faulty_save (fun path ->
+          let db = build_db () in
+          (match Snapshot.save db path with
+          | Ok () -> ()
+          | Error e -> failwith e);
+          let before = db_fingerprint db in
+          Fault.arm site Fault.Crash_point;
+          (match Snapshot.save (Database.create ~name:"other") path with
+          | exception Fault.Crash _ -> ()
+          | Ok () -> Alcotest.failf "%s: save survived crash" site
+          | Error e -> Alcotest.failf "%s: crash became Error %s" site e);
+          Fault.reset ();
+          no_tmp_leak path;
+          (match Snapshot.load path with
+          | Ok db' ->
+              Alcotest.(check string)
+                (site ^ ": old file untouched")
+                before (db_fingerprint db')
+          | Error e -> Alcotest.fail e);
+          (* recovery of the writer: the next save goes through *)
+          let db2 = build_db () in
+          (match Snapshot.save db2 path with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail e);
+          no_tmp_leak path))
+    [
+      "snapshot.save.open";
+      "snapshot.save.write";
+      "snapshot.save.sync";
+      "snapshot.save.rename";
+    ]
+
+(* A torn write that crashes mid-rename-pipeline must not leave a
+   half-written file where the snapshot should be. *)
+let test_torn_write () =
+  with_faulty_save (fun path ->
+      let db = build_db () in
+      (match Snapshot.save db path with Ok () -> () | Error e -> failwith e);
+      Fault.arm "snapshot.save.write" (Fault.Torn_write 0.5);
+      (match Snapshot.save (Database.create ~name:"other") path with
+      | exception Fault.Crash _ -> ()
+      | _ -> Alcotest.fail "torn write did not crash");
+      Fault.reset ();
+      no_tmp_leak path;
+      match Snapshot.load path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("old snapshot damaged: " ^ e))
+
+(* Silent media corruption (bit flip) passes the write but is caught
+   by the integrity trailer on load. *)
+let test_bit_flip_detected () =
+  with_faulty_save (fun path ->
+      let db = build_db () in
+      Fault.seed "snapshot-bit-flip";
+      Fault.arm "snapshot.save.write" Fault.Bit_flip;
+      (match Snapshot.save db path with Ok () -> () | Error e -> failwith e);
+      Fault.reset ();
+      match Snapshot.load path with
+      | Ok _ -> Alcotest.fail "flipped snapshot accepted"
+      | Error e ->
+          Alcotest.(check bool) "trailer rejects" true
+            (String.length e > 0))
+
 let () =
   Alcotest.run "snapshot"
     [
@@ -88,5 +206,14 @@ let () =
           Alcotest.test_case "too short" `Quick test_too_short;
           Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
           Alcotest.test_case "load missing" `Quick test_load_missing;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "transient exhausted" `Quick
+            test_transient_exhausted;
+          Alcotest.test_case "transient retried" `Quick test_transient_retried;
+          Alcotest.test_case "crash at every site" `Quick test_crash_sites;
+          Alcotest.test_case "torn write" `Quick test_torn_write;
+          Alcotest.test_case "bit flip detected" `Quick test_bit_flip_detected;
         ] );
     ]

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Repository check: full build, every test suite, and an explicit run
+# of the crash-point enumeration harness (the durability gate).
+# Equivalent to `dune build @check-all`.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== crash-point enumeration =="
+dune exec test/test_crash.exe
+
+echo "check: OK"
