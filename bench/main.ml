@@ -18,28 +18,66 @@ open Tep_core
 open Tep_workload
 
 (* ------------------------------------------------------------------ *)
+(* JSON output                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_*.json trajectory files are written next to the invocation
+   cwd so successive runs can be diffed / committed.  Disabled with
+   TEP_BENCH_JSON=0 (the dune bench-smoke alias does this: rule
+   actions run inside _build, where stray outputs are unwelcome). *)
+let json_enabled () =
+  match Sys.getenv_opt "TEP_BENCH_JSON" with Some "0" -> false | _ -> true
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path contents =
+  if json_enabled () then begin
+    let oc = open_out path in
+    output_string oc contents;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
-let micro_tests () =
+(* Each stateful benchmark builds its own environment, engine and
+   counters inside its own closure: nothing is shared between tests,
+   so Bechamel's interleaved runs cannot contaminate one another
+   (previously one engine + one counter were threaded through the
+   whole suite, so e.g. rsa-sign measurements ran against a store
+   already mutated by engine-update-cell iterations). *)
+
+let crypto_micro_tests cfg =
   let open Bechamel in
-  let cfg = Experiments.config_of_env () in
-  let env = Scenario.make_env ~seed:"bench-micro" () in
-  let p =
-    Participant.create ~bits:cfg.Experiments.rsa_bits ~ca:env.Scenario.ca
-      ~name:"bench" env.Scenario.drbg
-  in
-  Participant.Directory.register env.Scenario.directory p;
   let payload = String.make 256 'x' in
-  let signature = Participant.sign p payload in
-  let pk = Participant.public_key p in
-  let db =
-    Synth.build_database ~seed:"bench-micro-db"
-      [ { Synth.name = "t1"; attrs = 8; rows = 400 } ]
+  let signer =
+    let env = Scenario.make_env ~seed:"bench-micro-sign" () in
+    Participant.create ~bits:cfg.Experiments.rsa_bits ~ca:env.Scenario.ca
+      ~name:"bench-sign" env.Scenario.drbg
   in
-  let eng = Engine.create ~directory:env.Scenario.directory db in
+  let verifier_pk, verifier_sig =
+    let env = Scenario.make_env ~seed:"bench-micro-verify" () in
+    let p =
+      Participant.create ~bits:cfg.Experiments.rsa_bits ~ca:env.Scenario.ca
+        ~name:"bench-verify" env.Scenario.drbg
+    in
+    (Participant.public_key p, Participant.sign p payload)
+  in
   let drbg = Tep_crypto.Drbg.create ~seed:"bench-drbg" in
-  let counter = ref 0 in
   [
     Test.make ~name:"sha1-256B"
       (Staged.stage (fun () -> ignore (Tep_crypto.Sha1.digest payload)));
@@ -53,16 +91,65 @@ let micro_tests () =
              (Tep_crypto.Hmac.mac ~algo:Tep_crypto.Digest_algo.SHA256
                 ~key:"key" payload)));
     Test.make ~name:"rsa-sign"
-      (Staged.stage (fun () -> ignore (Participant.sign p payload)));
+      (Staged.stage (fun () -> ignore (Participant.sign signer payload)));
     Test.make ~name:"rsa-verify"
       (Staged.stage (fun () ->
            ignore
-             (Tep_crypto.Rsa.verify ~algo:Tep_crypto.Digest_algo.SHA256 pk
-                ~msg:payload ~signature)));
+             (Tep_crypto.Rsa.verify ~algo:Tep_crypto.Digest_algo.SHA256
+                verifier_pk ~msg:payload ~signature:verifier_sig)));
     Test.make ~name:"drbg-32B"
       (Staged.stage (fun () -> ignore (Tep_crypto.Drbg.generate drbg 32)));
+  ]
+
+(* Windowed vs binary Montgomery ladder on a full-width 2048-bit
+   exponentiation — the tentpole modpow comparison (the ISSUE's
+   acceptance bar: windowed must beat the old binary ladder here). *)
+let modpow_micro_tests () =
+  let open Bechamel in
+  let open Tep_bignum in
+  let drbg = Tep_crypto.Drbg.create ~seed:"bench-modpow" in
+  let rand_bits bits =
+    let n = Nat.of_bytes_be (Tep_crypto.Drbg.generate drbg (bits / 8)) in
+    Nat.rem n (Nat.shift_left Nat.one (bits - 1))
+  in
+  let m =
+    let m = Nat.add (Nat.shift_left Nat.one 2047) (rand_bits 2048) in
+    if Nat.is_even m then Nat.add m Nat.one else m
+  in
+  let ctx = Zmod.Montgomery.create m in
+  let b = rand_bits 2048 in
+  let e = Nat.add (Nat.shift_left Nat.one 2047) (rand_bits 2048) in
+  [
+    Test.make ~name:"modpow-2048-windowed"
+      (Staged.stage (fun () -> ignore (Zmod.Montgomery.pow ctx b e)));
+    Test.make ~name:"modpow-2048-binary"
+      (Staged.stage (fun () -> ignore (Zmod.Montgomery.pow_binary ctx b e)));
+  ]
+
+let engine_micro_tests () =
+  let open Bechamel in
+  [
     Test.make ~name:"engine-update-cell"
-      (Staged.stage (fun () ->
+      (* All state lives behind [lazy] so it is created when this
+         test first runs, not when another test in the suite does. *)
+      (let state =
+         lazy
+           (let env = Scenario.make_env ~seed:"bench-micro-engine" () in
+            let cfg = Experiments.config_of_env () in
+            let p =
+              Participant.create ~bits:cfg.Experiments.rsa_bits
+                ~ca:env.Scenario.ca ~name:"bench-engine" env.Scenario.drbg
+            in
+            Participant.Directory.register env.Scenario.directory p;
+            let db =
+              Synth.build_database ~seed:"bench-micro-db"
+                [ { Synth.name = "t1"; attrs = 8; rows = 400 } ]
+            in
+            let eng = Engine.create ~directory:env.Scenario.directory db in
+            (eng, p, ref 0))
+       in
+       Staged.stage (fun () ->
+           let eng, p, counter = Lazy.force state in
            incr counter;
            ignore
              (Engine.update_cell eng p ~table:"t1" ~row:(!counter mod 400)
@@ -73,25 +160,171 @@ let micro_tests () =
 let run_micro () =
   let open Bechamel in
   print_endline "## micro — Bechamel micro-benchmarks (ns per run)";
+  let cfg = Experiments.config_of_env () in
   let instance = Toolkit.Instance.monotonic_clock in
   let bench_cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:None ()
   in
-  let suite = Test.make_grouped ~name:"tep" (micro_tests ()) in
+  let suite =
+    Test.make_grouped ~name:"tep"
+      (crypto_micro_tests cfg @ modpow_micro_tests () @ engine_micro_tests ())
+  in
   let raw = Benchmark.all bench_cfg [ instance ] suite in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols instance raw in
   let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  let rows = List.sort compare rows in
   Printf.printf "%-32s %16s\n" "benchmark" "ns/op";
-  List.iter
-    (fun (name, est) ->
-      match Analyze.OLS.estimates est with
-      | Some (e :: _) -> Printf.printf "%-32s %16.1f\n" name e
-      | _ -> Printf.printf "%-32s %16s\n" name "n/a")
-    (List.sort compare rows);
-  print_newline ()
+  let measured =
+    List.filter_map
+      (fun (name, est) ->
+        match Analyze.OLS.estimates est with
+        | Some (e :: _) ->
+            Printf.printf "%-32s %16.1f\n" name e;
+            Some (name, e)
+        | _ ->
+            Printf.printf "%-32s %16s\n" name "n/a";
+            None)
+      rows
+  in
+  print_newline ();
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"scale\": %g,\n  \"rsa_bits\": %d,\n"
+       cfg.Experiments.scale cfg.Experiments.rsa_bits);
+  Buffer.add_string buf "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    { \"name\": \"%s\", \"ns_per_op\": %.1f }%s\n"
+           (json_escape name) ns
+           (if i = List.length measured - 1 then "" else ",")))
+    measured;
+  Buffer.add_string buf "  ]\n}";
+  write_json "BENCH_micro.json" (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Multicore verification scaling                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Builds a provenance store of at least ~5000 records (default
+   scale; ~300 under TEP_SCALE=smoke), then times
+   [Verifier.verify_records] with domain pools of size 1/2/4/8 and
+   checks every parallel report — including one over a tampered
+   record list — is byte-identical to the sequential run.  Exits
+   non-zero on any disagreement, so this doubles as a correctness
+   gate (the @bench-smoke alias). *)
+let run_parallel () =
+  let cfg = Experiments.config_of_env () in
+  Printf.printf "## parallel — verify_records scaling across domain pools\n";
+  let target_records =
+    if cfg.Experiments.scale <= 0.02 then 300
+    else max 5000 (int_of_float (50_000. *. cfg.Experiments.scale))
+  in
+  let env = Scenario.make_env ~seed:cfg.Experiments.seed () in
+  let p =
+    Participant.create ~bits:cfg.Experiments.rsa_bits ~ca:env.Scenario.ca
+      ~name:"bench-par" env.Scenario.drbg
+  in
+  Participant.Directory.register env.Scenario.directory p;
+  let db =
+    Synth.build_database ~seed:(cfg.Experiments.seed ^ "-par")
+      [ { Synth.name = "t1"; attrs = 8; rows = 200 } ]
+  in
+  let eng = Engine.create ~directory:env.Scenario.directory db in
+  let i = ref 0 in
+  while Provstore.record_count (Engine.provstore eng) < target_records do
+    (match
+       Engine.update_cell eng p ~table:"t1" ~row:(!i mod 200) ~col:(!i mod 8)
+         (Value.Int !i)
+     with
+    | Ok () -> ()
+    | Error e -> failwith ("parallel bench: update failed: " ^ e));
+    incr i
+  done;
+  let records = Provstore.all (Engine.provstore eng) in
+  let nrecords = List.length records in
+  let algo = Engine.algo eng in
+  let directory = env.Scenario.directory in
+  let tampered = Tamper.modify_output_hash ~idx:(nrecords / 2) records in
+  let render r = Format.asprintf "%a" Verifier.pp_report r in
+  let verify ?pool rs = Verifier.verify_records ?pool ~algo ~directory rs in
+  let seq_report = verify records in
+  let seq_tampered = verify tampered in
+  assert (Verifier.ok seq_report);
+  assert (not (Verifier.ok seq_tampered));
+  let time_avg f =
+    let total = ref 0. in
+    for _ = 1 to cfg.Experiments.runs do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      total := !total +. (Unix.gettimeofday () -. t0)
+    done;
+    !total /. float_of_int cfg.Experiments.runs
+  in
+  let host_cores = Domain.recommended_domain_count () in
+  Printf.printf "records=%d host_cores=%d runs=%d\n" nrecords host_cores
+    cfg.Experiments.runs;
+  Printf.printf "domains,seconds,records_per_s,speedup_vs_1,identical\n";
+  let base_1dom = ref None in
+  let all_identical = ref true in
+  let points =
+    List.map
+      (fun domains ->
+        let pool = Tep_parallel.Pool.create ~domains () in
+        let report = verify ~pool records in
+        let tampered_report = verify ~pool tampered in
+        let identical =
+          report = seq_report
+          && render report = render seq_report
+          && tampered_report = seq_tampered
+          && render tampered_report = render seq_tampered
+        in
+        if not identical then begin
+          all_identical := false;
+          Printf.eprintf
+            "FAIL: %d-domain report differs from sequential run\n" domains
+        end;
+        let seconds = time_avg (fun () -> verify ~pool records) in
+        Tep_parallel.Pool.shutdown pool;
+        if domains = 1 then base_1dom := Some seconds;
+        let speedup =
+          match !base_1dom with Some b when b > 0. -> b /. seconds | _ -> 1.
+        in
+        let rps = float_of_int nrecords /. seconds in
+        Printf.printf "%d,%.4f,%.0f,%.2f,%b\n" domains seconds rps speedup
+          identical;
+        (domains, seconds, rps, speedup, identical))
+      [ 1; 2; 4; 8 ]
+  in
+  print_newline ();
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"parallel\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"scale\": %g,\n  \"rsa_bits\": %d,\n  \"records\": %d,\n"
+       cfg.Experiments.scale cfg.Experiments.rsa_bits nrecords);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_cores\": %d,\n  \"runs_per_point\": %d,\n"
+       host_cores cfg.Experiments.runs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"all_reports_identical\": %b,\n" !all_identical);
+  Buffer.add_string buf "  \"points\": [\n";
+  List.iteri
+    (fun i (domains, seconds, rps, speedup, identical) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"domains\": %d, \"seconds\": %.6f, \"records_per_s\": \
+            %.1f, \"speedup_vs_1\": %.3f, \"report_identical\": %b }%s\n"
+           domains seconds rps speedup identical
+           (if i = List.length points - 1 then "" else ",")))
+    points;
+  Buffer.add_string buf "  ]\n}";
+  write_json "BENCH_parallel.json" (Buffer.contents buf);
+  if not !all_identical then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Figure/table harness                                                *)
@@ -275,6 +508,7 @@ let all =
     ("ablation-baseline", run_ablation_baseline);
     ("ablation-signing", run_ablation_signing);
     ("ablation-audit", run_ablation_audit);
+    ("parallel", run_parallel);
     ("micro", run_micro);
   ]
 

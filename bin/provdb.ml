@@ -50,6 +50,11 @@ let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
 let ckpt_dir dir = dir // "checkpoints"
 let wal_path dir = dir // "wal.log"
 
+(* Shared domain pool for verification / audit / Merkle sweeps.  Size
+   comes from TEP_DOMAINS or the host's recommended domain count; on a
+   single-core host this degrades to the sequential code path. *)
+let pool () = Tep_parallel.Pool.default ()
+
 (* CA + participant credentials, shared by normal loads and by
    [recover] (which rebuilds everything else from checkpoints). *)
 let load_identity dir =
@@ -104,8 +109,8 @@ let load_workspace dir =
                     (List.length sv.Wal.entries) dir
               | _ -> ());
               let engine =
-                Engine.of_parts ~wal ~provstore:prov ~directory ~forest ~view
-                  db
+                Engine.of_parts ~wal ~pool:(pool ()) ~provstore:prov
+                  ~directory ~forest ~view db
               in
               Ok { dir; ca; directory; participants; engine; wal }))
 
@@ -255,7 +260,7 @@ let cmd_init dir tables seed =
         1
     | Ok () ->
         let wal = Wal.open_file (wal_path dir) in
-        let engine = Engine.create ~wal ~directory db in
+        let engine = Engine.create ~wal ~pool:(pool ()) ~directory db in
         let ws = { dir; ca; directory; participants = []; engine; wal } in
         save_workspace ws;
         Printf.printf "initialised %s with %d table(s)\n" dir
@@ -368,8 +373,8 @@ let cmd_verify dir table row col =
                  not part of the root's provenance object). *)
               let audit =
                 if table = None then
-                  Verifier.verify_records ~algo:(Engine.algo ws.engine)
-                    ~directory:ws.directory
+                  Verifier.verify_records ~pool:(pool ())
+                    ~algo:(Engine.algo ws.engine) ~directory:ws.directory
                     (Provstore.all (Engine.provstore ws.engine))
                 else report
               in
@@ -498,8 +503,8 @@ let cmd_audit dir =
         else Audit.empty
       in
       let report, cp', examined =
-        Audit.incremental_audit ~algo:(Engine.algo ws.engine)
-          ~directory:ws.directory cp
+        Audit.incremental_audit ~pool:(pool ())
+          ~algo:(Engine.algo ws.engine) ~directory:ws.directory cp
           (Engine.provstore ws.engine)
       in
       Format.printf "%a@." Verifier.pp_report report;
@@ -666,8 +671,8 @@ let cmd_recover dir =
       match
         (* save_workspace below writes the post-recovery checkpoint,
            so recover itself need not *)
-        Recovery.recover ~final_checkpoint:false ~dir:(ckpt_dir dir)
-          ~wal_path:(wal_path dir) ~directory ()
+        Recovery.recover ~final_checkpoint:false ~pool:(pool ())
+          ~dir:(ckpt_dir dir) ~wal_path:(wal_path dir) ~directory ()
       with
       | Error e ->
           prerr_endline ("error: " ^ e);

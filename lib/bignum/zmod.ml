@@ -64,11 +64,15 @@ module Montgomery = struct
     { m; n; m_limbs; m'; r2 }
 
   (* CIOS Montgomery multiplication: returns a*b*R^{-1} mod m as limbs.
-     Inputs are limb arrays of length n (zero-padded). *)
-  let mont_mul ctx (a : int array) (b : int array) : int array =
+     Inputs are limb arrays of length n (zero-padded).  [t] is caller
+     scratch of length n+2 (contents ignored), so a whole
+     exponentiation reuses one buffer instead of allocating per
+     multiply. *)
+  let mont_mul_scratch ctx (t : int array) (a : int array) (b : int array) :
+      int array =
     let n = ctx.n in
     let m = ctx.m_limbs and m' = ctx.m' in
-    let t = Array.make (n + 2) 0 in
+    Array.fill t 0 (n + 2) 0;
     for i = 0 to n - 1 do
       let ai = a.(i) in
       (* t += ai * b *)
@@ -98,23 +102,24 @@ module Montgomery = struct
       done;
       t.(n + 1) <- 0
     done;
-    (* Result in t[0..n]; subtract m if >= m. *)
-    let res = Array.sub t 0 (n + 1) in
+    (* Result in t[0..n]; subtract m if >= m, writing into a fresh
+       n-limb array. *)
     let ge =
-      if res.(n) <> 0 then true
+      if t.(n) <> 0 then true
       else begin
         let rec cmp i =
           if i < 0 then true (* equal *)
-          else if res.(i) <> m.(i) then res.(i) > m.(i)
+          else if t.(i) <> m.(i) then t.(i) > m.(i)
           else cmp (i - 1)
         in
         cmp (n - 1)
       end
     in
+    let res = Array.make n 0 in
     if ge then begin
       let borrow = ref 0 in
       for i = 0 to n - 1 do
-        let d = res.(i) - m.(i) - !borrow in
+        let d = t.(i) - m.(i) - !borrow in
         if d < 0 then begin
           res.(i) <- d + base;
           borrow := 1
@@ -123,30 +128,80 @@ module Montgomery = struct
           res.(i) <- d;
           borrow := 0
         end
-      done;
-      res.(n) <- res.(n) - !borrow
-    end;
-    Array.sub res 0 n
+      done
+    end
+    else Array.blit t 0 res 0 n;
+    res
 
   let to_limbs ctx x =
     let x = Nat.rem x ctx.m in
     Array.init ctx.n (Nat.get_limb x)
 
-  let pow ctx b e =
+  (* Reference left-to-right binary ladder, kept as the oracle the
+     windowed ladder is property-tested (and benchmarked) against. *)
+  let pow_binary ctx b e =
     if Nat.is_zero e then Nat.rem Nat.one ctx.m
     else begin
-      let b_mont = mont_mul ctx (to_limbs ctx b) (to_limbs ctx ctx.r2) in
-      let acc = ref (mont_mul ctx (to_limbs ctx Nat.one) (to_limbs ctx ctx.r2)) in
-      (* Left-to-right square and multiply. *)
+      let t = Array.make (ctx.n + 2) 0 in
+      let mul = mont_mul_scratch ctx t in
+      let b_mont = mul (to_limbs ctx b) (to_limbs ctx ctx.r2) in
+      let acc = ref (mul (to_limbs ctx Nat.one) (to_limbs ctx ctx.r2)) in
       for i = Nat.num_bits e - 1 downto 0 do
-        acc := mont_mul ctx !acc !acc;
-        if Nat.testbit e i then acc := mont_mul ctx !acc b_mont
+        acc := mul !acc !acc;
+        if Nat.testbit e i then acc := mul !acc b_mont
       done;
       (* Convert out of Montgomery form: multiply by 1. *)
       let one_limbs = Array.make ctx.n 0 in
       one_limbs.(0) <- 1;
-      let out = mont_mul ctx !acc one_limbs in
-      Nat.of_limbs out
+      Nat.of_limbs (mul !acc one_limbs)
+    end
+
+  (* Fixed-window size: chosen so the 2^k-1 table multiplies amortise
+     over e's bits (k=5 saves ~19% of the multiplies of the binary
+     ladder on a 2048-bit exponent). *)
+  let window_bits ebits =
+    if ebits <= 24 then 1
+    else if ebits <= 80 then 2
+    else if ebits <= 240 then 3
+    else if ebits <= 768 then 4
+    else 5
+
+  (* 2^k-ary fixed-window ladder: precompute b^0..b^(2^k - 1) in
+     Montgomery form, then per k-bit window do k squarings and at most
+     one table multiply. *)
+  let pow ctx b e =
+    if Nat.is_zero e then Nat.rem Nat.one ctx.m
+    else begin
+      let ebits = Nat.num_bits e in
+      let k = window_bits ebits in
+      let t = Array.make (ctx.n + 2) 0 in
+      let mul = mont_mul_scratch ctx t in
+      let one_mont = mul (to_limbs ctx Nat.one) (to_limbs ctx ctx.r2) in
+      let b_mont = mul (to_limbs ctx b) (to_limbs ctx ctx.r2) in
+      let table = Array.make (1 lsl k) one_mont in
+      for i = 1 to (1 lsl k) - 1 do
+        table.(i) <- mul table.(i - 1) b_mont
+      done;
+      let window j =
+        (* bits [j*k .. j*k + k - 1] of e, top bit first *)
+        let w = ref 0 in
+        for bit = k - 1 downto 0 do
+          w := (!w lsl 1) lor (if Nat.testbit e ((j * k) + bit) then 1 else 0)
+        done;
+        !w
+      in
+      let nwin = (ebits + k - 1) / k in
+      let acc = ref table.(window (nwin - 1)) in
+      for j = nwin - 2 downto 0 do
+        for _ = 1 to k do
+          acc := mul !acc !acc
+        done;
+        let w = window j in
+        if w <> 0 then acc := mul !acc table.(w)
+      done;
+      let one_limbs = Array.make ctx.n 0 in
+      one_limbs.(0) <- 1;
+      Nat.of_limbs (mul !acc one_limbs)
     end
 end
 

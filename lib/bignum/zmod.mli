@@ -14,8 +14,16 @@ val modinv : Nat.t -> Nat.t -> Nat.t option
     @raise Invalid_argument if [m <= 1]. *)
 
 val modpow : Nat.t -> Nat.t -> Nat.t -> Nat.t
-(** [modpow b e m] is [b^e mod m].
+(** [modpow b e m] is [b^e mod m].  Odd moduli use the windowed
+    Montgomery ladder ({!Montgomery.pow}); even moduli fall back to
+    {!modpow_naive}.
     @raise Invalid_argument if [m] is zero. *)
+
+val modpow_naive : Nat.t -> Nat.t -> Nat.t -> Nat.t
+(** Division-based right-to-left square-and-multiply.  Works for any
+    modulus (including even); slow — kept as the property-test oracle
+    for the Montgomery ladders and as the even-modulus fallback.
+    [modpow_naive b e 0] loops on [Nat.rem _ 0]; callers guard [m]. *)
 
 val mod_mul : Nat.t -> Nat.t -> Nat.t -> Nat.t
 (** [mod_mul a b m = (a*b) mod m]. *)
@@ -31,5 +39,12 @@ module Montgomery : sig
   val modulus : ctx -> Nat.t
 
   val pow : ctx -> Nat.t -> Nat.t -> Nat.t
-  (** [pow ctx b e = b^e mod (modulus ctx)]. *)
+  (** [pow ctx b e = b^e mod (modulus ctx)] via a 2^k-ary
+      fixed-window ladder (k picked from [e]'s bit length, up to 5:
+      [2^k - 1] precomputed multiples, then k squarings and at most
+      one multiply per window). *)
+
+  val pow_binary : ctx -> Nat.t -> Nat.t -> Nat.t
+  (** Reference left-to-right binary square-and-multiply.  Same
+      results as {!pow}; kept as oracle and benchmark baseline. *)
 end

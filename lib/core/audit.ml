@@ -224,24 +224,34 @@ let check_object ~directory ~store cp oid records : obj_result =
     }
   end
 
-let incremental_audit ~algo:_ ~directory cp store =
+let incremental_audit ?pool ~algo:_ ~directory cp store =
+  let objs = Provstore.objects store in
+  (* Per-object checks are independent: they read the (frozen) store
+     and the mutex-guarded certificate cache.  Fan the sweep out
+     across domains, then fold results back in oid order so the report
+     and checkpoint are identical to the sequential sweep. *)
+  let check oid =
+    check_object ~directory ~store cp oid (Provstore.records_for store oid)
+  in
+  let results =
+    match pool with
+    | Some p when Tep_parallel.Pool.size p > 1 ->
+        Tep_parallel.Pool.map_list p check objs
+    | _ -> List.map check objs
+  in
   let violations = ref [] in
   let examined = ref 0 in
   let signatures = ref 0 in
-  let objs = Provstore.objects store in
   let cp' =
-    List.fold_left
-      (fun acc oid ->
-        let r =
-          check_object ~directory ~store cp oid (Provstore.records_for store oid)
-        in
+    List.fold_left2
+      (fun acc oid r ->
         violations := !violations @ r.violations;
         examined := !examined + r.examined;
         signatures := !signatures + r.signatures;
         match r.new_hwm with
         | Some h -> Oid.Map.add oid h acc
         | None -> acc)
-      Oid.Map.empty objs
+      Oid.Map.empty objs results
   in
   ( {
       Verifier.violations = !violations;
@@ -252,8 +262,8 @@ let incremental_audit ~algo:_ ~directory cp store =
     cp',
     !examined )
 
-let full_audit ~algo ~directory store =
-  let report, cp, _ = incremental_audit ~algo ~directory empty store in
+let full_audit ?pool ~algo ~directory store =
+  let report, cp, _ = incremental_audit ?pool ~algo ~directory empty store in
   (report, cp)
 
 (* ------------------------------------------------------------------ *)

@@ -26,15 +26,18 @@ val mark : checkpoint -> Oid.t -> (int * string) option
 (** The (seq, checksum) high-water mark for an object, if audited. *)
 
 val full_audit :
+  ?pool:Tep_parallel.Pool.t ->
   algo:Tep_crypto.Digest_algo.algo ->
   directory:Participant.Directory.t ->
   Provstore.t ->
   Verifier.report * checkpoint
 (** Verify every record in the store; on success the checkpoint covers
     every object's latest record.  (A failed report yields a
-    checkpoint covering only clean objects.) *)
+    checkpoint covering only clean objects.)  [?pool] as in
+    {!incremental_audit}. *)
 
 val incremental_audit :
+  ?pool:Tep_parallel.Pool.t ->
   algo:Tep_crypto.Digest_algo.algo ->
   directory:Participant.Directory.t ->
   checkpoint ->
@@ -43,7 +46,11 @@ val incremental_audit :
 (** Verify only records newer than the checkpoint (plus boundary
     links).  Returns the report, the advanced checkpoint, and the
     number of records actually examined — the audit cost, which is
-    proportional to the {e new} work, not to history length. *)
+    proportional to the {e new} work, not to history length.
+
+    With [?pool] the per-object sweeps run on separate domains (the
+    store must not be mutated concurrently); report and checkpoint
+    are identical to the sequential audit. *)
 
 val to_string : checkpoint -> string
 val of_string : string -> (checkpoint, string) result

@@ -15,8 +15,13 @@ let frame fields =
     fields;
   Buffer.contents buf
 
+(* Incremental digest of the concatenation — identical output to
+   [digest (String.concat "" hashes)] without materialising the
+   O(inputs) intermediate string (aggregates can cite many inputs). *)
 let combined_input_hash hashes =
-  Digest_algo.digest Digest_algo.SHA256 (String.concat "" hashes)
+  let ctx = Sha256.init () in
+  List.iter (Sha256.update ctx) hashes;
+  Sha256.final ctx
 
 let payload ~kind ~seq_id ~output_oid ~input_hashes ~output_hash ~prev_checksums
     =
@@ -56,21 +61,17 @@ let verify pk ~payload ~checksum =
   Rsa.verify ~algo:Digest_algo.SHA256 pk ~msg:payload ~signature:checksum
 
 let verify_record dir (r : Record.t) =
-  match Participant.Directory.lookup dir r.Record.participant with
-  | None ->
+  (* The CA check on the participant's certificate is cached in the
+     directory — without it every record costs an extra RSA verify. *)
+  match Participant.Directory.lookup_verified dir r.Record.participant with
+  | `Unknown ->
       Error (Printf.sprintf "unknown participant %s" r.Record.participant)
-  | Some cert ->
-      if
-        not
-          (Pki.verify_certificate
-             ~ca_key:(Participant.Directory.ca_key dir)
-             cert)
-      then
-        Error
-          (Printf.sprintf "certificate for %s does not verify"
-             r.Record.participant)
-      else begin
-        match
+  | `Bad_certificate ->
+      Error
+        (Printf.sprintf "certificate for %s does not verify"
+           r.Record.participant)
+  | `Verified cert -> begin
+      match
           payload ~kind:r.Record.kind ~seq_id:r.Record.seq_id
             ~output_oid:r.Record.output_oid
             ~input_hashes:r.Record.input_hashes

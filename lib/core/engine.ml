@@ -57,6 +57,7 @@ type t = {
   prov : Provstore.t;
   dir : Participant.Directory.t;
   wal : Wal.t option;
+  pool : Tep_parallel.Pool.t option;
   mutable mode : mode;
   mutable batch : batch option;
   mutable last : metrics;
@@ -78,10 +79,12 @@ let last_metrics t = t.last
 let total_metrics t = t.total
 
 let of_parts ?(algo = Tep_crypto.Digest_algo.SHA1) ?(mode = Economical) ?wal
-    ?provstore ~directory ~forest ~view db =
+    ?pool ?provstore ~directory ~forest ~view db =
   let cache = Merkle.create_cache algo forest in
-  (* Warm the cache so economical commits start incremental. *)
-  (match Merkle.hash cache (Tree_view.root view) with
+  (* Warm the cache so economical commits start incremental.  This is
+     a cold full-tree pass — the pool (when given) hashes sibling
+     subtrees on all domains. *)
+  (match Merkle.hash ?pool cache (Tree_view.root view) with
   | Ok _ -> ()
   | Error e -> failwith ("Engine.create: " ^ e));
   {
@@ -95,19 +98,20 @@ let of_parts ?(algo = Tep_crypto.Digest_algo.SHA1) ?(mode = Economical) ?wal
       | None -> Provstore.create ~algo ());
     dir = directory;
     wal;
+    pool;
     mode;
     batch = None;
     last = zero_metrics;
     total = zero_metrics;
   }
 
-let create ?algo ?mode ?wal ?provstore ~directory db =
+let create ?algo ?mode ?wal ?pool ?provstore ~directory db =
   let forest = Forest.create () in
   let view = Tree_view.build forest db in
-  of_parts ?algo ?mode ?wal ?provstore ~directory ~forest ~view db
+  of_parts ?algo ?mode ?wal ?pool ?provstore ~directory ~forest ~view db
 
 let root_hash t =
-  match Merkle.hash t.cache (root_oid t) with
+  match Merkle.hash ?pool:t.pool t.cache (root_oid t) with
   | Ok h -> h
   | Error e -> failwith ("Engine.root_hash: " ^ e)
 
@@ -143,7 +147,7 @@ let capture_existing t b ~direct oid =
     | None ->
         let t0 = now () in
         let before_hash =
-          match Merkle.hash t.cache oid with
+          match Merkle.hash ?pool:t.pool t.cache oid with
           | Ok h -> Some h
           | Error e -> failwith ("Engine.capture: " ^ e)
         in
@@ -188,7 +192,7 @@ let commit t (b : batch) : metrics =
     (fun (oid, c) ->
       let t0 = now () in
       let output_hash =
-        match Merkle.hash t.cache oid with
+        match Merkle.hash ?pool:t.pool t.cache oid with
         | Ok h -> h
         | Error e -> failwith ("Engine.commit: " ^ e)
       in
@@ -258,7 +262,7 @@ let commit t (b : batch) : metrics =
      recovery unit; frames after the last marker are rolled back. *)
   if wal_present t then begin
     let root_hash =
-      match Merkle.hash t.cache (Tree_view.root t.view) with
+      match Merkle.hash ?pool:t.pool t.cache (Tree_view.root t.view) with
       | Ok h -> h
       | Error e -> failwith ("Engine.commit: " ^ e)
     in
@@ -407,7 +411,7 @@ let aggregate_objects t p ?(value = Value.Text "aggregate") inputs =
               else
                 let t0 = now () in
                 let h =
-                  match Merkle.hash t.cache oid with
+                  match Merkle.hash ?pool:t.pool t.cache oid with
                   | Ok h -> h
                   | Error e -> failwith e
                 in
@@ -593,4 +597,4 @@ let verify_object t oid =
   match deliver t oid with
   | Error e -> Error e
   | Ok (data, records) ->
-      Ok (Verifier.verify ~algo:(algo t) ~directory:t.dir ~data records)
+      Ok (Verifier.verify ?pool:t.pool ~algo:(algo t) ~directory:t.dir ~data records)

@@ -39,6 +39,7 @@ val create :
   ?algo:Tep_crypto.Digest_algo.algo ->
   ?mode:mode ->
   ?wal:Wal.t ->
+  ?pool:Tep_parallel.Pool.t ->
   ?provstore:Provstore.t ->
   directory:Participant.Directory.t ->
   Database.t ->
@@ -56,6 +57,7 @@ val of_parts :
   ?algo:Tep_crypto.Digest_algo.algo ->
   ?mode:mode ->
   ?wal:Wal.t ->
+  ?pool:Tep_parallel.Pool.t ->
   ?provstore:Provstore.t ->
   directory:Participant.Directory.t ->
   forest:Forest.t ->
@@ -64,7 +66,11 @@ val of_parts :
   t
 (** Re-attach an engine to previously persisted state (forest, view
     and provenance store) without rebuilding the tree view — this is
-    what preserves oid identity across sessions. *)
+    what preserves oid identity across sessions.
+
+    [?pool] (also accepted by {!create}) parallelises cold full-tree
+    Merkle passes — the warm-up hash here, Basic-mode commits — and
+    recipient-side verification run through {!verify_object}. *)
 
 val backend : t -> Database.t
 val forest : t -> Forest.t

@@ -42,5 +42,21 @@ module Directory : sig
       if the subject is already registered with a different key. *)
 
   val lookup : t -> string -> Tep_crypto.Pki.certificate option
+
+  val lookup_verified :
+    t ->
+    string ->
+    [ `Verified of Tep_crypto.Pki.certificate | `Unknown | `Bad_certificate ]
+  (** Like {!lookup}, but additionally checks the certificate against
+      the CA key, caching the (per-participant) result so per-record
+      verification pays at most one CA-signature check per subject.
+      The cache entry is invalidated when the subject re-registers.
+      Safe to call from multiple domains concurrently (the cache is
+      mutex-guarded), provided no concurrent registration. *)
+
+  val verified_count : t -> int
+  (** Number of subjects currently in the verified-certificate cache
+      (observability / tests). *)
+
   val names : t -> string list
 end

@@ -308,7 +308,7 @@ let apply_relational db forest view entry =
 (* Recover                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let recover ?mode ?wal_path ?(final_checkpoint = true) ~dir ~directory () =
+let recover ?mode ?pool ?wal_path ?(final_checkpoint = true) ~dir ~directory () =
   let wal_path =
     match wal_path with Some p -> p | None -> Filename.concat dir "wal.log"
   in
@@ -420,8 +420,8 @@ let recover ?mode ?wal_path ?(final_checkpoint = true) ~dir ~directory () =
               match
                 Engine.of_parts
                   ~algo:(Provstore.algo c.c_prov)
-                  ?mode ~wal ~provstore:c.c_prov ~directory ~forest:c.c_forest
-                  ~view:c.c_view c.c_db
+                  ?mode ?pool ~wal ~provstore:c.c_prov ~directory
+                  ~forest:c.c_forest ~view:c.c_view c.c_db
               with
               | exception Failure e ->
                   Wal.close wal;

@@ -77,13 +77,16 @@ val checkpoint :
 
 val recover :
   ?mode:Engine.mode ->
+  ?pool:Tep_parallel.Pool.t ->
   ?wal_path:string ->
   ?final_checkpoint:bool ->
   dir:string ->
   directory:Participant.Directory.t ->
   unit ->
   (Engine.t * Wal.t * report, string) result
-(** Run the pipeline described above.  [wal_path] defaults to
+(** Run the pipeline described above.  [?pool] parallelises the
+    rebuilt engine's cold root-hash pass (the basis of the
+    cross-check) across domains.  [wal_path] defaults to
     [dir ^ "/wal.log"]; a missing WAL file is an empty tail.  The
     returned {!Wal.t} is open and already attached to the engine, so
     operation can continue immediately.  [final_checkpoint] (default

@@ -20,19 +20,26 @@ let hash_value algo oid value =
   Value.encode buf value;
   Digest_algo.digest algo (Buffer.contents buf)
 
+(* Digest a frame plus child hashes through the incremental ctx API:
+   identical output to hashing the concatenation, without building the
+   O(children) intermediate string. *)
+let digest_frame algo frame child_hashes =
+  let ctx = Digest_algo.init algo in
+  Digest_algo.update ctx frame;
+  List.iter (Digest_algo.update ctx) child_hashes;
+  Digest_algo.final ctx
+
 let rec hash_subtree algo (t : Subtree.t) =
   let child_hashes = List.map (hash_subtree algo) t.Subtree.children in
   let buf = Buffer.create 64 in
   node_frame buf t.Subtree.oid t.Subtree.value
     (List.map (fun c -> c.Subtree.oid) t.Subtree.children);
-  List.iter (Buffer.add_string buf) child_hashes;
-  Digest_algo.digest algo (Buffer.contents buf)
+  digest_frame algo (Buffer.contents buf) child_hashes
 
 let node_hash algo oid value (children : (Oid.t * string) list) =
   let buf = Buffer.create 64 in
   node_frame buf oid value (List.map fst children);
-  List.iter (fun (_, h) -> Buffer.add_string buf h) children;
-  Digest_algo.digest algo (Buffer.contents buf)
+  digest_frame algo (Buffer.contents buf) (List.map snd children)
 
 type stats = { nodes_hashed : int; cache_hits : int; invalidations : int }
 
@@ -74,42 +81,170 @@ let algo c = c.algo
 let hash_node c oid value children child_hashes =
   let buf = Buffer.create 64 in
   node_frame buf oid value children;
-  List.iter (Buffer.add_string buf) child_hashes;
   c.nodes_hashed <- c.nodes_hashed + 1;
-  Digest_algo.digest c.algo (Buffer.contents buf)
+  digest_frame c.algo (Buffer.contents buf) child_hashes
 
-let hash c oid =
-  let rec go oid =
-    match Oid.Tbl.find_opt c.tbl oid with
-    | Some h ->
-        c.cache_hits <- c.cache_hits + 1;
-        h
-    | None -> (
-        match Forest.info c.forest oid with
-        | None -> failwith (Printf.sprintf "no object %s" (Oid.to_string oid))
-        | Some info ->
-            let child_hashes = List.map go info.Forest.children in
-            let h =
-              hash_node c oid info.Forest.value info.Forest.children child_hashes
-            in
-            Oid.Tbl.replace c.tbl oid h;
-            h)
-  in
-  match go oid with h -> Ok h | exception Failure e -> Error e
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel subtree hashing                                     *)
+(* ------------------------------------------------------------------ *)
 
-let hash_basic c oid =
-  let rec go oid =
-    match Forest.info c.forest oid with
-    | None -> failwith (Printf.sprintf "no object %s" (Oid.to_string oid))
-    | Some info ->
-        let child_hashes = List.map go info.Forest.children in
-        let h =
-          hash_node c oid info.Forest.value info.Forest.children child_hashes
-        in
-        Oid.Tbl.replace c.tbl oid h;
-        h
+(* Below this many forest nodes the frontier bookkeeping costs more
+   than it saves; stay sequential. *)
+let par_threshold = 256
+
+let missing oid = failwith (Printf.sprintf "no object %s" (Oid.to_string oid))
+
+(* Pure hash of a subtree: touches no cache state (safe across
+   domains).  Computed (oid, hash) pairs accumulate in [acc] for a
+   later single-domain cache merge; [hashed]/[hits] mirror the stats
+   counters.  With [use_cache], warm entries are reused (read-only —
+   the cache is never written while tasks run). *)
+let rec pure_hash ~use_cache c acc hashed hits oid =
+  match if use_cache then Oid.Tbl.find_opt c.tbl oid else None with
+  | Some h ->
+      incr hits;
+      h
+  | None -> (
+      match Forest.info c.forest oid with
+      | None -> missing oid
+      | Some info ->
+          let child_hashes =
+            List.map
+              (pure_hash ~use_cache c acc hashed hits)
+              info.Forest.children
+          in
+          let buf = Buffer.create 64 in
+          node_frame buf oid info.Forest.value info.Forest.children;
+          let h = digest_frame c.algo (Buffer.contents buf) child_hashes in
+          incr hashed;
+          acc := (oid, h) :: !acc;
+          h)
+
+(* Split the subtree under [root] into interior levels (hashed
+   sequentially afterwards, deepest level first) and a frontier of
+   disjoint subtree roots (hashed in parallel), aiming for [target]
+   frontier tasks. *)
+let split_frontier c root target =
+  let rec go levels frontier cur =
+    if cur = [] || List.length frontier + List.length cur >= target then
+      (levels, frontier @ cur)
+    else begin
+      let leaves, internals =
+        List.partition (fun o -> Forest.children c.forest o = []) cur
+      in
+      if internals = [] then (levels, frontier @ leaves)
+      else
+        go (internals :: levels) (frontier @ leaves)
+          (List.concat_map (Forest.children c.forest) internals)
+    end
   in
-  match go oid with h -> Ok h | exception Failure e -> Error e
+  go [] [] [ root ]
+
+let hash_par ~use_cache pool c root =
+  let levels, frontier =
+    split_frontier c root (4 * Tep_parallel.Pool.size pool)
+  in
+  let results =
+    Tep_parallel.Pool.map_chunked ~chunk:1 pool
+      (fun oid ->
+        let acc = ref [] and hashed = ref 0 and hits = ref 0 in
+        let (_ : string) = pure_hash ~use_cache c acc hashed hits oid in
+        (!acc, !hashed, !hits))
+      (Array.of_list frontier)
+  in
+  (* Merge task results into the cache on the calling domain only. *)
+  Array.iter
+    (fun (pairs, hashed, hits) ->
+      List.iter (fun (o, h) -> Oid.Tbl.replace c.tbl o h) pairs;
+      c.nodes_hashed <- c.nodes_hashed + hashed;
+      c.cache_hits <- c.cache_hits + hits)
+    results;
+  (* Interior spine, bottom-up: every child hash is now in the cache. *)
+  List.iter
+    (List.iter (fun oid ->
+         let cached = Oid.Tbl.find_opt c.tbl oid in
+         match cached with
+         | Some _ when use_cache -> c.cache_hits <- c.cache_hits + 1
+         | _ -> (
+             match Forest.info c.forest oid with
+             | None -> missing oid
+             | Some info ->
+                 let child_hashes =
+                   List.map
+                     (fun o ->
+                       match Oid.Tbl.find_opt c.tbl o with
+                       | Some h -> h
+                       | None -> missing o)
+                     info.Forest.children
+                 in
+                 let h =
+                   hash_node c oid info.Forest.value info.Forest.children
+                     child_hashes
+                 in
+                 Oid.Tbl.replace c.tbl oid h)))
+    levels;
+  match Oid.Tbl.find_opt c.tbl root with
+  | Some h -> h
+  | None -> missing root
+
+let use_pool pool c =
+  match pool with
+  | Some p
+    when Tep_parallel.Pool.size p > 1
+         && Forest.node_count c.forest >= par_threshold ->
+      Some p
+  | _ -> None
+
+let hash ?pool c oid =
+  let seq_go () =
+    let rec go oid =
+      match Oid.Tbl.find_opt c.tbl oid with
+      | Some h ->
+          c.cache_hits <- c.cache_hits + 1;
+          h
+      | None -> (
+          match Forest.info c.forest oid with
+          | None -> missing oid
+          | Some info ->
+              let child_hashes = List.map go info.Forest.children in
+              let h =
+                hash_node c oid info.Forest.value info.Forest.children
+                  child_hashes
+              in
+              Oid.Tbl.replace c.tbl oid h;
+              h)
+    in
+    go oid
+  in
+  let compute =
+    match use_pool pool c with
+    | Some p when not (Oid.Tbl.mem c.tbl oid) ->
+        fun () -> hash_par ~use_cache:true p c oid
+    | _ -> seq_go
+  in
+  match compute () with h -> Ok h | exception Failure e -> Error e
+
+let hash_basic ?pool c oid =
+  let seq_go () =
+    let rec go oid =
+      match Forest.info c.forest oid with
+      | None -> missing oid
+      | Some info ->
+          let child_hashes = List.map go info.Forest.children in
+          let h =
+            hash_node c oid info.Forest.value info.Forest.children child_hashes
+          in
+          Oid.Tbl.replace c.tbl oid h;
+          h
+    in
+    go oid
+  in
+  let compute =
+    match use_pool pool c with
+    | Some p -> fun () -> hash_par ~use_cache:false p c oid
+    | None -> seq_go
+  in
+  match compute () with h -> Ok h | exception Failure e -> Error e
 
 let clear c = Oid.Tbl.reset c.tbl
 

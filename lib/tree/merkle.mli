@@ -50,14 +50,26 @@ val create_cache : Tep_crypto.Digest_algo.algo -> Forest.t -> cache
 
 val algo : cache -> Tep_crypto.Digest_algo.algo
 
-val hash : cache -> Oid.t -> (string, string) result
+val hash : ?pool:Tep_parallel.Pool.t -> cache -> Oid.t -> (string, string) result
 (** Economical hash: recompute only nodes absent from the cache
-    (i.e. on invalidated paths), reuse everything else. *)
+    (i.e. on invalidated paths), reuse everything else.
 
-val hash_basic : cache -> Oid.t -> (string, string) result
+    With [?pool] (size > 1) and a cold root on a forest of at least
+    {!par_threshold} nodes, sibling subtrees are hashed on separate
+    domains (warm cache entries still reused, read-only) and merged
+    back on the calling domain; the result is bit-identical to the
+    sequential pass.  The forest must not be mutated concurrently. *)
+
+val hash_basic :
+  ?pool:Tep_parallel.Pool.t -> cache -> Oid.t -> (string, string) result
 (** Basic strategy: ignore and refresh the cache for the whole
     subtree — every node is re-hashed.  (Repopulates the cache so a
-    later economical pass starts warm.) *)
+    later economical pass starts warm.)  [?pool] parallelises across
+    sibling subtrees as in {!hash}. *)
+
+val par_threshold : int
+(** Minimum forest node count before [?pool] is honoured (below it the
+    fan-out bookkeeping costs more than it saves). *)
 
 val invalidate : cache -> Oid.t -> unit
 (** Manual invalidation of a node and its ancestor path. *)

@@ -10,6 +10,7 @@ let config_of_env () =
   let scale =
     match Sys.getenv_opt "TEP_SCALE" with
     | Some "full" -> 1.0
+    | Some "smoke" -> 0.02
     | Some s -> ( try float_of_string s with _ -> default_config.scale)
     | None -> default_config.scale
   in

@@ -174,6 +174,63 @@ let test_aggregate_across_checkpoint () =
   Alcotest.(check bool) "only the aggregate examined" true (examined <= 2);
   ignore cp
 
+(* Parallel audits must produce the identical report AND the identical
+   checkpoint (compared via its serialised form) as the sequential
+   sweep, for both full and incremental audits, clean or tampered. *)
+let test_parallel_matches_sequential () =
+  let eng, alice, dir = fixture () in
+  let algo = Engine.algo eng in
+  for i = 0 to 9 do
+    ok (Engine.update_cell eng alice ~table:"t" ~row:(i mod 3) ~col:(i mod 2)
+          (Value.Int i))
+  done;
+  let store = Engine.provstore eng in
+  (* a mid-history checkpoint so the incremental pass has real deltas *)
+  let _, cp0 = Audit.full_audit ~algo ~directory:dir store in
+  ok (Engine.update_cell eng alice ~table:"t" ~row:0 ~col:0 (Value.Int 999));
+  let seq_report, seq_cp = Audit.full_audit ~algo ~directory:dir store in
+  let seq_ireport, seq_icp, seq_examined =
+    Audit.incremental_audit ~algo ~directory:dir cp0 store
+  in
+  (* tampered store for the failure path *)
+  let cell = Option.get (Tree_view.cell_oid (Engine.mapping eng) "t" 0 0) in
+  let tampered = Provstore.create ~algo () in
+  List.iter
+    (fun (r : Record.t) ->
+      let r =
+        if Oid.equal r.Record.output_oid cell && r.Record.seq_id = 1 then
+          { r with Record.output_hash = "evil" }
+        else r
+      in
+      Provstore.append tampered r)
+    (Provstore.all store);
+  let seq_treport, seq_tcp = Audit.full_audit ~algo ~directory:dir tampered in
+  Alcotest.(check bool) "tampered baseline fails" false (Verifier.ok seq_treport);
+  List.iter
+    (fun domains ->
+      let pool = Tep_parallel.Pool.create ~domains () in
+      let name fmt = Printf.sprintf fmt domains in
+      let report, cp = Audit.full_audit ~pool ~algo ~directory:dir store in
+      Alcotest.(check bool) (name "full report @%d") true (report = seq_report);
+      Alcotest.(check string)
+        (name "full checkpoint @%d")
+        (Audit.to_string seq_cp) (Audit.to_string cp);
+      let ireport, icp, examined =
+        Audit.incremental_audit ~pool ~algo ~directory:dir cp0 store
+      in
+      Alcotest.(check bool) (name "incr report @%d") true (ireport = seq_ireport);
+      Alcotest.(check int) (name "incr examined @%d") seq_examined examined;
+      Alcotest.(check string)
+        (name "incr checkpoint @%d")
+        (Audit.to_string seq_icp) (Audit.to_string icp);
+      let treport, tcp = Audit.full_audit ~pool ~algo ~directory:dir tampered in
+      Alcotest.(check bool) (name "tampered report @%d") true (treport = seq_treport);
+      Alcotest.(check string)
+        (name "tampered checkpoint @%d")
+        (Audit.to_string seq_tcp) (Audit.to_string tcp);
+      Tep_parallel.Pool.shutdown pool)
+    [ 1; 2; 4 ]
+
 let () =
   Alcotest.run "audit"
     [
@@ -192,5 +249,7 @@ let () =
             test_checkpoint_not_advanced_on_failure;
           Alcotest.test_case "aggregate across checkpoint" `Quick
             test_aggregate_across_checkpoint;
+          Alcotest.test_case "parallel matches sequential" `Quick
+            test_parallel_matches_sequential;
         ] );
     ]

@@ -113,6 +113,45 @@ let test_verify_record_tampered_field () =
   | Ok () -> Alcotest.fail "tampered record accepted"
   | Error _ -> ()
 
+(* The verified-certificate cache: repeated verifications pay one CA
+   check per subject, re-registration invalidates the entry, and the
+   cache never changes verification outcomes. *)
+let test_cert_cache () =
+  let drbg = Tep_crypto.Drbg.create ~seed:"test-checksum-cache" in
+  let ca = Tep_crypto.Pki.create_ca ~name:"CA2" drbg in
+  let d = Participant.Directory.create ~ca_key:(Tep_crypto.Pki.ca_public_key ca) in
+  let carol = Participant.create ~ca ~name:"carol" drbg in
+  Participant.Directory.register d carol;
+  Alcotest.(check int) "cache empty at start" 0
+    (Participant.Directory.verified_count d);
+  let r = mk_record carol ~tamper:false in
+  for _ = 1 to 10 do
+    match Checksum.verify_record d r with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e
+  done;
+  Alcotest.(check int) "one cached subject after many verifies" 1
+    (Participant.Directory.verified_count d);
+  (match Participant.Directory.lookup_verified d "carol" with
+  | `Verified _ -> ()
+  | _ -> Alcotest.fail "carol should verify");
+  (match Participant.Directory.lookup_verified d "nobody" with
+  | `Unknown -> ()
+  | _ -> Alcotest.fail "unknown subject should be `Unknown");
+  (* re-registration (same key) drops the cached entry *)
+  (match
+     Participant.Directory.register_certificate d (Participant.certificate carol)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "invalidated on re-registration" 0
+    (Participant.Directory.verified_count d);
+  (* and verification still works, re-filling the cache *)
+  (match Checksum.verify_record d r with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "re-cached" 1 (Participant.Directory.verified_count d)
+
 let test_verify_wrong_key () =
   let payload = "data" in
   let c = Checksum.sign alice payload in
@@ -138,5 +177,6 @@ let () =
           Alcotest.test_case "tampered field" `Quick
             test_verify_record_tampered_field;
           Alcotest.test_case "wrong key" `Quick test_verify_wrong_key;
+          Alcotest.test_case "verified-cert cache" `Quick test_cert_cache;
         ] );
     ]

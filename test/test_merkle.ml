@@ -141,6 +141,63 @@ let prop_mutation_detected =
       let h2 = ok (Merkle.hash cache root) in
       (not (String.equal h0 h1)) && String.equal h0 h2)
 
+(* Parallel hashing must agree with the sequential code path on a
+   forest big enough to clear [par_threshold], cold cache and warm,
+   Basic and Economical, and after a dirty-path update. *)
+let test_parallel_matches_sequential () =
+  let build () =
+    let f = Forest.create () in
+    let root = ok (Forest.insert f (Value.Text "r")) in
+    let leaves = ref [] in
+    for i = 0 to 29 do
+      let mid = ok (Forest.insert ~parent:root f (iv i)) in
+      for j = 0 to 9 do
+        leaves := ok (Forest.insert ~parent:mid f (iv ((100 * i) + j))) :: !leaves
+      done
+    done;
+    (f, root, List.rev !leaves)
+  in
+  let f, root, leaves = build () in
+  Alcotest.(check bool) "forest clears par_threshold" true
+    (Forest.node_count f >= Merkle.par_threshold);
+  let seq_cache = Merkle.create_cache algo f in
+  let seq_cold = ok (Merkle.hash seq_cache root) in
+  let seq_nodes = (Merkle.stats seq_cache).Merkle.nodes_hashed in
+  List.iter
+    (fun domains ->
+      let pool = Tep_parallel.Pool.create ~domains () in
+      let name fmt = Printf.sprintf fmt domains in
+      let cache = Merkle.create_cache algo f in
+      Alcotest.(check string)
+        (name "cold economical @%d") seq_cold
+        (ok (Merkle.hash ~pool cache root));
+      Alcotest.(check int)
+        (name "same nodes hashed @%d") seq_nodes
+        (Merkle.stats cache).Merkle.nodes_hashed;
+      (* warm: parallel pass over a fully-cached tree is free *)
+      Merkle.reset_stats cache;
+      Alcotest.(check string)
+        (name "warm @%d") seq_cold (ok (Merkle.hash ~pool cache root));
+      Alcotest.(check int)
+        (name "warm zero work @%d") 0
+        (Merkle.stats cache).Merkle.nodes_hashed;
+      (* basic mode re-hashes everything, in parallel too *)
+      Alcotest.(check string)
+        (name "basic @%d") seq_cold (ok (Merkle.hash_basic ~pool cache root));
+      (* dirty path after an update *)
+      let victim = List.nth leaves 123 in
+      let old = ok (Forest.value f victim) in
+      ignore (ok (Forest.update f victim (iv 424242)));
+      let seq_dirty_cache = Merkle.create_cache algo f in
+      let seq_dirty = ok (Merkle.hash seq_dirty_cache root) in
+      Alcotest.(check string)
+        (name "after update @%d") seq_dirty (ok (Merkle.hash ~pool cache root));
+      Alcotest.(check bool) (name "update changed hash @%d") true
+        (not (String.equal seq_cold seq_dirty));
+      ignore (ok (Forest.update f victim old));
+      Tep_parallel.Pool.shutdown pool)
+    [ 1; 2; 4 ]
+
 let () =
   Alcotest.run "merkle"
     [
@@ -161,6 +218,8 @@ let () =
             test_structure_changes_hash;
           Alcotest.test_case "missing node" `Quick test_missing_node;
           Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "parallel matches sequential" `Quick
+            test_parallel_matches_sequential;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_mutation_detected ]);
     ]

@@ -1,0 +1,130 @@
+(* Domain pool: deterministic ordering, exception propagation,
+   nesting, and shutdown semantics — across pool sizes (including
+   sizes larger than the host's core count, which must still be
+   correct, just not faster). *)
+
+open Tep_parallel
+
+exception Boom of int
+
+let test_map_chunked_matches_seq () =
+  List.iter
+    (fun domains ->
+      let pool = Pool.create ~domains () in
+      List.iter
+        (fun n ->
+          let input = Array.init n (fun i -> i) in
+          let expect = Array.map (fun i -> (i * 7) + 1) input in
+          List.iter
+            (fun chunk ->
+              let got = Pool.map_chunked ?chunk pool (fun i -> (i * 7) + 1) input in
+              Alcotest.(check (array int))
+                (Printf.sprintf "d=%d n=%d" domains n)
+                expect got)
+            [ None; Some 1; Some 3; Some 1000 ])
+        [ 0; 1; 7; 64; 1000 ];
+      Pool.shutdown pool)
+    [ 1; 2; 4; 8 ]
+
+let test_map_chunked_ordering () =
+  (* Results land at the slot of their input even when chunks finish
+     out of order (forced by uneven per-element work). *)
+  let pool = Pool.create ~domains:4 () in
+  let input = Array.init 200 (fun i -> i) in
+  let slow i =
+    if i mod 50 = 0 then Unix.sleepf 0.005;
+    string_of_int i
+  in
+  let got = Pool.map_chunked ~chunk:1 pool slow input in
+  Array.iteri
+    (fun i s -> Alcotest.(check string) "slot" (string_of_int i) s)
+    got;
+  Pool.shutdown pool
+
+let test_exception_reraised () =
+  let pool = Pool.create ~domains:4 () in
+  (* Several chunks raise; the lowest-indexed failure wins,
+     deterministically. *)
+  let f i = if i >= 60 then raise (Boom i) else i in
+  (try
+     ignore (Pool.map_chunked ~chunk:10 pool f (Array.init 100 (fun i -> i)));
+     Alcotest.fail "expected Boom"
+   with Boom i ->
+     Alcotest.(check int) "lowest failing chunk's exception" 60 i);
+  (* The pool survives a failed job. *)
+  let got = Pool.map_chunked pool (fun i -> i + 1) [| 1; 2; 3 |] in
+  Alcotest.(check (array int)) "pool reusable after failure" [| 2; 3; 4 |] got;
+  Pool.shutdown pool
+
+let test_parallel_for () =
+  let pool = Pool.create ~domains:4 () in
+  let hits = Array.make 64 0 in
+  Pool.parallel_for ~chunk:5 pool ~lo:0 ~hi:63 (fun i ->
+      hits.(i) <- hits.(i) + 1);
+  Alcotest.(check (array int)) "each index exactly once" (Array.make 64 1) hits;
+  (* Empty range: hi < lo runs nothing. *)
+  Pool.parallel_for pool ~lo:5 ~hi:4 (fun _ -> Alcotest.fail "empty range ran");
+  Pool.shutdown pool
+
+let test_map_list () =
+  let pool = Pool.create ~domains:3 () in
+  let xs = List.init 101 (fun i -> i) in
+  Alcotest.(check (list int))
+    "map_list = List.map"
+    (List.map (fun i -> i * i) xs)
+    (Pool.map_list pool (fun i -> i * i) xs);
+  Alcotest.(check (list int)) "empty" [] (Pool.map_list pool (fun i -> i) []);
+  Pool.shutdown pool
+
+let test_nested () =
+  (* A task running on a worker may itself submit to the same pool;
+     caller participation keeps this deadlock-free. *)
+  let pool = Pool.create ~domains:4 () in
+  let inner j = j * 2 in
+  let outer i =
+    Array.fold_left ( + ) 0
+      (Pool.map_chunked pool inner (Array.init (i + 1) (fun j -> j)))
+  in
+  let got = Pool.map_chunked ~chunk:1 pool outer (Array.init 20 (fun i -> i)) in
+  let expect = Array.init 20 (fun i -> i * (i + 1)) in
+  Alcotest.(check (array int)) "nested map" expect got;
+  Pool.shutdown pool
+
+let test_shutdown () =
+  let pool = Pool.create ~domains:4 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  let got = Pool.map_chunked pool (fun i -> i + 1) [| 1; 2; 3 |] in
+  Alcotest.(check (array int)) "post-shutdown runs in caller" [| 2; 3; 4 |] got
+
+let test_sizes () =
+  Alcotest.(check int) "sequential size" 1 (Pool.size Pool.sequential);
+  Alcotest.check_raises "domains < 1 rejected"
+    (Invalid_argument "Pool.create: domains < 1") (fun () ->
+      ignore (Pool.create ~domains:0 ()));
+  let p = Pool.create ~domains:1000 () in
+  Alcotest.(check int) "clamped to 64" 64 (Pool.size p);
+  Pool.shutdown p;
+  let p = Pool.create ~domains:3 () in
+  Alcotest.(check int) "size 3" 3 (Pool.size p);
+  Pool.shutdown p
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map_chunked = Array.map" `Quick
+            test_map_chunked_matches_seq;
+          Alcotest.test_case "deterministic ordering" `Quick
+            test_map_chunked_ordering;
+          Alcotest.test_case "exception re-raised" `Quick
+            test_exception_reraised;
+          Alcotest.test_case "parallel_for" `Quick test_parallel_for;
+          Alcotest.test_case "map_list" `Quick test_map_list;
+          Alcotest.test_case "nested submission" `Quick test_nested;
+          Alcotest.test_case "shutdown" `Quick test_shutdown;
+          Alcotest.test_case "sizes" `Quick test_sizes;
+        ] );
+    ]

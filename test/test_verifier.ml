@@ -220,6 +220,43 @@ let test_verify_records_only () =
   in
   Alcotest.(check bool) "audit ok" true (Verifier.ok report)
 
+(* Parallel verification must be indistinguishable from sequential:
+   same report value and same rendered text, for clean and tampered
+   histories alike, at every pool size. *)
+let test_parallel_determinism () =
+  let f = setup () in
+  history f;
+  let data, records = deliver_root f in
+  let tampered = Tamper.modify_output_hash ~idx:1 records in
+  let render r = Format.asprintf "%a" Verifier.pp_report r in
+  let algo = Engine.algo f.eng in
+  let seq_data = verify f data records in
+  let seq_clean = Verifier.verify_records ~algo ~directory:f.dir records in
+  let seq_bad = Verifier.verify_records ~algo ~directory:f.dir tampered in
+  Alcotest.(check bool) "tampered baseline fails" false (Verifier.ok seq_bad);
+  List.iter
+    (fun domains ->
+      let pool = Tep_parallel.Pool.create ~domains () in
+      let name fmt = Printf.sprintf fmt domains in
+      let par_data =
+        Verifier.verify ~pool ~algo ~directory:f.dir ~data records
+      in
+      let par_clean = Verifier.verify_records ~pool ~algo ~directory:f.dir records in
+      let par_bad = Verifier.verify_records ~pool ~algo ~directory:f.dir tampered in
+      Alcotest.(check bool) (name "verify equal @%d") true (par_data = seq_data);
+      Alcotest.(check bool) (name "clean equal @%d") true (par_clean = seq_clean);
+      Alcotest.(check bool) (name "tampered equal @%d") true (par_bad = seq_bad);
+      Alcotest.(check string)
+        (name "clean render @%d") (render seq_clean) (render par_clean);
+      Alcotest.(check string)
+        (name "tampered render @%d") (render seq_bad) (render par_bad);
+      Alcotest.(check bool) (name "Bad_signature kept @%d") true
+        (List.exists
+           (function Verifier.Bad_signature _ -> true | _ -> false)
+           par_bad.Verifier.violations);
+      Tep_parallel.Pool.shutdown pool)
+    [ 1; 2; 4 ]
+
 let test_violation_strings () =
   (* every violation constructor renders *)
   let oid = Oid.of_int 1 in
@@ -295,6 +332,8 @@ let () =
           Alcotest.test_case "records-only audit" `Quick
             test_verify_records_only;
           Alcotest.test_case "empty provenance" `Quick test_empty_provenance;
+          Alcotest.test_case "parallel determinism" `Quick
+            test_parallel_determinism;
           Alcotest.test_case "violation rendering" `Quick
             test_violation_strings;
         ] );

@@ -56,6 +56,70 @@ let test_montgomery_vs_naive () =
       (Zmod.Montgomery.pow mont b e)
   done
 
+(* The windowed ladder must agree with the division-based oracle on
+   the edge cases the dispatcher and window extraction handle
+   specially: zero base, zero exponent, modulus 1, even moduli. *)
+let test_modpow_edges () =
+  let check name want b e m =
+    Alcotest.check nat name want (Zmod.modpow b e m);
+    Alcotest.check nat (name ^ " (naive)") want (Zmod.modpow_naive b e m)
+  in
+  check "m=1" Nat.zero (n 7) (n 3) Nat.one;
+  check "e=0, m=1" Nat.zero (n 7) Nat.zero Nat.one;
+  check "b=0" Nat.zero Nat.zero (n 9) (n 11);
+  check "b=0, e=0" Nat.one Nat.zero Nat.zero (n 11);
+  check "even m" (n 6) (n 6) (n 3) (n 10);
+  check "b multiple of m" Nat.zero (n 22) (n 5) (n 11)
+
+(* Exercise every window size (k=1..5): exponent widths on both sides
+   of each window_bits threshold, against the binary ladder. *)
+let test_window_sizes () =
+  let seed = ref 1234 in
+  let next () =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !seed
+  in
+  let rand_nat bits =
+    let limbs = (bits + 29) / 30 in
+    let x = ref Nat.zero in
+    for _ = 1 to limbs do
+      x := Nat.add (Nat.shift_left !x 30) (Nat.of_int (next ()))
+    done;
+    Nat.rem !x (Nat.shift_left Nat.one bits)
+  in
+  let m = Nat.add (Nat.shift_left Nat.one 511) (rand_nat 511) in
+  let m = if Nat.is_even m then Nat.add m Nat.one else m in
+  let ctx = Zmod.Montgomery.create m in
+  let b = rand_nat 512 in
+  List.iter
+    (fun ebits ->
+      let e = Nat.add (Nat.shift_left Nat.one (ebits - 1)) (rand_nat (ebits - 1)) in
+      Alcotest.check nat
+        (Printf.sprintf "windowed = binary at %d-bit exponent" ebits)
+        (Zmod.Montgomery.pow_binary ctx b e)
+        (Zmod.Montgomery.pow ctx b e))
+    [ 2; 24; 25; 80; 81; 240; 241; 768; 769; 2048 ]
+
+let prop_modpow_vs_naive =
+  QCheck2.Test.make ~name:"windowed modpow = naive oracle (any modulus)"
+    ~count:150
+    QCheck2.Gen.(triple (gen_nat 96) (gen_nat 64) (gen_nat 96))
+    (fun (b, e, m) ->
+      QCheck2.assume (not (Nat.is_zero m));
+      Nat.equal (Zmod.modpow b e m) (Zmod.modpow_naive b e m))
+
+let prop_window_vs_binary =
+  QCheck2.Test.make ~name:"Montgomery.pow = pow_binary (odd moduli)"
+    ~count:60
+    QCheck2.Gen.(triple (gen_nat 256) (gen_nat 200) (gen_nat 256))
+    (fun (b, e, m) ->
+      let m = if Nat.is_even m then Nat.add m Nat.one else m in
+      QCheck2.assume (Nat.compare m Nat.two > 0);
+      let ctx = Zmod.Montgomery.create m in
+      Nat.equal
+        (Zmod.Montgomery.pow ctx b e)
+        (Zmod.Montgomery.pow_binary ctx b e))
+
 let prop_modinv =
   QCheck2.Test.make ~name:"modinv correct when gcd=1" ~count:200
     QCheck2.Gen.(pair (gen_nat 128) (gen_nat 160))
@@ -92,8 +156,16 @@ let () =
           Alcotest.test_case "modpow" `Quick test_modpow_known;
           Alcotest.test_case "montgomery vs naive" `Quick
             test_montgomery_vs_naive;
+          Alcotest.test_case "modpow edge cases" `Quick test_modpow_edges;
+          Alcotest.test_case "window sizes" `Quick test_window_sizes;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_modinv; prop_modpow_mul; prop_gcd_divides ] );
+          [
+            prop_modpow_vs_naive;
+            prop_window_vs_binary;
+            prop_modinv;
+            prop_modpow_mul;
+            prop_gcd_divides;
+          ] );
     ]

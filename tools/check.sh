@@ -1,6 +1,8 @@
 #!/bin/sh
-# Repository check: full build, every test suite, and an explicit run
-# of the crash-point enumeration harness (the durability gate).
+# Repository check: full build, every test suite, an explicit run of
+# the crash-point enumeration harness (the durability gate), and the
+# parallel-verification smoke benchmark (fails when any domain-pool
+# report disagrees with the sequential run).
 # Equivalent to `dune build @check-all`.
 set -eu
 cd "$(dirname "$0")/.."
@@ -13,5 +15,8 @@ dune runtest
 
 echo "== crash-point enumeration =="
 dune exec test/test_crash.exe
+
+echo "== bench-smoke (parallel determinism gate) =="
+TEP_SCALE=smoke TEP_BENCH_JSON=0 dune exec bench/main.exe -- parallel
 
 echo "check: OK"
