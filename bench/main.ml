@@ -327,6 +327,191 @@ let run_parallel () =
   if not !all_identical then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Service throughput: concurrent clients over loopback and a socket   *)
+(* ------------------------------------------------------------------ *)
+
+(* Two phases.  First a scripted correctness gate over the loopback
+   transport: submit → query → verify, assert the wire report renders
+   byte-identically to the in-process verifier, tamper with a cell
+   behind the engine's back and assert the tampering is reported over
+   the wire (exit 1 if not — the serve-smoke alias relies on this).
+   Then a throughput measurement: N client threads each stream M
+   insert requests through one server, once over the in-process
+   loopback transport and once over a real Unix-domain socket. *)
+let run_serve () =
+  let cfg = Experiments.config_of_env () in
+  Printf.printf "## serve — provdbd wire protocol: scripted gate + throughput\n";
+  let ok = function Ok v -> v | Error e -> failwith ("serve bench: " ^ e) in
+  let module Server = Tep_server.Server in
+  let module Client = Tep_client.Client in
+  let module Message = Tep_wire.Message in
+  let make_service seed =
+    let env = Scenario.make_env ~seed () in
+    let alice = Scenario.participant env "alice" in
+    let db = Database.create ~name:"serve" in
+    ignore
+      (Database.create_table db ~name:"t1" (Schema.all_int [ "a"; "b" ]));
+    let engine = Engine.create ~directory:env.Scenario.directory db in
+    let server =
+      Server.create
+        ~drbg:(Tep_crypto.Drbg.create ~seed:(seed ^ "-srv"))
+        ~participants:[ ("alice", alice) ]
+        engine
+    in
+    (engine, alice, server)
+  in
+  (* -- scripted gate ------------------------------------------------ *)
+  let engine, alice, server = make_service (cfg.Experiments.seed ^ "-gate") in
+  let c = Client.loopback ~drbg:(Tep_crypto.Drbg.create ~seed:"gate-cli") server in
+  ok (Client.authenticate c alice);
+  let row, _ = ok (Client.insert c ~table:"t1" [| Value.Int 1; Value.Int 2 |]) in
+  let row_oid =
+    match Tep_tree.Tree_view.row_oid (Engine.mapping engine) "t1" row with
+    | Some o -> o
+    | None -> failwith "serve bench: no oid for inserted row"
+  in
+  let queried = ok (Client.query c ~oid:row_oid ()) in
+  if queried = [] then failwith "serve bench: empty provenance for insert";
+  let local_report () =
+    Format.asprintf "%a" Verifier.pp_report
+      (ok (Engine.verify_object engine (Engine.root_oid engine)))
+  in
+  let report, _ = ok (Client.verify c ()) in
+  let identical_clean = Message.render_report report = local_report () in
+  if not (Message.report_ok report && identical_clean) then begin
+    Printf.eprintf "FAIL: clean wire report differs from in-process verifier\n";
+    exit 1
+  end;
+  let module Forest = Tep_tree.Forest in
+  let forest = Engine.forest engine in
+  (match
+     List.concat_map (Forest.children forest) (Forest.roots forest)
+     |> List.concat_map (Forest.children forest)
+     |> List.concat_map (Forest.children forest)
+   with
+  | cell :: _ -> ignore (Forest.update forest cell (Value.Text "TAMPERED"))
+  | [] -> failwith "serve bench: no cell to tamper with");
+  let tampered, _ = ok (Client.verify c ()) in
+  let tamper_detected = not (Message.report_ok tampered) in
+  let identical_tampered = Message.render_report tampered = local_report () in
+  Client.close c;
+  if not tamper_detected then begin
+    Printf.eprintf "FAIL: tampering not reported over the wire\n";
+    exit 1
+  end;
+  if not identical_tampered then begin
+    Printf.eprintf "FAIL: tamper wire report differs from in-process verifier\n";
+    exit 1
+  end;
+  Printf.printf "gate: reports byte-identical, tampering detected over the wire\n";
+  (* -- throughput --------------------------------------------------- *)
+  let clients, requests =
+    if cfg.Experiments.scale <= 0.02 then (2, 25)
+    else (4, max 100 (int_of_float (2000. *. cfg.Experiments.scale)))
+  in
+  let drive transport_name participant connect =
+    let t0 = Unix.gettimeofday () in
+    let errors = ref 0 in
+    let threads =
+      List.init clients (fun ci ->
+          Thread.create
+            (fun () ->
+              match connect ci with
+              | Error e ->
+                  Printf.eprintf "client %d: connect: %s\n" ci e;
+                  incr errors
+              | Ok c -> (
+                  match Client.authenticate c participant with
+                  | Error e ->
+                      Printf.eprintf "client %d: auth: %s\n" ci e;
+                      incr errors;
+                      Client.close c
+                  | Ok () ->
+                      for i = 0 to requests - 1 do
+                        match
+                          Client.insert c ~table:"t1"
+                            [| Value.Int ci; Value.Int i |]
+                        with
+                        | Ok _ -> ()
+                        | Error e ->
+                            Printf.eprintf "client %d: insert: %s\n" ci e;
+                            incr errors
+                      done;
+                      Client.close c))
+            ())
+    in
+    List.iter Thread.join threads;
+    let seconds = Unix.gettimeofday () -. t0 in
+    if !errors > 0 then begin
+      Printf.eprintf "FAIL: %d request errors over %s\n" !errors transport_name;
+      exit 1
+    end;
+    let total = clients * requests in
+    let rps = float_of_int total /. seconds in
+    Printf.printf "%s,%d,%d,%.4f,%.0f\n" transport_name clients total seconds
+      rps;
+    (transport_name, seconds, rps)
+  in
+  Printf.printf "transport,clients,total_requests,seconds,requests_per_s\n";
+  (* loopback: same codec path, no sockets *)
+  let _, loop_alice, loop_server =
+    make_service (cfg.Experiments.seed ^ "-loop")
+  in
+  let loopback =
+    drive "loopback" loop_alice (fun ci ->
+        Ok
+          (Client.loopback
+             ~drbg:(Tep_crypto.Drbg.create ~seed:(Printf.sprintf "cli-%d" ci))
+             loop_server))
+  in
+  (* real Unix-domain socket *)
+  let _, sock_alice, sock_server =
+    make_service (cfg.Experiments.seed ^ "-sock")
+  in
+  let path = Filename.temp_file "tep_serve_bench" ".sock" in
+  Sys.remove path;
+  let stop = Stdlib.Atomic.make false in
+  let srv_thread =
+    Thread.create (fun () -> Server.serve_unix sock_server ~path ~stop) ()
+  in
+  let socket =
+    drive "unix-socket" sock_alice (fun ci ->
+        Client.connect_unix
+          ~drbg:(Tep_crypto.Drbg.create ~seed:(Printf.sprintf "scli-%d" ci))
+          path)
+  in
+  Stdlib.Atomic.set stop true;
+  Thread.join srv_thread;
+  (try Sys.remove path with Sys_error _ -> ());
+  print_newline ();
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"experiment\": \"serve\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"scale\": %g,\n  \"rsa_bits\": %d,\n  \"clients\": %d,\n\
+       \  \"requests_per_client\": %d,\n"
+       cfg.Experiments.scale cfg.Experiments.rsa_bits clients requests);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"tamper_detected_over_wire\": %b,\n\
+       \  \"reports_byte_identical\": %b,\n"
+       tamper_detected
+       (identical_clean && identical_tampered));
+  Buffer.add_string buf "  \"transports\": [\n";
+  let points = [ loopback; socket ] in
+  List.iteri
+    (fun i (name, seconds, rps) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"transport\": \"%s\", \"seconds\": %.6f, \
+            \"requests_per_s\": %.1f }%s\n"
+           (json_escape name) seconds rps
+           (if i = List.length points - 1 then "" else ",")))
+    points;
+  Buffer.add_string buf "  ]\n}";
+  write_json "BENCH_serve.json" (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
 (* Figure/table harness                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -509,6 +694,7 @@ let all =
     ("ablation-signing", run_ablation_signing);
     ("ablation-audit", run_ablation_audit);
     ("parallel", run_parallel);
+    ("serve", run_serve);
     ("micro", run_micro);
   ]
 

@@ -6,154 +6,30 @@
    credentials.  Operations are performed as a named participant and
    persist everything back.
 
-     provdb init ws --table 'stock:sku,qty'
+     provdb init ws --table 'stock:sku,qty@int'
      provdb participant ws alice
      provdb insert ws --as alice --table stock --values 'WIDGET-1,100'
      provdb update ws --as alice --table stock --row 0 --column qty --value 90
      provdb verify ws
      provdb show ws --table stock --row 0 --col 1
      provdb tamper ws --attack data
-     provdb stats ws *)
+     provdb stats ws
+
+   Against a running provdbd daemon (see bin/provdbd.ml), the same
+   operations run over the wire:
+
+     provdbd ws &
+     provdb remote insert ws --as alice --table stock --values 'WIDGET-2,7'
+     provdb remote verify ws --as alice
+
+   Exit codes: 0 success; 1 operational error; 2 malformed argument;
+   3 verification or audit detected tampering. *)
 
 open Tep_store
 open Tep_tree
 open Tep_core
 open Cmdliner
-
-(* ------------------------------------------------------------------ *)
-(* Workspace persistence                                               *)
-(* ------------------------------------------------------------------ *)
-
-type workspace = {
-  dir : string;
-  ca : Tep_crypto.Pki.ca;
-  directory : Participant.Directory.t;
-  participants : (string * Participant.t) list;
-  engine : Engine.t;
-  wal : Wal.t;
-}
-
-let ( // ) = Filename.concat
-
-let read_file path =
-  let ic = open_in_bin path in
-  let s = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  s
-
-let write_file path s =
-  let oc = open_out_bin path in
-  output_string oc s;
-  close_out oc
-
-let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
-let ckpt_dir dir = dir // "checkpoints"
-let wal_path dir = dir // "wal.log"
-
-(* Shared domain pool for verification / audit / Merkle sweeps.  Size
-   comes from TEP_DOMAINS or the host's recommended domain count; on a
-   single-core host this degrades to the sequential code path. *)
-let pool () = Tep_parallel.Pool.default ()
-
-(* CA + participant credentials, shared by normal loads and by
-   [recover] (which rebuilds everything else from checkpoints). *)
-let load_identity dir =
-  if not (Sys.file_exists (dir // "ca")) then
-    fail "%s is not a provdb workspace (run `provdb init %s` first)" dir dir
-  else begin
-    match Tep_crypto.Pki.ca_of_string (read_file (dir // "ca")) with
-    | None -> fail "corrupt CA file"
-    | Some ca ->
-        let directory =
-          Participant.Directory.create
-            ~ca_key:(Tep_crypto.Pki.ca_public_key ca)
-        in
-        let pdir = dir // "participants" in
-        let participants =
-          if Sys.file_exists pdir then
-            Sys.readdir pdir |> Array.to_list |> List.sort compare
-            |> List.filter_map (fun f ->
-                   match Participant.of_string (read_file (pdir // f)) with
-                   | Some p ->
-                       Participant.Directory.register directory p;
-                       Some (Participant.name p, p)
-                   | None -> None)
-          else []
-        in
-        Ok (ca, directory, participants)
-  end
-
-let load_workspace dir =
-  match load_identity dir with
-  | Error e -> Error e
-  | Ok (ca, directory, participants) -> (
-      match Snapshot.load (dir // "backend.snap") with
-      | Error e -> fail "backend: %s" e
-      | Ok db -> (
-          match Provstore.of_string (read_file (dir // "prov.dat")) with
-          | Error e -> fail "provenance store: %s" e
-          | Ok prov ->
-              let forest, _ = Forest.decode (read_file (dir // "forest.dat")) 0 in
-              let view, _ =
-                Tree_view.decode (read_file (dir // "view.dat")) 0
-              in
-              let wal = Wal.open_file (wal_path dir) in
-              (* a non-empty log means the last session died before its
-                 checkpoint: its committed tail is only in the WAL *)
-              (match Wal.salvage_file (wal_path dir) with
-              | Ok sv when sv.Wal.entries <> [] ->
-                  Printf.eprintf
-                    "warning: %d un-checkpointed WAL frame(s) found — a \
-                     previous session crashed; run `provdb recover %s` to \
-                     replay them (continuing discards them at next save)\n"
-                    (List.length sv.Wal.entries) dir
-              | _ -> ());
-              let engine =
-                Engine.of_parts ~wal ~pool:(pool ()) ~provstore:prov
-                  ~directory ~forest ~view db
-              in
-              Ok { dir; ca; directory; participants; engine; wal }))
-
-let save_workspace ws =
-  let dir = ws.dir in
-  write_file (dir // "ca") (Tep_crypto.Pki.ca_to_string ws.ca);
-  (match Snapshot.save (Engine.backend ws.engine) (dir // "backend.snap") with
-  | Ok () -> ()
-  | Error e -> failwith e);
-  write_file (dir // "prov.dat") (Provstore.to_string (Engine.provstore ws.engine));
-  let buf = Buffer.create 4096 in
-  Forest.encode buf (Engine.forest ws.engine);
-  write_file (dir // "forest.dat") (Buffer.contents buf);
-  Buffer.clear buf;
-  Tree_view.encode buf (Engine.mapping ws.engine);
-  write_file (dir // "view.dat") (Buffer.contents buf);
-  (* checkpoint generation + WAL truncation: the crash-safe copy of
-     everything written above *)
-  match Recovery.checkpoint ~dir:(ckpt_dir dir) ~wal:ws.wal ws.engine with
-  | Ok _gen -> ()
-  | Error e -> failwith e
-
-let with_workspace ?(save = true) dir f =
-  match load_workspace dir with
-  | Error e ->
-      prerr_endline ("error: " ^ e);
-      1
-  | Ok ws -> (
-      match f ws with
-      | Ok msg ->
-          if save then save_workspace ws;
-          if msg <> "" then print_endline msg;
-          0
-      | Error e ->
-          prerr_endline ("error: " ^ e);
-          1)
-
-let get_participant ws name =
-  match List.assoc_opt name ws.participants with
-  | Some p -> Ok p
-  | None ->
-      fail "no participant %s (add with `provdb participant %s %s`)" name
-        ws.dir name
+open Workspace
 
 (* ------------------------------------------------------------------ *)
 (* Value / schema parsing                                              *)
@@ -164,22 +40,25 @@ let parse_value ty s =
   | Value.TInt -> (
       match int_of_string_opt s with
       | Some i -> Ok (Value.Int i)
-      | None -> if s = "NULL" then Ok Value.Null else fail "not an int: %s" s)
+      | None ->
+          if s = "NULL" then Ok Value.Null else fail_usage "not an int: %s" s)
   | Value.TFloat -> (
       match float_of_string_opt s with
       | Some f -> Ok (Value.Float f)
-      | None -> if s = "NULL" then Ok Value.Null else fail "not a float: %s" s)
+      | None ->
+          if s = "NULL" then Ok Value.Null else fail_usage "not a float: %s" s)
   | Value.TBool -> (
       match bool_of_string_opt s with
       | Some b -> Ok (Value.Bool b)
-      | None -> if s = "NULL" then Ok Value.Null else fail "not a bool: %s" s)
+      | None ->
+          if s = "NULL" then Ok Value.Null else fail_usage "not a bool: %s" s)
   | Value.TText -> Ok (if s = "NULL" then Value.Null else Value.Text s)
   | Value.TBlob -> Ok (Value.Blob s)
 
 (* "name:col1,col2@int,col3@text" -> table name + schema *)
 let parse_table_spec spec =
   match String.index_opt spec ':' with
-  | None -> fail "table spec must be name:col[,col...]: %s" spec
+  | None -> fail_usage "table spec must be name:col[,col...]: %s" spec
   | Some i ->
       let name = String.sub spec 0 i in
       let cols =
@@ -187,7 +66,7 @@ let parse_table_spec spec =
           (String.sub spec (i + 1) (String.length spec - i - 1))
       in
       if cols = [] || List.exists (fun c -> c = "") cols then
-        fail "empty column in %s" spec
+        fail_usage "empty column in %s" spec
       else begin
         let parse_col c =
           match String.split_on_char '@' c with
@@ -201,7 +80,7 @@ let parse_table_spec spec =
         in
         match List.map parse_col cols with
         | cols -> Ok (name, Schema.make cols)
-        | exception Failure e -> Error e
+        | exception Failure e -> fail_usage "%s" e
       end
 
 let locate_oid ws ~table ~row ~col =
@@ -211,16 +90,16 @@ let locate_oid ws ~table ~row ~col =
   | Some t, None, None -> (
       match Tree_view.table_oid m t with
       | Some o -> Ok o
-      | None -> fail "no table %s" t)
+      | None -> fail_usage "no table %s" t)
   | Some t, Some r, None -> (
       match Tree_view.row_oid m t r with
       | Some o -> Ok o
-      | None -> fail "no row %d in %s" r t)
+      | None -> fail_usage "no row %d in %s" r t)
   | Some t, Some r, Some c -> (
       match Tree_view.cell_oid m t r c with
       | Some o -> Ok o
-      | None -> fail "no cell (%s, %d, %d)" t r c)
-  | _ -> fail "--row/--col require --table"
+      | None -> fail_usage "no cell (%s, %d, %d)" t r c)
+  | _ -> fail_usage "--row/--col require --table"
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
@@ -229,7 +108,7 @@ let locate_oid ws ~table ~row ~col =
 let cmd_init dir tables seed =
   if Sys.file_exists (dir // "ca") then begin
     prerr_endline "error: workspace already initialised";
-    1
+    exit_fail
   end
   else begin
     (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -248,24 +127,24 @@ let cmd_init dir tables seed =
       | [] -> Ok ()
       | spec :: rest -> (
           match parse_table_spec spec with
-          | Error e -> Error e
+          | Error f -> Error f
           | Ok (name, schema) -> (
               match Database.create_table db ~name schema with
               | Ok _ -> add_tables rest
-              | Error e -> Error e))
+              | Error e -> Error (Fail e)))
     in
     match add_tables tables with
-    | Error e ->
-        prerr_endline ("error: " ^ e);
-        1
+    | Error f ->
+        report_failure f;
+        code_of_failure f
     | Ok () ->
         let wal = Wal.open_file (wal_path dir) in
         let engine = Engine.create ~wal ~pool:(pool ()) ~directory db in
         let ws = { dir; ca; directory; participants = []; engine; wal } in
-        save_workspace ws;
+        save ws;
         Printf.printf "initialised %s with %d table(s)\n" dir
           (List.length tables);
-        0
+        exit_ok
   end
 
 let cmd_participant dir name seed =
@@ -285,57 +164,56 @@ let cmd_participant dir name seed =
              (Participant.key_fingerprint p))
       end)
 
+let parse_cells tbl values =
+  let cols = Schema.columns (Table.schema tbl) in
+  let raw = String.split_on_char ',' values in
+  if List.length raw <> List.length cols then
+    fail_usage "expected %d values, got %d" (List.length cols) (List.length raw)
+  else begin
+    let rec build acc cols raw =
+      match (cols, raw) with
+      | [], [] -> Ok (Array.of_list (List.rev acc))
+      | c :: cs, v :: vs -> (
+          match parse_value c.Schema.ty v with
+          | Ok v -> build (v :: acc) cs vs
+          | Error f -> Error f)
+      | _ -> fail_usage "arity"
+    in
+    build [] cols raw
+  end
+
 let cmd_insert dir as_ table values =
   with_workspace dir (fun ws ->
       match get_participant ws as_ with
-      | Error e -> Error e
+      | Error f -> Error f
       | Ok p -> (
           match Database.get_table (Engine.backend ws.engine) table with
-          | None -> fail "no table %s" table
+          | None -> fail_usage "no table %s" table
           | Some tbl -> (
-              let cols = Schema.columns (Table.schema tbl) in
-              let raw = String.split_on_char ',' values in
-              if List.length raw <> List.length cols then
-                fail "expected %d values, got %d" (List.length cols)
-                  (List.length raw)
-              else begin
-                let rec build acc cols raw =
-                  match (cols, raw) with
-                  | [], [] -> Ok (List.rev acc)
-                  | c :: cs, v :: vs -> (
-                      match parse_value c.Schema.ty v with
-                      | Ok v -> build (v :: acc) cs vs
-                      | Error e -> Error e)
-                  | _ -> Error "arity"
-                in
-                match build [] cols raw with
-                | Error e -> Error e
-                | Ok cells -> (
-                    match
-                      Engine.insert_row ws.engine p ~table
-                        (Array.of_list cells)
-                    with
-                    | Ok row ->
-                        Ok
-                          (Printf.sprintf "inserted row %d (%d records)" row
-                             (Engine.last_metrics ws.engine).Engine.records_emitted)
-                    | Error e -> Error e)
-              end)))
+              match parse_cells tbl values with
+              | Error f -> Error f
+              | Ok cells -> (
+                  match Engine.insert_row ws.engine p ~table cells with
+                  | Ok row ->
+                      Ok
+                        (Printf.sprintf "inserted row %d (%d records)" row
+                           (Engine.last_metrics ws.engine).Engine.records_emitted)
+                  | Error e -> fail "%s" e))))
 
 let cmd_update dir as_ table row column value =
   with_workspace dir (fun ws ->
       match get_participant ws as_ with
-      | Error e -> Error e
+      | Error f -> Error f
       | Ok p -> (
           match Database.get_table (Engine.backend ws.engine) table with
-          | None -> fail "no table %s" table
+          | None -> fail_usage "no table %s" table
           | Some tbl -> (
               match Schema.column_index (Table.schema tbl) column with
-              | None -> fail "no column %s in %s" column table
+              | None -> fail_usage "no column %s in %s" column table
               | Some col -> (
                   let ty = (Schema.column_at (Table.schema tbl) col).Schema.ty in
                   match parse_value ty value with
-                  | Error e -> Error e
+                  | Error f -> Error f
                   | Ok v -> (
                       match
                         Engine.update_cell ws.engine p ~table ~row ~col v
@@ -345,12 +223,12 @@ let cmd_update dir as_ table row column value =
                             (Printf.sprintf "updated %s[%d].%s (%d records)"
                                table row column
                                (Engine.last_metrics ws.engine).Engine.records_emitted)
-                      | Error e -> Error e)))))
+                      | Error e -> fail "%s" e)))))
 
 let cmd_delete dir as_ table row =
   with_workspace dir (fun ws ->
       match get_participant ws as_ with
-      | Error e -> Error e
+      | Error f -> Error f
       | Ok p -> (
           match Engine.delete_row ws.engine p ~table row with
           | Ok () ->
@@ -358,15 +236,15 @@ let cmd_delete dir as_ table row =
                 (Printf.sprintf "deleted %s[%d] (%d inherited records)" table
                    row
                    (Engine.last_metrics ws.engine).Engine.records_emitted)
-          | Error e -> Error e))
+          | Error e -> fail "%s" e))
 
 let cmd_verify dir table row col =
-  with_workspace ~save:false dir (fun ws ->
+  with_workspace ~save_after:false dir (fun ws ->
       match locate_oid ws ~table ~row ~col with
-      | Error e -> Error e
+      | Error f -> Error f
       | Ok oid -> (
           match Engine.verify_object ws.engine oid with
-          | Error e -> Error e
+          | Error e -> fail "%s" e
           | Ok report ->
               (* With no target narrowing, additionally audit every
                  stored record (catches corruption in chains that are
@@ -382,15 +260,15 @@ let cmd_verify dir table row col =
               if table = None && not (Verifier.ok audit) then
                 Format.printf "store audit: %a@." Verifier.pp_report audit;
               if Verifier.ok report && Verifier.ok audit then Ok ""
-              else Error "verification failed"))
+              else fail_verify "verification failed"))
 
 let cmd_show dir table row col dot =
-  with_workspace ~save:false dir (fun ws ->
+  with_workspace ~save_after:false dir (fun ws ->
       match locate_oid ws ~table ~row ~col with
-      | Error e -> Error e
+      | Error f -> Error f
       | Ok oid -> (
           match Engine.deliver ws.engine oid with
-          | Error e -> Error e
+          | Error e -> fail "%s" e
           | Ok (_, records) ->
               if dot then print_string (Dag.to_dot (Dag.build records))
               else
@@ -398,7 +276,7 @@ let cmd_show dir table row col dot =
               Ok ""))
 
 let cmd_stats dir =
-  with_workspace ~save:false dir (fun ws ->
+  with_workspace ~save_after:false dir (fun ws ->
       let prov = Engine.provstore ws.engine in
       let db = Engine.backend ws.engine in
       Printf.printf "tables:              %s\n"
@@ -417,7 +295,7 @@ let cmd_stats dir =
       Ok "")
 
 let cmd_tamper dir attack =
-  with_workspace ~save:(attack = "data") dir (fun ws ->
+  with_workspace ~save_after:(attack = "data") dir (fun ws ->
       match attack with
       | "data" -> (
           (* mutate a cell behind the engine's back *)
@@ -433,7 +311,7 @@ let cmd_tamper dir attack =
           | cell :: _ ->
               ignore (Forest.update forest cell (Value.Text "TAMPERED"));
               Ok "silently modified one cell; run `provdb verify` to see detection"
-          | [] -> Error "no cells to tamper with")
+          | [] -> fail "no cells to tamper with")
       | "provenance" ->
           let path = ws.dir // "prov.dat" in
           let s = Bytes.of_string (read_file path) in
@@ -442,18 +320,18 @@ let cmd_tamper dir attack =
             (Char.chr (Char.code (Bytes.get s mid) lxor 1));
           write_file path (Bytes.to_string s);
           Ok "flipped one byte of prov.dat; the next load will reject it"
-      | other -> fail "unknown attack %s (known: data, provenance)" other)
+      | other -> fail_usage "unknown attack %s (known: data, provenance)" other)
 
 let cmd_export dir table row col deep out =
-  with_workspace ~save:false dir (fun ws ->
+  with_workspace ~save_after:false dir (fun ws ->
       match locate_oid ws ~table ~row ~col with
-      | Error e -> Error e
+      | Error f -> Error f
       | Ok oid -> (
           match Bundle.create ~deep ws.engine oid with
-          | Error e -> Error e
+          | Error e -> fail "%s" e
           | Ok b -> (
               match Bundle.save b out with
-              | Error e -> Error e
+              | Error e -> fail "%s" e
               | Ok () ->
                   Ok
                     (Printf.sprintf
@@ -468,7 +346,7 @@ let cmd_check path ca_key_file =
   match Bundle.load path with
   | Error e ->
       prerr_endline ("error: " ^ e);
-      1
+      exit_fail
   | Ok b -> (
       let trusted_ca =
         match ca_key_file with
@@ -476,24 +354,29 @@ let cmd_check path ca_key_file =
             prerr_endline
               "warning: trusting the CA key embedded in the bundle; pass \
                --ca-key for an out-of-band trust anchor";
-            None
+            Ok None
         | Some f -> (
             match Tep_crypto.Rsa.public_of_string (String.trim (read_file f)) with
-            | Some k -> Some k
-            | None -> failwith "unreadable CA key file")
+            | Some k -> Ok (Some k)
+            | None -> fail_usage "unreadable CA key file %s" f)
       in
-      let report = Bundle.verify ?trusted_ca b in
-      Format.printf "%a@." Verifier.pp_report report;
-      if Verifier.ok report then 0 else 1)
+      match trusted_ca with
+      | Error f ->
+          report_failure f;
+          code_of_failure f
+      | Ok trusted_ca ->
+          let report = Bundle.verify ?trusted_ca b in
+          Format.printf "%a@." Verifier.pp_report report;
+          if Verifier.ok report then exit_ok else exit_verify)
 
 let cmd_ca_key dir =
-  with_workspace ~save:false dir (fun ws ->
+  with_workspace ~save_after:false dir (fun ws ->
       Ok
         (Tep_crypto.Rsa.public_to_string
            (Participant.Directory.ca_key ws.directory)))
 
 let cmd_audit dir =
-  with_workspace ~save:false dir (fun ws ->
+  with_workspace ~save_after:false dir (fun ws ->
       let ckpt_path = ws.dir // "audit.ckpt" in
       let cp =
         if Sys.file_exists ckpt_path then
@@ -511,10 +394,10 @@ let cmd_audit dir =
       Printf.printf "examined %d new record(s); checkpoint covers %d object(s)\n"
         examined (Audit.objects cp');
       write_file ckpt_path (Audit.to_string cp');
-      if Verifier.ok report then Ok "" else Error "audit failed")
+      if Verifier.ok report then Ok "" else fail_verify "audit failed")
 
 let cmd_prune dir =
-  with_workspace ~save:false dir (fun ws ->
+  with_workspace ~save_after:false dir (fun ws ->
       let prov = Engine.provstore ws.engine in
       let before = Provstore.record_count prov in
       let live = ref [] in
@@ -543,7 +426,7 @@ let parse_predicate schema input =
     let ops = [ ("<=", Query.Le); (">=", Query.Ge); ("<>", Query.Ne);
                 ("=", Query.Eq); ("<", Query.Lt); (">", Query.Gt) ] in
     let rec try_ops = function
-      | [] -> Error (Printf.sprintf "cannot parse %S" atom)
+      | [] -> fail_usage "cannot parse %S" atom
       | (sym, op) :: rest -> (
           match String.index_opt atom sym.[0] with
           | Some i
@@ -557,12 +440,12 @@ let parse_predicate schema input =
                      (String.length atom - i - String.length sym))
               in
               (match Schema.column_index schema col with
-              | None -> Error (Printf.sprintf "unknown column %s" col)
+              | None -> fail_usage "unknown column %s" col
               | Some ci -> (
                   let ty = (Schema.column_at schema ci).Schema.ty in
                   match parse_value ty rhs with
                   | Ok v -> Ok (Query.Cmp (col, op, v))
-                  | Error e -> Error e))
+                  | Error f -> Error f))
           | _ -> try_ops rest)
     in
     (* "col is null" special form *)
@@ -570,7 +453,7 @@ let parse_predicate schema input =
     | a when Filename.check_suffix a " is null" ->
         let col = String.trim (String.sub atom 0 (String.length atom - 8)) in
         if Schema.column_index schema col = None then
-          Error (Printf.sprintf "unknown column %s" col)
+          fail_usage "unknown column %s" col
         else Ok (Query.IsNull col)
     | _ -> try_ops ops
   in
@@ -593,14 +476,14 @@ let parse_predicate schema input =
   List.fold_left
     (fun acc atom ->
       match (acc, parse_atom atom) with
-      | Error e, _ | _, Error e -> Error e
+      | Error f, _ | _, Error f -> Error f
       | Ok p, Ok a -> Ok (Query.And (p, a)))
     (Ok Query.True) atoms
 
 let cmd_select dir table where blame =
-  with_workspace ~save:false dir (fun ws ->
+  with_workspace ~save_after:false dir (fun ws ->
       match Database.get_table (Engine.backend ws.engine) table with
-      | None -> fail "no table %s" table
+      | None -> fail_usage "no table %s" table
       | Some tbl -> (
           let schema = Table.schema tbl in
           let pred =
@@ -609,10 +492,10 @@ let cmd_select dir table where blame =
             | Some w -> parse_predicate schema w
           in
           match pred with
-          | Error e -> Error e
+          | Error f -> Error f
           | Ok pred -> (
               match Query.select tbl pred with
-              | Error e -> Error e
+              | Error e -> fail "%s" e
               | Ok rows ->
                   let cols = Schema.columns schema in
                   let row_blame r =
@@ -646,11 +529,11 @@ let cmd_select dir table where blame =
                   Ok "")))
 
 let cmd_checkpoint dir keep =
-  with_workspace ~save:false dir (fun ws ->
+  with_workspace ~save_after:false dir (fun ws ->
       match
         Recovery.checkpoint ?keep ~dir:(ckpt_dir ws.dir) ~wal:ws.wal ws.engine
       with
-      | Error e -> Error e
+      | Error e -> fail "%s" e
       | Ok gen ->
           Ok
             (Printf.sprintf
@@ -664,35 +547,219 @@ let cmd_checkpoint dir keep =
    `tamper --attack provenance` wrecks prov.dat. *)
 let cmd_recover dir =
   match load_identity dir with
-  | Error e ->
-      prerr_endline ("error: " ^ e);
-      1
+  | Error f ->
+      report_failure f;
+      code_of_failure f
   | Ok (ca, directory, participants) -> (
       match
-        (* save_workspace below writes the post-recovery checkpoint,
+        (* Workspace.save below writes the post-recovery checkpoint,
            so recover itself need not *)
         Recovery.recover ~final_checkpoint:false ~pool:(pool ())
           ~dir:(ckpt_dir dir) ~wal_path:(wal_path dir) ~directory ()
       with
       | Error e ->
           prerr_endline ("error: " ^ e);
-          1
+          exit_fail
       | Ok (engine, wal, report) ->
           Format.printf "%a@." Recovery.pp_report report;
           let ws = { dir; ca; directory; participants; engine; wal } in
-          save_workspace ws;
+          save ws;
           print_endline "workspace files rewritten from recovered state";
-          if report.Recovery.hash_verified then 0
+          if report.Recovery.hash_verified then exit_ok
           else begin
             prerr_endline
               "error: recovered root hash does not match committed \
                provenance — run `provdb verify` to locate the tampering";
-            1
+            exit_verify
           end)
+
+(* ------------------------------------------------------------------ *)
+(* Remote commands (against a running provdbd)                         *)
+(* ------------------------------------------------------------------ *)
+
+module Client = Tep_client.Client
+module Message = Tep_wire.Message
+
+(* The daemon types values against the live schema, so the remote CLI
+   only guesses from syntax: int, then float, then bool, else text. *)
+let guess_value s =
+  if s = "NULL" then Value.Null
+  else
+    match int_of_string_opt s with
+    | Some i -> Value.Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Value.Float f
+        | None -> (
+            match bool_of_string_opt s with
+            | Some b -> Value.Bool b
+            | None -> Value.Text s))
+
+let parse_oid s =
+  match int_of_string_opt s with
+  | Some n when n >= 0 -> Ok (Oid.of_int n)
+  | _ -> fail_usage "not an oid: %s" s
+
+let print_report r =
+  let s = Message.render_report r in
+  if String.length s > 0 && s.[String.length s - 1] = '\n' then print_string s
+  else print_endline s
+
+(* Load the named participant's credential (the same file `provdb
+   participant` wrote), connect, authenticate, run, close. *)
+let with_remote dir socket host port as_ key f =
+  let key_file =
+    match key with Some f -> f | None -> dir // "participants" // as_
+  in
+  let outcome =
+    if not (Sys.file_exists key_file) then
+      fail_usage "no credential file %s (pass --key, or add the participant)"
+        key_file
+    else
+      match Participant.of_string (read_file key_file) with
+      | None -> fail "unreadable participant credential %s" key_file
+      | Some p -> (
+          let conn =
+            match port with
+            | Some port -> Client.connect_tcp ~host ~port ()
+            | None ->
+                Client.connect_unix
+                  (Option.value socket ~default:(socket_path dir))
+          in
+          match conn with
+          | Error e -> fail "%s" e
+          | Ok c ->
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () ->
+                  match Client.authenticate c p with
+                  | Error e -> fail "authentication failed: %s" e
+                  | Ok () -> f c))
+  in
+  match outcome with
+  | Ok msg ->
+      if msg <> "" then print_endline msg;
+      exit_ok
+  | Error f ->
+      report_failure f;
+      code_of_failure f
+
+let lift_remote = function Ok v -> Ok v | Error e -> Error (Fail e)
+
+let cmd_remote_insert dir socket host port as_ key table values =
+  with_remote dir socket host port as_ key (fun c ->
+      let cells =
+        Array.of_list (List.map guess_value (String.split_on_char ',' values))
+      in
+      match Client.insert c ~table cells with
+      | Ok (row, records) ->
+          Ok (Printf.sprintf "inserted row %d (%d records)" row records)
+      | Error e -> fail "%s" e)
+
+let cmd_remote_update dir socket host port as_ key table row col value =
+  with_remote dir socket host port as_ key (fun c ->
+      match Client.update c ~table ~row ~col (guess_value value) with
+      | Ok records ->
+          Ok (Printf.sprintf "updated %s[%d].%d (%d records)" table row col records)
+      | Error e -> fail "%s" e)
+
+let cmd_remote_delete dir socket host port as_ key table row =
+  with_remote dir socket host port as_ key (fun c ->
+      match Client.delete c ~table ~row with
+      | Ok records ->
+          Ok (Printf.sprintf "deleted %s[%d] (%d inherited records)" table row records)
+      | Error e -> fail "%s" e)
+
+let cmd_remote_aggregate dir socket host port as_ key oids value =
+  with_remote dir socket host port as_ key (fun c ->
+      let rec parse acc = function
+        | [] -> Ok (List.rev acc)
+        | s :: rest -> (
+            match parse_oid s with
+            | Ok o -> parse (o :: acc) rest
+            | Error f -> Error f)
+      in
+      match parse [] (String.split_on_char ',' oids) with
+      | Error f -> Error f
+      | Ok inputs -> (
+          let value = Option.map guess_value value in
+          match Client.aggregate c ?value inputs with
+          | Ok (oid, records) ->
+              Ok
+                (Printf.sprintf "aggregate object %s (%d records)"
+                   (Oid.to_string oid) records)
+          | Error e -> fail "%s" e))
+
+let cmd_remote_query dir socket host port as_ key oid =
+  with_remote dir socket host port as_ key (fun c ->
+      let oid = Option.map Oid.of_int oid in
+      match Client.query c ?oid () with
+      | Ok records ->
+          List.iter (fun r -> Format.printf "%a@." Record.pp r) records;
+          Ok ""
+      | Error e -> fail "%s" e)
+
+let cmd_remote_verify dir socket host port as_ key oid =
+  with_remote dir socket host port as_ key (fun c ->
+      let oid = Option.map Oid.of_int oid in
+      match Client.verify c ?oid () with
+      | Ok (report, store_audit) ->
+          print_report report;
+          let audit_ok =
+            match store_audit with
+            | None -> true
+            | Some a ->
+                if not (Message.report_ok a) then begin
+                  print_string "store audit: ";
+                  print_report a
+                end;
+                Message.report_ok a
+          in
+          if Message.report_ok report && audit_ok then Ok ""
+          else fail_verify "verification failed"
+      | Error e -> fail "%s" e)
+
+let cmd_remote_audit dir socket host port as_ key =
+  with_remote dir socket host port as_ key (fun c ->
+      match Client.audit c with
+      | Ok (report, examined, objects) ->
+          print_report report;
+          Printf.printf
+            "examined %d new record(s); checkpoint covers %d object(s)\n"
+            examined objects;
+          if Message.report_ok report then Ok "" else fail_verify "audit failed"
+      | Error e -> fail "%s" e)
+
+let cmd_remote_checkpoint dir socket host port as_ key =
+  with_remote dir socket host port as_ key (fun c ->
+      match Client.checkpoint c with
+      | Ok (generation, lsn) ->
+          Ok
+            (Printf.sprintf "wrote checkpoint generation %d (lsn %d)" generation
+               lsn)
+      | Error e -> fail "%s" e)
+
+let cmd_remote_root_hash dir socket host port as_ key =
+  with_remote dir socket host port as_ key (fun c ->
+      match lift_remote (Client.root_hash c) with
+      | Ok hash -> Ok (Tep_crypto.Digest_algo.to_hex hash)
+      | Error f -> Error f)
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner plumbing                                                   *)
 (* ------------------------------------------------------------------ *)
+
+let exits =
+  Cmd.Exit.info exit_fail
+    ~doc:"on operational errors (I/O failures, corrupt state, rejected \
+          engine operations)."
+  :: Cmd.Exit.info exit_usage
+       ~doc:"on malformed arguments: unparseable values, bad table/column \
+             specs, unknown tables, rows, participants or attacks."
+  :: Cmd.Exit.info exit_verify
+       ~doc:"when verification, audit or recovery cross-checks detect \
+             tampering."
+  :: Cmd.Exit.defaults
 
 let dir_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKSPACE")
@@ -711,21 +778,22 @@ let init_cmd =
     Arg.(value & opt_all string [] & info [ "table" ] ~docv:"NAME:COL[@TYPE],...")
   in
   let seed = Arg.(value & opt (some string) None & info [ "seed" ]) in
-  Cmd.v (Cmd.info "init" ~doc:"Create a workspace")
+  Cmd.v (Cmd.info "init" ~doc:"Create a workspace" ~exits)
     Term.(const cmd_init $ dir_arg $ tables $ seed)
 
 let participant_cmd =
   let pname = Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME") in
   let seed = Arg.(value & opt (some string) None & info [ "seed" ]) in
   Cmd.v
-    (Cmd.info "participant" ~doc:"Register a participant (generates a keypair)")
+    (Cmd.info "participant" ~doc:"Register a participant (generates a keypair)"
+       ~exits)
     Term.(const cmd_participant $ dir_arg $ pname $ seed)
 
 let insert_cmd =
   let values =
     Arg.(required & opt (some string) None & info [ "values" ] ~docv:"V1,V2,...")
   in
-  Cmd.v (Cmd.info "insert" ~doc:"Insert a row")
+  Cmd.v (Cmd.info "insert" ~doc:"Insert a row" ~exits)
     Term.(const cmd_insert $ dir_arg $ as_arg $ table_req $ values)
 
 let update_cmd =
@@ -733,26 +801,29 @@ let update_cmd =
     Arg.(required & opt (some string) None & info [ "column" ] ~docv:"NAME")
   in
   let value = Arg.(required & opt (some string) None & info [ "value" ]) in
-  Cmd.v (Cmd.info "update" ~doc:"Update one cell")
+  Cmd.v (Cmd.info "update" ~doc:"Update one cell" ~exits)
     Term.(const cmd_update $ dir_arg $ as_arg $ table_req $ row_req $ column $ value)
 
 let delete_cmd =
-  Cmd.v (Cmd.info "delete" ~doc:"Delete a row")
+  Cmd.v (Cmd.info "delete" ~doc:"Delete a row" ~exits)
     Term.(const cmd_delete $ dir_arg $ as_arg $ table_req $ row_req)
 
 let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
-       ~doc:"Verify provenance (whole database, or --table/--row/--col)")
+       ~doc:
+         "Verify provenance (whole database, or --table/--row/--col).  \
+          Exits 3 when tampering is detected."
+       ~exits)
     Term.(const cmd_verify $ dir_arg $ table_opt $ row_opt $ col_opt)
 
 let show_cmd =
   let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Graphviz output") in
-  Cmd.v (Cmd.info "show" ~doc:"Print an object's provenance records")
+  Cmd.v (Cmd.info "show" ~doc:"Print an object's provenance records" ~exits)
     Term.(const cmd_show $ dir_arg $ table_opt $ row_opt $ col_opt $ dot)
 
 let stats_cmd =
-  Cmd.v (Cmd.info "stats" ~doc:"Workspace statistics")
+  Cmd.v (Cmd.info "stats" ~doc:"Workspace statistics" ~exits)
     Term.(const cmd_stats $ dir_arg)
 
 let export_cmd =
@@ -763,7 +834,8 @@ let export_cmd =
     Arg.(value & flag & info [ "deep" ] ~doc:"Include descendants' provenance")
   in
   Cmd.v
-    (Cmd.info "export" ~doc:"Export an object + provenance as a portable bundle")
+    (Cmd.info "export" ~doc:"Export an object + provenance as a portable bundle"
+       ~exits)
     Term.(const cmd_export $ dir_arg $ table_opt $ row_opt $ col_opt $ deep $ out)
 
 let check_cmd =
@@ -771,23 +843,29 @@ let check_cmd =
   let ca_key = Arg.(value & opt (some string) None & info [ "ca-key" ] ~docv:"FILE") in
   Cmd.v
     (Cmd.info "check"
-       ~doc:"Verify a bundle as a data recipient (no workspace needed)")
+       ~doc:
+         "Verify a bundle as a data recipient (no workspace needed).  \
+          Exits 3 when the bundle fails verification."
+       ~exits)
     Term.(const cmd_check $ path $ ca_key)
 
 let ca_key_cmd =
-  Cmd.v (Cmd.info "ca-key" ~doc:"Print the workspace CA public key")
+  Cmd.v (Cmd.info "ca-key" ~doc:"Print the workspace CA public key" ~exits)
     Term.(const cmd_ca_key $ dir_arg)
 
 let audit_cmd =
   Cmd.v
     (Cmd.info "audit"
-       ~doc:"Incremental audit: verify only records added since the last audit")
+       ~doc:
+         "Incremental audit: verify only records added since the last \
+          audit.  Exits 3 when tampering is detected."
+       ~exits)
     Term.(const cmd_audit $ dir_arg)
 
 let prune_cmd =
   Cmd.v
     (Cmd.info "prune"
-       ~doc:"Drop provenance of deleted objects (keeps cited prefixes)")
+       ~doc:"Drop provenance of deleted objects (keeps cited prefixes)" ~exits)
     Term.(const cmd_prune $ dir_arg)
 
 let select_cmd =
@@ -798,7 +876,7 @@ let select_cmd =
   let blame =
     Arg.(value & flag & info [ "blame" ] ~doc:"Append a last-writer column")
   in
-  Cmd.v (Cmd.info "select" ~doc:"Query a table")
+  Cmd.v (Cmd.info "select" ~doc:"Query a table" ~exits)
     Term.(const cmd_select $ dir_arg $ table_req $ where $ blame)
 
 let checkpoint_cmd =
@@ -808,7 +886,7 @@ let checkpoint_cmd =
   in
   Cmd.v
     (Cmd.info "checkpoint"
-       ~doc:"Write a checkpoint generation and truncate the WAL")
+       ~doc:"Write a checkpoint generation and truncate the WAL" ~exits)
     Term.(const cmd_checkpoint $ dir_arg $ keep)
 
 let recover_cmd =
@@ -816,20 +894,114 @@ let recover_cmd =
     (Cmd.info "recover"
        ~doc:
          "Rebuild the workspace from the newest valid checkpoint plus the \
-          WAL tail (crash recovery)")
+          WAL tail (crash recovery).  Exits 3 when the recovered root hash \
+          fails its cross-checks."
+       ~exits)
     Term.(const cmd_recover $ dir_arg)
 
 let tamper_cmd =
   let attack =
     Arg.(required & opt (some string) None & info [ "attack" ] ~docv:"data|provenance")
   in
-  Cmd.v (Cmd.info "tamper" ~doc:"Inject tampering (for demonstrations)")
+  Cmd.v (Cmd.info "tamper" ~doc:"Inject tampering (for demonstrations)" ~exits)
     Term.(const cmd_tamper $ dir_arg $ attack)
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket (default: WORKSPACE/provdbd.sock)")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST")
+
+let port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "port" ] ~docv:"PORT" ~doc:"Connect over TCP instead")
+
+let key_arg =
+  Arg.(value & opt (some string) None
+       & info [ "key" ] ~docv:"FILE"
+           ~doc:
+             "Participant credential file (default: \
+              WORKSPACE/participants/PARTICIPANT)")
+
+let remote_cmd =
+  let values =
+    Arg.(required & opt (some string) None & info [ "values" ] ~docv:"V1,V2,...")
+  in
+  let value_req = Arg.(required & opt (some string) None & info [ "value" ]) in
+  let value_opt = Arg.(value & opt (some string) None & info [ "value" ]) in
+  let oids =
+    Arg.(required & opt (some string) None & info [ "oids" ] ~docv:"OID,OID,...")
+  in
+  let oid_opt = Arg.(value & opt (some int) None & info [ "oid" ] ~docv:"OID") in
+  Cmd.group
+    (Cmd.info "remote"
+       ~doc:
+         "Operate on a running provdbd daemon over its authenticated wire \
+          protocol"
+       ~exits)
+    [
+      Cmd.v (Cmd.info "insert" ~doc:"Insert a row over the wire" ~exits)
+        Term.(
+          const cmd_remote_insert $ dir_arg $ socket_arg $ host_arg $ port_arg
+          $ as_arg $ key_arg $ table_req $ values);
+      Cmd.v (Cmd.info "update" ~doc:"Update one cell over the wire" ~exits)
+        Term.(
+          const cmd_remote_update $ dir_arg $ socket_arg $ host_arg $ port_arg
+          $ as_arg $ key_arg $ table_req $ row_req
+          $ Arg.(required & opt (some int) None & info [ "col" ] ~docv:"INDEX")
+          $ value_req);
+      Cmd.v (Cmd.info "delete" ~doc:"Delete a row over the wire" ~exits)
+        Term.(
+          const cmd_remote_delete $ dir_arg $ socket_arg $ host_arg $ port_arg
+          $ as_arg $ key_arg $ table_req $ row_req);
+      Cmd.v
+        (Cmd.info "aggregate" ~doc:"Aggregate objects over the wire" ~exits)
+        Term.(
+          const cmd_remote_aggregate $ dir_arg $ socket_arg $ host_arg
+          $ port_arg $ as_arg $ key_arg $ oids $ value_opt);
+      Cmd.v
+        (Cmd.info "query" ~doc:"Fetch an object's provenance records" ~exits)
+        Term.(
+          const cmd_remote_query $ dir_arg $ socket_arg $ host_arg $ port_arg
+          $ as_arg $ key_arg $ oid_opt);
+      Cmd.v
+        (Cmd.info "verify"
+           ~doc:
+             "Run server-side verification and print the report.  Exits 3 \
+              when tampering is detected."
+           ~exits)
+        Term.(
+          const cmd_remote_verify $ dir_arg $ socket_arg $ host_arg $ port_arg
+          $ as_arg $ key_arg $ oid_opt);
+      Cmd.v
+        (Cmd.info "audit"
+           ~doc:
+             "Run a server-side incremental audit.  Exits 3 when tampering \
+              is detected."
+           ~exits)
+        Term.(
+          const cmd_remote_audit $ dir_arg $ socket_arg $ host_arg $ port_arg
+          $ as_arg $ key_arg);
+      Cmd.v
+        (Cmd.info "checkpoint" ~doc:"Ask the daemon to checkpoint" ~exits)
+        Term.(
+          const cmd_remote_checkpoint $ dir_arg $ socket_arg $ host_arg
+          $ port_arg $ as_arg $ key_arg);
+      Cmd.v
+        (Cmd.info "root-hash" ~doc:"Print the daemon's current root hash"
+           ~exits)
+        Term.(
+          const cmd_remote_root_hash $ dir_arg $ socket_arg $ host_arg
+          $ port_arg $ as_arg $ key_arg);
+    ]
 
 let () =
   let info =
     Cmd.info "provdb" ~version:"1.0.0"
       ~doc:"Tamper-evident database provenance (Zhang/Chapman/LeFevre 2009)"
+      ~exits
   in
   exit
     (Cmd.eval'
@@ -852,4 +1024,5 @@ let () =
             tamper_cmd;
             checkpoint_cmd;
             recover_cmd;
+            remote_cmd;
           ]))

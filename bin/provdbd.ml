@@ -1,0 +1,74 @@
+(* provdbd — the provenance service daemon.
+
+   Loads a provdb workspace, serves the authenticated wire protocol on
+   a Unix-domain socket (default WORKSPACE/provdbd.sock) and
+   optionally a loopback TCP port, and persists the workspace —
+   snapshot, provenance store, checkpoint generation, WAL truncation —
+   on clean shutdown (SIGINT / SIGTERM).
+
+     provdbd ws
+     provdbd ws --socket /tmp/prov.sock --port 7441
+
+   Clients authenticate as PKI-registered participants (`provdb
+   remote --as NAME ...`); the daemon signs the operations they submit
+   with the workspace copy of that participant's key. *)
+
+open Cmdliner
+open Workspace
+module Server = Tep_server.Server
+
+let run dir socket port =
+  match load dir with
+  | Error f ->
+      report_failure f;
+      code_of_failure f
+  | Ok ws ->
+      let server =
+        Server.create ~pool:(pool ())
+          ~checkpoint:(ckpt_dir dir, ws.wal)
+          ~participants:ws.participants ws.engine
+      in
+      let stop = Atomic.make false in
+      List.iter
+        (fun s ->
+          Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set stop true)))
+        [ Sys.sigint; Sys.sigterm ];
+      let sock = Option.value socket ~default:(socket_path dir) in
+      let threads =
+        Thread.create (fun () -> Server.serve_unix server ~path:sock ~stop) ()
+        ::
+        (match port with
+        | None -> []
+        | Some port ->
+            [ Thread.create (fun () -> Server.serve_tcp server ~port ~stop) () ])
+      in
+      Printf.printf "provdbd: listening on %s%s\n%!" sock
+        (match port with
+        | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
+        | None -> "");
+      List.iter Thread.join threads;
+      save ws;
+      (try Unix.unlink sock with Unix.Unix_error _ | Sys_error _ -> ());
+      print_endline "provdbd: workspace saved";
+      exit_ok
+
+let () =
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKSPACE")
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket to listen on (default: \
+                   WORKSPACE/provdbd.sock)")
+  in
+  let port =
+    Arg.(value & opt (some int) None
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"Additionally listen on 127.0.0.1:PORT")
+  in
+  let info =
+    Cmd.info "provdbd" ~version:"1.0.0"
+      ~doc:"Networked daemon for tamper-evident database provenance"
+  in
+  exit (Cmd.eval' (Cmd.v info Term.(const run $ dir $ socket $ port)))

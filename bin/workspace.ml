@@ -1,0 +1,166 @@
+(* Workspace persistence shared by the provdb CLI and the provdbd
+   daemon.
+
+   A workspace directory holds a backend database snapshot, the forest
+   / oid mapping, the provenance store, the CA, participant
+   credentials, the WAL and checkpoint generations. *)
+
+open Tep_store
+open Tep_tree
+open Tep_core
+
+type t = {
+  dir : string;
+  ca : Tep_crypto.Pki.ca;
+  directory : Participant.Directory.t;
+  participants : (string * Participant.t) list;
+  engine : Engine.t;
+  wal : Wal.t;
+}
+
+let ( // ) = Filename.concat
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Command failures carry their exit-code class so every front end
+   maps them uniformly: operational errors exit 1, malformed
+   arguments exit 2, verification / audit failures (tampering
+   detected) exit 3. *)
+type failure = Fail of string | Usage of string | Verify_failed of string
+
+let exit_ok = 0
+let exit_fail = 1
+let exit_usage = 2
+let exit_verify = 3
+
+let code_of_failure = function
+  | Fail _ -> exit_fail
+  | Usage _ -> exit_usage
+  | Verify_failed _ -> exit_verify
+
+let message_of_failure = function
+  | Fail e | Usage e | Verify_failed e -> e
+
+let fail fmt = Printf.ksprintf (fun s -> Error (Fail s)) fmt
+let fail_usage fmt = Printf.ksprintf (fun s -> Error (Usage s)) fmt
+let fail_verify fmt = Printf.ksprintf (fun s -> Error (Verify_failed s)) fmt
+
+let ckpt_dir dir = dir // "checkpoints"
+let wal_path dir = dir // "wal.log"
+let socket_path dir = dir // "provdbd.sock"
+
+(* Shared domain pool for verification / audit / Merkle sweeps.  Size
+   comes from TEP_DOMAINS or the host's recommended domain count; on a
+   single-core host this degrades to the sequential code path. *)
+let pool () = Tep_parallel.Pool.default ()
+
+(* CA + participant credentials, shared by normal loads and by
+   [recover] (which rebuilds everything else from checkpoints). *)
+let load_identity dir =
+  if not (Sys.file_exists (dir // "ca")) then
+    fail "%s is not a provdb workspace (run `provdb init %s` first)" dir dir
+  else begin
+    match Tep_crypto.Pki.ca_of_string (read_file (dir // "ca")) with
+    | None -> fail "corrupt CA file"
+    | Some ca ->
+        let directory =
+          Participant.Directory.create
+            ~ca_key:(Tep_crypto.Pki.ca_public_key ca)
+        in
+        let pdir = dir // "participants" in
+        let participants =
+          if Sys.file_exists pdir then
+            Sys.readdir pdir |> Array.to_list |> List.sort compare
+            |> List.filter_map (fun f ->
+                   match Participant.of_string (read_file (pdir // f)) with
+                   | Some p ->
+                       Participant.Directory.register directory p;
+                       Some (Participant.name p, p)
+                   | None -> None)
+          else []
+        in
+        Ok (ca, directory, participants)
+  end
+
+let load dir =
+  match load_identity dir with
+  | Error e -> Error e
+  | Ok (ca, directory, participants) -> (
+      match Snapshot.load (dir // "backend.snap") with
+      | Error e -> fail "backend: %s" e
+      | Ok db -> (
+          match Provstore.of_string (read_file (dir // "prov.dat")) with
+          | Error e -> fail "provenance store: %s" e
+          | Ok prov ->
+              let forest, _ = Forest.decode (read_file (dir // "forest.dat")) 0 in
+              let view, _ =
+                Tree_view.decode (read_file (dir // "view.dat")) 0
+              in
+              let wal = Wal.open_file (wal_path dir) in
+              (* a non-empty log means the last session died before its
+                 checkpoint: its committed tail is only in the WAL *)
+              (match Wal.salvage_file (wal_path dir) with
+              | Ok sv when sv.Wal.entries <> [] ->
+                  Printf.eprintf
+                    "warning: %d un-checkpointed WAL frame(s) found — a \
+                     previous session crashed; run `provdb recover %s` to \
+                     replay them (continuing discards them at next save)\n"
+                    (List.length sv.Wal.entries) dir
+              | _ -> ());
+              let engine =
+                Engine.of_parts ~wal ~pool:(pool ()) ~provstore:prov
+                  ~directory ~forest ~view db
+              in
+              Ok { dir; ca; directory; participants; engine; wal }))
+
+let save ws =
+  let dir = ws.dir in
+  write_file (dir // "ca") (Tep_crypto.Pki.ca_to_string ws.ca);
+  (match Snapshot.save (Engine.backend ws.engine) (dir // "backend.snap") with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  write_file (dir // "prov.dat") (Provstore.to_string (Engine.provstore ws.engine));
+  let buf = Buffer.create 4096 in
+  Forest.encode buf (Engine.forest ws.engine);
+  write_file (dir // "forest.dat") (Buffer.contents buf);
+  Buffer.clear buf;
+  Tree_view.encode buf (Engine.mapping ws.engine);
+  write_file (dir // "view.dat") (Buffer.contents buf);
+  (* checkpoint generation + WAL truncation: the crash-safe copy of
+     everything written above *)
+  match Recovery.checkpoint ~dir:(ckpt_dir dir) ~wal:ws.wal ws.engine with
+  | Ok _gen -> ()
+  | Error e -> failwith e
+
+let report_failure f = prerr_endline ("error: " ^ message_of_failure f)
+
+let with_workspace ?(save_after = true) dir f =
+  match load dir with
+  | Error f ->
+      report_failure f;
+      code_of_failure f
+  | Ok ws -> (
+      match f ws with
+      | Ok msg ->
+          if save_after then save ws;
+          if msg <> "" then print_endline msg;
+          exit_ok
+      | Error f ->
+          report_failure f;
+          code_of_failure f)
+
+let get_participant ws name =
+  match List.assoc_opt name ws.participants with
+  | Some p -> Ok p
+  | None ->
+      fail_usage "no participant %s (add with `provdb participant %s %s`)" name
+        ws.dir name

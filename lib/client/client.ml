@@ -1,0 +1,323 @@
+(* Blocking client for the provenance service.
+
+   The transport is abstract — raw bytes out, raw bytes in — with
+   three implementations: Unix-domain socket, TCP, and an in-process
+   loopback that feeds the server's connection state machine directly.
+   Everything above the transport (framing, handshake, session
+   sealing, codecs) is shared, so a loopback test exercises the same
+   protocol path as a socket client.
+
+   Every call is a typed wrapper over one request/response exchange;
+   failures come back as [Error msg], never exceptions. *)
+
+module Frame = Tep_wire.Frame
+module Message = Tep_wire.Message
+module Session = Tep_wire.Session
+module Participant = Tep_core.Participant
+
+type transport = {
+  send : string -> unit;
+  recv : unit -> string; (* some bytes; "" means the peer closed *)
+  close : unit -> unit;
+}
+
+type session = { key : string; mutable send_seq : int; mutable recv_seq : int }
+
+type t = {
+  transport : transport;
+  drbg : Tep_crypto.Drbg.t;
+  max_payload : int;
+  mutable buf : string;
+  mutable session : session option;
+  mutable closed : bool;
+}
+
+let make ?(max_payload = Frame.default_max_payload) ?drbg transport =
+  let drbg =
+    match drbg with Some d -> d | None -> Tep_crypto.Drbg.create_system ()
+  in
+  { transport; drbg; max_payload; buf = ""; session = None; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.transport.close ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Transports                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Same codec path, no sockets: bytes handed to [send] go straight
+   through the server's [feed]; its response bytes queue for [recv]. *)
+let loopback ?max_payload ?drbg server =
+  let conn = Tep_server.Server.conn server in
+  let pending = Buffer.create 256 in
+  make ?max_payload ?drbg
+    {
+      send =
+        (fun bytes ->
+          Buffer.add_string pending (Tep_server.Server.feed conn bytes));
+      recv =
+        (fun () ->
+          let s = Buffer.contents pending in
+          Buffer.clear pending;
+          s);
+      close = ignore;
+    }
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let fd_transport fd =
+  let chunk = Bytes.create 4096 in
+  {
+    send = (fun s -> write_all fd s);
+    recv =
+      (fun () ->
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ""
+        | n -> Bytes.sub_string chunk 0 n
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            "");
+    close = (fun () -> try Unix.close fd with Unix.Unix_error _ -> ());
+  }
+
+(* Exponential backoff across connection attempts: a daemon that is
+   still binding its socket is reachable a few hundred ms later. *)
+let connect_with_retry ?(retries = 5) ?(backoff = 0.05) make_fd =
+  let rec go attempt delay =
+    match make_fd () with
+    | fd -> Ok fd
+    | exception Unix.Unix_error (err, _, _) ->
+        if attempt >= retries then
+          Error
+            (Printf.sprintf "connect failed after %d attempts: %s" (attempt + 1)
+               (Unix.error_message err))
+        else begin
+          Unix.sleepf delay;
+          go (attempt + 1) (delay *. 2.)
+        end
+  in
+  go 0 backoff
+
+let connect_unix ?max_payload ?drbg ?retries ?backoff path =
+  let make_fd () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    try
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+    with e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  Result.map
+    (fun fd -> make ?max_payload ?drbg (fd_transport fd))
+    (connect_with_retry ?retries ?backoff make_fd)
+
+let connect_tcp ?max_payload ?drbg ?retries ?backoff ~host ~port () =
+  let make_fd () =
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | h -> h.Unix.h_addr_list.(0)
+        | exception Not_found ->
+            raise (Unix.Unix_error (Unix.EHOSTUNREACH, "gethostbyname", host)))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    try
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      fd
+    with e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  Result.map
+    (fun fd -> make ?max_payload ?drbg (fd_transport fd))
+    (connect_with_retry ?retries ?backoff make_fd)
+
+(* ------------------------------------------------------------------ *)
+(* Frame exchange                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let read_frame t =
+  let rec go () =
+    match Frame.parse ~max_payload:t.max_payload t.buf 0 with
+    | Frame.Frame { kind; payload; consumed } ->
+        t.buf <- String.sub t.buf consumed (String.length t.buf - consumed);
+        Ok (kind, payload)
+    | Frame.Need_more _ -> (
+        match t.transport.recv () with
+        | "" -> Error "connection closed by server"
+        | chunk ->
+            t.buf <- t.buf ^ chunk;
+            go ())
+    | Frame.Oversized n ->
+        Error (Printf.sprintf "oversized frame from server (%d bytes)" n)
+    | Frame.Corrupt reason -> Error ("corrupt frame from server: " ^ reason)
+  in
+  go ()
+
+let decode_response payload =
+  match Message.decode_response payload 0 with
+  | resp, consumed when consumed = String.length payload -> Ok resp
+  | _ -> Error "trailing bytes in server response"
+  | exception (Failure e | Invalid_argument e) ->
+      Error ("malformed server response: " ^ e)
+
+let error_of code message =
+  Error (Printf.sprintf "%s: %s" (Message.error_code_name code) message)
+
+let send_clear t req =
+  t.transport.send
+    (Frame.to_string ~kind:Frame.Clear (Message.request_to_string req))
+
+(* A clear frame after authentication can only be the server's dying
+   error report (auth failure, corrupt frame); surface it as the
+   call's error. *)
+let read_clear_error payload =
+  match decode_response payload with
+  | Ok (Message.Error_resp { code; message }) -> error_of code message
+  | Ok _ -> Error "unexpected clear frame from server"
+  | Error e -> Error e
+
+let rpc t req =
+  if t.closed then Error "client closed"
+  else
+    match t.session with
+    | None -> Error "not authenticated"
+    | Some s -> (
+        let msg = Message.request_to_string req in
+        let sealed =
+          Session.seal ~key:s.key ~dir:Session.To_server ~seq:s.send_seq msg
+        in
+        s.send_seq <- s.send_seq + 1;
+        t.transport.send (Frame.to_string ~kind:Frame.Sealed sealed);
+        match read_frame t with
+        | Error e -> Error e
+        | Ok (Frame.Clear, payload) -> read_clear_error payload
+        | Ok (Frame.Sealed, payload) -> (
+            match
+              Session.open_ ~key:s.key ~dir:Session.To_client ~seq:s.recv_seq
+                payload
+            with
+            | Error e -> Error ("response rejected: " ^ e)
+            | Ok msg ->
+                s.recv_seq <- s.recv_seq + 1;
+                decode_response msg))
+
+(* ------------------------------------------------------------------ *)
+(* Authentication                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let authenticate t participant =
+  if t.closed then Error "client closed"
+  else if t.session <> None then Error "already authenticated"
+  else begin
+    let name = Participant.name participant in
+    let client_nonce = Tep_crypto.Drbg.generate t.drbg Session.nonce_len in
+    send_clear t (Message.Hello { name; nonce = client_nonce });
+    match read_frame t with
+    | Error e -> Error e
+    | Ok (Frame.Sealed, _) -> Error "unexpected sealed frame during handshake"
+    | Ok (Frame.Clear, payload) -> (
+        match decode_response payload with
+        | Error e -> Error e
+        | Ok (Message.Error_resp { code; message }) -> error_of code message
+        | Ok (Message.Challenge { nonce = server_nonce }) -> (
+            let transcript =
+              Session.transcript ~name ~client_nonce ~server_nonce
+            in
+            let signature = Participant.sign participant transcript in
+            send_clear t (Message.Auth { signature });
+            let key = Session.derive_key ~transcript ~signature in
+            match read_frame t with
+            | Error e -> Error e
+            | Ok (Frame.Clear, payload) -> read_clear_error payload
+            | Ok (Frame.Sealed, payload) -> (
+                match
+                  Session.open_ ~key ~dir:Session.To_client ~seq:0 payload
+                with
+                | Error e -> Error ("server failed key confirmation: " ^ e)
+                | Ok msg -> (
+                    match decode_response msg with
+                    | Error e -> Error e
+                    | Ok (Message.Auth_ok _) ->
+                        t.session <-
+                          Some { key; send_seq = 0; recv_seq = 1 };
+                        Ok ()
+                    | Ok (Message.Error_resp { code; message }) ->
+                        error_of code message
+                    | Ok _ -> Error "unexpected response to auth")))
+        | Ok _ -> Error "unexpected response to hello")
+  end
+
+let authenticated t = t.session <> None
+
+(* ------------------------------------------------------------------ *)
+(* Typed wrappers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let unexpected = Error "unexpected response from server"
+
+let unwrap f = function
+  | Error e -> Error e
+  | Ok (Message.Error_resp { code; message }) -> error_of code message
+  | Ok resp -> f resp
+
+let insert t ~table cells =
+  rpc t (Message.Submit (Message.Op_insert { table; cells }))
+  |> unwrap (function
+       | Message.Submitted { row = Some row; records; _ } -> Ok (row, records)
+       | _ -> unexpected)
+
+let update t ~table ~row ~col value =
+  rpc t (Message.Submit (Message.Op_update { table; row; col; value }))
+  |> unwrap (function
+       | Message.Submitted { records; _ } -> Ok records
+       | _ -> unexpected)
+
+let delete t ~table ~row =
+  rpc t (Message.Submit (Message.Op_delete { table; row }))
+  |> unwrap (function
+       | Message.Submitted { records; _ } -> Ok records
+       | _ -> unexpected)
+
+let aggregate t ?(value = Tep_store.Value.Text "aggregate") inputs =
+  rpc t (Message.Submit (Message.Op_aggregate { inputs; value }))
+  |> unwrap (function
+       | Message.Submitted { oid = Some oid; records; _ } -> Ok (oid, records)
+       | _ -> unexpected)
+
+let query t ?oid () =
+  rpc t (Message.Query oid)
+  |> unwrap (function Message.Records rs -> Ok rs | _ -> unexpected)
+
+let verify t ?oid () =
+  rpc t (Message.Verify oid)
+  |> unwrap (function
+       | Message.Verified { report; store_audit } -> Ok (report, store_audit)
+       | _ -> unexpected)
+
+let audit t =
+  rpc t Message.Audit
+  |> unwrap (function
+       | Message.Audited { report; examined; objects } ->
+           Ok (report, examined, objects)
+       | _ -> unexpected)
+
+let checkpoint t =
+  rpc t Message.Checkpoint
+  |> unwrap (function
+       | Message.Checkpointed { generation; lsn } -> Ok (generation, lsn)
+       | _ -> unexpected)
+
+let root_hash t =
+  rpc t Message.Root_hash
+  |> unwrap (function Message.Root { hash } -> Ok hash | _ -> unexpected)

@@ -1,4 +1,13 @@
-(* Table-driven reflected CRC-32, polynomial 0xEDB88320 (zlib). *)
+(* Table-driven reflected CRC-32, polynomial 0xEDB88320 (zlib).
+
+   Two interfaces:
+   - one-shot: {!compute} / {!digest} over a substring;
+   - streaming: {!init} / {!feed} / {!finalize}, for callers that
+     checksum data arriving in pieces (WAL frames assembled from a
+     sequence prefix plus an entry body, wire frames checksummed as
+     header · payload without concatenating).  [compute] is the
+     streaming interface applied to a single piece, so both paths
+     share one implementation. *)
 
 let table =
   lazy
@@ -10,15 +19,28 @@ let table =
          done;
          !c))
 
-let compute s off len =
+type ctx = { mutable acc : int }
+
+let init () = { acc = 0xFFFFFFFF }
+
+let feed_sub ctx s off len =
   if off < 0 || len < 0 || off + len > String.length s then
-    invalid_arg "Crc32.compute";
+    invalid_arg "Crc32.feed_sub";
   let table = Lazy.force table in
-  let c = ref 0xFFFFFFFF in
+  let c = ref ctx.acc in
   for i = off to off + len - 1 do
     c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
   done;
-  !c lxor 0xFFFFFFFF
+  ctx.acc <- !c
+
+let feed ctx s = feed_sub ctx s 0 (String.length s)
+
+let finalize ctx = ctx.acc lxor 0xFFFFFFFF
+
+let compute s off len =
+  let ctx = init () in
+  feed_sub ctx s off len;
+  finalize ctx
 
 let digest s = compute s 0 (String.length s)
 

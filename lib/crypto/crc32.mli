@@ -5,8 +5,29 @@
     keyed or collision-resistant hash would be overkill.  The checksum
     is returned as a non-negative [int] in [0, 2^32). *)
 
+type ctx
+(** Streaming checksum state, for data that arrives in pieces (WAL
+    frames assembled from a sequence prefix plus an entry body, wire
+    frames checksummed as header · payload without concatenating). *)
+
+val init : unit -> ctx
+(** Fresh streaming state. *)
+
+val feed : ctx -> string -> unit
+(** Fold a whole string into the running checksum. *)
+
+val feed_sub : ctx -> string -> int -> int -> unit
+(** [feed_sub ctx s off len] folds [s.[off .. off+len-1]] into the
+    running checksum.
+    @raise Invalid_argument on out-of-range slices. *)
+
+val finalize : ctx -> int
+(** The checksum of everything fed so far.  Does not invalidate [ctx]:
+    further [feed]s continue the stream. *)
+
 val compute : string -> int -> int -> int
 (** [compute s off len] is the CRC-32 of [s.[off .. off+len-1]].
+    Equivalent to [init] · [feed_sub] · [finalize].
     @raise Invalid_argument on out-of-range slices. *)
 
 val digest : string -> int

@@ -109,6 +109,17 @@ let output site oc data =
         raise (Crash site)
     | Some Bit_flip -> output_string oc (flip_one_bit data)
 
+let input site data =
+  match fire site with
+  | None -> data
+  | Some Crash_point -> raise (Crash site)
+  | Some (Transient _) -> raise (transient_error site)
+  | Some (Torn_write frac) ->
+      let frac = if frac < 0. then 0. else if frac > 1. then 1. else frac in
+      let n = int_of_float (frac *. float_of_int (String.length data)) in
+      String.sub data 0 n
+  | Some Bit_flip -> flip_one_bit data
+
 let with_retry ?(attempts = 3) ?(backoff = fun _ -> ()) f =
   let rec go i =
     match f () with

@@ -73,6 +73,16 @@ val output : string -> out_channel -> string -> unit
     [f·len] bytes, flushes and raises; [Bit_flip] writes a corrupted
     copy; [Transient] raises [Sys_error] before writing. *)
 
+val input : string -> string -> string
+(** [input site data] passes a data-read point (the mirror of
+    {!output}): returns [data] untouched when nothing is armed and
+    due, otherwise shapes what the reader sees — [Torn_write f]
+    returns only the first [f·len] bytes (a short read), [Bit_flip]
+    returns a copy with one DRBG-chosen bit flipped, [Crash_point]
+    raises {!Crash}, [Transient] raises [Sys_error].  Used by the
+    wire layer to inject torn reads into a connection's byte
+    stream. *)
+
 val with_retry :
   ?attempts:int -> ?backoff:(int -> unit) -> (unit -> 'a) -> ('a, string) result
 (** Run [f], retrying on [Sys_error] up to [attempts] times (default

@@ -1,0 +1,361 @@
+(* provdbd — the networked provenance service.
+
+   The protocol logic lives entirely in a [conn] state machine whose
+   single entry point is {!feed}: bytes in, response bytes out.  The
+   Unix-domain and TCP accept loops pump sockets through it; the
+   client library's loopback transport calls it directly — so the
+   in-process test path exercises exactly the frames, codecs and
+   session sealing that cross a real socket.
+
+   Authentication is the {!Tep_wire.Session} challenge–response: the
+   client names a PKI-registered participant and signs the handshake
+   transcript with that participant's key; the server checks the
+   signature against the certificate in the engine's directory.  The
+   workspace keeps participant credentials server-side, so after
+   authentication the server signs submitted operations with the same
+   participant identity the client proved it holds.
+
+   The engine is not thread-safe; one request executes at a time
+   (per-server mutex), while framing, MAC checks and socket I/O run
+   concurrently per connection. *)
+
+module Frame = Tep_wire.Frame
+module Message = Tep_wire.Message
+module Session = Tep_wire.Session
+module Engine = Tep_core.Engine
+module Participant = Tep_core.Participant
+module Verifier = Tep_core.Verifier
+module Audit = Tep_core.Audit
+module Provstore = Tep_core.Provstore
+module Recovery = Tep_core.Recovery
+module Fault = Tep_fault.Fault
+
+(* Everything a connection reads passes through this failpoint, so
+   tests can inject torn reads and bit flips into the byte stream
+   without a real flaky network. *)
+let read_site = "wire.server.read"
+let () = Fault.register read_site
+
+type t = {
+  engine : Engine.t;
+  participants : (string * Participant.t) list;
+  pool : Tep_parallel.Pool.t option;
+  drbg : Tep_crypto.Drbg.t;
+  max_payload : int;
+  request_timeout : float;
+  checkpoint : (string * Tep_store.Wal.t) option;
+      (** checkpoint directory + WAL, when the daemon owns durability *)
+  audit_cp : Audit.checkpoint ref;
+  lock : Mutex.t;
+}
+
+let create ?(max_payload = Frame.default_max_payload) ?(request_timeout = 30.)
+    ?drbg ?pool ?checkpoint ~participants engine =
+  let drbg =
+    match drbg with Some d -> d | None -> Tep_crypto.Drbg.create_system ()
+  in
+  {
+    engine;
+    participants;
+    pool;
+    drbg;
+    max_payload;
+    request_timeout;
+    checkpoint;
+    audit_cp = ref Audit.empty;
+    lock = Mutex.create ();
+  }
+
+let engine t = t.engine
+
+(* ------------------------------------------------------------------ *)
+(* Connection state machine                                            *)
+(* ------------------------------------------------------------------ *)
+
+type established = {
+  participant : Participant.t;
+  key : string;
+  mutable recv_seq : int;
+  mutable send_seq : int;
+}
+
+type phase =
+  | Expect_hello
+  | Expect_auth of { participant : Participant.t; transcript : string }
+  | Established of established
+  | Dead
+
+type conn = { server : t; mutable buf : string; mutable phase : phase }
+
+let conn server = { server; buf = ""; phase = Expect_hello }
+let alive c = c.phase <> Dead
+
+(* Frame a response in whatever protection the connection has reached:
+   clear during the handshake, sealed (tagged, sequenced) once the
+   session key exists. *)
+let frame_response c resp =
+  let msg = Message.response_to_string resp in
+  match c.phase with
+  | Established s ->
+      let sealed =
+        Session.seal ~key:s.key ~dir:Session.To_client ~seq:s.send_seq msg
+      in
+      s.send_seq <- s.send_seq + 1;
+      Frame.to_string ~kind:Frame.Sealed sealed
+  | _ -> Frame.to_string ~kind:Frame.Clear msg
+
+let error_resp code message = Message.Error_resp { code; message }
+
+let kill c resp =
+  let out = frame_response c resp in
+  c.phase <- Dead;
+  c.buf <- "";
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let report = Message.report_of_verifier
+
+let submitted t row oid =
+  Message.Submitted
+    { row; oid; records = (Engine.last_metrics t.engine).Engine.records_emitted }
+
+let dispatch_op t participant (op : Message.op) =
+  match op with
+  | Message.Op_insert { table; cells } -> (
+      match Engine.insert_row t.engine participant ~table cells with
+      | Ok row -> submitted t (Some row) None
+      | Error e -> error_resp Message.Bad_request e)
+  | Message.Op_update { table; row; col; value } -> (
+      match Engine.update_cell t.engine participant ~table ~row ~col value with
+      | Ok () -> submitted t None None
+      | Error e -> error_resp Message.Bad_request e)
+  | Message.Op_delete { table; row } -> (
+      match Engine.delete_row t.engine participant ~table row with
+      | Ok () -> submitted t None None
+      | Error e -> error_resp Message.Bad_request e)
+  | Message.Op_aggregate { inputs; value } -> (
+      match Engine.aggregate_objects t.engine participant ~value inputs with
+      | Ok oid -> submitted t None (Some oid)
+      | Error e -> error_resp Message.Bad_request e)
+
+let dispatch t participant (req : Message.request) =
+  let algo = Engine.algo t.engine in
+  let directory = Engine.directory t.engine in
+  match req with
+  | Message.Hello _ | Message.Auth _ ->
+      error_resp Message.Bad_request "already authenticated"
+  | Message.Submit op -> dispatch_op t participant op
+  | Message.Query oid -> (
+      let oid = match oid with Some o -> o | None -> Engine.root_oid t.engine in
+      match Engine.deliver t.engine oid with
+      | Ok (_, records) -> Message.Records records
+      | Error e -> error_resp Message.Not_found e)
+  | Message.Verify (Some oid) -> (
+      match Engine.verify_object t.engine oid with
+      | Ok r -> Message.Verified { report = report r; store_audit = None }
+      | Error e -> error_resp Message.Not_found e)
+  | Message.Verify None -> (
+      match Engine.verify_object t.engine (Engine.root_oid t.engine) with
+      | Ok r ->
+          let store =
+            Verifier.verify_records ?pool:t.pool ~algo ~directory
+              (Provstore.all (Engine.provstore t.engine))
+          in
+          Message.Verified { report = report r; store_audit = Some (report store) }
+      | Error e -> error_resp Message.Failed e)
+  | Message.Audit ->
+      let r, cp, examined =
+        Audit.incremental_audit ?pool:t.pool ~algo ~directory !(t.audit_cp)
+          (Engine.provstore t.engine)
+      in
+      t.audit_cp := cp;
+      Message.Audited { report = report r; examined; objects = Audit.objects cp }
+  | Message.Checkpoint -> (
+      match t.checkpoint with
+      | None -> error_resp Message.Failed "checkpointing not configured"
+      | Some (dir, wal) -> (
+          match Recovery.checkpoint ~dir ~wal t.engine with
+          | Ok generation ->
+              Message.Checkpointed { generation; lsn = Tep_store.Wal.last_seq wal }
+          | Error e -> error_resp Message.Failed e))
+  | Message.Root_hash -> Message.Root { hash = Engine.root_hash t.engine }
+
+let dispatch_locked t participant req =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      try dispatch t participant req
+      with e -> error_resp Message.Failed (Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Handshake                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let handle_hello c ~name ~client_nonce =
+  let t = c.server in
+  match List.assoc_opt name t.participants with
+  | None -> kill c (error_resp Message.Auth_failed ("unknown participant " ^ name))
+  | Some participant -> (
+      match
+        Participant.Directory.lookup_verified (Engine.directory t.engine) name
+      with
+      | `Unknown | `Bad_certificate ->
+          kill c
+            (error_resp Message.Auth_failed
+               ("no verified certificate for " ^ name))
+      | `Verified _ ->
+          let server_nonce = Tep_crypto.Drbg.generate t.drbg Session.nonce_len in
+          let transcript =
+            Session.transcript ~name ~client_nonce ~server_nonce
+          in
+          c.phase <- Expect_auth { participant; transcript };
+          frame_response c (Message.Challenge { nonce = server_nonce }))
+
+let handle_auth c ~participant ~transcript ~signature =
+  let cert = Participant.certificate participant in
+  if
+    Tep_crypto.Rsa.verify ~algo:Tep_crypto.Digest_algo.SHA256
+      cert.Tep_crypto.Pki.subject_key ~msg:transcript ~signature
+  then begin
+    let key = Session.derive_key ~transcript ~signature in
+    c.phase <- Established { participant; key; recv_seq = 0; send_seq = 0 };
+    frame_response c (Message.Auth_ok { server = "provdbd" })
+  end
+  else kill c (error_resp Message.Auth_failed "transcript signature invalid")
+
+(* ------------------------------------------------------------------ *)
+(* Frame handling                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let decode_request payload =
+  match Message.decode_request payload 0 with
+  | req, consumed when consumed = String.length payload -> Some req
+  | _ -> None
+  | exception (Failure _ | Invalid_argument _) -> None
+
+let handle_frame c (kind : Frame.kind) payload =
+  match (c.phase, kind) with
+  | Dead, _ -> ""
+  | (Expect_hello | Expect_auth _), Sealed ->
+      kill c (error_resp Message.Auth_required "handshake not complete")
+  | Established _, Clear ->
+      kill c (error_resp Message.Bad_request "clear frame on sealed session")
+  | Expect_hello, Clear -> (
+      match decode_request payload with
+      | Some (Message.Hello { name; nonce }) ->
+          handle_hello c ~name ~client_nonce:nonce
+      | Some _ -> kill c (error_resp Message.Auth_required "hello expected")
+      | None -> kill c (error_resp Message.Bad_request "malformed request"))
+  | Expect_auth { participant; transcript }, Clear -> (
+      match decode_request payload with
+      | Some (Message.Auth { signature }) ->
+          handle_auth c ~participant ~transcript ~signature
+      | Some _ -> kill c (error_resp Message.Auth_required "auth expected")
+      | None -> kill c (error_resp Message.Bad_request "malformed request"))
+  | Established s, Sealed -> (
+      match
+        Session.open_ ~key:s.key ~dir:Session.To_server ~seq:s.recv_seq payload
+      with
+      | Error e -> kill c (error_resp Message.Auth_failed e)
+      | Ok msg -> (
+          s.recv_seq <- s.recv_seq + 1;
+          match decode_request msg with
+          | None -> kill c (error_resp Message.Bad_request "malformed request")
+          | Some req ->
+              frame_response c (dispatch_locked c.server s.participant req)))
+
+(* Bytes in, response bytes out.  This is the single protocol entry
+   point shared by the socket loops and the loopback transport. *)
+let feed c data =
+  if c.phase = Dead then ""
+  else begin
+    let data = Fault.input read_site data in
+    c.buf <- c.buf ^ data;
+    let out = Buffer.create 256 in
+    let continue = ref true in
+    while !continue && alive c do
+      match Frame.parse ~max_payload:c.server.max_payload c.buf 0 with
+      | Frame.Need_more _ -> continue := false
+      | Frame.Frame { kind; payload; consumed } ->
+          c.buf <-
+            String.sub c.buf consumed (String.length c.buf - consumed);
+          Buffer.add_string out (handle_frame c kind payload)
+      | Frame.Oversized n ->
+          Buffer.add_string out
+            (kill c
+               (error_resp Message.Too_large
+                  (Printf.sprintf "declared payload of %d bytes exceeds limit" n)))
+      | Frame.Corrupt reason ->
+          Buffer.add_string out (kill c (error_resp Message.Bad_request reason))
+    done;
+    Buffer.contents out
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Socket loops                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let handle_client t fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.request_timeout
+   with Unix.Unix_error _ -> ());
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.request_timeout
+   with Unix.Unix_error _ -> ());
+  let c = conn t in
+  let chunk = Bytes.create 4096 in
+  (try
+     let eof = ref false in
+     while (not !eof) && alive c do
+       let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+       if n = 0 then eof := true
+       else begin
+         let out = feed c (Bytes.sub_string chunk 0 n) in
+         if out <> "" then write_all fd out
+       end
+     done
+   with Unix.Unix_error _ | Sys_error _ | Fault.Crash _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Accept loop: polls [stop] every 200ms so a daemon can shut down
+   cleanly (and save its workspace) on signal. *)
+let serve_fd t ~stop fd =
+  Unix.listen fd 16;
+  while not (Atomic.get stop) do
+    match Unix.select [ fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept fd with
+        | cfd, _ -> ignore (Thread.create (fun () -> handle_client t cfd) ())
+        | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve_unix t ~path ~stop =
+  (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  serve_fd t ~stop fd
+
+let serve_tcp t ~port ~stop =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (try Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  serve_fd t ~stop fd

@@ -67,6 +67,11 @@ let encode_cells buf cells =
 
 let decode_cells s off =
   let n, off = Value.read_varint s off in
+  (* every cell costs at least one byte, so a count beyond the
+     remaining input is corrupt — reject it before Array.init commits
+     to the allocation *)
+  if n < 0 || n > String.length s - off then
+    failwith "Wal.decode_cells: bad cell count";
   let off = ref off in
   let cells =
     Array.init n (fun _ ->
@@ -156,13 +161,19 @@ let decode_entry s off =
 (* frame := varint(body_len) · body
    body  := varint(seq) · entry · crc32(varint(seq) · entry), 4B BE *)
 let encode_frame buf ~seq entry =
-  let body = Buffer.create 72 in
-  Value.add_varint body seq;
+  let seqb = Buffer.create 8 in
+  Value.add_varint seqb seq;
+  let body = Buffer.create 64 in
   encode_entry body entry;
-  let payload = Buffer.contents body in
-  Value.add_varint buf (String.length payload + 4);
-  Buffer.add_string buf payload;
-  Tep_crypto.Crc32.add_be buf (Tep_crypto.Crc32.digest payload)
+  Value.add_varint buf (Buffer.length seqb + Buffer.length body + 4);
+  Buffer.add_buffer buf seqb;
+  Buffer.add_buffer buf body;
+  (* the checksum is streamed over the two pieces — no concatenated
+     payload string is materialised *)
+  let crc = Tep_crypto.Crc32.init () in
+  Tep_crypto.Crc32.feed crc (Buffer.contents seqb);
+  Tep_crypto.Crc32.feed crc (Buffer.contents body);
+  Tep_crypto.Crc32.add_be buf (Tep_crypto.Crc32.finalize crc)
 
 (* An upper bound on plausible frame sizes: anything larger is treated
    as a corrupt length, not a torn tail. *)

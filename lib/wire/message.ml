@@ -1,0 +1,402 @@
+(* Request/response codecs for the provenance service.
+
+   Same codec discipline as the rest of the tree: a tag byte, then
+   varint/length-prefixed fields via {!Tep_store.Value}; decoders
+   raise [Failure]/[Invalid_argument] on malformed input and are
+   fuzzed alongside every other decoder (test/test_fuzz.ml,
+   test/test_wire.ml). *)
+
+open Tep_store
+open Tep_tree
+open Tep_core
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | Op_insert of { table : string; cells : Value.t array }
+  | Op_update of { table : string; row : int; col : int; value : Value.t }
+  | Op_delete of { table : string; row : int }
+  | Op_aggregate of { inputs : Oid.t list; value : Value.t }
+
+type request =
+  | Hello of { name : string; nonce : string }
+  | Auth of { signature : string }
+  | Submit of op
+  | Query of Oid.t option (* None: the database root *)
+  | Verify of Oid.t option (* None: root object + whole-store audit *)
+  | Audit
+  | Checkpoint
+  | Root_hash
+
+(* A verifier report flattened for the wire: violations travel as
+   their rendered strings, so the client can reproduce the server's
+   report rendering byte-for-byte (see {!render_report}). *)
+type report = {
+  rp_records : int;
+  rp_objects : int;
+  rp_signatures : int;
+  rp_violations : string list;
+}
+
+type error_code =
+  | Auth_required
+  | Auth_failed
+  | Bad_request
+  | Not_found
+  | Too_large
+  | Failed
+
+type response =
+  | Challenge of { nonce : string }
+  | Auth_ok of { server : string }
+  | Submitted of { row : int option; oid : Oid.t option; records : int }
+  | Records of Record.t list
+  | Verified of { report : report; store_audit : report option }
+  | Audited of { report : report; examined : int; objects : int }
+  | Checkpointed of { generation : int; lsn : int }
+  | Root of { hash : string }
+  | Error_resp of { code : error_code; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let report_of_verifier (r : Verifier.report) =
+  {
+    rp_records = r.Verifier.records_checked;
+    rp_objects = r.Verifier.objects_checked;
+    rp_signatures = r.Verifier.signatures_checked;
+    rp_violations = List.map Verifier.violation_to_string r.Verifier.violations;
+  }
+
+let report_ok r = r.rp_violations = []
+
+(* Byte-identical to [Format.asprintf "%a" Verifier.pp_report] on the
+   report this was built from — the acceptance bar for remote
+   verification. *)
+let render_report r =
+  if report_ok r then
+    Printf.sprintf "VERIFIED: %d records, %d objects, %d signatures checked"
+      r.rp_records r.rp_objects r.rp_signatures
+  else begin
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "TAMPERING DETECTED (%d violations):\n"
+         (List.length r.rp_violations));
+    List.iter
+      (fun v -> Buffer.add_string buf ("  - " ^ v ^ "\n"))
+      r.rp_violations;
+    Buffer.contents buf
+  end
+
+let error_code_name = function
+  | Auth_required -> "auth-required"
+  | Auth_failed -> "auth-failed"
+  | Bad_request -> "bad-request"
+  | Not_found -> "not-found"
+  | Too_large -> "too-large"
+  | Failed -> "failed"
+
+(* ------------------------------------------------------------------ *)
+(* Codec helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let add_oid buf oid = Value.add_varint buf (Oid.to_int oid)
+
+let read_oid s off =
+  let n, off = Value.read_varint s off in
+  (Oid.of_int n, off)
+
+let add_oid_opt buf = function
+  | None -> Buffer.add_char buf '\x00'
+  | Some oid ->
+      Buffer.add_char buf '\x01';
+      add_oid buf oid
+
+let read_oid_opt s off =
+  if off >= String.length s then failwith "Message: truncated option"
+  else
+    match s.[off] with
+    | '\x00' -> (None, off + 1)
+    | '\x01' ->
+        let oid, off = read_oid s (off + 1) in
+        (Some oid, off)
+    | _ -> failwith "Message: bad option tag"
+
+let add_report buf r =
+  Value.add_varint buf r.rp_records;
+  Value.add_varint buf r.rp_objects;
+  Value.add_varint buf r.rp_signatures;
+  Value.add_varint buf (List.length r.rp_violations);
+  List.iter (Value.add_string buf) r.rp_violations
+
+let read_report s off =
+  let rp_records, off = Value.read_varint s off in
+  let rp_objects, off = Value.read_varint s off in
+  let rp_signatures, off = Value.read_varint s off in
+  let n, off = Value.read_varint s off in
+  let off = ref off in
+  let rp_violations =
+    List.init n (fun _ ->
+        let v, o = Value.read_string s !off in
+        off := o;
+        v)
+  in
+  ({ rp_records; rp_objects; rp_signatures; rp_violations }, !off)
+
+let add_cells buf cells =
+  Value.add_varint buf (Array.length cells);
+  Array.iter (Value.encode buf) cells
+
+let read_cells s off =
+  let n, off = Value.read_varint s off in
+  let off = ref off in
+  let cells =
+    Array.init n (fun _ ->
+        let v, o = Value.decode s !off in
+        off := o;
+        v)
+  in
+  (cells, !off)
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let encode_op buf = function
+  | Op_insert { table; cells } ->
+      Buffer.add_char buf '\x01';
+      Value.add_string buf table;
+      add_cells buf cells
+  | Op_update { table; row; col; value } ->
+      Buffer.add_char buf '\x02';
+      Value.add_string buf table;
+      Value.add_varint buf row;
+      Value.add_varint buf col;
+      Value.encode buf value
+  | Op_delete { table; row } ->
+      Buffer.add_char buf '\x03';
+      Value.add_string buf table;
+      Value.add_varint buf row
+  | Op_aggregate { inputs; value } ->
+      Buffer.add_char buf '\x04';
+      Value.add_varint buf (List.length inputs);
+      List.iter (add_oid buf) inputs;
+      Value.encode buf value
+
+let decode_op s off =
+  if off >= String.length s then failwith "Message: truncated op";
+  match s.[off] with
+  | '\x01' ->
+      let table, off = Value.read_string s (off + 1) in
+      let cells, off = read_cells s off in
+      (Op_insert { table; cells }, off)
+  | '\x02' ->
+      let table, off = Value.read_string s (off + 1) in
+      let row, off = Value.read_varint s off in
+      let col, off = Value.read_varint s off in
+      let value, off = Value.decode s off in
+      (Op_update { table; row; col; value }, off)
+  | '\x03' ->
+      let table, off = Value.read_string s (off + 1) in
+      let row, off = Value.read_varint s off in
+      (Op_delete { table; row }, off)
+  | '\x04' ->
+      let n, off = Value.read_varint s (off + 1) in
+      let off = ref off in
+      let inputs =
+        List.init n (fun _ ->
+            let oid, o = read_oid s !off in
+            off := o;
+            oid)
+      in
+      let value, o = Value.decode s !off in
+      (Op_aggregate { inputs; value }, o)
+  | c -> failwith (Printf.sprintf "Message: bad op tag %#x" (Char.code c))
+
+let encode_request buf = function
+  | Hello { name; nonce } ->
+      Buffer.add_char buf '\x01';
+      Value.add_string buf name;
+      Value.add_string buf nonce
+  | Auth { signature } ->
+      Buffer.add_char buf '\x02';
+      Value.add_string buf signature
+  | Submit op ->
+      Buffer.add_char buf '\x03';
+      encode_op buf op
+  | Query oid ->
+      Buffer.add_char buf '\x04';
+      add_oid_opt buf oid
+  | Verify oid ->
+      Buffer.add_char buf '\x05';
+      add_oid_opt buf oid
+  | Audit -> Buffer.add_char buf '\x06'
+  | Checkpoint -> Buffer.add_char buf '\x07'
+  | Root_hash -> Buffer.add_char buf '\x08'
+
+let decode_request s off =
+  if off >= String.length s then failwith "Message: empty request";
+  match s.[off] with
+  | '\x01' ->
+      let name, off = Value.read_string s (off + 1) in
+      let nonce, off = Value.read_string s off in
+      (Hello { name; nonce }, off)
+  | '\x02' ->
+      let signature, off = Value.read_string s (off + 1) in
+      (Auth { signature }, off)
+  | '\x03' ->
+      let op, off = decode_op s (off + 1) in
+      (Submit op, off)
+  | '\x04' ->
+      let oid, off = read_oid_opt s (off + 1) in
+      (Query oid, off)
+  | '\x05' ->
+      let oid, off = read_oid_opt s (off + 1) in
+      (Verify oid, off)
+  | '\x06' -> (Audit, off + 1)
+  | '\x07' -> (Checkpoint, off + 1)
+  | '\x08' -> (Root_hash, off + 1)
+  | c -> failwith (Printf.sprintf "Message: bad request tag %#x" (Char.code c))
+
+let request_to_string r =
+  let buf = Buffer.create 64 in
+  encode_request buf r;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let error_code_tag = function
+  | Auth_required -> 0
+  | Auth_failed -> 1
+  | Bad_request -> 2
+  | Not_found -> 3
+  | Too_large -> 4
+  | Failed -> 5
+
+let error_code_of_tag = function
+  | 0 -> Auth_required
+  | 1 -> Auth_failed
+  | 2 -> Bad_request
+  | 3 -> Not_found
+  | 4 -> Too_large
+  | 5 -> Failed
+  | n -> failwith (Printf.sprintf "Message: bad error code %d" n)
+
+let encode_response buf = function
+  | Challenge { nonce } ->
+      Buffer.add_char buf '\x81';
+      Value.add_string buf nonce
+  | Auth_ok { server } ->
+      Buffer.add_char buf '\x82';
+      Value.add_string buf server
+  | Submitted { row; oid; records } ->
+      Buffer.add_char buf '\x83';
+      (match row with
+      | None -> Buffer.add_char buf '\x00'
+      | Some r ->
+          Buffer.add_char buf '\x01';
+          Value.add_varint buf r);
+      add_oid_opt buf oid;
+      Value.add_varint buf records
+  | Records records ->
+      Buffer.add_char buf '\x84';
+      Value.add_varint buf (List.length records);
+      List.iter (Record.encode buf) records
+  | Verified { report; store_audit } ->
+      Buffer.add_char buf '\x85';
+      add_report buf report;
+      (match store_audit with
+      | None -> Buffer.add_char buf '\x00'
+      | Some a ->
+          Buffer.add_char buf '\x01';
+          add_report buf a)
+  | Audited { report; examined; objects } ->
+      Buffer.add_char buf '\x86';
+      add_report buf report;
+      Value.add_varint buf examined;
+      Value.add_varint buf objects
+  | Checkpointed { generation; lsn } ->
+      Buffer.add_char buf '\x87';
+      Value.add_varint buf generation;
+      Value.add_varint buf (lsn + 1) (* lsn >= -1 *)
+  | Root { hash } ->
+      Buffer.add_char buf '\x88';
+      Value.add_string buf hash
+  | Error_resp { code; message } ->
+      Buffer.add_char buf '\xff';
+      Value.add_varint buf (error_code_tag code);
+      Value.add_string buf message
+
+let decode_response s off =
+  if off >= String.length s then failwith "Message: empty response";
+  match s.[off] with
+  | '\x81' ->
+      let nonce, off = Value.read_string s (off + 1) in
+      (Challenge { nonce }, off)
+  | '\x82' ->
+      let server, off = Value.read_string s (off + 1) in
+      (Auth_ok { server }, off)
+  | '\x83' ->
+      let row, off =
+        if off + 1 >= String.length s then failwith "Message: truncated"
+        else
+          match s.[off + 1] with
+          | '\x00' -> (None, off + 2)
+          | '\x01' ->
+              let r, o = Value.read_varint s (off + 2) in
+              (Some r, o)
+          | _ -> failwith "Message: bad option tag"
+      in
+      let oid, off = read_oid_opt s off in
+      let records, off = Value.read_varint s off in
+      (Submitted { row; oid; records }, off)
+  | '\x84' ->
+      let n, off = Value.read_varint s (off + 1) in
+      let off = ref off in
+      let records =
+        List.init n (fun _ ->
+            let r, o = Record.decode s !off in
+            off := o;
+            r)
+      in
+      (Records records, !off)
+  | '\x85' ->
+      let report, off = read_report s (off + 1) in
+      if off >= String.length s then failwith "Message: truncated"
+      else
+        let store_audit, off =
+          match s.[off] with
+          | '\x00' -> (None, off + 1)
+          | '\x01' ->
+              let a, o = read_report s (off + 1) in
+              (Some a, o)
+          | _ -> failwith "Message: bad option tag"
+        in
+        (Verified { report; store_audit }, off)
+  | '\x86' ->
+      let report, off = read_report s (off + 1) in
+      let examined, off = Value.read_varint s off in
+      let objects, off = Value.read_varint s off in
+      (Audited { report; examined; objects }, off)
+  | '\x87' ->
+      let generation, off = Value.read_varint s (off + 1) in
+      let lsn1, off = Value.read_varint s off in
+      (Checkpointed { generation; lsn = lsn1 - 1 }, off)
+  | '\x88' ->
+      let hash, off = Value.read_string s (off + 1) in
+      (Root { hash }, off)
+  | '\xff' ->
+      let tag, off = Value.read_varint s (off + 1) in
+      let message, off = Value.read_string s off in
+      (Error_resp { code = error_code_of_tag tag; message }, off)
+  | c -> failwith (Printf.sprintf "Message: bad response tag %#x" (Char.code c))
+
+let response_to_string r =
+  let buf = Buffer.create 256 in
+  encode_response buf r;
+  Buffer.contents buf

@@ -1,0 +1,65 @@
+(* Per-connection authenticated sessions.
+
+   The handshake is a challenge–response bootstrapped from the PKI:
+
+     client -> Hello { name; client_nonce }          (clear)
+     server -> Challenge { server_nonce }            (clear)
+     client -> Auth { signature }                    (clear)
+     server -> Auth_ok                               (sealed)
+
+   where [signature] is the client's RSA signature (the same key its
+   PKI certificate binds) over the handshake transcript.  Both sides
+   then derive a symmetric HMAC-SHA256 session key from the transcript
+   and the signature; every subsequent frame in either direction is
+   sealed: tag · message, with the tag covering direction, a
+   per-direction sequence number, and the message bytes — so frames
+   cannot be forged, replayed, reordered, or reflected back.
+
+   The server proves knowledge of the key implicitly: its Auth_ok (and
+   every later response) carries a valid tag, which only a party that
+   verified the signature against the registered certificate can
+   compute. *)
+
+open Tep_crypto
+
+let nonce_len = 16
+let tag_len = 32 (* HMAC-SHA256 *)
+
+(* Length-prefixed so no field boundary ambiguity exists between
+   distinct (name, nonce, nonce) triples. *)
+let transcript ~name ~client_nonce ~server_nonce =
+  let buf = Buffer.create 80 in
+  Buffer.add_string buf "tep-wire-auth-v1";
+  Tep_store.Value.add_string buf name;
+  Tep_store.Value.add_string buf client_nonce;
+  Tep_store.Value.add_string buf server_nonce;
+  Buffer.contents buf
+
+let derive_key ~transcript ~signature =
+  let ctx = Sha256.init () in
+  Sha256.update ctx "tep-wire-key-v1";
+  Sha256.update ctx transcript;
+  Sha256.update ctx signature;
+  Sha256.final ctx
+
+type direction = To_server | To_client
+
+let dir_byte = function To_server -> '>' | To_client -> '<'
+
+let tag ~key ~dir ~seq msg =
+  let buf = Buffer.create (String.length msg + 12) in
+  Buffer.add_char buf (dir_byte dir);
+  Tep_store.Value.add_varint buf seq;
+  Buffer.add_string buf msg;
+  Hmac.mac ~algo:Digest_algo.SHA256 ~key (Buffer.contents buf)
+
+let seal ~key ~dir ~seq msg = tag ~key ~dir ~seq msg ^ msg
+
+let open_ ~key ~dir ~seq payload =
+  if String.length payload < tag_len then Error "sealed frame too short"
+  else begin
+    let received = String.sub payload 0 tag_len in
+    let msg = String.sub payload tag_len (String.length payload - tag_len) in
+    if Hmac.equal_constant_time received (tag ~key ~dir ~seq msg) then Ok msg
+    else Error "authentication tag mismatch"
+  end

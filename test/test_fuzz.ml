@@ -47,6 +47,11 @@ let fuzz_decoders =
     fuzz "Participant.of_string" (fun s -> ignore (Participant.of_string s));
     fuzz "Rsa.public_of_string" (fun s ->
         ignore (Tep_crypto.Rsa.public_of_string s));
+    fuzz "Frame.parse" (fun s -> ignore (Tep_wire.Frame.parse s 0));
+    fuzz "Message.decode_request" (fun s ->
+        ignore (Tep_wire.Message.decode_request s 0));
+    fuzz "Message.decode_response" (fun s ->
+        ignore (Tep_wire.Message.decode_response s 0));
   ]
 
 (* WAL salvage must accept ANY byte string: worst case is an empty

@@ -1,0 +1,462 @@
+(* End-to-end service tests.
+
+   The loopback transport drives the server's connection state machine
+   directly — same frames, codecs and session sealing as a socket —
+   so most tests run deterministically in-process.  One test runs the
+   full daemon loop over a real Unix-domain socket.
+
+   The acceptance bar: reports received over the wire render
+   byte-identically to the in-process Verifier/Audit on the same
+   history, including after tampering. *)
+open Tep_store
+open Tep_tree
+open Tep_core
+open Tep_wire
+module Server = Tep_server.Server
+module Client = Tep_client.Client
+module Fault = Tep_fault.Fault
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let make_env () =
+  let drbg = Tep_crypto.Drbg.create ~seed:"service" in
+  let ca = Tep_crypto.Pki.create_ca ~bits:512 ~name:"CA" drbg in
+  let directory =
+    Participant.Directory.create ~ca_key:(Tep_crypto.Pki.ca_public_key ca)
+  in
+  let alice = Participant.create ~bits:512 ~ca ~name:"alice" drbg in
+  Participant.Directory.register directory alice;
+  let db = Database.create ~name:"svc" in
+  ignore
+    (Database.create_table db ~name:"stock" (Schema.all_int [ "sku"; "qty" ]));
+  let engine = Engine.create ~directory db in
+  (engine, ca, directory, alice, drbg)
+
+let make_server ?max_payload ?checkpoint engine alice =
+  Server.create ?max_payload ?checkpoint
+    ~drbg:(Tep_crypto.Drbg.create ~seed:"server")
+    ~participants:[ ("alice", alice) ]
+    engine
+
+let make_client server =
+  Client.loopback ~drbg:(Tep_crypto.Drbg.create ~seed:"client") server
+
+let local_report engine oid =
+  Format.asprintf "%a" Verifier.pp_report (ok (Engine.verify_object engine oid))
+
+let records_bytes records = String.concat "|" (List.map Record.encoded records)
+
+(* ------------------------------------------------------------------ *)
+(* Loopback happy path                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_loopback_session () =
+  let engine, _, directory, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let c = make_client server in
+  ok (Client.authenticate c alice);
+  Alcotest.(check bool) "authenticated" true (Client.authenticated c);
+  (* submit: insert, update, delete *)
+  let row, records = ok (Client.insert c ~table:"stock" [| Value.Int 1; Value.Int 10 |]) in
+  Alcotest.(check bool) "insert emits records" true (records > 0);
+  let row2, _ = ok (Client.insert c ~table:"stock" [| Value.Int 2; Value.Int 20 |]) in
+  ignore (ok (Client.update c ~table:"stock" ~row ~col:1 (Value.Int 9)));
+  ignore (ok (Client.delete c ~table:"stock" ~row:row2));
+  (* root hash over the wire = in-process root hash *)
+  Alcotest.(check string) "root hash" (Engine.root_hash engine)
+    (ok (Client.root_hash c));
+  (* provenance query: records byte-identical to in-process deliver *)
+  let m = Engine.mapping engine in
+  let row_oid =
+    match Tree_view.row_oid m "stock" row with
+    | Some o -> o
+    | None -> Alcotest.fail "row oid"
+  in
+  let remote_records = ok (Client.query c ~oid:row_oid ()) in
+  let _, local_records = ok (Engine.deliver engine row_oid) in
+  Alcotest.(check string) "query records byte-identical"
+    (records_bytes local_records) (records_bytes remote_records);
+  (* aggregate *)
+  let agg_oid, _ = ok (Client.aggregate c [ row_oid ]) in
+  let agg_records = ok (Client.query c ~oid:agg_oid ()) in
+  Alcotest.(check bool) "aggregate has provenance" true (agg_records <> []);
+  (* verify: report byte-identical to the in-process verifier *)
+  let report, store_audit = ok (Client.verify c ()) in
+  Alcotest.(check string) "verify report byte-identical"
+    (local_report engine (Engine.root_oid engine))
+    (Message.render_report report);
+  (match store_audit with
+  | Some a -> Alcotest.(check bool) "store audit clean" true (Message.report_ok a)
+  | None -> Alcotest.fail "whole-db verify must include a store audit");
+  (* targeted verify *)
+  let cell_report, none_audit = ok (Client.verify c ~oid:row_oid ()) in
+  Alcotest.(check string) "targeted verify byte-identical"
+    (local_report engine row_oid)
+    (Message.render_report cell_report);
+  Alcotest.(check bool) "targeted verify has no store audit" true
+    (none_audit = None);
+  (* audit: byte-identical to a local incremental audit from empty *)
+  let remote_audit, examined, objects = ok (Client.audit c) in
+  let local_audit, local_cp, local_examined =
+    Audit.incremental_audit ~algo:(Engine.algo engine) ~directory Audit.empty
+      (Engine.provstore engine)
+  in
+  Alcotest.(check string) "audit report byte-identical"
+    (Format.asprintf "%a" Verifier.pp_report local_audit)
+    (Message.render_report remote_audit);
+  Alcotest.(check int) "examined" local_examined examined;
+  Alcotest.(check int) "objects" (Audit.objects local_cp) objects;
+  (* second audit examines only what is new (nothing) *)
+  let _, examined2, _ = ok (Client.audit c) in
+  Alcotest.(check int) "incremental audit examines nothing new" 0 examined2;
+  Client.close c
+
+let test_loopback_tamper_detected () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let c = make_client server in
+  ok (Client.authenticate c alice);
+  ignore (ok (Client.insert c ~table:"stock" [| Value.Int 1; Value.Int 10 |]));
+  let report, _ = ok (Client.verify c ()) in
+  Alcotest.(check bool) "clean before tampering" true (Message.report_ok report);
+  (* mutate a cell behind the engine's back, like `provdb tamper` *)
+  let forest = Engine.forest engine in
+  let cell =
+    match
+      List.concat_map (fun r -> Forest.children forest r) (Forest.roots forest)
+      |> List.concat_map (fun t -> Forest.children forest t)
+      |> List.concat_map (fun r -> Forest.children forest r)
+    with
+    | c :: _ -> c
+    | [] -> Alcotest.fail "no cells"
+  in
+  ignore (Forest.update forest cell (Value.Text "TAMPERED"));
+  let report, _ = ok (Client.verify c ()) in
+  Alcotest.(check bool) "tampering detected over the wire" false
+    (Message.report_ok report);
+  (* and the report still matches the in-process verifier byte-for-byte *)
+  Alcotest.(check string) "tamper report byte-identical"
+    (local_report engine (Engine.root_oid engine))
+    (Message.render_report report)
+
+let test_checkpoint_rpc () =
+  let engine, _, _, alice, _ = make_env () in
+  (* without checkpointing configured the RPC fails cleanly *)
+  let bare = make_server engine alice in
+  let c = make_client bare in
+  ok (Client.authenticate c alice);
+  (match Client.checkpoint c with
+  | Error e ->
+      Alcotest.(check bool) "reports failed" true
+        (String.length e > 0)
+  | Ok _ -> Alcotest.fail "checkpoint without config must fail");
+  (* with a checkpoint directory + WAL it writes a generation *)
+  let dir = Filename.temp_file "tep_service_ckpt" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let wal = Wal.open_file (Filename.concat dir "wal.log") in
+  let server = make_server ~checkpoint:(dir, wal) engine alice in
+  let c2 = make_client server in
+  ok (Client.authenticate c2 alice);
+  ignore (ok (Client.insert c2 ~table:"stock" [| Value.Int 5; Value.Int 50 |]));
+  let generation, _lsn = ok (Client.checkpoint c2) in
+  Alcotest.(check bool) "generation written" true (generation >= 0);
+  Alcotest.(check bool) "generation file exists" true
+    (Sys.file_exists (Recovery.generation_path ~dir generation))
+
+(* ------------------------------------------------------------------ *)
+(* Authentication failures                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_auth_unknown_participant () =
+  let engine, ca, _, alice, drbg = make_env () in
+  let server = make_server engine alice in
+  let c = make_client server in
+  let mallory = Participant.create ~bits:512 ~ca ~name:"mallory" drbg in
+  match Client.authenticate c mallory with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown participant must be rejected"
+
+let test_auth_wrong_key () =
+  let engine, ca, _, alice, drbg = make_env () in
+  let server = make_server engine alice in
+  let c = make_client server in
+  (* same name, different keypair: the server checks the signature
+     against the registered certificate, not the claimed identity *)
+  let fake_alice = Participant.create ~bits:512 ~ca ~name:"alice" drbg in
+  match Client.authenticate c fake_alice with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "wrong key must be rejected"
+
+(* Raw-frame driving of the connection state machine, for cases the
+   well-behaved client cannot produce. *)
+let clear_frame req =
+  Frame.to_string ~kind:Frame.Clear (Message.request_to_string req)
+
+let parse_one s =
+  match Frame.parse s 0 with
+  | Frame.Frame { kind; payload; consumed } ->
+      Alcotest.(check int) "single frame" (String.length s) consumed;
+      (kind, payload)
+  | _ -> Alcotest.fail "expected one complete frame"
+
+let decode_resp payload = fst (Message.decode_response payload 0)
+
+let expect_error name s code =
+  match parse_one s with
+  | _, payload -> (
+      match decode_resp payload with
+      | Message.Error_resp { code = c; _ } ->
+          Alcotest.(check string) name
+            (Message.error_code_name code)
+            (Message.error_code_name c)
+      | _ -> Alcotest.fail (name ^ ": expected an error response"))
+
+(* Drive the handshake by hand; returns the session key. *)
+let handshake conn p =
+  let name = Participant.name p in
+  let client_nonce = String.make Session.nonce_len 'n' in
+  let resp =
+    Tep_server.Server.feed conn
+      (clear_frame (Message.Hello { name; nonce = client_nonce }))
+  in
+  let server_nonce =
+    match parse_one resp with
+    | Frame.Clear, payload -> (
+        match decode_resp payload with
+        | Message.Challenge { nonce } -> nonce
+        | _ -> Alcotest.fail "expected a challenge")
+    | _ -> Alcotest.fail "challenge must be clear"
+  in
+  let transcript = Session.transcript ~name ~client_nonce ~server_nonce in
+  let signature = Participant.sign p transcript in
+  let key = Session.derive_key ~transcript ~signature in
+  let resp =
+    Tep_server.Server.feed conn (clear_frame (Message.Auth { signature }))
+  in
+  (match parse_one resp with
+  | Frame.Sealed, payload -> (
+      match Session.open_ ~key ~dir:Session.To_client ~seq:0 payload with
+      | Ok msg -> (
+          match decode_resp msg with
+          | Message.Auth_ok _ -> ()
+          | _ -> Alcotest.fail "expected Auth_ok")
+      | Error e -> Alcotest.fail ("Auth_ok failed to open: " ^ e))
+  | _ -> Alcotest.fail "Auth_ok must be sealed");
+  key
+
+let test_pre_auth_request_rejected () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let conn = Tep_server.Server.conn server in
+  (* a clear Query before the handshake *)
+  let resp = Tep_server.Server.feed conn (clear_frame (Message.Query None)) in
+  expect_error "pre-auth request" resp Message.Auth_required;
+  Alcotest.(check string) "connection dead" ""
+    (Tep_server.Server.feed conn (clear_frame (Message.Query None)))
+
+let test_sealed_frame_pre_auth_rejected () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let conn = Tep_server.Server.conn server in
+  let resp =
+    Tep_server.Server.feed conn (Frame.to_string ~kind:Frame.Sealed "garbage")
+  in
+  expect_error "sealed pre-auth" resp Message.Auth_required
+
+let test_bad_mac_and_replay_rejected () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let conn = Tep_server.Server.conn server in
+  let key = handshake conn alice in
+  (* sealed with the wrong sequence number (replay/reorder) *)
+  let sealed =
+    Session.seal ~key ~dir:Session.To_server ~seq:5
+      (Message.request_to_string Message.Root_hash)
+  in
+  let resp =
+    Tep_server.Server.feed conn (Frame.to_string ~kind:Frame.Sealed sealed)
+  in
+  (match parse_one resp with
+  | Frame.Sealed, payload -> (
+      (* the error still arrives sealed: the session key exists *)
+      match Session.open_ ~key ~dir:Session.To_client ~seq:1 payload with
+      | Ok msg -> (
+          match decode_resp msg with
+          | Message.Error_resp { code = Message.Auth_failed; _ } -> ()
+          | _ -> Alcotest.fail "expected auth-failed")
+      | Error e -> Alcotest.fail ("error response failed to open: " ^ e))
+  | _ -> Alcotest.fail "expected a sealed error");
+  Alcotest.(check string) "connection dead" ""
+    (Tep_server.Server.feed conn (clear_frame Message.Root_hash))
+
+let test_clear_frame_post_auth_rejected () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let conn = Tep_server.Server.conn server in
+  let _key = handshake conn alice in
+  let resp = Tep_server.Server.feed conn (clear_frame Message.Root_hash) in
+  match parse_one resp with
+  | Frame.Sealed, _ -> () (* sealed error response; connection dies *)
+  | _ -> Alcotest.fail "expected a sealed error response"
+
+(* ------------------------------------------------------------------ *)
+(* Malformed input and fault injection                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_corrupt_frame_rejected () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let conn = Tep_server.Server.conn server in
+  let resp = Tep_server.Server.feed conn "not a frame at all" in
+  expect_error "corrupt frame" resp Message.Bad_request;
+  Alcotest.(check string) "connection dead" ""
+    (Tep_server.Server.feed conn (clear_frame (Message.Query None)))
+
+let test_oversized_frame_rejected () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server ~max_payload:64 engine alice in
+  let conn = Tep_server.Server.conn server in
+  let resp =
+    Tep_server.Server.feed conn
+      (Frame.to_string ~kind:Frame.Clear (String.make 100 'x'))
+  in
+  expect_error "oversized frame" resp Message.Too_large
+
+let test_torn_read_then_recovers () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let conn = Tep_server.Server.conn server in
+  Fault.reset ();
+  let hello =
+    clear_frame (Message.Hello { name = "alice"; nonce = String.make 16 'n' })
+  in
+  (* half the bytes are torn off in flight: no response yet *)
+  Fault.arm "wire.server.read" (Fault.Torn_write 0.5);
+  let torn_len = String.length hello / 2 in
+  Alcotest.(check string) "torn read: no frame yet" ""
+    (Tep_server.Server.feed conn (String.sub hello 0 torn_len));
+  Fault.reset ();
+  (* the peer retransmits the missing tail; the frame completes *)
+  let resp =
+    Tep_server.Server.feed conn
+      (String.sub hello (torn_len / 2) (String.length hello - torn_len / 2))
+  in
+  (match parse_one resp with
+  | Frame.Clear, payload -> (
+      match decode_resp payload with
+      | Message.Challenge _ -> ()
+      | _ -> Alcotest.fail "expected a challenge after reassembly")
+  | _ -> Alcotest.fail "expected a clear challenge")
+
+let test_bit_flip_rejected () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let hello =
+    clear_frame (Message.Hello { name = "alice"; nonce = String.make 16 'n' })
+  in
+  (* A flipped bit in the length field leaves the parser waiting for a
+     frame that never completes; a flip anywhere else trips the CRC.
+     Either way a corrupted frame must never be accepted, and across a
+     handful of deterministic seeds the CRC path must fire. *)
+  let rejected = ref 0 in
+  for i = 0 to 15 do
+    let conn = Tep_server.Server.conn server in
+    Fault.reset ();
+    Fault.seed (Printf.sprintf "bitflip-%d" i);
+    Fault.arm "wire.server.read" Fault.Bit_flip;
+    let resp = Tep_server.Server.feed conn hello in
+    Fault.reset ();
+    match resp with
+    | "" -> () (* length garbled: parser is stuck waiting, not fooled *)
+    | s -> (
+        match parse_one s with
+        | Frame.Clear, payload -> (
+            match decode_resp payload with
+            | Message.Error_resp { code = Message.Bad_request; _ } ->
+                incr rejected;
+                Alcotest.(check string) "connection dead" ""
+                  (Tep_server.Server.feed conn hello)
+            | Message.Challenge _ ->
+                Alcotest.fail "corrupted frame was accepted"
+            | _ -> Alcotest.fail "unexpected response to corrupted frame")
+        | _ -> Alcotest.fail "unexpected sealed response")
+  done;
+  Alcotest.(check bool) "frame CRC fired at least once" true (!rejected > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Real Unix-domain socket                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_unix_socket_end_to_end () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let path = Filename.temp_file "tep_service" ".sock" in
+  Sys.remove path;
+  let stop = Stdlib.Atomic.make false in
+  let th =
+    Thread.create (fun () -> Server.serve_unix server ~path ~stop) ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Stdlib.Atomic.set stop true;
+      Thread.join th;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let c =
+        ok
+          (Client.connect_unix
+             ~drbg:(Tep_crypto.Drbg.create ~seed:"sock-client")
+             path)
+      in
+      ok (Client.authenticate c alice);
+      let _row, records =
+        ok (Client.insert c ~table:"stock" [| Value.Int 7; Value.Int 70 |])
+      in
+      Alcotest.(check bool) "socket insert emits records" true (records > 0);
+      let report, _ = ok (Client.verify c ()) in
+      Alcotest.(check string) "socket verify byte-identical"
+        (local_report engine (Engine.root_oid engine))
+        (Message.render_report report);
+      Alcotest.(check string) "socket root hash" (Engine.root_hash engine)
+        (ok (Client.root_hash c));
+      Client.close c)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "loopback",
+        [
+          Alcotest.test_case "session end-to-end" `Quick test_loopback_session;
+          Alcotest.test_case "tamper detected" `Quick
+            test_loopback_tamper_detected;
+          Alcotest.test_case "checkpoint rpc" `Quick test_checkpoint_rpc;
+        ] );
+      ( "auth",
+        [
+          Alcotest.test_case "unknown participant" `Quick
+            test_auth_unknown_participant;
+          Alcotest.test_case "wrong key" `Quick test_auth_wrong_key;
+          Alcotest.test_case "pre-auth request" `Quick
+            test_pre_auth_request_rejected;
+          Alcotest.test_case "pre-auth sealed frame" `Quick
+            test_sealed_frame_pre_auth_rejected;
+          Alcotest.test_case "bad MAC / replay" `Quick
+            test_bad_mac_and_replay_rejected;
+          Alcotest.test_case "clear frame post-auth" `Quick
+            test_clear_frame_post_auth_rejected;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "corrupt frame" `Quick test_corrupt_frame_rejected;
+          Alcotest.test_case "oversized frame" `Quick
+            test_oversized_frame_rejected;
+          Alcotest.test_case "torn read" `Quick test_torn_read_then_recovers;
+          Alcotest.test_case "bit flip" `Quick test_bit_flip_rejected;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "unix socket end-to-end" `Quick
+            test_unix_socket_end_to_end;
+        ] );
+    ]

@@ -1,0 +1,341 @@
+(* Wire protocol unit + property tests: frame round-trips and
+   incremental parsing, streaming-CRC equivalence, session sealing
+   (tamper / replay / reflection rejection), request/response codec
+   round-trips over every variant, and byte-level mutation fuzz —
+   a corrupted frame must be rejected, never surface as valid. *)
+open Tep_store
+open Tep_tree
+open Tep_core
+open Tep_wire
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let payloads =
+  [ ""; "x"; "hello world"; String.make 1000 '\x00'; "\xff\x00TW1\x00" ]
+
+let test_frame_roundtrip () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun p ->
+          let s = Frame.to_string ~kind p in
+          match Frame.parse s 0 with
+          | Frame.Frame { kind = k; payload; consumed } ->
+              Alcotest.(check bool) "kind" true (k = kind);
+              Alcotest.(check string) "payload" p payload;
+              Alcotest.(check int) "consumed" (String.length s) consumed
+          | _ -> Alcotest.fail "expected a complete frame")
+        payloads)
+    [ Frame.Clear; Frame.Sealed ]
+
+let test_frame_incremental () =
+  let s = Frame.to_string ~kind:Frame.Clear "incremental payload" in
+  (* every strict prefix wants more bytes; the full string parses *)
+  for n = 0 to String.length s - 1 do
+    match Frame.parse (String.sub s 0 n) 0 with
+    | Frame.Need_more k ->
+        Alcotest.(check bool) "need positive" true (k > 0);
+        Alcotest.(check bool) "never overshoots" true
+          (k <= String.length s - n)
+    | _ -> Alcotest.fail (Printf.sprintf "prefix %d should need more" n)
+  done;
+  (* two frames back to back parse in sequence from an offset *)
+  let s2 = s ^ Frame.to_string ~kind:Frame.Sealed "second" in
+  match Frame.parse s2 0 with
+  | Frame.Frame { consumed; _ } -> (
+      match Frame.parse s2 consumed with
+      | Frame.Frame { payload; _ } ->
+          Alcotest.(check string) "second frame" "second" payload
+      | _ -> Alcotest.fail "second frame should parse")
+  | _ -> Alcotest.fail "first frame should parse"
+
+let test_frame_oversized () =
+  let s = Frame.to_string ~kind:Frame.Clear (String.make 100 'a') in
+  match Frame.parse ~max_payload:50 s 0 with
+  | Frame.Oversized n -> Alcotest.(check int) "declared length" 100 n
+  | _ -> Alcotest.fail "expected Oversized"
+
+let test_frame_bad_magic () =
+  (match Frame.parse "XXXXXXXXXXXX" 0 with
+  | Frame.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad magic must be Corrupt");
+  match Frame.parse "TW1Zxxxxxxxxx" 0 with
+  | Frame.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad kind must be Corrupt"
+
+(* Any single byte mutation of a valid frame must never parse back to
+   the original payload — and must never raise. *)
+let prop_frame_mutation =
+  QCheck2.Test.make ~name:"frame byte mutation never yields the payload"
+    ~count:1000
+    QCheck2.Gen.(
+      triple
+        (string_size ~gen:char (int_range 0 60))
+        (int_range 0 1_000_000) (int_range 1 255))
+    (fun (payload, pos, delta) ->
+      let s = Frame.to_string ~kind:Frame.Clear payload in
+      let pos = pos mod String.length s in
+      let mutated =
+        String.mapi
+          (fun i c ->
+            if i = pos then Char.chr ((Char.code c + delta) land 0xff) else c)
+          s
+      in
+      match Frame.parse mutated 0 with
+      | Frame.Frame { payload = p; _ } -> p <> payload
+      | Frame.Need_more _ | Frame.Oversized _ | Frame.Corrupt _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming CRC                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let prop_crc_streaming =
+  QCheck2.Test.make ~name:"streamed CRC equals one-shot CRC" ~count:500
+    QCheck2.Gen.(
+      pair (string_size ~gen:char (int_range 0 300)) (int_range 0 1_000_000))
+    (fun (s, cut) ->
+      let one_shot = Tep_crypto.Crc32.digest s in
+      let cut = if String.length s = 0 then 0 else cut mod String.length s in
+      let ctx = Tep_crypto.Crc32.init () in
+      Tep_crypto.Crc32.feed_sub ctx s 0 cut;
+      Tep_crypto.Crc32.feed ctx (String.sub s cut (String.length s - cut));
+      Tep_crypto.Crc32.finalize ctx = one_shot)
+
+(* ------------------------------------------------------------------ *)
+(* Session sealing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let key =
+  Session.derive_key
+    ~transcript:
+      (Session.transcript ~name:"alice" ~client_nonce:(String.make 16 'c')
+         ~server_nonce:(String.make 16 's'))
+    ~signature:"not a real signature"
+
+let test_seal_roundtrip () =
+  let msg = "the request body" in
+  let sealed = Session.seal ~key ~dir:Session.To_server ~seq:7 msg in
+  (match Session.open_ ~key ~dir:Session.To_server ~seq:7 sealed with
+  | Ok m -> Alcotest.(check string) "round trip" msg m
+  | Error e -> Alcotest.fail e);
+  (* replay at a different sequence number *)
+  (match Session.open_ ~key ~dir:Session.To_server ~seq:8 sealed with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong seq must be rejected");
+  (* reflection back in the other direction *)
+  (match Session.open_ ~key ~dir:Session.To_client ~seq:7 sealed with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong direction must be rejected");
+  (* wrong key *)
+  let key2 = Session.derive_key ~transcript:"other" ~signature:"other" in
+  (match Session.open_ ~key:key2 ~dir:Session.To_server ~seq:7 sealed with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong key must be rejected");
+  (* too short to carry a tag *)
+  match Session.open_ ~key ~dir:Session.To_server ~seq:0 "short" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short payload must be rejected"
+
+let prop_seal_mutation =
+  QCheck2.Test.make ~name:"sealed-frame byte mutation is rejected" ~count:500
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 1 255))
+    (fun (pos, delta) ->
+      let msg = "an authenticated message" in
+      let sealed = Session.seal ~key ~dir:Session.To_client ~seq:3 msg in
+      let pos = pos mod String.length sealed in
+      let mutated =
+        String.mapi
+          (fun i c ->
+            if i = pos then Char.chr ((Char.code c + delta) land 0xff) else c)
+          sealed
+      in
+      match Session.open_ ~key ~dir:Session.To_client ~seq:3 mutated with
+      | Error _ -> true
+      | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Message codecs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sample_record =
+  {
+    Record.seq_id = 3;
+    participant = "alice";
+    kind = Record.Update;
+    inherited = true;
+    input_oids = [ Oid.of_int 4 ];
+    input_hashes = [ String.make 20 '\x01' ];
+    output_oid = Oid.of_int 4;
+    output_hash = String.make 20 '\x02';
+    output_value = Some (Value.Int 42);
+    prev_checksums = [ "prev \x00 checksum" ];
+    checksum = "checksum bytes";
+  }
+
+let sample_report =
+  {
+    Message.rp_records = 12;
+    rp_objects = 4;
+    rp_signatures = 12;
+    rp_violations = [ "violation one"; "violation two" ];
+  }
+
+let clean_report =
+  { Message.rp_records = 9; rp_objects = 3; rp_signatures = 9; rp_violations = [] }
+
+let sample_requests =
+  [
+    Message.Hello { name = "alice"; nonce = String.make 16 '\x07' };
+    Message.Auth { signature = String.make 64 '\x55' };
+    Message.Submit
+      (Message.Op_insert
+         { table = "stock"; cells = [| Value.Text "W-1"; Value.Int 9; Value.Null |] });
+    Message.Submit
+      (Message.Op_update
+         { table = "stock"; row = 3; col = 1; value = Value.Float 2.5 });
+    Message.Submit (Message.Op_delete { table = "stock"; row = 0 });
+    Message.Submit
+      (Message.Op_aggregate
+         { inputs = [ Oid.of_int 1; Oid.of_int 2 ]; value = Value.Text "agg" });
+    Message.Query None;
+    Message.Query (Some (Oid.of_int 17));
+    Message.Verify None;
+    Message.Verify (Some (Oid.of_int 0));
+    Message.Audit;
+    Message.Checkpoint;
+    Message.Root_hash;
+  ]
+
+let sample_responses =
+  [
+    Message.Challenge { nonce = String.make 16 '\x09' };
+    Message.Auth_ok { server = "provdbd" };
+    Message.Submitted { row = Some 5; oid = None; records = 4 };
+    Message.Submitted { row = None; oid = Some (Oid.of_int 31); records = 2 };
+    Message.Records [];
+    Message.Records [ sample_record; sample_record ];
+    Message.Verified { report = clean_report; store_audit = None };
+    Message.Verified { report = sample_report; store_audit = Some clean_report };
+    Message.Audited { report = sample_report; examined = 7; objects = 3 };
+    Message.Checkpointed { generation = 4; lsn = 128 };
+    Message.Checkpointed { generation = 1; lsn = -1 };
+    Message.Root { hash = String.make 32 '\xee' };
+    Message.Error_resp { code = Message.Auth_required; message = "who?" };
+    Message.Error_resp { code = Message.Failed; message = "" };
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      let s = Message.request_to_string req in
+      let req', consumed = Message.decode_request s 0 in
+      Alcotest.(check int) "consumed all" (String.length s) consumed;
+      Alcotest.(check string) "stable re-encoding" s
+        (Message.request_to_string req'))
+    sample_requests
+
+let test_response_roundtrip () =
+  List.iter
+    (fun resp ->
+      let s = Message.response_to_string resp in
+      let resp', consumed = Message.decode_response s 0 in
+      Alcotest.(check int) "consumed all" (String.length s) consumed;
+      Alcotest.(check string) "stable re-encoding" s
+        (Message.response_to_string resp'))
+    sample_responses
+
+(* The wire report must render byte-identically to the in-process
+   verifier's formatter — that is what lets a remote client print the
+   same report the server computed. *)
+let test_report_rendering () =
+  let reports =
+    [
+      {
+        Verifier.violations = [];
+        records_checked = 12;
+        objects_checked = 5;
+        signatures_checked = 12;
+      };
+      {
+        Verifier.violations =
+          [
+            Verifier.No_provenance (Oid.of_int 7);
+            Verifier.Duplicate_seq { oid = Oid.of_int 2; seq = 5 };
+            Verifier.Object_mismatch
+              {
+                oid = Oid.of_int 1;
+                expected = String.make 20 '\x03';
+                actual = String.make 20 '\x04';
+              };
+          ];
+        records_checked = 3;
+        objects_checked = 1;
+        signatures_checked = 3;
+      };
+    ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check string)
+        "render_report = pp_report"
+        (Format.asprintf "%a" Verifier.pp_report r)
+        (Message.render_report (Message.report_of_verifier r)))
+    reports
+
+let gen_bytes = QCheck2.Gen.(string_size ~gen:char (int_range 0 200))
+
+let survives f =
+  match f () with
+  | _ -> true
+  | exception (Failure _ | Invalid_argument _) -> true
+  | exception _ -> false
+
+let fuzz name f =
+  QCheck2.Test.make ~name ~count:2000 gen_bytes (fun s -> survives (fun () -> f s))
+
+let fuzz_decoders =
+  [
+    fuzz "Message.decode_request" (fun s -> ignore (Message.decode_request s 0));
+    fuzz "Message.decode_response" (fun s ->
+        ignore (Message.decode_response s 0));
+    fuzz "Frame.parse" (fun s ->
+        match Frame.parse s 0 with
+        | Frame.Need_more _ | Frame.Frame _ | Frame.Oversized _
+        | Frame.Corrupt _ ->
+            ());
+    fuzz "Frame.parse with magic prefix" (fun s ->
+        match Frame.parse ("TW1" ^ s) 0 with
+        | Frame.Need_more _ | Frame.Frame _ | Frame.Oversized _
+        | Frame.Corrupt _ ->
+            ());
+  ]
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "incremental" `Quick test_frame_incremental;
+          Alcotest.test_case "oversized" `Quick test_frame_oversized;
+          Alcotest.test_case "bad magic/kind" `Quick test_frame_bad_magic;
+          qtest prop_frame_mutation;
+          qtest prop_crc_streaming;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "seal/open" `Quick test_seal_roundtrip;
+          qtest prop_seal_mutation;
+        ] );
+      ( "messages",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+          Alcotest.test_case "report rendering" `Quick test_report_rendering;
+        ]
+        @ List.map qtest fuzz_decoders );
+    ]

@@ -1,9 +1,11 @@
 #!/bin/sh
 # Repository check: full build, every test suite, an explicit run of
-# the crash-point enumeration harness (the durability gate), and the
+# the crash-point enumeration harness (the durability gate), the
 # parallel-verification smoke benchmark (fails when any domain-pool
-# report disagrees with the sequential run).
-# Equivalent to `dune build @check-all`.
+# report disagrees with the sequential run), and the wire-service
+# gate (loopback + socket throughput, then a scripted provdbd
+# session asserting tampering is reported over the wire).
+# Equivalent to `dune build @check-all` plus the daemon session.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,5 +20,56 @@ dune exec test/test_crash.exe
 
 echo "== bench-smoke (parallel determinism gate) =="
 TEP_SCALE=smoke TEP_BENCH_JSON=0 dune exec bench/main.exe -- parallel
+
+echo "== serve-smoke (wire service gate) =="
+TEP_SCALE=smoke TEP_BENCH_JSON=0 dune exec bench/main.exe -- serve
+
+echo "== serve-smoke (scripted provdbd session) =="
+PROVDB=_build/default/bin/provdb.exe
+PROVDBD=_build/default/bin/provdbd.exe
+ws=$(mktemp -d)/ws
+cleanup() {
+  if [ -n "${daemon_pid:-}" ]; then
+    kill "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$(dirname "$ws")"
+}
+trap cleanup EXIT
+
+"$PROVDB" init "$ws" --table 'stock:sku,qty@int'
+"$PROVDB" participant "$ws" alice
+
+wait_for_socket() {
+  i=0
+  while [ ! -S "$ws/provdbd.sock" ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "daemon socket never appeared"; exit 1; }
+    sleep 0.1
+  done
+}
+
+"$PROVDBD" "$ws" & daemon_pid=$!
+wait_for_socket
+"$PROVDB" remote insert "$ws" --as alice --table stock --values 'WIDGET-1,100'
+"$PROVDB" remote query "$ws" --as alice > /dev/null
+"$PROVDB" remote verify "$ws" --as alice
+# clean shutdown persists the workspace
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+
+"$PROVDB" tamper "$ws" --attack data
+
+"$PROVDBD" "$ws" & daemon_pid=$!
+wait_for_socket
+status=0
+"$PROVDB" remote verify "$ws" --as alice || status=$?
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || true
+if [ "$status" -ne 3 ]; then
+  echo "FAIL: remote verify after tampering exited $status, expected 3"
+  exit 1
+fi
+echo "serve-smoke: tampering reported over the wire (exit 3)"
 
 echo "check: OK"
