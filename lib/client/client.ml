@@ -27,7 +27,8 @@ type t = {
   transport : transport;
   drbg : Tep_crypto.Drbg.t;
   max_payload : int;
-  mutable buf : string;
+  inbox : Buffer.t; (* unconsumed input; compacted once per frame *)
+  mutable need : int; (* skip parse attempts below this many bytes *)
   mutable session : session option;
   mutable closed : bool;
 }
@@ -36,7 +37,15 @@ let make ?(max_payload = Frame.default_max_payload) ?drbg transport =
   let drbg =
     match drbg with Some d -> d | None -> Tep_crypto.Drbg.create_system ()
   in
-  { transport; drbg; max_payload; buf = ""; session = None; closed = false }
+  {
+    transport;
+    drbg;
+    max_payload;
+    inbox = Buffer.create 256;
+    need = Frame.header_len;
+    session = None;
+    closed = false;
+  }
 
 let close t =
   if not t.closed then begin
@@ -146,23 +155,35 @@ let connect_tcp ?max_payload ?drbg ?retries ?backoff ~host ~port () =
 (* Frame exchange                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* Mirrors the server's [feed] buffering: chunks accumulate in a
+   Buffer and the parse window is only materialised once the frame
+   could be complete, so a large response costs O(n), not O(n^2). *)
 let read_frame t =
-  let rec go () =
-    match Frame.parse ~max_payload:t.max_payload t.buf 0 with
+  let rec fill () =
+    if Buffer.length t.inbox >= t.need then parse ()
+    else
+      match t.transport.recv () with
+      | "" -> Error "connection closed by server"
+      | chunk ->
+          Buffer.add_string t.inbox chunk;
+          fill ()
+  and parse () =
+    let buffered = Buffer.contents t.inbox in
+    match Frame.parse ~max_payload:t.max_payload buffered 0 with
     | Frame.Frame { kind; payload; consumed } ->
-        t.buf <- String.sub t.buf consumed (String.length t.buf - consumed);
+        Buffer.clear t.inbox;
+        Buffer.add_substring t.inbox buffered consumed
+          (String.length buffered - consumed);
+        t.need <- Frame.header_len;
         Ok (kind, payload)
-    | Frame.Need_more _ -> (
-        match t.transport.recv () with
-        | "" -> Error "connection closed by server"
-        | chunk ->
-            t.buf <- t.buf ^ chunk;
-            go ())
+    | Frame.Need_more n ->
+        t.need <- String.length buffered + n;
+        fill ()
     | Frame.Oversized n ->
         Error (Printf.sprintf "oversized frame from server (%d bytes)" n)
     | Frame.Corrupt reason -> Error ("corrupt frame from server: " ^ reason)
   in
-  go ()
+  fill ()
 
 let decode_response payload =
   match Message.decode_response payload 0 with
@@ -231,12 +252,26 @@ let authenticate t participant =
         | Error e -> Error e
         | Ok (Message.Error_resp { code; message }) -> error_of code message
         | Ok (Message.Challenge { nonce = server_nonce }) -> (
+            (* Key transport: the session secret travels RSA-encrypted
+               to the participant's certificate key, and the transcript
+               signature covers the ciphertext — an observer of the
+               handshake cannot derive the session key, and only the
+               holder of the participant's private key (the daemon's
+               workspace copy) can complete it. *)
+            let secret =
+              Tep_crypto.Drbg.generate t.drbg Session.key_share_len
+            in
+            let key_share =
+              Tep_crypto.Rsa.encrypt t.drbg
+                (Participant.public_key participant)
+                secret
+            in
             let transcript =
-              Session.transcript ~name ~client_nonce ~server_nonce
+              Session.transcript ~name ~client_nonce ~server_nonce ~key_share
             in
             let signature = Participant.sign participant transcript in
-            send_clear t (Message.Auth { signature });
-            let key = Session.derive_key ~transcript ~signature in
+            send_clear t (Message.Auth { signature; key_share });
+            let key = Session.derive_key ~transcript ~signature ~secret in
             match read_frame t with
             | Error e -> Error e
             | Ok (Frame.Clear, payload) -> read_clear_error payload

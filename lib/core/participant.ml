@@ -13,6 +13,7 @@ let public_key t = t.keys.Rsa.public
 let certificate t = t.cert
 
 let sign t payload = Rsa.sign ~algo:Digest_algo.SHA256 t.keys.Rsa.private_ payload
+let decrypt t ciphertext = Rsa.decrypt t.keys.Rsa.private_ ciphertext
 
 let key_fingerprint t = Rsa.fingerprint (public_key t)
 

@@ -16,6 +16,12 @@ val certificate : t -> Tep_crypto.Pki.certificate
 val sign : t -> string -> string
 (** Sign a checksum payload (PKCS#1 v1.5, SHA-256 over the payload). *)
 
+val decrypt : t -> string -> string option
+(** RSAES-PKCS1-v1_5 decryption with the participant's private key.
+    Used by the service handshake: the client encrypts a session-key
+    share to the certificate key, and only a holder of the matching
+    private key (the daemon's workspace copy) can recover it. *)
+
 val key_fingerprint : t -> string
 
 val to_string : t -> string

@@ -127,6 +127,42 @@ let verify ?(algo = Digest_algo.SHA1) pk ~msg ~signature =
     end
   end
 
+(* RSAES-PKCS1-v1_5 (RFC 3447 §7.2): EM = 00 02 PS 00 M with PS at
+   least eight nonzero random bytes.  Used by the wire handshake to
+   transport a session-key share; there the ciphertext is covered by
+   the client's transcript signature, which the server verifies
+   *before* decrypting, so decryption never runs on attacker-chosen
+   ciphertexts (no Bleichenbacher padding oracle). *)
+let encrypt drbg pk msg =
+  let len = key_bytes pk in
+  let mlen = String.length msg in
+  if mlen > len - 11 then invalid_arg "Rsa.encrypt: message too long for key";
+  let ps = Bytes.of_string (Drbg.generate drbg (len - mlen - 3)) in
+  for i = 0 to Bytes.length ps - 1 do
+    while Bytes.get ps i = '\x00' do
+      Bytes.set ps i (Drbg.generate drbg 1).[0]
+    done
+  done;
+  let em = "\x00\x02" ^ Bytes.unsafe_to_string ps ^ "\x00" ^ msg in
+  Nat.to_bytes_be_padded len (raw_public pk (Nat.of_bytes_be em))
+
+let decrypt key c =
+  let len = (Nat.num_bits key.pn + 7) / 8 in
+  if String.length c <> len then None
+  else begin
+    let cn = Nat.of_bytes_be c in
+    if Nat.compare cn key.pn >= 0 then None
+    else begin
+      let em = Nat.to_bytes_be_padded len (raw_sign key cn) in
+      if len < 11 || em.[0] <> '\x00' || em.[1] <> '\x02' then None
+      else
+        (* the 00 separator must leave >= 8 bytes of PS before it *)
+        match String.index_from_opt em 2 '\x00' with
+        | Some z when z >= 10 -> Some (String.sub em (z + 1) (len - z - 1))
+        | _ -> None
+    end
+  end
+
 let public_to_string pk =
   Printf.sprintf "rsa-pub:%s:%s" (Nat.to_hex pk.n) (Nat.to_hex pk.e)
 

@@ -41,6 +41,21 @@ val verify :
 (** Full encode-then-compare verification (immune to padding-laxity
     forgeries). *)
 
+(** {1 Encryption (RSAES-PKCS1-v1_5)} *)
+
+val encrypt : Drbg.t -> public_key -> string -> string
+(** [encrypt drbg pk msg] pads [msg] with nonzero random bytes drawn
+    from [drbg] (PKCS#1 v1.5 type 2) and exponentiates.  Returns a
+    ciphertext of exactly [key_bytes pk] bytes.
+    @raise Invalid_argument if [msg] exceeds [key_bytes pk - 11]. *)
+
+val decrypt : private_key -> string -> string option
+(** Inverse of {!encrypt}: [None] on wrong-length ciphertext, a value
+    outside the modulus, or bad padding.  Callers that decrypt
+    network input must authenticate the ciphertext first (see the
+    wire handshake) — the [None]/[Some] distinction is a padding
+    oracle otherwise. *)
+
 (** {1 Raw primitives (exposed for tests)} *)
 
 val raw_sign : private_key -> Tep_bignum.Nat.t -> Tep_bignum.Nat.t

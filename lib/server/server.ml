@@ -41,8 +41,13 @@ type t = {
   participants : (string * Participant.t) list;
   pool : Tep_parallel.Pool.t option;
   drbg : Tep_crypto.Drbg.t;
+  drbg_lock : Mutex.t;
+      (** handshakes run on per-connection threads; DRBG state is not
+          thread-safe, and interleaved generates could repeat nonces *)
   max_payload : int;
   request_timeout : float;
+  max_connections : int;
+  active : int Atomic.t; (* concurrent socket connections *)
   checkpoint : (string * Tep_store.Wal.t) option;
       (** checkpoint directory + WAL, when the daemon owns durability *)
   audit_cp : Audit.checkpoint ref;
@@ -50,7 +55,7 @@ type t = {
 }
 
 let create ?(max_payload = Frame.default_max_payload) ?(request_timeout = 30.)
-    ?drbg ?pool ?checkpoint ~participants engine =
+    ?(max_connections = 64) ?drbg ?pool ?checkpoint ~participants engine =
   let drbg =
     match drbg with Some d -> d | None -> Tep_crypto.Drbg.create_system ()
   in
@@ -59,14 +64,23 @@ let create ?(max_payload = Frame.default_max_payload) ?(request_timeout = 30.)
     participants;
     pool;
     drbg;
+    drbg_lock = Mutex.create ();
     max_payload;
     request_timeout;
+    max_connections;
+    active = Atomic.make 0;
     checkpoint;
     audit_cp = ref Audit.empty;
     lock = Mutex.create ();
   }
 
 let engine t = t.engine
+
+let gen_nonce t =
+  Mutex.lock t.drbg_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.drbg_lock)
+    (fun () -> Tep_crypto.Drbg.generate t.drbg Session.nonce_len)
 
 (* ------------------------------------------------------------------ *)
 (* Connection state machine                                            *)
@@ -81,20 +95,55 @@ type established = {
 
 type phase =
   | Expect_hello
-  | Expect_auth of { participant : Participant.t; transcript : string }
+  | Expect_auth of {
+      participant : Participant.t;
+      name : string;
+      client_nonce : string;
+      server_nonce : string;
+          (* the transcript also covers the key share, which only
+             arrives with the Auth frame — so the nonces wait here *)
+    }
   | Established of established
   | Dead
 
-type conn = { server : t; mutable buf : string; mutable phase : phase }
+type conn = {
+  server : t;
+  inbox : Buffer.t; (* unconsumed input; compacted once per frame *)
+  mutable need : int; (* skip parse attempts below this many bytes *)
+  mutable phase : phase;
+}
 
-let conn server = { server; buf = ""; phase = Expect_hello }
+let conn server =
+  {
+    server;
+    inbox = Buffer.create 256;
+    need = Frame.header_len;
+    phase = Expect_hello;
+  }
+
 let alive c = c.phase <> Dead
+
+let error_resp code message = Message.Error_resp { code; message }
 
 (* Frame a response in whatever protection the connection has reached:
    clear during the handshake, sealed (tagged, sequenced) once the
-   session key exists. *)
+   session key exists.  A response too large for the peer's frame
+   limit degrades to a Too_large error rather than an oversized frame
+   the peer must reject as abusive. *)
 let frame_response c resp =
+  let limit =
+    c.server.max_payload
+    - (match c.phase with Established _ -> Session.tag_len | _ -> 0)
+  in
   let msg = Message.response_to_string resp in
+  let msg =
+    if String.length msg <= limit then msg
+    else
+      Message.response_to_string
+        (error_resp Message.Too_large
+           (Printf.sprintf "response of %d bytes exceeds the %d-byte frame limit"
+              (String.length msg) c.server.max_payload))
+  in
   match c.phase with
   | Established s ->
       let sealed =
@@ -104,12 +153,10 @@ let frame_response c resp =
       Frame.to_string ~kind:Frame.Sealed sealed
   | _ -> Frame.to_string ~kind:Frame.Clear msg
 
-let error_resp code message = Message.Error_resp { code; message }
-
 let kill c resp =
   let out = frame_response c resp in
   c.phase <- Dead;
-  c.buf <- "";
+  Buffer.clear c.inbox;
   out
 
 (* ------------------------------------------------------------------ *)
@@ -208,24 +255,33 @@ let handle_hello c ~name ~client_nonce =
             (error_resp Message.Auth_failed
                ("no verified certificate for " ^ name))
       | `Verified _ ->
-          let server_nonce = Tep_crypto.Drbg.generate t.drbg Session.nonce_len in
-          let transcript =
-            Session.transcript ~name ~client_nonce ~server_nonce
-          in
-          c.phase <- Expect_auth { participant; transcript };
+          let server_nonce = gen_nonce t in
+          c.phase <- Expect_auth { participant; name; client_nonce; server_nonce };
           frame_response c (Message.Challenge { nonce = server_nonce }))
 
-let handle_auth c ~participant ~transcript ~signature =
+(* Order matters: the signature (which covers the encrypted key
+   share) is verified before the share is decrypted, so decryption
+   only ever runs on ciphertexts the participant's key holder
+   produced — never on attacker-chosen ones. *)
+let handle_auth c ~participant ~name ~client_nonce ~server_nonce ~signature
+    ~key_share =
+  let transcript =
+    Session.transcript ~name ~client_nonce ~server_nonce ~key_share
+  in
   let cert = Participant.certificate participant in
   if
-    Tep_crypto.Rsa.verify ~algo:Tep_crypto.Digest_algo.SHA256
-      cert.Tep_crypto.Pki.subject_key ~msg:transcript ~signature
-  then begin
-    let key = Session.derive_key ~transcript ~signature in
-    c.phase <- Established { participant; key; recv_seq = 0; send_seq = 0 };
-    frame_response c (Message.Auth_ok { server = "provdbd" })
-  end
-  else kill c (error_resp Message.Auth_failed "transcript signature invalid")
+    not
+      (Tep_crypto.Rsa.verify ~algo:Tep_crypto.Digest_algo.SHA256
+         cert.Tep_crypto.Pki.subject_key ~msg:transcript ~signature)
+  then kill c (error_resp Message.Auth_failed "transcript signature invalid")
+  else
+    match Participant.decrypt participant key_share with
+    | Some secret when String.length secret = Session.key_share_len ->
+        let key = Session.derive_key ~transcript ~signature ~secret in
+        c.phase <- Established { participant; key; recv_seq = 0; send_seq = 0 };
+        frame_response c (Message.Auth_ok { server = "provdbd" })
+    | Some _ | None ->
+        kill c (error_resp Message.Auth_failed "key share rejected")
 
 (* ------------------------------------------------------------------ *)
 (* Frame handling                                                      *)
@@ -250,10 +306,11 @@ let handle_frame c (kind : Frame.kind) payload =
           handle_hello c ~name ~client_nonce:nonce
       | Some _ -> kill c (error_resp Message.Auth_required "hello expected")
       | None -> kill c (error_resp Message.Bad_request "malformed request"))
-  | Expect_auth { participant; transcript }, Clear -> (
+  | Expect_auth { participant; name; client_nonce; server_nonce }, Clear -> (
       match decode_request payload with
-      | Some (Message.Auth { signature }) ->
-          handle_auth c ~participant ~transcript ~signature
+      | Some (Message.Auth { signature; key_share }) ->
+          handle_auth c ~participant ~name ~client_nonce ~server_nonce
+            ~signature ~key_share
       | Some _ -> kill c (error_resp Message.Auth_required "auth expected")
       | None -> kill c (error_resp Message.Bad_request "malformed request"))
   | Established s, Sealed -> (
@@ -269,28 +326,45 @@ let handle_frame c (kind : Frame.kind) payload =
               frame_response c (dispatch_locked c.server s.participant req)))
 
 (* Bytes in, response bytes out.  This is the single protocol entry
-   point shared by the socket loops and the loopback transport. *)
+   point shared by the socket loops and the loopback transport.
+
+   Input accumulates in a Buffer (amortised O(1) per chunk); the
+   parser only materialises the buffered bytes once a frame could be
+   complete ([need], maintained from the parser's Need_more), so a
+   maximum-size frame arriving in 4 KiB chunks costs O(n), not the
+   O(n^2) of re-concatenating a string per chunk — an unauthenticated
+   peer cannot buy gigabytes of memcpy with one 16 MiB frame. *)
 let feed c data =
   if c.phase = Dead then ""
   else begin
     let data = Fault.input read_site data in
-    c.buf <- c.buf ^ data;
+    Buffer.add_string c.inbox data;
     let out = Buffer.create 256 in
     let continue = ref true in
     while !continue && alive c do
-      match Frame.parse ~max_payload:c.server.max_payload c.buf 0 with
-      | Frame.Need_more _ -> continue := false
-      | Frame.Frame { kind; payload; consumed } ->
-          c.buf <-
-            String.sub c.buf consumed (String.length c.buf - consumed);
-          Buffer.add_string out (handle_frame c kind payload)
-      | Frame.Oversized n ->
-          Buffer.add_string out
-            (kill c
-               (error_resp Message.Too_large
-                  (Printf.sprintf "declared payload of %d bytes exceeds limit" n)))
-      | Frame.Corrupt reason ->
-          Buffer.add_string out (kill c (error_resp Message.Bad_request reason))
+      if Buffer.length c.inbox < c.need then continue := false
+      else begin
+        let buffered = Buffer.contents c.inbox in
+        match Frame.parse ~max_payload:c.server.max_payload buffered 0 with
+        | Frame.Need_more n ->
+            c.need <- String.length buffered + n;
+            continue := false
+        | Frame.Frame { kind; payload; consumed } ->
+            Buffer.clear c.inbox;
+            Buffer.add_substring c.inbox buffered consumed
+              (String.length buffered - consumed);
+            c.need <- Frame.header_len;
+            Buffer.add_string out (handle_frame c kind payload)
+        | Frame.Oversized n ->
+            Buffer.add_string out
+              (kill c
+                 (error_resp Message.Too_large
+                    (Printf.sprintf
+                       "declared payload of %d bytes exceeds limit" n)))
+        | Frame.Corrupt reason ->
+            Buffer.add_string out
+              (kill c (error_resp Message.Bad_request reason))
+      end
     done;
     Buffer.contents out
   end
@@ -327,6 +401,26 @@ let handle_client t fd =
    with Unix.Unix_error _ | Sys_error _ | Fault.Crash _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
+(* A connection flood must not translate into unbounded threads: past
+   [max_connections] concurrent connections, new accepts get a
+   best-effort advisory error frame and are dropped. *)
+let try_acquire t =
+  if Atomic.fetch_and_add t.active 1 < t.max_connections then true
+  else begin
+    Atomic.decr t.active;
+    false
+  end
+
+let reject_over_capacity cfd =
+  (try
+     Unix.setsockopt_float cfd Unix.SO_SNDTIMEO 1.0;
+     write_all cfd
+       (Frame.to_string ~kind:Frame.Clear
+          (Message.response_to_string
+             (error_resp Message.Failed "server at connection limit")))
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  try Unix.close cfd with Unix.Unix_error _ -> ()
+
 (* Accept loop: polls [stop] every 200ms so a daemon can shut down
    cleanly (and save its workspace) on signal. *)
 let serve_fd t ~stop fd =
@@ -336,7 +430,16 @@ let serve_fd t ~stop fd =
     | [], _, _ -> ()
     | _ -> (
         match Unix.accept fd with
-        | cfd, _ -> ignore (Thread.create (fun () -> handle_client t cfd) ())
+        | cfd, _ ->
+            if try_acquire t then
+              ignore
+                (Thread.create
+                   (fun () ->
+                     Fun.protect
+                       ~finally:(fun () -> Atomic.decr t.active)
+                       (fun () -> handle_client t cfd))
+                   ())
+            else reject_over_capacity cfd
         | exception Unix.Unix_error _ -> ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;

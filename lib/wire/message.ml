@@ -22,7 +22,9 @@ type op =
 
 type request =
   | Hello of { name : string; nonce : string }
-  | Auth of { signature : string }
+  | Auth of { signature : string; key_share : string }
+      (* key_share: the session-key secret, RSA-encrypted to the
+         participant's certificate key; covered by [signature] *)
   | Submit of op
   | Query of Oid.t option (* None: the database root *)
   | Verify of Oid.t option (* None: root object + whole-store audit *)
@@ -221,9 +223,10 @@ let encode_request buf = function
       Buffer.add_char buf '\x01';
       Value.add_string buf name;
       Value.add_string buf nonce
-  | Auth { signature } ->
+  | Auth { signature; key_share } ->
       Buffer.add_char buf '\x02';
-      Value.add_string buf signature
+      Value.add_string buf signature;
+      Value.add_string buf key_share
   | Submit op ->
       Buffer.add_char buf '\x03';
       encode_op buf op
@@ -246,7 +249,8 @@ let decode_request s off =
       (Hello { name; nonce }, off)
   | '\x02' ->
       let signature, off = Value.read_string s (off + 1) in
-      (Auth { signature }, off)
+      let key_share, off = Value.read_string s off in
+      (Auth { signature; key_share }, off)
   | '\x03' ->
       let op, off = decode_op s (off + 1) in
       (Submit op, off)

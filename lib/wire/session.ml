@@ -1,45 +1,65 @@
 (* Per-connection authenticated sessions.
 
-   The handshake is a challenge–response bootstrapped from the PKI:
+   The handshake combines a PKI challenge–response with RSA key
+   transport, so the session key is never computable from bytes that
+   cross the wire:
 
-     client -> Hello { name; client_nonce }          (clear)
-     server -> Challenge { server_nonce }            (clear)
-     client -> Auth { signature }                    (clear)
-     server -> Auth_ok                               (sealed)
+     client -> Hello { name; client_nonce }            (clear)
+     server -> Challenge { server_nonce }              (clear)
+     client -> Auth { signature; key_share }           (clear)
+     server -> Auth_ok                                 (sealed)
 
-   where [signature] is the client's RSA signature (the same key its
-   PKI certificate binds) over the handshake transcript.  Both sides
-   then derive a symmetric HMAC-SHA256 session key from the transcript
-   and the signature; every subsequent frame in either direction is
+   The client draws a random secret, encrypts it to the participant's
+   certificate key ([key_share], RSAES-PKCS1-v1_5) and signs the
+   transcript — which includes the ciphertext — with the same RSA key
+   its PKI certificate binds.  Both sides derive a symmetric
+   HMAC-SHA256 session key from the transcript, the signature and the
+   *plaintext* secret; every subsequent frame in either direction is
    sealed: tag · message, with the tag covering direction, a
    per-direction sequence number, and the message bytes — so frames
    cannot be forged, replayed, reordered, or reflected back.
 
-   The server proves knowledge of the key implicitly: its Auth_ok (and
-   every later response) carries a valid tag, which only a party that
-   verified the signature against the registered certificate can
-   compute. *)
+   Why this resists an on-path attacker, not just a blind one:
+
+   - An eavesdropper sees name, nonces, signature and ciphertext, but
+     the key also hashes in the decrypted secret, which only holders
+     of the participant's private key can recover.
+   - The server authenticates the client by verifying the transcript
+     signature against the registered certificate — and it does so
+     *before* decrypting, so the decryptor never runs on a ciphertext
+     the key holder did not sign (no padding oracle, no malleability).
+   - The client authenticates the server by the sealed Auth_ok (and
+     every later response): a valid tag proves the peer decrypted the
+     key share, i.e. holds the workspace copy of the participant's
+     private key.  A man in the middle can neither sign (to the
+     server) nor decrypt (to the client).
+
+   Freshness comes from both nonces being bound into the transcript:
+   a replayed Auth fails against a fresh server nonce. *)
 
 open Tep_crypto
 
 let nonce_len = 16
+let key_share_len = 32 (* the transported session-key secret *)
 let tag_len = 32 (* HMAC-SHA256 *)
 
 (* Length-prefixed so no field boundary ambiguity exists between
-   distinct (name, nonce, nonce) triples. *)
-let transcript ~name ~client_nonce ~server_nonce =
-  let buf = Buffer.create 80 in
-  Buffer.add_string buf "tep-wire-auth-v1";
+   distinct (name, nonce, nonce, share) tuples. *)
+let transcript ~name ~client_nonce ~server_nonce ~key_share =
+  let buf = Buffer.create 160 in
+  Buffer.add_string buf "tep-wire-auth-v2";
   Tep_store.Value.add_string buf name;
   Tep_store.Value.add_string buf client_nonce;
   Tep_store.Value.add_string buf server_nonce;
+  Tep_store.Value.add_string buf key_share;
   Buffer.contents buf
 
-let derive_key ~transcript ~signature =
+let derive_key ~transcript ~signature ~secret =
   let ctx = Sha256.init () in
-  Sha256.update ctx "tep-wire-key-v1";
+  Sha256.update ctx "tep-wire-key-v2";
   Sha256.update ctx transcript;
   Sha256.update ctx signature;
+  Sha256.update ctx secret;
   Sha256.final ctx
 
 type direction = To_server | To_client

@@ -147,6 +147,47 @@ let prop_tamper_detected =
       let s = Rsa.sign kp512.Rsa.private_ msg in
       not (Rsa.verify kp512.Rsa.public ~msg:(msg ^ String.make 1 extra) ~signature:s))
 
+let test_encrypt_decrypt () =
+  List.iter
+    (fun msg ->
+      let c = Rsa.encrypt drbg kp512.Rsa.public msg in
+      Alcotest.(check int)
+        "ciphertext is key-sized" (Rsa.key_bytes kp512.Rsa.public)
+        (String.length c);
+      (match Rsa.decrypt kp512.Rsa.private_ c with
+      | Some m -> Alcotest.(check string) "round trip" msg m
+      | None -> Alcotest.fail "decryption failed");
+      (* padding is randomised: a second encryption differs *)
+      Alcotest.(check bool)
+        "probabilistic padding" true
+        (msg = "" || Rsa.encrypt drbg kp512.Rsa.public msg <> c))
+    [ ""; "x"; String.make 32 '\x2a'; String.make 53 '\x00' ];
+  (* 512-bit key: 64-byte modulus, so 53 bytes is the largest message *)
+  match Rsa.encrypt drbg kp512.Rsa.public (String.make 54 'y') with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "over-long message must be rejected"
+
+let test_decrypt_rejects () =
+  let c = Rsa.encrypt drbg kp512.Rsa.public "secret" in
+  (* wrong length *)
+  Alcotest.(check bool)
+    "short ciphertext" true
+    (Rsa.decrypt kp512.Rsa.private_ (String.sub c 0 10) = None);
+  (* a tampered ciphertext never yields the plaintext (with this
+     deterministic DRBG it fails padding outright) *)
+  let flipped =
+    String.mapi
+      (fun i ch -> if i = 0 then Char.chr (Char.code ch lxor 1) else ch)
+      c
+  in
+  (match Rsa.decrypt kp512.Rsa.private_ flipped with
+  | None -> ()
+  | Some m -> Alcotest.(check bool) "tampered ciphertext" true (m <> "secret"));
+  (* value >= modulus *)
+  Alcotest.(check bool)
+    "out of range" true
+    (Rsa.decrypt kp512.Rsa.private_ (String.make 64 '\xff') = None)
+
 let () =
   Alcotest.run "rsa"
     [
@@ -167,6 +208,9 @@ let () =
           Alcotest.test_case "fingerprint" `Quick test_fingerprint;
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "invalid params" `Quick test_invalid_params;
+          Alcotest.test_case "encrypt/decrypt" `Quick test_encrypt_decrypt;
+          Alcotest.test_case "decrypt rejects garbage" `Quick
+            test_decrypt_rejects;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -212,9 +212,8 @@ let expect_error name s code =
             (Message.error_code_name c)
       | _ -> Alcotest.fail (name ^ ": expected an error response"))
 
-(* Drive the handshake by hand; returns the session key. *)
-let handshake conn p =
-  let name = Participant.name p in
+(* Drive the Hello → Challenge leg by hand; returns the server nonce. *)
+let hello conn name =
   let client_nonce = String.make Session.nonce_len 'n' in
   let resp =
     Tep_server.Server.feed conn
@@ -228,22 +227,110 @@ let handshake conn p =
         | _ -> Alcotest.fail "expected a challenge")
     | _ -> Alcotest.fail "challenge must be clear"
   in
-  let transcript = Session.transcript ~name ~client_nonce ~server_nonce in
-  let signature = Participant.sign p transcript in
-  let key = Session.derive_key ~transcript ~signature in
-  let resp =
-    Tep_server.Server.feed conn (clear_frame (Message.Auth { signature }))
+  (client_nonce, server_nonce)
+
+(* Drive the full handshake by hand; returns the session key and the
+   sealed Auth_ok payload (for key-secrecy assertions). *)
+let handshake_frames conn p =
+  let name = Participant.name p in
+  let client_nonce, server_nonce = hello conn name in
+  let drbg = Tep_crypto.Drbg.create ~seed:("handshake-" ^ name) in
+  let secret = Tep_crypto.Drbg.generate drbg Session.key_share_len in
+  let key_share =
+    Tep_crypto.Rsa.encrypt drbg (Participant.public_key p) secret
   in
-  (match parse_one resp with
-  | Frame.Sealed, payload -> (
-      match Session.open_ ~key ~dir:Session.To_client ~seq:0 payload with
-      | Ok msg -> (
-          match decode_resp msg with
-          | Message.Auth_ok _ -> ()
-          | _ -> Alcotest.fail "expected Auth_ok")
-      | Error e -> Alcotest.fail ("Auth_ok failed to open: " ^ e))
-  | _ -> Alcotest.fail "Auth_ok must be sealed");
+  let transcript =
+    Session.transcript ~name ~client_nonce ~server_nonce ~key_share
+  in
+  let signature = Participant.sign p transcript in
+  let key = Session.derive_key ~transcript ~signature ~secret in
+  let resp =
+    Tep_server.Server.feed conn
+      (clear_frame (Message.Auth { signature; key_share }))
+  in
+  let auth_ok =
+    match parse_one resp with
+    | Frame.Sealed, payload -> payload
+    | _ -> Alcotest.fail "Auth_ok must be sealed"
+  in
+  (match Session.open_ ~key ~dir:Session.To_client ~seq:0 auth_ok with
+  | Ok msg -> (
+      match decode_resp msg with
+      | Message.Auth_ok _ -> ()
+      | _ -> Alcotest.fail "expected Auth_ok")
+  | Error e -> Alcotest.fail ("Auth_ok failed to open: " ^ e));
+  (key, `Wire_visible (transcript, signature), auth_ok)
+
+let handshake conn p =
+  let key, _, _ = handshake_frames conn p in
   key
+
+(* The review-critical property: every handshake byte that crosses
+   the wire (name, nonces, ciphertext, signature) is insufficient to
+   derive the session key — the secret travels RSA-encrypted to the
+   participant's certificate key. *)
+let test_key_not_derivable_from_wire () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let conn = Tep_server.Server.conn server in
+  let _key, `Wire_visible (transcript, signature), auth_ok =
+    handshake_frames conn alice
+  in
+  List.iter
+    (fun guess ->
+      let eve = Session.derive_key ~transcript ~signature ~secret:guess in
+      match Session.open_ ~key:eve ~dir:Session.To_client ~seq:0 auth_ok with
+      | Error _ -> ()
+      | Ok _ ->
+          Alcotest.fail "key derived from wire-visible data opened a frame")
+    [ ""; String.make Session.key_share_len '\x00'; transcript; signature ]
+
+(* A signed Auth whose key share is not a well-formed RSA ciphertext
+   must be rejected, not crash the decryptor. *)
+let test_bad_key_share_rejected () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let conn = Tep_server.Server.conn server in
+  let name = Participant.name alice in
+  let client_nonce, server_nonce = hello conn name in
+  let key_share = "not an rsa ciphertext" in
+  let transcript =
+    Session.transcript ~name ~client_nonce ~server_nonce ~key_share
+  in
+  let signature = Participant.sign alice transcript in
+  let resp =
+    Tep_server.Server.feed conn
+      (clear_frame (Message.Auth { signature; key_share }))
+  in
+  expect_error "bad key share" resp Message.Auth_failed
+
+(* Tampering with the encrypted key share breaks the signature that
+   covers it — the server refuses before ever decrypting. *)
+let test_tampered_key_share_rejected () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let conn = Tep_server.Server.conn server in
+  let name = Participant.name alice in
+  let client_nonce, server_nonce = hello conn name in
+  let drbg = Tep_crypto.Drbg.create ~seed:"tampered-share" in
+  let secret = Tep_crypto.Drbg.generate drbg Session.key_share_len in
+  let key_share =
+    Tep_crypto.Rsa.encrypt drbg (Participant.public_key alice) secret
+  in
+  let transcript =
+    Session.transcript ~name ~client_nonce ~server_nonce ~key_share
+  in
+  let signature = Participant.sign alice transcript in
+  let flipped =
+    String.mapi
+      (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c)
+      key_share
+  in
+  let resp =
+    Tep_server.Server.feed conn
+      (clear_frame (Message.Auth { signature; key_share = flipped }))
+  in
+  expect_error "tampered key share" resp Message.Auth_failed
 
 let test_pre_auth_request_rejected () =
   let engine, _, _, alice, _ = make_env () in
@@ -384,6 +471,28 @@ let test_bit_flip_rejected () =
   done;
   Alcotest.(check bool) "frame CRC fired at least once" true (!rejected > 0)
 
+(* A response that would exceed the frame limit degrades to an
+   in-band Too_large error instead of an oversized frame the client
+   must treat as abusive; the session stays usable. *)
+let test_oversized_response_degrades () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server ~max_payload:220 engine alice in
+  let c = make_client server in
+  ok (Client.authenticate c alice);
+  ignore (ok (Client.insert c ~table:"stock" [| Value.Int 1; Value.Int 10 |]));
+  ignore (ok (Client.insert c ~table:"stock" [| Value.Int 2; Value.Int 20 |]));
+  (match Client.query c () with
+  | Ok _ -> Alcotest.fail "oversized Records response must not be framed"
+  | Error e ->
+      Alcotest.(check bool)
+        ("too-large error, got: " ^ e)
+        true
+        (String.length e >= 9 && String.sub e 0 9 = "too-large"));
+  (* the connection survives: small responses still flow *)
+  Alcotest.(check string) "root hash still served" (Engine.root_hash engine)
+    (ok (Client.root_hash c));
+  Client.close c
+
 (* ------------------------------------------------------------------ *)
 (* Real Unix-domain socket                                             *)
 (* ------------------------------------------------------------------ *)
@@ -422,6 +531,55 @@ let test_unix_socket_end_to_end () =
         (ok (Client.root_hash c));
       Client.close c)
 
+(* Past max_connections concurrent sockets, new connections are
+   rejected with an advisory error instead of spawning unbounded
+   threads; the slot frees when a connection closes. *)
+let test_connection_cap () =
+  let engine, _, _, alice, _ = make_env () in
+  let server =
+    Server.create ~max_connections:1
+      ~drbg:(Tep_crypto.Drbg.create ~seed:"cap-server")
+      ~participants:[ ("alice", alice) ]
+      engine
+  in
+  let path = Filename.temp_file "tep_service_cap" ".sock" in
+  Sys.remove path;
+  let stop = Stdlib.Atomic.make false in
+  let th = Thread.create (fun () -> Server.serve_unix server ~path ~stop) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Stdlib.Atomic.set stop true;
+      Thread.join th;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let connect seed =
+        ok
+          (Client.connect_unix ~drbg:(Tep_crypto.Drbg.create ~seed) path)
+      in
+      let c1 = connect "cap-c1" in
+      ok (Client.authenticate c1 alice);
+      (* the cap is held by c1: a second connection must not succeed *)
+      let c2 = connect "cap-c2" in
+      (match Client.authenticate c2 alice with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "over-capacity connection must be rejected");
+      Client.close c2;
+      Client.close c1;
+      (* the slot frees once the server notices c1 closed *)
+      let rec retry n =
+        let c3 = connect (Printf.sprintf "cap-c3-%d" n) in
+        match Client.authenticate c3 alice with
+        | Ok () -> Client.close c3
+        | Error e ->
+            Client.close c3;
+            if n = 0 then Alcotest.fail ("slot never freed: " ^ e)
+            else begin
+              Thread.delay 0.05;
+              retry (n - 1)
+            end
+      in
+      retry 100)
+
 let () =
   Alcotest.run "service"
     [
@@ -437,6 +595,11 @@ let () =
           Alcotest.test_case "unknown participant" `Quick
             test_auth_unknown_participant;
           Alcotest.test_case "wrong key" `Quick test_auth_wrong_key;
+          Alcotest.test_case "key not derivable from wire" `Quick
+            test_key_not_derivable_from_wire;
+          Alcotest.test_case "bad key share" `Quick test_bad_key_share_rejected;
+          Alcotest.test_case "tampered key share" `Quick
+            test_tampered_key_share_rejected;
           Alcotest.test_case "pre-auth request" `Quick
             test_pre_auth_request_rejected;
           Alcotest.test_case "pre-auth sealed frame" `Quick
@@ -453,10 +616,13 @@ let () =
             test_oversized_frame_rejected;
           Alcotest.test_case "torn read" `Quick test_torn_read_then_recovers;
           Alcotest.test_case "bit flip" `Quick test_bit_flip_rejected;
+          Alcotest.test_case "oversized response degrades" `Quick
+            test_oversized_response_degrades;
         ] );
       ( "socket",
         [
           Alcotest.test_case "unix socket end-to-end" `Quick
             test_unix_socket_end_to_end;
+          Alcotest.test_case "connection cap" `Quick test_connection_cap;
         ] );
     ]

@@ -109,12 +109,14 @@ let prop_crc_streaming =
 (* Session sealing                                                     *)
 (* ------------------------------------------------------------------ *)
 
+let transcript =
+  Session.transcript ~name:"alice" ~client_nonce:(String.make 16 'c')
+    ~server_nonce:(String.make 16 's')
+    ~key_share:(String.make 64 'k')
+
 let key =
-  Session.derive_key
-    ~transcript:
-      (Session.transcript ~name:"alice" ~client_nonce:(String.make 16 'c')
-         ~server_nonce:(String.make 16 's'))
-    ~signature:"not a real signature"
+  Session.derive_key ~transcript ~signature:"not a real signature"
+    ~secret:(String.make Session.key_share_len '\x2a')
 
 let test_seal_roundtrip () =
   let msg = "the request body" in
@@ -131,7 +133,9 @@ let test_seal_roundtrip () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "wrong direction must be rejected");
   (* wrong key *)
-  let key2 = Session.derive_key ~transcript:"other" ~signature:"other" in
+  let key2 =
+    Session.derive_key ~transcript:"other" ~signature:"other" ~secret:"other"
+  in
   (match Session.open_ ~key:key2 ~dir:Session.To_server ~seq:7 sealed with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "wrong key must be rejected");
@@ -139,6 +143,19 @@ let test_seal_roundtrip () =
   match Session.open_ ~key ~dir:Session.To_server ~seq:0 "short" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "short payload must be rejected"
+
+(* The key derivation hashes in the transported secret: the same
+   wire-visible transcript and signature with a wrong secret must
+   yield a key that opens nothing. *)
+let test_key_requires_secret () =
+  let sealed = Session.seal ~key ~dir:Session.To_server ~seq:0 "msg" in
+  let eve =
+    Session.derive_key ~transcript ~signature:"not a real signature"
+      ~secret:(String.make Session.key_share_len '\x00')
+  in
+  match Session.open_ ~key:eve ~dir:Session.To_server ~seq:0 sealed with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "key derived without the secret must be rejected"
 
 let prop_seal_mutation =
   QCheck2.Test.make ~name:"sealed-frame byte mutation is rejected" ~count:500
@@ -190,7 +207,8 @@ let clean_report =
 let sample_requests =
   [
     Message.Hello { name = "alice"; nonce = String.make 16 '\x07' };
-    Message.Auth { signature = String.make 64 '\x55' };
+    Message.Auth
+      { signature = String.make 64 '\x55'; key_share = String.make 64 '\xa1' };
     Message.Submit
       (Message.Op_insert
          { table = "stock"; cells = [| Value.Text "W-1"; Value.Int 9; Value.Null |] });
@@ -329,6 +347,8 @@ let () =
       ( "session",
         [
           Alcotest.test_case "seal/open" `Quick test_seal_roundtrip;
+          Alcotest.test_case "key requires secret" `Quick
+            test_key_requires_secret;
           qtest prop_seal_mutation;
         ] );
       ( "messages",
