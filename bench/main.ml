@@ -347,7 +347,13 @@ let run_serve () =
   let module Message = Tep_wire.Message in
   let make_service seed =
     let env = Scenario.make_env ~seed () in
-    let alice = Scenario.participant env "alice" in
+    (* like every other experiment, the participant key honours the
+       configured rsa_bits (Scenario.participant would pin 1024) *)
+    let alice =
+      Participant.create ~bits:cfg.Experiments.rsa_bits ~ca:env.Scenario.ca
+        ~name:"alice" env.Scenario.drbg
+    in
+    Participant.Directory.register env.Scenario.directory alice;
     let db = Database.create ~name:"serve" in
     ignore
       (Database.create_table db ~name:"t1" (Schema.all_int [ "a"; "b" ]));
@@ -404,112 +410,286 @@ let run_serve () =
     exit 1
   end;
   Printf.printf "gate: reports byte-identical, tampering detected over the wire\n";
-  (* -- throughput --------------------------------------------------- *)
-  let clients, requests =
-    if cfg.Experiments.scale <= 0.02 then (2, 25)
-    else (4, max 100 (int_of_float (2000. *. cfg.Experiments.scale)))
+  (* -- throughput sweep --------------------------------------------- *)
+  (* N pipelined client threads per point, a fresh service per point
+     (so table growth in one point cannot skew the next).  Each client
+     keeps up to [window] submits in flight on its connection; per-
+     request latency is send-to-collect, so it includes queueing. *)
+  let sweep = [ 1; 2; 4; 8 ] in
+  let requests =
+    if cfg.Experiments.scale <= 0.02 then 25
+    else max 50 (int_of_float (500. *. cfg.Experiments.scale))
   in
-  let drive transport_name participant connect =
-    let t0 = Unix.gettimeofday () in
+  let window = 8 in
+  let percentile p lats =
+    match lats with
+    | [] -> 0.
+    | _ ->
+        let a = Array.of_list lats in
+        Array.sort compare a;
+        let n = Array.length a in
+        let idx = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+        a.(max 0 (min (n - 1) idx))
+  in
+  let run_point transport_name clients participant connect =
+    let merge_lock = Mutex.create () in
+    let all_lats = ref [] in
     let errors = ref 0 in
+    let fail fmt =
+      Printf.ksprintf
+        (fun m ->
+          Printf.eprintf "%s\n" m;
+          Mutex.lock merge_lock;
+          incr errors;
+          Mutex.unlock merge_lock)
+        fmt
+    in
+    let t0 = Unix.gettimeofday () in
     let threads =
       List.init clients (fun ci ->
           Thread.create
             (fun () ->
               match connect ci with
-              | Error e ->
-                  Printf.eprintf "client %d: connect: %s\n" ci e;
-                  incr errors
+              | Error e -> fail "client %d: connect: %s" ci e
               | Ok c -> (
                   match Client.authenticate c participant with
                   | Error e ->
-                      Printf.eprintf "client %d: auth: %s\n" ci e;
-                      incr errors;
+                      fail "client %d: auth: %s" ci e;
                       Client.close c
                   | Ok () ->
+                      let lats = ref [] in
+                      let inflight = Queue.create () in
+                      let drain () =
+                        let cid, sent = Queue.pop inflight in
+                        match Client.collect_submitted c cid with
+                        | Ok _ ->
+                            lats := (Unix.gettimeofday () -. sent) :: !lats
+                        | Error e -> fail "client %d: collect: %s" ci e
+                      in
                       for i = 0 to requests - 1 do
-                        match
-                          Client.insert c ~table:"t1"
-                            [| Value.Int ci; Value.Int i |]
-                        with
-                        | Ok _ -> ()
-                        | Error e ->
-                            Printf.eprintf "client %d: insert: %s\n" ci e;
-                            incr errors
+                        (match
+                           Client.insert_async c ~table:"t1"
+                             [| Value.Int ci; Value.Int i |]
+                         with
+                        | Ok cid ->
+                            Queue.push (cid, Unix.gettimeofday ()) inflight
+                        | Error e -> fail "client %d: submit: %s" ci e);
+                        if Queue.length inflight >= window then drain ()
                       done;
-                      Client.close c))
+                      while not (Queue.is_empty inflight) do
+                        drain ()
+                      done;
+                      Client.close c;
+                      Mutex.lock merge_lock;
+                      all_lats := List.rev_append !lats !all_lats;
+                      Mutex.unlock merge_lock))
             ())
     in
     List.iter Thread.join threads;
     let seconds = Unix.gettimeofday () -. t0 in
     if !errors > 0 then begin
-      Printf.eprintf "FAIL: %d request errors over %s\n" !errors transport_name;
+      Printf.eprintf "FAIL: %d request errors over %s (%d clients)\n" !errors
+        transport_name clients;
       exit 1
     end;
     let total = clients * requests in
     let rps = float_of_int total /. seconds in
-    Printf.printf "%s,%d,%d,%.4f,%.0f\n" transport_name clients total seconds
-      rps;
-    (transport_name, seconds, rps)
+    let p50 = 1000. *. percentile 50. !all_lats in
+    let p95 = 1000. *. percentile 95. !all_lats in
+    Printf.printf "%s,%d,%d,%.4f,%.0f,%.2f,%.2f\n" transport_name clients
+      total seconds rps p50 p95;
+    (transport_name, clients, seconds, rps, p50, p95)
   in
-  Printf.printf "transport,clients,total_requests,seconds,requests_per_s\n";
+  Printf.printf
+    "transport,clients,total_requests,seconds,requests_per_s,p50_ms,p95_ms\n";
   (* loopback: same codec path, no sockets *)
-  let _, loop_alice, loop_server =
-    make_service (cfg.Experiments.seed ^ "-loop")
-  in
-  let loopback =
-    drive "loopback" loop_alice (fun ci ->
-        Ok
-          (Client.loopback
-             ~drbg:(Tep_crypto.Drbg.create ~seed:(Printf.sprintf "cli-%d" ci))
-             loop_server))
+  let loopback_points =
+    List.map
+      (fun clients ->
+        let _, alice, server =
+          make_service (Printf.sprintf "%s-loop-%d" cfg.Experiments.seed clients)
+        in
+        run_point "loopback" clients alice (fun ci ->
+            Ok
+              (Client.loopback
+                 ~drbg:
+                   (Tep_crypto.Drbg.create
+                      ~seed:(Printf.sprintf "cli-%d-%d" clients ci))
+                 server)))
+      sweep
   in
   (* real Unix-domain socket *)
-  let _, sock_alice, sock_server =
-    make_service (cfg.Experiments.seed ^ "-sock")
+  let socket_points =
+    List.map
+      (fun clients ->
+        let _, alice, server =
+          make_service (Printf.sprintf "%s-sock-%d" cfg.Experiments.seed clients)
+        in
+        let path = Filename.temp_file "tep_serve_bench" ".sock" in
+        Sys.remove path;
+        let stop = Stdlib.Atomic.make false in
+        let srv_thread =
+          Thread.create (fun () -> Server.serve_unix server ~path ~stop) ()
+        in
+        let point =
+          run_point "unix-socket" clients alice (fun ci ->
+              Client.connect_unix
+                ~drbg:
+                  (Tep_crypto.Drbg.create
+                     ~seed:(Printf.sprintf "scli-%d-%d" clients ci))
+                path)
+        in
+        Stdlib.Atomic.set stop true;
+        Thread.join srv_thread;
+        (try Sys.remove path with Sys_error _ -> ());
+        point)
+      sweep
   in
-  let path = Filename.temp_file "tep_serve_bench" ".sock" in
-  Sys.remove path;
-  let stop = Stdlib.Atomic.make false in
-  let srv_thread =
-    Thread.create (fun () -> Server.serve_unix sock_server ~path ~stop) ()
-  in
-  let socket =
-    drive "unix-socket" sock_alice (fun ci ->
-        Client.connect_unix
-          ~drbg:(Tep_crypto.Drbg.create ~seed:(Printf.sprintf "scli-%d" ci))
-          path)
-  in
-  Stdlib.Atomic.set stop true;
-  Thread.join srv_thread;
-  (try Sys.remove path with Sys_error _ -> ());
   print_newline ();
   let buf = Buffer.create 512 in
   Buffer.add_string buf "{\n  \"experiment\": \"serve\",\n";
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"scale\": %g,\n  \"rsa_bits\": %d,\n  \"clients\": %d,\n\
-       \  \"requests_per_client\": %d,\n"
-       cfg.Experiments.scale cfg.Experiments.rsa_bits clients requests);
+       "  \"scale\": %g,\n  \"rsa_bits\": %d,\n  \"requests_per_client\": %d,\n\
+       \  \"pipeline_window\": %d,\n"
+       cfg.Experiments.scale cfg.Experiments.rsa_bits requests window);
   Buffer.add_string buf
     (Printf.sprintf
        "  \"tamper_detected_over_wire\": %b,\n\
        \  \"reports_byte_identical\": %b,\n"
        tamper_detected
        (identical_clean && identical_tampered));
-  Buffer.add_string buf "  \"transports\": [\n";
-  let points = [ loopback; socket ] in
+  Buffer.add_string buf "  \"sweep\": [\n";
+  let points = loopback_points @ socket_points in
   List.iteri
-    (fun i (name, seconds, rps) ->
+    (fun i (name, clients, seconds, rps, p50, p95) ->
       Buffer.add_string buf
         (Printf.sprintf
-           "    { \"transport\": \"%s\", \"seconds\": %.6f, \
-            \"requests_per_s\": %.1f }%s\n"
-           (json_escape name) seconds rps
+           "    { \"transport\": \"%s\", \"clients\": %d, \"seconds\": %.6f, \
+            \"requests_per_s\": %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f }%s\n"
+           (json_escape name) clients seconds rps p50 p95
            (if i = List.length points - 1 then "" else ",")))
     points;
   Buffer.add_string buf "  ]\n}";
   write_json "BENCH_serve.json" (Buffer.contents buf)
+
+(* Pipelined-load gate (the serve-pipeline alias): several clients
+   stream overlapping submits through one server — loopback clients
+   batching across connections, raw pipelined frames coalescing within
+   one — then the byte-identity and tamper-detection bars must still
+   hold on the resulting history.  Exit 1 on any violation. *)
+let run_serve_pipeline () =
+  let cfg = Experiments.config_of_env () in
+  Printf.printf "## serve-pipeline — report identity under pipelined load\n";
+  let ok = function Ok v -> v | Error e -> failwith ("serve-pipeline: " ^ e) in
+  let module Server = Tep_server.Server in
+  let module Client = Tep_client.Client in
+  let module Message = Tep_wire.Message in
+  let env = Scenario.make_env ~seed:(cfg.Experiments.seed ^ "-pipe") () in
+  let alice =
+    Participant.create ~bits:cfg.Experiments.rsa_bits ~ca:env.Scenario.ca
+      ~name:"alice" env.Scenario.drbg
+  in
+  Participant.Directory.register env.Scenario.directory alice;
+  let db = Database.create ~name:"serve" in
+  ignore (Database.create_table db ~name:"t1" (Schema.all_int [ "a"; "b" ]));
+  let engine = Engine.create ~directory:env.Scenario.directory db in
+  let server =
+    Server.create
+      ~drbg:(Tep_crypto.Drbg.create ~seed:(cfg.Experiments.seed ^ "-pipe-srv"))
+      ~participants:[ ("alice", alice) ]
+      engine
+  in
+  let clients = 3 and per_client = 20 and window = 5 in
+  let errors = ref 0 in
+  let threads =
+    List.init clients (fun ci ->
+        Thread.create
+          (fun () ->
+            let c =
+              Client.loopback
+                ~drbg:(Tep_crypto.Drbg.create ~seed:(Printf.sprintf "pipe-%d" ci))
+                server
+            in
+            match Client.authenticate c alice with
+            | Error e ->
+                Printf.eprintf "client %d: auth: %s\n" ci e;
+                incr errors
+            | Ok () ->
+                let inflight = Queue.create () in
+                let drain () =
+                  match Client.collect_submitted c (Queue.pop inflight) with
+                  | Ok _ -> ()
+                  | Error e ->
+                      Printf.eprintf "client %d: collect: %s\n" ci e;
+                      incr errors
+                in
+                for i = 0 to per_client - 1 do
+                  (match
+                     Client.insert_async c ~table:"t1"
+                       [| Value.Int ci; Value.Int i |]
+                   with
+                  | Ok cid -> Queue.push cid inflight
+                  | Error e ->
+                      Printf.eprintf "client %d: submit: %s\n" ci e;
+                      incr errors);
+                  if Queue.length inflight >= window then drain ()
+                done;
+                while not (Queue.is_empty inflight) do
+                  drain ()
+                done;
+                Client.close c)
+          ())
+  in
+  List.iter Thread.join threads;
+  if !errors > 0 then begin
+    Printf.eprintf "FAIL: %d request errors under pipelined load\n" !errors;
+    exit 1
+  end;
+  let batches, ops = Server.batch_stats server in
+  Printf.printf "submitted %d ops in %d group commits\n" ops batches;
+  if ops <> clients * per_client then begin
+    Printf.eprintf "FAIL: expected %d ops through the batcher, saw %d\n"
+      (clients * per_client) ops;
+    exit 1
+  end;
+  let local_report () =
+    Format.asprintf "%a" Verifier.pp_report
+      (ok (Engine.verify_object engine (Engine.root_oid engine)))
+  in
+  let c = Client.loopback ~drbg:(Tep_crypto.Drbg.create ~seed:"pipe-gate") server in
+  ok (Client.authenticate c alice);
+  let report, _ = ok (Client.verify c ()) in
+  if not (Message.report_ok report) then begin
+    Printf.eprintf "FAIL: pipelined history does not verify\n";
+    exit 1
+  end;
+  if Message.render_report report <> local_report () then begin
+    Printf.eprintf "FAIL: wire report differs from in-process verifier\n";
+    exit 1
+  end;
+  let module Forest = Tep_tree.Forest in
+  let forest = Engine.forest engine in
+  (match
+     List.concat_map (Forest.children forest) (Forest.roots forest)
+     |> List.concat_map (Forest.children forest)
+     |> List.concat_map (Forest.children forest)
+   with
+  | cell :: _ -> ignore (Forest.update forest cell (Value.Text "TAMPERED"))
+  | [] -> failwith "serve-pipeline: no cell to tamper with");
+  let tampered, _ = ok (Client.verify c ()) in
+  Client.close c;
+  if Message.report_ok tampered then begin
+    Printf.eprintf "FAIL: tampering not reported over the pipelined wire\n";
+    exit 1
+  end;
+  if Message.render_report tampered <> local_report () then begin
+    Printf.eprintf "FAIL: tamper report differs from in-process verifier\n";
+    exit 1
+  end;
+  Printf.printf
+    "serve-pipeline: reports byte-identical, tampering detected under \
+     pipelined load\n"
 
 (* ------------------------------------------------------------------ *)
 (* Figure/table harness                                                *)
@@ -695,6 +875,7 @@ let all =
     ("ablation-audit", run_ablation_audit);
     ("parallel", run_parallel);
     ("serve", run_serve);
+    ("serve-pipeline", run_serve_pipeline);
     ("micro", run_micro);
   ]
 

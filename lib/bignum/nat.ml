@@ -1,9 +1,15 @@
-(* Arbitrary-precision naturals, base 2^26 little-endian limbs.
+(* Arbitrary-precision naturals, base 2^31 little-endian limbs.
 
    Invariant: a value is either [||] (zero) or has a non-zero most
-   significant limb.  All limbs lie in [0, base). *)
+   significant limb.  All limbs lie in [0, base).
 
-let limb_bits = 26
+   31 is the widest limb a 63-bit OCaml int supports: every kernel
+   below accumulates at most one limb product plus two limb-sized
+   addends per step, and (2^31-1)^2 + 2*(2^31-1) = 2^62 - 1 = max_int
+   exactly.  Wider limbs overflow; narrower ones (the old 26) pay
+   ~40% more multiply work for the same modulus. *)
+
+let limb_bits = 31
 let base = 1 lsl limb_bits
 let limb_mask = base - 1
 
@@ -128,21 +134,33 @@ let mul_int (a : t) (k : int) : t =
     normalize r
   end
 
-(* Schoolbook product of limb arrays; result length la+lb, unnormalised. *)
+(* Schoolbook product of limb arrays; result length la+lb, unnormalised.
+   Every slot of [r] read by the inner loop must already be masked to
+   [limb_bits]: ai*b.(j) + r + carry then peaks at exactly 2^62-1.  The
+   carry written past the inner loop therefore cannot be left unmasked
+   (as it could at narrower limb widths) — its overflow bit goes one
+   slot higher, which is virgin (zero) until the next outer iteration. *)
 let mul_school (a : int array) (b : int array) : int array =
   let la = Array.length a and lb = Array.length b in
   let r = Array.make (la + lb) 0 in
   for i = 0 to la - 1 do
-    let ai = a.(i) in
+    let ai = Array.unsafe_get a i in
     if ai <> 0 then begin
       let carry = ref 0 in
       for j = 0 to lb - 1 do
-        (* ai*b.(j) <= (2^26-1)^2 < 2^52; + r + carry stays < 2^53. *)
-        let p = (ai * b.(j)) + r.(i + j) + !carry in
-        r.(i + j) <- p land limb_mask;
+        let p =
+          (ai * Array.unsafe_get b j) + Array.unsafe_get r (i + j) + !carry
+        in
+        Array.unsafe_set r (i + j) (p land limb_mask);
         carry := p lsr limb_bits
       done;
-      r.(i + lb) <- r.(i + lb) + !carry
+      let s = Array.unsafe_get r (i + lb) + !carry in
+      Array.unsafe_set r (i + lb) (s land limb_mask);
+      if s lsr limb_bits <> 0 then
+        (* Only reachable when i < la-1: the full product fits la+lb
+           limbs, so the top slot's carry-out is always zero. *)
+        Array.unsafe_set r (i + lb + 1)
+          (Array.unsafe_get r (i + lb + 1) + (s lsr limb_bits))
     end
   done;
   r

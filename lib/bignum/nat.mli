@@ -1,6 +1,6 @@
 (** Arbitrary-precision natural numbers.
 
-    Values are immutable.  The representation uses base-[2^26] limbs
+    Values are immutable.  The representation uses base-[2^limb_bits] limbs
     stored little-endian in an [int array], which keeps every
     intermediate product of two limbs, plus carries, inside OCaml's
     63-bit native integers.

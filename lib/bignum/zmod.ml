@@ -44,10 +44,11 @@ module Montgomery = struct
 
   let modulus ctx = ctx.m
 
-  (* Inverse of x modulo 2^26 by Newton iteration (x odd). *)
+  (* Inverse of x modulo base by Newton iteration (x odd). *)
   let inv_limb x =
     let y = ref x in
-    (* y *= 2 - x*y doubles correct bits each step; 5 steps > 26 bits. *)
+    (* y *= 2 - x*y doubles correct bits each step; the seed is good to
+       3 bits (x*x = 1 mod 8 for odd x), so 5 steps reach 96 > 31. *)
     for _ = 1 to 5 do
       y := (!y * (2 - (x * !y))) land limb_mask
     done;
@@ -63,74 +64,91 @@ module Montgomery = struct
     let r2 = Nat.rem (Nat.mul r r) m in
     { m; n; m_limbs; m'; r2 }
 
-  (* CIOS Montgomery multiplication: returns a*b*R^{-1} mod m as limbs.
-     Inputs are limb arrays of length n (zero-padded).  [t] is caller
-     scratch of length n+2 (contents ignored), so a whole
-     exponentiation reuses one buffer instead of allocating per
-     multiply. *)
-  let mont_mul_scratch ctx (t : int array) (a : int array) (b : int array) :
-      int array =
+  (* CIOS Montgomery multiplication: dst <- a*b*R^{-1} mod m.  Inputs
+     are limb arrays of length n (zero-padded); [t] is caller scratch
+     of length n+2 (contents ignored).  [dst] may alias [a] or [b] —
+     both are fully consumed before the first store to [dst] — so a
+     whole exponentiation runs in two fixed buffers with no allocation
+     per multiply.
+
+     The interleaved reduction stores slot j at index j-1, folding the
+     end-of-iteration one-limb shift of the textbook formulation into
+     the loop itself.  Each accumulation step is at most
+     limb + limb*limb + limb = 2^62 - 1, exactly max_int: the unsafe
+     accesses below are bounds-safe because every index is governed by
+     [n = ctx.n] and all four arrays have length >= n (t: n+2). *)
+  let mont_mul_into ctx (t : int array) (dst : int array) (a : int array)
+      (b : int array) : unit =
     let n = ctx.n in
     let m = ctx.m_limbs and m' = ctx.m' in
     Array.fill t 0 (n + 2) 0;
     for i = 0 to n - 1 do
-      let ai = a.(i) in
+      let ai = Array.unsafe_get a i in
       (* t += ai * b *)
       let carry = ref 0 in
       for j = 0 to n - 1 do
-        let p = t.(j) + (ai * b.(j)) + !carry in
-        t.(j) <- p land limb_mask;
+        let p =
+          Array.unsafe_get t j + (ai * Array.unsafe_get b j) + !carry
+        in
+        Array.unsafe_set t j (p land limb_mask);
         carry := p lsr limb_bits
       done;
-      let s = t.(n) + !carry in
-      t.(n) <- s land limb_mask;
-      t.(n + 1) <- t.(n + 1) + (s lsr limb_bits);
-      (* u = t[0] * m' mod base; t += u*m; t >>= limb_bits *)
-      let u = (t.(0) * m') land limb_mask in
-      let carry = ref 0 in
-      for j = 0 to n - 1 do
-        let p = t.(j) + (u * m.(j)) + !carry in
-        t.(j) <- p land limb_mask;
+      let s = Array.unsafe_get t n + !carry in
+      Array.unsafe_set t n (s land limb_mask);
+      Array.unsafe_set t (n + 1)
+        (Array.unsafe_get t (n + 1) + (s lsr limb_bits));
+      (* u = t[0] * m' mod base; t := (t + u*m) / base, the division
+         folded into the store index: slot j lands at j-1, and slot 0
+         (zero by construction of u) is simply never stored. *)
+      let u = (Array.unsafe_get t 0 * m') land limb_mask in
+      let p0 = Array.unsafe_get t 0 + (u * Array.unsafe_get m 0) in
+      let carry = ref (p0 lsr limb_bits) in
+      for j = 1 to n - 1 do
+        let p =
+          Array.unsafe_get t j + (u * Array.unsafe_get m j) + !carry
+        in
+        Array.unsafe_set t (j - 1) (p land limb_mask);
         carry := p lsr limb_bits
       done;
-      let s = t.(n) + !carry in
-      t.(n) <- s land limb_mask;
-      t.(n + 1) <- t.(n + 1) + (s lsr limb_bits);
-      (* shift one limb right (t.(0) is now zero) *)
-      for j = 0 to n do
-        t.(j) <- t.(j + 1)
-      done;
-      t.(n + 1) <- 0
+      let s = Array.unsafe_get t n + !carry in
+      Array.unsafe_set t (n - 1) (s land limb_mask);
+      Array.unsafe_set t n (Array.unsafe_get t (n + 1) + (s lsr limb_bits));
+      Array.unsafe_set t (n + 1) 0
     done;
-    (* Result in t[0..n]; subtract m if >= m, writing into a fresh
-       n-limb array. *)
+    (* Result in t[0..n]; subtract m if >= m, writing into dst. *)
     let ge =
-      if t.(n) <> 0 then true
+      if Array.unsafe_get t n <> 0 then true
       else begin
         let rec cmp i =
           if i < 0 then true (* equal *)
-          else if t.(i) <> m.(i) then t.(i) > m.(i)
-          else cmp (i - 1)
+          else
+            let ti = Array.unsafe_get t i and mi = Array.unsafe_get m i in
+            if ti <> mi then ti > mi else cmp (i - 1)
         in
         cmp (n - 1)
       end
     in
-    let res = Array.make n 0 in
     if ge then begin
       let borrow = ref 0 in
       for i = 0 to n - 1 do
-        let d = t.(i) - m.(i) - !borrow in
+        let d = Array.unsafe_get t i - Array.unsafe_get m i - !borrow in
         if d < 0 then begin
-          res.(i) <- d + base;
+          Array.unsafe_set dst i (d + base);
           borrow := 1
         end
         else begin
-          res.(i) <- d;
+          Array.unsafe_set dst i d;
           borrow := 0
         end
       done
     end
-    else Array.blit t 0 res 0 n;
+    else Array.blit t 0 dst 0 n
+
+  (* Allocating wrapper, used by the reference ladder. *)
+  let mont_mul_scratch ctx (t : int array) (a : int array) (b : int array) :
+      int array =
+    let res = Array.make ctx.n 0 in
+    mont_mul_into ctx t res a b;
     res
 
   let to_limbs ctx x =
@@ -168,19 +186,26 @@ module Montgomery = struct
 
   (* 2^k-ary fixed-window ladder: precompute b^0..b^(2^k - 1) in
      Montgomery form, then per k-bit window do k squarings and at most
-     one table multiply. *)
+     one table multiply.  The accumulator squares in place via
+     {!mont_mul_into} (dst aliasing is safe there), so the whole
+     ladder allocates only the table and two scratch buffers. *)
   let pow ctx b e =
     if Nat.is_zero e then Nat.rem Nat.one ctx.m
     else begin
       let ebits = Nat.num_bits e in
       let k = window_bits ebits in
-      let t = Array.make (ctx.n + 2) 0 in
-      let mul = mont_mul_scratch ctx t in
-      let one_mont = mul (to_limbs ctx Nat.one) (to_limbs ctx ctx.r2) in
-      let b_mont = mul (to_limbs ctx b) (to_limbs ctx ctx.r2) in
-      let table = Array.make (1 lsl k) one_mont in
+      let n = ctx.n in
+      let t = Array.make (n + 2) 0 in
+      let one_mont = mont_mul_scratch ctx t (to_limbs ctx Nat.one)
+          (to_limbs ctx ctx.r2)
+      in
+      let b_mont = mont_mul_scratch ctx t (to_limbs ctx b)
+          (to_limbs ctx ctx.r2)
+      in
+      let table = Array.init (1 lsl k) (fun _ -> Array.make n 0) in
+      Array.blit one_mont 0 table.(0) 0 n;
       for i = 1 to (1 lsl k) - 1 do
-        table.(i) <- mul table.(i - 1) b_mont
+        mont_mul_into ctx t table.(i) table.(i - 1) b_mont
       done;
       let window j =
         (* bits [j*k .. j*k + k - 1] of e, top bit first *)
@@ -191,17 +216,19 @@ module Montgomery = struct
         !w
       in
       let nwin = (ebits + k - 1) / k in
-      let acc = ref table.(window (nwin - 1)) in
+      let acc = Array.make n 0 in
+      Array.blit table.(window (nwin - 1)) 0 acc 0 n;
       for j = nwin - 2 downto 0 do
         for _ = 1 to k do
-          acc := mul !acc !acc
+          mont_mul_into ctx t acc acc acc
         done;
         let w = window j in
-        if w <> 0 then acc := mul !acc table.(w)
+        if w <> 0 then mont_mul_into ctx t acc acc table.(w)
       done;
-      let one_limbs = Array.make ctx.n 0 in
+      let one_limbs = Array.make n 0 in
       one_limbs.(0) <- 1;
-      Nat.of_limbs (mul !acc one_limbs)
+      mont_mul_into ctx t acc acc one_limbs;
+      Nat.of_limbs acc
     end
 end
 

@@ -1,4 +1,4 @@
-(* Blocking client for the provenance service.
+(* Client for the provenance service.
 
    The transport is abstract — raw bytes out, raw bytes in — with
    three implementations: Unix-domain socket, TCP, and an in-process
@@ -7,8 +7,18 @@
    sealing, codecs) is shared, so a loopback test exercises the same
    protocol path as a socket client.
 
-   Every call is a typed wrapper over one request/response exchange;
-   failures come back as [Error msg], never exceptions. *)
+   Two calling styles share one wire state:
+
+   - Blocking: every typed wrapper ([insert], [verify], ...) is one
+     request/response exchange, exactly as before pipelining existed.
+   - Pipelined: [request_async] seals and sends a request tagged with
+     a fresh correlation id and returns immediately; [collect] later
+     blocks for that id's response, stashing any other responses that
+     arrive first.  Several requests may be in flight on the one
+     connection; the server echoes each cid, so collection order is
+     free.
+
+   Failures come back as [Error msg], never exceptions. *)
 
 module Frame = Tep_wire.Frame
 module Message = Tep_wire.Message
@@ -21,7 +31,14 @@ type transport = {
   close : unit -> unit;
 }
 
-type session = { key : string; mutable send_seq : int; mutable recv_seq : int }
+type session = {
+  keyed : Session.keyed; (* precomputed HMAC key schedule *)
+  mutable send_seq : int;
+  mutable recv_seq : int;
+  mutable next_cid : int; (* correlation ids; 0 is the server's *)
+  stashed : (int, Message.response) Hashtbl.t;
+      (* responses that arrived while collecting a different cid *)
+}
 
 type t = {
   transport : transport;
@@ -97,9 +114,24 @@ let fd_transport fd =
     close = (fun () -> try Unix.close fd with Unix.Unix_error _ -> ());
   }
 
-(* Exponential backoff across connection attempts: a daemon that is
-   still binding its socket is reachable a few hundred ms later. *)
-let connect_with_retry ?(retries = 5) ?(backoff = 0.05) make_fd =
+(* Exponential backoff with deterministic jitter across connection
+   attempts: a daemon that is still binding its socket is reachable a
+   few hundred ms later — but a fleet of clients cut off by a restart
+   must not retry in lockstep.  Attempt [i] sleeps
+   [backoff * 2^i * (0.5 + u)] with [u] in [0,1) drawn from the
+   session DRBG, so the schedule is reproducible from the client's
+   seed yet decorrelated between clients.  Without a DRBG, [u] pins to
+   0.5 and the schedule is exactly the historical [backoff * 2^i]. *)
+let jitter_factor = function
+  | None -> 1.
+  | Some drbg ->
+      0.5 +. (float_of_int (Tep_crypto.Drbg.uniform_int drbg 1024) /. 1024.)
+
+let retry_delays ?drbg ?(retries = 5) ?(backoff = 0.05) () =
+  List.init retries (fun i ->
+      backoff *. (2. ** float_of_int i) *. jitter_factor drbg)
+
+let connect_with_retry ?(retries = 5) ?(backoff = 0.05) ?drbg make_fd =
   let rec go attempt delay =
     match make_fd () with
     | fd -> Ok fd
@@ -109,7 +141,7 @@ let connect_with_retry ?(retries = 5) ?(backoff = 0.05) make_fd =
             (Printf.sprintf "connect failed after %d attempts: %s" (attempt + 1)
                (Unix.error_message err))
         else begin
-          Unix.sleepf delay;
+          Unix.sleepf (delay *. jitter_factor drbg);
           go (attempt + 1) (delay *. 2.)
         end
   in
@@ -127,7 +159,7 @@ let connect_unix ?max_payload ?drbg ?retries ?backoff path =
   in
   Result.map
     (fun fd -> make ?max_payload ?drbg (fd_transport fd))
-    (connect_with_retry ?retries ?backoff make_fd)
+    (connect_with_retry ?retries ?backoff ?drbg make_fd)
 
 let connect_tcp ?max_payload ?drbg ?retries ?backoff ~host ~port () =
   let make_fd () =
@@ -149,7 +181,7 @@ let connect_tcp ?max_payload ?drbg ?retries ?backoff ~host ~port () =
   in
   Result.map
     (fun fd -> make ?max_payload ?drbg (fd_transport fd))
-    (connect_with_retry ?retries ?backoff make_fd)
+    (connect_with_retry ?retries ?backoff ?drbg make_fd)
 
 (* ------------------------------------------------------------------ *)
 (* Frame exchange                                                      *)
@@ -185,12 +217,14 @@ let read_frame t =
   in
   fill ()
 
-let decode_response payload =
-  match Message.decode_response payload 0 with
+let decode_response_at payload off =
+  match Message.decode_response payload off with
   | resp, consumed when consumed = String.length payload -> Ok resp
   | _ -> Error "trailing bytes in server response"
   | exception (Failure e | Invalid_argument e) ->
       Error ("malformed server response: " ^ e)
+
+let decode_response payload = decode_response_at payload 0
 
 let error_of code message =
   Error (Printf.sprintf "%s: %s" (Message.error_code_name code) message)
@@ -208,30 +242,70 @@ let read_clear_error payload =
   | Ok _ -> Error "unexpected clear frame from server"
   | Error e -> Error e
 
-let rpc t req =
+(* ------------------------------------------------------------------ *)
+(* Pipelined request/collect                                           *)
+(* ------------------------------------------------------------------ *)
+
+let request_async t req =
+  if t.closed then Error "client closed"
+  else
+    match t.session with
+    | None -> Error "not authenticated"
+    | Some s ->
+        let cid = s.next_cid in
+        s.next_cid <- cid + 1;
+        let msg = Message.with_cid cid (Message.request_to_string req) in
+        let sealed =
+          Session.seal_keyed s.keyed ~dir:Session.To_server ~seq:s.send_seq msg
+        in
+        s.send_seq <- s.send_seq + 1;
+        t.transport.send (Frame.to_string ~kind:Frame.Sealed sealed);
+        Ok cid
+
+(* Block for [cid]'s response.  Responses for other in-flight cids are
+   stashed for their own [collect]; a connection-level error (the
+   server's reserved cid 0) fails the call. *)
+let collect t cid =
   if t.closed then Error "client closed"
   else
     match t.session with
     | None -> Error "not authenticated"
     | Some s -> (
-        let msg = Message.request_to_string req in
-        let sealed =
-          Session.seal ~key:s.key ~dir:Session.To_server ~seq:s.send_seq msg
-        in
-        s.send_seq <- s.send_seq + 1;
-        t.transport.send (Frame.to_string ~kind:Frame.Sealed sealed);
-        match read_frame t with
-        | Error e -> Error e
-        | Ok (Frame.Clear, payload) -> read_clear_error payload
-        | Ok (Frame.Sealed, payload) -> (
-            match
-              Session.open_ ~key:s.key ~dir:Session.To_client ~seq:s.recv_seq
-                payload
-            with
-            | Error e -> Error ("response rejected: " ^ e)
-            | Ok msg ->
-                s.recv_seq <- s.recv_seq + 1;
-                decode_response msg))
+        match Hashtbl.find_opt s.stashed cid with
+        | Some resp ->
+            Hashtbl.remove s.stashed cid;
+            Ok resp
+        | None ->
+            let rec next () =
+              match read_frame t with
+              | Error e -> Error e
+              | Ok (Frame.Clear, payload) -> read_clear_error payload
+              | Ok (Frame.Sealed, payload) -> (
+                  match
+                    Session.open_keyed s.keyed ~dir:Session.To_client
+                      ~seq:s.recv_seq payload
+                  with
+                  | Error e -> Error ("response rejected: " ^ e)
+                  | Ok msg -> (
+                      s.recv_seq <- s.recv_seq + 1;
+                      match Message.read_cid msg with
+                      | None -> Error "response missing correlation id"
+                      | Some (rcid, off) -> (
+                          match decode_response_at msg off with
+                          | Error e -> Error e
+                          | Ok resp when rcid = cid -> Ok resp
+                          | Ok (Message.Error_resp { code; message })
+                            when rcid = Message.conn_cid ->
+                              error_of code message
+                          | Ok resp ->
+                              Hashtbl.replace s.stashed rcid resp;
+                              next ())))
+            in
+            next ())
+
+(* Blocking exchange: exactly a pipeline of depth one. *)
+let rpc t req =
+  match request_async t req with Error e -> Error e | Ok cid -> collect t cid
 
 (* ------------------------------------------------------------------ *)
 (* Authentication                                                      *)
@@ -272,24 +346,36 @@ let authenticate t participant =
             let signature = Participant.sign participant transcript in
             send_clear t (Message.Auth { signature; key_share });
             let key = Session.derive_key ~transcript ~signature ~secret in
+            let keyed = Session.keyed ~key in
             match read_frame t with
             | Error e -> Error e
             | Ok (Frame.Clear, payload) -> read_clear_error payload
             | Ok (Frame.Sealed, payload) -> (
-                match
-                  Session.open_ ~key ~dir:Session.To_client ~seq:0 payload
-                with
+                match Session.open_keyed keyed ~dir:Session.To_client ~seq:0 payload with
                 | Error e -> Error ("server failed key confirmation: " ^ e)
                 | Ok msg -> (
-                    match decode_response msg with
-                    | Error e -> Error e
-                    | Ok (Message.Auth_ok _) ->
-                        t.session <-
-                          Some { key; send_seq = 0; recv_seq = 1 };
-                        Ok ()
-                    | Ok (Message.Error_resp { code; message }) ->
-                        error_of code message
-                    | Ok _ -> Error "unexpected response to auth")))
+                    (* Auth_ok rides the freshly sealed channel, so it
+                       already carries the reserved connection cid. *)
+                    match Message.read_cid msg with
+                    | None -> Error "auth response missing correlation id"
+                    | Some (cid, off) when cid = Message.conn_cid -> (
+                        match decode_response_at msg off with
+                        | Error e -> Error e
+                        | Ok (Message.Auth_ok _) ->
+                            t.session <-
+                              Some
+                                {
+                                  keyed;
+                                  send_seq = 0;
+                                  recv_seq = 1;
+                                  next_cid = 1;
+                                  stashed = Hashtbl.create 8;
+                                };
+                            Ok ()
+                        | Ok (Message.Error_resp { code; message }) ->
+                            error_of code message
+                        | Ok _ -> Error "unexpected response to auth")
+                    | Some _ -> Error "unexpected correlation id on auth")))
         | Ok _ -> Error "unexpected response to hello")
   end
 
@@ -356,3 +442,21 @@ let checkpoint t =
 let root_hash t =
   rpc t Message.Root_hash
   |> unwrap (function Message.Root { hash } -> Ok hash | _ -> unexpected)
+
+(* ------------------------------------------------------------------ *)
+(* Async submit wrappers (pipelining)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let submit_async t op = request_async t (Message.Submit op)
+
+let insert_async t ~table cells =
+  submit_async t (Message.Op_insert { table; cells })
+
+let update_async t ~table ~row ~col value =
+  submit_async t (Message.Op_update { table; row; col; value })
+
+let collect_submitted t cid =
+  collect t cid
+  |> unwrap (function
+       | Message.Submitted { row; oid; records } -> Ok (row, oid, records)
+       | _ -> unexpected)

@@ -1,19 +1,27 @@
 let block_size (_ : Digest_algo.algo) = 64
 (* MD5, SHA-1 and SHA-256 all use 64-byte blocks. *)
 
-let mac ~algo ~key msg =
+(* The padded-and-xored key blocks depend only on (algo, key), so a
+   session that MACs thousands of frames under one key derives them
+   once instead of re-padding and re-xoring per tag. *)
+type ctx = { algo : Digest_algo.algo; ipad : string; opad : string }
+
+let context ~algo ~key =
   let bs = block_size algo in
   let key =
     if String.length key > bs then Digest_algo.digest algo key else key
   in
-  let key_block =
-    key ^ String.make (bs - String.length key) '\000'
-  in
+  let key_block = key ^ String.make (bs - String.length key) '\000' in
   let xor_with byte =
     String.map (fun c -> Char.chr (Char.code c lxor byte)) key_block
   in
-  let inner = Digest_algo.digest algo (xor_with 0x36 ^ msg) in
-  Digest_algo.digest algo (xor_with 0x5c ^ inner)
+  { algo; ipad = xor_with 0x36; opad = xor_with 0x5c }
+
+let mac_with ctx msg =
+  let inner = Digest_algo.digest ctx.algo (ctx.ipad ^ msg) in
+  Digest_algo.digest ctx.algo (ctx.opad ^ inner)
+
+let mac ~algo ~key msg = mac_with (context ~algo ~key) msg
 
 let hex ~algo ~key msg = Digest_algo.to_hex (mac ~algo ~key msg)
 

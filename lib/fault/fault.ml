@@ -5,6 +5,7 @@ type action =
   | Torn_write of float
   | Bit_flip
   | Transient of int
+  | Delay of float
 
 type armed = {
   action : action;
@@ -68,7 +69,7 @@ let fire site =
   match st.armed with
   | Some a when st.hits >= a.fire_at -> (
       match a.action with
-      | Crash_point | Torn_write _ | Bit_flip ->
+      | Crash_point | Torn_write _ | Bit_flip | Delay _ ->
           disarm site;
           Some a.action
       | Transient _ ->
@@ -80,11 +81,14 @@ let fire site =
 let transient_error site =
   Sys_error (Printf.sprintf "%s: injected transient I/O error" site)
 
+let sleepf seconds = if seconds > 0. then Unix.sleepf seconds
+
 let hit site =
   match fire site with
   | None -> ()
   | Some (Crash_point | Torn_write _ | Bit_flip) -> raise (Crash site)
   | Some (Transient _) -> raise (transient_error site)
+  | Some (Delay s) -> sleepf s
 
 let flip_one_bit data =
   if String.length data = 0 then data
@@ -108,6 +112,9 @@ let output site oc data =
         flush oc;
         raise (Crash site)
     | Some Bit_flip -> output_string oc (flip_one_bit data)
+    | Some (Delay s) ->
+        sleepf s;
+        output_string oc data
 
 let input site data =
   match fire site with
@@ -119,6 +126,9 @@ let input site data =
       let n = int_of_float (frac *. float_of_int (String.length data)) in
       String.sub data 0 n
   | Some Bit_flip -> flip_one_bit data
+  | Some (Delay s) ->
+      sleepf s;
+      data
 
 let with_retry ?(attempts = 3) ?(backoff = fun _ -> ()) f =
   let rec go i =

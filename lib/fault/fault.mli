@@ -34,6 +34,11 @@ type action =
   | Transient of int
       (** raise [Sys_error] on this many consecutive hits, then
           succeed — the retryable class ({!with_retry}). *)
+  | Delay of float
+      (** sleep this many seconds, then let the effect proceed
+          normally — a slow disk or a long-running request.  One-shot,
+          like the crash class; used by the service tests to hold a
+          reader in flight while probing dispatch concurrency. *)
 
 val register : string -> unit
 (** Declare a site.  Idempotent; storage modules register their sites

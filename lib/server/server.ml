@@ -15,9 +15,29 @@
    authentication the server signs submitted operations with the same
    participant identity the client proved it holds.
 
-   The engine is not thread-safe; one request executes at a time
-   (per-server mutex), while framing, MAC checks and socket I/O run
-   concurrently per connection. *)
+   Dispatch concurrency (the high-throughput path):
+
+   - Read-only requests — Query, Verify, Audit, Root-hash — run
+     concurrently across connections under the shared side of a
+     writer-preferring {!Rwlock}.  The engine itself is never mutated
+     by these paths; the two stateful read-side resources (the Merkle
+     root cache and the incremental-audit checkpoint) each sit behind
+     a small dedicated mutex.
+   - Submits from any number of connections funnel into a group-commit
+     batcher: the first arrival becomes the leader, drains the queue,
+     and executes everything queued as one {!Engine.complex_op} per
+     participant under the exclusive write lock — one signing pass,
+     one Merkle dirty-path rehash, one WAL append+flush per batch
+     instead of per op.  Every client still receives its own per-op
+     response; a WAL failure mid-batch fails that whole batch
+     atomically (recovery replays to the last commit marker).
+   - Checkpoint takes the write lock directly.
+
+   Once a session is established, sealed messages carry a varint
+   correlation id (see {!Message.with_cid}), echoed in responses, so a
+   connection may pipeline several requests; consecutive pipelined
+   Submits parsed from one input chunk join the batcher as a single
+   job. *)
 
 module Frame = Tep_wire.Frame
 module Message = Tep_wire.Message
@@ -28,6 +48,7 @@ module Verifier = Tep_core.Verifier
 module Audit = Tep_core.Audit
 module Provstore = Tep_core.Provstore
 module Recovery = Tep_core.Recovery
+module Oid = Tep_tree.Oid
 module Fault = Tep_fault.Fault
 
 (* Everything a connection reads passes through this failpoint, so
@@ -35,6 +56,43 @@ module Fault = Tep_fault.Fault
    without a real flaky network. *)
 let read_site = "wire.server.read"
 let () = Fault.register read_site
+
+(* Hit on the read-side dispatch of every Verify request; arming it
+   with [Fault.Delay] holds a verification in flight, which is how the
+   tests observe that readers are not serialised. *)
+let verify_site = "server.dispatch.verify"
+let () = Fault.register verify_site
+
+(* ------------------------------------------------------------------ *)
+(* Group-commit batcher                                                *)
+(* ------------------------------------------------------------------ *)
+
+type submit_result =
+  | R_pending
+  | R_row of int (* insert: fresh row id *)
+  | R_oid of Oid.t (* aggregate: fresh object *)
+  | R_unit (* update / delete *)
+  | R_err of string (* per-op rejection (batch still commits) *)
+
+(* One enqueued unit of submit work: all ops of one job come from one
+   connection (hence one participant) and are answered positionally. *)
+type submit_job = {
+  j_participant : Participant.t;
+  j_ops : Message.op array;
+  j_results : submit_result array;
+  mutable j_records : int; (* the batch commit's records_emitted *)
+  mutable j_failed : string option; (* commit-level failure: atomic *)
+  mutable j_done : bool;
+}
+
+type batcher = {
+  b_mutex : Mutex.t;
+  b_cond : Condition.t; (* job completion; leader handoff *)
+  mutable b_queue : submit_job list; (* newest first *)
+  mutable b_leader : bool; (* a leader is currently draining *)
+  mutable b_batches : int; (* group commits executed (observability) *)
+  mutable b_ops : int; (* ops carried by those commits *)
+}
 
 type t = {
   engine : Engine.t;
@@ -51,7 +109,10 @@ type t = {
   checkpoint : (string * Tep_store.Wal.t) option;
       (** checkpoint directory + WAL, when the daemon owns durability *)
   audit_cp : Audit.checkpoint ref;
-  lock : Mutex.t;
+  rwlock : Rwlock.t; (* readers share; submits/checkpoints exclude *)
+  audit_lock : Mutex.t; (* audit checkpoint ref, among readers *)
+  root_lock : Mutex.t; (* Merkle root cache, among readers *)
+  batcher : batcher;
 }
 
 let create ?(max_payload = Frame.default_max_payload) ?(request_timeout = 30.)
@@ -71,10 +132,28 @@ let create ?(max_payload = Frame.default_max_payload) ?(request_timeout = 30.)
     active = Atomic.make 0;
     checkpoint;
     audit_cp = ref Audit.empty;
-    lock = Mutex.create ();
+    rwlock = Rwlock.create ();
+    audit_lock = Mutex.create ();
+    root_lock = Mutex.create ();
+    batcher =
+      {
+        b_mutex = Mutex.create ();
+        b_cond = Condition.create ();
+        b_queue = [];
+        b_leader = false;
+        b_batches = 0;
+        b_ops = 0;
+      };
   }
 
 let engine t = t.engine
+
+let batch_stats t =
+  let b = t.batcher in
+  Mutex.lock b.b_mutex;
+  let r = (b.b_batches, b.b_ops) in
+  Mutex.unlock b.b_mutex;
+  r
 
 let gen_nonce t =
   Mutex.lock t.drbg_lock;
@@ -88,7 +167,7 @@ let gen_nonce t =
 
 type established = {
   participant : Participant.t;
-  key : string;
+  keyed : Session.keyed; (* precomputed HMAC key schedule *)
   mutable recv_seq : int;
   mutable send_seq : int;
 }
@@ -111,6 +190,9 @@ type conn = {
   inbox : Buffer.t; (* unconsumed input; compacted once per frame *)
   mutable need : int; (* skip parse attempts below this many bytes *)
   mutable phase : phase;
+  mutable pending : (int * Message.op) list;
+      (* consecutive pipelined Submits (cid, op), newest first,
+         awaiting a flush into the batcher as one job *)
 }
 
 let conn server =
@@ -119,6 +201,7 @@ let conn server =
     inbox = Buffer.create 256;
     need = Frame.header_len;
     phase = Expect_hello;
+    pending = [];
   }
 
 let alive c = c.phase <> Dead
@@ -126,20 +209,26 @@ let alive c = c.phase <> Dead
 let error_resp code message = Message.Error_resp { code; message }
 
 (* Frame a response in whatever protection the connection has reached:
-   clear during the handshake, sealed (tagged, sequenced) once the
-   session key exists.  A response too large for the peer's frame
-   limit degrades to a Too_large error rather than an oversized frame
-   the peer must reject as abusive. *)
-let frame_response c resp =
+   clear during the handshake, sealed (tagged, sequenced, correlation-
+   id-prefixed) once the session key exists.  A response too large for
+   the peer's frame limit degrades to a Too_large error rather than an
+   oversized frame the peer must reject as abusive. *)
+let frame_response ?(cid = Message.conn_cid) c resp =
   let limit =
     c.server.max_payload
     - (match c.phase with Established _ -> Session.tag_len | _ -> 0)
   in
-  let msg = Message.response_to_string resp in
+  let encode resp =
+    let body = Message.response_to_string resp in
+    match c.phase with
+    | Established _ -> Message.with_cid cid body
+    | _ -> body
+  in
+  let msg = encode resp in
   let msg =
     if String.length msg <= limit then msg
     else
-      Message.response_to_string
+      encode
         (error_resp Message.Too_large
            (Printf.sprintf "response of %d bytes exceeds the %d-byte frame limit"
               (String.length msg) c.server.max_payload))
@@ -147,64 +236,219 @@ let frame_response c resp =
   match c.phase with
   | Established s ->
       let sealed =
-        Session.seal ~key:s.key ~dir:Session.To_client ~seq:s.send_seq msg
+        Session.seal_keyed s.keyed ~dir:Session.To_client ~seq:s.send_seq msg
       in
       s.send_seq <- s.send_seq + 1;
       Frame.to_string ~kind:Frame.Sealed sealed
   | _ -> Frame.to_string ~kind:Frame.Clear msg
 
-let kill c resp =
-  let out = frame_response c resp in
+let kill ?cid c resp =
+  let out = frame_response ?cid c resp in
   c.phase <- Dead;
+  c.pending <- [];
   Buffer.clear c.inbox;
   out
 
 (* ------------------------------------------------------------------ *)
-(* Request dispatch                                                    *)
+(* Submit execution (the write side)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let apply_op t participant (op : Message.op) : submit_result =
+  match op with
+  | Message.Op_insert { table; cells } -> (
+      match Engine.insert_row t.engine participant ~table cells with
+      | Ok row -> R_row row
+      | Error e -> R_err e)
+  | Message.Op_update { table; row; col; value } -> (
+      match Engine.update_cell t.engine participant ~table ~row ~col value with
+      | Ok () -> R_unit
+      | Error e -> R_err e)
+  | Message.Op_delete { table; row } -> (
+      match Engine.delete_row t.engine participant ~table row with
+      | Ok () -> R_unit
+      | Error e -> R_err e)
+  | Message.Op_aggregate { inputs; value } -> (
+      match Engine.aggregate_objects t.engine participant ~value inputs with
+      | Ok oid -> R_oid oid
+      | Error e -> R_err e)
+
+(* Execute one drained queue under the write lock.  Jobs are grouped
+   by participant ({!Engine.complex_op} signs a batch as one identity);
+   within a group, ops run in arrival order inside a single complex
+   operation, so the whole group costs one signing pass over the
+   touched set, one root rehash, and one WAL append+flush.
+
+   Failure semantics: an op the engine rejects (bad table, missing
+   row) gets its own error response while the rest of the batch
+   commits — same per-op outcome a singleton submit would see.  If the
+   commit itself fails (WAL error, simulated crash), every op of the
+   group fails atomically: nothing was durably recorded, and recovery
+   rolls the store back to the last commit marker. *)
+let run_batch t (jobs : submit_job list) =
+  Rwlock.with_write t.rwlock (fun () ->
+      (* Group by participant, preserving arrival order of both the
+         groups and the ops within each. *)
+      let order : string list ref = ref [] in
+      let groups : (string, (submit_job * int) list ref) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      List.iter
+        (fun job ->
+          let name = Participant.name job.j_participant in
+          let bucket =
+            match Hashtbl.find_opt groups name with
+            | Some b -> b
+            | None ->
+                let b = ref [] in
+                Hashtbl.replace groups name b;
+                order := name :: !order;
+                b
+          in
+          Array.iteri (fun i _ -> bucket := (job, i) :: !bucket) job.j_ops)
+        jobs;
+      List.iter
+        (fun name ->
+          let entries = List.rev !(Hashtbl.find groups name) in
+          let participant = (fst (List.hd entries)).j_participant in
+          let outcome =
+            try
+              Engine.complex_op t.engine participant (fun () ->
+                  let any_ok = ref false in
+                  List.iter
+                    (fun (job, i) ->
+                      let r = apply_op t participant job.j_ops.(i) in
+                      (match r with R_err _ -> () | _ -> any_ok := true);
+                      job.j_results.(i) <- r)
+                    entries;
+                  (* If nothing survived there is nothing to commit:
+                     erroring out of the body skips the (empty) commit,
+                     exactly like a failed singleton submit did. *)
+                  if !any_ok then Ok ()
+                  else Error "no operation in the batch succeeded")
+            with e -> Error ("commit failed: " ^ Printexc.to_string e)
+          in
+          match outcome with
+          | Ok ((), m) ->
+              List.iter
+                (fun (job, _) -> job.j_records <- m.Engine.records_emitted)
+                entries
+          | Error msg ->
+              (* Distinguish per-op rejections (results already carry
+                 their own errors; the batch just had nothing to
+                 commit) from a commit-level failure, which voids every
+                 op of the group atomically. *)
+              let all_rejected =
+                List.for_all
+                  (fun (job, i) ->
+                    match job.j_results.(i) with R_err _ -> true | _ -> false)
+                  entries
+              in
+              if not all_rejected then
+                List.iter (fun (job, _) -> job.j_failed <- Some msg) entries)
+        (List.rev !order))
+
+(* Enqueue a job and wait for its responses.  The first submitter to
+   find no leader becomes one: it drains and executes the queue
+   (including everything that accumulates while it runs) and wakes the
+   waiting followers, who only block on the condition variable. *)
+let submit_ops t participant (ops : Message.op array) : Message.response array
+    =
+  let job =
+    {
+      j_participant = participant;
+      j_ops = ops;
+      j_results = Array.make (Array.length ops) R_pending;
+      j_records = 0;
+      j_failed = None;
+      j_done = false;
+    }
+  in
+  let b = t.batcher in
+  Mutex.lock b.b_mutex;
+  b.b_queue <- job :: b.b_queue;
+  if b.b_leader then
+    while not job.j_done do
+      Condition.wait b.b_cond b.b_mutex
+    done
+  else begin
+    b.b_leader <- true;
+    while b.b_queue <> [] do
+      let jobs = List.rev b.b_queue in
+      b.b_queue <- [];
+      b.b_batches <- b.b_batches + 1;
+      b.b_ops <-
+        b.b_ops
+        + List.fold_left (fun n j -> n + Array.length j.j_ops) 0 jobs;
+      Mutex.unlock b.b_mutex;
+      (try run_batch t jobs
+       with e ->
+         (* run_batch catches per-group failures; anything escaping is
+            a harness-level surprise — fail the drained jobs rather
+            than deadlock their waiters. *)
+         let msg = Printexc.to_string e in
+         List.iter (fun j -> j.j_failed <- Some msg) jobs);
+      Mutex.lock b.b_mutex;
+      List.iter (fun j -> j.j_done <- true) jobs;
+      Condition.broadcast b.b_cond
+    done;
+    b.b_leader <- false
+  end;
+  Mutex.unlock b.b_mutex;
+  Array.init (Array.length ops) (fun i ->
+      match job.j_failed with
+      | Some e -> error_resp Message.Failed e
+      | None -> (
+          match job.j_results.(i) with
+          | R_err e -> error_resp Message.Bad_request e
+          | R_row row ->
+              Message.Submitted
+                { row = Some row; oid = None; records = job.j_records }
+          | R_oid oid ->
+              Message.Submitted
+                { row = None; oid = Some oid; records = job.j_records }
+          | R_unit ->
+              Message.Submitted
+                { row = None; oid = None; records = job.j_records }
+          | R_pending ->
+              (* unreachable: the leader fills every slot before
+                 marking the job done *)
+              error_resp Message.Failed "batch left the operation pending"))
+
+(* ------------------------------------------------------------------ *)
+(* Read-side dispatch                                                  *)
 (* ------------------------------------------------------------------ *)
 
 let report = Message.report_of_verifier
 
-let submitted t row oid =
-  Message.Submitted
-    { row; oid; records = (Engine.last_metrics t.engine).Engine.records_emitted }
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-let dispatch_op t participant (op : Message.op) =
-  match op with
-  | Message.Op_insert { table; cells } -> (
-      match Engine.insert_row t.engine participant ~table cells with
-      | Ok row -> submitted t (Some row) None
-      | Error e -> error_resp Message.Bad_request e)
-  | Message.Op_update { table; row; col; value } -> (
-      match Engine.update_cell t.engine participant ~table ~row ~col value with
-      | Ok () -> submitted t None None
-      | Error e -> error_resp Message.Bad_request e)
-  | Message.Op_delete { table; row } -> (
-      match Engine.delete_row t.engine participant ~table row with
-      | Ok () -> submitted t None None
-      | Error e -> error_resp Message.Bad_request e)
-  | Message.Op_aggregate { inputs; value } -> (
-      match Engine.aggregate_objects t.engine participant ~value inputs with
-      | Ok oid -> submitted t None (Some oid)
-      | Error e -> error_resp Message.Bad_request e)
-
-let dispatch t participant (req : Message.request) =
+(* Runs under the shared read lock, concurrently with other readers:
+   nothing here may mutate the engine.  The audit checkpoint and the
+   Merkle root cache are the two read-side mutables; each has its own
+   mutex. *)
+let dispatch_read t (req : Message.request) =
   let algo = Engine.algo t.engine in
   let directory = Engine.directory t.engine in
   match req with
   | Message.Hello _ | Message.Auth _ ->
       error_resp Message.Bad_request "already authenticated"
-  | Message.Submit op -> dispatch_op t participant op
+  | Message.Submit _ | Message.Checkpoint ->
+      (* routed to the write side by [dispatch_locked] *)
+      error_resp Message.Failed "write request on the read path"
   | Message.Query oid -> (
       let oid = match oid with Some o -> o | None -> Engine.root_oid t.engine in
       match Engine.deliver t.engine oid with
       | Ok (_, records) -> Message.Records records
       | Error e -> error_resp Message.Not_found e)
   | Message.Verify (Some oid) -> (
+      Fault.hit verify_site;
       match Engine.verify_object t.engine oid with
       | Ok r -> Message.Verified { report = report r; store_audit = None }
       | Error e -> error_resp Message.Not_found e)
   | Message.Verify None -> (
+      Fault.hit verify_site;
       match Engine.verify_object t.engine (Engine.root_oid t.engine) with
       | Ok r ->
           let store =
@@ -214,29 +458,38 @@ let dispatch t participant (req : Message.request) =
           Message.Verified { report = report r; store_audit = Some (report store) }
       | Error e -> error_resp Message.Failed e)
   | Message.Audit ->
-      let r, cp, examined =
-        Audit.incremental_audit ?pool:t.pool ~algo ~directory !(t.audit_cp)
-          (Engine.provstore t.engine)
-      in
-      t.audit_cp := cp;
-      Message.Audited { report = report r; examined; objects = Audit.objects cp }
-  | Message.Checkpoint -> (
-      match t.checkpoint with
-      | None -> error_resp Message.Failed "checkpointing not configured"
-      | Some (dir, wal) -> (
-          match Recovery.checkpoint ~dir ~wal t.engine with
-          | Ok generation ->
-              Message.Checkpointed { generation; lsn = Tep_store.Wal.last_seq wal }
-          | Error e -> error_resp Message.Failed e))
-  | Message.Root_hash -> Message.Root { hash = Engine.root_hash t.engine }
+      locked t.audit_lock (fun () ->
+          let r, cp, examined =
+            Audit.incremental_audit ?pool:t.pool ~algo ~directory !(t.audit_cp)
+              (Engine.provstore t.engine)
+          in
+          t.audit_cp := cp;
+          Message.Audited
+            { report = report r; examined; objects = Audit.objects cp })
+  | Message.Root_hash ->
+      locked t.root_lock (fun () ->
+          Message.Root { hash = Engine.root_hash t.engine })
 
-let dispatch_locked t participant req =
-  Mutex.lock t.lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.lock)
-    (fun () ->
-      try dispatch t participant req
-      with e -> error_resp Message.Failed (Printexc.to_string e))
+let dispatch_checkpoint t =
+  match t.checkpoint with
+  | None -> error_resp Message.Failed "checkpointing not configured"
+  | Some (dir, wal) -> (
+      match Recovery.checkpoint ~dir ~wal t.engine with
+      | Ok generation ->
+          Message.Checkpointed { generation; lsn = Tep_store.Wal.last_seq wal }
+      | Error e -> error_resp Message.Failed e)
+
+let dispatch_locked t participant (req : Message.request) =
+  match req with
+  | Message.Submit op -> (submit_ops t participant [| op |]).(0)
+  | Message.Checkpoint ->
+      Rwlock.with_write t.rwlock (fun () ->
+          try dispatch_checkpoint t
+          with e -> error_resp Message.Failed (Printexc.to_string e))
+  | _ ->
+      Rwlock.with_read t.rwlock (fun () ->
+          try dispatch_read t req
+          with e -> error_resp Message.Failed (Printexc.to_string e))
 
 (* ------------------------------------------------------------------ *)
 (* Handshake                                                           *)
@@ -278,7 +531,14 @@ let handle_auth c ~participant ~name ~client_nonce ~server_nonce ~signature
     match Participant.decrypt participant key_share with
     | Some secret when String.length secret = Session.key_share_len ->
         let key = Session.derive_key ~transcript ~signature ~secret in
-        c.phase <- Established { participant; key; recv_seq = 0; send_seq = 0 };
+        c.phase <-
+          Established
+            {
+              participant;
+              keyed = Session.keyed ~key;
+              recv_seq = 0;
+              send_seq = 0;
+            };
         frame_response c (Message.Auth_ok { server = "provdbd" })
     | Some _ | None ->
         kill c (error_resp Message.Auth_failed "key share rejected")
@@ -287,43 +547,93 @@ let handle_auth c ~participant ~name ~client_nonce ~server_nonce ~signature
 (* Frame handling                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let decode_request payload =
-  match Message.decode_request payload 0 with
+let decode_request_at payload off =
+  match Message.decode_request payload off with
   | req, consumed when consumed = String.length payload -> Some req
   | _ -> None
   | exception (Failure _ | Invalid_argument _) -> None
 
-let handle_frame c (kind : Frame.kind) payload =
+let decode_request payload = decode_request_at payload 0
+
+(* Consecutive pipelined Submits buffered on the connection join the
+   batcher as one job; their responses are framed in request order,
+   each echoing its own correlation id. *)
+let flush_pending c out =
+  match (c.phase, c.pending) with
+  | _, [] -> ()
+  | Established s, pending ->
+      c.pending <- [];
+      let ps = List.rev pending in
+      let ops = Array.of_list (List.map snd ps) in
+      let resps = submit_ops c.server s.participant ops in
+      List.iteri
+        (fun i (cid, _) ->
+          Buffer.add_string out (frame_response ~cid c resps.(i)))
+        ps
+  | _, _ -> c.pending <- []
+
+(* Established-phase sealed traffic: open the seal, split off the
+   correlation id, then either defer (Submit — grouped with adjacent
+   pipelined submits) or flush-and-dispatch. *)
+let handle_sealed c out s payload =
+  match
+    Session.open_keyed s.keyed ~dir:Session.To_server ~seq:s.recv_seq payload
+  with
+  | Error e ->
+      flush_pending c out;
+      Buffer.add_string out (kill c (error_resp Message.Auth_failed e))
+  | Ok msg -> (
+      s.recv_seq <- s.recv_seq + 1;
+      match Message.read_cid msg with
+      | None ->
+          flush_pending c out;
+          Buffer.add_string out
+            (kill c (error_resp Message.Bad_request "malformed request"))
+      | Some (cid, off) -> (
+          match decode_request_at msg off with
+          | None ->
+              flush_pending c out;
+              Buffer.add_string out
+                (kill ~cid c (error_resp Message.Bad_request "malformed request"))
+          | Some (Message.Submit op) -> c.pending <- (cid, op) :: c.pending
+          | Some req ->
+              flush_pending c out;
+              let resp = dispatch_locked c.server s.participant req in
+              Buffer.add_string out (frame_response ~cid c resp)))
+
+let handle_frame c out (kind : Frame.kind) payload =
   match (c.phase, kind) with
-  | Dead, _ -> ""
+  | Dead, _ -> ()
   | (Expect_hello | Expect_auth _), Sealed ->
-      kill c (error_resp Message.Auth_required "handshake not complete")
+      Buffer.add_string out
+        (kill c (error_resp Message.Auth_required "handshake not complete"))
   | Established _, Clear ->
-      kill c (error_resp Message.Bad_request "clear frame on sealed session")
+      flush_pending c out;
+      Buffer.add_string out
+        (kill c (error_resp Message.Bad_request "clear frame on sealed session"))
   | Expect_hello, Clear -> (
       match decode_request payload with
       | Some (Message.Hello { name; nonce }) ->
-          handle_hello c ~name ~client_nonce:nonce
-      | Some _ -> kill c (error_resp Message.Auth_required "hello expected")
-      | None -> kill c (error_resp Message.Bad_request "malformed request"))
+          Buffer.add_string out (handle_hello c ~name ~client_nonce:nonce)
+      | Some _ ->
+          Buffer.add_string out
+            (kill c (error_resp Message.Auth_required "hello expected"))
+      | None ->
+          Buffer.add_string out
+            (kill c (error_resp Message.Bad_request "malformed request")))
   | Expect_auth { participant; name; client_nonce; server_nonce }, Clear -> (
       match decode_request payload with
       | Some (Message.Auth { signature; key_share }) ->
-          handle_auth c ~participant ~name ~client_nonce ~server_nonce
-            ~signature ~key_share
-      | Some _ -> kill c (error_resp Message.Auth_required "auth expected")
-      | None -> kill c (error_resp Message.Bad_request "malformed request"))
-  | Established s, Sealed -> (
-      match
-        Session.open_ ~key:s.key ~dir:Session.To_server ~seq:s.recv_seq payload
-      with
-      | Error e -> kill c (error_resp Message.Auth_failed e)
-      | Ok msg -> (
-          s.recv_seq <- s.recv_seq + 1;
-          match decode_request msg with
-          | None -> kill c (error_resp Message.Bad_request "malformed request")
-          | Some req ->
-              frame_response c (dispatch_locked c.server s.participant req)))
+          Buffer.add_string out
+            (handle_auth c ~participant ~name ~client_nonce ~server_nonce
+               ~signature ~key_share)
+      | Some _ ->
+          Buffer.add_string out
+            (kill c (error_resp Message.Auth_required "auth expected"))
+      | None ->
+          Buffer.add_string out
+            (kill c (error_resp Message.Bad_request "malformed request")))
+  | Established s, Sealed -> handle_sealed c out s payload
 
 (* Bytes in, response bytes out.  This is the single protocol entry
    point shared by the socket loops and the loopback transport.
@@ -333,7 +643,13 @@ let handle_frame c (kind : Frame.kind) payload =
    complete ([need], maintained from the parser's Need_more), so a
    maximum-size frame arriving in 4 KiB chunks costs O(n), not the
    O(n^2) of re-concatenating a string per chunk — an unauthenticated
-   peer cannot buy gigabytes of memcpy with one 16 MiB frame. *)
+   peer cannot buy gigabytes of memcpy with one 16 MiB frame.
+
+   Submits parsed in this pass are deferred on [c.pending] and flushed
+   as one batcher job — either when a non-submit request interleaves
+   (responses stay in request order) or when the parsed input runs
+   out.  A blocking client (one request per chunk) therefore behaves
+   exactly as before: its single submit flushes immediately. *)
 let feed c data =
   if c.phase = Dead then ""
   else begin
@@ -354,18 +670,21 @@ let feed c data =
             Buffer.add_substring c.inbox buffered consumed
               (String.length buffered - consumed);
             c.need <- Frame.header_len;
-            Buffer.add_string out (handle_frame c kind payload)
+            handle_frame c out kind payload
         | Frame.Oversized n ->
+            flush_pending c out;
             Buffer.add_string out
               (kill c
                  (error_resp Message.Too_large
                     (Printf.sprintf
                        "declared payload of %d bytes exceeds limit" n)))
         | Frame.Corrupt reason ->
+            flush_pending c out;
             Buffer.add_string out
               (kill c (error_resp Message.Bad_request reason))
       end
     done;
+    flush_pending c out;
     Buffer.contents out
   end
 

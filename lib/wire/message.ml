@@ -404,3 +404,32 @@ let response_to_string r =
   let buf = Buffer.create 256 in
   encode_response buf r;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Correlation ids (sealed-channel framing v2)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Once a session is established, every sealed message in either
+   direction is [varint cid · encoded message]: the server echoes a
+   request's cid in its response, so a connection may keep several
+   requests in flight and still match responses robustly.  The cid
+   travels inside the sealed payload — the MAC covers it — and the
+   clear handshake frames are unchanged.  Cid 0 is reserved for
+   connection-level failures the server emits outside any particular
+   request (e.g. a MAC rejection that kills the session); clients
+   allocate cids from 1. *)
+
+let conn_cid = 0
+
+let with_cid cid s =
+  if cid < 0 then invalid_arg "Message.with_cid: negative cid";
+  let buf = Buffer.create (String.length s + 5) in
+  Value.add_varint buf cid;
+  Buffer.add_string buf s;
+  Buffer.contents buf
+
+let read_cid s =
+  match Value.read_varint s 0 with
+  | cid, off when cid >= 0 -> Some (cid, off)
+  | _ -> None
+  | exception (Failure _ | Invalid_argument _) -> None

@@ -66,20 +66,37 @@ type direction = To_server | To_client
 
 let dir_byte = function To_server -> '>' | To_client -> '<'
 
-let tag ~key ~dir ~seq msg =
+(* A session seals every frame under one key; precomputing the HMAC
+   key schedule once (per {!Hmac.context}) removes the per-frame
+   pad-and-xor.  The direction byte is part of the MACed content, so
+   one keyed context serves both directions. *)
+type keyed = Hmac.ctx
+
+let keyed ~key = Hmac.context ~algo:Digest_algo.SHA256 ~key
+
+let tag_input ~dir ~seq msg =
   let buf = Buffer.create (String.length msg + 12) in
   Buffer.add_char buf (dir_byte dir);
   Tep_store.Value.add_varint buf seq;
   Buffer.add_string buf msg;
-  Hmac.mac ~algo:Digest_algo.SHA256 ~key (Buffer.contents buf)
+  Buffer.contents buf
 
-let seal ~key ~dir ~seq msg = tag ~key ~dir ~seq msg ^ msg
+let tag_keyed ctx ~dir ~seq msg = Hmac.mac_with ctx (tag_input ~dir ~seq msg)
 
-let open_ ~key ~dir ~seq payload =
+let tag ~key ~dir ~seq msg = tag_keyed (keyed ~key) ~dir ~seq msg
+
+let seal_keyed ctx ~dir ~seq msg = tag_keyed ctx ~dir ~seq msg ^ msg
+
+let seal ~key ~dir ~seq msg = seal_keyed (keyed ~key) ~dir ~seq msg
+
+let open_keyed ctx ~dir ~seq payload =
   if String.length payload < tag_len then Error "sealed frame too short"
   else begin
     let received = String.sub payload 0 tag_len in
     let msg = String.sub payload tag_len (String.length payload - tag_len) in
-    if Hmac.equal_constant_time received (tag ~key ~dir ~seq msg) then Ok msg
+    if Hmac.equal_constant_time received (tag_keyed ctx ~dir ~seq msg) then
+      Ok msg
     else Error "authentication tag mismatch"
   end
+
+let open_ ~key ~dir ~seq payload = open_keyed (keyed ~key) ~dir ~seq payload

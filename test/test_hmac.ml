@@ -48,11 +48,44 @@ let test_verify () =
     "bad key" false
     (Hmac.verify ~algo:Digest_algo.SHA256 ~key:"wrong" ~msg ~tag)
 
+(* The precomputed key schedule (ipad/opad folded once per session)
+   must be byte-identical to the one-shot path for every key shape:
+   empty, short, block-sized, longer than a block. *)
+let test_keyed_context () =
+  let keys =
+    [ ""; "Jefe"; String.make 20 '\x0b'; String.make 64 '\x55';
+      String.make 80 '\xaa' ]
+  in
+  let msgs =
+    [ ""; "Hi There"; "what do ya want for nothing?"; String.make 50 '\xdd' ]
+  in
+  List.iter
+    (fun key ->
+      let ctx = Hmac.context ~algo:Digest_algo.SHA256 ~key in
+      List.iter
+        (fun msg ->
+          check "keyed context matches one-shot"
+            (Hmac.mac ~algo:Digest_algo.SHA256 ~key msg)
+            (Hmac.mac_with ctx msg))
+        msgs)
+    keys
+
 let test_constant_time_equal () =
   Alcotest.(check bool) "equal" true (Hmac.equal_constant_time "abc" "abc");
   Alcotest.(check bool) "diff" false (Hmac.equal_constant_time "abc" "abd");
   Alcotest.(check bool) "len" false (Hmac.equal_constant_time "ab" "abc");
   Alcotest.(check bool) "empty" true (Hmac.equal_constant_time "" "")
+
+let prop_context_equivalence =
+  QCheck2.Test.make ~name:"precomputed context = one-shot mac" ~count:200
+    QCheck2.Gen.(
+      pair
+        (string_size ~gen:char (int_range 0 100))
+        (string_size ~gen:char (int_range 0 200)))
+    (fun (key, msg) ->
+      String.equal
+        (Hmac.mac ~algo:Digest_algo.SHA256 ~key msg)
+        (Hmac.mac_with (Hmac.context ~algo:Digest_algo.SHA256 ~key) msg))
 
 let prop_key_sensitivity =
   QCheck2.Test.make ~name:"different keys, different tags" ~count:200
@@ -79,8 +112,13 @@ let () =
       ( "unit",
         [
           Alcotest.test_case "verify" `Quick test_verify;
+          Alcotest.test_case "keyed context" `Quick test_keyed_context;
           Alcotest.test_case "constant-time equal" `Quick
             test_constant_time_equal;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_key_sensitivity ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_key_sensitivity;
+          QCheck_alcotest.to_alcotest prop_context_equivalence;
+        ] );
     ]

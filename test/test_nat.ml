@@ -130,10 +130,10 @@ let test_karatsuba_agrees () =
   in
   for _ = 1 to 20 do
     let big1 =
-      Nat.of_limbs (Array.init 70 (fun _ -> next () land ((1 lsl 26) - 1)))
+      Nat.of_limbs (Array.init 70 (fun _ -> next () land ((1 lsl Nat.limb_bits) - 1)))
     in
     let big2 =
-      Nat.of_limbs (Array.init 64 (fun _ -> next () land ((1 lsl 26) - 1)))
+      Nat.of_limbs (Array.init 64 (fun _ -> next () land ((1 lsl Nat.limb_bits) - 1)))
     in
     let p = Nat.mul big1 big2 in
     if not (Nat.is_zero big2) then begin

@@ -202,6 +202,13 @@ let parse_one s =
 
 let decode_resp payload = fst (Message.decode_response payload 0)
 
+(* Established-channel messages are [varint cid · response] (framing
+   v2); raw-frame tests strip the correlation id before decoding. *)
+let decode_sealed_resp msg =
+  match Message.read_cid msg with
+  | Some (_, off) -> fst (Message.decode_response msg off)
+  | None -> Alcotest.fail "sealed message missing correlation id"
+
 let expect_error name s code =
   match parse_one s with
   | _, payload -> (
@@ -255,7 +262,7 @@ let handshake_frames conn p =
   in
   (match Session.open_ ~key ~dir:Session.To_client ~seq:0 auth_ok with
   | Ok msg -> (
-      match decode_resp msg with
+      match decode_sealed_resp msg with
       | Message.Auth_ok _ -> ()
       | _ -> Alcotest.fail "expected Auth_ok")
   | Error e -> Alcotest.fail ("Auth_ok failed to open: " ^ e));
@@ -369,7 +376,7 @@ let test_bad_mac_and_replay_rejected () =
       (* the error still arrives sealed: the session key exists *)
       match Session.open_ ~key ~dir:Session.To_client ~seq:1 payload with
       | Ok msg -> (
-          match decode_resp msg with
+          match decode_sealed_resp msg with
           | Message.Error_resp { code = Message.Auth_failed; _ } -> ()
           | _ -> Alcotest.fail "expected auth-failed")
       | Error e -> Alcotest.fail ("error response failed to open: " ^ e))
@@ -580,6 +587,238 @@ let test_connection_cap () =
       in
       retry 100)
 
+(* ------------------------------------------------------------------ *)
+(* Pipelining and dispatch concurrency                                 *)
+(* ------------------------------------------------------------------ *)
+
+let parse_frames s =
+  let rec go off acc =
+    if off >= String.length s then List.rev acc
+    else
+      match Frame.parse s off with
+      | Frame.Frame { kind; payload; consumed } ->
+          go (off + consumed) ((kind, payload) :: acc)
+      | _ -> Alcotest.fail "expected a run of complete frames"
+  in
+  go 0 []
+
+(* Several requests in flight on one connection; responses collected
+   newest-first, so the earlier ones must be stashed by correlation
+   id and handed out when their own collect comes. *)
+let test_pipelined_out_of_order () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let c = make_client server in
+  ok (Client.authenticate c alice);
+  let cid_a =
+    ok (Client.insert_async c ~table:"stock" [| Value.Int 1; Value.Int 10 |])
+  in
+  let cid_b =
+    ok (Client.insert_async c ~table:"stock" [| Value.Int 2; Value.Int 20 |])
+  in
+  let cid_c = ok (Client.request_async c Message.Root_hash) in
+  Alcotest.(check bool) "cids distinct" true (cid_a <> cid_b && cid_b <> cid_c);
+  (match ok (Client.collect c cid_c) with
+  | Message.Root { hash } ->
+      Alcotest.(check string) "pipelined root hash" (Engine.root_hash engine)
+        hash
+  | _ -> Alcotest.fail "expected Root");
+  let row_b, _, _ = ok (Client.collect_submitted c cid_b) in
+  let row_a, _, _ = ok (Client.collect_submitted c cid_a) in
+  (match (row_a, row_b) with
+  | Some a, Some b ->
+      Alcotest.(check bool) "rows follow request order" true (a < b)
+  | _ -> Alcotest.fail "inserts must return rows");
+  (* the session survives out-of-order collection; blocking calls and
+     the byte-identity acceptance bar still hold on the same wire *)
+  let report, _ = ok (Client.verify c ()) in
+  Alcotest.(check string) "verify byte-identical after pipelining"
+    (local_report engine (Engine.root_oid engine))
+    (Message.render_report report);
+  Client.close c
+
+(* Two pipelined Submits arriving in one input chunk must coalesce
+   into a single group commit (one signing pass, one WAL unit), while
+   each response still echoes its own correlation id. *)
+let test_pipelined_submits_coalesce () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let conn = Tep_server.Server.conn server in
+  let key = handshake conn alice in
+  let submit cid seq cells =
+    let msg =
+      Message.with_cid cid
+        (Message.request_to_string
+           (Message.Submit (Message.Op_insert { table = "stock"; cells })))
+    in
+    Frame.to_string ~kind:Frame.Sealed
+      (Session.seal ~key ~dir:Session.To_server ~seq msg)
+  in
+  let chunk =
+    submit 1 0 [| Value.Int 1; Value.Int 10 |]
+    ^ submit 2 1 [| Value.Int 2; Value.Int 20 |]
+  in
+  let before_batches, before_ops = Server.batch_stats server in
+  let frames = parse_frames (Tep_server.Server.feed conn chunk) in
+  Alcotest.(check int) "two responses" 2 (List.length frames);
+  List.iteri
+    (fun i (kind, payload) ->
+      if kind <> Frame.Sealed then Alcotest.fail "expected sealed responses";
+      (* the server's seq 0 went to Auth_ok *)
+      match Session.open_ ~key ~dir:Session.To_client ~seq:(i + 1) payload with
+      | Error e -> Alcotest.fail ("response failed to open: " ^ e)
+      | Ok msg -> (
+          match Message.read_cid msg with
+          | None -> Alcotest.fail "response missing correlation id"
+          | Some (cid, off) -> (
+              Alcotest.(check int) "cid echoes request order" (i + 1) cid;
+              match fst (Message.decode_response msg off) with
+              | Message.Submitted { row = Some _; records; _ } ->
+                  Alcotest.(check bool) "records emitted" true (records > 0)
+              | _ -> Alcotest.fail "expected Submitted")))
+    frames;
+  let after_batches, after_ops = Server.batch_stats server in
+  Alcotest.(check int) "one group commit" 1 (after_batches - before_batches);
+  Alcotest.(check int) "carrying both ops" 2 (after_ops - before_ops);
+  (* one commit, yet both rows have provenance the verifier accepts *)
+  match Engine.verify_object engine (Engine.root_oid engine) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("verify after coalesced commit: " ^ e)
+
+(* The read/write split: a verify held in flight (slow-verify
+   failpoint) must not serialise other connections' read-only
+   requests behind it.  Under the old single-mutex dispatch the root
+   hash below would wait out the full delay. *)
+let test_concurrent_readers_not_serialised () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let c1 = make_client server in
+  let c2 =
+    Client.loopback ~drbg:(Tep_crypto.Drbg.create ~seed:"client-reader") server
+  in
+  ok (Client.authenticate c1 alice);
+  ok (Client.authenticate c2 alice);
+  ignore (ok (Client.insert c1 ~table:"stock" [| Value.Int 1; Value.Int 10 |]));
+  Fault.reset ();
+  Fault.arm "server.dispatch.verify" (Fault.Delay 0.4);
+  let verify_done = ref 0. in
+  let th =
+    Thread.create
+      (fun () ->
+        let report, _ = ok (Client.verify c1 ()) in
+        verify_done := Unix.gettimeofday ();
+        Alcotest.(check bool) "slow verify still clean" true
+          (Message.report_ok report))
+      ()
+  in
+  Thread.delay 0.1;
+  (* the verify is now asleep inside the shared read lock *)
+  let t0 = Unix.gettimeofday () in
+  Alcotest.(check string) "root hash served during the verify"
+    (Engine.root_hash engine)
+    (ok (Client.root_hash c2));
+  ignore (ok (Client.query c2 ()));
+  let reads_done = Unix.gettimeofday () in
+  Thread.join th;
+  Fault.reset ();
+  Alcotest.(check bool) "reads overlapped the in-flight verify" true
+    (reads_done -. t0 < 0.25 && reads_done < !verify_done)
+
+(* Group commit atomicity: while every WAL flush fails, submits from
+   two concurrent connections must all be rejected — durability cannot
+   be confirmed for any op of a failing batch — and the engine must
+   come back clean: usable immediately, recoverable from disk. *)
+let test_group_commit_wal_failure_atomic () =
+  let drbg = Tep_crypto.Drbg.create ~seed:"service-gc" in
+  let ca = Tep_crypto.Pki.create_ca ~bits:512 ~name:"CA" drbg in
+  let directory =
+    Participant.Directory.create ~ca_key:(Tep_crypto.Pki.ca_public_key ca)
+  in
+  let alice = Participant.create ~bits:512 ~ca ~name:"alice" drbg in
+  Participant.Directory.register directory alice;
+  let db = Database.create ~name:"svc" in
+  ignore
+    (Database.create_table db ~name:"stock" (Schema.all_int [ "sku"; "qty" ]));
+  let dir = Filename.temp_file "tep_service_gc" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let wal = Wal.open_file (Filename.concat dir "wal.log") in
+  let engine = Engine.create ~wal ~directory db in
+  let server = make_server ~checkpoint:(dir, wal) engine alice in
+  let c1 = make_client server in
+  let c2 =
+    Client.loopback ~drbg:(Tep_crypto.Drbg.create ~seed:"client-2") server
+  in
+  ok (Client.authenticate c1 alice);
+  ok (Client.authenticate c2 alice);
+  Fault.reset ();
+  Fault.arm "wal.flush" (Fault.Transient 50);
+  let r1 = ref (Error "unset") and r2 = ref (Error "unset") in
+  let th1 =
+    Thread.create
+      (fun () ->
+        r1 := Client.insert c1 ~table:"stock" [| Value.Int 1; Value.Int 10 |])
+      ()
+  in
+  let th2 =
+    Thread.create
+      (fun () ->
+        r2 := Client.insert c2 ~table:"stock" [| Value.Int 2; Value.Int 20 |])
+      ()
+  in
+  Thread.join th1;
+  Thread.join th2;
+  Fault.reset ();
+  (match (!r1, !r2) with
+  | Error _, Error _ -> ()
+  | _ -> Alcotest.fail "a submit survived a failing WAL flush");
+  (* not wedged: the next submit commits cleanly *)
+  let _row, records =
+    ok (Client.insert c1 ~table:"stock" [| Value.Int 3; Value.Int 30 |])
+  in
+  Alcotest.(check bool) "engine usable after batch failure" true (records > 0);
+  let report, _ = ok (Client.verify c1 ()) in
+  Alcotest.(check bool) "verify clean after batch failure" true
+    (Message.report_ok report);
+  (* and recoverable: checkpoint, then rebuild the engine from disk *)
+  let _generation = ok (Client.checkpoint c1) in
+  match Recovery.recover ~final_checkpoint:false ~dir ~directory () with
+  | Error e -> Alcotest.fail ("recovery failed: " ^ e)
+  | Ok (recovered, rwal, rep) ->
+      Wal.close rwal;
+      Alcotest.(check bool) "recovered hash verified" true
+        rep.Recovery.hash_verified;
+      Alcotest.(check string) "recovered root matches the live engine"
+        (Engine.root_hash engine)
+        (Engine.root_hash recovered)
+
+(* Connect retry backoff: reproducible from the client's DRBG seed,
+   decorrelated between seeds, pinned to the historical 2^i schedule
+   when no DRBG is supplied, always within the +/-50% jitter window. *)
+let test_retry_jitter_deterministic () =
+  List.iteri
+    (fun i d ->
+      Alcotest.(check (float 1e-9))
+        "no drbg: historical schedule"
+        (0.05 *. (2. ** float_of_int i))
+        d)
+    (Client.retry_delays ());
+  let schedule seed =
+    Client.retry_delays ~drbg:(Tep_crypto.Drbg.create ~seed) ()
+  in
+  let a = schedule "jitter-a" in
+  Alcotest.(check (list (float 1e-12)))
+    "same seed, same schedule" a (schedule "jitter-a");
+  Alcotest.(check bool) "different seeds decorrelate" true
+    (a <> schedule "jitter-b");
+  List.iteri
+    (fun i d ->
+      let base = 0.05 *. (2. ** float_of_int i) in
+      Alcotest.(check bool)
+        "jitter stays within [0.5x, 1.5x)" true
+        (d >= 0.5 *. base && d < 1.5 *. base))
+    a
+
 let () =
   Alcotest.run "service"
     [
@@ -624,5 +863,18 @@ let () =
           Alcotest.test_case "unix socket end-to-end" `Quick
             test_unix_socket_end_to_end;
           Alcotest.test_case "connection cap" `Quick test_connection_cap;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "out-of-order collect" `Quick
+            test_pipelined_out_of_order;
+          Alcotest.test_case "submits coalesce" `Quick
+            test_pipelined_submits_coalesce;
+          Alcotest.test_case "concurrent readers" `Quick
+            test_concurrent_readers_not_serialised;
+          Alcotest.test_case "group-commit WAL failure" `Quick
+            test_group_commit_wal_failure_atomic;
+          Alcotest.test_case "retry jitter" `Quick
+            test_retry_jitter_deterministic;
         ] );
     ]

@@ -24,6 +24,9 @@ TEP_SCALE=smoke TEP_BENCH_JSON=0 dune exec bench/main.exe -- parallel
 echo "== serve-smoke (wire service gate) =="
 TEP_SCALE=smoke TEP_BENCH_JSON=0 dune exec bench/main.exe -- serve
 
+echo "== serve-pipeline (pipelined-load gate) =="
+TEP_SCALE=smoke TEP_BENCH_JSON=0 dune exec bench/main.exe -- serve-pipeline
+
 echo "== serve-smoke (scripted provdbd session) =="
 PROVDB=_build/default/bin/provdb.exe
 PROVDBD=_build/default/bin/provdbd.exe
