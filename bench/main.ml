@@ -64,6 +64,7 @@ let write_json path contents =
 let crypto_micro_tests cfg =
   let open Bechamel in
   let payload = String.make 256 'x' in
+  let payload_4k = String.make 4096 'x' in
   let signer =
     let env = Scenario.make_env ~seed:"bench-micro-sign" () in
     Participant.create ~bits:cfg.Experiments.rsa_bits ~ca:env.Scenario.ca
@@ -81,6 +82,10 @@ let crypto_micro_tests cfg =
   [
     Test.make ~name:"sha1-256B"
       (Staged.stage (fun () -> ignore (Tep_crypto.Sha1.digest payload)));
+    (* 64 compression rounds per digest — isolates the block-loop cost
+       from the init/final overhead the 256B point is dominated by *)
+    Test.make ~name:"sha1-4KiB"
+      (Staged.stage (fun () -> ignore (Tep_crypto.Sha1.digest payload_4k)));
     Test.make ~name:"sha256-256B"
       (Staged.stage (fun () -> ignore (Tep_crypto.Sha256.digest payload)));
     Test.make ~name:"md5-256B"
@@ -155,6 +160,53 @@ let engine_micro_tests () =
              (Engine.update_cell eng p ~table:"t1" ~row:(!counter mod 400)
                 ~col:(!counter mod 8)
                 (Value.Int !counter))));
+    (* The pooled write path.  A singleton commit never fans out (one
+       record signs on the caller), so each iteration is a complex op
+       staging four updates — the smallest batch where the signing
+       stage actually spreads across the 4-domain pool. *)
+    Test.make ~name:"engine-update-cell-pooled"
+      (let state =
+         lazy
+           (let env =
+              Scenario.make_env ~seed:"bench-micro-engine-pooled" ()
+            in
+            let cfg = Experiments.config_of_env () in
+            let p =
+              Participant.create ~bits:cfg.Experiments.rsa_bits
+                ~ca:env.Scenario.ca ~name:"bench-engine" env.Scenario.drbg
+            in
+            Participant.Directory.register env.Scenario.directory p;
+            let db =
+              Synth.build_database ~seed:"bench-micro-db-pooled"
+                [ { Synth.name = "t1"; attrs = 8; rows = 400 } ]
+            in
+            let pool = Tep_parallel.Pool.create ~domains:4 () in
+            let eng =
+              Engine.create ~pool ~directory:env.Scenario.directory db
+            in
+            (eng, p, ref 0))
+       in
+       Staged.stage (fun () ->
+           let eng, p, counter = Lazy.force state in
+           incr counter;
+           let base = !counter * 4 in
+           match
+             Engine.complex_op eng p (fun () ->
+                 let rec go i =
+                   if i >= 4 then Ok ()
+                   else
+                     match
+                       Engine.update_cell eng p ~table:"t1"
+                         ~row:((base + i) mod 400) ~col:((base + i) mod 8)
+                         (Value.Int (base + i))
+                     with
+                     | Ok () -> go (i + 1)
+                     | Error _ as e -> e
+                 in
+                 go 0)
+           with
+           | Ok _ -> ()
+           | Error e -> failwith ("pooled bench: " ^ e)));
   ]
 
 let run_micro () =
@@ -301,6 +353,96 @@ let run_parallel () =
       [ 1; 2; 4; 8 ]
   in
   print_newline ();
+  (* Commit-signing sweep: the same domain ladder over the WRITE path.
+     Each point rebuilds a bit-identical engine from a fixed seed,
+     drives complex-op commits whose signatures fan out across the
+     pool, and checks the emitted record stream and Merkle root are
+     byte-identical to the 1-domain (sequential) run — the pipeline's
+     determinism contract, measured rather than assumed. *)
+  let sign_commits = if cfg.Experiments.scale <= 0.02 then 8 else 32 in
+  let sign_cells = 8 in
+  let run_sign domains =
+    let pool =
+      if domains > 1 then Some (Tep_parallel.Pool.create ~domains ())
+      else None
+    in
+    let env =
+      Scenario.make_env ~seed:(cfg.Experiments.seed ^ "-sign") ()
+    in
+    let p =
+      Participant.create ~bits:cfg.Experiments.rsa_bits ~ca:env.Scenario.ca
+        ~name:"bench-sign-par" env.Scenario.drbg
+    in
+    Participant.Directory.register env.Scenario.directory p;
+    let db =
+      Synth.build_database ~seed:(cfg.Experiments.seed ^ "-sign-db")
+        [ { Synth.name = "t1"; attrs = 8; rows = 100 } ]
+    in
+    let eng = Engine.create ?pool ~directory:env.Scenario.directory db in
+    let t0 = Unix.gettimeofday () in
+    for c = 0 to sign_commits - 1 do
+      match
+        Engine.complex_op eng p (fun () ->
+            let rec go i =
+              if i >= sign_cells then Ok ()
+              else
+                match
+                  Engine.update_cell eng p ~table:"t1"
+                    ~row:(((c * sign_cells) + i) mod 100)
+                    ~col:(i mod 8)
+                    (Value.Int ((c * 1000) + i))
+                with
+                | Ok () -> go (i + 1)
+                | Error _ as e -> e
+            in
+            go 0)
+      with
+      | Ok _ -> ()
+      | Error e -> failwith ("sign bench: commit failed: " ^ e)
+    done;
+    let seconds = Unix.gettimeofday () -. t0 in
+    let recs = Provstore.all (Engine.provstore eng) in
+    let fp =
+      String.concat "\n" (List.map Record.encoded recs)
+      ^ "\n" ^ Engine.root_hash eng
+    in
+    let m = Engine.total_metrics eng in
+    (match pool with Some pl -> Tep_parallel.Pool.shutdown pl | None -> ());
+    (List.length recs, seconds, fp, m.Engine.sign_s, m.Engine.sign_cpu_s)
+  in
+  Printf.printf
+    "commit signing: %d complex ops x %d cell updates per point\n"
+    sign_commits sign_cells;
+  Printf.printf "domains,seconds,records_per_s,speedup_vs_1,identical\n";
+  let sign_base = ref None in
+  let sign_fp = ref "" in
+  let sign_points =
+    List.map
+      (fun domains ->
+        let nrec, seconds, fp, sign_s, sign_cpu_s = run_sign domains in
+        if domains = 1 then begin
+          sign_base := Some seconds;
+          sign_fp := fp
+        end;
+        let identical = fp = !sign_fp in
+        if not identical then begin
+          all_identical := false;
+          Printf.eprintf
+            "FAIL: %d-domain commit stream differs from sequential run\n"
+            domains
+        end;
+        let speedup =
+          match !sign_base with
+          | Some b when b > 0. -> b /. seconds
+          | _ -> 1.
+        in
+        let rps = float_of_int nrec /. seconds in
+        Printf.printf "%d,%.4f,%.0f,%.2f,%b\n" domains seconds rps speedup
+          identical;
+        (domains, seconds, rps, speedup, sign_s, sign_cpu_s, identical))
+      [ 1; 2; 4; 8 ]
+  in
+  print_newline ();
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"experiment\": \"parallel\",\n";
   Buffer.add_string buf
@@ -322,6 +464,21 @@ let run_parallel () =
            domains seconds rps speedup identical
            (if i = List.length points - 1 then "" else ",")))
     points;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"sign_commits\": %d,\n  \"sign_cells\": %d,\n"
+       sign_commits sign_cells);
+  Buffer.add_string buf "  \"sign_points\": [\n";
+  List.iteri
+    (fun i (domains, seconds, rps, speedup, sign_s, sign_cpu_s, identical) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"domains\": %d, \"seconds\": %.6f, \"records_per_s\": \
+            %.1f, \"speedup_vs_1\": %.3f, \"sign_wall_s\": %.6f, \
+            \"sign_cpu_s\": %.6f, \"stream_identical\": %b }%s\n"
+           domains seconds rps speedup sign_s sign_cpu_s identical
+           (if i = List.length sign_points - 1 then "" else ",")))
+    sign_points;
   Buffer.add_string buf "  ]\n}";
   write_json "BENCH_parallel.json" (Buffer.contents buf);
   if not !all_identical then exit 1
@@ -646,11 +803,14 @@ let run_serve_pipeline () =
     Printf.eprintf "FAIL: %d request errors under pipelined load\n" !errors;
     exit 1
   end;
-  let batches, ops = Server.batch_stats server in
-  Printf.printf "submitted %d ops in %d group commits\n" ops batches;
-  if ops <> clients * per_client then begin
+  let stats = Server.batch_stats server in
+  Printf.printf "submitted %d ops in %d group commits (sign %.1f ms wall / %.1f ms cpu)\n"
+    stats.Server.ops stats.Server.batches
+    (stats.Server.sign_wall_s *. 1e3)
+    (stats.Server.sign_cpu_s *. 1e3);
+  if stats.Server.ops <> clients * per_client then begin
     Printf.eprintf "FAIL: expected %d ops through the batcher, saw %d\n"
-      (clients * per_client) ops;
+      (clients * per_client) stats.Server.ops;
     exit 1
   end;
   let local_report () =

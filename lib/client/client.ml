@@ -443,6 +443,20 @@ let root_hash t =
   rpc t Message.Root_hash
   |> unwrap (function Message.Root { hash } -> Ok hash | _ -> unexpected)
 
+type server_stats = {
+  batches : int;  (* group commits the batcher has executed *)
+  ops : int;  (* submits carried by those commits *)
+  sign_wall_us : int;  (* wall-clock µs inside commit signing stages *)
+  sign_cpu_us : int;  (* cumulative per-signature µs across domains *)
+}
+
+let stats t =
+  rpc t Message.Stats
+  |> unwrap (function
+       | Message.Stats_resp { batches; ops; sign_wall_us; sign_cpu_us } ->
+           Ok { batches; ops; sign_wall_us; sign_cpu_us }
+       | _ -> unexpected)
+
 (* ------------------------------------------------------------------ *)
 (* Async submit wrappers (pipelining)                                  *)
 (* ------------------------------------------------------------------ *)

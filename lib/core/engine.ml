@@ -6,6 +6,7 @@ type mode = Basic | Economical
 type metrics = {
   hash_s : float;
   sign_s : float;
+  sign_cpu_s : float;
   store_s : float;
   records_emitted : int;
   nodes_hashed : int;
@@ -16,6 +17,7 @@ let zero_metrics =
   {
     hash_s = 0.;
     sign_s = 0.;
+    sign_cpu_s = 0.;
     store_s = 0.;
     records_emitted = 0;
     nodes_hashed = 0;
@@ -26,6 +28,7 @@ let add_metrics a b =
   {
     hash_s = a.hash_s +. b.hash_s;
     sign_s = a.sign_s +. b.sign_s;
+    sign_cpu_s = a.sign_cpu_s +. b.sign_cpu_s;
     store_s = a.store_s +. b.store_s;
     records_emitted = a.records_emitted + b.records_emitted;
     nodes_hashed = a.nodes_hashed + b.nodes_hashed;
@@ -172,82 +175,172 @@ let mark_created b oid =
 
 let object_depth t oid = List.length (Forest.ancestors t.forest oid)
 
+(* Failpoint inside the signing stage: lets tests perturb signer
+   completion order (Delay) or kill a signer (Crash) while records are
+   fanned out across pool domains. *)
+let sign_site = "engine.commit.sign"
+let () = Tep_fault.Fault.register sign_site
+
+(* A record fully prepared by the sequential hash/payload stage of
+   [commit], awaiting only its signature. *)
+type staged = {
+  st_oid : Oid.t;
+  st_kind : Record.kind;
+  st_seq : int;
+  st_inherited : bool;
+  st_input_oids : Oid.t list;
+  st_input_hashes : string list;
+  st_output_hash : string;
+  st_output_value : Value.t option;
+  st_prev_checksums : string list;
+  st_payload : string;
+}
+
+(* Commit is a deterministic three-stage pipeline:
+
+   1. sequential deepest-first Merkle hashing + payload construction
+      (warms the Economical cache bottom-up and fixes the canonical
+      record order);
+   2. signing of every staged payload — fanned out over the engine's
+      pool when one is attached, sequential otherwise.  Payloads are
+      mutually independent: each record's [prev_checksums] come from
+      the pre-batch store snapshot (or, for aggregates, from Import
+      records already emitted during the body), never from a sibling
+      staged in the same commit, and [Pool.map_chunked] writes result
+      [i] into slot [i], so the output is byte-identical either way;
+   3. sequential append + WAL journaling in the stage-1 order, so
+      Provstore arrival order and WAL bytes match the serial engine.
+
+   Sequence numbers need one commit-local table: the old interleaved
+   loop appended records as it produced them, so an aggregate staged
+   after one of its inputs observed the input's in-commit record via
+   [Provstore.latest].  [assigned] replays exactly that view without
+   touching the store before the signing stage. *)
 let commit t (b : batch) : metrics =
   if t.mode = Basic then Merkle.clear t.cache;
   Merkle.reset_stats t.cache;
-  let hash_s = ref b.b_hash_s and sign_s = ref 0. and store_s = ref 0. in
-  let records = ref 0 in
+  let hash_s = ref b.b_hash_s in
   (* Deepest objects first: their hashes warm the cache for ancestors,
-     and their records read naturally (actual before inherited). *)
+     and their records read naturally (actual before inherited).
+     Depths are computed once per survivor — [Forest.ancestors] walks
+     the parent chain, so calling it inside the comparator would make
+     the sort O(n·d log n). *)
   let survivors =
     Oid.Tbl.fold
       (fun oid c acc ->
-        if Forest.mem t.forest oid then (oid, c) :: acc else acc)
+        if Forest.mem t.forest oid then (object_depth t oid, oid, c) :: acc
+        else acc)
       b.touched []
-    |> List.sort (fun (a, _) (bo, _) ->
-           let d = Stdlib.compare (object_depth t bo) (object_depth t a) in
-           if d <> 0 then d else Oid.compare a bo)
+    |> List.sort (fun (da, a, _) (db, bo, _) ->
+           if da <> db then Stdlib.compare db da else Oid.compare a bo)
   in
-  List.iter
-    (fun (oid, c) ->
-      let t0 = now () in
-      let output_hash =
-        match Merkle.hash ?pool:t.pool t.cache oid with
-        | Ok h -> h
-        | Error e -> failwith ("Engine.commit: " ^ e)
-      in
-      hash_s := !hash_s +. (now () -. t0);
-      let kind, seq_id, input_oids, input_hashes, prev_checksums =
-        match c.agg_inputs with
-        | Some inputs ->
-            let oids = List.map (fun (o, _, _) -> o) inputs in
-            let hashes = List.map (fun (_, h, _) -> h) inputs in
-            let prevs = List.map (fun (_, _, p) -> p) inputs in
-            let max_seq =
-              List.fold_left
-                (fun acc (o, _, _) ->
-                  match Provstore.latest t.prov o with
-                  | Some r -> max acc r.Record.seq_id
-                  | None -> acc)
-                (-1) inputs
-            in
-            (Record.Aggregate, max_seq + 1, oids, hashes, prevs)
-        | None -> (
-            match (c.before_hash, c.prev_record) with
-            | None, _ -> (Record.Insert, 0, [], [], [])
-            | Some h, Some prev ->
-                ( Record.Update,
-                  prev.Record.seq_id + 1,
-                  [ oid ],
-                  [ h ],
-                  [ prev.Record.checksum ] )
-            | Some h, None -> (Record.Import, 0, [ oid ], [ h ], []))
-      in
-      let payload =
-        Checksum.payload ~kind ~seq_id ~output_oid:oid ~input_hashes
-          ~output_hash ~prev_checksums
-      in
-      let t0 = now () in
-      let checksum = Checksum.sign b.participant payload in
-      sign_s := !sign_s +. (now () -. t0);
-      let output_value =
-        if Forest.is_leaf t.forest oid then
-          match Forest.value t.forest oid with Ok v -> Some v | Error _ -> None
-        else None
-      in
+  (* Stage 1: hash + stage payloads, canonical order. *)
+  let assigned = Oid.Tbl.create 16 in
+  let staged =
+    List.map
+      (fun (_, oid, c) ->
+        let t0 = now () in
+        let output_hash =
+          match Merkle.hash ?pool:t.pool t.cache oid with
+          | Ok h -> h
+          | Error e -> failwith ("Engine.commit: " ^ e)
+        in
+        hash_s := !hash_s +. (now () -. t0);
+        let kind, seq_id, input_oids, input_hashes, prev_checksums =
+          match c.agg_inputs with
+          | Some inputs ->
+              let oids = List.map (fun (o, _, _) -> o) inputs in
+              let hashes = List.map (fun (_, h, _) -> h) inputs in
+              let prevs = List.map (fun (_, _, p) -> p) inputs in
+              let max_seq =
+                List.fold_left
+                  (fun acc (o, _, _) ->
+                    match Oid.Tbl.find_opt assigned o with
+                    | Some s -> max acc s
+                    | None -> (
+                        match Provstore.latest t.prov o with
+                        | Some r -> max acc r.Record.seq_id
+                        | None -> acc))
+                  (-1) inputs
+              in
+              (Record.Aggregate, max_seq + 1, oids, hashes, prevs)
+          | None -> (
+              match (c.before_hash, c.prev_record) with
+              | None, _ -> (Record.Insert, 0, [], [], [])
+              | Some h, Some prev ->
+                  ( Record.Update,
+                    prev.Record.seq_id + 1,
+                    [ oid ],
+                    [ h ],
+                    [ prev.Record.checksum ] )
+              | Some h, None -> (Record.Import, 0, [ oid ], [ h ], []))
+        in
+        Oid.Tbl.replace assigned oid seq_id;
+        let payload =
+          Checksum.payload ~kind ~seq_id ~output_oid:oid ~input_hashes
+            ~output_hash ~prev_checksums
+        in
+        let output_value =
+          if Forest.is_leaf t.forest oid then
+            match Forest.value t.forest oid with
+            | Ok v -> Some v
+            | Error _ -> None
+          else None
+        in
+        {
+          st_oid = oid;
+          st_kind = kind;
+          st_seq = seq_id;
+          st_inherited = not c.direct;
+          st_input_oids = input_oids;
+          st_input_hashes = input_hashes;
+          st_output_hash = output_hash;
+          st_output_value = output_value;
+          st_prev_checksums = prev_checksums;
+          st_payload = payload;
+        })
+      survivors
+    |> Array.of_list
+  in
+  (* Stage 2: sign.  [cpu] slots are disjoint per index, so parallel
+     writes are safe; a chunk size of 1 maximises overlap (one RSA
+     signature dwarfs the per-task queue cost). *)
+  let n = Array.length staged in
+  let cpu = Array.make (max n 1) 0. in
+  let sign_one i =
+    Tep_fault.Fault.hit sign_site;
+    let t0 = now () in
+    let c = Checksum.sign b.participant (Array.unsafe_get staged i).st_payload in
+    cpu.(i) <- now () -. t0;
+    c
+  in
+  let t_sign = now () in
+  let checksums =
+    match t.pool with
+    | Some pool when Tep_parallel.Pool.size pool > 1 && n > 1 ->
+        Tep_parallel.Pool.map_chunked ~chunk:1 pool sign_one
+          (Array.init n Fun.id)
+    | _ -> Array.init n sign_one
+  in
+  let sign_s = now () -. t_sign in
+  let sign_cpu_s = Array.fold_left ( +. ) 0. cpu in
+  (* Stage 3: append + journal, stage-1 order. *)
+  let store_s = ref 0. in
+  Array.iteri
+    (fun i st ->
       let record =
         {
-          Record.seq_id;
+          Record.seq_id = st.st_seq;
           participant = Participant.name b.participant;
-          kind;
-          inherited = not c.direct;
-          input_oids;
-          input_hashes;
-          output_oid = oid;
-          output_hash;
-          output_value;
-          prev_checksums;
-          checksum;
+          kind = st.st_kind;
+          inherited = st.st_inherited;
+          input_oids = st.st_input_oids;
+          input_hashes = st.st_input_hashes;
+          output_oid = st.st_oid;
+          output_hash = st.st_output_hash;
+          output_value = st.st_output_value;
+          prev_checksums = st.st_prev_checksums;
+          checksum = checksums.(i);
         }
       in
       let t0 = now () in
@@ -255,9 +348,8 @@ let commit t (b : batch) : metrics =
       (* Journal the record itself so post-checkpoint provenance
          survives a crash (Recovery re-appends it on replay). *)
       if wal_present t then wal_log t (Wal.Blob (Record.encoded record));
-      store_s := !store_s +. (now () -. t0);
-      incr records)
-    survivors;
+      store_s := !store_s +. (now () -. t0))
+    staged;
   (* Commit marker: everything journaled before it is now one atomic
      recovery unit; frames after the last marker are rolled back. *)
   if wal_present t then begin
@@ -276,11 +368,12 @@ let commit t (b : batch) : metrics =
   end;
   {
     hash_s = !hash_s;
-    sign_s = !sign_s;
+    sign_s;
+    sign_cpu_s;
     store_s = !store_s;
-    records_emitted = !records;
+    records_emitted = n;
     nodes_hashed = (Merkle.stats t.cache).Merkle.nodes_hashed;
-    checksum_bytes = !records * Provstore.paper_row_bytes;
+    checksum_bytes = n * Provstore.paper_row_bytes;
   }
 
 let complex_op t participant body =

@@ -23,7 +23,14 @@ type mode = Basic | Economical
 
 type metrics = {
   hash_s : float;  (** seconds spent hashing subtrees *)
-  sign_s : float;  (** seconds spent signing checksums *)
+  sign_s : float;
+      (** wall-clock seconds of the commit signing stage; with a pool
+          attached the stage fans signatures out across domains, so
+          this can be well below {!field-sign_cpu_s} *)
+  sign_cpu_s : float;
+      (** cumulative per-signature seconds summed over all signers;
+          [sign_cpu_s /. sign_s] approximates the signing concurrency
+          actually achieved *)
   store_s : float;  (** seconds spent persisting checksum rows *)
   records_emitted : int;  (** provenance records (= checksums) *)
   nodes_hashed : int;  (** tree nodes actually digested *)
@@ -69,8 +76,13 @@ val of_parts :
     what preserves oid identity across sessions.
 
     [?pool] (also accepted by {!create}) parallelises cold full-tree
-    Merkle passes — the warm-up hash here, Basic-mode commits — and
-    recipient-side verification run through {!verify_object}. *)
+    Merkle passes — the warm-up hash here, Basic-mode commits —
+    recipient-side verification run through {!verify_object}, and the
+    commit signing stage: records staged by a complex operation are
+    signed concurrently across the pool's domains, in a way that keeps
+    record bytes, Provstore order and WAL contents identical to the
+    sequential engine (see the [engine.commit.sign] failpoint for
+    perturbing signer timing in tests). *)
 
 val backend : t -> Database.t
 val forest : t -> Forest.t

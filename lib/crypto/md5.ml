@@ -51,31 +51,82 @@ let init () =
     m = Array.make 16 0;
   }
 
+let reset ctx =
+  ctx.a <- 0x67452301;
+  ctx.b <- 0xefcdab89;
+  ctx.c <- 0x98badcfe;
+  ctx.d <- 0x10325476;
+  ctx.buf_len <- 0;
+  ctx.total <- 0
+
 let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
 
+(* The caller guarantees [off + 64 <= Bytes.length block]; every index
+   below is then in bounds, so the four specialised round loops use
+   unsafe array/bytes access throughout. *)
 let compress ctx block off =
   let m = ctx.m in
   for i = 0 to 15 do
     let j = off + (i * 4) in
-    m.(i) <-
-      Char.code (Bytes.get block j)
-      lor (Char.code (Bytes.get block (j + 1)) lsl 8)
-      lor (Char.code (Bytes.get block (j + 2)) lsl 16)
-      lor (Char.code (Bytes.get block (j + 3)) lsl 24)
+    Array.unsafe_set m i
+      (Char.code (Bytes.unsafe_get block j)
+      lor (Char.code (Bytes.unsafe_get block (j + 1)) lsl 8)
+      lor (Char.code (Bytes.unsafe_get block (j + 2)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (j + 3)) lsl 24))
   done;
   let a = ref ctx.a and b = ref ctx.b and c = ref ctx.c and d = ref ctx.d in
-  for i = 0 to 63 do
-    let f, g =
-      if i < 16 then (((!b land !c) lor (lnot !b land !d)) land mask32, i)
-      else if i < 32 then
-        (((!d land !b) lor (lnot !d land !c)) land mask32, ((5 * i) + 1) mod 16)
-      else if i < 48 then (!b lxor !c lxor !d, ((3 * i) + 5) mod 16)
-      else ((!c lxor (!b lor (lnot !d land mask32))) land mask32, (7 * i) mod 16)
-    in
+  for i = 0 to 15 do
+    let f = ((!b land !c) lor (lnot !b land !d)) land mask32 in
     let tmp = !d in
     d := !c;
     c := !b;
-    b := (!b + rotl ((!a + f + k.(i) + m.(g)) land mask32) s.(i)) land mask32;
+    b :=
+      (!b
+      + rotl
+          ((!a + f + Array.unsafe_get k i + Array.unsafe_get m i) land mask32)
+          (Array.unsafe_get s i))
+      land mask32;
+    a := tmp
+  done;
+  for i = 16 to 31 do
+    let f = ((!d land !b) lor (lnot !d land !c)) land mask32
+    and g = ((5 * i) + 1) land 15 in
+    let tmp = !d in
+    d := !c;
+    c := !b;
+    b :=
+      (!b
+      + rotl
+          ((!a + f + Array.unsafe_get k i + Array.unsafe_get m g) land mask32)
+          (Array.unsafe_get s i))
+      land mask32;
+    a := tmp
+  done;
+  for i = 32 to 47 do
+    let f = !b lxor !c lxor !d and g = ((3 * i) + 5) land 15 in
+    let tmp = !d in
+    d := !c;
+    c := !b;
+    b :=
+      (!b
+      + rotl
+          ((!a + f + Array.unsafe_get k i + Array.unsafe_get m g) land mask32)
+          (Array.unsafe_get s i))
+      land mask32;
+    a := tmp
+  done;
+  for i = 48 to 63 do
+    let f = (!c lxor (!b lor (lnot !d land mask32))) land mask32
+    and g = 7 * i land 15 in
+    let tmp = !d in
+    d := !c;
+    c := !b;
+    b :=
+      (!b
+      + rotl
+          ((!a + f + Array.unsafe_get k i + Array.unsafe_get m g) land mask32)
+          (Array.unsafe_get s i))
+      land mask32;
     a := tmp
   done;
   ctx.a <- (ctx.a + !a) land mask32;
@@ -99,9 +150,10 @@ let update_sub ctx str off len =
       ctx.buf_len <- 0
     end
   end;
+  (* Whole blocks compressed in place from the input, no copy. *)
+  let raw = Bytes.unsafe_of_string str in
   while !remaining >= 64 do
-    Bytes.blit_string str !pos ctx.buf 0 64;
-    compress ctx ctx.buf 0;
+    compress ctx raw !pos;
     pos := !pos + 64;
     remaining := !remaining - 64
   done;
@@ -140,6 +192,8 @@ let final ctx =
   put 12 ctx.d;
   Bytes.unsafe_to_string out
 
+(* One-shot digests allocate a fresh context: they run concurrently
+   from sys-threads sharing a domain, so no shared mutable state. *)
 let digest str =
   let ctx = init () in
   update ctx str;

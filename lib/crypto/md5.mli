@@ -8,6 +8,10 @@ val digest_size : int
 (** 16 bytes. *)
 
 val init : unit -> ctx
+
+val reset : ctx -> unit
+(** Return a context to its initial state for reuse. *)
+
 val update : ctx -> string -> unit
 val update_sub : ctx -> string -> int -> int -> unit
 val final : ctx -> string

@@ -29,35 +29,82 @@ let init () =
     w = Array.make 80 0;
   }
 
+let reset ctx =
+  ctx.h0 <- 0x67452301;
+  ctx.h1 <- 0xefcdab89;
+  ctx.h2 <- 0x98badcfe;
+  ctx.h3 <- 0x10325476;
+  ctx.h4 <- 0xc3d2e1f0;
+  ctx.buf_len <- 0;
+  ctx.total <- 0
+
 let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
 
+(* The caller guarantees [off + 64 <= Bytes.length block]; with that
+   invariant every access below is in bounds, so unsafe indexing and
+   the four specialised round loops keep the hot path branch-free. *)
 let compress ctx block off =
   let w = ctx.w in
   for i = 0 to 15 do
     let j = off + (i * 4) in
-    w.(i) <-
-      (Char.code (Bytes.get block j) lsl 24)
-      lor (Char.code (Bytes.get block (j + 1)) lsl 16)
-      lor (Char.code (Bytes.get block (j + 2)) lsl 8)
-      lor Char.code (Bytes.get block (j + 3))
+    Array.unsafe_set w i
+      ((Char.code (Bytes.unsafe_get block j) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (j + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (j + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (j + 3)))
   done;
   for i = 16 to 79 do
-    w.(i) <- rotl (w.(i - 3) lxor w.(i - 8) lxor w.(i - 14) lxor w.(i - 16)) 1
+    Array.unsafe_set w i
+      (rotl
+         (Array.unsafe_get w (i - 3)
+         lxor Array.unsafe_get w (i - 8)
+         lxor Array.unsafe_get w (i - 14)
+         lxor Array.unsafe_get w (i - 16))
+         1)
   done;
   let a = ref ctx.h0
   and b = ref ctx.h1
   and c = ref ctx.h2
   and d = ref ctx.h3
   and e = ref ctx.h4 in
-  for i = 0 to 79 do
-    let f, k =
-      if i < 20 then ((!b land !c) lor (lnot !b land !d) land mask32, 0x5a827999)
-      else if i < 40 then (!b lxor !c lxor !d, 0x6ed9eba1)
-      else if i < 60 then
-        ((!b land !c) lor (!b land !d) lor (!c land !d), 0x8f1bbcdc)
-      else (!b lxor !c lxor !d, 0xca62c1d6)
+  for i = 0 to 19 do
+    let f = (!b land !c) lor (lnot !b land !d) in
+    let t =
+      (rotl !a 5 + f + !e + 0x5a827999 + Array.unsafe_get w i) land mask32
     in
-    let t = (rotl !a 5 + (f land mask32) + !e + k + w.(i)) land mask32 in
+    e := !d;
+    d := !c;
+    c := rotl !b 30;
+    b := !a;
+    a := t
+  done;
+  for i = 20 to 39 do
+    let f = !b lxor !c lxor !d in
+    let t =
+      (rotl !a 5 + f + !e + 0x6ed9eba1 + Array.unsafe_get w i) land mask32
+    in
+    e := !d;
+    d := !c;
+    c := rotl !b 30;
+    b := !a;
+    a := t
+  done;
+  for i = 40 to 59 do
+    let f = (!b land !c) lor (!b land !d) lor (!c land !d) in
+    let t =
+      (rotl !a 5 + f + !e + 0x8f1bbcdc + Array.unsafe_get w i) land mask32
+    in
+    e := !d;
+    d := !c;
+    c := rotl !b 30;
+    b := !a;
+    a := t
+  done;
+  for i = 60 to 79 do
+    let f = !b lxor !c lxor !d in
+    let t =
+      (rotl !a 5 + f + !e + 0xca62c1d6 + Array.unsafe_get w i) land mask32
+    in
     e := !d;
     d := !c;
     c := rotl !b 30;
@@ -87,10 +134,11 @@ let update_sub ctx s off len =
       ctx.buf_len <- 0
     end
   end;
-  (* Whole blocks directly from the input. *)
+  (* Whole blocks compressed in place from the input, no copy.  The
+     unsafe_of_string view is read-only here. *)
+  let raw = Bytes.unsafe_of_string s in
   while !remaining >= 64 do
-    Bytes.blit_string s !pos ctx.buf 0 64;
-    compress ctx ctx.buf 0;
+    compress ctx raw !pos;
     pos := !pos + 64;
     remaining := !remaining - 64
   done;
@@ -131,6 +179,10 @@ let final ctx =
   put 16 ctx.h4;
   Bytes.unsafe_to_string out
 
+(* No context caching here: one-shot digests run concurrently from
+   sys-threads sharing a domain (server connection threads), so any
+   shared mutable context would be corrupted mid-hash.  Callers that
+   own a context outright can amortise allocation with [reset]. *)
 let digest s =
   let ctx = init () in
   update ctx s;

@@ -7,6 +7,11 @@ val digest_size : int
 (** 20 bytes. *)
 
 val init : unit -> ctx
+
+val reset : ctx -> unit
+(** Return a context to its initial state so it can be reused for a
+    fresh digest without reallocating its buffers. *)
+
 val update : ctx -> string -> unit
 val update_sub : ctx -> string -> int -> int -> unit
 (** [update_sub ctx s off len] feeds [len] bytes of [s] from [off]. *)

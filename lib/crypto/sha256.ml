@@ -39,25 +39,41 @@ let init () =
     w = Array.make 64 0;
   }
 
+let reset ctx =
+  let h = ctx.h in
+  h.(0) <- 0x6a09e667;
+  h.(1) <- 0xbb67ae85;
+  h.(2) <- 0x3c6ef372;
+  h.(3) <- 0xa54ff53a;
+  h.(4) <- 0x510e527f;
+  h.(5) <- 0x9b05688c;
+  h.(6) <- 0x1f83d9ab;
+  h.(7) <- 0x5be0cd19;
+  ctx.buf_len <- 0;
+  ctx.total <- 0
+
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
 let shr x n = x lsr n
 
+(* The caller guarantees [off + 64 <= Bytes.length block], making all
+   accesses below in bounds. *)
 let compress ctx block off =
   let w = ctx.w in
   for i = 0 to 15 do
     let j = off + (i * 4) in
-    w.(i) <-
-      (Char.code (Bytes.get block j) lsl 24)
-      lor (Char.code (Bytes.get block (j + 1)) lsl 16)
-      lor (Char.code (Bytes.get block (j + 2)) lsl 8)
-      lor Char.code (Bytes.get block (j + 3))
+    Array.unsafe_set w i
+      ((Char.code (Bytes.unsafe_get block j) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (j + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (j + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (j + 3)))
   done;
   for i = 16 to 63 do
-    let s0 =
-      rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor shr w.(i - 15) 3
-    in
-    let s1 = rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor shr w.(i - 2) 10 in
-    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask32
+    let w15 = Array.unsafe_get w (i - 15) and w2 = Array.unsafe_get w (i - 2) in
+    let s0 = rotr w15 7 lxor rotr w15 18 lxor shr w15 3 in
+    let s1 = rotr w2 17 lxor rotr w2 19 lxor shr w2 10 in
+    Array.unsafe_set w i
+      ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1)
+      land mask32)
   done;
   let h = ctx.h in
   let a = ref h.(0)
@@ -71,7 +87,11 @@ let compress ctx block off =
   for i = 0 to 63 do
     let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
     let ch = (!e land !f) lxor (lnot !e land !g) land mask32 in
-    let t1 = (!hh + s1 + (ch land mask32) + k.(i) + w.(i)) land mask32 in
+    let t1 =
+      (!hh + s1 + (ch land mask32) + Array.unsafe_get k i
+      + Array.unsafe_get w i)
+      land mask32
+    in
     let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
     let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
     let t2 = (s0 + maj) land mask32 in
@@ -109,9 +129,10 @@ let update_sub ctx s off len =
       ctx.buf_len <- 0
     end
   end;
+  (* Whole blocks compressed in place from the input, no copy. *)
+  let raw = Bytes.unsafe_of_string s in
   while !remaining >= 64 do
-    Bytes.blit_string s !pos ctx.buf 0 64;
-    compress ctx ctx.buf 0;
+    compress ctx raw !pos;
     pos := !pos + 64;
     remaining := !remaining - 64
   done;
@@ -146,6 +167,8 @@ let final ctx =
     ctx.h;
   Bytes.unsafe_to_string out
 
+(* One-shot digests allocate a fresh context: they run concurrently
+   from sys-threads sharing a domain, so no shared mutable state. *)
 let digest s =
   let ctx = init () in
   update ctx s;

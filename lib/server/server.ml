@@ -92,6 +92,15 @@ type batcher = {
   mutable b_leader : bool; (* a leader is currently draining *)
   mutable b_batches : int; (* group commits executed (observability) *)
   mutable b_ops : int; (* ops carried by those commits *)
+  mutable b_sign_wall_s : float; (* wall-clock across commit signing stages *)
+  mutable b_sign_cpu_s : float; (* cumulative per-signature time *)
+}
+
+type batch_stats = {
+  batches : int;
+  ops : int;
+  sign_wall_s : float;
+  sign_cpu_s : float;
 }
 
 type t = {
@@ -143,6 +152,8 @@ let create ?(max_payload = Frame.default_max_payload) ?(request_timeout = 30.)
         b_leader = false;
         b_batches = 0;
         b_ops = 0;
+        b_sign_wall_s = 0.;
+        b_sign_cpu_s = 0.;
       };
   }
 
@@ -151,7 +162,14 @@ let engine t = t.engine
 let batch_stats t =
   let b = t.batcher in
   Mutex.lock b.b_mutex;
-  let r = (b.b_batches, b.b_ops) in
+  let r =
+    {
+      batches = b.b_batches;
+      ops = b.b_ops;
+      sign_wall_s = b.b_sign_wall_s;
+      sign_cpu_s = b.b_sign_cpu_s;
+    }
+  in
   Mutex.unlock b.b_mutex;
   r
 
@@ -329,6 +347,14 @@ let run_batch t (jobs : submit_job list) =
           in
           match outcome with
           | Ok ((), m) ->
+              (* Signing-time counters: taken under b_mutex while this
+                 leader still holds the write lock; the only lock order
+                 anywhere is rwlock → b_mutex, so no cycle. *)
+              let b = t.batcher in
+              Mutex.lock b.b_mutex;
+              b.b_sign_wall_s <- b.b_sign_wall_s +. m.Engine.sign_s;
+              b.b_sign_cpu_s <- b.b_sign_cpu_s +. m.Engine.sign_cpu_s;
+              Mutex.unlock b.b_mutex;
               List.iter
                 (fun (job, _) -> job.j_records <- m.Engine.records_emitted)
                 entries
@@ -469,6 +495,15 @@ let dispatch_read t (req : Message.request) =
   | Message.Root_hash ->
       locked t.root_lock (fun () ->
           Message.Root { hash = Engine.root_hash t.engine })
+  | Message.Stats ->
+      let s = batch_stats t in
+      Message.Stats_resp
+        {
+          batches = s.batches;
+          ops = s.ops;
+          sign_wall_us = int_of_float (s.sign_wall_s *. 1e6);
+          sign_cpu_us = int_of_float (s.sign_cpu_s *. 1e6);
+        }
 
 let dispatch_checkpoint t =
   match t.checkpoint with

@@ -31,6 +31,7 @@ type request =
   | Audit
   | Checkpoint
   | Root_hash
+  | Stats (* group-commit batcher counters *)
 
 (* A verifier report flattened for the wire: violations travel as
    their rendered strings, so the client can reproduce the server's
@@ -59,6 +60,12 @@ type response =
   | Audited of { report : report; examined : int; objects : int }
   | Checkpointed of { generation : int; lsn : int }
   | Root of { hash : string }
+  | Stats_resp of {
+      batches : int;
+      ops : int;
+      sign_wall_us : int; (* wall-clock µs inside commit signing stages *)
+      sign_cpu_us : int; (* cumulative per-signature µs across domains *)
+    }
   | Error_resp of { code : error_code; message : string }
 
 (* ------------------------------------------------------------------ *)
@@ -239,6 +246,7 @@ let encode_request buf = function
   | Audit -> Buffer.add_char buf '\x06'
   | Checkpoint -> Buffer.add_char buf '\x07'
   | Root_hash -> Buffer.add_char buf '\x08'
+  | Stats -> Buffer.add_char buf '\x09'
 
 let decode_request s off =
   if off >= String.length s then failwith "Message: empty request";
@@ -263,6 +271,7 @@ let decode_request s off =
   | '\x06' -> (Audit, off + 1)
   | '\x07' -> (Checkpoint, off + 1)
   | '\x08' -> (Root_hash, off + 1)
+  | '\x09' -> (Stats, off + 1)
   | c -> failwith (Printf.sprintf "Message: bad request tag %#x" (Char.code c))
 
 let request_to_string r =
@@ -331,6 +340,12 @@ let encode_response buf = function
   | Root { hash } ->
       Buffer.add_char buf '\x88';
       Value.add_string buf hash
+  | Stats_resp { batches; ops; sign_wall_us; sign_cpu_us } ->
+      Buffer.add_char buf '\x89';
+      Value.add_varint buf batches;
+      Value.add_varint buf ops;
+      Value.add_varint buf sign_wall_us;
+      Value.add_varint buf sign_cpu_us
   | Error_resp { code; message } ->
       Buffer.add_char buf '\xff';
       Value.add_varint buf (error_code_tag code);
@@ -394,6 +409,12 @@ let decode_response s off =
   | '\x88' ->
       let hash, off = Value.read_string s (off + 1) in
       (Root { hash }, off)
+  | '\x89' ->
+      let batches, off = Value.read_varint s (off + 1) in
+      let ops, off = Value.read_varint s off in
+      let sign_wall_us, off = Value.read_varint s off in
+      let sign_cpu_us, off = Value.read_varint s off in
+      (Stats_resp { batches; ops; sign_wall_us; sign_cpu_us }, off)
   | '\xff' ->
       let tag, off = Value.read_varint s (off + 1) in
       let message, off = Value.read_string s off in

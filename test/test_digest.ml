@@ -76,6 +76,24 @@ let test_algo_names () =
     (Option.map Digest_algo.name (Digest_algo.of_name "sha-256"));
   Alcotest.(check bool) "unknown" true (Digest_algo.of_name "blake2" = None)
 
+(* A reset context must behave exactly like a fresh one, including
+   after a digest that left buffered partial-block state behind. *)
+let test_reset_reuse () =
+  let inputs = [ ""; "abc"; String.make 200 'z'; "tail" ] in
+  let sha1 = Sha1.init () and sha256 = Sha256.init () and md5 = Md5.init () in
+  List.iter
+    (fun s ->
+      Sha1.reset sha1;
+      Sha1.update sha1 s;
+      check "sha1 reset" (Sha1.digest s) (Sha1.final sha1);
+      Sha256.reset sha256;
+      Sha256.update sha256 s;
+      check "sha256 reset" (Sha256.digest s) (Sha256.final sha256);
+      Md5.reset md5;
+      Md5.update md5 s;
+      check "md5 reset" (Md5.digest s) (Md5.final md5))
+    inputs
+
 let test_hex_roundtrip () =
   let s = "\x00\x01\xfe\xff\x80 abc" in
   check "roundtrip" s (Digest_algo.of_hex (Digest_algo.to_hex s));
@@ -127,6 +145,7 @@ let () =
           Alcotest.test_case "digest sizes" `Quick test_digest_sizes;
           Alcotest.test_case "algo names" `Quick test_algo_names;
           Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "reset reuse" `Quick test_reset_reuse;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -658,7 +658,7 @@ let test_pipelined_submits_coalesce () =
     submit 1 0 [| Value.Int 1; Value.Int 10 |]
     ^ submit 2 1 [| Value.Int 2; Value.Int 20 |]
   in
-  let before_batches, before_ops = Server.batch_stats server in
+  let before = Server.batch_stats server in
   let frames = parse_frames (Tep_server.Server.feed conn chunk) in
   Alcotest.(check int) "two responses" 2 (List.length frames);
   List.iteri
@@ -677,9 +677,14 @@ let test_pipelined_submits_coalesce () =
                   Alcotest.(check bool) "records emitted" true (records > 0)
               | _ -> Alcotest.fail "expected Submitted")))
     frames;
-  let after_batches, after_ops = Server.batch_stats server in
-  Alcotest.(check int) "one group commit" 1 (after_batches - before_batches);
-  Alcotest.(check int) "carrying both ops" 2 (after_ops - before_ops);
+  let after = Server.batch_stats server in
+  Alcotest.(check int) "one group commit" 1
+    (after.Server.batches - before.Server.batches);
+  Alcotest.(check int) "carrying both ops" 2
+    (after.Server.ops - before.Server.ops);
+  Alcotest.(check bool) "signing time recorded" true
+    (after.Server.sign_wall_s > before.Server.sign_wall_s
+    && after.Server.sign_cpu_s > before.Server.sign_cpu_s);
   (* one commit, yet both rows have provenance the verifier accepts *)
   match Engine.verify_object engine (Engine.root_oid engine) with
   | Ok _ -> ()
@@ -819,6 +824,38 @@ let test_retry_jitter_deterministic () =
         (d >= 0.5 *. base && d < 1.5 *. base))
     a
 
+(* Batcher stats over the wire: the Stats RPC reflects the group
+   commits a session drove, including the signing-time split newly
+   carried in Engine.metrics. *)
+let test_stats_rpc () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let c = make_client server in
+  ok (Client.authenticate c alice);
+  let s0 = ok (Client.stats c) in
+  let _ = ok (Client.insert c ~table:"stock" [| Value.Int 1; Value.Int 10 |]) in
+  let row, _ = ok (Client.insert c ~table:"stock" [| Value.Int 2; Value.Int 20 |]) in
+  ignore (ok (Client.update c ~table:"stock" ~row ~col:1 (Value.Int 21)));
+  let s1 = ok (Client.stats c) in
+  Alcotest.(check int) "ops counted" 3 (s1.Client.ops - s0.Client.ops);
+  Alcotest.(check bool) "batches advanced" true
+    (s1.Client.batches > s0.Client.batches);
+  Alcotest.(check bool) "signing wall time advanced" true
+    (s1.Client.sign_wall_us > s0.Client.sign_wall_us);
+  (* each commit signs sequentially here (no pool), so cumulative CPU
+     can only exceed or match the stage wall clock it is part of *)
+  Alcotest.(check bool) "cpu >= 0 and >= nothing weird" true
+    (s1.Client.sign_cpu_us >= s0.Client.sign_cpu_us
+    && s1.Client.sign_cpu_us > 0);
+  (* server-side view agrees with the wire's microsecond rounding *)
+  let local = Server.batch_stats server in
+  Alcotest.(check int) "wire batches = server batches" local.Server.batches
+    s1.Client.batches;
+  Alcotest.(check int) "wire ops = server ops" local.Server.ops s1.Client.ops;
+  Alcotest.(check int) "wire wall us = server wall us"
+    (int_of_float (local.Server.sign_wall_s *. 1e6))
+    s1.Client.sign_wall_us
+
 let () =
   Alcotest.run "service"
     [
@@ -828,6 +865,7 @@ let () =
           Alcotest.test_case "tamper detected" `Quick
             test_loopback_tamper_detected;
           Alcotest.test_case "checkpoint rpc" `Quick test_checkpoint_rpc;
+          Alcotest.test_case "stats rpc" `Quick test_stats_rpc;
         ] );
       ( "auth",
         [

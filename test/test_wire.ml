@@ -226,6 +226,7 @@ let sample_requests =
     Message.Audit;
     Message.Checkpoint;
     Message.Root_hash;
+    Message.Stats;
   ]
 
 let sample_responses =
@@ -242,6 +243,10 @@ let sample_responses =
     Message.Checkpointed { generation = 4; lsn = 128 };
     Message.Checkpointed { generation = 1; lsn = -1 };
     Message.Root { hash = String.make 32 '\xee' };
+    Message.Stats_resp
+      { batches = 12; ops = 48; sign_wall_us = 1503; sign_cpu_us = 5021 };
+    Message.Stats_resp
+      { batches = 0; ops = 0; sign_wall_us = 0; sign_cpu_us = 0 };
     Message.Error_resp { code = Message.Auth_required; message = "who?" };
     Message.Error_resp { code = Message.Failed; message = "" };
   ]

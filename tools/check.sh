@@ -21,6 +21,9 @@ dune exec test/test_crash.exe
 echo "== bench-smoke (parallel determinism gate) =="
 TEP_SCALE=smoke TEP_BENCH_JSON=0 dune exec bench/main.exe -- parallel
 
+echo "== sign-parallel (pooled commit-signing determinism gate) =="
+TEP_DOMAINS=4 dune exec test/test_sign_parallel.exe
+
 echo "== serve-smoke (wire service gate) =="
 TEP_SCALE=smoke TEP_BENCH_JSON=0 dune exec bench/main.exe -- serve
 
