@@ -702,6 +702,117 @@ let run_serve () =
         point)
       sweep
   in
+  (* -- degraded mode: offered load at 2x the admission limit -------- *)
+  (* 8 client threads race the batcher against a queue bound of 4
+     ops: roughly twice the admitted concurrency is always knocking.
+     With shedding on, the excess is refused with the typed overload
+     error and the completed requests keep a bounded p95; with
+     shedding off (the limit lifted), the same burst is absorbed by
+     queueing instead.  The pair quantifies what admission control
+     buys (latency) and what it costs (completed throughput). *)
+  let deg_clients = 8 in
+  let deg_limit = 4 in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  let run_degraded shedding =
+    let _, alice, server =
+      make_service
+        (Printf.sprintf "%s-deg-%b" cfg.Experiments.seed shedding)
+    in
+    Server.set_admission
+      ~max_queue_ops:(if shedding then deg_limit else max_int)
+      server;
+    let merge_lock = Mutex.create () in
+    let all_lats = ref [] in
+    let completed = ref 0 and shed = ref 0 and hard_errors = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    let threads =
+      List.init deg_clients (fun ci ->
+          Thread.create
+            (fun () ->
+              let c =
+                Client.loopback
+                  ~drbg:
+                    (Tep_crypto.Drbg.create
+                       ~seed:(Printf.sprintf "deg-%b-%d" shedding ci))
+                  server
+              in
+              (* the bench measures the server's shedding, not the
+                 client's give-up policy: keep the breaker out of it *)
+              Client.set_breaker ~threshold:max_int c;
+              match Client.authenticate c alice with
+              | Error e -> failwith ("degraded: auth: " ^ e)
+              | Ok () ->
+                  let lats = ref [] in
+                  let n_ok = ref 0 and n_shed = ref 0 and n_err = ref 0 in
+                  let inflight = Queue.create () in
+                  let drain () =
+                    let cid, sent = Queue.pop inflight in
+                    match Client.collect_submitted c cid with
+                    | Ok _ ->
+                        lats := (Unix.gettimeofday () -. sent) :: !lats;
+                        incr n_ok
+                    | Error e ->
+                        if contains e "overloaded" then incr n_shed
+                        else incr n_err
+                  in
+                  for i = 0 to requests - 1 do
+                    (match
+                       Client.insert_async c ~table:"t1"
+                         [| Value.Int ci; Value.Int i |]
+                     with
+                    | Ok cid -> Queue.push (cid, Unix.gettimeofday ()) inflight
+                    | Error _ -> incr n_err);
+                    if Queue.length inflight >= window then drain ()
+                  done;
+                  while not (Queue.is_empty inflight) do
+                    drain ()
+                  done;
+                  Client.close c;
+                  Mutex.lock merge_lock;
+                  all_lats := List.rev_append !lats !all_lats;
+                  completed := !completed + !n_ok;
+                  shed := !shed + !n_shed;
+                  hard_errors := !hard_errors + !n_err;
+                  Mutex.unlock merge_lock)
+            ())
+    in
+    List.iter Thread.join threads;
+    let seconds = Unix.gettimeofday () -. t0 in
+    if !hard_errors > 0 then begin
+      Printf.eprintf "FAIL: %d non-overload errors in degraded mode\n"
+        !hard_errors;
+      exit 1
+    end;
+    let offered = deg_clients * requests in
+    if shedding && !shed = 0 then begin
+      Printf.eprintf
+        "FAIL: degraded run at 2x the admission limit shed nothing\n";
+      exit 1
+    end;
+    if (not shedding) && !completed <> offered then begin
+      Printf.eprintf "FAIL: unlimited admission lost %d of %d requests\n"
+        (offered - !completed) offered;
+      exit 1
+    end;
+    let rps = float_of_int !completed /. seconds in
+    let p50 = 1000. *. percentile 50. !all_lats in
+    let p95 = 1000. *. percentile 95. !all_lats in
+    Printf.printf "degraded,shedding=%s,%d,%d,%d,%.4f,%.0f,%.2f,%.2f\n"
+      (if shedding then "on" else "off")
+      offered !completed !shed seconds rps p50 p95;
+    (shedding, offered, !completed, !shed, seconds, rps, p50, p95)
+  in
+  Printf.printf
+    "phase,shedding,offered,completed,shed,seconds,completed_per_s,p50_ms,p95_ms\n";
+  let deg_on = run_degraded true in
+  let deg_off = run_degraded false in
+  let degraded_points = [ deg_on; deg_off ] in
   print_newline ();
   let buf = Buffer.create 512 in
   Buffer.add_string buf "{\n  \"experiment\": \"serve\",\n";
@@ -727,7 +838,25 @@ let run_serve () =
            (json_escape name) clients seconds rps p50 p95
            (if i = List.length points - 1 then "" else ",")))
     points;
-  Buffer.add_string buf "  ]\n}";
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"degraded\": {\n\
+       \    \"clients\": %d,\n\
+       \    \"max_queue_ops\": %d,\n\
+       \    \"points\": [\n"
+       deg_clients deg_limit);
+  List.iteri
+    (fun i (shedding, offered, completed, shed, seconds, rps, p50, p95) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      { \"shedding\": %b, \"offered\": %d, \"completed\": %d, \
+            \"shed\": %d, \"seconds\": %.6f, \"completed_per_s\": %.1f, \
+            \"p50_ms\": %.3f, \"p95_ms\": %.3f }%s\n"
+           shedding offered completed shed seconds rps p50 p95
+           (if i = List.length degraded_points - 1 then "" else ",")))
+    degraded_points;
+  Buffer.add_string buf "    ]\n  }\n}";
   write_json "BENCH_serve.json" (Buffer.contents buf)
 
 (* Pipelined-load gate (the serve-pipeline alias): several clients

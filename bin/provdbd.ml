@@ -9,6 +9,14 @@
      provdbd ws
      provdbd ws --socket /tmp/prov.sock --port 7441
 
+   Shutdown is a graceful drain: the first SIGINT/SIGTERM stops the
+   accept loops and flips the server into draining mode (new writes
+   are refused with Shutting_down), waits for in-flight batches to
+   commit, then checkpoints the workspace and exits 0.  A second
+   signal during the drain aborts immediately with exit code 4
+   ([Workspace.exit_forced]); the WAL tail is replayed by `provdb
+   recover` on the next start.
+
    Clients authenticate as PKI-registered participants (`provdb
    remote --as NAME ...`); the daemon signs the operations they submit
    with the workspace copy of that participant's key. *)
@@ -29,9 +37,25 @@ let run dir socket port =
           ~participants:ws.participants ws.engine
       in
       let stop = Atomic.make false in
+      let signals = Atomic.make 0 in
       List.iter
         (fun s ->
-          Sys.set_signal s (Sys.Signal_handle (fun _ -> Atomic.set stop true)))
+          Sys.set_signal s
+            (Sys.Signal_handle
+               (fun _ ->
+                 if Atomic.fetch_and_add signals 1 = 0 then begin
+                   (* first signal: stop accepting, refuse new writes,
+                      let in-flight batches commit *)
+                   Server.begin_drain server;
+                   Atomic.set stop true
+                 end
+                 else begin
+                   (* second signal: the operator wants out now; skip
+                      the drain and checkpoint, leave the WAL tail for
+                      `provdb recover` *)
+                   prerr_endline "provdbd: forced shutdown (drain aborted)";
+                   Stdlib.exit exit_forced
+                 end)))
         [ Sys.sigint; Sys.sigterm ];
       let sock = Option.value socket ~default:(socket_path dir) in
       let threads =
@@ -47,9 +71,16 @@ let run dir socket port =
         | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
         | None -> "");
       List.iter Thread.join threads;
+      (* the accept loops are gone; finish whatever the batcher still
+         holds before checkpointing, so the saved generation contains
+         every committed write *)
+      Server.begin_drain server;
+      if not (Server.quiesce ~timeout:10. server) then
+        prerr_endline
+          "provdbd: warning: drain timed out with batches still queued";
       save ws;
       (try Unix.unlink sock with Unix.Unix_error _ | Sys_error _ -> ());
-      print_endline "provdbd: workspace saved";
+      print_endline "provdbd: drained, checkpointed, workspace saved";
       exit_ok
 
 let () =
@@ -67,8 +98,17 @@ let () =
          & info [ "port" ] ~docv:"PORT"
              ~doc:"Additionally listen on 127.0.0.1:PORT")
   in
+  let exits =
+    Cmd.Exit.info exit_fail
+      ~doc:"on operational errors (unloadable workspace, I/O failures)."
+    :: Cmd.Exit.info exit_forced
+         ~doc:"on forced shutdown: a second signal arrived while draining, so \
+               the checkpoint was skipped; run `provdb recover` to replay the \
+               WAL tail."
+    :: Cmd.Exit.defaults
+  in
   let info =
-    Cmd.info "provdbd" ~version:"1.0.0"
+    Cmd.info "provdbd" ~version:"1.0.0" ~exits
       ~doc:"Networked daemon for tamper-evident database provenance"
   in
   exit (Cmd.eval' (Cmd.v info Term.(const run $ dir $ socket $ port)))

@@ -42,6 +42,11 @@ let exit_fail = 1
 let exit_usage = 2
 let exit_verify = 3
 
+let exit_forced = 4
+(* a second signal arrived while provdbd was draining: the process
+   died without completing the drain/checkpoint; recovery will replay
+   the WAL tail on next start *)
+
 let code_of_failure = function
   | Fail _ -> exit_fail
   | Usage _ -> exit_usage

@@ -40,29 +40,79 @@ type session = {
       (* responses that arrived while collecting a different cid *)
 }
 
+(* Client-side circuit breaker (overload control).  Consecutive
+   Overloaded responses (or replay-exhausted connection failures) trip
+   it; while open, writes fail fast locally instead of piling onto a
+   server that is already shedding.  After [cooldown] seconds one
+   probe write is let through (half-open): success closes the breaker,
+   another failure re-opens it.  [now] is injectable so tests can march
+   time forward deterministically. *)
+type breaker_state = B_closed | B_open of float (* reopen deadline *) | B_half_open
+
+type breaker = {
+  mutable b_state : breaker_state;
+  mutable b_consecutive : int; (* failures since the last success *)
+  mutable b_threshold : int;
+  mutable b_cooldown : float;
+  mutable b_now : unit -> float;
+}
+
 type t = {
-  transport : transport;
+  mutable transport : transport;
+  reconnect : (unit -> (transport, string) result) option;
+      (* transport factory: how to redial the same endpoint *)
+  mutable participant : Participant.t option;
+      (* who we authenticated as, for transparent re-auth *)
   drbg : Tep_crypto.Drbg.t;
   max_payload : int;
   inbox : Buffer.t; (* unconsumed input; compacted once per frame *)
   mutable need : int; (* skip parse attempts below this many bytes *)
   mutable session : session option;
   mutable closed : bool;
+  inflight : (int, Message.request) Hashtbl.t;
+      (* sent but not yet answered, by cid — the replay set *)
+  max_replays : int; (* reconnect-and-replay rounds per collect *)
+  breaker : breaker;
 }
 
-let make ?(max_payload = Frame.default_max_payload) ?drbg transport =
+let make ?(max_payload = Frame.default_max_payload) ?drbg ?reconnect
+    ?(max_replays = 3) transport =
   let drbg =
     match drbg with Some d -> d | None -> Tep_crypto.Drbg.create_system ()
   in
   {
     transport;
+    reconnect;
+    participant = None;
     drbg;
     max_payload;
     inbox = Buffer.create 256;
     need = Frame.header_len;
     session = None;
     closed = false;
+    inflight = Hashtbl.create 8;
+    max_replays;
+    breaker =
+      {
+        b_state = B_closed;
+        b_consecutive = 0;
+        b_threshold = 5;
+        b_cooldown = 1.0;
+        b_now = Unix.gettimeofday;
+      };
   }
+
+let set_breaker ?threshold ?cooldown ?now t =
+  let b = t.breaker in
+  Option.iter (fun v -> b.b_threshold <- v) threshold;
+  Option.iter (fun v -> b.b_cooldown <- v) cooldown;
+  Option.iter (fun v -> b.b_now <- v) now
+
+let breaker_state t =
+  match t.breaker.b_state with
+  | B_closed -> `Closed
+  | B_open _ -> `Open
+  | B_half_open -> `Half_open
 
 let close t =
   if not t.closed then begin
@@ -75,11 +125,13 @@ let close t =
 (* ------------------------------------------------------------------ *)
 
 (* Same codec path, no sockets: bytes handed to [send] go straight
-   through the server's [feed]; its response bytes queue for [recv]. *)
-let loopback ?max_payload ?drbg server =
-  let conn = Tep_server.Server.conn server in
-  let pending = Buffer.create 256 in
-  make ?max_payload ?drbg
+   through the server's [feed]; its response bytes queue for [recv].
+   Reconnecting opens a fresh server-side connection state machine
+   against the same server — the loopback analogue of redialing. *)
+let loopback ?max_payload ?drbg ?max_replays server =
+  let fresh () =
+    let conn = Tep_server.Server.conn server in
+    let pending = Buffer.create 256 in
     {
       send =
         (fun bytes ->
@@ -91,6 +143,10 @@ let loopback ?max_payload ?drbg server =
           s);
       close = ignore;
     }
+  in
+  make ?max_payload ?drbg ?max_replays
+    ~reconnect:(fun () -> Ok (fresh ()))
+    (fresh ())
 
 let write_all fd s =
   let len = String.length s in
@@ -147,7 +203,7 @@ let connect_with_retry ?(retries = 5) ?(backoff = 0.05) ?drbg make_fd =
   in
   go 0 backoff
 
-let connect_unix ?max_payload ?drbg ?retries ?backoff path =
+let connect_unix ?max_payload ?drbg ?retries ?backoff ?max_replays path =
   let make_fd () =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     try
@@ -157,11 +213,15 @@ let connect_unix ?max_payload ?drbg ?retries ?backoff path =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise e
   in
+  let dial () =
+    Result.map fd_transport (connect_with_retry ?retries ?backoff ?drbg make_fd)
+  in
   Result.map
-    (fun fd -> make ?max_payload ?drbg (fd_transport fd))
-    (connect_with_retry ?retries ?backoff ?drbg make_fd)
+    (fun tr -> make ?max_payload ?drbg ?max_replays ~reconnect:dial tr)
+    (dial ())
 
-let connect_tcp ?max_payload ?drbg ?retries ?backoff ~host ~port () =
+let connect_tcp ?max_payload ?drbg ?retries ?backoff ?max_replays ~host ~port
+    () =
   let make_fd () =
     let addr =
       try Unix.inet_addr_of_string host
@@ -179,9 +239,12 @@ let connect_tcp ?max_payload ?drbg ?retries ?backoff ~host ~port () =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise e
   in
+  let dial () =
+    Result.map fd_transport (connect_with_retry ?retries ?backoff ?drbg make_fd)
+  in
   Result.map
-    (fun fd -> make ?max_payload ?drbg (fd_transport fd))
-    (connect_with_retry ?retries ?backoff ?drbg make_fd)
+    (fun tr -> make ?max_payload ?drbg ?max_replays ~reconnect:dial tr)
+    (dial ())
 
 (* ------------------------------------------------------------------ *)
 (* Frame exchange                                                      *)
@@ -241,71 +304,6 @@ let read_clear_error payload =
   | Ok (Message.Error_resp { code; message }) -> error_of code message
   | Ok _ -> Error "unexpected clear frame from server"
   | Error e -> Error e
-
-(* ------------------------------------------------------------------ *)
-(* Pipelined request/collect                                           *)
-(* ------------------------------------------------------------------ *)
-
-let request_async t req =
-  if t.closed then Error "client closed"
-  else
-    match t.session with
-    | None -> Error "not authenticated"
-    | Some s ->
-        let cid = s.next_cid in
-        s.next_cid <- cid + 1;
-        let msg = Message.with_cid cid (Message.request_to_string req) in
-        let sealed =
-          Session.seal_keyed s.keyed ~dir:Session.To_server ~seq:s.send_seq msg
-        in
-        s.send_seq <- s.send_seq + 1;
-        t.transport.send (Frame.to_string ~kind:Frame.Sealed sealed);
-        Ok cid
-
-(* Block for [cid]'s response.  Responses for other in-flight cids are
-   stashed for their own [collect]; a connection-level error (the
-   server's reserved cid 0) fails the call. *)
-let collect t cid =
-  if t.closed then Error "client closed"
-  else
-    match t.session with
-    | None -> Error "not authenticated"
-    | Some s -> (
-        match Hashtbl.find_opt s.stashed cid with
-        | Some resp ->
-            Hashtbl.remove s.stashed cid;
-            Ok resp
-        | None ->
-            let rec next () =
-              match read_frame t with
-              | Error e -> Error e
-              | Ok (Frame.Clear, payload) -> read_clear_error payload
-              | Ok (Frame.Sealed, payload) -> (
-                  match
-                    Session.open_keyed s.keyed ~dir:Session.To_client
-                      ~seq:s.recv_seq payload
-                  with
-                  | Error e -> Error ("response rejected: " ^ e)
-                  | Ok msg -> (
-                      s.recv_seq <- s.recv_seq + 1;
-                      match Message.read_cid msg with
-                      | None -> Error "response missing correlation id"
-                      | Some (rcid, off) -> (
-                          match decode_response_at msg off with
-                          | Error e -> Error e
-                          | Ok resp when rcid = cid -> Ok resp
-                          | Ok (Message.Error_resp { code; message })
-                            when rcid = Message.conn_cid ->
-                              error_of code message
-                          | Ok resp ->
-                              Hashtbl.replace s.stashed rcid resp;
-                              next ())))
-            in
-            next ())
-
-(* Blocking exchange: exactly a pipeline of depth one. *)
-let rpc t req =
-  match request_async t req with Error e -> Error e | Ok cid -> collect t cid
 
 (* ------------------------------------------------------------------ *)
 (* Authentication                                                      *)
@@ -371,6 +369,7 @@ let authenticate t participant =
                                   next_cid = 1;
                                   stashed = Hashtbl.create 8;
                                 };
+                            t.participant <- Some participant;
                             Ok ()
                         | Ok (Message.Error_resp { code; message }) ->
                             error_of code message
@@ -382,6 +381,257 @@ let authenticate t participant =
 let authenticated t = t.session <> None
 
 (* ------------------------------------------------------------------ *)
+(* Reconnect and replay                                                *)
+(* ------------------------------------------------------------------ *)
+
+let seal_request s ~cid req =
+  let msg = Message.with_cid cid (Message.request_to_string req) in
+  let sealed =
+    Session.seal_keyed s.keyed ~dir:Session.To_server ~seq:s.send_seq msg
+  in
+  s.send_seq <- s.send_seq + 1;
+  Frame.to_string ~kind:Frame.Sealed sealed
+
+(* Socket-level send failures become errors; injected faults
+   ({!Tep_fault.Fault.Crash}) still propagate so failpoint tests keep
+   their semantics. *)
+let try_send t bytes =
+  match t.transport.send bytes with
+  | () -> Ok ()
+  | exception Unix.Unix_error (err, _, _) ->
+      Error ("connection lost: " ^ Unix.error_message err)
+  | exception Sys_error e -> Error ("connection lost: " ^ e)
+
+(* Re-send every request the client never saw an answer for, on the
+   fresh session, under the original correlation ids.  Writes carry
+   their original request id inside [Submit_idem]/[Checkpoint_idem],
+   so a replay the server already executed is answered from its dedup
+   table — this is what makes replay safe. *)
+let replay_inflight t s =
+  let cids = Hashtbl.fold (fun cid _ acc -> cid :: acc) t.inflight [] in
+  List.fold_left
+    (fun acc cid ->
+      match acc with
+      | Error _ as e -> e
+      | Ok () -> try_send t (seal_request s ~cid (Hashtbl.find t.inflight cid)))
+    (Ok ())
+    (List.sort compare cids)
+
+(* Redial the endpoint, re-authenticate as the same participant, and
+   replay the in-flight window.  Correlation ids keep counting up and
+   stashed responses survive the swap, so outstanding [collect]s stay
+   valid across the reconnect.  The dial+handshake+replay round itself
+   retries a few times — on a faulty network the reconnect attempt is
+   as exposed as the connection that just died. *)
+let reestablish t =
+  match (t.reconnect, t.participant) with
+  | None, _ -> Error "no reconnector configured"
+  | _, None -> Error "connection lost before authentication"
+  | Some dial, Some participant ->
+      let old = t.session in
+      let rec go attempt last_err =
+        if attempt >= 3 then Error last_err
+        else begin
+          (try t.transport.close ()
+           with Unix.Unix_error _ | Sys_error _ -> ());
+          match dial () with
+          | Error e -> go (attempt + 1) ("reconnect failed: " ^ e)
+          | Ok tr -> (
+              t.transport <- tr;
+              Buffer.clear t.inbox;
+              t.need <- Frame.header_len;
+              t.session <- None;
+              match authenticate t participant with
+              | Error e -> go (attempt + 1) ("re-authentication failed: " ^ e)
+              | Ok () -> (
+                  match t.session with
+                  | None -> go (attempt + 1) "re-authentication lost the session"
+                  | Some s -> (
+                      Option.iter
+                        (fun o ->
+                          s.next_cid <- o.next_cid;
+                          Hashtbl.iter
+                            (fun k v -> Hashtbl.replace s.stashed k v)
+                            o.stashed)
+                        old;
+                      match replay_inflight t s with
+                      | Ok () -> Ok ()
+                      | Error e -> go (attempt + 1) ("replay failed: " ^ e))))
+        end
+      in
+      go 0 "reconnect failed"
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker transitions                                         *)
+(* ------------------------------------------------------------------ *)
+
+let breaker_note_failure b =
+  b.b_consecutive <- b.b_consecutive + 1;
+  match b.b_state with
+  | B_half_open -> b.b_state <- B_open (b.b_now () +. b.b_cooldown)
+  | B_open _ -> ()
+  | B_closed ->
+      if b.b_consecutive >= b.b_threshold then
+        b.b_state <- B_open (b.b_now () +. b.b_cooldown)
+
+let breaker_note_success b =
+  b.b_consecutive <- 0;
+  b.b_state <- B_closed
+
+(* Admission gate for writes.  Open: fail fast locally.  Open past
+   the cooldown: become half-open and let this one caller through as
+   the probe.  Half-open: the probe is already out; fail fast. *)
+let breaker_admit b =
+  match b.b_state with
+  | B_closed -> Ok ()
+  | B_half_open -> Error "circuit breaker open (probe in flight)"
+  | B_open until ->
+      let now = b.b_now () in
+      if now >= until then begin
+        b.b_state <- B_half_open;
+        Ok ()
+      end
+      else
+        Error
+          (Printf.sprintf "circuit breaker open (retry in %.0f ms)"
+             ((until -. now) *. 1000.))
+
+let is_write = function
+  | Message.Submit _ | Message.Submit_idem _ | Message.Checkpoint
+  | Message.Checkpoint_idem _ ->
+      true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Pipelined request/collect                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec request_async t req =
+  if t.closed then Error "client closed"
+  else
+    match t.session with
+    | None -> (
+        (* A reconnectable client whose session died (a failed earlier
+           recovery round) self-heals on the next request instead of
+           staying wedged on "not authenticated". *)
+        match (t.reconnect, t.participant) with
+        | Some _, Some _ -> (
+            match reestablish t with
+            | Error e -> Error e
+            | Ok () -> request_async t req)
+        | _ -> Error "not authenticated")
+    | Some s -> (
+        match if is_write req then breaker_admit t.breaker else Ok () with
+        | Error e -> Error e
+        | Ok () -> (
+            let cid = s.next_cid in
+            s.next_cid <- cid + 1;
+            Hashtbl.replace t.inflight cid req;
+            match try_send t (seal_request s ~cid req) with
+            | Ok () -> Ok cid
+            | Error _ -> (
+                (* the connection died under the send; the request is
+                   already in the replay set, so a successful redial
+                   carries it out *)
+                match reestablish t with
+                | Ok () -> Ok cid
+                | Error e ->
+                    Hashtbl.remove t.inflight cid;
+                    Error e)))
+
+(* Block for [cid]'s response.  Responses for other in-flight cids are
+   stashed for their own [collect].  Channel-level failures — the
+   transport dying, a corrupt or unverifiable frame, the server's
+   reserved-cid error report — trigger up to [max_replays] transparent
+   reconnect-and-replay rounds before surfacing the error. *)
+let collect t cid =
+  if t.closed then Error "client closed"
+  else
+    match t.session with
+    | None -> Error "not authenticated"
+    | Some s0 ->
+        (* Only write outcomes feed the breaker: a healthy read path
+           must neither reset nor trip a breaker that gates writes. *)
+        let was_write =
+          match Hashtbl.find_opt t.inflight cid with
+          | Some req -> is_write req
+          | None -> false
+        in
+        let finish outcome =
+          Hashtbl.remove t.inflight cid;
+          if was_write then (
+            match outcome with
+            | Ok (Message.Overloaded_resp _) | Error _ ->
+                breaker_note_failure t.breaker
+            | Ok _ -> breaker_note_success t.breaker);
+          outcome
+        in
+        let rec attempt s replays =
+          match Hashtbl.find_opt s.stashed cid with
+          | Some resp ->
+              Hashtbl.remove s.stashed cid;
+              finish (Ok resp)
+          | None -> read_loop s replays
+        and read_loop s replays =
+          match read_frame t with
+          | Error e -> recover s replays e
+          | Ok (Frame.Clear, payload) -> (
+              match read_clear_error payload with
+              | Error e -> recover s replays e
+              | Ok _ -> recover s replays "unexpected clear frame from server")
+          | Ok (Frame.Sealed, payload) -> (
+              match
+                Session.open_keyed s.keyed ~dir:Session.To_client
+                  ~seq:s.recv_seq payload
+              with
+              | Error e -> recover s replays ("response rejected: " ^ e)
+              | Ok msg -> (
+                  s.recv_seq <- s.recv_seq + 1;
+                  match Message.read_cid msg with
+                  | None -> finish (Error "response missing correlation id")
+                  | Some (rcid, off) -> (
+                      match decode_response_at msg off with
+                      | Error e -> finish (Error e)
+                      | Ok resp when rcid = cid -> finish (Ok resp)
+                      | Ok (Message.Error_resp { code; message })
+                        when rcid = Message.conn_cid ->
+                          recover s replays
+                            (Printf.sprintf "%s: %s"
+                               (Message.error_code_name code)
+                               message)
+                      | Ok resp ->
+                          Hashtbl.replace s.stashed rcid resp;
+                          Hashtbl.remove t.inflight rcid;
+                          read_loop s replays)))
+        and recover _s replays err =
+          if replays >= t.max_replays then finish (Error err)
+          else
+            match reestablish t with
+            | Error e -> finish (Error (err ^ "; " ^ e))
+            | Ok () -> (
+                match t.session with
+                | None -> finish (Error err)
+                | Some s' -> attempt s' (replays + 1))
+        in
+        attempt s0 0
+
+(* Blocking exchange: exactly a pipeline of depth one. *)
+let rpc t req =
+  match request_async t req with Error e -> Error e | Ok cid -> collect t cid
+
+(* Client-generated request ids: DRBG-backed, so deterministic under a
+   seeded client yet unique across retries of *different* operations.
+   An application-level retry of the *same* operation must reuse the
+   rid it drew — that is the idempotency contract. *)
+let fresh_rid t =
+  let raw = Tep_crypto.Drbg.generate t.drbg 12 in
+  let hex = Buffer.create 24 in
+  String.iter
+    (fun ch -> Buffer.add_string hex (Printf.sprintf "%02x" (Char.code ch)))
+    raw;
+  Buffer.contents hex
+
+(* ------------------------------------------------------------------ *)
 (* Typed wrappers                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -390,30 +640,49 @@ let unexpected = Error "unexpected response from server"
 let unwrap f = function
   | Error e -> Error e
   | Ok (Message.Error_resp { code; message }) -> error_of code message
+  | Ok (Message.Overloaded_resp { retry_after_ms; message }) ->
+      Error
+        (Printf.sprintf "overloaded: %s (retry after %d ms)" message
+           retry_after_ms)
   | Ok resp -> f resp
 
+(* Every blocking write travels as [Submit_idem] under a fresh request
+   id, so the reconnect-and-replay path (and any server-side
+   duplication of the sealed frame) can never double-apply it. *)
+let submit_with_rid t ~rid op = rpc t (Message.Submit_idem { rid; op })
+
 let insert t ~table cells =
-  rpc t (Message.Submit (Message.Op_insert { table; cells }))
+  submit_with_rid t ~rid:(fresh_rid t) (Message.Op_insert { table; cells })
   |> unwrap (function
        | Message.Submitted { row = Some row; records; _ } -> Ok (row, records)
        | _ -> unexpected)
 
 let update t ~table ~row ~col value =
-  rpc t (Message.Submit (Message.Op_update { table; row; col; value }))
+  submit_with_rid t ~rid:(fresh_rid t)
+    (Message.Op_update { table; row; col; value })
   |> unwrap (function
        | Message.Submitted { records; _ } -> Ok records
        | _ -> unexpected)
 
 let delete t ~table ~row =
-  rpc t (Message.Submit (Message.Op_delete { table; row }))
+  submit_with_rid t ~rid:(fresh_rid t) (Message.Op_delete { table; row })
   |> unwrap (function
        | Message.Submitted { records; _ } -> Ok records
        | _ -> unexpected)
 
 let aggregate t ?(value = Tep_store.Value.Text "aggregate") inputs =
-  rpc t (Message.Submit (Message.Op_aggregate { inputs; value }))
+  submit_with_rid t ~rid:(fresh_rid t)
+    (Message.Op_aggregate { inputs; value })
   |> unwrap (function
        | Message.Submitted { oid = Some oid; records; _ } -> Ok (oid, records)
+       | _ -> unexpected)
+
+(* Application-level idempotent retry: the caller owns the rid and
+   reuses it when re-issuing an operation it is unsure about. *)
+let submit_idem t ~rid op =
+  submit_with_rid t ~rid op
+  |> unwrap (function
+       | Message.Submitted { row; oid; records } -> Ok (row, oid, records)
        | _ -> unexpected)
 
 let query t ?oid () =
@@ -434,7 +703,7 @@ let audit t =
        | _ -> unexpected)
 
 let checkpoint t =
-  rpc t Message.Checkpoint
+  rpc t (Message.Checkpoint_idem { rid = fresh_rid t })
   |> unwrap (function
        | Message.Checkpointed { generation; lsn } -> Ok (generation, lsn)
        | _ -> unexpected)
@@ -454,14 +723,62 @@ let stats t =
   rpc t Message.Stats
   |> unwrap (function
        | Message.Stats_resp { batches; ops; sign_wall_us; sign_cpu_us } ->
-           Ok { batches; ops; sign_wall_us; sign_cpu_us }
+           Ok ({ batches; ops; sign_wall_us; sign_cpu_us } : server_stats)
+       | _ -> unexpected)
+
+(* Health / readiness snapshot (the Ping RPC).  Reads the batcher
+   counters without touching the engine locks, so it answers even
+   while a slow commit is in flight. *)
+type health = {
+  ready : bool;  (* accepting writes (not draining) *)
+  draining : bool;
+  active : int;  (* concurrent socket connections *)
+  queued_ops : int;  (* ops waiting in the group-commit queue *)
+  h_batches : int;
+  h_ops : int;
+  dedup_hits : int;  (* retried writes answered without re-executing *)
+  wal_failures : int;  (* group commits voided by WAL errors *)
+  shed : int;  (* ops refused by admission control *)
+}
+
+let ping t =
+  rpc t Message.Ping
+  |> unwrap (function
+       | Message.Pong
+           {
+             ready;
+             draining;
+             active;
+             queued_ops;
+             batches;
+             ops;
+             dedup_hits;
+             wal_failures;
+             shed;
+           } ->
+           Ok
+             {
+               ready;
+               draining;
+               active;
+               queued_ops;
+               h_batches = batches;
+               h_ops = ops;
+               dedup_hits;
+               wal_failures;
+               shed;
+             }
        | _ -> unexpected)
 
 (* ------------------------------------------------------------------ *)
 (* Async submit wrappers (pipelining)                                  *)
 (* ------------------------------------------------------------------ *)
 
-let submit_async t op = request_async t (Message.Submit op)
+let submit_async t op =
+  request_async t (Message.Submit_idem { rid = fresh_rid t; op })
+
+let submit_idem_async t ~rid op =
+  request_async t (Message.Submit_idem { rid; op })
 
 let insert_async t ~table cells =
   submit_async t (Message.Op_insert { table; cells })

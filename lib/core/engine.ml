@@ -1,6 +1,12 @@
 open Tep_store
 open Tep_tree
 
+exception Wal_failure of string
+(* A WAL append or flush the engine could not make durable.  Typed so
+   the service layer can classify it (count it, answer with a
+   wal-failed wire error) instead of pattern-matching on a generic
+   [Failure] message escaping a batcher thread. *)
+
 type mode = Basic | Economical
 
 type metrics = {
@@ -128,7 +134,7 @@ let wal_log t entry =
   | Some w -> (
       match Wal.append w entry with
       | Ok () -> ()
-      | Error e -> failwith ("Engine: " ^ e))
+      | Error e -> raise (Wal_failure e))
 
 let wal_present t = Option.is_some t.wal
 
@@ -363,7 +369,7 @@ let commit t (b : batch) : metrics =
     | Some w -> (
         match Wal.flush w with
         | Ok () -> ()
-        | Error e -> failwith ("Engine: " ^ e))
+        | Error e -> raise (Wal_failure e))
     | None -> ()
   end;
   {

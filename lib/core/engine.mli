@@ -19,6 +19,14 @@
 open Tep_store
 open Tep_tree
 
+exception Wal_failure of string
+(** A WAL append or flush failed persistently (retries exhausted):
+    the mutation's durability cannot be guaranteed and the commit is
+    abandoned.  Raised out of {!complex_op} (and the singleton ops
+    built on it) so the service layer can classify WAL trouble
+    distinctly from logic errors.  Simulated crashes
+    ({!Tep_fault.Fault.Crash}) still propagate untouched. *)
+
 type mode = Basic | Economical
 
 type metrics = {

@@ -74,6 +74,12 @@ type submit_result =
   | R_unit (* update / delete *)
   | R_err of string (* per-op rejection (batch still commits) *)
 
+(* Commit-level failure classification: WAL trouble gets its own wire
+   code (and counter) so operators can tell a sick disk from a logic
+   bug, and so clients know a retry with the same rid will re-execute
+   (nothing was committed). *)
+type batch_fail = F_wal of string | F_failed of string
+
 (* One enqueued unit of submit work: all ops of one job come from one
    connection (hence one participant) and are answered positionally. *)
 type submit_job = {
@@ -81,7 +87,7 @@ type submit_job = {
   j_ops : Message.op array;
   j_results : submit_result array;
   mutable j_records : int; (* the batch commit's records_emitted *)
-  mutable j_failed : string option; (* commit-level failure: atomic *)
+  mutable j_failed : batch_fail option; (* commit-level failure: atomic *)
   mutable j_done : bool;
 }
 
@@ -94,6 +100,9 @@ type batcher = {
   mutable b_ops : int; (* ops carried by those commits *)
   mutable b_sign_wall_s : float; (* wall-clock across commit signing stages *)
   mutable b_sign_cpu_s : float; (* cumulative per-signature time *)
+  mutable b_dedup_hits : int; (* retried writes answered from the dedup table *)
+  mutable b_wal_failures : int; (* group commits voided by WAL errors *)
+  mutable b_shed : int; (* ops refused by admission control *)
 }
 
 type batch_stats = {
@@ -101,6 +110,41 @@ type batch_stats = {
   ops : int;
   sign_wall_s : float;
   sign_cpu_s : float;
+  dedup_hits : int;
+  wal_failures : int;
+  shed : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Idempotency: the request-id dedup table                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A client retrying a write it never saw an answer for (dropped
+   connection, lost response) re-sends it under the same request id.
+   The table remembers the outcome of every recently completed write
+   keyed by rid, so the retry returns the original result instead of
+   executing twice.  [D_pending] marks a rid whose original is still
+   in flight: a duplicate arriving meanwhile (the retry raced the
+   original) waits for that outcome rather than re-executing. *)
+type dedup_state = D_pending | D_done of Message.response
+
+type dedup = {
+  d_mutex : Mutex.t;
+  d_cond : Condition.t; (* D_pending -> D_done transitions *)
+  d_tbl : (string, dedup_state) Hashtbl.t;
+  d_order : string Queue.t; (* completed rids, oldest first (eviction) *)
+  d_cap : int; (* completed entries kept; pendings are never evicted *)
+}
+
+(* Admission-control knobs, mutable so tests and the overload bench
+   can reconfigure a live server. *)
+type admission = {
+  mutable max_queue_ops : int;
+      (* shed a job when a leader is active and the queued-op backlog
+         would exceed this; < 0 sheds every write (admission closed) *)
+  mutable max_session_inflight : int;
+      (* cap on one connection's buffered pipelined submits *)
+  mutable retry_after_ms : int; (* backoff hint carried by the shed *)
 }
 
 type t = {
@@ -122,10 +166,15 @@ type t = {
   audit_lock : Mutex.t; (* audit checkpoint ref, among readers *)
   root_lock : Mutex.t; (* Merkle root cache, among readers *)
   batcher : batcher;
+  dedup : dedup;
+  admission : admission;
+  draining : bool Atomic.t; (* drain begun: shed all new writes *)
 }
 
 let create ?(max_payload = Frame.default_max_payload) ?(request_timeout = 30.)
-    ?(max_connections = 64) ?drbg ?pool ?checkpoint ~participants engine =
+    ?(max_connections = 64) ?(max_queue_ops = 512)
+    ?(max_session_inflight = 64) ?(retry_after_ms = 25)
+    ?(dedup_capacity = 1024) ?drbg ?pool ?checkpoint ~participants engine =
   let drbg =
     match drbg with Some d -> d | None -> Tep_crypto.Drbg.create_system ()
   in
@@ -154,7 +203,20 @@ let create ?(max_payload = Frame.default_max_payload) ?(request_timeout = 30.)
         b_ops = 0;
         b_sign_wall_s = 0.;
         b_sign_cpu_s = 0.;
+        b_dedup_hits = 0;
+        b_wal_failures = 0;
+        b_shed = 0;
       };
+    dedup =
+      {
+        d_mutex = Mutex.create ();
+        d_cond = Condition.create ();
+        d_tbl = Hashtbl.create 64;
+        d_order = Queue.create ();
+        d_cap = max 1 dedup_capacity;
+      };
+    admission = { max_queue_ops; max_session_inflight; retry_after_ms };
+    draining = Atomic.make false;
   }
 
 let engine t = t.engine
@@ -168,10 +230,116 @@ let batch_stats t =
       ops = b.b_ops;
       sign_wall_s = b.b_sign_wall_s;
       sign_cpu_s = b.b_sign_cpu_s;
+      dedup_hits = b.b_dedup_hits;
+      wal_failures = b.b_wal_failures;
+      shed = b.b_shed;
     }
   in
   Mutex.unlock b.b_mutex;
   r
+
+let set_admission ?max_queue_ops ?max_session_inflight ?retry_after_ms t =
+  let a = t.admission in
+  Option.iter (fun v -> a.max_queue_ops <- v) max_queue_ops;
+  Option.iter (fun v -> a.max_session_inflight <- v) max_session_inflight;
+  Option.iter (fun v -> a.retry_after_ms <- v) retry_after_ms
+
+let active_connections t = Atomic.get t.active
+
+(* ------------------------------------------------------------------ *)
+(* Drain                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let begin_drain t = Atomic.set t.draining true
+let draining t = Atomic.get t.draining
+
+(* Wait (bounded) until no batch leader is running and no job is
+   queued.  With [begin_drain] already in effect nothing new can join
+   the queue, so an idle observation is stable — the daemon may then
+   flush the WAL and checkpoint without racing a commit. *)
+let quiesce ?(timeout = 10.) t =
+  let b = t.batcher in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec wait () =
+    Mutex.lock b.b_mutex;
+    let idle = b.b_queue = [] && not b.b_leader in
+    Mutex.unlock b.b_mutex;
+    if idle then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Thread.delay 0.01;
+      wait ()
+    end
+  in
+  wait ()
+
+(* ------------------------------------------------------------------ *)
+(* Dedup table operations                                              *)
+(* ------------------------------------------------------------------ *)
+
+let note_dedup_hit t =
+  let b = t.batcher in
+  Mutex.lock b.b_mutex;
+  b.b_dedup_hits <- b.b_dedup_hits + 1;
+  Mutex.unlock b.b_mutex
+
+let note_shed ?(n = 1) t =
+  let b = t.batcher in
+  Mutex.lock b.b_mutex;
+  b.b_shed <- b.b_shed + n;
+  Mutex.unlock b.b_mutex
+
+(* Claim a rid for execution.  [`Run]: this caller owns the rid and
+   must later call {!dedup_resolve}.  [`Hit resp]: the rid already
+   completed; answer with the original response.  A pending rid makes
+   the duplicate wait for the original's outcome — two executions of
+   one rid can never overlap. *)
+let dedup_claim t rid =
+  let d = t.dedup in
+  Mutex.lock d.d_mutex;
+  let rec go () =
+    match Hashtbl.find_opt d.d_tbl rid with
+    | Some (D_done resp) ->
+        Mutex.unlock d.d_mutex;
+        note_dedup_hit t;
+        `Hit resp
+    | Some D_pending ->
+        Condition.wait d.d_cond d.d_mutex;
+        go ()
+    | None ->
+        Hashtbl.replace d.d_tbl rid D_pending;
+        Mutex.unlock d.d_mutex;
+        `Run
+  in
+  go ()
+
+(* Publish a claimed rid's outcome.  [Some resp] caches it (bounded
+   FIFO eviction of completed entries); [None] forgets the rid so a
+   client retry re-executes — used for commit-level failures, where
+   nothing was applied and re-running is the correct recovery. *)
+let dedup_resolve t rid outcome =
+  let d = t.dedup in
+  Mutex.lock d.d_mutex;
+  (match outcome with
+  | Some resp ->
+      Hashtbl.replace d.d_tbl rid (D_done resp);
+      Queue.push rid d.d_order;
+      while Queue.length d.d_order > d.d_cap do
+        Hashtbl.remove d.d_tbl (Queue.pop d.d_order)
+      done
+  | None -> Hashtbl.remove d.d_tbl rid);
+  Condition.broadcast d.d_cond;
+  Mutex.unlock d.d_mutex
+
+(* Only deterministic outcomes are worth caching: a Submitted (the op
+   committed) or a Bad_request (the engine rejected it without
+   touching state; a blind retry gets the same answer).  Commit-level
+   failures and sheds are transient — the retry should re-execute. *)
+let dedup_cacheable (resp : Message.response) =
+  match resp with
+  | Message.Submitted _ | Message.Checkpointed _ -> true
+  | Message.Error_resp { code = Message.Bad_request; _ } -> true
+  | _ -> false
 
 let gen_nonce t =
   Mutex.lock t.drbg_lock;
@@ -208,8 +376,8 @@ type conn = {
   inbox : Buffer.t; (* unconsumed input; compacted once per frame *)
   mutable need : int; (* skip parse attempts below this many bytes *)
   mutable phase : phase;
-  mutable pending : (int * Message.op) list;
-      (* consecutive pipelined Submits (cid, op), newest first,
+  mutable pending : (int * string option * Message.op) list;
+      (* consecutive pipelined Submits (cid, rid, op), newest first,
          awaiting a flush into the batcher as one job *)
 }
 
@@ -329,7 +497,7 @@ let run_batch t (jobs : submit_job list) =
           let entries = List.rev !(Hashtbl.find groups name) in
           let participant = (fst (List.hd entries)).j_participant in
           let outcome =
-            try
+            match
               Engine.complex_op t.engine participant (fun () ->
                   let any_ok = ref false in
                   List.iter
@@ -343,7 +511,17 @@ let run_batch t (jobs : submit_job list) =
                      exactly like a failed singleton submit did. *)
                   if !any_ok then Ok ()
                   else Error "no operation in the batch succeeded")
-            with e -> Error ("commit failed: " ^ Printexc.to_string e)
+            with
+            | Ok v -> Ok v
+            | Error e -> Error (F_failed e)
+            | exception Engine.Wal_failure e ->
+                let b = t.batcher in
+                Mutex.lock b.b_mutex;
+                b.b_wal_failures <- b.b_wal_failures + 1;
+                Mutex.unlock b.b_mutex;
+                Error (F_wal ("wal: " ^ e))
+            | exception e ->
+                Error (F_failed ("commit failed: " ^ Printexc.to_string e))
           in
           match outcome with
           | Ok ((), m) ->
@@ -373,57 +551,87 @@ let run_batch t (jobs : submit_job list) =
                 List.iter (fun (job, _) -> job.j_failed <- Some msg) entries)
         (List.rev !order))
 
+let overloaded t queued =
+  Message.Overloaded_resp
+    {
+      retry_after_ms = t.admission.retry_after_ms;
+      message =
+        Printf.sprintf "admission limit reached (%d op(s) queued)" queued;
+    }
+
 (* Enqueue a job and wait for its responses.  The first submitter to
    find no leader becomes one: it drains and executes the queue
    (including everything that accumulates while it runs) and wakes the
-   waiting followers, who only block on the condition variable. *)
+   waiting followers, who only block on the condition variable.
+
+   Admission control happens here, before the enqueue: a draining
+   server refuses all writes (Shutting_down), and when a leader is
+   already busy and the queued-op backlog would exceed
+   [admission.max_queue_ops], the whole job is shed with a typed
+   Overloaded response carrying a retry-after hint — bounding both the
+   backlog memory and the worst-case latency a queued op can see. *)
 let submit_ops t participant (ops : Message.op array) : Message.response array
     =
-  let job =
-    {
-      j_participant = participant;
-      j_ops = ops;
-      j_results = Array.make (Array.length ops) R_pending;
-      j_records = 0;
-      j_failed = None;
-      j_done = false;
-    }
-  in
-  let b = t.batcher in
-  Mutex.lock b.b_mutex;
-  b.b_queue <- job :: b.b_queue;
-  if b.b_leader then
-    while not job.j_done do
-      Condition.wait b.b_cond b.b_mutex
-    done
+  let n = Array.length ops in
+  if Atomic.get t.draining then
+    Array.make n (error_resp Message.Shutting_down "server is draining")
   else begin
-    b.b_leader <- true;
-    while b.b_queue <> [] do
-      let jobs = List.rev b.b_queue in
-      b.b_queue <- [];
-      b.b_batches <- b.b_batches + 1;
-      b.b_ops <-
-        b.b_ops
-        + List.fold_left (fun n j -> n + Array.length j.j_ops) 0 jobs;
+    let b = t.batcher in
+    Mutex.lock b.b_mutex;
+    let max_q = t.admission.max_queue_ops in
+    let queued =
+      List.fold_left (fun acc j -> acc + Array.length j.j_ops) 0 b.b_queue
+    in
+    if max_q < 0 || (b.b_leader && queued + n > max_q) then begin
+      b.b_shed <- b.b_shed + n;
       Mutex.unlock b.b_mutex;
-      (try run_batch t jobs
-       with e ->
-         (* run_batch catches per-group failures; anything escaping is
-            a harness-level surprise — fail the drained jobs rather
-            than deadlock their waiters. *)
-         let msg = Printexc.to_string e in
-         List.iter (fun j -> j.j_failed <- Some msg) jobs);
-      Mutex.lock b.b_mutex;
-      List.iter (fun j -> j.j_done <- true) jobs;
-      Condition.broadcast b.b_cond
-    done;
-    b.b_leader <- false
-  end;
-  Mutex.unlock b.b_mutex;
-  Array.init (Array.length ops) (fun i ->
-      match job.j_failed with
-      | Some e -> error_resp Message.Failed e
-      | None -> (
+      Array.make n (overloaded t queued)
+    end
+    else begin
+      let job =
+        {
+          j_participant = participant;
+          j_ops = ops;
+          j_results = Array.make n R_pending;
+          j_records = 0;
+          j_failed = None;
+          j_done = false;
+        }
+      in
+      b.b_queue <- job :: b.b_queue;
+      if b.b_leader then
+        while not job.j_done do
+          Condition.wait b.b_cond b.b_mutex
+        done
+      else begin
+        b.b_leader <- true;
+        while b.b_queue <> [] do
+          let jobs = List.rev b.b_queue in
+          b.b_queue <- [];
+          b.b_batches <- b.b_batches + 1;
+          b.b_ops <-
+            b.b_ops
+            + List.fold_left (fun n j -> n + Array.length j.j_ops) 0 jobs;
+          Mutex.unlock b.b_mutex;
+          (try run_batch t jobs
+           with e ->
+             (* run_batch catches per-group failures; anything escaping
+                is a harness-level surprise — fail the drained jobs
+                rather than deadlock their waiters. *)
+             let msg = F_failed (Printexc.to_string e) in
+             List.iter (fun j -> j.j_failed <- Some msg) jobs);
+          Mutex.lock b.b_mutex;
+          List.iter (fun j -> j.j_done <- true) jobs;
+          Condition.broadcast b.b_cond
+        done;
+        b.b_leader <- false
+      end;
+      Mutex.unlock b.b_mutex;
+      Array.init n (fun i ->
+          match job.j_failed with
+          | Some (F_wal e) -> error_resp Message.Wal_failed e
+          | Some (F_failed e) -> error_resp Message.Failed e
+          | None -> (
           match job.j_results.(i) with
           | R_err e -> error_resp Message.Bad_request e
           | R_row row ->
@@ -435,10 +643,13 @@ let submit_ops t participant (ops : Message.op array) : Message.response array
           | R_unit ->
               Message.Submitted
                 { row = None; oid = None; records = job.j_records }
-          | R_pending ->
-              (* unreachable: the leader fills every slot before
-                 marking the job done *)
-              error_resp Message.Failed "batch left the operation pending"))
+              | R_pending ->
+                  (* unreachable: the leader fills every slot before
+                     marking the job done *)
+                  error_resp Message.Failed
+                    "batch left the operation pending"))
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Read-side dispatch                                                  *)
@@ -450,6 +661,36 @@ let locked m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
+(* Health snapshot.  Deliberately lock-light (batcher mutex + atomics
+   only, never the rwlock): a Ping must answer even while a slow
+   commit holds the write lock — that is precisely when an operator
+   wants to see the queue depth. *)
+let pong t =
+  let b = t.batcher in
+  Mutex.lock b.b_mutex;
+  let queued_ops =
+    List.fold_left (fun acc j -> acc + Array.length j.j_ops) 0 b.b_queue
+  in
+  let batches = b.b_batches
+  and ops = b.b_ops
+  and dedup_hits = b.b_dedup_hits
+  and wal_failures = b.b_wal_failures
+  and shed = b.b_shed in
+  Mutex.unlock b.b_mutex;
+  let draining = Atomic.get t.draining in
+  Message.Pong
+    {
+      ready = not draining;
+      draining;
+      active = Atomic.get t.active;
+      queued_ops;
+      batches;
+      ops;
+      dedup_hits;
+      wal_failures;
+      shed;
+    }
+
 (* Runs under the shared read lock, concurrently with other readers:
    nothing here may mutate the engine.  The audit checkpoint and the
    Merkle root cache are the two read-side mutables; each has its own
@@ -460,9 +701,14 @@ let dispatch_read t (req : Message.request) =
   match req with
   | Message.Hello _ | Message.Auth _ ->
       error_resp Message.Bad_request "already authenticated"
-  | Message.Submit _ | Message.Checkpoint ->
+  | Message.Submit _ | Message.Submit_idem _ | Message.Checkpoint
+  | Message.Checkpoint_idem _ ->
       (* routed to the write side by [dispatch_locked] *)
       error_resp Message.Failed "write request on the read path"
+  | Message.Ping ->
+      (* normally answered before dispatch (see [handle_sealed]); kept
+         here so the direct API path answers it too *)
+      pong t
   | Message.Query oid -> (
       let oid = match oid with Some o -> o | None -> Engine.root_oid t.engine in
       match Engine.deliver t.engine oid with
@@ -516,11 +762,15 @@ let dispatch_checkpoint t =
 
 let dispatch_locked t participant (req : Message.request) =
   match req with
-  | Message.Submit op -> (submit_ops t participant [| op |]).(0)
-  | Message.Checkpoint ->
-      Rwlock.with_write t.rwlock (fun () ->
-          try dispatch_checkpoint t
-          with e -> error_resp Message.Failed (Printexc.to_string e))
+  | Message.Submit op | Message.Submit_idem { op; _ } ->
+      (submit_ops t participant [| op |]).(0)
+  | Message.Checkpoint | Message.Checkpoint_idem _ ->
+      if Atomic.get t.draining then
+        error_resp Message.Shutting_down "server is draining"
+      else
+        Rwlock.with_write t.rwlock (fun () ->
+            try dispatch_checkpoint t
+            with e -> error_resp Message.Failed (Printexc.to_string e))
   | _ ->
       Rwlock.with_read t.rwlock (fun () ->
           try dispatch_read t req
@@ -592,20 +842,96 @@ let decode_request payload = decode_request_at payload 0
 
 (* Consecutive pipelined Submits buffered on the connection join the
    batcher as one job; their responses are framed in request order,
-   each echoing its own correlation id. *)
+   each echoing its own correlation id.
+
+   Idempotency happens at this boundary.  Each buffered slot resolves
+   to one of: [`Run] (execute in this batch), [`Hit] (already
+   completed under this rid — answer from the dedup table), or
+   [`Alias j] (same rid as an earlier slot of this very flush; aliased
+   locally so a duplicate inside one batch never deadlocks on its own
+   pending entry).  Only `Run slots reach the batcher. *)
 let flush_pending c out =
   match (c.phase, c.pending) with
   | _, [] -> ()
   | Established s, pending ->
       c.pending <- [];
-      let ps = List.rev pending in
-      let ops = Array.of_list (List.map snd ps) in
-      let resps = submit_ops c.server s.participant ops in
-      List.iteri
-        (fun i (cid, _) ->
-          Buffer.add_string out (frame_response ~cid c resps.(i)))
+      let t = c.server in
+      let ps = Array.of_list (List.rev pending) in
+      let local : (string, int) Hashtbl.t = Hashtbl.create 8 in
+      let fresh_rev = ref [] in
+      let plan =
+        Array.mapi
+          (fun i (_, rid, _) ->
+            match rid with
+            | None ->
+                fresh_rev := i :: !fresh_rev;
+                `Run
+            | Some r -> (
+                match Hashtbl.find_opt local r with
+                | Some j ->
+                    note_dedup_hit t;
+                    `Alias j
+                | None -> (
+                    match dedup_claim t r with
+                    | `Hit resp -> `Hit resp
+                    | `Run ->
+                        Hashtbl.replace local r i;
+                        fresh_rev := i :: !fresh_rev;
+                        `Run)))
+          ps
+      in
+      let fresh = Array.of_list (List.rev !fresh_rev) in
+      let ops =
+        Array.map
+          (fun i ->
+            let _, _, op = ps.(i) in
+            op)
+          fresh
+      in
+      let resps =
+        if Array.length ops = 0 then [||]
+        else submit_ops t s.participant ops
+      in
+      (* Publish executed rids before framing: by the time a response
+         leaves this connection, a retry arriving on another one
+         already sees the cached outcome. *)
+      let resp_of_slot : (int, Message.response) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      Array.iteri
+        (fun k slot ->
+          Hashtbl.replace resp_of_slot slot resps.(k);
+          let _, rid, _ = ps.(slot) in
+          Option.iter
+            (fun r ->
+              dedup_resolve t r
+                (if dedup_cacheable resps.(k) then Some resps.(k) else None))
+            rid)
+        fresh;
+      Array.iteri
+        (fun i (cid, _, _) ->
+          let resp =
+            match plan.(i) with
+            | `Run -> Hashtbl.find resp_of_slot i
+            | `Alias j -> Hashtbl.find resp_of_slot j
+            | `Hit resp -> resp
+          in
+          Buffer.add_string out (frame_response ~cid c resp))
         ps
   | _, _ -> c.pending <- []
+
+(* Buffer one pipelined submit, enforcing the per-session in-flight
+   cap: past [admission.max_session_inflight] buffered ops the submit
+   is shed immediately with a typed Overloaded response (its own cid),
+   leaving the already-buffered ops untouched. *)
+let buffer_submit c out ~cid ~rid op =
+  let t = c.server in
+  if List.length c.pending >= t.admission.max_session_inflight then begin
+    note_shed t;
+    Buffer.add_string out
+      (frame_response ~cid c (overloaded t (List.length c.pending)))
+  end
+  else c.pending <- (cid, rid, op) :: c.pending
 
 (* Established-phase sealed traffic: open the seal, split off the
    correlation id, then either defer (Submit — grouped with adjacent
@@ -630,7 +956,26 @@ let handle_sealed c out s payload =
               flush_pending c out;
               Buffer.add_string out
                 (kill ~cid c (error_resp Message.Bad_request "malformed request"))
-          | Some (Message.Submit op) -> c.pending <- (cid, op) :: c.pending
+          | Some (Message.Submit op) -> buffer_submit c out ~cid ~rid:None op
+          | Some (Message.Submit_idem { rid; op }) ->
+              buffer_submit c out ~cid ~rid:(Some rid) op
+          | Some Message.Ping ->
+              flush_pending c out;
+              Buffer.add_string out (frame_response ~cid c (pong c.server))
+          | Some (Message.Checkpoint_idem { rid }) ->
+              flush_pending c out;
+              let resp =
+                match dedup_claim c.server rid with
+                | `Hit resp -> resp
+                | `Run ->
+                    let resp =
+                      dispatch_locked c.server s.participant Message.Checkpoint
+                    in
+                    dedup_resolve c.server rid
+                      (if dedup_cacheable resp then Some resp else None);
+                    resp
+              in
+              Buffer.add_string out (frame_response ~cid c resp)
           | Some req ->
               flush_pending c out;
               let resp = dispatch_locked c.server s.participant req in
@@ -758,10 +1103,12 @@ let handle_client t fd =
 (* A connection flood must not translate into unbounded threads: past
    [max_connections] concurrent connections, new accepts get a
    best-effort advisory error frame and are dropped. *)
+let release t = Atomic.decr t.active
+
 let try_acquire t =
   if Atomic.fetch_and_add t.active 1 < t.max_connections then true
   else begin
-    Atomic.decr t.active;
+    release t;
     false
   end
 
@@ -785,14 +1132,24 @@ let serve_fd t ~stop fd =
     | _ -> (
         match Unix.accept fd with
         | cfd, _ ->
-            if try_acquire t then
-              ignore
-                (Thread.create
-                   (fun () ->
-                     Fun.protect
-                       ~finally:(fun () -> Atomic.decr t.active)
-                       (fun () -> handle_client t cfd))
-                   ())
+            if try_acquire t then begin
+              (* the acquired slot is owned by the handler thread; if
+                 the thread cannot even be created (fd/memory
+                 exhaustion) the slot and the socket must both be
+                 returned here, or the cap leaks permanently *)
+              match
+                Thread.create
+                  (fun () ->
+                    Fun.protect
+                      ~finally:(fun () -> release t)
+                      (fun () -> handle_client t cfd))
+                  ()
+              with
+              | (_ : Thread.t) -> ()
+              | exception _ ->
+                  release t;
+                  (try Unix.close cfd with Unix.Unix_error _ -> ())
+            end
             else reject_over_capacity cfd
         | exception Unix.Unix_error _ -> ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()

@@ -32,6 +32,16 @@ type request =
   | Checkpoint
   | Root_hash
   | Stats (* group-commit batcher counters *)
+  (* -- v3 additions.  A v3 encoder only emits the new tags when the
+     new fields are actually used, so a stream produced by a v2 peer
+     decodes unchanged and a v3 peer talking to itself is free to use
+     them.  [rid] is a client-generated request id: the server keeps a
+     bounded dedup table of completed writes, so a retried submit or
+     checkpoint (same rid, e.g. after a dropped connection) returns
+     the original cached result instead of executing twice. *)
+  | Submit_idem of { rid : string; op : op }
+  | Checkpoint_idem of { rid : string }
+  | Ping (* readiness/health probe; never shed, never queued *)
 
 (* A verifier report flattened for the wire: violations travel as
    their rendered strings, so the client can reproduce the server's
@@ -50,6 +60,13 @@ type error_code =
   | Not_found
   | Too_large
   | Failed
+  | Wal_failed
+      (* the group-commit batcher could not make the batch durable
+         (WAL append/flush error); nothing was committed — retrying
+         the same rid re-executes *)
+  | Shutting_down
+      (* the server is draining: it will not accept new writes, and
+         unlike Overloaded there is no point retrying this endpoint *)
 
 type response =
   | Challenge of { nonce : string }
@@ -66,6 +83,21 @@ type response =
       sign_wall_us : int; (* wall-clock µs inside commit signing stages *)
       sign_cpu_us : int; (* cumulative per-signature µs across domains *)
     }
+  | Pong of {
+      ready : bool; (* accepting writes (false once draining) *)
+      draining : bool;
+      active : int; (* concurrent socket connections *)
+      queued_ops : int; (* submit ops sitting in the batcher queue *)
+      batches : int;
+      ops : int;
+      dedup_hits : int; (* retried writes answered from the dedup table *)
+      wal_failures : int; (* batches voided by WAL append/flush errors *)
+      shed : int; (* ops refused by admission control *)
+    }
+  | Overloaded_resp of { retry_after_ms : int; message : string }
+      (* typed overload shed: admission control refused the request
+         before any execution; the client should back off at least
+         [retry_after_ms] before retrying (same rid is safe) *)
   | Error_resp of { code : error_code; message : string }
 
 (* ------------------------------------------------------------------ *)
@@ -107,6 +139,8 @@ let error_code_name = function
   | Not_found -> "not-found"
   | Too_large -> "too-large"
   | Failed -> "failed"
+  | Wal_failed -> "wal-failed"
+  | Shutting_down -> "shutting-down"
 
 (* ------------------------------------------------------------------ *)
 (* Codec helpers                                                       *)
@@ -247,6 +281,14 @@ let encode_request buf = function
   | Checkpoint -> Buffer.add_char buf '\x07'
   | Root_hash -> Buffer.add_char buf '\x08'
   | Stats -> Buffer.add_char buf '\x09'
+  | Submit_idem { rid; op } ->
+      Buffer.add_char buf '\x0a';
+      Value.add_string buf rid;
+      encode_op buf op
+  | Checkpoint_idem { rid } ->
+      Buffer.add_char buf '\x0b';
+      Value.add_string buf rid
+  | Ping -> Buffer.add_char buf '\x0c'
 
 let decode_request s off =
   if off >= String.length s then failwith "Message: empty request";
@@ -272,6 +314,14 @@ let decode_request s off =
   | '\x07' -> (Checkpoint, off + 1)
   | '\x08' -> (Root_hash, off + 1)
   | '\x09' -> (Stats, off + 1)
+  | '\x0a' ->
+      let rid, off = Value.read_string s (off + 1) in
+      let op, off = decode_op s off in
+      (Submit_idem { rid; op }, off)
+  | '\x0b' ->
+      let rid, off = Value.read_string s (off + 1) in
+      (Checkpoint_idem { rid }, off)
+  | '\x0c' -> (Ping, off + 1)
   | c -> failwith (Printf.sprintf "Message: bad request tag %#x" (Char.code c))
 
 let request_to_string r =
@@ -290,6 +340,8 @@ let error_code_tag = function
   | Not_found -> 3
   | Too_large -> 4
   | Failed -> 5
+  | Wal_failed -> 6
+  | Shutting_down -> 7
 
 let error_code_of_tag = function
   | 0 -> Auth_required
@@ -298,6 +350,8 @@ let error_code_of_tag = function
   | 3 -> Not_found
   | 4 -> Too_large
   | 5 -> Failed
+  | 6 -> Wal_failed
+  | 7 -> Shutting_down
   | n -> failwith (Printf.sprintf "Message: bad error code %d" n)
 
 let encode_response buf = function
@@ -346,6 +400,32 @@ let encode_response buf = function
       Value.add_varint buf ops;
       Value.add_varint buf sign_wall_us;
       Value.add_varint buf sign_cpu_us
+  | Pong
+      {
+        ready;
+        draining;
+        active;
+        queued_ops;
+        batches;
+        ops;
+        dedup_hits;
+        wal_failures;
+        shed;
+      } ->
+      Buffer.add_char buf '\x8a';
+      Buffer.add_char buf (if ready then '\x01' else '\x00');
+      Buffer.add_char buf (if draining then '\x01' else '\x00');
+      Value.add_varint buf active;
+      Value.add_varint buf queued_ops;
+      Value.add_varint buf batches;
+      Value.add_varint buf ops;
+      Value.add_varint buf dedup_hits;
+      Value.add_varint buf wal_failures;
+      Value.add_varint buf shed
+  | Overloaded_resp { retry_after_ms; message } ->
+      Buffer.add_char buf '\x8b';
+      Value.add_varint buf retry_after_ms;
+      Value.add_string buf message
   | Error_resp { code; message } ->
       Buffer.add_char buf '\xff';
       Value.add_varint buf (error_code_tag code);
@@ -415,6 +495,41 @@ let decode_response s off =
       let sign_wall_us, off = Value.read_varint s off in
       let sign_cpu_us, off = Value.read_varint s off in
       (Stats_resp { batches; ops; sign_wall_us; sign_cpu_us }, off)
+  | '\x8a' ->
+      let flag off =
+        if off >= String.length s then failwith "Message: truncated flag"
+        else
+          match s.[off] with
+          | '\x00' -> false
+          | '\x01' -> true
+          | _ -> failwith "Message: bad flag byte"
+      in
+      let ready = flag (off + 1) in
+      let draining = flag (off + 2) in
+      let active, off = Value.read_varint s (off + 3) in
+      let queued_ops, off = Value.read_varint s off in
+      let batches, off = Value.read_varint s off in
+      let ops, off = Value.read_varint s off in
+      let dedup_hits, off = Value.read_varint s off in
+      let wal_failures, off = Value.read_varint s off in
+      let shed, off = Value.read_varint s off in
+      ( Pong
+          {
+            ready;
+            draining;
+            active;
+            queued_ops;
+            batches;
+            ops;
+            dedup_hits;
+            wal_failures;
+            shed;
+          },
+        off )
+  | '\x8b' ->
+      let retry_after_ms, off = Value.read_varint s (off + 1) in
+      let message, off = Value.read_string s off in
+      (Overloaded_resp { retry_after_ms; message }, off)
   | '\xff' ->
       let tag, off = Value.read_varint s (off + 1) in
       let message, off = Value.read_string s off in

@@ -856,6 +856,340 @@ let test_stats_rpc () =
     (int_of_float (local.Server.sign_wall_s *. 1e6))
     s1.Client.sign_wall_us
 
+(* ------------------------------------------------------------------ *)
+(* Fault tolerance: dedup, admission, breaker, drain, capacity         *)
+(* ------------------------------------------------------------------ *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let op_insert sku qty =
+  Message.Op_insert
+    { table = "stock"; cells = [| Value.Int sku; Value.Int qty |] }
+
+let stock_rows engine =
+  Table.row_count (Database.get_table_exn (Engine.backend engine) "stock")
+
+(* A blind client retry of a write it already got an answer for: the
+   dedup table must replay the cached response, not the operation. *)
+let test_duplicate_request_id () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let c = make_client server in
+  ok (Client.authenticate c alice);
+  let before = Server.batch_stats server in
+  let row1, _, _ = ok (Client.submit_idem c ~rid:"dup-0" (op_insert 1 10)) in
+  let row2, _, _ = ok (Client.submit_idem c ~rid:"dup-0" (op_insert 1 10)) in
+  Alcotest.(check (option int)) "retry echoes the cached row" row1 row2;
+  Alcotest.(check int) "executed exactly once" 1 (stock_rows engine);
+  let after = Server.batch_stats server in
+  Alcotest.(check int) "dedup hit visible in batch_stats" 1
+    (after.Server.dedup_hits - before.Server.dedup_hits);
+  Alcotest.(check int) "only one op reached the engine" 1
+    (after.Server.ops - before.Server.ops);
+  Client.close c
+
+(* Two requests with the same rid inside one pipelined chunk: the
+   second must alias the first's slot within the batch instead of
+   deadlocking on its own pending entry or executing twice. *)
+let test_duplicate_rid_in_one_batch () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let conn = Tep_server.Server.conn server in
+  let key = handshake conn alice in
+  let submit cid seq =
+    let msg =
+      Message.with_cid cid
+        (Message.request_to_string
+           (Message.Submit_idem { rid = "batch-dup"; op = op_insert 1 10 }))
+    in
+    Frame.to_string ~kind:Frame.Sealed
+      (Session.seal ~key ~dir:Session.To_server ~seq msg)
+  in
+  let frames =
+    parse_frames (Tep_server.Server.feed conn (submit 1 0 ^ submit 2 1))
+  in
+  Alcotest.(check int) "two responses" 2 (List.length frames);
+  let rows =
+    List.mapi
+      (fun i (kind, payload) ->
+        if kind <> Frame.Sealed then Alcotest.fail "expected sealed responses";
+        match Session.open_ ~key ~dir:Session.To_client ~seq:(i + 1) payload with
+        | Error e -> Alcotest.fail ("response failed to open: " ^ e)
+        | Ok msg -> (
+            match Message.read_cid msg with
+            | None -> Alcotest.fail "response missing correlation id"
+            | Some (_, off) -> (
+                match fst (Message.decode_response msg off) with
+                | Message.Submitted { row = Some r; _ } -> r
+                | _ -> Alcotest.fail "expected Submitted")))
+      frames
+  in
+  (match rows with
+  | [ a; b ] -> Alcotest.(check int) "duplicate aliases the same row" a b
+  | _ -> assert false);
+  Alcotest.(check int) "executed exactly once" 1 (stock_rows engine);
+  let s = Server.batch_stats server in
+  Alcotest.(check int) "in-batch alias counted as a dedup hit" 1
+    s.Server.dedup_hits;
+  Alcotest.(check int) "one op committed" 1 s.Server.ops
+
+(* A WAL flush failure must surface as its typed wire error and tick
+   the wal_failures counter — an operator can tell a sick disk from a
+   logic bug without reading logs. *)
+let test_wal_failure_typed_and_counted () =
+  let drbg = Tep_crypto.Drbg.create ~seed:"service-walfail" in
+  let ca = Tep_crypto.Pki.create_ca ~bits:512 ~name:"CA" drbg in
+  let directory =
+    Participant.Directory.create ~ca_key:(Tep_crypto.Pki.ca_public_key ca)
+  in
+  let alice = Participant.create ~bits:512 ~ca ~name:"alice" drbg in
+  Participant.Directory.register directory alice;
+  let db = Database.create ~name:"svc" in
+  ignore
+    (Database.create_table db ~name:"stock" (Schema.all_int [ "sku"; "qty" ]));
+  let dir = Filename.temp_file "tep_service_walfail" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let wal = Wal.open_file (Filename.concat dir "wal.log") in
+  let engine = Engine.create ~wal ~directory db in
+  let server = make_server ~checkpoint:(dir, wal) engine alice in
+  let c = make_client server in
+  ok (Client.authenticate c alice);
+  Fault.reset ();
+  Fault.arm "wal.flush" (Fault.Transient 10);
+  (match Client.submit_idem c ~rid:"wal-0" (op_insert 1 10) with
+  | Ok _ -> Alcotest.fail "a submit survived a failing WAL flush"
+  | Error e ->
+      Alcotest.(check bool)
+        ("typed wal error, got: " ^ e)
+        true (contains e "wal"));
+  Fault.reset ();
+  let s = Server.batch_stats server in
+  Alcotest.(check int) "wal failure counted in batch_stats" 1
+    s.Server.wal_failures;
+  (* a wal-failed outcome must NOT be cached in the dedup table: the
+     client was told nothing durable happened, so the same rid retried
+     must re-execute — and now succeed *)
+  ignore (ok (Client.submit_idem c ~rid:"wal-0" (op_insert 1 10)));
+  let s = Server.batch_stats server in
+  Alcotest.(check int) "the retry re-executed (no dedup replay)" 0
+    s.Server.dedup_hits;
+  let report, _ = ok (Client.verify c ()) in
+  Alcotest.(check bool) "verify clean after the wal failure" true
+    (Message.report_ok report)
+
+(* Admission control: a shed write carries the typed overload error
+   with the retry hint, ticks the shed counter, and never blocks
+   reads; lifting the limit restores writes. *)
+let test_admission_shed_and_recover () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let c = make_client server in
+  ok (Client.authenticate c alice);
+  Server.set_admission ~max_queue_ops:(-1) ~retry_after_ms:7 server;
+  (match Client.insert c ~table:"stock" [| Value.Int 1; Value.Int 10 |] with
+  | Ok _ -> Alcotest.fail "shed-all admission accepted a write"
+  | Error e ->
+      Alcotest.(check bool)
+        ("typed overload with retry hint, got: " ^ e)
+        true
+        (contains e "overloaded" && contains e "retry after 7 ms"));
+  let s = Server.batch_stats server in
+  Alcotest.(check int) "shed counted in batch_stats" 1 s.Server.shed;
+  Alcotest.(check string) "reads are never shed" (Engine.root_hash engine)
+    (ok (Client.root_hash c));
+  Server.set_admission ~max_queue_ops:512 server;
+  ignore (ok (Client.insert c ~table:"stock" [| Value.Int 1; Value.Int 10 |]));
+  Alcotest.(check int) "write accepted once admission recovers" 1
+    (stock_rows engine);
+  Client.close c
+
+(* The client circuit breaker: consecutive overload rejections trip
+   it, tripped writes fail fast without touching the server, a failed
+   half-open probe re-opens it, a successful probe closes it. *)
+let test_circuit_breaker () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let c = make_client server in
+  ok (Client.authenticate c alice);
+  let clock = ref 1000.0 in
+  Client.set_breaker ~threshold:2 ~cooldown:10.0 ~now:(fun () -> !clock) c;
+  Server.set_admission ~max_queue_ops:(-1) server;
+  let must_fail label =
+    match Client.insert c ~table:"stock" [| Value.Int 1; Value.Int 10 |] with
+    | Ok _ -> Alcotest.fail (label ^ ": write must fail")
+    | Error e -> e
+  in
+  ignore (must_fail "shed 1");
+  ignore (must_fail "shed 2");
+  Alcotest.(check bool) "two consecutive rejections trip the breaker" true
+    (Client.breaker_state c = `Open);
+  let e = must_fail "tripped" in
+  Alcotest.(check bool)
+    ("tripped writes fail fast, got: " ^ e)
+    true
+    (contains e "circuit breaker");
+  let s = Server.batch_stats server in
+  Alcotest.(check int) "the fast-fail never reached the server" 2
+    s.Server.shed;
+  Alcotest.(check string) "reads bypass the breaker" (Engine.root_hash engine)
+    (ok (Client.root_hash c));
+  (* cooldown elapses; the half-open probe hits a still-shedding
+     server and re-opens the breaker *)
+  clock := !clock +. 11.0;
+  let e = must_fail "failed probe" in
+  Alcotest.(check bool)
+    ("the probe reached the server, got: " ^ e)
+    true (contains e "overloaded");
+  Alcotest.(check bool) "failed probe re-opens" true
+    (Client.breaker_state c = `Open);
+  (* next cooldown: the server has recovered; the probe succeeds and
+     the breaker closes *)
+  Server.set_admission ~max_queue_ops:512 server;
+  clock := !clock +. 11.0;
+  ignore (ok (Client.insert c ~table:"stock" [| Value.Int 2; Value.Int 20 |]));
+  Alcotest.(check bool) "successful probe closes the breaker" true
+    (Client.breaker_state c = `Closed);
+  ignore (ok (Client.insert c ~table:"stock" [| Value.Int 3; Value.Int 30 |]));
+  Client.close c
+
+(* Drain: a draining server refuses new writes with the terminal
+   shutting-down error (not the retryable overload), keeps serving
+   reads and health probes, and quiesces. *)
+let test_drain_refuses_writes () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let c = make_client server in
+  ok (Client.authenticate c alice);
+  ignore (ok (Client.insert c ~table:"stock" [| Value.Int 1; Value.Int 10 |]));
+  Server.begin_drain server;
+  (match Client.insert c ~table:"stock" [| Value.Int 2; Value.Int 20 |] with
+  | Ok _ -> Alcotest.fail "draining server accepted a write"
+  | Error e ->
+      Alcotest.(check bool)
+        ("terminal shutting-down error, got: " ^ e)
+        true (contains e "draining"));
+  Alcotest.(check string) "reads stay up during the drain"
+    (Engine.root_hash engine)
+    (ok (Client.root_hash c));
+  let h = ok (Client.ping c) in
+  Alcotest.(check bool) "pong reports the drain" true
+    (h.Client.draining && not h.Client.ready);
+  Alcotest.(check bool) "quiesce settles" true (Server.quiesce ~timeout:2. server);
+  Alcotest.(check int) "no write leaked past the drain" 1 (stock_rows engine);
+  Client.close c
+
+(* Connection dropped mid-submit, over a real socket: the crash
+   failpoint kills the server side of the connection on the next bytes
+   it reads, so the client's write is in flight when the transport
+   dies.  The client must transparently reconnect, re-authenticate and
+   replay the idempotent write — exactly once. *)
+let test_reconnect_replays_dropped_submit () =
+  let engine, _, _, alice, _ = make_env () in
+  let server = make_server engine alice in
+  let path = Filename.temp_file "tep_service_drop" ".sock" in
+  Sys.remove path;
+  let stop = Stdlib.Atomic.make false in
+  let th = Thread.create (fun () -> Server.serve_unix server ~path ~stop) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.reset ();
+      Stdlib.Atomic.set stop true;
+      Thread.join th;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let c =
+        ok
+          (Client.connect_unix
+             ~drbg:(Tep_crypto.Drbg.create ~seed:"drop-client")
+             path)
+      in
+      ok (Client.authenticate c alice);
+      ignore
+        (ok (Client.insert c ~table:"stock" [| Value.Int 1; Value.Int 10 |]));
+      Fault.reset ();
+      Fault.arm "wire.server.read" Fault.Crash_point;
+      let row, _, _ = ok (Client.submit_idem c ~rid:"drop-0" (op_insert 2 20)) in
+      Fault.reset ();
+      Alcotest.(check bool) "replayed insert returns a row" true (row <> None);
+      Alcotest.(check int) "exactly once across the drop" 2 (stock_rows engine);
+      (* the replayed session is fully usable *)
+      Alcotest.(check string) "root hash after the replay"
+        (Engine.root_hash engine)
+        (ok (Client.root_hash c));
+      Client.close c)
+
+(* Regression for the capacity-accounting leak: every connection exit
+   path — clean close, over-capacity rejection, handler death — must
+   return its slot, so the active gauge settles back to zero and the
+   capacity stays usable. *)
+let test_capacity_returns_to_zero () =
+  let engine, _, _, alice, _ = make_env () in
+  let server =
+    Server.create ~max_connections:2
+      ~drbg:(Tep_crypto.Drbg.create ~seed:"cap0-server")
+      ~participants:[ ("alice", alice) ]
+      engine
+  in
+  let path = Filename.temp_file "tep_service_cap0" ".sock" in
+  Sys.remove path;
+  let stop = Stdlib.Atomic.make false in
+  let th = Thread.create (fun () -> Server.serve_unix server ~path ~stop) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Stdlib.Atomic.set stop true;
+      Thread.join th;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let connect seed =
+        ok (Client.connect_unix ~drbg:(Tep_crypto.Drbg.create ~seed) path)
+      in
+      (* a freed slot may take a beat to release: retry the connect *)
+      let rec auth_connect seed n =
+        let c = connect (Printf.sprintf "%s-%d" seed n) in
+        match Client.authenticate c alice with
+        | Ok () -> c
+        | Error e ->
+            Client.close c;
+            if n = 0 then Alcotest.fail ("no capacity: " ^ e)
+            else begin
+              Thread.delay 0.05;
+              auth_connect seed (n - 1)
+            end
+      in
+      for round = 0 to 2 do
+        let c1 = auth_connect (Printf.sprintf "cap0-a%d" round) 100 in
+        let c2 = auth_connect (Printf.sprintf "cap0-b%d" round) 100 in
+        (* both slots held: the next connection is rejected — and its
+           rejection must not consume a slot *)
+        let c3 = connect (Printf.sprintf "cap0-c%d" round) in
+        (match Client.authenticate c3 alice with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "over-capacity connection accepted");
+        Client.close c3;
+        Client.close c2;
+        Client.close c1
+      done;
+      let rec settle n =
+        if Server.active_connections server = 0 then ()
+        else if n = 0 then
+          Alcotest.failf "connection slots leaked: %d still held"
+            (Server.active_connections server)
+        else begin
+          Thread.delay 0.05;
+          settle (n - 1)
+        end
+      in
+      settle 100;
+      (* the freed capacity is actually usable *)
+      let c = auth_connect "cap0-final" 100 in
+      Client.close c)
+
 let () =
   Alcotest.run "service"
     [
@@ -914,5 +1248,23 @@ let () =
             test_group_commit_wal_failure_atomic;
           Alcotest.test_case "retry jitter" `Quick
             test_retry_jitter_deterministic;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "duplicate request id" `Quick
+            test_duplicate_request_id;
+          Alcotest.test_case "duplicate rid in one batch" `Quick
+            test_duplicate_rid_in_one_batch;
+          Alcotest.test_case "wal failure typed + counted" `Quick
+            test_wal_failure_typed_and_counted;
+          Alcotest.test_case "admission shedding" `Quick
+            test_admission_shed_and_recover;
+          Alcotest.test_case "circuit breaker" `Quick test_circuit_breaker;
+          Alcotest.test_case "drain refuses writes" `Quick
+            test_drain_refuses_writes;
+          Alcotest.test_case "reconnect replays dropped submit" `Quick
+            test_reconnect_replays_dropped_submit;
+          Alcotest.test_case "capacity returns to zero" `Quick
+            test_capacity_returns_to_zero;
         ] );
     ]

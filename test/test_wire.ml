@@ -227,6 +227,15 @@ let sample_requests =
     Message.Checkpoint;
     Message.Root_hash;
     Message.Stats;
+    Message.Submit_idem
+      {
+        rid = "f0e1d2c3b4a59687";
+        op = Message.Op_insert { table = "stock"; cells = [| Value.Int 1 |] };
+      };
+    Message.Submit_idem
+      { rid = ""; op = Message.Op_delete { table = "stock"; row = 2 } };
+    Message.Checkpoint_idem { rid = "retry \x00 me" };
+    Message.Ping;
   ]
 
 let sample_responses =
@@ -249,6 +258,34 @@ let sample_responses =
       { batches = 0; ops = 0; sign_wall_us = 0; sign_cpu_us = 0 };
     Message.Error_resp { code = Message.Auth_required; message = "who?" };
     Message.Error_resp { code = Message.Failed; message = "" };
+    Message.Error_resp { code = Message.Wal_failed; message = "wal: fsync" };
+    Message.Error_resp { code = Message.Shutting_down; message = "draining" };
+    Message.Pong
+      {
+        ready = true;
+        draining = false;
+        active = 3;
+        queued_ops = 17;
+        batches = 128;
+        ops = 512;
+        dedup_hits = 9;
+        wal_failures = 1;
+        shed = 40;
+      };
+    Message.Pong
+      {
+        ready = false;
+        draining = true;
+        active = 0;
+        queued_ops = 0;
+        batches = 0;
+        ops = 0;
+        dedup_hits = 0;
+        wal_failures = 0;
+        shed = 0;
+      };
+    Message.Overloaded_resp { retry_after_ms = 25; message = "queue full" };
+    Message.Overloaded_resp { retry_after_ms = 0; message = "" };
   ]
 
 let test_request_roundtrip () =

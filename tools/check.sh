@@ -30,6 +30,9 @@ TEP_SCALE=smoke TEP_BENCH_JSON=0 dune exec bench/main.exe -- serve
 echo "== serve-pipeline (pipelined-load gate) =="
 TEP_SCALE=smoke TEP_BENCH_JSON=0 dune exec bench/main.exe -- serve-pipeline
 
+echo "== chaos (network fault soak) =="
+TEP_CHAOS_SEED="${TEP_CHAOS_SEED:-tep-chaos-0}" dune exec test/test_chaos.exe
+
 echo "== serve-smoke (scripted provdbd session) =="
 PROVDB=_build/default/bin/provdb.exe
 PROVDBD=_build/default/bin/provdbd.exe
@@ -60,7 +63,29 @@ wait_for_socket
 "$PROVDB" remote insert "$ws" --as alice --table stock --values 'WIDGET-1,100'
 "$PROVDB" remote query "$ws" --as alice > /dev/null
 "$PROVDB" remote verify "$ws" --as alice
-# clean shutdown persists the workspace
+
+# SIGTERM drain: the daemon must stop accepting, finish in-flight
+# batches, checkpoint, and exit 0 — and a restarted daemon must come
+# back with the same root hash it drained with.
+root_before=$("$PROVDB" remote root-hash "$ws" --as alice)
+kill -TERM "$daemon_pid"
+drain_status=0
+wait "$daemon_pid" || drain_status=$?
+if [ "$drain_status" -ne 0 ]; then
+  echo "FAIL: SIGTERM drain exited $drain_status, expected 0"
+  exit 1
+fi
+daemon_pid=
+"$PROVDBD" "$ws" & daemon_pid=$!
+wait_for_socket
+root_after=$("$PROVDB" remote root-hash "$ws" --as alice)
+if [ "$root_before" != "$root_after" ]; then
+  echo "FAIL: root hash changed across SIGTERM drain + restart"
+  echo "  before: $root_before"
+  echo "  after:  $root_after"
+  exit 1
+fi
+echo "drain: SIGTERM exited 0, root hash stable across restart"
 kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 
