@@ -247,6 +247,9 @@ let run_micro () =
   Buffer.add_string buf
     (Printf.sprintf "  \"scale\": %g,\n  \"rsa_bits\": %d,\n"
        cfg.Experiments.scale cfg.Experiments.rsa_bits);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_cores\": %d,\n  \"shards\": 1,\n"
+       (Domain.recommended_domain_count ()));
   Buffer.add_string buf "  \"benchmarks\": [\n";
   List.iteri
     (fun i (name, ns) ->
@@ -459,8 +462,9 @@ let run_parallel () =
     (fun i (domains, seconds, rps, speedup, identical) ->
       Buffer.add_string buf
         (Printf.sprintf
-           "    { \"domains\": %d, \"seconds\": %.6f, \"records_per_s\": \
-            %.1f, \"speedup_vs_1\": %.3f, \"report_identical\": %b }%s\n"
+           "    { \"domains\": %d, \"shards\": 1, \"seconds\": %.6f, \
+            \"records_per_s\": %.1f, \"speedup_vs_1\": %.3f, \
+            \"report_identical\": %b }%s\n"
            domains seconds rps speedup identical
            (if i = List.length points - 1 then "" else ",")))
     points;
@@ -473,9 +477,10 @@ let run_parallel () =
     (fun i (domains, seconds, rps, speedup, sign_s, sign_cpu_s, identical) ->
       Buffer.add_string buf
         (Printf.sprintf
-           "    { \"domains\": %d, \"seconds\": %.6f, \"records_per_s\": \
-            %.1f, \"speedup_vs_1\": %.3f, \"sign_wall_s\": %.6f, \
-            \"sign_cpu_s\": %.6f, \"stream_identical\": %b }%s\n"
+           "    { \"domains\": %d, \"shards\": 1, \"seconds\": %.6f, \
+            \"records_per_s\": %.1f, \"speedup_vs_1\": %.3f, \
+            \"sign_wall_s\": %.6f, \"sign_cpu_s\": %.6f, \
+            \"stream_identical\": %b }%s\n"
            domains seconds rps speedup sign_s sign_cpu_s identical
            (if i = List.length sign_points - 1 then "" else ",")))
     sign_points;
@@ -822,6 +827,9 @@ let run_serve () =
        \  \"pipeline_window\": %d,\n"
        cfg.Experiments.scale cfg.Experiments.rsa_bits requests window);
   Buffer.add_string buf
+    (Printf.sprintf "  \"host_cores\": %d,\n  \"shards\": 1,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buf
     (Printf.sprintf
        "  \"tamper_detected_over_wire\": %b,\n\
        \  \"reports_byte_identical\": %b,\n"
@@ -833,8 +841,9 @@ let run_serve () =
     (fun i (name, clients, seconds, rps, p50, p95) ->
       Buffer.add_string buf
         (Printf.sprintf
-           "    { \"transport\": \"%s\", \"clients\": %d, \"seconds\": %.6f, \
-            \"requests_per_s\": %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f }%s\n"
+           "    { \"transport\": \"%s\", \"clients\": %d, \"shards\": 1, \
+            \"seconds\": %.6f, \"requests_per_s\": %.1f, \"p50_ms\": %.3f, \
+            \"p95_ms\": %.3f }%s\n"
            (json_escape name) clients seconds rps p50 p95
            (if i = List.length points - 1 then "" else ",")))
     points;
@@ -979,6 +988,245 @@ let run_serve_pipeline () =
   Printf.printf
     "serve-pipeline: reports byte-identical, tampering detected under \
      pipelined load\n"
+
+(* ------------------------------------------------------------------ *)
+(* Sharded write throughput                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Write-throughput sweep over 1/2/4/8-shard deployments: one
+   pipelined client per shard, each streaming inserts into a table the
+   routing hash places on its shard, so every write is single-shard
+   and the points measure exactly what sharding buys — fully
+   concurrent per-shard group commits instead of one serialized
+   batcher.
+
+   Each point doubles as a determinism gate: one client per shard
+   means each shard's commit order is that client's program order, so
+   the same per-shard op streams re-executed serially on fresh engines
+   must land on a byte-identical Merkle root-of-roots.  Exit 1 on any
+   mismatch (the sharded acceptance bar). *)
+let run_shard () =
+  let cfg = Experiments.config_of_env () in
+  Printf.printf "## shard — write throughput scaling across shard counts\n";
+  let module Server = Tep_server.Server in
+  let module Client = Tep_client.Client in
+  let module Merkle = Tep_tree.Merkle in
+  let table_for_shard ~shards k =
+    let rec go i =
+      let name = Printf.sprintf "t%d" i in
+      if Shards.shard_of_table ~shards name = k then name else go (i + 1)
+    in
+    go 0
+  in
+  let requests =
+    if cfg.Experiments.scale <= 0.02 then 25
+    else max 50 (int_of_float (500. *. cfg.Experiments.scale))
+  in
+  let window = 8 in
+  let host_cores = Domain.recommended_domain_count () in
+  let percentile p lats =
+    match lats with
+    | [] -> 0.
+    | _ ->
+        let a = Array.of_list lats in
+        Array.sort compare a;
+        let n = Array.length a in
+        let idx = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+        a.(max 0 (min (n - 1) idx))
+  in
+  (* fresh engines for a given shard count, sharing one PKI env *)
+  let make_engines nshards seed =
+    let env = Scenario.make_env ~seed () in
+    let alice =
+      Participant.create ~bits:cfg.Experiments.rsa_bits ~ca:env.Scenario.ca
+        ~name:"alice" env.Scenario.drbg
+    in
+    Participant.Directory.register env.Scenario.directory alice;
+    let engines =
+      Array.init nshards (fun k ->
+          let db = Database.create ~name:"shardbench" in
+          ignore
+            (Database.create_table db
+               ~name:(table_for_shard ~shards:nshards k)
+               (Schema.all_int [ "a"; "b" ]));
+          Engine.create ~directory:env.Scenario.directory db)
+    in
+    (engines, alice)
+  in
+  Printf.printf "host_cores=%d requests_per_client=%d window=%d\n" host_cores
+    requests window;
+  Printf.printf
+    "shards,clients,total_requests,seconds,requests_per_s,p50_ms,p95_ms,\
+     speedup_vs_1,root_matches_serial\n";
+  let base = ref None in
+  let all_match = ref true in
+  let points =
+    List.map
+      (fun nshards ->
+        let seed = Printf.sprintf "%s-shard-%d" cfg.Experiments.seed nshards in
+        let engines, alice = make_engines nshards seed in
+        let coord_file =
+          if nshards > 1 then Some (Filename.temp_file "tep_shard_bench" ".wal")
+          else None
+        in
+        let coord = Option.map Wal.open_file coord_file in
+        let server =
+          Server.create
+            ~drbg:(Tep_crypto.Drbg.create ~seed:(seed ^ "-srv"))
+            ~participants:[ ("alice", alice) ]
+            ~shards:
+              (List.tl (Array.to_list engines) |> List.map (fun e -> (e, None)))
+            ?coord engines.(0)
+        in
+        (* one pipelined client per shard, each on its own table *)
+        let merge_lock = Mutex.create () in
+        let all_lats = ref [] in
+        let errors = ref 0 in
+        let t0 = Unix.gettimeofday () in
+        let threads =
+          List.init nshards (fun ci ->
+              Thread.create
+                (fun () ->
+                  let table = table_for_shard ~shards:nshards ci in
+                  let c =
+                    Client.loopback
+                      ~drbg:
+                        (Tep_crypto.Drbg.create
+                           ~seed:(Printf.sprintf "%s-cli-%d" seed ci))
+                      server
+                  in
+                  match Client.authenticate c alice with
+                  | Error e ->
+                      Printf.eprintf "shard client %d: auth: %s\n" ci e;
+                      Mutex.lock merge_lock;
+                      incr errors;
+                      Mutex.unlock merge_lock;
+                      Client.close c
+                  | Ok () ->
+                      let lats = ref [] in
+                      let inflight = Queue.create () in
+                      let drain () =
+                        let cid, sent = Queue.pop inflight in
+                        match Client.collect_submitted c cid with
+                        | Ok _ ->
+                            lats := (Unix.gettimeofday () -. sent) :: !lats
+                        | Error e ->
+                            Printf.eprintf "shard client %d: collect: %s\n" ci
+                              e;
+                            Mutex.lock merge_lock;
+                            incr errors;
+                            Mutex.unlock merge_lock
+                      in
+                      for i = 0 to requests - 1 do
+                        (match
+                           Client.insert_async c ~table
+                             [| Value.Int ci; Value.Int i |]
+                         with
+                        | Ok cid ->
+                            Queue.push (cid, Unix.gettimeofday ()) inflight
+                        | Error e ->
+                            Printf.eprintf "shard client %d: submit: %s\n" ci e;
+                            Mutex.lock merge_lock;
+                            incr errors;
+                            Mutex.unlock merge_lock);
+                        if Queue.length inflight >= window then drain ()
+                      done;
+                      while not (Queue.is_empty inflight) do
+                        drain ()
+                      done;
+                      Client.close c;
+                      Mutex.lock merge_lock;
+                      all_lats := List.rev_append !lats !all_lats;
+                      Mutex.unlock merge_lock)
+                ())
+        in
+        List.iter Thread.join threads;
+        let seconds = Unix.gettimeofday () -. t0 in
+        if !errors > 0 then begin
+          Printf.eprintf "FAIL: %d request errors at %d shards\n" !errors
+            nshards;
+          exit 1
+        end;
+        (* serial re-execution: the same per-shard op streams, replayed
+           one shard at a time on fresh engines, must reproduce the
+           root-of-roots byte-for-byte *)
+        let sharded_root =
+          Merkle.root_of_roots
+            (Engine.algo engines.(0))
+            (Array.to_list (Array.map Engine.root_hash engines))
+        in
+        let serial_engines, serial_alice = make_engines nshards seed in
+        Array.iteri
+          (fun k eng ->
+            let table = table_for_shard ~shards:nshards k in
+            for i = 0 to requests - 1 do
+              match
+                Engine.insert_row eng serial_alice ~table
+                  [| Value.Int k; Value.Int i |]
+              with
+              | Ok _ -> ()
+              | Error e -> failwith ("shard bench: serial replay: " ^ e)
+            done)
+          serial_engines;
+        let serial_root =
+          Merkle.root_of_roots
+            (Engine.algo serial_engines.(0))
+            (Array.to_list (Array.map Engine.root_hash serial_engines))
+        in
+        let root_matches = sharded_root = serial_root in
+        if not root_matches then begin
+          all_match := false;
+          Printf.eprintf
+            "FAIL: %d-shard root-of-roots differs from serial re-execution\n"
+            nshards
+        end;
+        (match coord with Some w -> Wal.close w | None -> ());
+        (match coord_file with
+        | Some f -> ( try Sys.remove f with Sys_error _ -> ())
+        | None -> ());
+        if nshards = 1 then base := Some seconds;
+        (* same per-client workload at every point, so per-shard wall
+           time is comparable and aggregate throughput is the signal *)
+        let total = nshards * requests in
+        let rps = float_of_int total /. seconds in
+        let speedup =
+          match !base with
+          | Some b when b > 0. ->
+              rps /. (float_of_int requests /. b)
+          | _ -> 1.
+        in
+        let p50 = 1000. *. percentile 50. !all_lats in
+        let p95 = 1000. *. percentile 95. !all_lats in
+        Printf.printf "%d,%d,%d,%.4f,%.0f,%.2f,%.2f,%.2f,%b\n" nshards nshards
+          total seconds rps p50 p95 speedup root_matches;
+        (nshards, seconds, rps, p50, p95, speedup, root_matches))
+      [ 1; 2; 4; 8 ]
+  in
+  print_newline ();
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"shard\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"scale\": %g,\n  \"rsa_bits\": %d,\n  \"host_cores\": %d,\n\
+       \  \"requests_per_client\": %d,\n  \"pipeline_window\": %d,\n"
+       cfg.Experiments.scale cfg.Experiments.rsa_bits host_cores requests
+       window);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"all_roots_match_serial\": %b,\n" !all_match);
+  Buffer.add_string buf "  \"points\": [\n";
+  List.iteri
+    (fun i (nshards, seconds, rps, p50, p95, speedup, root_matches) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"shards\": %d, \"clients\": %d, \"seconds\": %.6f, \
+            \"requests_per_s\": %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \
+            \"speedup_vs_1\": %.3f, \"root_matches_serial\": %b }%s\n"
+           nshards nshards seconds rps p50 p95 speedup root_matches
+           (if i = List.length points - 1 then "" else ",")))
+    points;
+  Buffer.add_string buf "  ]\n}";
+  write_json "BENCH_shard.json" (Buffer.contents buf);
+  if not !all_match then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Figure/table harness                                                *)
@@ -1165,6 +1413,7 @@ let all =
     ("parallel", run_parallel);
     ("serve", run_serve);
     ("serve-pipeline", run_serve_pipeline);
+    ("shard", run_shard);
     ("micro", run_micro);
   ]
 

@@ -83,32 +83,46 @@ let parse_table_spec spec =
         | exception Failure e -> fail_usage "%s" e
       end
 
+(* Resolve a CLI target to the engine owning it (tables route to
+   shards by the stable hash) plus the oid inside that engine. *)
 let locate_oid ws ~table ~row ~col =
-  let m = Engine.mapping ws.engine in
   match (table, row, col) with
-  | None, None, None -> Ok (Engine.root_oid ws.engine)
-  | Some t, None, None -> (
-      match Tree_view.table_oid m t with
-      | Some o -> Ok o
-      | None -> fail_usage "no table %s" t)
-  | Some t, Some r, None -> (
-      match Tree_view.row_oid m t r with
-      | Some o -> Ok o
-      | None -> fail_usage "no row %d in %s" r t)
-  | Some t, Some r, Some c -> (
-      match Tree_view.cell_oid m t r c with
-      | Some o -> Ok o
-      | None -> fail_usage "no cell (%s, %d, %d)" t r c)
+  | None, None, None ->
+      if nshards ws = 1 then Ok (ws.engine, Engine.root_oid ws.engine)
+      else
+        fail_usage
+          "a sharded workspace has one root per shard; pass --table to pick one"
+  | Some t, row, col -> (
+      let e = engine_for_table ws t in
+      let m = Engine.mapping e in
+      match (row, col) with
+      | None, None -> (
+          match Tree_view.table_oid m t with
+          | Some o -> Ok (e, o)
+          | None -> fail_usage "no table %s" t)
+      | Some r, None -> (
+          match Tree_view.row_oid m t r with
+          | Some o -> Ok (e, o)
+          | None -> fail_usage "no row %d in %s" r t)
+      | Some r, Some c -> (
+          match Tree_view.cell_oid m t r c with
+          | Some o -> Ok (e, o)
+          | None -> fail_usage "no cell (%s, %d, %d)" t r c)
+      | None, Some _ -> fail_usage "--col requires --row")
   | _ -> fail_usage "--row/--col require --table"
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_init dir tables seed =
+let cmd_init dir tables seed shards =
   if Sys.file_exists (dir // "ca") then begin
     prerr_endline "error: workspace already initialised";
     exit_fail
+  end
+  else if shards < 1 || shards > 64 then begin
+    prerr_endline "error: --shards must be between 1 and 64";
+    exit_usage
   end
   else begin
     (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -122,14 +136,19 @@ let cmd_init dir tables seed =
     let directory =
       Participant.Directory.create ~ca_key:(Tep_crypto.Pki.ca_public_key ca)
     in
-    let db = Database.create ~name:(Filename.basename dir) in
+    (* one backend per shard; table specs route by the stable hash, so
+       every later session places each table on the same shard *)
+    let dbs =
+      Array.init shards (fun _ -> Database.create ~name:(Filename.basename dir))
+    in
     let rec add_tables = function
       | [] -> Ok ()
       | spec :: rest -> (
           match parse_table_spec spec with
           | Error f -> Error f
           | Ok (name, schema) -> (
-              match Database.create_table db ~name schema with
+              let k = Shards.shard_of_table ~shards name in
+              match Database.create_table dbs.(k) ~name schema with
               | Ok _ -> add_tables rest
               | Error e -> Error (Fail e)))
     in
@@ -138,12 +157,27 @@ let cmd_init dir tables seed =
         report_failure f;
         code_of_failure f
     | Ok () ->
-        let wal = Wal.open_file (wal_path dir) in
-        let engine = Engine.create ~wal ~pool:(pool ()) ~directory db in
-        let ws = { dir; ca; directory; participants = []; engine; wal } in
+        if shards > 1 then write_shards_meta dir shards;
+        let shard_arr =
+          Array.mapi
+            (fun k db ->
+              let sdir = shard_dir dir ~shards k in
+              if shards > 1 then (
+                try Unix.mkdir sdir 0o755
+                with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+              let wal = Wal.open_file (wal_path sdir) in
+              let engine = Engine.create ~wal ~pool:(pool ()) ~directory db in
+              { s_dir = sdir; s_engine = engine; s_wal = wal })
+            dbs
+        in
+        let coord =
+          if shards > 1 then Some (Wal.open_file (coord_path dir)) else None
+        in
+        let ws = make ~dir ~ca ~directory ~participants:[] ~coord shard_arr in
         save ws;
-        Printf.printf "initialised %s with %d table(s)\n" dir
-          (List.length tables);
+        Printf.printf "initialised %s with %d table(s)%s\n" dir
+          (List.length tables)
+          (if shards > 1 then Printf.sprintf " across %d shards" shards else "");
         exit_ok
   end
 
@@ -187,17 +221,18 @@ let cmd_insert dir as_ table values =
       match get_participant ws as_ with
       | Error f -> Error f
       | Ok p -> (
-          match Database.get_table (Engine.backend ws.engine) table with
+          let e = engine_for_table ws table in
+          match Database.get_table (Engine.backend e) table with
           | None -> fail_usage "no table %s" table
           | Some tbl -> (
               match parse_cells tbl values with
               | Error f -> Error f
               | Ok cells -> (
-                  match Engine.insert_row ws.engine p ~table cells with
+                  match Engine.insert_row e p ~table cells with
                   | Ok row ->
                       Ok
                         (Printf.sprintf "inserted row %d (%d records)" row
-                           (Engine.last_metrics ws.engine).Engine.records_emitted)
+                           (Engine.last_metrics e).Engine.records_emitted)
                   | Error e -> fail "%s" e))))
 
 let cmd_update dir as_ table row column value =
@@ -205,7 +240,8 @@ let cmd_update dir as_ table row column value =
       match get_participant ws as_ with
       | Error f -> Error f
       | Ok p -> (
-          match Database.get_table (Engine.backend ws.engine) table with
+          let e = engine_for_table ws table in
+          match Database.get_table (Engine.backend e) table with
           | None -> fail_usage "no table %s" table
           | Some tbl -> (
               match Schema.column_index (Table.schema tbl) column with
@@ -215,14 +251,12 @@ let cmd_update dir as_ table row column value =
                   match parse_value ty value with
                   | Error f -> Error f
                   | Ok v -> (
-                      match
-                        Engine.update_cell ws.engine p ~table ~row ~col v
-                      with
+                      match Engine.update_cell e p ~table ~row ~col v with
                       | Ok () ->
                           Ok
                             (Printf.sprintf "updated %s[%d].%s (%d records)"
                                table row column
-                               (Engine.last_metrics ws.engine).Engine.records_emitted)
+                               (Engine.last_metrics e).Engine.records_emitted)
                       | Error e -> fail "%s" e)))))
 
 let cmd_delete dir as_ table row =
@@ -230,44 +264,81 @@ let cmd_delete dir as_ table row =
       match get_participant ws as_ with
       | Error f -> Error f
       | Ok p -> (
-          match Engine.delete_row ws.engine p ~table row with
+          let e = engine_for_table ws table in
+          match Engine.delete_row e p ~table row with
           | Ok () ->
               Ok
                 (Printf.sprintf "deleted %s[%d] (%d inherited records)" table
                    row
-                   (Engine.last_metrics ws.engine).Engine.records_emitted)
+                   (Engine.last_metrics e).Engine.records_emitted)
           | Error e -> fail "%s" e))
 
 let cmd_verify dir table row col =
   with_workspace ~save_after:false dir (fun ws ->
-      match locate_oid ws ~table ~row ~col with
-      | Error f -> Error f
-      | Ok oid -> (
-          match Engine.verify_object ws.engine oid with
-          | Error e -> fail "%s" e
-          | Ok report ->
-              (* With no target narrowing, additionally audit every
-                 stored record (catches corruption in chains that are
-                 not part of the root's provenance object). *)
-              let audit =
-                if table = None then
-                  Verifier.verify_records ~pool:(pool ())
-                    ~algo:(Engine.algo ws.engine) ~directory:ws.directory
-                    (Provstore.all (Engine.provstore ws.engine))
-                else report
-              in
-              Format.printf "%a@." Verifier.pp_report report;
-              if table = None && not (Verifier.ok audit) then
-                Format.printf "store audit: %a@." Verifier.pp_report audit;
-              if Verifier.ok report && Verifier.ok audit then Ok ""
-              else fail_verify "verification failed"))
+      match table with
+      | None when row <> None || col <> None ->
+          fail_usage "--row/--col require --table"
+      | Some _ -> (
+          match locate_oid ws ~table ~row ~col with
+          | Error f -> Error f
+          | Ok (e, oid) -> (
+              match Engine.verify_object e oid with
+              | Error e -> fail "%s" e
+              | Ok report ->
+                  Format.printf "%a@." Verifier.pp_report report;
+                  if Verifier.ok report then Ok ""
+                  else fail_verify "verification failed"))
+      | None -> (
+          (* Whole database: verify every shard's root object and
+             additionally audit every stored record (catches corruption
+             in chains that are not part of any root's provenance
+             object). *)
+          let all_ok = ref true in
+          let outcome = ref (Ok ()) in
+          Array.iteri
+            (fun k s ->
+              if !outcome = Ok () then begin
+                let label =
+                  if nshards ws = 1 then "" else Printf.sprintf "shard %d: " k
+                in
+                if
+                  nshards ws > 1
+                  && Provstore.record_count (Engine.provstore s.s_engine) = 0
+                  && Database.total_rows (Engine.backend s.s_engine) = 0
+                then
+                  (* the shard never received a write: nothing is
+                     signed, so there is nothing to verify — the same
+                     objects simply would not exist in a serial run *)
+                  Format.printf "%sVERIFIED: empty shard@." label
+                else
+                match
+                  Engine.verify_object s.s_engine (Engine.root_oid s.s_engine)
+                with
+                | Error e -> outcome := fail "%s%s" label e
+                | Ok report ->
+                    let audit =
+                      Verifier.verify_records ~pool:(pool ())
+                        ~algo:(Engine.algo s.s_engine) ~directory:ws.directory
+                        (Provstore.all (Engine.provstore s.s_engine))
+                    in
+                    Format.printf "%s%a@." label Verifier.pp_report report;
+                    if not (Verifier.ok audit) then
+                      Format.printf "%sstore audit: %a@." label
+                        Verifier.pp_report audit;
+                    if not (Verifier.ok report && Verifier.ok audit) then
+                      all_ok := false
+              end)
+            ws.shards;
+          match !outcome with
+          | Error _ as e -> e
+          | Ok () -> if !all_ok then Ok "" else fail_verify "verification failed"))
 
 let cmd_show dir table row col dot =
   with_workspace ~save_after:false dir (fun ws ->
       match locate_oid ws ~table ~row ~col with
       | Error f -> Error f
-      | Ok oid -> (
-          match Engine.deliver ws.engine oid with
+      | Ok (e, oid) -> (
+          match Engine.deliver e oid with
           | Error e -> fail "%s" e
           | Ok (_, records) ->
               if dot then print_string (Dag.to_dot (Dag.build records))
@@ -277,43 +348,63 @@ let cmd_show dir table row col dot =
 
 let cmd_stats dir =
   with_workspace ~save_after:false dir (fun ws ->
-      let prov = Engine.provstore ws.engine in
-      let db = Engine.backend ws.engine in
-      Printf.printf "tables:              %s\n"
-        (String.concat ", " (Database.table_names db));
-      Printf.printf "rows:                %d\n" (Database.total_rows db);
+      let sum f = Array.fold_left (fun acc s -> acc + f s) 0 ws.shards in
+      let tables =
+        List.concat_map
+          (fun s -> Database.table_names (Engine.backend s.s_engine))
+          (Array.to_list ws.shards)
+      in
+      if nshards ws > 1 then
+        Printf.printf "shards:              %d\n" (nshards ws);
+      Printf.printf "tables:              %s\n" (String.concat ", " tables);
+      Printf.printf "rows:                %d\n"
+        (sum (fun s -> Database.total_rows (Engine.backend s.s_engine)));
       Printf.printf "tree nodes:          %d\n"
-        (Forest.node_count (Engine.forest ws.engine));
+        (sum (fun s -> Forest.node_count (Engine.forest s.s_engine)));
       Printf.printf "participants:        %s\n"
         (String.concat ", " (List.map fst ws.participants));
-      Printf.printf "provenance records:  %d\n" (Provstore.record_count prov);
-      Printf.printf "objects tracked:     %d\n" (Provstore.object_count prov);
+      Printf.printf "provenance records:  %d\n"
+        (sum (fun s -> Provstore.record_count (Engine.provstore s.s_engine)));
+      Printf.printf "objects tracked:     %d\n"
+        (sum (fun s -> Provstore.object_count (Engine.provstore s.s_engine)));
       Printf.printf "checksum bytes:      %d (paper schema)\n"
-        (Provstore.paper_space_bytes prov);
+        (sum (fun s -> Provstore.paper_space_bytes (Engine.provstore s.s_engine)));
       Printf.printf "root hash:           %s\n"
-        (Tep_crypto.Digest_algo.to_hex (Engine.root_hash ws.engine));
+        (Tep_crypto.Digest_algo.to_hex (published_root ws));
       Ok "")
 
 let cmd_tamper dir attack =
   with_workspace ~save_after:(attack = "data") dir (fun ws ->
       match attack with
       | "data" -> (
-          (* mutate a cell behind the engine's back *)
-          let forest = Engine.forest ws.engine in
-          let victim =
+          (* mutate a cell behind the engine's back, in whichever
+             shard holds one *)
+          let find_victim s =
+            let forest = Engine.forest s.s_engine in
             List.concat_map
               (fun r -> Forest.children forest r)
               (Forest.roots forest)
             |> List.concat_map (fun t -> Forest.children forest t)
             |> List.concat_map (fun r -> Forest.children forest r)
+            |> function
+            | cell :: _ -> Some (forest, cell)
+            | [] -> None
           in
-          match victim with
-          | cell :: _ ->
+          match List.find_map find_victim (Array.to_list ws.shards) with
+          | Some (forest, cell) ->
               ignore (Forest.update forest cell (Value.Text "TAMPERED"));
               Ok "silently modified one cell; run `provdb verify` to see detection"
-          | [] -> fail "no cells to tamper with")
+          | None -> fail "no cells to tamper with")
       | "provenance" ->
-          let path = ws.dir // "prov.dat" in
+          (* corrupt the fattest shard's store, so there is something
+             to flip even when other shards are empty *)
+          let path =
+            Array.to_list ws.shards
+            |> List.map (fun s -> s.s_dir // "prov.dat")
+            |> List.sort (fun a b ->
+                   compare (Unix.stat b).Unix.st_size (Unix.stat a).Unix.st_size)
+            |> List.hd
+          in
           let s = Bytes.of_string (read_file path) in
           let mid = Bytes.length s - 20 in
           Bytes.set s mid
@@ -326,8 +417,8 @@ let cmd_export dir table row col deep out =
   with_workspace ~save_after:false dir (fun ws ->
       match locate_oid ws ~table ~row ~col with
       | Error f -> Error f
-      | Ok oid -> (
-          match Bundle.create ~deep ws.engine oid with
+      | Ok (e, oid) -> (
+          match Bundle.create ~deep e oid with
           | Error e -> fail "%s" e
           | Ok b -> (
               match Bundle.save b out with
@@ -377,46 +468,65 @@ let cmd_ca_key dir =
 
 let cmd_audit dir =
   with_workspace ~save_after:false dir (fun ws ->
-      let ckpt_path = ws.dir // "audit.ckpt" in
-      let cp =
-        if Sys.file_exists ckpt_path then
-          match Audit.of_string (read_file ckpt_path) with
-          | Ok cp -> cp
-          | Error _ -> Audit.empty
-        else Audit.empty
-      in
-      let report, cp', examined =
-        Audit.incremental_audit ~pool:(pool ())
-          ~algo:(Engine.algo ws.engine) ~directory:ws.directory cp
-          (Engine.provstore ws.engine)
-      in
-      Format.printf "%a@." Verifier.pp_report report;
+      (* one audit checkpoint per shard, living in the shard's own
+         directory (the workspace root for a 1-shard layout) *)
+      let all_ok = ref true in
+      let examined_total = ref 0 in
+      let objects_total = ref 0 in
+      Array.iteri
+        (fun k s ->
+          let label =
+            if nshards ws = 1 then "" else Printf.sprintf "shard %d: " k
+          in
+          let ckpt_path = s.s_dir // "audit.ckpt" in
+          let cp =
+            if Sys.file_exists ckpt_path then
+              match Audit.of_string (read_file ckpt_path) with
+              | Ok cp -> cp
+              | Error _ -> Audit.empty
+            else Audit.empty
+          in
+          let report, cp', examined =
+            Audit.incremental_audit ~pool:(pool ())
+              ~algo:(Engine.algo s.s_engine) ~directory:ws.directory cp
+              (Engine.provstore s.s_engine)
+          in
+          Format.printf "%s%a@." label Verifier.pp_report report;
+          examined_total := !examined_total + examined;
+          objects_total := !objects_total + Audit.objects cp';
+          write_file ckpt_path (Audit.to_string cp');
+          if not (Verifier.ok report) then all_ok := false)
+        ws.shards;
       Printf.printf "examined %d new record(s); checkpoint covers %d object(s)\n"
-        examined (Audit.objects cp');
-      write_file ckpt_path (Audit.to_string cp');
-      if Verifier.ok report then Ok "" else fail_verify "audit failed")
+        !examined_total !objects_total;
+      if !all_ok then Ok "" else fail_verify "audit failed")
 
 let cmd_prune dir =
   with_workspace ~save_after:false dir (fun ws ->
-      let prov = Engine.provstore ws.engine in
-      let before = Provstore.record_count prov in
-      let live = ref [] in
-      List.iter
-        (fun root ->
-          Forest.iter_preorder (Engine.forest ws.engine) root (fun o _ ->
-              live := o :: !live))
-        (Forest.roots (Engine.forest ws.engine));
-      let pruned = Provstore.prune prov ~live:!live in
-      (* swap in the pruned store by persisting it; the engine in this
-         process keeps the old one, so just write and report *)
-      write_file (ws.dir // "prov.dat") (Provstore.to_string pruned);
+      let before_total = ref 0 in
+      let after_total = ref 0 in
+      Array.iter
+        (fun s ->
+          let prov = Engine.provstore s.s_engine in
+          before_total := !before_total + Provstore.record_count prov;
+          let live = ref [] in
+          List.iter
+            (fun root ->
+              Forest.iter_preorder (Engine.forest s.s_engine) root (fun o _ ->
+                  live := o :: !live))
+            (Forest.roots (Engine.forest s.s_engine));
+          let pruned = Provstore.prune prov ~live:!live in
+          (* swap in the pruned store by persisting it; the engine in
+             this process keeps the old one, so just write and report *)
+          write_file (s.s_dir // "prov.dat") (Provstore.to_string pruned);
+          after_total := !after_total + Provstore.record_count pruned)
+        ws.shards;
       (* prevent the outer save from clobbering prov.dat *)
       Ok
         (Printf.sprintf
            "pruned %d -> %d records (%d bytes reclaimed in paper schema)"
-           before
-           (Provstore.record_count pruned)
-           ((before - Provstore.record_count pruned) * Provstore.paper_row_bytes)))
+           !before_total !after_total
+           ((!before_total - !after_total) * Provstore.paper_row_bytes)))
 
 (* Tiny predicate parser: conjunctions of comparisons,
    e.g. "qty > 50 and sku = WIDGET-1" *)
@@ -482,7 +592,8 @@ let parse_predicate schema input =
 
 let cmd_select dir table where blame =
   with_workspace ~save_after:false dir (fun ws ->
-      match Database.get_table (Engine.backend ws.engine) table with
+      let e = engine_for_table ws table in
+      match Database.get_table (Engine.backend e) table with
       | None -> fail_usage "no table %s" table
       | Some tbl -> (
           let schema = Table.schema tbl in
@@ -503,13 +614,11 @@ let cmd_select dir table where blame =
                     else
                       let writer =
                         match
-                          Tree_view.row_oid (Engine.mapping ws.engine) table
-                            r.Table.id
+                          Tree_view.row_oid (Engine.mapping e) table r.Table.id
                         with
                         | None -> None
                         | Some oid ->
-                            Prov_query.last_writer
-                              (Engine.provstore ws.engine) oid
+                            Prov_query.last_writer (Engine.provstore e) oid
                       in
                       " | " ^ Option.value ~default:"-" writer
                   in
@@ -530,17 +639,37 @@ let cmd_select dir table where blame =
 
 let cmd_checkpoint dir keep =
   with_workspace ~save_after:false dir (fun ws ->
-      match
-        Recovery.checkpoint ?keep ~dir:(ckpt_dir ws.dir) ~wal:ws.wal ws.engine
-      with
-      | Error e -> fail "%s" e
-      | Ok gen ->
-          Ok
-            (Printf.sprintf
-               "wrote checkpoint generation %d (lsn %d); %d generation(s) \
-                retained"
-               gen (Wal.last_seq ws.wal)
-               (List.length (Recovery.generations ~dir:(ckpt_dir ws.dir)))))
+      let rec go k lines =
+        if k = nshards ws then Ok (List.rev lines)
+        else
+          let s = ws.shards.(k) in
+          match
+            Recovery.checkpoint ?keep ~dir:(ckpt_dir s.s_dir) ~wal:s.s_wal
+              s.s_engine
+          with
+          | Error e -> fail "%s" e
+          | Ok gen ->
+              let label =
+                if nshards ws = 1 then "" else Printf.sprintf "shard %d: " k
+              in
+              go (k + 1)
+                (Printf.sprintf
+                   "%swrote checkpoint generation %d (lsn %d); %d \
+                    generation(s) retained"
+                   label gen (Wal.last_seq s.s_wal)
+                   (List.length (Recovery.generations ~dir:(ckpt_dir s.s_dir)))
+                 :: lines)
+      in
+      match go 0 [] with
+      | Error f -> Error f
+      | Ok lines ->
+          (* every shard WAL is truncated, so no Prepare survives and
+             the coordinator's decisions carry no live information *)
+          (match ws.coord with
+          | None -> ()
+          | Some coord ->
+              ignore (Wal.truncate coord ~upto:(Wal.last_seq coord)));
+          Ok (String.concat "\n" lines))
 
 (* Rebuild the workspace from the newest valid checkpoint generation
    plus the WAL tail — the path to take after a crash, or after
@@ -551,21 +680,47 @@ let cmd_recover dir =
       report_failure f;
       code_of_failure f
   | Ok (ca, directory, participants) -> (
-      match
-        (* Workspace.save below writes the post-recovery checkpoint,
-           so recover itself need not *)
-        Recovery.recover ~final_checkpoint:false ~pool:(pool ())
-          ~dir:(ckpt_dir dir) ~wal_path:(wal_path dir) ~directory ()
-      with
+      let n = shard_count dir in
+      (* the coordinator log resolves prepared-but-unmarked cross-shard
+         transactions: decided ⇒ commit, undecided ⇒ roll back *)
+      let is_decided =
+        if n > 1 then Some (Shards.is_decided_from (coord_path dir)) else None
+      in
+      let rec go k acc =
+        if k = n then Ok (List.rev acc)
+        else
+          let sdir = shard_dir dir ~shards:n k in
+          match
+            (* Workspace.save below writes the post-recovery checkpoint,
+               so recover itself need not *)
+            Recovery.recover ~final_checkpoint:false ~pool:(pool ())
+              ?is_decided ~dir:(ckpt_dir sdir) ~wal_path:(wal_path sdir)
+              ~directory ()
+          with
+          | Error e ->
+              Error
+                (if n = 1 then e else Printf.sprintf "shard %d: %s" k e)
+          | Ok (engine, wal, report) ->
+              if n > 1 then Format.printf "shard %d:@." k;
+              Format.printf "%a@." Recovery.pp_report report;
+              go (k + 1)
+                (({ s_dir = sdir; s_engine = engine; s_wal = wal }, report)
+                 :: acc)
+      in
+      match go 0 [] with
       | Error e ->
           prerr_endline ("error: " ^ e);
           exit_fail
-      | Ok (engine, wal, report) ->
-          Format.printf "%a@." Recovery.pp_report report;
-          let ws = { dir; ca; directory; participants; engine; wal } in
+      | Ok pairs ->
+          let shards = Array.of_list (List.map fst pairs) in
+          let coord =
+            if n > 1 then Some (Wal.open_file (coord_path dir)) else None
+          in
+          let ws = make ~dir ~ca ~directory ~participants ~coord shards in
           save ws;
           print_endline "workspace files rewritten from recovered state";
-          if report.Recovery.hash_verified then exit_ok
+          if List.for_all (fun (_, r) -> r.Recovery.hash_verified) pairs then
+            exit_ok
           else begin
             prerr_endline
               "error: recovered root hash does not match committed \
@@ -745,6 +900,21 @@ let cmd_remote_root_hash dir socket host port as_ key =
       | Ok hash -> Ok (Tep_crypto.Digest_algo.to_hex hash)
       | Error f -> Error f)
 
+let cmd_remote_shard_stats dir socket host port as_ key =
+  with_remote dir socket host port as_ key (fun c ->
+      match lift_remote (Client.shard_stats c) with
+      | Error f -> Error f
+      | Ok stats ->
+          List.iteri
+            (fun k s ->
+              Printf.printf
+                "shard %d: batches=%d ops=%d queued=%d root_recomputes=%d \
+                 root_hits=%d\n"
+                k s.Message.ss_batches s.Message.ss_ops s.Message.ss_queued
+                s.Message.ss_root_recomputes s.Message.ss_root_hits)
+            stats;
+          Ok "")
+
 (* ------------------------------------------------------------------ *)
 (* Cmdliner plumbing                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -778,8 +948,15 @@ let init_cmd =
     Arg.(value & opt_all string [] & info [ "table" ] ~docv:"NAME:COL[@TYPE],...")
   in
   let seed = Arg.(value & opt (some string) None & info [ "seed" ]) in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:
+               "Partition the provenance forest into N shards (fixed at \
+                init; tables route to shards by a stable hash)")
+  in
   Cmd.v (Cmd.info "init" ~doc:"Create a workspace" ~exits)
-    Term.(const cmd_init $ dir_arg $ tables $ seed)
+    Term.(const cmd_init $ dir_arg $ tables $ seed $ shards)
 
 let participant_cmd =
   let pname = Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME") in
@@ -994,6 +1171,12 @@ let remote_cmd =
            ~exits)
         Term.(
           const cmd_remote_root_hash $ dir_arg $ socket_arg $ host_arg
+          $ port_arg $ as_arg $ key_arg);
+      Cmd.v
+        (Cmd.info "shard-stats"
+           ~doc:"Print per-shard batching and root-cache statistics" ~exits)
+        Term.(
+          const cmd_remote_shard_stats $ dir_arg $ socket_arg $ host_arg
           $ port_arg $ as_arg $ key_arg);
     ]
 

@@ -25,16 +25,33 @@ open Cmdliner
 open Workspace
 module Server = Tep_server.Server
 
-let run dir socket port =
+let run dir socket port shards_flag =
   match load dir with
   | Error f ->
       report_failure f;
       code_of_failure f
+  | Ok ws when
+      (match shards_flag with
+      | Some m -> m <> Array.length ws.shards
+      | None -> false) ->
+      Printf.eprintf
+        "error: workspace %s has %d shard(s), not %d (the shard count is \
+         fixed at `provdb init --shards`)\n"
+        dir (Array.length ws.shards)
+        (Option.get shards_flag);
+      exit_usage
   | Ok ws ->
+      let nshards = Array.length ws.shards in
+      (* shard 0 is the positional engine; the rest ride in ~shards,
+         each with its own checkpoint directory + WAL *)
+      let extra =
+        List.tl (Array.to_list ws.shards)
+        |> List.map (fun s -> (s.s_engine, Some (ckpt_dir s.s_dir, s.s_wal)))
+      in
       let server =
         Server.create ~pool:(pool ())
-          ~checkpoint:(ckpt_dir dir, ws.wal)
-          ~participants:ws.participants ws.engine
+          ~checkpoint:(ckpt_dir ws.shards.(0).s_dir, ws.wal)
+          ~shards:extra ?coord:ws.coord ~participants:ws.participants ws.engine
       in
       let stop = Atomic.make false in
       let signals = Atomic.make 0 in
@@ -66,10 +83,11 @@ let run dir socket port =
         | Some port ->
             [ Thread.create (fun () -> Server.serve_tcp server ~port ~stop) () ])
       in
-      Printf.printf "provdbd: listening on %s%s\n%!" sock
+      Printf.printf "provdbd: listening on %s%s%s\n%!" sock
         (match port with
         | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
-        | None -> "");
+        | None -> "")
+        (if nshards > 1 then Printf.sprintf " (%d shards)" nshards else "");
       List.iter Thread.join threads;
       (* the accept loops are gone; finish whatever the batcher still
          holds before checkpointing, so the saved generation contains
@@ -98,6 +116,14 @@ let () =
          & info [ "port" ] ~docv:"PORT"
              ~doc:"Additionally listen on 127.0.0.1:PORT")
   in
+  let shards =
+    Arg.(value & opt (some int) None
+         & info [ "shards" ] ~docv:"N"
+             ~doc:
+               "Assert the workspace shard count (informational: the \
+                on-disk layout from `provdb init --shards` is \
+                authoritative; a mismatch is an error)")
+  in
   let exits =
     Cmd.Exit.info exit_fail
       ~doc:"on operational errors (unloadable workspace, I/O failures)."
@@ -111,4 +137,4 @@ let () =
     Cmd.info "provdbd" ~version:"1.0.0" ~exits
       ~doc:"Networked daemon for tamper-evident database provenance"
   in
-  exit (Cmd.eval' (Cmd.v info Term.(const run $ dir $ socket $ port)))
+  exit (Cmd.eval' (Cmd.v info Term.(const run $ dir $ socket $ port $ shards)))

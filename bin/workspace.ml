@@ -3,19 +3,33 @@
 
    A workspace directory holds a backend database snapshot, the forest
    / oid mapping, the provenance store, the CA, participant
-   credentials, the WAL and checkpoint generations. *)
+   credentials, the WAL and checkpoint generations.
+
+   Sharded layout: a `shards` meta file at the workspace root records
+   the shard count N.  When absent (or 1) the workspace uses the
+   legacy flat layout — every data file directly under [dir].  When
+   N > 1, each shard k owns a `shard-00k/` subdirectory with its own
+   backend.snap / prov.dat / forest.dat / view.dat / wal.log /
+   checkpoints, while the CA, participant credentials and the
+   cross-shard coordinator log (`coord.wal`) stay at the root.  Tables
+   route to shards by {!Tep_core.Shards.shard_of_table}; the shard
+   count is fixed at init time (the routing hash is durable state). *)
 
 open Tep_store
 open Tep_tree
 open Tep_core
+
+type shard_ws = { s_dir : string; s_engine : Engine.t; s_wal : Wal.t }
 
 type t = {
   dir : string;
   ca : Tep_crypto.Pki.ca;
   directory : Participant.Directory.t;
   participants : (string * Participant.t) list;
-  engine : Engine.t;
-  wal : Wal.t;
+  engine : Engine.t; (* = shards.(0).s_engine, kept for 1-shard call sites *)
+  wal : Wal.t; (* = shards.(0).s_wal *)
+  shards : shard_ws array;
+  coord : Wal.t option; (* Some iff Array.length shards > 1 *)
 }
 
 let ( // ) = Filename.concat
@@ -62,11 +76,55 @@ let fail_verify fmt = Printf.ksprintf (fun s -> Error (Verify_failed s)) fmt
 let ckpt_dir dir = dir // "checkpoints"
 let wal_path dir = dir // "wal.log"
 let socket_path dir = dir // "provdbd.sock"
+let shards_meta_path dir = dir // "shards"
+let coord_path dir = dir // "coord.wal"
+
+(* The on-disk shard count.  A missing meta file is the legacy flat
+   single-shard layout. *)
+let shard_count dir =
+  if Sys.file_exists (shards_meta_path dir) then
+    match int_of_string_opt (String.trim (read_file (shards_meta_path dir))) with
+    | Some n when n >= 1 && n <= 64 -> n
+    | _ -> 1
+  else 1
+
+let shard_dir dir ~shards k =
+  if shards <= 1 then dir else dir // Printf.sprintf "shard-%03d" k
+
+let write_shards_meta dir n =
+  write_file (shards_meta_path dir) (string_of_int n ^ "\n")
 
 (* Shared domain pool for verification / audit / Merkle sweeps.  Size
    comes from TEP_DOMAINS or the host's recommended domain count; on a
-   single-core host this degrades to the sequential code path. *)
+   single-core host this degrades to the sequential code path.  All
+   shard engines share the one process-wide pool. *)
 let pool () = Tep_parallel.Pool.default ()
+
+let nshards ws = Array.length ws.shards
+let shard_for_table ws table = Shards.shard_of_table ~shards:(nshards ws) table
+let engine_for_table ws table = ws.shards.(shard_for_table ws table).s_engine
+
+(* The database-wide root: the engine root for one shard, the Merkle
+   root-of-roots over per-shard engine roots otherwise.  Matches what
+   a sharded provdbd publishes over the wire. *)
+let published_root ws =
+  if nshards ws = 1 then Engine.root_hash ws.engine
+  else
+    Merkle.root_of_roots
+      (Engine.algo ws.engine)
+      (Array.to_list (Array.map (fun s -> Engine.root_hash s.s_engine) ws.shards))
+
+let make ~dir ~ca ~directory ~participants ~coord shards =
+  {
+    dir;
+    ca;
+    directory;
+    participants;
+    engine = shards.(0).s_engine;
+    wal = shards.(0).s_wal;
+    shards;
+    coord;
+  }
 
 (* CA + participant credentials, shared by normal loads and by
    [recover] (which rebuilds everything else from checkpoints). *)
@@ -96,55 +154,89 @@ let load_identity dir =
         Ok (ca, directory, participants)
   end
 
+(* One shard's data files, loaded from its own directory.  [label]
+   qualifies error / warning messages in multi-shard workspaces. *)
+let load_shard ~directory ~label ~recover_hint sdir =
+  match Snapshot.load (sdir // "backend.snap") with
+  | Error e -> fail "%sbackend: %s" label e
+  | Ok db -> (
+      match Provstore.of_string (read_file (sdir // "prov.dat")) with
+      | Error e -> fail "%sprovenance store: %s" label e
+      | Ok prov ->
+          let forest, _ = Forest.decode (read_file (sdir // "forest.dat")) 0 in
+          let view, _ = Tree_view.decode (read_file (sdir // "view.dat")) 0 in
+          let wal = Wal.open_file (wal_path sdir) in
+          (* a non-empty log means the last session died before its
+             checkpoint: its committed tail is only in the WAL *)
+          (match Wal.salvage_file (wal_path sdir) with
+          | Ok sv when sv.Wal.entries <> [] ->
+              Printf.eprintf
+                "warning: %s%d un-checkpointed WAL frame(s) found — a \
+                 previous session crashed; run `provdb recover %s` to \
+                 replay them (continuing discards them at next save)\n"
+                label (List.length sv.Wal.entries) recover_hint
+          | _ -> ());
+          let engine =
+            Engine.of_parts ~wal ~pool:(pool ()) ~provstore:prov ~directory
+              ~forest ~view db
+          in
+          Ok { s_dir = sdir; s_engine = engine; s_wal = wal })
+
 let load dir =
   match load_identity dir with
   | Error e -> Error e
-  | Ok (ca, directory, participants) -> (
-      match Snapshot.load (dir // "backend.snap") with
-      | Error e -> fail "backend: %s" e
-      | Ok db -> (
-          match Provstore.of_string (read_file (dir // "prov.dat")) with
-          | Error e -> fail "provenance store: %s" e
-          | Ok prov ->
-              let forest, _ = Forest.decode (read_file (dir // "forest.dat")) 0 in
-              let view, _ =
-                Tree_view.decode (read_file (dir // "view.dat")) 0
-              in
-              let wal = Wal.open_file (wal_path dir) in
-              (* a non-empty log means the last session died before its
-                 checkpoint: its committed tail is only in the WAL *)
-              (match Wal.salvage_file (wal_path dir) with
-              | Ok sv when sv.Wal.entries <> [] ->
-                  Printf.eprintf
-                    "warning: %d un-checkpointed WAL frame(s) found — a \
-                     previous session crashed; run `provdb recover %s` to \
-                     replay them (continuing discards them at next save)\n"
-                    (List.length sv.Wal.entries) dir
-              | _ -> ());
-              let engine =
-                Engine.of_parts ~wal ~pool:(pool ()) ~provstore:prov
-                  ~directory ~forest ~view db
-              in
-              Ok { dir; ca; directory; participants; engine; wal }))
+  | Ok (ca, directory, participants) ->
+      let n = shard_count dir in
+      let rec load_all k acc =
+        if k = n then Ok (Array.of_list (List.rev acc))
+        else
+          let label = if n = 1 then "" else Printf.sprintf "shard %d: " k in
+          match
+            load_shard ~directory ~label ~recover_hint:dir
+              (shard_dir dir ~shards:n k)
+          with
+          | Error e -> Error e
+          | Ok s -> load_all (k + 1) (s :: acc)
+      in
+      (match load_all 0 [] with
+      | Error e -> Error e
+      | Ok shards ->
+          let coord =
+            if n > 1 then Some (Wal.open_file (coord_path dir)) else None
+          in
+          Ok (make ~dir ~ca ~directory ~participants ~coord shards))
 
-let save ws =
-  let dir = ws.dir in
-  write_file (dir // "ca") (Tep_crypto.Pki.ca_to_string ws.ca);
-  (match Snapshot.save (Engine.backend ws.engine) (dir // "backend.snap") with
+let save_shard s =
+  let sdir = s.s_dir in
+  (match Snapshot.save (Engine.backend s.s_engine) (sdir // "backend.snap") with
   | Ok () -> ()
   | Error e -> failwith e);
-  write_file (dir // "prov.dat") (Provstore.to_string (Engine.provstore ws.engine));
+  write_file (sdir // "prov.dat")
+    (Provstore.to_string (Engine.provstore s.s_engine));
   let buf = Buffer.create 4096 in
-  Forest.encode buf (Engine.forest ws.engine);
-  write_file (dir // "forest.dat") (Buffer.contents buf);
+  Forest.encode buf (Engine.forest s.s_engine);
+  write_file (sdir // "forest.dat") (Buffer.contents buf);
   Buffer.clear buf;
-  Tree_view.encode buf (Engine.mapping ws.engine);
-  write_file (dir // "view.dat") (Buffer.contents buf);
+  Tree_view.encode buf (Engine.mapping s.s_engine);
+  write_file (sdir // "view.dat") (Buffer.contents buf);
   (* checkpoint generation + WAL truncation: the crash-safe copy of
      everything written above *)
-  match Recovery.checkpoint ~dir:(ckpt_dir dir) ~wal:ws.wal ws.engine with
+  match Recovery.checkpoint ~dir:(ckpt_dir sdir) ~wal:s.s_wal s.s_engine with
   | Ok _gen -> ()
   | Error e -> failwith e
+
+let save ws =
+  write_file (ws.dir // "ca") (Tep_crypto.Pki.ca_to_string ws.ca);
+  Array.iter save_shard ws.shards;
+  (* every shard is checkpointed, so no Prepare frame survives in any
+     shard WAL — the coordinator's decisions carry no live
+     information and the log can be emptied *)
+  match ws.coord with
+  | None -> ()
+  | Some coord -> (
+      match Wal.truncate coord ~upto:(Wal.last_seq coord) with
+      | Ok () -> ()
+      | Error e -> failwith ("coordinator log: " ^ e))
 
 let report_failure f = prerr_endline ("error: " ^ message_of_failure f)
 

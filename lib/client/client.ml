@@ -726,6 +726,15 @@ let stats t =
            Ok ({ batches; ops; sign_wall_us; sign_cpu_us } : server_stats)
        | _ -> unexpected)
 
+(* Per-shard counters of a sharded server (one entry on an unsharded
+   one), in shard order: each shard's batcher totals, current queue
+   depth, and its server-side root-cache behaviour. *)
+let shard_stats t =
+  rpc t Message.Shard_stats
+  |> unwrap (function
+       | Message.Shard_stats_resp shards -> Ok shards
+       | _ -> unexpected)
+
 (* Health / readiness snapshot (the Ping RPC).  Reads the batcher
    counters without touching the engine locks, so it answers even
    while a slow commit is in flight. *)

@@ -69,6 +69,9 @@ type t = {
   pool : Tep_parallel.Pool.t option;
   mutable mode : mode;
   mutable batch : batch option;
+  mutable next_marker : string option;
+      (* Some txid: the next commit is phase 1 of a cross-shard 2PC —
+         journal Wal.Prepare (txid, root) instead of Wal.Commit *)
   mutable last : metrics;
   mutable total : metrics;
 }
@@ -110,6 +113,7 @@ let of_parts ?(algo = Tep_crypto.Digest_algo.SHA1) ?(mode = Economical) ?wal
     pool;
     mode;
     batch = None;
+    next_marker = None;
     last = zero_metrics;
     total = zero_metrics;
   }
@@ -186,6 +190,15 @@ let object_depth t oid = List.length (Forest.ancestors t.forest oid)
    fanned out across pool domains. *)
 let sign_site = "engine.commit.sign"
 let () = Tep_fault.Fault.register sign_site
+
+(* Adaptive gate for the signing fan-out (ROADMAP 2b).  Below this
+   many records the per-task handoff and domain wakeup exceed what the
+   parallel signatures recover, so the stage runs on the caller; and a
+   1-core host never fans out at all — there, pool dispatch is pure
+   overhead at any batch size (the recorded pooled write path was ~30x
+   slower than serial before this gate). *)
+let sign_serial_below = 4
+let host_cores = lazy (Domain.recommended_domain_count ())
 
 (* A record fully prepared by the sequential hash/payload stage of
    [commit], awaiting only its signature. *)
@@ -323,9 +336,11 @@ let commit t (b : batch) : metrics =
   let t_sign = now () in
   let checksums =
     match t.pool with
-    | Some pool when Tep_parallel.Pool.size pool > 1 && n > 1 ->
-        Tep_parallel.Pool.map_chunked ~chunk:1 pool sign_one
-          (Array.init n Fun.id)
+    | Some pool
+      when Tep_parallel.Pool.size pool > 1 && n > 1
+           && Lazy.force host_cores > 1 ->
+        Tep_parallel.Pool.map_chunked ~serial_below:sign_serial_below ~chunk:1
+          pool sign_one (Array.init n Fun.id)
     | _ -> Array.init n sign_one
   in
   let sign_s = now () -. t_sign in
@@ -364,7 +379,11 @@ let commit t (b : batch) : metrics =
       | Ok h -> h
       | Error e -> failwith ("Engine.commit: " ^ e)
     in
-    wal_log t (Wal.Commit root_hash);
+    (match t.next_marker with
+    | Some txid ->
+        t.next_marker <- None;
+        wal_log t (Wal.Prepare (txid, root_hash))
+    | None -> wal_log t (Wal.Commit root_hash));
     match t.wal with
     | Some w -> (
         match Wal.flush w with
@@ -415,6 +434,41 @@ let complex_op t participant body =
           t.last <- m;
           t.total <- add_metrics t.total m;
           Ok (v, m))
+
+(* Phase 1 of a cross-shard two-phase commit: exactly [complex_op],
+   except the commit marker journaled is [Wal.Prepare (txid, root)]
+   instead of [Wal.Commit root].  The prepared work is durable but not
+   yet a recovery unit — it becomes one when the coordinator's
+   [Wal.Decide] for [txid] lands (see Shards). *)
+let complex_op_prepare t participant ~txid body =
+  t.next_marker <- Some txid;
+  match complex_op t participant body with
+  | r ->
+      t.next_marker <- None;
+      r
+  | exception e ->
+      t.next_marker <- None;
+      raise e
+
+(* Phase 2: upgrade the shard's last prepared state to a plain commit
+   marker, so later recoveries need not consult the coordinator log
+   for this transaction.  The root hash is re-read from the (warm)
+   cache — nothing has mutated since the prepare. *)
+let write_commit_marker t =
+  if wal_present t then begin
+    let root_hash =
+      match Merkle.hash ?pool:t.pool t.cache (Tree_view.root t.view) with
+      | Ok h -> h
+      | Error e -> failwith ("Engine.write_commit_marker: " ^ e)
+    in
+    wal_log t (Wal.Commit root_hash);
+    match t.wal with
+    | Some w -> (
+        match Wal.flush w with
+        | Ok () -> ()
+        | Error e -> raise (Wal_failure e))
+    | None -> ()
+  end
 
 (* Run [f] inside the current batch, or as a singleton complex op. *)
 let in_batch t participant f =

@@ -116,6 +116,26 @@ val complex_op :
 (** Runs the body, then commits provenance.  Fails (without emitting
     records) if the body fails.  Nested calls are rejected. *)
 
+val complex_op_prepare :
+  t ->
+  Participant.t ->
+  txid:string ->
+  (unit -> ('a, string) result) ->
+  ('a * metrics, string) result
+(** Phase 1 of a cross-shard two-phase commit: identical to
+    {!complex_op} except the WAL marker journaled at commit is
+    [Wal.Prepare (txid, root_hash)] instead of [Wal.Commit].  The
+    prepared frames are durable but {!Tep_core.Recovery} rolls them
+    back unless the coordinator log records a [Wal.Decide] for
+    [txid] — see {!Shards}. *)
+
+val write_commit_marker : t -> unit
+(** Phase 2: append (and flush) a plain [Wal.Commit] marker carrying
+    the current root hash, upgrading the shard's last prepared
+    transaction so future recoveries need not consult the coordinator
+    log for it.  No-op without a WAL.
+    @raise Wal_failure when the append or flush fails persistently. *)
+
 val last_metrics : t -> metrics
 (** Metrics of the most recent commit. *)
 

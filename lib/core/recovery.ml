@@ -302,13 +302,14 @@ let apply_relational db forest view entry =
                   | Error e -> err "update_row %s/%d/%d: %s" tbl id col e)
           in
           cells_loop 0)
-  | Wal.Commit _ | Wal.Blob _ -> Ok ()
+  | Wal.Commit _ | Wal.Blob _ | Wal.Prepare _ | Wal.Decide _ -> Ok ()
 
 (* ------------------------------------------------------------------ *)
 (* Recover                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let recover ?mode ?pool ?wal_path ?(final_checkpoint = true) ~dir ~directory () =
+let recover ?mode ?pool ?wal_path ?(is_decided = fun _ -> false)
+    ?(final_checkpoint = true) ~dir ~directory () =
   let wal_path =
     match wal_path with Some p -> p | None -> Filename.concat dir "wal.log"
   in
@@ -365,12 +366,20 @@ let recover ?mode ?pool ?wal_path ?(final_checkpoint = true) ~dir ~directory () 
             | rest -> (List.rev acc, List.length rest)
           in
           let prefix, gap_dropped = contiguous (c.c_lsn + 1) [] tail in
+          (* A Prepare is a commit marker iff the coordinator decided
+             its transaction; an undecided Prepare is ordinary frame
+             content — trailing prepared work is rolled back, while a
+             decided-but-unmarked transaction commits exactly as if
+             the shard had written its own Wal.Commit. *)
+          let is_marker = function
+            | Wal.Commit _ -> true
+            | Wal.Prepare (txid, _) -> is_decided txid
+            | _ -> false
+          in
           let last_commit =
             List.fold_left
               (fun (i, last) (_, e) ->
-                match e with
-                | Wal.Commit _ -> (i + 1, i)
-                | _ -> (i + 1, last))
+                if is_marker e then (i + 1, i) else (i + 1, last))
               (0, -1) prefix
             |> snd
           in
@@ -398,6 +407,15 @@ let recover ?mode ?pool ?wal_path ?(final_checkpoint = true) ~dir ~directory () 
             | Wal.Commit h ->
                 committed := Some h;
                 Ok ()
+            | Wal.Prepare (txid, h) ->
+                (* Undecided prepared frames replay only when a later
+                   marker committed on top of them (the live engine's
+                   state already contained them); the intent marker
+                   itself advances the committed root only when
+                   decided. *)
+                if is_decided txid then committed := Some h;
+                Ok ()
+            | Wal.Decide _ -> Ok ()
             | e -> (
                 match apply_relational c.c_db c.c_forest c.c_view e with
                 | Ok () ->

@@ -79,6 +79,7 @@ val recover :
   ?mode:Engine.mode ->
   ?pool:Tep_parallel.Pool.t ->
   ?wal_path:string ->
+  ?is_decided:(string -> bool) ->
   ?final_checkpoint:bool ->
   dir:string ->
   directory:Participant.Directory.t ->
@@ -93,4 +94,12 @@ val recover :
     true) writes the post-recovery generation.  [Error] only when no
     generation is loadable or replay cannot be applied — a mismatched
     root hash is reported, not fatal, so tampering diagnosis can
-    proceed on the recovered state. *)
+    proceed on the recovered state.
+
+    [?is_decided] resolves cross-shard two-phase commits: a
+    [Wal.Prepare (txid, root)] frame counts as a commit marker iff
+    [is_decided txid] — i.e. the coordinator log durably recorded a
+    [Wal.Decide] for that transaction (see {!Shards.decided_txids}).
+    Defaults to [fun _ -> false], so an unsharded recovery rolls
+    prepared-but-undecided work back, exactly like any other
+    uncommitted tail. *)

@@ -103,7 +103,8 @@ let shutdown pool =
    itself, then helps drain the queue until its own chunks are done.
    Determinism: errors are recorded per chunk and the lowest-indexed
    one is re-raised. *)
-let chunked_exec pool ~n ~chunk (run_range : int -> int -> unit) =
+let chunked_exec ?(serial_below = 0) pool ~n ~chunk
+    (run_range : int -> int -> unit) =
   if n > 0 then begin
     let chunk =
       match chunk with
@@ -113,7 +114,9 @@ let chunked_exec pool ~n ~chunk (run_range : int -> int -> unit) =
           max 1 ((n + parts - 1) / parts)
     in
     let nchunks = (n + chunk - 1) / chunk in
-    let sequential_only = pool.domains <= 1 || nchunks <= 1 in
+    let sequential_only =
+      pool.domains <= 1 || nchunks <= 1 || n < serial_below
+    in
     if sequential_only then run_range 0 (n - 1)
     else begin
       let errors :
@@ -185,12 +188,12 @@ let chunked_exec pool ~n ~chunk (run_range : int -> int -> unit) =
     end
   end
 
-let map_chunked ?chunk pool f arr =
+let map_chunked ?serial_below ?chunk pool f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
     let results = Array.make n None in
-    chunked_exec pool ~n ~chunk (fun lo hi ->
+    chunked_exec ?serial_below pool ~n ~chunk (fun lo hi ->
         for i = lo to hi do
           results.(i) <- Some (f arr.(i))
         done);
@@ -199,13 +202,13 @@ let map_chunked ?chunk pool f arr =
       results
   end
 
-let map_list ?chunk pool f l =
-  Array.to_list (map_chunked ?chunk pool f (Array.of_list l))
+let map_list ?serial_below ?chunk pool f l =
+  Array.to_list (map_chunked ?serial_below ?chunk pool f (Array.of_list l))
 
-let parallel_for ?chunk pool ~lo ~hi f =
+let parallel_for ?serial_below ?chunk pool ~lo ~hi f =
   let n = hi - lo + 1 in
   if n > 0 then
-    chunked_exec pool ~n ~chunk (fun clo chi ->
+    chunked_exec ?serial_below pool ~n ~chunk (fun clo chi ->
         for i = clo to chi do
           f (lo + i)
         done)

@@ -44,20 +44,33 @@ val sequential : t
 val size : t -> int
 (** Total domains (workers + caller). *)
 
-val map_chunked : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+val map_chunked :
+  ?serial_below:int -> ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_chunked pool f arr] is observationally [Array.map f arr],
     with items partitioned into chunks of [?chunk] elements (default:
     input size / 4×domains) executed across the pool.  [f] must be
-    safe to run concurrently with itself. *)
+    safe to run concurrently with itself.
 
-val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+    [?serial_below] is the adaptive work-size gate: when the input has
+    fewer than that many items the whole call runs on the calling
+    domain, even on a multi-domain pool — below a per-workload
+    threshold the cross-domain wakeup/handoff costs more than the
+    parallelism recovers (the 1-core pooled write path was measurably
+    {e slower} than serial before this gate existed).  Results are
+    identical either way; only the scheduling changes.  Defaults to 0
+    (never gate). *)
+
+val map_list :
+  ?serial_below:int -> ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** [List.map] counterpart of {!map_chunked} (order preserved). *)
 
-val parallel_for : ?chunk:int -> t -> lo:int -> hi:int -> (int -> unit) -> unit
+val parallel_for :
+  ?serial_below:int -> ?chunk:int -> t -> lo:int -> hi:int -> (int -> unit) ->
+  unit
 (** [parallel_for pool ~lo ~hi f] runs [f i] for every [i] in
     [lo..hi] inclusive (like [for i = lo to hi]), partitioned across
     the pool.  [f] communicates through its own (disjoint or
-    synchronised) state. *)
+    synchronised) state.  [?serial_below] as in {!map_chunked}. *)
 
 val shutdown : t -> unit
 (** Join the pool's workers.  Idempotent.  Pending queued work is

@@ -33,6 +33,21 @@
      atomically (recovery replays to the last commit marker).
    - Checkpoint takes the write lock directly.
 
+   Sharding: the service can own several engines, each a shard of the
+   provenance forest with its own WAL, checkpoint directory, rwlock
+   and group-commit batcher.  Tables route to shards by a stable hash
+   of the table name ({!Tep_core.Shards.shard_of_table}); the
+   published root is the Merkle root-of-roots over the per-shard
+   engine roots.  Reads fan out under per-shard read locks;
+   single-shard writes commit fully concurrently through their own
+   shard's batcher; only jobs that span shards serialise on the
+   coordinator, which commits them under the two-phase marker
+   protocol ({!Tep_core.Shards.commit_cross}) against its own
+   decision log.  Every multi-lock path acquires shard locks in
+   ascending index order, so the lock graph stays acyclic.  A
+   single-shard server ([?shards] omitted) behaves byte-for-byte like
+   the unsharded service, including its root hash.
+
    Once a session is established, sealed messages carry a varint
    correlation id (see {!Message.with_cid}), echoed in responses, so a
    connection may pipeline several requests; consecutive pipelined
@@ -48,7 +63,10 @@ module Verifier = Tep_core.Verifier
 module Audit = Tep_core.Audit
 module Provstore = Tep_core.Provstore
 module Recovery = Tep_core.Recovery
+module Shards = Tep_core.Shards
 module Oid = Tep_tree.Oid
+module Forest = Tep_tree.Forest
+module Merkle = Tep_tree.Merkle
 module Fault = Tep_fault.Fault
 
 (* Everything a connection reads passes through this failpoint, so
@@ -147,8 +165,39 @@ type admission = {
   mutable retry_after_ms : int; (* backoff hint carried by the shed *)
 }
 
+(* One shard: an engine plus every per-shard piece of server state.
+   The rwlock, the batcher, the audit checkpoint and the cached root
+   are all shard-local, so a write to shard k contends with — and
+   invalidates — shard k only. *)
+type shard = {
+  s_index : int;
+  s_engine : Engine.t;
+  s_rwlock : Rwlock.t; (* readers share; this shard's commits exclude *)
+  s_batcher : batcher;
+  s_checkpoint : (string * Tep_store.Wal.t) option;
+      (* checkpoint directory + WAL, when the daemon owns durability *)
+  s_audit_cp : Audit.checkpoint ref;
+  s_audit_lock : Mutex.t; (* audit checkpoint ref, among readers *)
+  s_root_lock : Mutex.t; (* root cache, among readers *)
+  s_root_cache : string option ref; (* last published root of this shard *)
+  s_root_dirty : bool Atomic.t;
+      (* set by every commit on this shard (and only this shard), under
+         its write lock; the next root read recomputes.  An atomic, not
+         the root_lock, so writers never wait on readers — taking
+         s_root_lock under the write lock would deadlock against a
+         reader holding s_root_lock while waiting for a read lock. *)
+  s_root_recomputes : int Atomic.t; (* cache misses (observability) *)
+  s_root_hits : int Atomic.t;
+}
+
 type t = {
-  engine : Engine.t;
+  shards : shard array; (* at least one; index = shard id *)
+  coord : Tep_store.Wal.t option;
+      (** the 2PC decision log; required for cross-shard commits *)
+  coord_lock : Mutex.t; (* serialises cross-shard transactions *)
+  cross_busy : bool Atomic.t; (* a 2PC commit is in flight (quiesce) *)
+  txid_seq : int Atomic.t; (* per-process suffix for fresh txids *)
+  txid_epoch : string; (* random per-boot prefix: txids never recur *)
   participants : (string * Participant.t) list;
   pool : Tep_parallel.Pool.t option;
   drbg : Tep_crypto.Drbg.t;
@@ -159,27 +208,64 @@ type t = {
   request_timeout : float;
   max_connections : int;
   active : int Atomic.t; (* concurrent socket connections *)
-  checkpoint : (string * Tep_store.Wal.t) option;
-      (** checkpoint directory + WAL, when the daemon owns durability *)
-  audit_cp : Audit.checkpoint ref;
-  rwlock : Rwlock.t; (* readers share; submits/checkpoints exclude *)
-  audit_lock : Mutex.t; (* audit checkpoint ref, among readers *)
-  root_lock : Mutex.t; (* Merkle root cache, among readers *)
-  batcher : batcher;
   dedup : dedup;
   admission : admission;
   draining : bool Atomic.t; (* drain begun: shed all new writes *)
 }
 
+let make_batcher () =
+  {
+    b_mutex = Mutex.create ();
+    b_cond = Condition.create ();
+    b_queue = [];
+    b_leader = false;
+    b_batches = 0;
+    b_ops = 0;
+    b_sign_wall_s = 0.;
+    b_sign_cpu_s = 0.;
+    b_dedup_hits = 0;
+    b_wal_failures = 0;
+    b_shed = 0;
+  }
+
+let make_shard i (engine, checkpoint) =
+  {
+    s_index = i;
+    s_engine = engine;
+    s_rwlock = Rwlock.create ();
+    s_batcher = make_batcher ();
+    s_checkpoint = checkpoint;
+    s_audit_cp = ref Audit.empty;
+    s_audit_lock = Mutex.create ();
+    s_root_lock = Mutex.create ();
+    s_root_cache = ref None;
+    s_root_dirty = Atomic.make true;
+    s_root_recomputes = Atomic.make 0;
+    s_root_hits = Atomic.make 0;
+  }
+
 let create ?(max_payload = Frame.default_max_payload) ?(request_timeout = 30.)
     ?(max_connections = 64) ?(max_queue_ops = 512)
     ?(max_session_inflight = 64) ?(retry_after_ms = 25)
-    ?(dedup_capacity = 1024) ?drbg ?pool ?checkpoint ~participants engine =
+    ?(dedup_capacity = 1024) ?drbg ?pool ?checkpoint ?(shards = []) ?coord
+    ~participants engine =
   let drbg =
     match drbg with Some d -> d | None -> Tep_crypto.Drbg.create_system ()
   in
+  let txid_epoch =
+    let raw = Tep_crypto.Drbg.generate drbg 8 in
+    let buf = Buffer.create 16 in
+    String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) raw;
+    Buffer.contents buf
+  in
   {
-    engine;
+    shards =
+      Array.of_list (List.mapi make_shard ((engine, checkpoint) :: shards));
+    coord;
+    coord_lock = Mutex.create ();
+    cross_busy = Atomic.make false;
+    txid_seq = Atomic.make 0;
+    txid_epoch;
     participants;
     pool;
     drbg;
@@ -188,25 +274,6 @@ let create ?(max_payload = Frame.default_max_payload) ?(request_timeout = 30.)
     request_timeout;
     max_connections;
     active = Atomic.make 0;
-    checkpoint;
-    audit_cp = ref Audit.empty;
-    rwlock = Rwlock.create ();
-    audit_lock = Mutex.create ();
-    root_lock = Mutex.create ();
-    batcher =
-      {
-        b_mutex = Mutex.create ();
-        b_cond = Condition.create ();
-        b_queue = [];
-        b_leader = false;
-        b_batches = 0;
-        b_ops = 0;
-        b_sign_wall_s = 0.;
-        b_sign_cpu_s = 0.;
-        b_dedup_hits = 0;
-        b_wal_failures = 0;
-        b_shed = 0;
-      };
     dedup =
       {
         d_mutex = Mutex.create ();
@@ -219,24 +286,45 @@ let create ?(max_payload = Frame.default_max_payload) ?(request_timeout = 30.)
     draining = Atomic.make false;
   }
 
-let engine t = t.engine
+let engine t = t.shards.(0).s_engine
+let shard_count t = Array.length t.shards
+let directory t = Engine.directory (engine t)
+
+(* Fresh coordinator transaction id.  The per-boot random epoch keeps
+   txids from different daemon lifetimes distinct even though the
+   coordinator log survives restarts — a replayed Prepare from a dead
+   process must never match a fresh Decide. *)
+let fresh_txid t =
+  Printf.sprintf "%s-%d" t.txid_epoch (Atomic.fetch_and_add t.txid_seq 1)
 
 let batch_stats t =
-  let b = t.batcher in
-  Mutex.lock b.b_mutex;
-  let r =
+  Array.fold_left
+    (fun acc s ->
+      let b = s.s_batcher in
+      Mutex.lock b.b_mutex;
+      let acc =
+        {
+          batches = acc.batches + b.b_batches;
+          ops = acc.ops + b.b_ops;
+          sign_wall_s = acc.sign_wall_s +. b.b_sign_wall_s;
+          sign_cpu_s = acc.sign_cpu_s +. b.b_sign_cpu_s;
+          dedup_hits = acc.dedup_hits + b.b_dedup_hits;
+          wal_failures = acc.wal_failures + b.b_wal_failures;
+          shed = acc.shed + b.b_shed;
+        }
+      in
+      Mutex.unlock b.b_mutex;
+      acc)
     {
-      batches = b.b_batches;
-      ops = b.b_ops;
-      sign_wall_s = b.b_sign_wall_s;
-      sign_cpu_s = b.b_sign_cpu_s;
-      dedup_hits = b.b_dedup_hits;
-      wal_failures = b.b_wal_failures;
-      shed = b.b_shed;
+      batches = 0;
+      ops = 0;
+      sign_wall_s = 0.;
+      sign_cpu_s = 0.;
+      dedup_hits = 0;
+      wal_failures = 0;
+      shed = 0;
     }
-  in
-  Mutex.unlock b.b_mutex;
-  r
+    t.shards
 
 let set_admission ?max_queue_ops ?max_session_inflight ?retry_after_ms t =
   let a = t.admission in
@@ -253,17 +341,24 @@ let active_connections t = Atomic.get t.active
 let begin_drain t = Atomic.set t.draining true
 let draining t = Atomic.get t.draining
 
-(* Wait (bounded) until no batch leader is running and no job is
-   queued.  With [begin_drain] already in effect nothing new can join
-   the queue, so an idle observation is stable — the daemon may then
-   flush the WAL and checkpoint without racing a commit. *)
+(* Wait (bounded) until no batch leader is running on any shard, no
+   job is queued anywhere, and no cross-shard commit is in flight.
+   With [begin_drain] already in effect nothing new can join any
+   queue, so an idle observation is stable — the daemon may then flush
+   the WALs and checkpoint without racing a commit. *)
 let quiesce ?(timeout = 10.) t =
-  let b = t.batcher in
   let deadline = Unix.gettimeofday () +. timeout in
-  let rec wait () =
+  let shard_idle s =
+    let b = s.s_batcher in
     Mutex.lock b.b_mutex;
     let idle = b.b_queue = [] && not b.b_leader in
     Mutex.unlock b.b_mutex;
+    idle
+  in
+  let rec wait () =
+    let idle =
+      (not (Atomic.get t.cross_busy)) && Array.for_all shard_idle t.shards
+    in
     if idle then true
     else if Unix.gettimeofday () >= deadline then false
     else begin
@@ -277,14 +372,18 @@ let quiesce ?(timeout = 10.) t =
 (* Dedup table operations                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Dedup hits and session-level sheds are process-wide events, not
+   tied to any particular shard's batcher; they are accounted on shard
+   0 (batch_stats and Pong sum across shards, so the totals are what
+   an operator sees either way). *)
 let note_dedup_hit t =
-  let b = t.batcher in
+  let b = t.shards.(0).s_batcher in
   Mutex.lock b.b_mutex;
   b.b_dedup_hits <- b.b_dedup_hits + 1;
   Mutex.unlock b.b_mutex
 
 let note_shed ?(n = 1) t =
-  let b = t.batcher in
+  let b = t.shards.(0).s_batcher in
   Mutex.lock b.b_mutex;
   b.b_shed <- b.b_shed + n;
   Mutex.unlock b.b_mutex
@@ -439,22 +538,22 @@ let kill ?cid c resp =
 (* Submit execution (the write side)                                   *)
 (* ------------------------------------------------------------------ *)
 
-let apply_op t participant (op : Message.op) : submit_result =
+let apply_op engine participant (op : Message.op) : submit_result =
   match op with
   | Message.Op_insert { table; cells } -> (
-      match Engine.insert_row t.engine participant ~table cells with
+      match Engine.insert_row engine participant ~table cells with
       | Ok row -> R_row row
       | Error e -> R_err e)
   | Message.Op_update { table; row; col; value } -> (
-      match Engine.update_cell t.engine participant ~table ~row ~col value with
+      match Engine.update_cell engine participant ~table ~row ~col value with
       | Ok () -> R_unit
       | Error e -> R_err e)
   | Message.Op_delete { table; row } -> (
-      match Engine.delete_row t.engine participant ~table row with
+      match Engine.delete_row engine participant ~table row with
       | Ok () -> R_unit
       | Error e -> R_err e)
   | Message.Op_aggregate { inputs; value } -> (
-      match Engine.aggregate_objects t.engine participant ~value inputs with
+      match Engine.aggregate_objects engine participant ~value inputs with
       | Ok oid -> R_oid oid
       | Error e -> R_err e)
 
@@ -470,8 +569,8 @@ let apply_op t participant (op : Message.op) : submit_result =
    commit itself fails (WAL error, simulated crash), every op of the
    group fails atomically: nothing was durably recorded, and recovery
    rolls the store back to the last commit marker. *)
-let run_batch t (jobs : submit_job list) =
-  Rwlock.with_write t.rwlock (fun () ->
+let run_batch (shard : shard) (jobs : submit_job list) =
+  Rwlock.with_write shard.s_rwlock (fun () ->
       (* Group by participant, preserving arrival order of both the
          groups and the ops within each. *)
       let order : string list ref = ref [] in
@@ -498,11 +597,11 @@ let run_batch t (jobs : submit_job list) =
           let participant = (fst (List.hd entries)).j_participant in
           let outcome =
             match
-              Engine.complex_op t.engine participant (fun () ->
+              Engine.complex_op shard.s_engine participant (fun () ->
                   let any_ok = ref false in
                   List.iter
                     (fun (job, i) ->
-                      let r = apply_op t participant job.j_ops.(i) in
+                      let r = apply_op shard.s_engine participant job.j_ops.(i) in
                       (match r with R_err _ -> () | _ -> any_ok := true);
                       job.j_results.(i) <- r)
                     entries;
@@ -515,7 +614,7 @@ let run_batch t (jobs : submit_job list) =
             | Ok v -> Ok v
             | Error e -> Error (F_failed e)
             | exception Engine.Wal_failure e ->
-                let b = t.batcher in
+                let b = shard.s_batcher in
                 Mutex.lock b.b_mutex;
                 b.b_wal_failures <- b.b_wal_failures + 1;
                 Mutex.unlock b.b_mutex;
@@ -525,10 +624,14 @@ let run_batch t (jobs : submit_job list) =
           in
           match outcome with
           | Ok ((), m) ->
+              (* The commit changed this shard's tree: only this
+                 shard's cached root goes stale (cheap atomic; see
+                 s_root_dirty for why not the root lock). *)
+              Atomic.set shard.s_root_dirty true;
               (* Signing-time counters: taken under b_mutex while this
                  leader still holds the write lock; the only lock order
                  anywhere is rwlock → b_mutex, so no cycle. *)
-              let b = t.batcher in
+              let b = shard.s_batcher in
               Mutex.lock b.b_mutex;
               b.b_sign_wall_s <- b.b_sign_wall_s +. m.Engine.sign_s;
               b.b_sign_cpu_s <- b.b_sign_cpu_s +. m.Engine.sign_cpu_s;
@@ -570,13 +673,13 @@ let overloaded t queued =
    [admission.max_queue_ops], the whole job is shed with a typed
    Overloaded response carrying a retry-after hint — bounding both the
    backlog memory and the worst-case latency a queued op can see. *)
-let submit_ops t participant (ops : Message.op array) : Message.response array
-    =
+let submit_to_shard t (shard : shard) participant (ops : Message.op array) :
+    Message.response array =
   let n = Array.length ops in
   if Atomic.get t.draining then
     Array.make n (error_resp Message.Shutting_down "server is draining")
   else begin
-    let b = t.batcher in
+    let b = shard.s_batcher in
     Mutex.lock b.b_mutex;
     let max_q = t.admission.max_queue_ops in
     let queued =
@@ -613,7 +716,7 @@ let submit_ops t participant (ops : Message.op array) : Message.response array
             b.b_ops
             + List.fold_left (fun n j -> n + Array.length j.j_ops) 0 jobs;
           Mutex.unlock b.b_mutex;
-          (try run_batch t jobs
+          (try run_batch shard jobs
            with e ->
              (* run_batch catches per-group failures; anything escaping
                 is a harness-level surprise — fail the drained jobs
@@ -652,6 +755,238 @@ let submit_ops t participant (ops : Message.op array) : Message.response array
   end
 
 (* ------------------------------------------------------------------ *)
+(* Shard routing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Which shard holds [oid]?  Each shard's oid space is independent, so
+   the probe scans shards in index order under their read locks; the
+   first hit wins.  Objects never migrate between shards, so a hit is
+   stable for as long as the object exists. *)
+let owning_shard t oid =
+  let n = Array.length t.shards in
+  let rec go k =
+    if k >= n then None
+    else
+      let s = t.shards.(k) in
+      if
+        Rwlock.with_read s.s_rwlock (fun () ->
+            Forest.mem (Engine.forest s.s_engine) oid)
+      then Some k
+      else go (k + 1)
+  in
+  go 0
+
+(* Table-addressed ops route by the stable table hash; aggregates
+   route to the single shard owning every input (per-shard oid spaces
+   make a cross-shard aggregate meaningless — the copied subtrees and
+   their provenance must land in one forest). *)
+let shard_of_op t (op : Message.op) : (int, string) result =
+  let nshards = Array.length t.shards in
+  match op with
+  | Message.Op_insert { table; _ }
+  | Message.Op_update { table; _ }
+  | Message.Op_delete { table; _ } ->
+      Ok (Shards.shard_of_table ~shards:nshards table)
+  | Message.Op_aggregate { inputs; _ } -> (
+      match inputs with
+      | [] -> Ok 0 (* nothing to route on; shard 0's engine rejects it *)
+      | first :: rest -> (
+          match owning_shard t first with
+          | None ->
+              Error
+                (Printf.sprintf "aggregate input oid %d not found"
+                   (Oid.to_int first))
+          | Some k ->
+              if List.for_all (fun oid -> owning_shard t oid = Some k) rest
+              then Ok k
+              else
+                Error
+                  "aggregate inputs span shards: all inputs must live on \
+                   one shard"))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-shard submits (two-phase commit)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A job whose ops span shards commits atomically under the 2PC marker
+   protocol: the coordinator lock serialises these transactions, the
+   participating shards' write locks are taken in ascending index
+   order (the same order every other multi-lock path uses), and
+   {!Shards.commit_cross} runs prepare → decide → phase 2.  Abort —
+   any WAL trouble before the Decide is durable — voids every op of
+   the job atomically, exactly like a single-shard commit failure. *)
+let submit_cross t participant (ops : Message.op array)
+    (groups : (int * int array) list) (responses : Message.response option array)
+    =
+  let fill_all resp =
+    List.iter
+      (fun (_, slots) ->
+        Array.iter (fun i -> responses.(i) <- Some resp) slots)
+      groups
+  in
+  match t.coord with
+  | None ->
+      fill_all
+        (error_resp Message.Failed
+           "no coordinator log: cross-shard writes unavailable")
+  | Some coord ->
+      Mutex.lock t.coord_lock;
+      Atomic.set t.cross_busy true;
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set t.cross_busy false;
+          Mutex.unlock t.coord_lock)
+        (fun () ->
+          let results = Array.make (Array.length ops) R_pending in
+          let parts =
+            List.map
+              (fun (k, slots) ->
+                let engine = t.shards.(k).s_engine in
+                {
+                  Shards.p_shard = k;
+                  p_engine = engine;
+                  p_by = participant;
+                  p_body =
+                    (fun () ->
+                      let any_ok = ref false in
+                      Array.iter
+                        (fun i ->
+                          let r = apply_op engine participant ops.(i) in
+                          (match r with R_err _ -> () | _ -> any_ok := true);
+                          results.(i) <- r)
+                        slots;
+                      if !any_ok then Ok ()
+                      else Error "no operation in the batch succeeded");
+                })
+              groups
+          in
+          (* Arrival accounting, like the shard leaders do at drain. *)
+          List.iter
+            (fun (k, slots) ->
+              let b = t.shards.(k).s_batcher in
+              Mutex.lock b.b_mutex;
+              b.b_batches <- b.b_batches + 1;
+              b.b_ops <- b.b_ops + Array.length slots;
+              Mutex.unlock b.b_mutex)
+            groups;
+          let rec with_writes gs f =
+            match gs with
+            | [] -> f ()
+            | (k, _) :: rest ->
+                Rwlock.with_write t.shards.(k).s_rwlock (fun () ->
+                    with_writes rest f)
+          in
+          let txid = fresh_txid t in
+          let records = Array.make (Array.length t.shards) 0 in
+          match
+            with_writes groups (fun () ->
+                Shards.commit_cross ~coord ~txid parts)
+          with
+          | Ok (committed, warnings) ->
+              List.iter
+                (fun (k, m) ->
+                  let s = t.shards.(k) in
+                  Atomic.set s.s_root_dirty true;
+                  records.(k) <- m.Engine.records_emitted;
+                  let b = s.s_batcher in
+                  Mutex.lock b.b_mutex;
+                  b.b_sign_wall_s <- b.b_sign_wall_s +. m.Engine.sign_s;
+                  b.b_sign_cpu_s <- b.b_sign_cpu_s +. m.Engine.sign_cpu_s;
+                  Mutex.unlock b.b_mutex)
+                committed;
+              if warnings <> [] then begin
+                let b = t.shards.(0).s_batcher in
+                Mutex.lock b.b_mutex;
+                b.b_wal_failures <- b.b_wal_failures + List.length warnings;
+                Mutex.unlock b.b_mutex
+              end;
+              List.iter
+                (fun (k, slots) ->
+                  Array.iter
+                    (fun i ->
+                      responses.(i) <-
+                        Some
+                          (match results.(i) with
+                          | R_err e -> error_resp Message.Bad_request e
+                          | R_row row ->
+                              Message.Submitted
+                                {
+                                  row = Some row;
+                                  oid = None;
+                                  records = records.(k);
+                                }
+                          | R_oid oid ->
+                              Message.Submitted
+                                {
+                                  row = None;
+                                  oid = Some oid;
+                                  records = records.(k);
+                                }
+                          | R_unit ->
+                              Message.Submitted
+                                { row = None; oid = None; records = records.(k) }
+                          | R_pending ->
+                              error_resp Message.Failed
+                                "transaction left the operation pending"))
+                    slots)
+                groups
+          | Error e ->
+              let b = t.shards.(0).s_batcher in
+              Mutex.lock b.b_mutex;
+              b.b_wal_failures <- b.b_wal_failures + 1;
+              Mutex.unlock b.b_mutex;
+              fill_all (error_resp Message.Wal_failed e)
+          | exception e ->
+              (* [Fault.Crash] must escape (simulated crash); anything
+                 else fails the whole job without deadlocking it. *)
+              (match e with Fault.Crash _ -> raise e | _ -> ());
+              fill_all
+                (error_resp Message.Failed
+                   ("cross-shard commit failed: " ^ Printexc.to_string e)))
+
+(* The submit entry point: route, then commit.  Single-shard servers
+   (and jobs whose surviving ops all land on one shard) take the
+   concurrent per-shard batcher path untouched; only genuinely
+   cross-shard jobs pay the coordinator. *)
+let submit_ops t participant (ops : Message.op array) : Message.response array
+    =
+  let n = Array.length ops in
+  if Array.length t.shards = 1 then submit_to_shard t t.shards.(0) participant ops
+  else if Atomic.get t.draining then
+    Array.make n (error_resp Message.Shutting_down "server is draining")
+  else begin
+    let nshards = Array.length t.shards in
+    let responses : Message.response option array = Array.make n None in
+    let by_shard = Array.make nshards [] in
+    Array.iteri
+      (fun i op ->
+        match shard_of_op t op with
+        | Ok k -> by_shard.(k) <- i :: by_shard.(k)
+        | Error e -> responses.(i) <- Some (error_resp Message.Bad_request e))
+      ops;
+    let groups =
+      List.filter_map
+        (fun k ->
+          match by_shard.(k) with
+          | [] -> None
+          | slots -> Some (k, Array.of_list (List.rev slots)))
+        (List.init nshards Fun.id)
+    in
+    (match groups with
+    | [] -> ()
+    | [ (k, slots) ] ->
+        let sub = Array.map (fun i -> ops.(i)) slots in
+        let resps = submit_to_shard t t.shards.(k) participant sub in
+        Array.iteri (fun j slot -> responses.(slot) <- Some resps.(j)) slots
+    | groups -> submit_cross t participant ops groups responses);
+    Array.map
+      (function
+        | Some r -> r
+        | None -> error_resp Message.Failed "operation was never routed")
+      responses
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Read-side dispatch                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -665,18 +1000,25 @@ let locked m f =
    only, never the rwlock): a Ping must answer even while a slow
    commit holds the write lock — that is precisely when an operator
    wants to see the queue depth. *)
-let pong t =
-  let b = t.batcher in
+let shard_queued (s : shard) =
+  let b = s.s_batcher in
   Mutex.lock b.b_mutex;
-  let queued_ops =
+  let q =
     List.fold_left (fun acc j -> acc + Array.length j.j_ops) 0 b.b_queue
   in
-  let batches = b.b_batches
-  and ops = b.b_ops
-  and dedup_hits = b.b_dedup_hits
-  and wal_failures = b.b_wal_failures
-  and shed = b.b_shed in
   Mutex.unlock b.b_mutex;
+  q
+
+let pong t =
+  let queued_ops =
+    Array.fold_left (fun acc s -> acc + shard_queued s) 0 t.shards
+  in
+  let s = batch_stats t in
+  let batches = s.batches
+  and ops = s.ops
+  and dedup_hits = s.dedup_hits
+  and wal_failures = s.wal_failures
+  and shed = s.shed in
   let draining = Atomic.get t.draining in
   Message.Pong
     {
@@ -691,13 +1033,87 @@ let pong t =
       shed;
     }
 
-(* Runs under the shared read lock, concurrently with other readers:
-   nothing here may mutate the engine.  The audit checkpoint and the
-   Merkle root cache are the two read-side mutables; each has its own
-   mutex. *)
+(* One shard's published root, through the per-shard cache.  A commit
+   on the shard marks the cache dirty (atomically, under the write
+   lock); the recompute here re-reads the engine root under the read
+   lock, so it always observes a committed state.  The exchange-then-
+   recompute order is what makes the race benign: a writer that lands
+   after the exchange but before the read lock is acquired simply
+   re-marks the cache dirty, costing one redundant recompute, never a
+   stale answer to a client that already saw its commit complete. *)
+let shard_root (s : shard) =
+  locked s.s_root_lock (fun () ->
+      let dirty = Atomic.exchange s.s_root_dirty false in
+      match !(s.s_root_cache) with
+      | Some h when not dirty ->
+          Atomic.incr s.s_root_hits;
+          h
+      | _ ->
+          let h =
+            Rwlock.with_read s.s_rwlock (fun () -> Engine.root_hash s.s_engine)
+          in
+          s.s_root_cache := Some h;
+          Atomic.incr s.s_root_recomputes;
+          h)
+
+(* The hash the service publishes: the engine root itself for a
+   single-shard server (byte-compatible with the unsharded service),
+   the Merkle root-of-roots over the per-shard roots in shard order
+   otherwise. *)
+let published_root t =
+  if Array.length t.shards = 1 then shard_root t.shards.(0)
+  else
+    Merkle.root_of_roots
+      (Engine.algo (engine t))
+      (Array.to_list (Array.map shard_root t.shards))
+
+let merge_reports (a : Message.report) (b : Message.report) =
+  {
+    Message.rp_records = a.Message.rp_records + b.Message.rp_records;
+    rp_objects = a.Message.rp_objects + b.Message.rp_objects;
+    rp_signatures = a.Message.rp_signatures + b.Message.rp_signatures;
+    rp_violations = a.Message.rp_violations @ b.Message.rp_violations;
+  }
+
+(* Fold [f shard] over every shard in index order, each under its own
+   read lock, merging with [merge].  Sequential, not nested: no read
+   lock is held while another shard's is awaited, so a fan-out read
+   can never participate in a lock cycle. *)
+let fold_shards t f merge =
+  let acc = ref None in
+  Array.iter
+    (fun s ->
+      let r = Rwlock.with_read s.s_rwlock (fun () -> f s) in
+      acc := Some (match !acc with None -> r | Some a -> merge a r))
+    t.shards;
+  Option.get !acc
+
+(* Oid-addressed reads resolve against the owning shard and run under
+   its read lock in one step (so a concurrent delete cannot strand the
+   probe's answer). *)
+let with_owning_shard t oid f =
+  let n = Array.length t.shards in
+  let rec go k =
+    if k >= n then error_resp Message.Not_found "object not found in any shard"
+    else
+      let s = t.shards.(k) in
+      match
+        Rwlock.with_read s.s_rwlock (fun () ->
+            if Forest.mem (Engine.forest s.s_engine) oid then Some (f s)
+            else None)
+      with
+      | Some resp -> resp
+      | None -> go (k + 1)
+  in
+  go 0
+
+(* Read-side requests run concurrently with each other: nothing here
+   may mutate any engine.  Each shard's audit checkpoint and root
+   cache are the read-side mutables; each sits behind its own
+   per-shard mutex. *)
 let dispatch_read t (req : Message.request) =
-  let algo = Engine.algo t.engine in
-  let directory = Engine.directory t.engine in
+  let algo = Engine.algo (engine t) in
+  let directory = directory t in
   match req with
   | Message.Hello _ | Message.Auth _ ->
       error_resp Message.Bad_request "already authenticated"
@@ -709,38 +1125,93 @@ let dispatch_read t (req : Message.request) =
       (* normally answered before dispatch (see [handle_sealed]); kept
          here so the direct API path answers it too *)
       pong t
-  | Message.Query oid -> (
-      let oid = match oid with Some o -> o | None -> Engine.root_oid t.engine in
-      match Engine.deliver t.engine oid with
-      | Ok (_, records) -> Message.Records records
-      | Error e -> error_resp Message.Not_found e)
-  | Message.Verify (Some oid) -> (
+  | Message.Query (Some oid) ->
+      with_owning_shard t oid (fun s ->
+          match Engine.deliver s.s_engine oid with
+          | Ok (_, records) -> Message.Records records
+          | Error e -> error_resp Message.Not_found e)
+  | Message.Query None ->
+      (* the whole database: every shard's root provenance, in shard
+         order *)
+      fold_shards t
+        (fun s ->
+          match Engine.deliver s.s_engine (Engine.root_oid s.s_engine) with
+          | Ok (_, records) -> Message.Records records
+          | Error e -> error_resp Message.Not_found e)
+        (fun a b ->
+          match (a, b) with
+          | Message.Records xs, Message.Records ys -> Message.Records (xs @ ys)
+          | (Message.Error_resp _ as e), _ | _, (Message.Error_resp _ as e) ->
+              e
+          | other, _ -> other)
+  | Message.Verify (Some oid) ->
       Fault.hit verify_site;
-      match Engine.verify_object t.engine oid with
-      | Ok r -> Message.Verified { report = report r; store_audit = None }
-      | Error e -> error_resp Message.Not_found e)
+      with_owning_shard t oid (fun s ->
+          match Engine.verify_object s.s_engine oid with
+          | Ok r -> Message.Verified { report = report r; store_audit = None }
+          | Error e -> error_resp Message.Not_found e)
   | Message.Verify None -> (
       Fault.hit verify_site;
-      match Engine.verify_object t.engine (Engine.root_oid t.engine) with
-      | Ok r ->
-          let store =
-            Verifier.verify_records ?pool:t.pool ~algo ~directory
-              (Provstore.all (Engine.provstore t.engine))
+      (* per-shard root verification + store audit, merged: violation
+         lists concatenate in shard order, counters sum — R1-R8 cover
+         the union of the shards, which is the whole database *)
+      let verify_one (s : shard) =
+        if
+          shard_count t > 1
+          && Provstore.record_count (Engine.provstore s.s_engine) = 0
+          && Tep_store.Database.total_rows (Engine.backend s.s_engine) = 0
+        then
+          (* the shard never received a write: nothing is signed, so
+             there is nothing to verify — the same objects simply
+             would not exist in a serial run *)
+          let empty =
+            {
+              Verifier.violations = [];
+              records_checked = 0;
+              objects_checked = 0;
+              signatures_checked = 0;
+            }
           in
-          Message.Verified { report = report r; store_audit = Some (report store) }
+          Ok (report empty, report empty)
+        else
+          match
+            Engine.verify_object s.s_engine (Engine.root_oid s.s_engine)
+          with
+          | Ok r ->
+              let store =
+                Verifier.verify_records ?pool:t.pool ~algo ~directory
+                  (Provstore.all (Engine.provstore s.s_engine))
+              in
+              Ok (report r, report store)
+          | Error e -> Error e
+      in
+      match
+        fold_shards t verify_one (fun a b ->
+            match (a, b) with
+            | Ok (r1, s1), Ok (r2, s2) ->
+                Ok (merge_reports r1 r2, merge_reports s1 s2)
+            | (Error _ as e), _ | _, (Error _ as e) -> e)
+      with
+      | Ok (r, store) ->
+          Message.Verified { report = r; store_audit = Some store }
       | Error e -> error_resp Message.Failed e)
   | Message.Audit ->
-      locked t.audit_lock (fun () ->
-          let r, cp, examined =
-            Audit.incremental_audit ?pool:t.pool ~algo ~directory !(t.audit_cp)
-              (Engine.provstore t.engine)
-          in
-          t.audit_cp := cp;
-          Message.Audited
-            { report = report r; examined; objects = Audit.objects cp })
-  | Message.Root_hash ->
-      locked t.root_lock (fun () ->
-          Message.Root { hash = Engine.root_hash t.engine })
+      let audit_one (s : shard) =
+        locked s.s_audit_lock (fun () ->
+            let r, cp, examined =
+              Audit.incremental_audit ?pool:t.pool ~algo ~directory
+                !(s.s_audit_cp)
+                (Engine.provstore s.s_engine)
+            in
+            s.s_audit_cp := cp;
+            (report r, examined, Audit.objects cp))
+      in
+      let r, examined, objects =
+        fold_shards t audit_one (fun (r1, e1, o1) (r2, e2, o2) ->
+            (merge_reports r1 r2, e1 + e2, o1 + o2))
+      in
+      Message.Audited { report = r; examined; objects }
+  | Message.Root_hash -> Message.Root { hash = published_root t }
   | Message.Stats ->
       let s = batch_stats t in
       Message.Stats_resp
@@ -750,15 +1221,70 @@ let dispatch_read t (req : Message.request) =
           sign_wall_us = int_of_float (s.sign_wall_s *. 1e6);
           sign_cpu_us = int_of_float (s.sign_cpu_s *. 1e6);
         }
+  | Message.Shard_stats ->
+      Message.Shard_stats_resp
+        (Array.to_list
+           (Array.map
+              (fun s ->
+                let b = s.s_batcher in
+                Mutex.lock b.b_mutex;
+                let batches = b.b_batches and ops = b.b_ops in
+                let queued =
+                  List.fold_left
+                    (fun acc j -> acc + Array.length j.j_ops)
+                    0 b.b_queue
+                in
+                Mutex.unlock b.b_mutex;
+                {
+                  Message.ss_batches = batches;
+                  ss_ops = ops;
+                  ss_queued = queued;
+                  ss_root_recomputes = Atomic.get s.s_root_recomputes;
+                  ss_root_hits = Atomic.get s.s_root_hits;
+                })
+              t.shards))
 
+(* Checkpoint every shard under all write locks (taken in ascending
+   index order, the global multi-lock order).  With every shard
+   write-locked no 2PC can be mid-flight, so once each shard's WAL is
+   checkpointed — prepared transactions upgraded to Commit markers or
+   rolled into the snapshot — the coordinator's decision log carries
+   no live information and is truncated too. *)
 let dispatch_checkpoint t =
-  match t.checkpoint with
-  | None -> error_resp Message.Failed "checkpointing not configured"
-  | Some (dir, wal) -> (
-      match Recovery.checkpoint ~dir ~wal t.engine with
-      | Ok generation ->
-          Message.Checkpointed { generation; lsn = Tep_store.Wal.last_seq wal }
-      | Error e -> error_resp Message.Failed e)
+  let checkpoint_one (s : shard) =
+    match s.s_checkpoint with
+    | None -> Error "checkpointing not configured"
+    | Some (dir, wal) -> (
+        match Recovery.checkpoint ~dir ~wal s.s_engine with
+        | Ok generation -> Ok (generation, Tep_store.Wal.last_seq wal)
+        | Error e -> Error e)
+  in
+  let rec go k acc =
+    if k >= Array.length t.shards then Ok (List.rev acc)
+    else
+      match checkpoint_one t.shards.(k) with
+      | Ok r -> go (k + 1) (r :: acc)
+      | Error e ->
+          Error (Printf.sprintf "shard %d: %s" k e)
+  in
+  match go 0 [] with
+  | Error e -> error_resp Message.Failed e
+  | Ok results -> (
+      (match t.coord with
+      | Some coord ->
+          ignore
+            (Tep_store.Wal.truncate coord
+               ~upto:(Tep_store.Wal.last_seq coord))
+      | None -> ());
+      match results with
+      | (generation, lsn) :: _ -> Message.Checkpointed { generation; lsn }
+      | [] -> error_resp Message.Failed "no shards")
+
+let rec with_all_writes t k f =
+  if k >= Array.length t.shards then f ()
+  else
+    Rwlock.with_write t.shards.(k).s_rwlock (fun () ->
+        with_all_writes t (k + 1) f)
 
 let dispatch_locked t participant (req : Message.request) =
   match req with
@@ -768,13 +1294,14 @@ let dispatch_locked t participant (req : Message.request) =
       if Atomic.get t.draining then
         error_resp Message.Shutting_down "server is draining"
       else
-        Rwlock.with_write t.rwlock (fun () ->
+        with_all_writes t 0 (fun () ->
             try dispatch_checkpoint t
             with e -> error_resp Message.Failed (Printexc.to_string e))
-  | _ ->
-      Rwlock.with_read t.rwlock (fun () ->
-          try dispatch_read t req
-          with e -> error_resp Message.Failed (Printexc.to_string e))
+  | _ -> (
+      (* per-shard read locks are taken inside [dispatch_read], as
+         close to each shard access as possible *)
+      try dispatch_read t req
+      with e -> error_resp Message.Failed (Printexc.to_string e))
 
 (* ------------------------------------------------------------------ *)
 (* Handshake                                                           *)
@@ -786,7 +1313,7 @@ let handle_hello c ~name ~client_nonce =
   | None -> kill c (error_resp Message.Auth_failed ("unknown participant " ^ name))
   | Some participant -> (
       match
-        Participant.Directory.lookup_verified (Engine.directory t.engine) name
+        Participant.Directory.lookup_verified (directory t) name
       with
       | `Unknown | `Bad_certificate ->
           kill c

@@ -7,12 +7,14 @@ type entry =
   | Update_row of string * int * Value.t array
   | Commit of string
   | Blob of string
+  | Prepare of string * string
+  | Decide of string * int list
 
 let is_relational = function
   | Create_table _ | Drop_table _ | Insert_row _ | Delete_row _
   | Update_cell _ | Update_row _ ->
       true
-  | Commit _ | Blob _ -> false
+  | Commit _ | Blob _ | Prepare _ | Decide _ -> false
 
 type salvage = {
   entries : (int * entry) list;
@@ -115,6 +117,15 @@ let encode_entry buf = function
   | Blob payload ->
       Buffer.add_char buf '\x08';
       Value.add_string buf payload
+  | Prepare (txid, root_hash) ->
+      Buffer.add_char buf '\x09';
+      Value.add_string buf txid;
+      Value.add_string buf root_hash
+  | Decide (txid, shards) ->
+      Buffer.add_char buf '\x0a';
+      Value.add_string buf txid;
+      Value.add_varint buf (List.length shards);
+      List.iter (Value.add_varint buf) shards
 
 let decode_entry s off =
   if off >= String.length s then failwith "Wal.decode_entry: empty";
@@ -152,6 +163,23 @@ let decode_entry s off =
   | '\x08' ->
       let p, off = Value.read_string s (off + 1) in
       (Blob p, off)
+  | '\x09' ->
+      let txid, off = Value.read_string s (off + 1) in
+      let h, off = Value.read_string s off in
+      (Prepare (txid, h), off)
+  | '\x0a' ->
+      let txid, off = Value.read_string s (off + 1) in
+      let n, off = Value.read_varint s off in
+      if n < 0 || n > String.length s - off then
+        failwith "Wal.decode_entry: bad shard count";
+      let off = ref off in
+      let shards =
+        List.init n (fun _ ->
+            let v, o = Value.read_varint s !off in
+            off := o;
+            v)
+      in
+      (Decide (txid, shards), !off)
   | c -> failwith (Printf.sprintf "Wal.decode_entry: bad tag %#x" (Char.code c))
 
 (* ------------------------------------------------------------------ *)
@@ -551,7 +579,7 @@ let replay entries db =
             match Table.update_row t id cells with
             | Ok _ -> Ok ()
             | Error e -> Error e))
-    | Commit _ | Blob _ -> Ok ()
+    | Commit _ | Blob _ | Prepare _ | Decide _ -> Ok ()
   in
   List.fold_left
     (fun acc e -> match acc with Error _ -> acc | Ok () -> apply e)

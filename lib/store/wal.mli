@@ -43,10 +43,23 @@ type entry =
       (** opaque payload journaled by upper layers (the engine logs
           each emitted provenance record here, {!Tep_core.Record}
           encoded); ignored by {!replay} *)
+  | Prepare of string * string
+      (** (txid, root_hash): intent marker for a cross-shard two-phase
+          commit.  Written in place of [Commit] by a shard
+          participating in a distributed transaction; it becomes a
+          commit marker only once the coordinator log carries a
+          matching [Decide] for the same txid.  Recovery treats an
+          undecided [Prepare] like any non-marker frame, so the
+          prepared work is rolled back. *)
+  | Decide of string * int list
+      (** (txid, participant shard indices): coordinator commit
+          decision.  Appended (and flushed) to the coordinator log
+          only after every participant's [Prepare] is durable; its
+          presence makes each matching [Prepare] a commit marker. *)
 
 val is_relational : entry -> bool
 (** True for the six backend-mutating entries, false for
-    [Commit]/[Blob]. *)
+    [Commit]/[Blob]/[Prepare]/[Decide]. *)
 
 type salvage = {
   entries : (int * entry) list;  (** (frame seq, entry), in log order *)
@@ -117,8 +130,8 @@ val read_file : string -> entry list
     @raise Sys_error on I/O failure. *)
 
 val replay : entry list -> Database.t -> (unit, string) result
-(** Apply entries in order to a database.  [Commit]/[Blob] entries are
-    skipped. *)
+(** Apply entries in order to a database.  [Commit]/[Blob]/[Prepare]/
+    [Decide] entries are skipped. *)
 
 val load_and_replay : string -> Database.t -> (int, string) result
 (** Salvage a log file and replay it into a database; returns the

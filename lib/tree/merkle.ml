@@ -41,6 +41,17 @@ let node_hash algo oid value (children : (Oid.t * string) list) =
   node_frame buf oid value (List.map fst children);
   digest_frame algo (Buffer.contents buf) (List.map snd children)
 
+(* Root-of-roots frame: 'S' | varint n | (varint len | hash)*.  The
+   'S' prefix domain-separates it from node ('N') and atomic ('A')
+   frames, and the length prefixes keep the encoding injective even if
+   shard roots ever had different digest widths. *)
+let root_of_roots algo shard_roots =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf 'S';
+  Value.add_varint buf (List.length shard_roots);
+  List.iter (Value.add_string buf) shard_roots;
+  Digest_algo.digest algo (Buffer.contents buf)
+
 type stats = { nodes_hashed : int; cache_hits : int; invalidations : int }
 
 type cache = {

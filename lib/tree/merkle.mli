@@ -33,6 +33,14 @@ val node_hash :
     pairs (oid-sorted) — the one-level step of the recursive
     definition, exposed for {!Proof} verification. *)
 
+val root_of_roots : Tep_crypto.Digest_algo.algo -> string list -> string
+(** Deterministic combination of per-shard root hashes, in shard
+    order, into the single hash published for a sharded database.
+    Domain-separated from node and atomic frames and injective in the
+    list of roots, so two shard configurations agree iff every shard
+    root agrees.  [root_of_roots algo [h]] is {e not} [h]: a 1-shard
+    deployment publishes the engine root directly instead. *)
+
 (** {1 Cached (Economical) hashing} *)
 
 type cache

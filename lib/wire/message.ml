@@ -42,6 +42,21 @@ type request =
   | Submit_idem of { rid : string; op : op }
   | Checkpoint_idem of { rid : string }
   | Ping (* readiness/health probe; never shed, never queued *)
+  (* -- v4 addition, same new-tags-only discipline as v3: per-shard
+     observability for sharded deployments.  A single-shard server
+     answers with one entry, so v3 clients simply never ask. *)
+  | Shard_stats
+
+(* One shard's counters: its group-commit batcher plus the server-side
+   root-cache behaviour (a write to shard k must invalidate only shard
+   k's cached root — recomputes/hits make that observable). *)
+type shard_stat = {
+  ss_batches : int;
+  ss_ops : int;
+  ss_queued : int; (* submit ops sitting in this shard's batcher queue *)
+  ss_root_recomputes : int; (* root-cache misses: engine root rehashed *)
+  ss_root_hits : int; (* root served from the per-shard cache *)
+}
 
 (* A verifier report flattened for the wire: violations travel as
    their rendered strings, so the client can reproduce the server's
@@ -98,6 +113,7 @@ type response =
       (* typed overload shed: admission control refused the request
          before any execution; the client should back off at least
          [retry_after_ms] before retrying (same rid is safe) *)
+  | Shard_stats_resp of shard_stat list (* one entry per shard, in shard order *)
   | Error_resp of { code : error_code; message : string }
 
 (* ------------------------------------------------------------------ *)
@@ -289,6 +305,7 @@ let encode_request buf = function
       Buffer.add_char buf '\x0b';
       Value.add_string buf rid
   | Ping -> Buffer.add_char buf '\x0c'
+  | Shard_stats -> Buffer.add_char buf '\x0d'
 
 let decode_request s off =
   if off >= String.length s then failwith "Message: empty request";
@@ -322,6 +339,7 @@ let decode_request s off =
       let rid, off = Value.read_string s (off + 1) in
       (Checkpoint_idem { rid }, off)
   | '\x0c' -> (Ping, off + 1)
+  | '\x0d' -> (Shard_stats, off + 1)
   | c -> failwith (Printf.sprintf "Message: bad request tag %#x" (Char.code c))
 
 let request_to_string r =
@@ -426,6 +444,17 @@ let encode_response buf = function
       Buffer.add_char buf '\x8b';
       Value.add_varint buf retry_after_ms;
       Value.add_string buf message
+  | Shard_stats_resp shards ->
+      Buffer.add_char buf '\x8c';
+      Value.add_varint buf (List.length shards);
+      List.iter
+        (fun s ->
+          Value.add_varint buf s.ss_batches;
+          Value.add_varint buf s.ss_ops;
+          Value.add_varint buf s.ss_queued;
+          Value.add_varint buf s.ss_root_recomputes;
+          Value.add_varint buf s.ss_root_hits)
+        shards
   | Error_resp { code; message } ->
       Buffer.add_char buf '\xff';
       Value.add_varint buf (error_code_tag code);
@@ -530,6 +559,20 @@ let decode_response s off =
       let retry_after_ms, off = Value.read_varint s (off + 1) in
       let message, off = Value.read_string s off in
       (Overloaded_resp { retry_after_ms; message }, off)
+  | '\x8c' ->
+      let n, off = Value.read_varint s (off + 1) in
+      let off = ref off in
+      let shards =
+        List.init n (fun _ ->
+            let ss_batches, o = Value.read_varint s !off in
+            let ss_ops, o = Value.read_varint s o in
+            let ss_queued, o = Value.read_varint s o in
+            let ss_root_recomputes, o = Value.read_varint s o in
+            let ss_root_hits, o = Value.read_varint s o in
+            off := o;
+            { ss_batches; ss_ops; ss_queued; ss_root_recomputes; ss_root_hits })
+      in
+      (Shard_stats_resp shards, !off)
   | '\xff' ->
       let tag, off = Value.read_varint s (off + 1) in
       let message, off = Value.read_string s off in

@@ -1,0 +1,586 @@
+(* Sharded-forest tests: routing determinism, the Merkle
+   root-of-roots, the cross-shard two-phase commit protocol (including
+   crash-point enumeration over every interleaving of shard flushes),
+   server-side shard routing, per-shard root-cache invalidation, and
+   the adaptive pool work-size gate.
+
+   Everything is deterministic: participants come from fixed DRBG
+   seeds, fault ordinals are explicit, and the engine emits no
+   wall-clock state into records — so "sharded execution equals a
+   serial re-execution of the same op stream" can be asserted as
+   byte-identical root-of-roots. *)
+open Tep_store
+open Tep_core
+module Fault = Tep_fault.Fault
+module Merkle = Tep_tree.Merkle
+module Pool = Tep_parallel.Pool
+module Message = Tep_wire.Message
+module Server = Tep_server.Server
+module Client = Tep_client.Client
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let drbg = Tep_crypto.Drbg.create ~seed:"shard-harness"
+let ca = Tep_crypto.Pki.create_ca ~bits:512 ~name:"CA" drbg
+
+let directory =
+  Participant.Directory.create ~ca_key:(Tep_crypto.Pki.ca_public_key ca)
+
+let alice = Participant.create ~bits:512 ~ca ~name:"alice" drbg
+let () = Participant.Directory.register directory alice
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_workdir f =
+  let dir = Filename.temp_file "tep_shard" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.reset ();
+      try rm_rf dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+(* The first table name of the form tN that the stable hash routes to
+   shard [k] — lets the tests address a specific shard without
+   hard-coding hash values. *)
+let table_for_shard ~shards k =
+  let rec go i =
+    let name = Printf.sprintf "t%d" i in
+    if Shards.shard_of_table ~shards name = k then name else go (i + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_routing_stable () =
+  (* same inputs, same answers, forever: the shard map is durable *)
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun name ->
+          let a = Shards.shard_of_table ~shards name in
+          let b = Shards.shard_of_table ~shards name in
+          Alcotest.(check int) (Printf.sprintf "%s/%d stable" name shards) a b;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%d in range" name shards)
+            true
+            (a >= 0 && a < shards))
+        [ "stock"; "orders"; "t0"; "t1"; ""; "a-very-long-table-name" ])
+    [ 1; 2; 4; 8; 64 ];
+  (* 1 shard routes everything to 0 *)
+  Alcotest.(check int) "1 shard" 0 (Shards.shard_of_table ~shards:1 "anything")
+
+let test_routing_spreads () =
+  (* 100 synthetic names over 4 shards: every shard owns at least one
+     (the hash is not degenerate) *)
+  let seen = Array.make 4 0 in
+  for i = 0 to 99 do
+    let k = Shards.shard_of_table ~shards:4 (Printf.sprintf "table_%d" i) in
+    seen.(k) <- seen.(k) + 1
+  done;
+  Array.iteri
+    (fun k n ->
+      Alcotest.(check bool) (Printf.sprintf "shard %d non-empty" k) true (n > 0))
+    seen
+
+let test_routing_overrides () =
+  let overrides = [ ("hot", 3); ("bogus", 99) ] in
+  Alcotest.(check int) "pinned" 3
+    (Shards.shard_of_table ~shards:4 ~overrides "hot");
+  (* out-of-range pin falls back to the hash *)
+  Alcotest.(check int) "bad pin ignored"
+    (Shards.shard_of_table ~shards:4 "bogus")
+    (Shards.shard_of_table ~shards:4 ~overrides "bogus")
+
+(* ------------------------------------------------------------------ *)
+(* Root-of-roots                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let algo = Tep_crypto.Digest_algo.SHA1
+
+let test_root_of_roots () =
+  let r1 = Merkle.root_of_roots algo [ "aaaa"; "bbbb" ] in
+  let r2 = Merkle.root_of_roots algo [ "aaaa"; "bbbb" ] in
+  Alcotest.(check string) "deterministic" r1 r2;
+  Alcotest.(check bool) "order matters" true
+    (r1 <> Merkle.root_of_roots algo [ "bbbb"; "aaaa" ]);
+  Alcotest.(check bool) "length-prefixed (no concat ambiguity)" true
+    (Merkle.root_of_roots algo [ "ab"; "c" ]
+    <> Merkle.root_of_roots algo [ "a"; "bc" ]);
+  Alcotest.(check bool) "domain-separated from the raw hash" true
+    (Merkle.root_of_roots algo [ "aaaa" ] <> "aaaa");
+  Alcotest.(check bool) "arity matters" true
+    (Merkle.root_of_roots algo [ "aaaa" ]
+    <> Merkle.root_of_roots algo [ "aaaa"; "aaaa" ])
+
+(* The same op stream, executed (a) sharded with interleaved arrivals
+   and (b) sharded with grouped arrivals, yields byte-identical
+   per-shard roots and root-of-roots — commit order within a shard is
+   what matters, not global interleaving. *)
+let make_engine table =
+  let db = Database.create ~name:"sharddb" in
+  let eng = Engine.create ~directory db in
+  ok (Engine.create_table eng alice ~name:table (Schema.all_int [ "a"; "b" ]));
+  eng
+
+let test_sharded_vs_serial_roots () =
+  let t0 = table_for_shard ~shards:2 0 and t1 = table_for_shard ~shards:2 1 in
+  let run interleaved =
+    let e0 = make_engine t0 and e1 = make_engine t1 in
+    let ops =
+      if interleaved then [ (e0, t0, 1); (e1, t1, 2); (e0, t0, 3); (e1, t1, 4) ]
+      else [ (e0, t0, 1); (e0, t0, 3); (e1, t1, 2); (e1, t1, 4) ]
+    in
+    List.iter
+      (fun (e, t, v) ->
+        ignore
+          (ok (Engine.insert_row e alice ~table:t [| Value.Int v; Value.Int v |])))
+      ops;
+    Merkle.root_of_roots (Engine.algo e0)
+      [ Engine.root_hash e0; Engine.root_hash e1 ]
+  in
+  Alcotest.(check string) "interleaving-independent root-of-roots"
+    (run false) (run true)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-shard 2PC: protocol behaviour                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Two shard directories with WALs + one baseline committed insert
+   each, checkpointed so recovery always has a generation to start
+   from.  Returns live engines + the coordinator WAL. *)
+let shard_dirs dir = [| Filename.concat dir "shard-0"; Filename.concat dir "shard-1" |]
+let coord_path dir = Filename.concat dir "coord.wal"
+
+let build_shards dir =
+  let t0 = table_for_shard ~shards:2 0 and t1 = table_for_shard ~shards:2 1 in
+  let engines =
+    Array.mapi
+      (fun k sdir ->
+        Unix.mkdir sdir 0o755;
+        let wal = Wal.open_file (Filename.concat sdir "wal.log") in
+        let db = Database.create ~name:"sharddb" in
+        let eng = Engine.create ~wal ~directory db in
+        let table = if k = 0 then t0 else t1 in
+        ok (Engine.create_table eng alice ~name:table (Schema.all_int [ "a"; "b" ]));
+        ignore
+          (ok (Engine.insert_row eng alice ~table [| Value.Int 1; Value.Int 1 |]));
+        ignore (ok (Recovery.checkpoint ~dir:sdir ~wal eng));
+        (eng, wal, table))
+      (shard_dirs dir)
+  in
+  let coord = Wal.open_file (coord_path dir) in
+  (engines, coord)
+
+let cross_parts engines v =
+  Array.to_list
+    (Array.mapi
+       (fun k (eng, _, table) ->
+         {
+           Shards.p_shard = k;
+           p_engine = eng;
+           p_by = alice;
+           p_body =
+             (fun () ->
+               match
+                 Engine.insert_row eng alice ~table
+                   [| Value.Int v; Value.Int (v * v) |]
+               with
+               | Ok _ -> Ok ()
+               | Error e -> Error e);
+         })
+       engines)
+
+let rows_of eng table =
+  Table.row_count (Database.get_table_exn (Engine.backend eng) table)
+
+let test_2pc_commit () =
+  with_workdir (fun dir ->
+      let engines, coord = build_shards dir in
+      let r =
+        ok (Shards.commit_cross ~coord ~txid:"tx-1" (cross_parts engines 7))
+      in
+      let committed, warnings = r in
+      Alcotest.(check int) "both shards committed" 2 (List.length committed);
+      Alcotest.(check (list string)) "no phase-2 warnings" [] warnings;
+      Array.iter
+        (fun (eng, _, table) ->
+          Alcotest.(check int) "row landed" 2 (rows_of eng table))
+        engines;
+      Alcotest.(check (list string)) "decision durable" [ "tx-1" ]
+        (Shards.decided_txids (coord_path dir));
+      (* live engines still verify *)
+      Array.iter
+        (fun (eng, _, _) ->
+          Alcotest.(check bool) "shard verifies" true
+            (Verifier.ok (ok (Engine.verify_object eng (Engine.root_oid eng)))))
+        engines)
+
+let test_2pc_partial_reject () =
+  with_workdir (fun dir ->
+      let engines, coord = build_shards dir in
+      (* shard 1's body rejects before mutating: it must drop out with
+         nothing journaled while shard 0 commits *)
+      let parts =
+        match cross_parts engines 9 with
+        | [ p0; p1 ] ->
+            [ p0; { p1 with Shards.p_body = (fun () -> Error "nope") } ]
+        | _ -> assert false
+      in
+      let committed, _ = ok (Shards.commit_cross ~coord ~txid:"tx-2" parts) in
+      Alcotest.(check (list int)) "only shard 0 committed" [ 0 ]
+        (List.map fst committed);
+      let e0, _, t0 = engines.(0) and e1, _, t1 = engines.(1) in
+      Alcotest.(check int) "shard 0 grew" 2 (rows_of e0 t0);
+      Alcotest.(check int) "shard 1 untouched" 1 (rows_of e1 t1);
+      (* an all-reject transaction writes no decision at all *)
+      let parts_all_fail =
+        List.map
+          (fun p -> { p with Shards.p_body = (fun () -> Error "nope") })
+          (cross_parts engines 10)
+      in
+      let committed2, _ =
+        ok (Shards.commit_cross ~coord ~txid:"tx-3" parts_all_fail)
+      in
+      Alcotest.(check int) "nothing committed" 0 (List.length committed2);
+      Alcotest.(check (list string)) "tx-3 never decided" [ "tx-2" ]
+        (Shards.decided_txids (coord_path dir)))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-shard 2PC: crash-point enumeration                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Crash the process at every failpoint ordinal covering: inside shard
+   0's prepare, inside shard 1's prepare (i.e. between the two shard
+   WAL flushes), before the coordinator Decide, and during each
+   phase-2 marker.  After each crash, recover both shards with the
+   coordinator's decision set and require the shards to AGREE — both
+   have the transaction or neither — and the recovered root-of-roots
+   to equal the pre- or post-transaction serial execution. *)
+let recover_shard dir k =
+  let sdir = (shard_dirs dir).(k) in
+  let is_decided = Shards.is_decided_from (coord_path dir) in
+  let eng, wal, report = ok (Recovery.recover ~is_decided ~dir:sdir ~directory ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "shard %d hash cross-check" k)
+    true report.Recovery.hash_verified;
+  (eng, wal)
+
+let test_2pc_crash_enumeration () =
+  (* reference run: the committed outcome every crash must converge to
+     (or stay at the baseline) *)
+  let expected_pre, expected_post =
+    with_workdir (fun dir ->
+        let engines, coord = build_shards dir in
+        let ror () =
+          let e0, _, _ = engines.(0) and e1, _, _ = engines.(1) in
+          Merkle.root_of_roots (Engine.algo e0)
+            [ Engine.root_hash e0; Engine.root_hash e1 ]
+        in
+        let pre = ror () in
+        ignore (ok (Shards.commit_cross ~coord ~txid:"tx-ref" (cross_parts engines 7)));
+        (pre, ror ()))
+  in
+  Alcotest.(check bool) "reference run changed the root" true
+    (expected_pre <> expected_post);
+  let scenarios =
+    List.concat_map
+      (fun site -> List.map (fun after -> (site, after)) [ 1; 2; 3; 4; 5 ])
+      [ "wal.append.frame"; "wal.flush" ]
+    @ [ (Shards.site_decide, 1); (Shards.site_phase2, 1); (Shards.site_phase2, 2) ]
+  in
+  List.iter
+    (fun (site, after) ->
+      let name = Printf.sprintf "2pc-crash:%s:#%d" site after in
+      with_workdir (fun dir ->
+          let engines, coord = build_shards dir in
+          Fault.seed name;
+          Fault.arm ~after site Fault.Crash_point;
+          let crashed =
+            match Shards.commit_cross ~coord ~txid:"tx-ref" (cross_parts engines 7) with
+            | Ok _ | Error _ -> false
+            | exception Fault.Crash _ -> true
+          in
+          Fault.reset ();
+          (* the process is dead; recover both shards from disk *)
+          Array.iter (fun (_, wal, _) -> Wal.close wal) engines;
+          Wal.close coord;
+          let e0, w0 = recover_shard dir 0 in
+          let e1, w1 = recover_shard dir 1 in
+          let _, _, t0 = engines.(0) and _, _, t1 = engines.(1) in
+          let n0 = rows_of e0 t0 and n1 = rows_of e1 t1 in
+          Alcotest.(check bool)
+            (name ^ ": shards agree")
+            true (n0 = n1);
+          let ror =
+            Merkle.root_of_roots (Engine.algo e0)
+              [ Engine.root_hash e0; Engine.root_hash e1 ]
+          in
+          if ror <> expected_pre && ror <> expected_post then
+            Alcotest.failf "%s: recovered root-of-roots matches neither the \
+                            pre- nor post-transaction serial execution"
+              name;
+          (* decided implies committed, undecided implies rolled back *)
+          let decided = Shards.is_decided_from (coord_path dir) "tx-ref" in
+          if decided then
+            Alcotest.(check string) (name ^ ": decided => post") expected_post ror
+          else Alcotest.(check string) (name ^ ": undecided => pre") expected_pre ror;
+          ignore crashed;
+          (* recovered shards accept new work *)
+          ignore (ok (Engine.insert_row e0 alice ~table:t0 [| Value.Int 9; Value.Int 9 |]));
+          ignore (ok (Engine.insert_row e1 alice ~table:t1 [| Value.Int 9; Value.Int 9 |]));
+          Wal.close w0;
+          Wal.close w1))
+    scenarios
+
+(* ------------------------------------------------------------------ *)
+(* Server-level sharding                                               *)
+(* ------------------------------------------------------------------ *)
+
+let make_sharded_server () =
+  let t0 = table_for_shard ~shards:2 0 and t1 = table_for_shard ~shards:2 1 in
+  let e0 = make_engine t0 and e1 = make_engine t1 in
+  let coord_file = Filename.temp_file "tep_shard_coord" ".wal" in
+  let coord = Wal.open_file coord_file in
+  let server =
+    Server.create
+      ~drbg:(Tep_crypto.Drbg.create ~seed:"server")
+      ~participants:[ ("alice", alice) ]
+      ~shards:[ (e1, None) ] ~coord e0
+  in
+  (server, e0, e1, t0, t1, coord_file)
+
+let test_server_routes_shards () =
+  let server, e0, e1, t0, t1, coord_file = make_sharded_server () in
+  let c = Client.loopback ~drbg:(Tep_crypto.Drbg.create ~seed:"client") server in
+  ok (Client.authenticate c alice);
+  ignore (ok (Client.insert c ~table:t0 [| Value.Int 1; Value.Int 10 |]));
+  ignore (ok (Client.insert c ~table:t1 [| Value.Int 2; Value.Int 20 |]));
+  ignore (ok (Client.insert c ~table:t1 [| Value.Int 3; Value.Int 30 |]));
+  (* each write landed on its own engine *)
+  Alcotest.(check int) "shard 0 rows" 1 (rows_of e0 t0);
+  Alcotest.(check int) "shard 1 rows" 2 (rows_of e1 t1);
+  (* the published root is the root-of-roots, not either engine root *)
+  let root = ok (Client.root_hash c) in
+  Alcotest.(check string) "root-of-roots published"
+    (Merkle.root_of_roots (Engine.algo e0)
+       [ Engine.root_hash e0; Engine.root_hash e1 ])
+    root;
+  (* whole-database verify covers both shards *)
+  let report, store_audit = ok (Client.verify c ()) in
+  Alcotest.(check bool) "verify ok" true (Message.report_ok report);
+  (match store_audit with
+  | Some a -> Alcotest.(check bool) "store audit ok" true (Message.report_ok a)
+  | None -> Alcotest.fail "whole-db verify must include a store audit");
+  (* unknown table still rejected *)
+  (match Client.insert c ~table:"missing" [| Value.Int 1 |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "insert into unknown table must fail");
+  Client.close c;
+  Sys.remove coord_file
+
+let test_server_shard_cache_invalidation () =
+  let server, _, _, t0, t1, coord_file = make_sharded_server () in
+  let c = Client.loopback ~drbg:(Tep_crypto.Drbg.create ~seed:"client") server in
+  ok (Client.authenticate c alice);
+  ignore (ok (Client.insert c ~table:t0 [| Value.Int 1; Value.Int 10 |]));
+  ignore (ok (Client.insert c ~table:t1 [| Value.Int 2; Value.Int 20 |]));
+  let stats () =
+    List.map
+      (fun s -> (s.Message.ss_root_recomputes, s.Message.ss_root_hits))
+      (ok (Client.shard_stats c))
+  in
+  (* first root-hash computes both shards; second hits both caches *)
+  ignore (ok (Client.root_hash c));
+  let s1 = stats () in
+  ignore (ok (Client.root_hash c));
+  let s2 = stats () in
+  List.iteri
+    (fun k ((rc1, _), (rc2, h2)) ->
+      Alcotest.(check int) (Printf.sprintf "shard %d cached" k) rc1 rc2;
+      Alcotest.(check bool) (Printf.sprintf "shard %d hit" k) true (h2 > 0))
+    (List.combine s1 s2);
+  (* a write to shard 1 must invalidate ONLY shard 1's entry *)
+  ignore (ok (Client.insert c ~table:t1 [| Value.Int 3; Value.Int 30 |]));
+  ignore (ok (Client.root_hash c));
+  let s3 = stats () in
+  (match (s2, s3) with
+  | [ (rc0_before, _); (rc1_before, _) ], [ (rc0_after, _); (rc1_after, _) ] ->
+      Alcotest.(check int) "shard 0 cache survives" rc0_before rc0_after;
+      Alcotest.(check int) "shard 1 recomputed" (rc1_before + 1) rc1_after
+  | _ -> Alcotest.fail "expected 2 shard stats");
+  Client.close c;
+  Sys.remove coord_file
+
+(* A multi-op batch spanning both shards goes through the 2PC
+   coordinator path: both Submitted, the decision journaled. *)
+let test_server_cross_shard_batch () =
+  let server, e0, e1, t0, t1, coord_file = make_sharded_server () in
+  let responses =
+    Server.submit_ops server alice
+      [|
+        Message.Op_insert { table = t0; cells = [| Value.Int 1; Value.Int 1 |] };
+        Message.Op_insert { table = t1; cells = [| Value.Int 2; Value.Int 2 |] };
+      |]
+  in
+  Array.iter
+    (function
+      | Message.Submitted _ -> ()
+      | r ->
+          Alcotest.failf "cross-shard op not committed: %s"
+            (match r with
+            | Message.Error_resp { message; _ } -> message
+            | _ -> "unexpected response"))
+    responses;
+  Alcotest.(check int) "shard 0 grew" 1 (rows_of e0 t0);
+  Alcotest.(check int) "shard 1 grew" 1 (rows_of e1 t1);
+  let decided = Shards.decided_txids coord_file in
+  Alcotest.(check int) "one decision journaled" 1 (List.length decided);
+  (* single-shard batches stay off the coordinator *)
+  let responses2 =
+    Server.submit_ops server alice
+      [|
+        Message.Op_insert { table = t0; cells = [| Value.Int 3; Value.Int 3 |] };
+        Message.Op_insert { table = t0; cells = [| Value.Int 4; Value.Int 4 |] };
+      |]
+  in
+  Array.iter
+    (function
+      | Message.Submitted _ -> ()
+      | _ -> Alcotest.fail "single-shard op failed")
+    responses2;
+  Alcotest.(check int) "no new decision" 1
+    (List.length (Shards.decided_txids coord_file));
+  Sys.remove coord_file
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive pool gate                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_serial_below_semantics () =
+  let pool = Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      List.iter
+        (fun serial_below ->
+          List.iter
+            (fun n ->
+              let input = Array.init n (fun i -> i) in
+              let got =
+                Pool.map_chunked ~serial_below pool (fun i -> (i * 3) + 1) input
+              in
+              Alcotest.(check (array int))
+                (Printf.sprintf "n=%d gate=%d" n serial_below)
+                (Array.map (fun i -> (i * 3) + 1) input)
+                got)
+            [ 0; 1; 3; 64 ])
+        [ 0; 1; 4; 1000 ];
+      (* under the gate the whole call runs on the calling domain *)
+      let self = Domain.self () in
+      let others = Stdlib.Atomic.make 0 in
+      Pool.parallel_for ~serial_below:1000 pool ~lo:0 ~hi:99 (fun _ ->
+          if Domain.self () <> self then Stdlib.Atomic.incr others);
+      Alcotest.(check int) "gated run stays on the caller" 0 (Stdlib.Atomic.get others);
+      (* above the gate a 4-domain pool really does fan out.  The
+         caller helps drain the chunk queue, so each item must carry
+         enough work for a worker domain to win at least one chunk;
+         retry to shed scheduler flakiness. *)
+      let seen_other = Stdlib.Atomic.make false in
+      let spin () =
+        let x = ref 0 in
+        for _ = 1 to 100_000 do
+          incr x
+        done;
+        ignore (Sys.opaque_identity !x)
+      in
+      let attempts = ref 0 in
+      while (not (Stdlib.Atomic.get seen_other)) && !attempts < 10 do
+        incr attempts;
+        Pool.parallel_for ~serial_below:10 ~chunk:1 pool ~lo:0 ~hi:99 (fun _ ->
+            spin ();
+            if Domain.self () <> self then Stdlib.Atomic.set seen_other true)
+      done;
+      Alcotest.(check bool) "ungated run fans out" true
+        (Stdlib.Atomic.get seen_other))
+
+(* The 1-core regression assertion: on a 1-domain pool, the pooled
+   call with the gate must not be slower than the plain serial loop
+   beyond noise.  The generous factor keeps this meaningful (it fails
+   if gating is broken and the pool round-trips through a queue) while
+   staying robust on loaded CI machines. *)
+let test_pool_1core_not_slower () =
+  let n = 50_000 in
+  let input = Array.init n (fun i -> i) in
+  let work i = (i * 1103515245) + 12345 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    Unix.gettimeofday () -. t0
+  in
+  let serial () = time (fun () -> Array.map work input) in
+  let pooled pool () =
+    time (fun () -> Pool.map_chunked ~serial_below:max_int pool work input)
+  in
+  let pool = Pool.create ~domains:1 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      (* warm both paths, then take the best of 3 to shed scheduler noise *)
+      ignore (serial ());
+      ignore (pooled pool ());
+      let best f = List.fold_left min infinity [ f (); f (); f () ] in
+      let ts = best serial and tp = best (pooled pool) in
+      Alcotest.(check bool)
+        (Printf.sprintf "gated pooled (%.4fs) not slower than serial (%.4fs) \
+                         beyond noise"
+           tp ts)
+        true
+        (tp <= (ts *. 5.) +. 0.01))
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "routing",
+        [
+          Alcotest.test_case "stable" `Quick test_routing_stable;
+          Alcotest.test_case "spreads" `Quick test_routing_spreads;
+          Alcotest.test_case "overrides" `Quick test_routing_overrides;
+        ] );
+      ( "root-of-roots",
+        [
+          Alcotest.test_case "construction" `Quick test_root_of_roots;
+          Alcotest.test_case "sharded = serial" `Quick
+            test_sharded_vs_serial_roots;
+        ] );
+      ( "2pc",
+        [
+          Alcotest.test_case "commit" `Quick test_2pc_commit;
+          Alcotest.test_case "partial reject" `Quick test_2pc_partial_reject;
+          Alcotest.test_case "crash enumeration" `Quick
+            test_2pc_crash_enumeration;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "routes" `Quick test_server_routes_shards;
+          Alcotest.test_case "cache invalidation" `Quick
+            test_server_shard_cache_invalidation;
+          Alcotest.test_case "cross-shard batch" `Quick
+            test_server_cross_shard_batch;
+        ] );
+      ( "pool-gate",
+        [
+          Alcotest.test_case "serial_below semantics" `Quick
+            test_pool_serial_below_semantics;
+          Alcotest.test_case "1-core not slower" `Quick
+            test_pool_1core_not_slower;
+        ] );
+    ]

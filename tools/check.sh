@@ -33,16 +33,23 @@ TEP_SCALE=smoke TEP_BENCH_JSON=0 dune exec bench/main.exe -- serve-pipeline
 echo "== chaos (network fault soak) =="
 TEP_CHAOS_SEED="${TEP_CHAOS_SEED:-tep-chaos-0}" dune exec test/test_chaos.exe
 
+echo "== shard (shard determinism suite) =="
+TEP_DOMAINS=4 dune exec test/test_shard.exe
+
+echo "== shard-smoke (sharded write throughput + root determinism) =="
+TEP_SCALE=smoke TEP_BENCH_JSON=0 dune exec bench/main.exe -- shard
+
 echo "== serve-smoke (scripted provdbd session) =="
 PROVDB=_build/default/bin/provdb.exe
 PROVDBD=_build/default/bin/provdbd.exe
 ws=$(mktemp -d)/ws
+ws2=$(mktemp -d)/ws
 cleanup() {
   if [ -n "${daemon_pid:-}" ]; then
     kill "$daemon_pid" 2>/dev/null || true
     wait "$daemon_pid" 2>/dev/null || true
   fi
-  rm -rf "$(dirname "$ws")"
+  rm -rf "$(dirname "$ws")" "$(dirname "$ws2")"
 }
 trap cleanup EXIT
 
@@ -51,7 +58,7 @@ trap cleanup EXIT
 
 wait_for_socket() {
   i=0
-  while [ ! -S "$ws/provdbd.sock" ]; do
+  while [ ! -S "$1/provdbd.sock" ]; do
     i=$((i + 1))
     [ "$i" -le 100 ] || { echo "daemon socket never appeared"; exit 1; }
     sleep 0.1
@@ -59,7 +66,7 @@ wait_for_socket() {
 }
 
 "$PROVDBD" "$ws" & daemon_pid=$!
-wait_for_socket
+wait_for_socket "$ws"
 "$PROVDB" remote insert "$ws" --as alice --table stock --values 'WIDGET-1,100'
 "$PROVDB" remote query "$ws" --as alice > /dev/null
 "$PROVDB" remote verify "$ws" --as alice
@@ -77,7 +84,7 @@ if [ "$drain_status" -ne 0 ]; then
 fi
 daemon_pid=
 "$PROVDBD" "$ws" & daemon_pid=$!
-wait_for_socket
+wait_for_socket "$ws"
 root_after=$("$PROVDB" remote root-hash "$ws" --as alice)
 if [ "$root_before" != "$root_after" ]; then
   echo "FAIL: root hash changed across SIGTERM drain + restart"
@@ -92,7 +99,7 @@ wait "$daemon_pid"
 "$PROVDB" tamper "$ws" --attack data
 
 "$PROVDBD" "$ws" & daemon_pid=$!
-wait_for_socket
+wait_for_socket "$ws"
 status=0
 "$PROVDB" remote verify "$ws" --as alice || status=$?
 kill -TERM "$daemon_pid"
@@ -102,5 +109,50 @@ if [ "$status" -ne 3 ]; then
   exit 1
 fi
 echo "serve-smoke: tampering reported over the wire (exit 3)"
+
+echo "== shard-smoke (scripted multi-shard provdbd session) =="
+# Two tables the routing hash places on different shards of a 2-shard
+# workspace: stock -> shard 1, orders -> shard 0.
+"$PROVDB" init "$ws2" --shards 2 \
+  --table 'stock:sku,qty@int' --table 'orders:id@int,amount@int'
+"$PROVDB" participant "$ws2" alice
+
+TEP_DOMAINS=4 "$PROVDBD" "$ws2" --shards 2 & daemon_pid=$!
+wait_for_socket "$ws2"
+"$PROVDB" remote insert "$ws2" --as alice --table stock --values 'WIDGET-1,100'
+"$PROVDB" remote insert "$ws2" --as alice --table orders --values '1,250'
+"$PROVDB" remote verify "$ws2" --as alice
+stats=$("$PROVDB" remote shard-stats "$ws2" --as alice)
+echo "$stats"
+if ! echo "$stats" | grep -q '^shard 1:'; then
+  echo "FAIL: shard-stats did not report a second shard"
+  exit 1
+fi
+
+# kill + restart: the published root-of-roots must survive the drain
+# and cover both shards identically on the way back up
+roots_before=$("$PROVDB" remote root-hash "$ws2" --as alice)
+kill -TERM "$daemon_pid"
+drain_status=0
+wait "$daemon_pid" || drain_status=$?
+if [ "$drain_status" -ne 0 ]; then
+  echo "FAIL: multi-shard SIGTERM drain exited $drain_status, expected 0"
+  exit 1
+fi
+daemon_pid=
+TEP_DOMAINS=4 "$PROVDBD" "$ws2" & daemon_pid=$!
+wait_for_socket "$ws2"
+roots_after=$("$PROVDB" remote root-hash "$ws2" --as alice)
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || true
+daemon_pid=
+if [ "$roots_before" != "$roots_after" ]; then
+  echo "FAIL: root-of-roots changed across multi-shard drain + restart"
+  echo "  before: $roots_before"
+  echo "  after:  $roots_after"
+  exit 1
+fi
+echo "shard-smoke: writes landed on both shards, root-of-roots stable \
+across restart"
 
 echo "check: OK"
