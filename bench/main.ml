@@ -1396,6 +1396,191 @@ let run_ablation_audit () =
     (Experiments.ablation_audit (Lazy.force cfg));
   print_newline ()
 
+(* --------------------------------------------------------------- *)
+(* Annotated-query overhead: the lineage engine's semiring evaluator
+   against the plain evaluator, over the same engine-backed tables,
+   partitioned across 1/2/4 shards.  Asserts (exit 1) that the
+   annotated path returns exactly the plain rows and that its best-of
+   latency stays within the 2x overhead budget; also reports lineage
+   why() latency and the pruning counter.                            *)
+(* --------------------------------------------------------------- *)
+
+let run_prov () =
+  let cfg = Experiments.config_of_env () in
+  header "prov — annotated query overhead vs plain evaluation";
+  let module Annotate = Tep_prov.Annotate in
+  let module Polynomial = Tep_prov.Polynomial in
+  let module Lineage = Tep_prov.Lineage in
+  let rows_total =
+    if cfg.Experiments.scale <= 0.02 then 200
+    else max 400 (int_of_float (2000. *. cfg.Experiments.scale))
+  in
+  let reps = 200 and trials = 5 in
+  (* best-of totals: immune to one-off GC or scheduler hiccups *)
+  let time_best f =
+    let best = ref infinity in
+    for _ = 1 to trials do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        f ()
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best /. float_of_int reps
+  in
+  Printf.printf "rows_total=%d reps=%d trials=%d\n" rows_total reps trials;
+  Printf.printf
+    "shards,plain_us,annotated_us,overhead,rows_matched,lineage_why_us,\
+     pruned_scans\n";
+  let all_ok = ref true in
+  let worst = ref 0. in
+  let points =
+    List.map
+      (fun nshards ->
+        let seed =
+          Printf.sprintf "%s-prov-%d" cfg.Experiments.seed nshards
+        in
+        let env = Scenario.make_env ~seed () in
+        let alice =
+          Participant.create ~bits:cfg.Experiments.rsa_bits
+            ~ca:env.Scenario.ca ~name:"alice" env.Scenario.drbg
+        in
+        Participant.Directory.register env.Scenario.directory alice;
+        let tname k = Printf.sprintf "t%d" k in
+        let engines =
+          Array.init nshards (fun k ->
+              let db = Database.create ~name:"provbench" in
+              ignore
+                (Database.create_table db ~name:(tname k)
+                   (Schema.all_int [ "a"; "b" ]));
+              Engine.create ~directory:env.Scenario.directory db)
+        in
+        for i = 0 to rows_total - 1 do
+          let k = i mod nshards in
+          match
+            Engine.insert_row engines.(k) alice ~table:(tname k)
+              [| Value.Int i; Value.Int (i * 2) |]
+          with
+          | Ok _ -> ()
+          | Error e -> failwith ("prov bench: insert: " ^ e)
+        done;
+        let pred = Query.Cmp ("a", Query.Gt, Value.Int (rows_total / 2)) in
+        let tables =
+          Array.to_list
+            (Array.mapi
+               (fun k e ->
+                 match
+                   Database.get_table (Engine.backend e) (tname k)
+                 with
+                 | Some t -> (e, tname k, t)
+                 | None -> failwith "prov bench: table missing")
+               engines)
+        in
+        let plain () =
+          List.concat_map
+            (fun (_, _, tbl) ->
+              match Query.select tbl pred with
+              | Ok r -> r
+              | Error e -> failwith e)
+            tables
+        in
+        let annotated () =
+          List.concat_map
+            (fun (e, name, tbl) ->
+              let var r =
+                Polynomial.var (Annotate.row_var (Engine.mapping e) name r)
+              in
+              match Annotate.select ~var tbl pred with
+              | Ok r -> r
+              | Error e -> failwith e)
+            tables
+        in
+        let prows = plain () and arows = annotated () in
+        let matched = List.length prows in
+        if
+          List.map (fun (r : Table.row) -> r.Table.cells) prows
+          <> List.map (fun ((r : Table.row), _) -> r.Table.cells) arows
+        then begin
+          Printf.eprintf
+            "FAIL: annotated select disagrees with plain select at %d \
+             shard(s)\n"
+            nshards;
+          all_ok := false
+        end;
+        let plain_s = time_best (fun () -> ignore (plain ())) in
+        let annot_s = time_best (fun () -> ignore (annotated ())) in
+        let overhead = annot_s /. plain_s in
+        if overhead > !worst then worst := overhead;
+        (* lineage why() over a fresh aggregate on shard 0 — repeated
+           queries hit the shared memoised index *)
+        let e0 = engines.(0) in
+        let inputs =
+          List.filter_map
+            (Tep_tree.Tree_view.row_oid (Engine.mapping e0) (tname 0))
+            [ 0; 1; 2 ]
+        in
+        let agg =
+          match
+            Engine.aggregate_objects e0 alice ~value:(Value.Text "agg")
+              inputs
+          with
+          | Ok o -> o
+          | Error e -> failwith ("prov bench: aggregate: " ^ e)
+        in
+        let idx = Prov_index.of_store (Engine.provstore e0) in
+        let why_s = time_best (fun () -> ignore (Lineage.why idx agg)) in
+        (* contradiction pruning skips one scan per shard *)
+        Annotate.reset_pruned_scans ();
+        List.iter
+          (fun (_, _, tbl) ->
+            ignore
+              (Annotate.select tbl (Query.And (pred, Query.IsNull "a"))))
+          tables;
+        let pruned = Annotate.pruned_scans () in
+        if pruned <> nshards then begin
+          Printf.eprintf
+            "FAIL: expected %d pruned scans, counted %d\n" nshards pruned;
+          all_ok := false
+        end;
+        Printf.printf "%d,%.2f,%.2f,%.3f,%d,%.2f,%d\n" nshards
+          (1e6 *. plain_s) (1e6 *. annot_s) overhead matched (1e6 *. why_s)
+          pruned;
+        (nshards, plain_s, annot_s, overhead, matched, why_s, pruned))
+      [ 1; 2; 4 ]
+  in
+  print_newline ();
+  let bound = 2.0 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"prov\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"scale\": %g,\n  \"rsa_bits\": %d,\n  \"rows_total\": %d,\n\
+       \  \"reps\": %d,\n  \"trials\": %d,\n  \"overhead_bound\": %.1f,\n\
+       \  \"max_overhead\": %.3f,\n"
+       cfg.Experiments.scale cfg.Experiments.rsa_bits rows_total reps trials
+       bound !worst);
+  Buffer.add_string buf "  \"points\": [\n";
+  List.iteri
+    (fun i (nshards, plain_s, annot_s, overhead, matched, why_s, pruned) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"shards\": %d, \"plain_us\": %.3f, \"annotated_us\": \
+            %.3f, \"overhead\": %.3f, \"rows_matched\": %d, \
+            \"lineage_why_us\": %.3f, \"pruned_scans\": %d }%s\n"
+           nshards (1e6 *. plain_s) (1e6 *. annot_s) overhead matched
+           (1e6 *. why_s) pruned
+           (if i = List.length points - 1 then "" else ",")))
+    points;
+  Buffer.add_string buf "  ]\n}";
+  write_json "BENCH_prov.json" (Buffer.contents buf);
+  if not !all_ok then exit 1;
+  if !worst > bound then begin
+    Printf.eprintf "FAIL: annotated overhead %.2fx exceeds the %.1fx budget\n"
+      !worst bound;
+    exit 1
+  end
+
 let all =
   [
     ("table1", run_table1);
@@ -1414,6 +1599,7 @@ let all =
     ("serve", run_serve);
     ("serve-pipeline", run_serve_pipeline);
     ("shard", run_shard);
+    ("prov", run_prov);
     ("micro", run_micro);
   ]
 

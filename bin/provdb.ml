@@ -15,6 +15,15 @@
      provdb tamper ws --attack data
      provdb stats ws
 
+   Lineage queries answer *why* a result exists as semiring provenance
+   polynomials over base-object variables, and annotated queries can
+   save a signed annotation that `provdb verify` checks (and `provdb
+   tamper --attack annotation` corrupts):
+
+     provdb lineage why ws --table stock --row 0
+     provdb lineage select ws --table stock --where 'qty > 50' \
+         --agg 'sum(qty)' --save audit1 --as alice
+
    Against a running provdbd daemon (see bin/provdbd.ml), the same
    operations run over the wire:
 
@@ -30,6 +39,10 @@ open Tep_tree
 open Tep_core
 open Cmdliner
 open Workspace
+module Polynomial = Tep_prov.Polynomial
+module Annotate = Tep_prov.Annotate
+module Annot = Tep_prov.Annot
+module Lineage = Tep_prov.Lineage
 
 (* ------------------------------------------------------------------ *)
 (* Value / schema parsing                                              *)
@@ -329,6 +342,33 @@ let cmd_verify dir table row col =
                       all_ok := false
               end)
             ws.shards;
+          (* Saved annotations, when present: every entry must parse
+             and verify against the participant directory — a flipped
+             byte in annot.dat fails here, same exit 3 class as record
+             tampering. *)
+          let apath = annot_path dir in
+          if !outcome = Ok () && Sys.file_exists apath then begin
+            match Annot.list_of_string (read_file apath) with
+            | Error e ->
+                Format.printf "annotations: FAILED: %s@." e;
+                all_ok := false
+            | Ok annots ->
+                let bad = ref 0 in
+                List.iter
+                  (fun a ->
+                    match Annot.verify ws.directory a with
+                    | Ok () -> ()
+                    | Error e ->
+                        incr bad;
+                        Format.printf "annotation %S: FAILED: %s@."
+                          a.Annot.a_id e)
+                  annots;
+                if !bad = 0 then
+                  Format.printf
+                    "annotations: VERIFIED: %d signed annotation(s)@."
+                    (List.length annots)
+                else all_ok := false
+          end;
           match !outcome with
           | Error _ as e -> e
           | Ok () -> if !all_ok then Ok "" else fail_verify "verification failed"))
@@ -411,7 +451,23 @@ let cmd_tamper dir attack =
             (Char.chr (Char.code (Bytes.get s mid) lxor 1));
           write_file path (Bytes.to_string s);
           Ok "flipped one byte of prov.dat; the next load will reject it"
-      | other -> fail_usage "unknown attack %s (known: data, provenance)" other)
+      | "annotation" ->
+          (* corrupt the newest saved annotation: the file ends with
+             its signature bytes, so the last byte is inside them *)
+          let path = annot_path ws.dir in
+          if not (Sys.file_exists path) then
+            fail
+              "no annot.dat (save one with `provdb lineage select --save`)"
+          else begin
+            let s = Bytes.of_string (read_file path) in
+            let last = Bytes.length s - 1 in
+            Bytes.set s last (Char.chr (Char.code (Bytes.get s last) lxor 1));
+            write_file path (Bytes.to_string s);
+            Ok "flipped one byte of annot.dat; `provdb verify` now exits 3"
+          end
+      | other ->
+          fail_usage "unknown attack %s (known: data, provenance, annotation)"
+            other)
 
 let cmd_export dir table row col deep out =
   with_workspace ~save_after:false dir (fun ws ->
@@ -528,67 +584,14 @@ let cmd_prune dir =
            !before_total !after_total
            ((!before_total - !after_total) * Provstore.paper_row_bytes)))
 
-(* Tiny predicate parser: conjunctions of comparisons,
-   e.g. "qty > 50 and sku = WIDGET-1" *)
-let parse_predicate schema input =
-  let parse_atom atom =
-    let atom = String.trim atom in
-    let ops = [ ("<=", Query.Le); (">=", Query.Ge); ("<>", Query.Ne);
-                ("=", Query.Eq); ("<", Query.Lt); (">", Query.Gt) ] in
-    let rec try_ops = function
-      | [] -> fail_usage "cannot parse %S" atom
-      | (sym, op) :: rest -> (
-          match String.index_opt atom sym.[0] with
-          | Some i
-            when String.length atom >= i + String.length sym
-                 && String.sub atom i (String.length sym) = sym ->
-              let col = String.trim (String.sub atom 0 i) in
-              let rhs =
-                String.trim
-                  (String.sub atom
-                     (i + String.length sym)
-                     (String.length atom - i - String.length sym))
-              in
-              (match Schema.column_index schema col with
-              | None -> fail_usage "unknown column %s" col
-              | Some ci -> (
-                  let ty = (Schema.column_at schema ci).Schema.ty in
-                  match parse_value ty rhs with
-                  | Ok v -> Ok (Query.Cmp (col, op, v))
-                  | Error f -> Error f))
-          | _ -> try_ops rest)
-    in
-    (* "col is null" special form *)
-    match String.lowercase_ascii atom with
-    | a when Filename.check_suffix a " is null" ->
-        let col = String.trim (String.sub atom 0 (String.length atom - 8)) in
-        if Schema.column_index schema col = None then
-          fail_usage "unknown column %s" col
-        else Ok (Query.IsNull col)
-    | _ -> try_ops ops
-  in
-  (* split on " and " *)
-  let rec split acc s =
-    let low = String.lowercase_ascii s in
-    match
-      let rec find i =
-        if i + 5 > String.length low then None
-        else if String.sub low i 5 = " and " then Some i
-        else find (i + 1)
-      in
-      find 0
-    with
-    | Some i ->
-        split (String.sub s 0 i :: acc) (String.sub s (i + 5) (String.length s - i - 5))
-    | None -> List.rev (s :: acc)
-  in
-  let atoms = split [] input in
-  List.fold_left
-    (fun acc atom ->
-      match (acc, parse_atom atom) with
-      | Error f, _ | _, Error f -> Error f
-      | Ok p, Ok a -> Ok (Query.And (p, a)))
-    (Ok Query.True) atoms
+(* The --where grammar is {!Query.pred_of_string}: and/or/not with
+   the usual precedence, parentheses, "col is [not] null", quoted
+   text.  Parsed values are coerced to the live schema's column
+   types so "qty > 50" compares as an int against an int column. *)
+let parse_where schema where =
+  match Query.pred_of_string (Option.value where ~default:"") with
+  | Error e -> fail_usage "%s" e
+  | Ok pred -> Ok (Query.coerce_pred schema pred)
 
 let cmd_select dir table where blame =
   with_workspace ~save_after:false dir (fun ws ->
@@ -597,12 +600,7 @@ let cmd_select dir table where blame =
       | None -> fail_usage "no table %s" table
       | Some tbl -> (
           let schema = Table.schema tbl in
-          let pred =
-            match where with
-            | None -> Ok Query.True
-            | Some w -> parse_predicate schema w
-          in
-          match pred with
+          match parse_where schema where with
           | Error f -> Error f
           | Ok pred -> (
               match Query.select tbl pred with
@@ -636,6 +634,124 @@ let cmd_select dir table where blame =
                     rows;
                   Printf.printf "(%d rows)\n" (List.length rows);
                   Ok "")))
+
+(* ------------------------------------------------------------------ *)
+(* Lineage commands                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_lineage_kind kind dir table row col =
+  with_workspace ~save_after:false dir (fun ws ->
+      match locate_oid ws ~table ~row ~col with
+      | Error f -> Error f
+      | Ok (e, oid) ->
+          let idx = Prov_index.of_store (Engine.provstore e) in
+          (match kind with
+          | `Why ->
+              Printf.printf "why(%s) = %s\n" (Oid.to_string oid)
+                (Lineage.poly_to_string (Lineage.why idx oid));
+              Printf.printf "depth %d, min support %d\n"
+                (Lineage.depth idx oid)
+                (Lineage.min_support idx oid)
+          | `Inputs ->
+              List.iter
+                (fun o -> print_endline (Oid.to_string o))
+                (Lineage.which_inputs idx oid)
+          | `Depth -> Printf.printf "%d\n" (Lineage.depth idx oid)
+          | `Impact ->
+              List.iter
+                (fun o -> print_endline (Oid.to_string o))
+                (Lineage.impact idx oid));
+          Ok "")
+
+(* Annotated select/aggregate over one table.  Row variables are
+   forest oids, so the printed polynomials name the same objects
+   `provdb lineage why` does.  With --save ID --as P the result is
+   signed by P — binding query, rows, polynomials, aggregate and the
+   published root — and appended to WORKSPACE/annot.dat, which
+   `provdb verify` checks from then on. *)
+let cmd_lineage_select dir table where agg save as_ =
+  with_workspace ~save_after:false dir (fun ws ->
+      let e = engine_for_table ws table in
+      match Database.get_table (Engine.backend e) table with
+      | None -> fail_usage "no table %s" table
+      | Some tbl -> (
+          let schema = Table.schema tbl in
+          match parse_where schema where with
+          | Error f -> Error f
+          | Ok pred -> (
+              let mapping = Engine.mapping e in
+              let rvar r = Annotate.row_var mapping table r in
+              let var r = Polynomial.var (rvar r) in
+              match Annotate.select ~var tbl pred with
+              | Error e -> fail "%s" e
+              | Ok rows -> (
+                  let value =
+                    match agg with
+                    | None -> Ok None
+                    | Some a -> (
+                        match Query.agg_of_string a with
+                        | Error e -> fail_usage "%s" e
+                        | Ok a -> (
+                            match
+                              Query.aggregate_rows schema (List.map fst rows) a
+                            with
+                            | Error e -> fail "%s" e
+                            | Ok v -> Ok (Some v)))
+                  in
+                  match value with
+                  | Error f -> Error f
+                  | Ok value -> (
+                      List.iter
+                        (fun ((r : Table.row), p) ->
+                          Printf.printf "%3d | %s | %s\n" r.Table.id
+                            (String.concat " | "
+                               (Array.to_list
+                                  (Array.map Value.to_string r.Table.cells)))
+                            (Lineage.poly_to_string p))
+                        rows;
+                      (match value with
+                      | Some v ->
+                          Printf.printf "%s = %s\n"
+                            (Option.value agg ~default:"")
+                            (Value.to_string v)
+                      | None ->
+                          Printf.printf "(%d rows)\n" (List.length rows));
+                      match save with
+                      | None -> Ok ""
+                      | Some id -> (
+                          match as_ with
+                          | None -> fail_usage "--save requires --as PARTICIPANT"
+                          | Some name -> (
+                              match List.assoc_opt name ws.participants with
+                              | None -> fail_usage "unknown participant %s" name
+                              | Some p -> (
+                                  let annot =
+                                    Annot.make ~id ~table
+                                      ~pred:(Query.pred_to_string pred)
+                                      ~agg:(Option.value agg ~default:"")
+                                      ~rows:
+                                        (List.map
+                                           (fun (r, poly) -> (rvar r, poly))
+                                           rows)
+                                      ~value ~root:(published_root ws) p
+                                  in
+                                  let path = annot_path dir in
+                                  let existing =
+                                    if Sys.file_exists path then
+                                      Annot.list_of_string (read_file path)
+                                    else Ok []
+                                  in
+                                  match existing with
+                                  | Error e -> fail "%s: %s" path e
+                                  | Ok l ->
+                                      write_file path
+                                        (Annot.list_to_string (l @ [ annot ]));
+                                      Ok
+                                        (Printf.sprintf
+                                           "saved signed annotation %S (%d \
+                                            total)"
+                                           id
+                                           (List.length l + 1))))))))))
 
 let cmd_checkpoint dir keep =
   with_workspace ~save_after:false dir (fun ws ->
@@ -915,6 +1031,71 @@ let cmd_remote_shard_stats dir socket host port as_ key =
             stats;
           Ok "")
 
+let cmd_remote_lineage dir socket host port as_ key kind oid =
+  with_remote dir socket host port as_ key (fun c ->
+      match Message.lineage_kind_of_name kind with
+      | None ->
+          fail_usage "unknown lineage kind %s (why|inputs|depth|impact)" kind
+      | Some k -> (
+          match Client.lineage c ~kind:k ~oid:(Oid.of_int oid) with
+          | Error e -> fail "%s" e
+          | Ok l ->
+              (match l.Client.l_poly with
+              | Some p ->
+                  Printf.printf "why(%s) = %s\n" (Lineage.oid_name oid)
+                    (Lineage.poly_to_string p)
+              | None -> ());
+              (match k with
+              | Message.L_why | Message.L_depth ->
+                  Printf.printf "depth %d\n" l.Client.l_depth
+              | Message.L_inputs | Message.L_impact ->
+                  List.iter
+                    (fun o -> print_endline (Oid.to_string o))
+                    l.Client.l_oids);
+              Ok ""))
+
+(* Annotated remote select: rows come back with their provenance
+   polynomials plus an annotation signed by the server as the
+   authenticated session participant.  The annotation is verified
+   here against the local participant directory, so a result whose
+   rows or polynomials were altered in flight or at rest exits 3. *)
+let cmd_remote_select dir socket host port as_ key table where agg =
+  match load_identity dir with
+  | Error f ->
+      report_failure f;
+      code_of_failure f
+  | Ok (_ca, directory, _participants) ->
+      with_remote dir socket host port as_ key (fun c ->
+          match
+            Client.annotated_query c ~table
+              ~where:(Option.value where ~default:"")
+              ~agg:(Option.value agg ~default:"")
+              ()
+          with
+          | Error e -> fail "%s" e
+          | Ok (rows, value, annot) -> (
+              List.iter
+                (fun (r : Client.annotated_row) ->
+                  Printf.printf "%s | %s | %s\n"
+                    (Lineage.oid_name r.Client.ar_var)
+                    (String.concat " | "
+                       (Array.to_list
+                          (Array.map Value.to_string r.Client.ar_cells)))
+                    (Lineage.poly_to_string r.Client.ar_poly))
+                rows;
+              (match value with
+              | Some v ->
+                  Printf.printf "%s = %s\n"
+                    (Option.value agg ~default:"")
+                    (Value.to_string v)
+              | None -> Printf.printf "(%d rows)\n" (List.length rows));
+              match Annot.verify directory annot with
+              | Ok () ->
+                  Ok
+                    (Printf.sprintf "annotation signed by %s: VERIFIED"
+                       annot.Annot.a_participant)
+              | Error e -> fail_verify "annotation: %s" e))
+
 (* ------------------------------------------------------------------ *)
 (* Cmdliner plumbing                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -1056,6 +1237,62 @@ let select_cmd =
   Cmd.v (Cmd.info "select" ~doc:"Query a table" ~exits)
     Term.(const cmd_select $ dir_arg $ table_req $ where $ blame)
 
+let where_arg =
+  Arg.(value & opt (some string) None
+       & info [ "where" ] ~docv:"PRED"
+           ~doc:
+             "Predicate: and/or/not, parentheses, comparisons, 'col is \
+              [not] null', quoted text — e.g. $(b,\"qty > 50 and (sku = \
+              'WIDGET-1' or sku is null)\")")
+
+let agg_arg =
+  Arg.(value & opt (some string) None
+       & info [ "agg" ] ~docv:"FN"
+           ~doc:"count, sum(col), avg(col), min(col) or max(col)")
+
+let lineage_cmd =
+  let kind_cmd name kind doc =
+    Cmd.v (Cmd.info name ~doc ~exits)
+      Term.(
+        const (cmd_lineage_kind kind) $ dir_arg $ table_opt $ row_opt $ col_opt)
+  in
+  let select =
+    let save =
+      Arg.(value & opt (some string) None
+           & info [ "save" ] ~docv:"ID"
+               ~doc:
+                 "Append the result as a signed annotation to \
+                  WORKSPACE/annot.dat (requires --as); `provdb verify` \
+                  checks it from then on")
+    in
+    let as_opt =
+      Arg.(value & opt (some string) None
+           & info [ "as" ] ~docv:"PARTICIPANT")
+    in
+    Cmd.v
+      (Cmd.info "select"
+         ~doc:"Annotated query: result rows with provenance polynomials"
+         ~exits)
+      Term.(
+        const cmd_lineage_select $ dir_arg $ table_req $ where_arg $ agg_arg
+        $ save $ as_opt)
+  in
+  Cmd.group
+    (Cmd.info "lineage"
+       ~doc:
+         "Lineage queries over the provenance DAG, answered as semiring \
+          provenance polynomials"
+       ~exits)
+    [
+      kind_cmd "why" `Why
+        "Provenance polynomial of an object, with depth and min support";
+      kind_cmd "inputs" `Inputs "Base objects the derivation depends on";
+      kind_cmd "depth" `Depth "Aggregation hops from the deepest base object";
+      kind_cmd "impact" `Impact
+        "Every object transitively derived from this one";
+      select;
+    ]
+
 let checkpoint_cmd =
   let keep =
     Arg.(value & opt (some int) None & info [ "keep" ] ~docv:"N"
@@ -1178,6 +1415,25 @@ let remote_cmd =
         Term.(
           const cmd_remote_shard_stats $ dir_arg $ socket_arg $ host_arg
           $ port_arg $ as_arg $ key_arg);
+      Cmd.v
+        (Cmd.info "lineage"
+           ~doc:"Lineage query over the wire (why|inputs|depth|impact)"
+           ~exits)
+        Term.(
+          const cmd_remote_lineage $ dir_arg $ socket_arg $ host_arg
+          $ port_arg $ as_arg $ key_arg
+          $ Arg.(value & opt string "why" & info [ "kind" ] ~docv:"KIND")
+          $ Arg.(
+              required & opt (some int) None & info [ "oid" ] ~docv:"OID"));
+      Cmd.v
+        (Cmd.info "select"
+           ~doc:
+             "Annotated query over the wire; verifies the server-signed \
+              annotation against the local directory (exit 3 on failure)"
+           ~exits)
+        Term.(
+          const cmd_remote_select $ dir_arg $ socket_arg $ host_arg
+          $ port_arg $ as_arg $ key_arg $ table_req $ where_arg $ agg_arg);
     ]
 
 let () =
@@ -1204,6 +1460,7 @@ let () =
             audit_cmd;
             prune_cmd;
             select_cmd;
+            lineage_cmd;
             tamper_cmd;
             checkpoint_cmd;
             recover_cmd;

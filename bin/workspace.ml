@@ -78,6 +78,7 @@ let wal_path dir = dir // "wal.log"
 let socket_path dir = dir // "provdbd.sock"
 let shards_meta_path dir = dir // "shards"
 let coord_path dir = dir // "coord.wal"
+let annot_path dir = dir // "annot.dat"
 
 (* The on-disk shard count.  A missing meta file is the legacy flat
    single-shard layout. *)

@@ -159,7 +159,12 @@ let write_all fd s =
 let fd_transport fd =
   let chunk = Bytes.create 4096 in
   {
-    send = (fun s -> write_all fd s);
+    send =
+      (fun s ->
+        (* a peer that died mid-write surfaces on the next recv as a
+           clean close, same as a peer that died between frames *)
+        try write_all fd s
+        with Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ());
     recv =
       (fun () ->
         match Unix.read fd chunk 0 (Bytes.length chunk) with
@@ -187,7 +192,16 @@ let retry_delays ?drbg ?(retries = 5) ?(backoff = 0.05) () =
   List.init retries (fun i ->
       backoff *. (2. ** float_of_int i) *. jitter_factor drbg)
 
+(* A server that closes the connection mid-write (drain, cap, crash)
+   must surface as EPIPE on the write — which the retry/replay
+   machinery already handles — not as a process-killing SIGPIPE. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ())
+
 let connect_with_retry ?(retries = 5) ?(backoff = 0.05) ?drbg make_fd =
+  Lazy.force ignore_sigpipe;
   let rec go attempt delay =
     match make_fd () with
     | fd -> Ok fd
@@ -777,6 +791,73 @@ let ping t =
                wal_failures;
                shed;
              }
+       | _ -> unexpected)
+
+(* ------------------------------------------------------------------ *)
+(* Lineage (wire v5)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A lineage answer, decoded: the polynomial (when the kind carries
+   one), the derivation depth, and the oid list (inputs or impact). *)
+type lineage = {
+  l_poly : Tep_prov.Polynomial.t option;
+  l_depth : int;
+  l_oids : Tep_tree.Oid.t list;
+}
+
+let lineage t ~kind ~oid =
+  rpc t (Message.Lineage { kind; oid })
+  |> unwrap (function
+       | Message.Lineage_resp { poly; depth; oids } -> (
+           match
+             if poly = "" then Ok None
+             else
+               match Tep_prov.Polynomial.decode poly 0 with
+               | p, off when off = String.length poly -> Ok (Some p)
+               | _ -> Error "lineage: trailing polynomial bytes"
+               | exception Failure e -> Error e
+           with
+           | Error e -> Error e
+           | Ok l_poly -> Ok { l_poly; l_depth = depth; l_oids = oids })
+       | _ -> unexpected)
+
+(* An annotated result row: its row variable (the forest oid under an
+   engine-backed server), its cells, and its provenance polynomial. *)
+type annotated_row = {
+  ar_var : int;
+  ar_cells : Tep_store.Value.t array;
+  ar_poly : Tep_prov.Polynomial.t;
+}
+
+(* Annotated query: plain select when [agg] is omitted, aggregate
+   otherwise.  The returned annotation is decoded but NOT verified —
+   callers holding a participant directory check it with
+   {!Tep_prov.Annot.verify} (bin/provdb does). *)
+let annotated_query t ~table ?(where = "") ?(agg = "") () =
+  rpc t (Message.Annotated_query { table; where; agg })
+  |> unwrap (function
+       | Message.Annotated_resp { arows; avalue; annot } -> (
+           match Tep_prov.Annot.of_encoded annot with
+           | Error e -> Error ("annotation: " ^ e)
+           | Ok a -> (
+               let decoded =
+                 List.fold_left
+                   (fun acc (v, cells, poly) ->
+                     match acc with
+                     | Error _ as e -> e
+                     | Ok rows -> (
+                         match Tep_prov.Polynomial.decode poly 0 with
+                         | p, off when off = String.length poly ->
+                             Ok
+                               ({ ar_var = v; ar_cells = cells; ar_poly = p }
+                               :: rows)
+                         | _ -> Error "row polynomial: trailing bytes"
+                         | exception Failure e -> Error e))
+                   (Ok []) arows
+               in
+               match decoded with
+               | Error e -> Error e
+               | Ok rows -> Ok (List.rev rows, avalue, a)))
        | _ -> unexpected)
 
 (* ------------------------------------------------------------------ *)

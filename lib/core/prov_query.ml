@@ -1,5 +1,3 @@
-open Tep_tree
-
 let history = Provstore.records_for
 
 let value_history store oid =
@@ -30,57 +28,16 @@ let contributors store oid =
         Option.value (Hashtbl.find_opt counts r.Record.participant) ~default:0
       in
       Hashtbl.replace counts r.Record.participant (c + 1))
-    (Provstore.provenance_object store oid);
+    (Prov_index.closure (Prov_index.of_store store) oid);
   Hashtbl.fold (fun p c acc -> (p, c) :: acc) counts []
   |> List.sort (fun (pa, ca) (pb, cb) ->
          let c = compare cb ca in
          if c <> 0 then c else compare pa pb)
 
-let derived_from store oid =
-  let closure = Provstore.provenance_object store oid in
-  List.filter_map
-    (fun (r : Record.t) ->
-      if Oid.equal r.Record.output_oid oid then None else Some r.Record.output_oid)
-    closure
-  |> List.sort_uniq Oid.compare
+let derived_from store oid = Prov_index.ancestors (Prov_index.of_store store) oid
 
 let derivatives store oid =
-  (* forward edges: scan every record's aggregation inputs *)
-  let direct =
-    List.filter_map
-      (fun (r : Record.t) ->
-        if
-          r.Record.kind = Record.Aggregate
-          && List.exists (Oid.equal oid) r.Record.input_oids
-        then Some r.Record.output_oid
-        else None)
-      (Provstore.all store)
-    |> List.sort_uniq Oid.compare
-  in
-  (* transitive closure *)
-  let seen = Oid.Tbl.create 16 in
-  let rec go frontier =
-    match frontier with
-    | [] -> ()
-    | o :: rest ->
-        if Oid.Tbl.mem seen o then go rest
-        else begin
-          Oid.Tbl.replace seen o ();
-          let next =
-            List.filter_map
-              (fun (r : Record.t) ->
-                if
-                  r.Record.kind = Record.Aggregate
-                  && List.exists (Oid.equal o) r.Record.input_oids
-                then Some r.Record.output_oid
-                else None)
-              (Provstore.all store)
-          in
-          go (next @ rest)
-        end
-  in
-  go direct;
-  Oid.Tbl.fold (fun o () acc -> o :: acc) seen [] |> List.sort Oid.compare
+  Prov_index.descendants (Prov_index.of_store store) oid
 
 let touched_by store participant =
   List.filter

@@ -1,0 +1,200 @@
+open Tep_crypto
+open Tep_store
+open Tep_core
+
+type t = {
+  a_id : string;
+  a_table : string;
+  a_pred : string;
+  a_agg : string;
+  a_rows : (int * Polynomial.t) list;
+  a_value : Value.t option;
+  a_root : string;
+  a_participant : string;
+  a_digest : string;
+  a_signature : string;
+}
+
+(* Everything except digest and signature, canonically framed.  The
+   magic domain-separates annotation signatures from record checksums
+   (which frame under "TEPCK1"). *)
+let payload t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "TEPANN1";
+  let field s =
+    Value.add_varint buf (String.length s);
+    Buffer.add_string buf s
+  in
+  field t.a_id;
+  field t.a_table;
+  field t.a_pred;
+  field t.a_agg;
+  field t.a_root;
+  field t.a_participant;
+  Value.add_varint buf (List.length t.a_rows);
+  List.iter
+    (fun (v, p) ->
+      Value.add_varint buf v;
+      Polynomial.encode buf p)
+    t.a_rows;
+  (match t.a_value with
+  | None -> Buffer.add_char buf '\x00'
+  | Some v ->
+      Buffer.add_char buf '\x01';
+      Value.encode buf v);
+  Buffer.contents buf
+
+let make ~id ~table ~pred ~agg ~rows ~value ~root participant =
+  let t =
+    {
+      a_id = id;
+      a_table = table;
+      a_pred = pred;
+      a_agg = agg;
+      a_rows = rows;
+      a_value = value;
+      a_root = root;
+      a_participant = Participant.name participant;
+      a_digest = "";
+      a_signature = "";
+    }
+  in
+  let p = payload t in
+  {
+    t with
+    a_digest = Digest_algo.digest Digest_algo.SHA256 p;
+    a_signature = Participant.sign participant p;
+  }
+
+let verify dir t =
+  let p = payload t in
+  if not (String.equal (Digest_algo.digest Digest_algo.SHA256 p) t.a_digest)
+  then Error (Printf.sprintf "annotation %s: digest mismatch" t.a_id)
+  else
+    match Participant.Directory.lookup_verified dir t.a_participant with
+    | `Unknown ->
+        Error
+          (Printf.sprintf "annotation %s: unknown participant %s" t.a_id
+             t.a_participant)
+    | `Bad_certificate ->
+        Error
+          (Printf.sprintf "annotation %s: certificate for %s does not verify"
+             t.a_id t.a_participant)
+    | `Verified cert ->
+        if
+          Rsa.verify ~algo:Digest_algo.SHA256 cert.Pki.subject_key ~msg:p
+            ~signature:t.a_signature
+        then Ok ()
+        else
+          Error
+            (Printf.sprintf "annotation %s: signature does not verify" t.a_id)
+
+let encode buf t =
+  Value.add_string buf (payload t);
+  Value.add_string buf t.a_digest;
+  Value.add_string buf t.a_signature
+
+let decode_payload s =
+  if String.length s < 7 || String.sub s 0 7 <> "TEPANN1" then
+    failwith "annotation: bad magic";
+  let off = ref 7 in
+  let field () =
+    let v, o = Value.read_string s !off in
+    off := o;
+    v
+  in
+  let a_id = field () in
+  let a_table = field () in
+  let a_pred = field () in
+  let a_agg = field () in
+  let a_root = field () in
+  let a_participant = field () in
+  let nrows, o = Value.read_varint s !off in
+  if nrows > String.length s then failwith "annotation: bad row count";
+  off := o;
+  let a_rows =
+    List.init nrows (fun _ ->
+        let v, o = Value.read_varint s !off in
+        let p, o = Polynomial.decode s o in
+        off := o;
+        (v, p))
+  in
+  if !off >= String.length s then failwith "annotation: truncated value";
+  let a_value =
+    match s.[!off] with
+    | '\x00' ->
+        incr off;
+        None
+    | '\x01' ->
+        let v, o = Value.decode s (!off + 1) in
+        off := o;
+        Some v
+    | _ -> failwith "annotation: bad value tag"
+  in
+  if !off <> String.length s then failwith "annotation: trailing payload bytes";
+  {
+    a_id;
+    a_table;
+    a_pred;
+    a_agg;
+    a_rows;
+    a_value;
+    a_root;
+    a_participant;
+    a_digest = "";
+    a_signature = "";
+  }
+
+let decode s off =
+  let p, off = Value.read_string s off in
+  let a_digest, off = Value.read_string s off in
+  let a_signature, off = Value.read_string s off in
+  ({ (decode_payload p) with a_digest; a_signature }, off)
+
+let encoded t =
+  let buf = Buffer.create 256 in
+  encode buf t;
+  Buffer.contents buf
+
+let of_encoded s =
+  match decode s 0 with
+  | t, off when off = String.length s -> Ok t
+  | _ -> Error "annotation: trailing bytes"
+  | exception Failure e -> Error e
+
+let magic = "TEPANNOTS1"
+
+let list_to_string ts =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  Value.add_varint buf (List.length ts);
+  List.iter (encode buf) ts;
+  Buffer.contents buf
+
+let list_of_string s =
+  try
+    if String.length s < String.length magic || String.sub s 0 (String.length magic) <> magic
+    then Error "annotations: bad magic"
+    else begin
+      let count, off = Value.read_varint s (String.length magic) in
+      if count > String.length s then failwith "annotations: bad count";
+      let off = ref off in
+      let ts =
+        List.init count (fun _ ->
+            let t, o = decode s !off in
+            off := o;
+            t)
+      in
+      if !off <> String.length s then Error "annotations: trailing bytes"
+      else Ok ts
+    end
+  with Failure e -> Error e
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>annotation %s: %s %s%s@,%d row(s), signed by %s, digest %s@]"
+    t.a_id
+    (if t.a_agg = "" then "select from" else t.a_agg ^ " over")
+    t.a_table
+    (if t.a_pred = "" then "" else " where " ^ t.a_pred)
+    (List.length t.a_rows) t.a_participant
+    (Digest_algo.to_hex (String.sub t.a_digest 0 6))

@@ -1,0 +1,44 @@
+open Tep_tree
+open Tep_core
+
+let why idx oid =
+  let store = Prov_index.store idx in
+  let memo = Oid.Tbl.create 64 in
+  let visiting = Oid.Tbl.create 16 in
+  let rec go oid =
+    match Oid.Tbl.find_opt memo oid with
+    | Some p -> p
+    | None ->
+        if Oid.Tbl.mem visiting oid then
+          (* a cycle means a corrupt store; cut it at a base variable
+             rather than diverging — the verifier reports the damage *)
+          Polynomial.var (Oid.to_int oid)
+        else begin
+          Oid.Tbl.replace visiting oid ();
+          let aggs =
+            List.filter
+              (fun (r : Record.t) -> r.Record.kind = Record.Aggregate)
+              (Provstore.records_for store oid)
+          in
+          let p =
+            if aggs = [] then Polynomial.var (Oid.to_int oid)
+            else
+              Polynomial.sum
+                (List.map
+                   (fun (r : Record.t) ->
+                     Polynomial.product (List.map go r.Record.input_oids))
+                   aggs)
+          in
+          Oid.Tbl.remove visiting oid;
+          Oid.Tbl.replace memo oid p;
+          p
+        end
+  in
+  go oid
+
+let which_inputs idx oid = List.map Oid.of_int (Polynomial.vars (why idx oid))
+let depth = Prov_index.depth
+let impact = Prov_index.descendants
+let min_support idx oid = Polynomial.min_support (why idx oid)
+let oid_name v = "o" ^ string_of_int v
+let poly_to_string p = Polynomial.to_string ~name:oid_name p

@@ -1,0 +1,48 @@
+(* Commutative semirings for provenance annotation (see the .mli). *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val plus : t -> t -> t
+  val times : t -> t -> t
+  val equal : t -> t -> bool
+  val to_string : t -> string
+end
+
+module Counting = struct
+  type t = int
+
+  let zero = 0
+  let one = 1
+  let plus = ( + )
+  let times = ( * )
+  let equal = Int.equal
+  let to_string = string_of_int
+end
+
+module Boolean = struct
+  type t = bool
+
+  let zero = false
+  let one = true
+  let plus = ( || )
+  let times = ( && )
+  let equal = Bool.equal
+  let to_string = string_of_bool
+end
+
+module Tropical = struct
+  type t = int
+
+  let inf = max_int
+  let zero = inf
+  let one = 0
+  let plus = min
+
+  (* saturating: +∞ absorbs *)
+  let times a b = if a = inf || b = inf then inf else a + b
+  let equal = Int.equal
+  let to_string n = if n = inf then "inf" else string_of_int n
+end

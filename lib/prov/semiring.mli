@@ -1,0 +1,50 @@
+(** Commutative semirings for provenance annotation.
+
+    Following the provenance-semiring framework (Green et al., made
+    practical by ProvSQL — see PAPERS.md), a query evaluated over
+    annotated rows produces result annotations in {e any} commutative
+    semiring by evaluating the provenance polynomial of
+    {!Polynomial}.  The three instances here answer the lineage
+    questions ROADMAP item 3 names:
+
+    - {!Counting}: how many derivations produce this result
+      (bag/multiplicity semantics);
+    - {!Boolean}: why-provenance — does the result survive under a
+      given set of trusted base rows;
+    - {!Tropical}: min-plus cost, used for hop-count / smallest
+      derivation-support queries. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  (** Neutral for {!plus}; annihilates {!times} — "no derivation". *)
+
+  val one : t
+  (** Neutral for {!times} — "the empty joint use". *)
+
+  val plus : t -> t -> t
+  (** Alternative derivations (union / disjunction). *)
+
+  val times : t -> t -> t
+  (** Joint use of inputs (join / conjunction). *)
+
+  val equal : t -> t -> bool
+  val to_string : t -> string
+end
+
+module Counting : S with type t = int
+(** The natural numbers (ℕ, +, ×, 0, 1): counts derivations. *)
+
+module Boolean : S with type t = bool
+(** ({true,false}, ∨, ∧): why-provenance / trust propagation. *)
+
+module Tropical : sig
+  include S with type t = int
+
+  val inf : t
+  (** The additive zero [+∞] (encoded as [max_int]). *)
+end
+(** The tropical min-plus semiring (ℕ ∪ {∞}, min, +, ∞, 0): evaluating
+    a polynomial with every variable at cost 1 yields the size of the
+    smallest derivation support (see {!Polynomial.min_support}). *)

@@ -64,6 +64,12 @@ module Audit = Tep_core.Audit
 module Provstore = Tep_core.Provstore
 module Recovery = Tep_core.Recovery
 module Shards = Tep_core.Shards
+module Prov_index = Tep_core.Prov_index
+module Lineage = Tep_prov.Lineage
+module Polynomial = Tep_prov.Polynomial
+module Annotate = Tep_prov.Annotate
+module Annot = Tep_prov.Annot
+module Query = Tep_store.Query
 module Oid = Tep_tree.Oid
 module Forest = Tep_tree.Forest
 module Merkle = Tep_tree.Merkle
@@ -1111,7 +1117,7 @@ let with_owning_shard t oid f =
    may mutate any engine.  Each shard's audit checkpoint and root
    cache are the read-side mutables; each sits behind its own
    per-shard mutex. *)
-let dispatch_read t (req : Message.request) =
+let dispatch_read t participant (req : Message.request) =
   let algo = Engine.algo (engine t) in
   let directory = directory t in
   match req with
@@ -1243,6 +1249,85 @@ let dispatch_read t (req : Message.request) =
                   ss_root_hits = Atomic.get s.s_root_hits;
                 })
               t.shards))
+  | Message.Lineage { kind; oid } ->
+      with_owning_shard t oid (fun s ->
+          let idx = Prov_index.of_store (Engine.provstore s.s_engine) in
+          match kind with
+          | Message.L_why ->
+              let p = Lineage.why idx oid in
+              Message.Lineage_resp
+                {
+                  poly = Polynomial.encoded p;
+                  depth = Lineage.depth idx oid;
+                  oids = List.map Oid.of_int (Polynomial.vars p);
+                }
+          | Message.L_inputs ->
+              Message.Lineage_resp
+                { poly = ""; depth = 0; oids = Lineage.which_inputs idx oid }
+          | Message.L_depth ->
+              Message.Lineage_resp
+                { poly = ""; depth = Lineage.depth idx oid; oids = [] }
+          | Message.L_impact ->
+              Message.Lineage_resp
+                { poly = ""; depth = 0; oids = Lineage.impact idx oid })
+  | Message.Annotated_query { table; where; agg } -> (
+      (* The annotation binds the published root, so compute it BEFORE
+         taking the shard read lock: [shard_root] re-enters this
+         shard's rwlock, and the writer-preferring lock is not
+         reentrant — root-then-lock keeps the path deadlock-free.  A
+         write landing between the two makes the annotation cite the
+         root preceding it, which is still a root the result rows are
+         consistent with under the shard read lock's snapshot. *)
+      let root = published_root t in
+      let k = Shards.shard_of_table ~shards:(shard_count t) table in
+      let s = t.shards.(k) in
+      Rwlock.with_read s.s_rwlock (fun () ->
+          match Tep_store.Database.get_table (Engine.backend s.s_engine) table with
+          | None -> error_resp Message.Not_found ("no such table " ^ table)
+          | Some tbl -> (
+              match Query.pred_of_string where with
+              | Error e -> error_resp Message.Bad_request e
+              | Ok pred -> (
+                  let pred =
+                    Query.coerce_pred (Tep_store.Table.schema tbl) pred
+                  in
+                  let mapping = Engine.mapping s.s_engine in
+                  let rvar r = Annotate.row_var mapping table r in
+                  let var r = Polynomial.var (rvar r) in
+                  let respond rows value =
+                    let annot =
+                      Annot.make ~id:"" ~table
+                        ~pred:(Query.pred_to_string pred) ~agg
+                        ~rows:(List.map (fun (r, p) -> (rvar r, p)) rows)
+                        ~value ~root participant
+                    in
+                    Message.Annotated_resp
+                      {
+                        arows =
+                          List.map
+                            (fun ((r : Tep_store.Table.row), p) ->
+                              (rvar r, r.Tep_store.Table.cells,
+                               Polynomial.encoded p))
+                            rows;
+                        avalue = value;
+                        annot = Annot.encoded annot;
+                      }
+                  in
+                  match Annotate.select ~var tbl pred with
+                  | Error e -> error_resp Message.Bad_request e
+                  | Ok rows ->
+                      if agg = "" then respond rows None
+                      else (
+                        match Query.agg_of_string agg with
+                        | Error e -> error_resp Message.Bad_request e
+                        | Ok a -> (
+                            match
+                              Query.aggregate_rows
+                                (Tep_store.Table.schema tbl)
+                                (List.map fst rows) a
+                            with
+                            | Error e -> error_resp Message.Bad_request e
+                            | Ok v -> respond rows (Some v)))))))
 
 (* Checkpoint every shard under all write locks (taken in ascending
    index order, the global multi-lock order).  With every shard
@@ -1300,7 +1385,7 @@ let dispatch_locked t participant (req : Message.request) =
   | _ -> (
       (* per-shard read locks are taken inside [dispatch_read], as
          close to each shard access as possible *)
-      try dispatch_read t req
+      try dispatch_read t participant req
       with e -> error_resp Message.Failed (Printexc.to_string e))
 
 (* ------------------------------------------------------------------ *)
@@ -1649,9 +1734,19 @@ let reject_over_capacity cfd =
    with Unix.Unix_error _ | Sys_error _ -> ());
   try Unix.close cfd with Unix.Unix_error _ -> ()
 
+(* A peer that disappears mid-write must surface as EPIPE on the
+   write (handled like every other socket error), not as a
+   process-killing SIGPIPE — OCaml does not mask the signal by
+   default. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ())
+
 (* Accept loop: polls [stop] every 200ms so a daemon can shut down
    cleanly (and save its workspace) on signal. *)
 let serve_fd t ~stop fd =
+  Lazy.force ignore_sigpipe;
   Unix.listen fd 16;
   while not (Atomic.get stop) do
     match Unix.select [ fd ] [] [] 0.2 with

@@ -46,6 +46,17 @@ type request =
      observability for sharded deployments.  A single-shard server
      answers with one entry, so v3 clients simply never ask. *)
   | Shard_stats
+  (* -- v5 additions: the lineage engine.  Polynomials and annotations
+     travel as opaque canonical byte strings (Tep_prov encodes and
+     decodes them), so the wire layer stays independent of the
+     provenance-polynomial library. *)
+  | Lineage of { kind : lineage_kind; oid : Oid.t }
+  | Annotated_query of { table : string; where : string; agg : string }
+      (* [where]: predicate text (Query.pred_of_string syntax; "" =
+         all rows).  [agg]: aggregate text (Query.agg_of_string; "" =
+         plain select). *)
+
+and lineage_kind = L_why | L_inputs | L_depth | L_impact
 
 (* One shard's counters: its group-commit batcher plus the server-side
    root-cache behaviour (a write to shard k must invalidate only shard
@@ -114,6 +125,16 @@ type response =
          before any execution; the client should back off at least
          [retry_after_ms] before retrying (same rid is safe) *)
   | Shard_stats_resp of shard_stat list (* one entry per shard, in shard order *)
+  (* -- v5: lineage answers.  [poly] is a canonically-encoded
+     provenance polynomial; [annot] a canonically-encoded signed
+     annotation (both opaque here). *)
+  | Lineage_resp of { poly : string; depth : int; oids : Oid.t list }
+  | Annotated_resp of {
+      arows : (int * Value.t array * string) list;
+          (* (row variable, cells, encoded polynomial) per result row *)
+      avalue : Value.t option; (* aggregate value, when one was asked *)
+      annot : string; (* the server-signed annotation over the result *)
+    }
   | Error_resp of { code : error_code; message : string }
 
 (* ------------------------------------------------------------------ *)
@@ -224,6 +245,33 @@ let read_cells s off =
 (* Requests                                                            *)
 (* ------------------------------------------------------------------ *)
 
+let lineage_kind_tag = function
+  | L_why -> '\x01'
+  | L_inputs -> '\x02'
+  | L_depth -> '\x03'
+  | L_impact -> '\x04'
+
+let lineage_kind_of_tag = function
+  | '\x01' -> L_why
+  | '\x02' -> L_inputs
+  | '\x03' -> L_depth
+  | '\x04' -> L_impact
+  | c -> failwith (Printf.sprintf "Message: bad lineage kind %#x" (Char.code c))
+
+let lineage_kind_name = function
+  | L_why -> "why"
+  | L_inputs -> "inputs"
+  | L_depth -> "depth"
+  | L_impact -> "impact"
+
+let lineage_kind_of_name s =
+  match String.lowercase_ascii s with
+  | "why" -> Some L_why
+  | "inputs" | "which-inputs" -> Some L_inputs
+  | "depth" -> Some L_depth
+  | "impact" -> Some L_impact
+  | _ -> None
+
 let encode_op buf = function
   | Op_insert { table; cells } ->
       Buffer.add_char buf '\x01';
@@ -306,6 +354,15 @@ let encode_request buf = function
       Value.add_string buf rid
   | Ping -> Buffer.add_char buf '\x0c'
   | Shard_stats -> Buffer.add_char buf '\x0d'
+  | Lineage { kind; oid } ->
+      Buffer.add_char buf '\x0e';
+      Buffer.add_char buf (lineage_kind_tag kind);
+      add_oid buf oid
+  | Annotated_query { table; where; agg } ->
+      Buffer.add_char buf '\x0f';
+      Value.add_string buf table;
+      Value.add_string buf where;
+      Value.add_string buf agg
 
 let decode_request s off =
   if off >= String.length s then failwith "Message: empty request";
@@ -340,6 +397,16 @@ let decode_request s off =
       (Checkpoint_idem { rid }, off)
   | '\x0c' -> (Ping, off + 1)
   | '\x0d' -> (Shard_stats, off + 1)
+  | '\x0e' ->
+      if off + 1 >= String.length s then failwith "Message: truncated lineage";
+      let kind = lineage_kind_of_tag s.[off + 1] in
+      let oid, off = read_oid s (off + 2) in
+      (Lineage { kind; oid }, off)
+  | '\x0f' ->
+      let table, off = Value.read_string s (off + 1) in
+      let where, off = Value.read_string s off in
+      let agg, off = Value.read_string s off in
+      (Annotated_query { table; where; agg }, off)
   | c -> failwith (Printf.sprintf "Message: bad request tag %#x" (Char.code c))
 
 let request_to_string r =
@@ -455,6 +522,27 @@ let encode_response buf = function
           Value.add_varint buf s.ss_root_recomputes;
           Value.add_varint buf s.ss_root_hits)
         shards
+  | Lineage_resp { poly; depth; oids } ->
+      Buffer.add_char buf '\x8d';
+      Value.add_string buf poly;
+      Value.add_varint buf depth;
+      Value.add_varint buf (List.length oids);
+      List.iter (add_oid buf) oids
+  | Annotated_resp { arows; avalue; annot } ->
+      Buffer.add_char buf '\x8e';
+      Value.add_varint buf (List.length arows);
+      List.iter
+        (fun (v, cells, poly) ->
+          Value.add_varint buf v;
+          add_cells buf cells;
+          Value.add_string buf poly)
+        arows;
+      (match avalue with
+      | None -> Buffer.add_char buf '\x00'
+      | Some v ->
+          Buffer.add_char buf '\x01';
+          Value.encode buf v);
+      Value.add_string buf annot
   | Error_resp { code; message } ->
       Buffer.add_char buf '\xff';
       Value.add_varint buf (error_code_tag code);
@@ -573,6 +661,45 @@ let decode_response s off =
             { ss_batches; ss_ops; ss_queued; ss_root_recomputes; ss_root_hits })
       in
       (Shard_stats_resp shards, !off)
+  | '\x8d' ->
+      let poly, off = Value.read_string s (off + 1) in
+      let depth, off = Value.read_varint s off in
+      let n, off = Value.read_varint s off in
+      let off = ref off in
+      let oids =
+        List.init n (fun _ ->
+            let oid, o = read_oid s !off in
+            off := o;
+            oid)
+      in
+      (Lineage_resp { poly; depth; oids }, !off)
+  | '\x8e' ->
+      let n, off = Value.read_varint s (off + 1) in
+      if n > String.length s then failwith "Message: bad row count";
+      let off = ref off in
+      let arows =
+        List.init n (fun _ ->
+            let v, o = Value.read_varint s !off in
+            let cells, o = read_cells s o in
+            let poly, o = Value.read_string s o in
+            off := o;
+            (v, cells, poly))
+      in
+      let avalue =
+        if !off >= String.length s then failwith "Message: truncated"
+        else
+          match s.[!off] with
+          | '\x00' ->
+              incr off;
+              None
+          | '\x01' ->
+              let v, o = Value.decode s (!off + 1) in
+              off := o;
+              Some v
+          | _ -> failwith "Message: bad option tag"
+      in
+      let annot, o = Value.read_string s !off in
+      (Annotated_resp { arows; avalue; annot }, o)
   | '\xff' ->
       let tag, off = Value.read_varint s (off + 1) in
       let message, off = Value.read_string s off in

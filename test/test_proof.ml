@@ -108,6 +108,27 @@ let test_codec_roundtrip () =
   | Error e -> Alcotest.fail e);
   Alcotest.(check int) "size_bytes" (Buffer.length buf) (Proof.size_bytes p)
 
+(* Truncated encodings: every strict prefix of a valid proof encoding
+   must be rejected by the decoder or decode to a proof that fails
+   verification — no prefix may survive as a verifying proof. *)
+let test_codec_truncated () =
+  let f, cache, _, root_hash, rows = build_forest () in
+  let _, cells = List.nth rows 2 in
+  let p = ok (Proof.prove cache f (List.nth cells 1)) in
+  let buf = Buffer.create 256 in
+  Proof.encode buf p;
+  let s = Buffer.contents buf in
+  for cut = 0 to String.length s - 1 do
+    match Proof.decode (String.sub s 0 cut) 0 with
+    | exception (Failure _ | Invalid_argument _) -> ()
+    | p', _ -> (
+        match Proof.verify algo ~root_hash p' with
+        | Error _ -> ()
+        | Ok () ->
+            Alcotest.failf "prefix of %d/%d bytes decoded to a verifying proof"
+              cut (String.length s))
+  done
+
 (* ---- slices ---- *)
 
 let engine_fixture () =
@@ -230,6 +251,7 @@ let () =
           Alcotest.test_case "sibling forgery" `Quick
             test_sibling_swap_rejected;
           Alcotest.test_case "codec" `Quick test_codec_roundtrip;
+          Alcotest.test_case "codec truncated" `Quick test_codec_truncated;
         ] );
       ( "slices",
         [

@@ -95,6 +95,52 @@ let test_state_hash_at () =
   Alcotest.(check bool) "absent version" true
     (Prov_query.state_hash_at (store eng) cell 99 = None)
 
+(* ---- shared-index traversal: deep chains must stay linear ---- *)
+
+(* A 10k-deep aggregate chain built straight into a store — unsigned,
+   Prov_query never checks signatures — so this runs in milliseconds
+   unless a traversal regresses to per-node rescans of the store. *)
+let deep_chain n =
+  let store = Provstore.create () in
+  let ck i = "c" ^ string_of_int i in
+  let record seq kind input_oids prev output =
+    {
+      Record.seq_id = seq;
+      participant = "p";
+      kind;
+      inherited = false;
+      input_oids;
+      input_hashes = List.map (fun _ -> "h") input_oids;
+      output_oid = Oid.of_int output;
+      output_hash = "h";
+      output_value = None;
+      prev_checksums = prev;
+      checksum = ck seq;
+    }
+  in
+  Provstore.append store (record 0 Record.Insert [] [] 0);
+  for i = 1 to n do
+    Provstore.append store
+      (record i Record.Aggregate [ Oid.of_int (i - 1) ] [ ck (i - 1) ] i)
+  done;
+  store
+
+let test_deep_chain_linear () =
+  let n = 10_000 in
+  let store = deep_chain n in
+  let t0 = Unix.gettimeofday () in
+  Alcotest.(check int) "all downstream" n
+    (List.length (Prov_query.derivatives store (Oid.of_int 0)));
+  Alcotest.(check int) "all upstream" n
+    (List.length (Prov_query.derived_from store (Oid.of_int n)));
+  let idx = Prov_index.of_store store in
+  Alcotest.(check int) "depth = chain length" n
+    (Prov_index.depth idx (Oid.of_int n));
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if elapsed >= 5.0 then
+    Alcotest.failf "deep-chain traversals took %.2fs (expected well under 5s)"
+      elapsed
+
 let () =
   Alcotest.run "prov_query"
     [
@@ -108,4 +154,6 @@ let () =
           Alcotest.test_case "touched_by" `Quick test_touched_by;
           Alcotest.test_case "state_hash_at" `Quick test_state_hash_at;
         ] );
+      ( "perf",
+        [ Alcotest.test_case "10k deep chain" `Quick test_deep_chain_linear ] );
     ]

@@ -111,6 +111,106 @@ let test_pp () =
   Alcotest.(check string) "render" "(a <= 3 and not b is null)"
     (Format.asprintf "%a" pp_pred p)
 
+(* ---- pred_of_string: the inverse of pp_pred ---- *)
+
+let test_parse_pred () =
+  let p s = ok (pred_of_string s) in
+  (* not > and > or *)
+  Alcotest.(check string) "precedence"
+    "((i = 1 and not j = 2) or k is null)"
+    (pred_to_string (p "i = 1 and not j = 2 or k is null"));
+  Alcotest.(check string) "parens" "(i = 1 and (j = 2 or k = 3))"
+    (pred_to_string (p "i = 1 and (j = 2 or k = 3)"));
+  (* quoted text, with spaces and keywords *)
+  (match p "name = 'ann and bob'" with
+  | Cmp ("name", Eq, Value.Text "ann and bob") -> ()
+  | q -> Alcotest.failf "quoted text parsed as %s" (pred_to_string q));
+  (* unquoted multi-word values join with spaces *)
+  (match p "name = ann bob" with
+  | Cmp ("name", Eq, Value.Text "ann bob") -> ()
+  | q -> Alcotest.failf "multi-word text parsed as %s" (pred_to_string q));
+  (match p "score is not null" with
+  | Not (IsNull "score") -> ()
+  | q -> Alcotest.failf "is-not-null parsed as %s" (pred_to_string q));
+  Alcotest.(check bool) "empty is true" true (p "" = True);
+  List.iter
+    (fun bad ->
+      match pred_of_string bad with
+      | Ok q -> Alcotest.failf "%S accepted as %s" bad (pred_to_string q)
+      | Error _ -> ())
+    [ "i ="; "= 1"; "i = 'abc"; "(i = 1"; "i = 1)"; "and"; "not"; "i <=> 1" ]
+
+(* Property: parse is the left inverse of print, over a typed schema.
+   Values are printed by Value.to_string, so the parser sees "1" for
+   Float 1. and reads it back as Int 1 — coerce_pred against the
+   schema restores the typed form, which is also exactly what every
+   pred_of_string caller does with live tables. *)
+let roundtrip_schema =
+  Schema.make
+    [
+      { Schema.name = "i"; ty = Value.TInt; nullable = true };
+      { Schema.name = "f"; ty = Value.TFloat; nullable = true };
+      { Schema.name = "b"; ty = Value.TBool; nullable = true };
+      { Schema.name = "s"; ty = Value.TText; nullable = true };
+    ]
+
+(* Lowercase words that are neither grammar keywords nor parseable as
+   numbers, so a text value reparses as itself. *)
+let gen_word =
+  let keywords =
+    [ "and"; "or"; "not"; "is"; "null"; "true"; "false"; "nan"; "inf";
+      "infinity" ]
+  in
+  QCheck2.Gen.(
+    map
+      (fun s -> if List.mem s keywords then s ^ "x" else s)
+      (string_size
+         ~gen:(map (fun i -> Char.chr (Char.code 'a' + i)) (int_range 0 25))
+         (int_range 1 8)))
+
+let gen_cmp =
+  let open QCheck2.Gen in
+  let col_val =
+    oneof
+      [
+        map (fun n -> ("i", Value.Int n)) (int_range (-1000) 1000);
+        map
+          (fun n -> ("f", Value.Float (float_of_int n /. 8.)))
+          (int_range (-1000) 1000);
+        map (fun b -> ("b", Value.Bool b)) bool;
+        map (fun w -> ("s", Value.Text w)) gen_word;
+        oneofl [ ("i", Value.Null); ("s", Value.Null) ];
+      ]
+  in
+  map2
+    (fun (c, v) op -> Cmp (c, op, v))
+    col_val
+    (oneofl [ Eq; Ne; Lt; Le; Gt; Ge ])
+
+let gen_pred =
+  QCheck2.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then
+             oneof
+               [ return True; gen_cmp; oneofl [ IsNull "i"; IsNull "s" ] ]
+           else
+             frequency
+               [
+                 (3, gen_cmp);
+                 (1, map (fun p -> Not p) (self (n - 1)));
+                 (2, map2 (fun a b -> And (a, b)) (self (n / 2)) (self (n / 2)));
+                 (2, map2 (fun a b -> Or (a, b)) (self (n / 2)) (self (n / 2)));
+               ]))
+
+let prop_pred_roundtrip =
+  QCheck2.Test.make ~name:"coerce (parse (print p)) = p" ~count:1000 gen_pred
+    (fun p ->
+      let s = pred_to_string p in
+      match pred_of_string s with
+      | Error e -> QCheck2.Test.fail_reportf "parse error on %S: %s" s e
+      | Ok q -> coerce_pred roundtrip_schema q = p)
+
 let () =
   Alcotest.run "query"
     [
@@ -125,5 +225,10 @@ let () =
           Alcotest.test_case "update_where" `Quick test_update_where;
           Alcotest.test_case "aggregates" `Quick test_aggregates;
           Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+      ( "pred-parse",
+        [
+          Alcotest.test_case "grammar" `Quick test_parse_pred;
+          QCheck_alcotest.to_alcotest prop_pred_roundtrip;
         ] );
     ]

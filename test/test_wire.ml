@@ -236,6 +236,13 @@ let sample_requests =
       { rid = ""; op = Message.Op_delete { table = "stock"; row = 2 } };
     Message.Checkpoint_idem { rid = "retry \x00 me" };
     Message.Ping;
+    Message.Lineage { kind = Message.L_why; oid = Oid.of_int 8 };
+    Message.Lineage { kind = Message.L_inputs; oid = Oid.of_int 0 };
+    Message.Lineage { kind = Message.L_depth; oid = Oid.of_int 123456 };
+    Message.Lineage { kind = Message.L_impact; oid = Oid.of_int 2 };
+    Message.Annotated_query { table = "stock"; where = "qty > 50"; agg = "" };
+    Message.Annotated_query
+      { table = "t"; where = ""; agg = "sum(qty)" };
   ]
 
 let sample_responses =
@@ -286,6 +293,21 @@ let sample_responses =
       };
     Message.Overloaded_resp { retry_after_ms = 25; message = "queue full" };
     Message.Overloaded_resp { retry_after_ms = 0; message = "" };
+    Message.Lineage_resp
+      { poly = "\x01\x01\x01\x02\x01"; depth = 3;
+        oids = [ Oid.of_int 2; Oid.of_int 5 ] };
+    Message.Lineage_resp { poly = ""; depth = 0; oids = [] };
+    Message.Annotated_resp
+      {
+        arows =
+          [
+            (2, [| Value.Text "W-1"; Value.Int 9 |], "\x01\x01\x01\x02\x01");
+            (5, [| Value.Null |], "");
+          ];
+        avalue = Some (Value.Int 107);
+        annot = "opaque annotation bytes \x00\xff";
+      };
+    Message.Annotated_resp { arows = []; avalue = None; annot = "" };
   ]
 
 let test_request_roundtrip () =

@@ -4,8 +4,11 @@
 # parallel-verification smoke benchmark (fails when any domain-pool
 # report disagrees with the sequential run), and the wire-service
 # gate (loopback + socket throughput, then a scripted provdbd
-# session asserting tampering is reported over the wire).
-# Equivalent to `dune build @check-all` plus the daemon session.
+# session asserting tampering is reported over the wire), and the
+# lineage engine gates (@prov unit suite, @prov-smoke annotated-query
+# overhead gate, and a scripted daemon lineage session: insert ->
+# derive -> lineage why -> tamper -> detect).
+# Equivalent to `dune build @check-all` plus the daemon sessions.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -39,17 +42,24 @@ TEP_DOMAINS=4 dune exec test/test_shard.exe
 echo "== shard-smoke (sharded write throughput + root determinism) =="
 TEP_SCALE=smoke TEP_BENCH_JSON=0 dune exec bench/main.exe -- shard
 
+echo "== prov (lineage engine suite) =="
+dune exec test/test_prov.exe
+
+echo "== prov-smoke (annotated-query overhead gate) =="
+TEP_SCALE=smoke TEP_BENCH_JSON=0 dune exec bench/main.exe -- prov
+
 echo "== serve-smoke (scripted provdbd session) =="
 PROVDB=_build/default/bin/provdb.exe
 PROVDBD=_build/default/bin/provdbd.exe
 ws=$(mktemp -d)/ws
 ws2=$(mktemp -d)/ws
+ws3=$(mktemp -d)/ws
 cleanup() {
   if [ -n "${daemon_pid:-}" ]; then
     kill "$daemon_pid" 2>/dev/null || true
     wait "$daemon_pid" 2>/dev/null || true
   fi
-  rm -rf "$(dirname "$ws")" "$(dirname "$ws2")"
+  rm -rf "$(dirname "$ws")" "$(dirname "$ws2")" "$(dirname "$ws3")"
 }
 trap cleanup EXIT
 
@@ -154,5 +164,53 @@ if [ "$roots_before" != "$roots_after" ]; then
 fi
 echo "shard-smoke: writes landed on both shards, root-of-roots stable \
 across restart"
+
+echo "== lineage (scripted daemon lineage session) =="
+"$PROVDB" init "$ws3" --table 'stock:sku,qty@int'
+"$PROVDB" participant "$ws3" alice
+"$PROVDB" insert "$ws3" --as alice --table stock --values 'WIDGET-1,100'
+"$PROVDB" insert "$ws3" --as alice --table stock --values 'WIDGET-2,7'
+
+"$PROVDBD" "$ws3" & daemon_pid=$!
+wait_for_socket "$ws3"
+# Rows 0 and 1 of the only table sit at deterministic forest oids 2
+# and 5 (root 0, table 1, then row + two cell leaves each).
+agg_out=$("$PROVDB" remote aggregate "$ws3" --as alice --oids 2,5 --value 107)
+echo "$agg_out"
+agg_oid=$(echo "$agg_out" | sed -n 's/^aggregate object #\([0-9]*\).*/\1/p')
+if [ -z "$agg_oid" ]; then
+  echo "FAIL: could not extract the aggregate oid"
+  exit 1
+fi
+why=$("$PROVDB" remote lineage "$ws3" --as alice --kind why --oid "$agg_oid")
+echo "$why"
+if ! echo "$why" | grep -q 'o2\*o5'; then
+  echo "FAIL: lineage why did not name both input rows"
+  exit 1
+fi
+sel=$("$PROVDB" remote select "$ws3" --as alice --table stock \
+  --where 'qty > 50' --agg count)
+echo "$sel"
+if ! echo "$sel" | grep -q 'VERIFIED'; then
+  echo "FAIL: remote annotated select did not verify its annotation"
+  exit 1
+fi
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || true
+daemon_pid=
+
+# Save a signed annotation locally, tamper with the annotation store,
+# and require verify to report the forgery with exit 3.
+"$PROVDB" lineage select "$ws3" --table stock --where 'qty > 0' \
+  --agg 'sum(qty)' --save audit1 --as alice
+"$PROVDB" verify "$ws3"
+"$PROVDB" tamper "$ws3" --attack annotation
+status=0
+"$PROVDB" verify "$ws3" || status=$?
+if [ "$status" -ne 3 ]; then
+  echo "FAIL: verify after annotation tampering exited $status, expected 3"
+  exit 1
+fi
+echo "lineage: annotation tampering detected (exit 3)"
 
 echo "check: OK"
