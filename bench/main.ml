@@ -1581,6 +1581,273 @@ let run_prov () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* proof: O(log n) remote verification vs full remote verify           *)
+(* ------------------------------------------------------------------ *)
+
+(* The read-side dual of §4.3 Economical hashing: instead of the
+   server re-checking every record and shipping a report (O(database)
+   CPU and bytes per client), the client fetches an O(depth × fanout)
+   membership proof plus the one relevant checksum chain and rechecks
+   the whole hash chain locally against the root it already trusts.
+
+   Records are laid out in fixed-capacity tables (100 rows each — the
+   table is the shard-routing unit, so bounded tables are also what
+   the sharded write path wants).  With bounded per-node fanout the
+   proof grows with tree depth and table count, not record count:
+   the gate asserts ≤2x proof bytes from the small to the large
+   workload (10x the records) and ≥10x latency advantage over a full
+   remote verify at the large size. *)
+let run_proof () =
+  let module Server = Tep_server.Server in
+  let module Client = Tep_client.Client in
+  let cfg = Experiments.config_of_env () in
+  header "proof — membership-proof RPCs vs full remote verify";
+  let small, large =
+    if cfg.Experiments.scale <= 0.02 then (100, 1000) else (1000, 10_000)
+  in
+  let rows_per_table = 100 in
+  let sample = 32 in
+  let trials = 3 in
+  let time_best reps f =
+    let best = ref infinity in
+    for _ = 1 to trials do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        f ()
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best /. float_of_int reps
+  in
+  Printf.printf
+    "sizes=%d/%d rows_per_table=%d sample=%d trials=%d (scale=%.2f rsa=%d)\n"
+    small large rows_per_table sample trials cfg.Experiments.scale
+    cfg.Experiments.rsa_bits;
+  Printf.printf
+    "records,shards,proof_bytes,prove_verify_us,full_verify_us,speedup\n";
+  let all_ok = ref true in
+  let measure nrecords nshards =
+    let seed =
+      Printf.sprintf "%s-proof-%d-%d" cfg.Experiments.seed nrecords nshards
+    in
+    let env = Scenario.make_env ~seed () in
+    let alice =
+      Participant.create ~bits:cfg.Experiments.rsa_bits ~ca:env.Scenario.ca
+        ~name:"alice" env.Scenario.drbg
+    in
+    Participant.Directory.register env.Scenario.directory alice;
+    let directory = env.Scenario.directory in
+    let ntables = (nrecords + rows_per_table - 1) / rows_per_table in
+    let table_name g = Printf.sprintf "t%d" g in
+    (* global table g lives on the shard its name routes to *)
+    let shard_of g = Shards.shard_of_table ~shards:nshards (table_name g) in
+    let engines =
+      Array.init nshards (fun k ->
+          let db = Database.create ~name:"proofbench" in
+          for g = 0 to ntables - 1 do
+            if shard_of g = k then
+              ignore
+                (Database.create_table db ~name:(table_name g)
+                   (Schema.all_int [ "a"; "b" ]))
+          done;
+          Engine.create ~directory db)
+    in
+    (* populate engines directly: the write path is not under test *)
+    let placed = Array.make nrecords ("", 0) in
+    for i = 0 to nrecords - 1 do
+      let g = i / rows_per_table in
+      let eng = engines.(shard_of g) in
+      match
+        Engine.insert_row eng alice ~table:(table_name g)
+          [| Value.Int i; Value.Int (i * 2) |]
+      with
+      | Ok row -> placed.(i) <- (table_name g, row)
+      | Error e -> failwith ("proof bench: insert: " ^ e)
+    done;
+    let coord_file =
+      if nshards > 1 then Some (Filename.temp_file "tep_proof_bench" ".wal")
+      else None
+    in
+    let coord = Option.map Wal.open_file coord_file in
+    let server =
+      Server.create
+        ~drbg:(Tep_crypto.Drbg.create ~seed:(seed ^ "-srv"))
+        ~participants:[ ("alice", alice) ]
+        ~shards:
+          (List.tl (Array.to_list engines) |> List.map (fun e -> (e, None)))
+        ?coord engines.(0)
+    in
+    let c =
+      Client.loopback ~drbg:(Tep_crypto.Drbg.create ~seed:(seed ^ "-cli")) server
+    in
+    (match Client.authenticate c alice with
+    | Ok () -> ()
+    | Error e -> failwith ("proof bench: auth: " ^ e));
+    let trusted_root =
+      match Client.root_hash c with
+      | Ok r -> r
+      | Error e -> failwith ("proof bench: root: " ^ e)
+    in
+    let algo = Engine.algo engines.(0) in
+    (* sampled cells, spread across the whole record range *)
+    let picks =
+      Array.init sample (fun j -> placed.(j * nrecords / sample))
+    in
+    let prove_one (table, row) =
+      match Client.prove c ~table ~row ~col:0 () with
+      | Error e -> failwith ("proof bench: prove: " ^ e)
+      | Ok p -> (
+          match Client.check_proofs ~algo ~directory ~trusted_root p with
+          | Error e -> failwith ("proof bench: check: " ^ e)
+          | Ok r ->
+              if not (Verifier.ok r) then
+                failwith "proof bench: proof report not clean";
+              p)
+    in
+    (* bytes actually shipped per answer: encoded proofs + shard roots *)
+    let answer_bytes (p : Client.proofs) =
+      List.fold_left
+        (fun n (it : Client.proof_item) -> n + String.length it.Client.pf_encoded)
+        0 p.Client.pf_items
+      + List.fold_left
+          (fun n r -> n + String.length r)
+          0 p.Client.pf_shard_roots
+    in
+    let total_bytes =
+      Array.fold_left (fun n pick -> n + answer_bytes (prove_one pick)) 0 picks
+    in
+    let proof_bytes = total_bytes / sample in
+    (* latency: full prove+recheck round trip, cycling over the sample
+       (mixes LRU hits and misses, like a population of hot readers) *)
+    let i = ref 0 in
+    let prove_s =
+      time_best sample (fun () ->
+          ignore (prove_one picks.(!i mod sample));
+          incr i)
+    in
+    let full_s =
+      time_best 1 (fun () ->
+          match Client.verify c () with
+          | Ok (report, _) ->
+              if not (Tep_wire.Message.report_ok report) then
+                failwith "proof bench: full verify not clean"
+          | Error e -> failwith ("proof bench: verify: " ^ e))
+    in
+    (* tamper sanity: a flipped sibling hash must break the chain *)
+    (match Client.prove c ~table:(fst picks.(0)) ~row:(snd picks.(0)) ~col:0 ()
+     with
+    | Error e -> failwith ("proof bench: prove: " ^ e)
+    | Ok p -> (
+        let it = List.hd p.Client.pf_items in
+        let pf = it.Client.pf_proof in
+        let bump s = String.mapi (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c) s in
+        let step = List.hd pf.Tep_tree.Proof.path in
+        let step' =
+          {
+            step with
+            Tep_tree.Proof.children =
+              List.map (fun (o, h) -> (o, bump h)) step.Tep_tree.Proof.children;
+          }
+        in
+        let forged =
+          {
+            p with
+            Client.pf_items =
+              [
+                {
+                  it with
+                  Client.pf_proof =
+                    {
+                      pf with
+                      Tep_tree.Proof.path =
+                        step' :: List.tl pf.Tep_tree.Proof.path;
+                    };
+                };
+              ];
+          }
+        in
+        match Client.check_proofs ~algo ~directory ~trusted_root forged with
+        | Error _ -> ()
+        | Ok _ ->
+            Printf.eprintf
+              "FAIL: forged sibling hash not detected (%d records, %d shards)\n"
+              nrecords nshards;
+            all_ok := false));
+    Client.close c;
+    Option.iter Wal.close coord;
+    Option.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) coord_file;
+    let speedup = full_s /. prove_s in
+    Printf.printf "%d,%d,%d,%.1f,%.1f,%.1fx\n" nrecords nshards proof_bytes
+      (1e6 *. prove_s) (1e6 *. full_s) speedup;
+    (nrecords, nshards, proof_bytes, prove_s, full_s, speedup)
+  in
+  let points =
+    List.concat_map
+      (fun nshards ->
+        let p_small = measure small nshards in
+        let p_large = measure large nshards in
+        [ p_small; p_large ])
+      [ 1; 2; 4 ]
+  in
+  print_newline ();
+  let bytes_bound = 2.0 and speedup_bound = 10.0 in
+  let max_ratio = ref 0. and min_speedup = ref infinity in
+  List.iter
+    (fun nshards ->
+      let find n =
+        List.find (fun (r, s, _, _, _, _) -> r = n && s = nshards) points
+      in
+      let _, _, b_small, _, _, _ = find small in
+      let _, _, b_large, _, _, speedup = find large in
+      let ratio = float_of_int b_large /. float_of_int b_small in
+      if ratio > !max_ratio then max_ratio := ratio;
+      if speedup < !min_speedup then min_speedup := speedup;
+      if ratio > bytes_bound then begin
+        Printf.eprintf
+          "FAIL: proof bytes grew %.2fx (%d -> %d records, %d shards), \
+           budget %.1fx\n"
+          ratio small large nshards bytes_bound;
+        all_ok := false
+      end;
+      if speedup < speedup_bound then begin
+        Printf.eprintf
+          "FAIL: prove+verify only %.1fx faster than full verify at %d \
+           records, %d shards (need %.0fx)\n"
+          speedup large nshards speedup_bound;
+        all_ok := false
+      end)
+    [ 1; 2; 4 ];
+  Printf.printf
+    "gate: max proof-bytes growth %.2fx (budget %.1fx), min speedup %.1fx \
+     (budget %.0fx)\n"
+    !max_ratio bytes_bound !min_speedup speedup_bound;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"proof\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"scale\": %g,\n  \"rsa_bits\": %d,\n  \"rows_per_table\": %d,\n\
+       \  \"sample\": %d,\n  \"bytes_ratio_bound\": %.1f,\n\
+       \  \"speedup_bound\": %.1f,\n  \"max_bytes_ratio\": %.3f,\n\
+       \  \"min_speedup_at_%d\": %.2f,\n"
+       cfg.Experiments.scale cfg.Experiments.rsa_bits rows_per_table sample
+       bytes_bound speedup_bound !max_ratio large !min_speedup);
+  Buffer.add_string buf "  \"points\": [\n";
+  List.iteri
+    (fun i (nrecords, nshards, bytes, prove_s, full_s, speedup) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"records\": %d, \"shards\": %d, \"proof_bytes\": %d, \
+            \"prove_verify_us\": %.1f, \"full_verify_us\": %.1f, \
+            \"speedup\": %.2f }%s\n"
+           nrecords nshards bytes (1e6 *. prove_s) (1e6 *. full_s) speedup
+           (if i = List.length points - 1 then "" else ",")))
+    points;
+  Buffer.add_string buf "  ]\n}";
+  write_json "BENCH_proof.json" (Buffer.contents buf);
+  if not !all_ok then exit 1
+
 let all =
   [
     ("table1", run_table1);
@@ -1600,6 +1867,7 @@ let all =
     ("serve-pipeline", run_serve_pipeline);
     ("shard", run_shard);
     ("prov", run_prov);
+    ("proof", run_proof);
     ("micro", run_micro);
   ]
 

@@ -990,16 +990,44 @@ let cmd_remote_verify dir socket host port as_ key oid =
           else fail_verify "verification failed"
       | Error e -> fail "%s" e)
 
-let cmd_remote_audit dir socket host port as_ key =
+let cmd_remote_audit dir socket host port as_ key sample seed =
   with_remote dir socket host port as_ key (fun c ->
-      match Client.audit c with
-      | Ok (report, examined, objects) ->
-          print_report report;
-          Printf.printf
-            "examined %d new record(s); checkpoint covers %d object(s)\n"
-            examined objects;
-          if Message.report_ok report then Ok "" else fail_verify "audit failed"
-      | Error e -> fail "%s" e)
+      match sample with
+      | None -> (
+          match Client.audit c with
+          | Ok (report, examined, objects) ->
+              print_report report;
+              Printf.printf
+                "examined %d new record(s); checkpoint covers %d object(s)\n"
+                examined objects;
+              if Message.report_ok report then Ok ""
+              else fail_verify "audit failed"
+          | Error e -> fail "%s" e)
+      | Some alpha ->
+          if not (alpha > 0. && alpha <= 1.) then
+            fail_usage "--sample must be in (0, 1]"
+          else
+            (* ppm granularity: the fraction the server actually
+               applies, so the bound below is computed from it, not
+               from the possibly-rounded request *)
+            let alpha_ppm = max 1 (int_of_float (alpha *. 1e6)) in
+            let seed = Option.value seed ~default:"provdb-audit" in
+            (match Client.audit_sample c ~seed ~alpha_ppm with
+            | Error e -> fail "%s" e
+            | Ok (report, sampled, population) ->
+                print_report report;
+                let a = float_of_int alpha_ppm /. 1e6 in
+                Printf.printf
+                  "sampled %d of %d live object(s) (alpha = %g, seed %S)\n"
+                  sampled population a seed;
+                Printf.printf
+                  "detection bound: P(miss k tampered) <= (1 - alpha)^k = \
+                   %.4f^k  (k=1: %.4f, k=5: %.4f, k=20: %.4f)\n"
+                  (1. -. a) (1. -. a)
+                  ((1. -. a) ** 5.)
+                  ((1. -. a) ** 20.);
+                if Message.report_ok report then Ok ""
+                else fail_verify "sampled audit failed"))
 
 let cmd_remote_checkpoint dir socket host port as_ key =
   with_remote dir socket host port as_ key (fun c ->
@@ -1025,11 +1053,89 @@ let cmd_remote_shard_stats dir socket host port as_ key =
             (fun k s ->
               Printf.printf
                 "shard %d: batches=%d ops=%d queued=%d root_recomputes=%d \
-                 root_hits=%d\n"
+                 root_hits=%d proofs_served=%d proof_cache_hits=%d \
+                 proof_cache_misses=%d proof_bytes=%d\n"
                 k s.Message.ss_batches s.Message.ss_ops s.Message.ss_queued
-                s.Message.ss_root_recomputes s.Message.ss_root_hits)
+                s.Message.ss_root_recomputes s.Message.ss_root_hits
+                s.Message.ss_proofs_served s.Message.ss_proof_cache_hits
+                s.Message.ss_proof_cache_misses s.Message.ss_proof_bytes)
             stats;
           Ok "")
+
+(* Aggregate daemon statistics: the batcher/signing counters plus the
+   per-shard proof-path counters in one place. *)
+let cmd_remote_stats dir socket host port as_ key =
+  with_remote dir socket host port as_ key (fun c ->
+      match lift_remote (Client.stats c) with
+      | Error f -> Error f
+      | Ok st -> (
+          Printf.printf "batches=%d ops=%d sign_wall_us=%d sign_cpu_us=%d\n"
+            st.Client.batches st.Client.ops st.Client.sign_wall_us
+            st.Client.sign_cpu_us;
+          match lift_remote (Client.shard_stats c) with
+          | Error f -> Error f
+          | Ok shards ->
+              List.iteri
+                (fun k s ->
+                  let mean =
+                    if s.Message.ss_proofs_served = 0 then 0
+                    else s.Message.ss_proof_bytes / s.Message.ss_proofs_served
+                  in
+                  Printf.printf
+                    "shard %d: proofs_served=%d proof_cache_hits=%d \
+                     proof_cache_misses=%d mean_proof_bytes=%d\n"
+                    k s.Message.ss_proofs_served s.Message.ss_proof_cache_hits
+                    s.Message.ss_proof_cache_misses mean)
+                shards;
+              Ok ""))
+
+(* Remote Merkle-proof verification, the read-side dual of Economical
+   hashing: fetch the root hash once (the only thing taken from the
+   server that the session's HMAC already authenticates), then have
+   every claim in the proof answer rechecked locally — O(depth ×
+   fanout) wire bytes and client work instead of a full report. *)
+let cmd_remote_prove dir socket host port as_ key table row col =
+  match load_identity dir with
+  | Error f ->
+      report_failure f;
+      code_of_failure f
+  | Ok (_ca, directory, _participants) ->
+      with_remote dir socket host port as_ key (fun c ->
+          match lift_remote (Client.root_hash c) with
+          | Error f -> Error f
+          | Ok trusted -> (
+              match Client.prove c ~table ~row ?col () with
+              | Error e -> fail "%s" e
+              | Ok proofs -> (
+                  (* workspaces hash with the engine default *)
+                  let algo = Tep_crypto.Digest_algo.SHA1 in
+                  let bytes =
+                    List.fold_left
+                      (fun a (it : Client.proof_item) ->
+                        a + String.length it.Client.pf_encoded)
+                      0 proofs.Client.pf_items
+                  in
+                  match
+                    Client.check_proofs ~algo ~directory ~trusted_root:trusted
+                      proofs
+                  with
+                  | Error e -> fail_verify "proof: %s" e
+                  | Ok r ->
+                      if Verifier.ok r then begin
+                        Printf.printf
+                          "VERIFIED: %d leaf(s), %d records, %d signatures \
+                           checked against root %s (%d proof bytes)\n"
+                          (List.length proofs.Client.pf_items)
+                          r.Verifier.records_checked
+                          r.Verifier.signatures_checked
+                          (Tep_crypto.Digest_algo.to_hex trusted)
+                          bytes;
+                        Ok ""
+                      end
+                      else begin
+                        Format.printf "%a@." Verifier.pp_report r;
+                        fail_verify "proof verification failed"
+                      end)))
 
 let cmd_remote_lineage dir socket host port as_ key kind oid =
   with_remote dir socket host port as_ key (fun c ->
@@ -1392,11 +1498,46 @@ let remote_cmd =
       Cmd.v
         (Cmd.info "audit"
            ~doc:
-             "Run a server-side incremental audit.  Exits 3 when tampering \
-              is detected."
+             "Run a server-side incremental audit, or with --sample a \
+              seed-reproducible sampled sweep with its detection bound.  \
+              Exits 3 when tampering is detected."
            ~exits)
         Term.(
           const cmd_remote_audit $ dir_arg $ socket_arg $ host_arg $ port_arg
+          $ as_arg $ key_arg
+          $ Arg.(
+              value
+              & opt (some float) None
+              & info [ "sample" ] ~docv:"ALPHA"
+                  ~doc:
+                    "Verify a DRBG-sampled ALPHA-fraction of live objects \
+                     (0 < ALPHA <= 1) instead of the incremental sweep")
+          $ Arg.(
+              value
+              & opt (some string) None
+              & info [ "seed" ] ~docv:"SEED"
+                  ~doc:
+                    "DRBG seed for --sample; the same seed replays the \
+                     same sample"));
+      Cmd.v
+        (Cmd.info "prove"
+           ~doc:
+             "Fetch a Merkle membership proof for one cell (or a whole row \
+              with no --col) and verify it locally against the published \
+              root — O(log n) bytes instead of a full report.  Exits 3 on \
+              any chain mismatch."
+           ~exits)
+        Term.(
+          const cmd_remote_prove $ dir_arg $ socket_arg $ host_arg $ port_arg
+          $ as_arg $ key_arg $ table_req $ row_req $ col_opt);
+      Cmd.v
+        (Cmd.info "stats"
+           ~doc:
+             "Print daemon statistics: batching/signing counters and the \
+              per-shard proof-path counters"
+           ~exits)
+        Term.(
+          const cmd_remote_stats $ dir_arg $ socket_arg $ host_arg $ port_arg
           $ as_arg $ key_arg);
       Cmd.v
         (Cmd.info "checkpoint" ~doc:"Ask the daemon to checkpoint" ~exits)

@@ -24,6 +24,8 @@ module Frame = Tep_wire.Frame
 module Message = Tep_wire.Message
 module Session = Tep_wire.Session
 module Participant = Tep_core.Participant
+module Proof = Tep_tree.Proof
+module Verifier = Tep_core.Verifier
 
 type transport = {
   send : string -> unit;
@@ -858,6 +860,142 @@ let annotated_query t ~table ?(where = "") ?(agg = "") () =
                match decoded with
                | Error e -> Error e
                | Ok rows -> Ok (List.rev rows, avalue, a)))
+       | _ -> unexpected)
+
+(* ------------------------------------------------------------------ *)
+(* Membership proofs and sampled audit (wire v6)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* One proven leaf: the decoded membership proof, the exact encoded
+   bytes it arrived as (size accounting), and the leaf's provenance
+   object (its record-DAG closure, for the checksum-chain check). *)
+type proof_item = {
+  pf_proof : Proof.t;
+  pf_encoded : string;
+  pf_records : Tep_core.Record.t list;
+}
+
+type proofs = {
+  pf_shard : int; (* owning shard's index, as claimed by the server *)
+  pf_shard_roots : string list; (* per-shard engine roots, shard order *)
+  pf_items : proof_item list;
+}
+
+(* Fetch membership proofs for one cell ([col]) or a whole row's cells
+   (no [col]) under the published root.  Decoded but NOT verified —
+   nothing the server sent is trusted until {!check_proofs} rechecks
+   it against a root obtained independently. *)
+let prove t ~table ~row ?col () =
+  rpc t (Message.Prove { table; row; col })
+  |> unwrap (function
+       | Message.Proof_resp { shard; shard_roots; items } -> (
+           let decoded =
+             List.fold_left
+               (fun acc (bytes, records) ->
+                 match acc with
+                 | Error _ as e -> e
+                 | Ok out -> (
+                     match Proof.of_encoded bytes with
+                     | Error e -> Error e
+                     | Ok p ->
+                         Ok
+                           ({
+                              pf_proof = p;
+                              pf_encoded = bytes;
+                              pf_records = records;
+                            }
+                           :: out)))
+               (Ok []) items
+           in
+           match decoded with
+           | Error e -> Error e
+           | Ok [] -> Error "proof: empty proof set"
+           | Ok items ->
+               if shard < 0 || shard >= List.length shard_roots then
+                 Error "proof: shard index out of range"
+               else
+                 Ok
+                   {
+                     pf_shard = shard;
+                     pf_shard_roots = shard_roots;
+                     pf_items = List.rev items;
+                   })
+       | _ -> unexpected)
+
+let merge_vreports (a : Verifier.report) (b : Verifier.report) =
+  {
+    Verifier.violations = a.Verifier.violations @ b.Verifier.violations;
+    records_checked = a.Verifier.records_checked + b.Verifier.records_checked;
+    objects_checked = a.Verifier.objects_checked + b.Verifier.objects_checked;
+    signatures_checked =
+      a.Verifier.signatures_checked + b.Verifier.signatures_checked;
+  }
+
+(* Recheck everything a proof answer claims against the ONE hash the
+   caller already trusts (a [root_hash] fetched and pinned earlier, or
+   a published root from out of band).  Nothing the server said is
+   believed a priori:
+
+   - the shard roots must recombine — root-of-roots for a sharded
+     answer, the single root verbatim otherwise — into exactly
+     [trusted_root] (the shard-layer step of the chain);
+   - each membership proof must hash-chain its leaf to the owning
+     shard's root (the in-shard Merkle step);
+   - each leaf's provenance records must pass full recipient-side
+     verification (R1–R8) with the proven (oid, value) snapshot as
+     the delivered object — binding the proven value to its signed
+     checksum chain.
+
+   [Ok report] means every hash chain checked out; the report may
+   still carry chain violations (tampered provenance), which callers
+   treat exactly like a failed remote verify.  [Error] is a broken or
+   forged proof — equally tampering evidence, just detected earlier. *)
+let check_proofs ~algo ~directory ~trusted_root (p : proofs) =
+  let published =
+    match p.pf_shard_roots with
+    | [ r ] -> r
+    | roots -> Tep_tree.Merkle.root_of_roots algo roots
+  in
+  if not (String.equal published trusted_root) then
+    Error "proof: shard roots do not recombine into the trusted root"
+  else
+    match List.nth_opt p.pf_shard_roots p.pf_shard with
+    | None -> Error "proof: shard index out of range"
+    | Some shard_root ->
+        let empty =
+          {
+            Verifier.violations = [];
+            records_checked = 0;
+            objects_checked = 0;
+            signatures_checked = 0;
+          }
+        in
+        let rec go acc = function
+          | [] -> Ok acc
+          | it :: rest -> (
+              match Proof.verify algo ~root_hash:shard_root it.pf_proof with
+              | Error e -> Error e
+              | Ok () ->
+                  let data =
+                    Tep_tree.Subtree.atom it.pf_proof.Proof.leaf_oid
+                      it.pf_proof.Proof.leaf_value
+                  in
+                  let r =
+                    Verifier.verify ~algo ~directory ~data it.pf_records
+                  in
+                  go (merge_vreports acc r) rest)
+        in
+        go empty p.pf_items
+
+(* Seed-reproducible sampled audit: the server verifies a DRBG-chosen
+   α-fraction (ppm) of live objects.  Returns (report, sampled,
+   population); the caller derives the detection bound
+   P(miss k tampered) ≤ (1−α)^k from α alone. *)
+let audit_sample t ~seed ~alpha_ppm =
+  rpc t (Message.Audit_sample { seed; alpha_ppm })
+  |> unwrap (function
+       | Message.Audit_sample_resp { report; sampled; population } ->
+           Ok (report, sampled, population)
        | _ -> unexpected)
 
 (* ------------------------------------------------------------------ *)

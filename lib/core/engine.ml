@@ -751,3 +751,5 @@ let verify_object t oid =
   | Error e -> Error e
   | Ok (data, records) ->
       Ok (Verifier.verify ?pool:t.pool ~algo:(algo t) ~directory:t.dir ~data records)
+
+let prove t oid = Proof.prove t.cache t.forest oid

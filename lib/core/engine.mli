@@ -209,3 +209,8 @@ val deliver : ?deep:bool -> t -> Oid.t -> (Subtree.t * Record.t list, string) re
 
 val verify_object : t -> Oid.t -> (Verifier.report, string) result
 (** Run recipient-side verification in place. *)
+
+val prove : t -> Oid.t -> (Tep_tree.Proof.t, string) result
+(** Build a Merkle membership proof for an atomic object off this
+    engine's hash cache — O(dirty path) on a warm (Economical) cache,
+    no tree rebuild.  Errors on missing or non-atomic oids. *)

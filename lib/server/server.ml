@@ -73,6 +73,8 @@ module Query = Tep_store.Query
 module Oid = Tep_tree.Oid
 module Forest = Tep_tree.Forest
 module Merkle = Tep_tree.Merkle
+module Proof = Tep_tree.Proof
+module Tree_view = Tep_tree.Tree_view
 module Fault = Tep_fault.Fault
 
 (* Everything a connection reads passes through this failpoint, so
@@ -194,6 +196,27 @@ type shard = {
          reader holding s_root_lock while waiting for a read lock. *)
   s_root_recomputes : int Atomic.t; (* cache misses (observability) *)
   s_root_hits : int Atomic.t;
+  (* Hot leaf→root membership proofs (encoded), keyed by leaf oid.  A
+     bounded LRU: a proof built at epoch e is replayable verbatim
+     until the next commit on THIS shard bumps the epoch — writes to
+     other shards leave it warm.  Mutated only under s_root_lock (the
+     Prove path holds it for the whole root+proof critical section),
+     so no lock of its own. *)
+  s_proof_cache : (Oid.t, proof_entry) Hashtbl.t;
+  s_proof_tick : int ref; (* LRU clock, under s_root_lock *)
+  s_proof_epoch : int Atomic.t;
+      (* bumped by every commit on this shard, next to s_root_dirty:
+         cached proofs from earlier epochs can never be served again *)
+  s_proofs_served : int Atomic.t;
+  s_proof_hits : int Atomic.t; (* answered from the LRU *)
+  s_proof_misses : int Atomic.t; (* rebuilt off the Merkle cache *)
+  s_proof_bytes : int Atomic.t; (* cumulative encoded bytes served *)
+}
+
+and proof_entry = {
+  pe_epoch : int;
+  pe_bytes : string; (* Proof.to_string form, ready for the wire *)
+  mutable pe_last : int; (* s_proof_tick at last use *)
 }
 
 type t = {
@@ -248,6 +271,13 @@ let make_shard i (engine, checkpoint) =
     s_root_dirty = Atomic.make true;
     s_root_recomputes = Atomic.make 0;
     s_root_hits = Atomic.make 0;
+    s_proof_cache = Hashtbl.create 64;
+    s_proof_tick = ref 0;
+    s_proof_epoch = Atomic.make 0;
+    s_proofs_served = Atomic.make 0;
+    s_proof_hits = Atomic.make 0;
+    s_proof_misses = Atomic.make 0;
+    s_proof_bytes = Atomic.make 0;
   }
 
 let create ?(max_payload = Frame.default_max_payload) ?(request_timeout = 30.)
@@ -634,6 +664,7 @@ let run_batch (shard : shard) (jobs : submit_job list) =
                  shard's cached root goes stale (cheap atomic; see
                  s_root_dirty for why not the root lock). *)
               Atomic.set shard.s_root_dirty true;
+              Atomic.incr shard.s_proof_epoch;
               (* Signing-time counters: taken under b_mutex while this
                  leader still holds the write lock; the only lock order
                  anywhere is rwlock → b_mutex, so no cycle. *)
@@ -893,6 +924,7 @@ let submit_cross t participant (ops : Message.op array)
                 (fun (k, m) ->
                   let s = t.shards.(k) in
                   Atomic.set s.s_root_dirty true;
+                  Atomic.incr s.s_proof_epoch;
                   records.(k) <- m.Engine.records_emitted;
                   let b = s.s_batcher in
                   Mutex.lock b.b_mutex;
@@ -1047,20 +1079,26 @@ let pong t =
    after the exchange but before the read lock is acquired simply
    re-marks the cache dirty, costing one redundant recompute, never a
    stale answer to a client that already saw its commit complete. *)
+let shard_root_cached (s : shard) read_root =
+  (* Core of the cache: requires s_root_lock held; [read_root] supplies
+     the engine root under whatever read-lock discipline the caller
+     already has (the plain path takes the read lock here; the Prove
+     path is already inside it). *)
+  let dirty = Atomic.exchange s.s_root_dirty false in
+  match !(s.s_root_cache) with
+  | Some h when not dirty ->
+      Atomic.incr s.s_root_hits;
+      h
+  | _ ->
+      let h = read_root () in
+      s.s_root_cache := Some h;
+      Atomic.incr s.s_root_recomputes;
+      h
+
 let shard_root (s : shard) =
   locked s.s_root_lock (fun () ->
-      let dirty = Atomic.exchange s.s_root_dirty false in
-      match !(s.s_root_cache) with
-      | Some h when not dirty ->
-          Atomic.incr s.s_root_hits;
-          h
-      | _ ->
-          let h =
-            Rwlock.with_read s.s_rwlock (fun () -> Engine.root_hash s.s_engine)
-          in
-          s.s_root_cache := Some h;
-          Atomic.incr s.s_root_recomputes;
-          h)
+      shard_root_cached s (fun () ->
+          Rwlock.with_read s.s_rwlock (fun () -> Engine.root_hash s.s_engine)))
 
 (* The hash the service publishes: the engine root itself for a
    single-shard server (byte-compatible with the unsharded service),
@@ -1112,6 +1150,68 @@ let with_owning_shard t oid f =
       | None -> go (k + 1)
   in
   go 0
+
+(* ------------------------------------------------------------------ *)
+(* Membership proofs (wire v6)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let proof_cache_cap = 256
+
+let empty_report =
+  {
+    Message.rp_records = 0;
+    rp_objects = 0;
+    rp_signatures = 0;
+    rp_violations = [];
+  }
+
+(* Serve one leaf's encoded membership proof through the shard's LRU.
+   Requires BOTH s_root_lock and the shard read lock held (the Prove
+   critical section): no commit can bump the epoch underneath us, and
+   the cache/tick are mutated under s_root_lock only.  A hit replays
+   the encoded bytes verbatim; a miss rebuilds off the warm Merkle
+   cache — O(dirty path), never a tree rebuild, never the write
+   lock. *)
+let serve_proof (s : shard) ~epoch oid =
+  incr s.s_proof_tick;
+  let tick = !(s.s_proof_tick) in
+  let deliver bytes =
+    Atomic.incr s.s_proofs_served;
+    ignore (Atomic.fetch_and_add s.s_proof_bytes (String.length bytes));
+    Ok bytes
+  in
+  let cached = Hashtbl.find_opt s.s_proof_cache oid in
+  match cached with
+  | Some entry when entry.pe_epoch = epoch ->
+      entry.pe_last <- tick;
+      Atomic.incr s.s_proof_hits;
+      deliver entry.pe_bytes
+  | _ -> (
+      match Engine.prove s.s_engine oid with
+      | Error e -> Error e
+      | Ok p ->
+          let bytes = Proof.to_string p in
+          Atomic.incr s.s_proof_misses;
+          if
+            Option.is_none cached
+            && Hashtbl.length s.s_proof_cache >= proof_cache_cap
+          then begin
+            (* evict the least recently used entry — O(cap) scan, only
+               when full, with cap small and bounded *)
+            let victim = ref None in
+            Hashtbl.iter
+              (fun o e ->
+                match !victim with
+                | Some (_, last) when last <= e.pe_last -> ()
+                | _ -> victim := Some (o, e.pe_last))
+              s.s_proof_cache;
+            match !victim with
+            | Some (o, _) -> Hashtbl.remove s.s_proof_cache o
+            | None -> ()
+          end;
+          Hashtbl.replace s.s_proof_cache oid
+            { pe_epoch = epoch; pe_bytes = bytes; pe_last = tick };
+          deliver bytes)
 
 (* Read-side requests run concurrently with each other: nothing here
    may mutate any engine.  Each shard's audit checkpoint and root
@@ -1247,6 +1347,10 @@ let dispatch_read t participant (req : Message.request) =
                   ss_queued = queued;
                   ss_root_recomputes = Atomic.get s.s_root_recomputes;
                   ss_root_hits = Atomic.get s.s_root_hits;
+                  ss_proofs_served = Atomic.get s.s_proofs_served;
+                  ss_proof_cache_hits = Atomic.get s.s_proof_hits;
+                  ss_proof_cache_misses = Atomic.get s.s_proof_misses;
+                  ss_proof_bytes = Atomic.get s.s_proof_bytes;
                 })
               t.shards))
   | Message.Lineage { kind; oid } ->
@@ -1328,6 +1432,113 @@ let dispatch_read t participant (req : Message.request) =
                             with
                             | Error e -> error_resp Message.Bad_request e
                             | Ok v -> respond rows (Some v)))))))
+  | Message.Prove { table; row; col } -> (
+      (* Everything the client will recheck must come from ONE
+         committed state of the owning shard: shard k's root and the
+         proofs are taken inside a single root_lock → read-lock
+         critical section — the same acquisition order [shard_root]
+         uses; the reverse would deadlock against writer preference.
+         The OTHER shards' roots come first, each through its own
+         cache and locks, so no two shards' locks are ever held
+         together.  A commit elsewhere in the gap only means the
+         root-of-roots the client recomputes no longer matches a
+         trusted root fetched earlier still — the client re-fetches
+         Root_hash and retries, like any stale read. *)
+      let n = shard_count t in
+      let k = Shards.shard_of_table ~shards:n table in
+      let s = t.shards.(k) in
+      let roots =
+        Array.init n (fun i -> if i = k then "" else shard_root t.shards.(i))
+      in
+      locked s.s_root_lock (fun () ->
+          Rwlock.with_read s.s_rwlock (fun () ->
+              roots.(k) <-
+                shard_root_cached s (fun () -> Engine.root_hash s.s_engine);
+              let forest = Engine.forest s.s_engine in
+              let mapping = Engine.mapping s.s_engine in
+              let leaves =
+                match col with
+                | Some c -> (
+                    match Tree_view.cell_oid mapping table row c with
+                    | Some oid -> Ok [ oid ]
+                    | None ->
+                        Error (Printf.sprintf "no cell %s[%d].%d" table row c))
+                | None -> (
+                    match Tree_view.row_oid mapping table row with
+                    | None -> Error (Printf.sprintf "no row %s[%d]" table row)
+                    | Some oid -> (
+                        (* every cell of the row; a cell-less row is
+                           itself atomic and proves directly *)
+                        match Forest.children forest oid with
+                        | [] -> Ok [ oid ]
+                        | cells -> Ok cells))
+              in
+              match leaves with
+              | Error e -> error_resp Message.Not_found e
+              | Ok leaves -> (
+                  let epoch = Atomic.get s.s_proof_epoch in
+                  let rec build acc = function
+                    | [] -> Ok (List.rev acc)
+                    | oid :: rest -> (
+                        match serve_proof s ~epoch oid with
+                        | Error e -> Error e
+                        | Ok bytes ->
+                            let records =
+                              Provstore.provenance_object
+                                (Engine.provstore s.s_engine)
+                                oid
+                            in
+                            build ((bytes, records) :: acc) rest)
+                  in
+                  match build [] leaves with
+                  | Ok items ->
+                      Message.Proof_resp
+                        { shard = k; shard_roots = Array.to_list roots; items }
+                  | Error e -> error_resp Message.Failed e))))
+  | Message.Audit_sample { seed; alpha_ppm } ->
+      if alpha_ppm <= 0 || alpha_ppm > 1_000_000 then
+        error_resp Message.Bad_request
+          "sample fraction must be in (0, 1] (1..1000000 ppm)"
+      else begin
+        (* One DRBG, drawn in shard-then-oid order over the sorted live
+           object lists, makes the sweep reproducible from the seed
+           alone: any auditor can replay it and obtain the same sample,
+           so a server cannot steer the sweep away from tampered
+           objects.  [fold_shards] visits shards sequentially in index
+           order, so the draw order is deterministic.  Each sampled
+           object gets the full recipient-side check of its provenance
+           closure (R1–R8 over the DAG), giving the standard detection
+           bound P(miss k tampered objects) ≤ (1−α)^k per sweep. *)
+        let drbg = Tep_crypto.Drbg.create ~seed in
+        let sample_one (sh : shard) =
+          let store = Engine.provstore sh.s_engine in
+          let forest = Engine.forest sh.s_engine in
+          let live = List.filter (Forest.mem forest) (Provstore.objects store) in
+          List.fold_left
+            (fun (rep, sampled, population) oid ->
+              let draw = Tep_crypto.Drbg.uniform_int drbg 1_000_000 in
+              if draw >= alpha_ppm then (rep, sampled, population + 1)
+              else
+                match Engine.verify_object sh.s_engine oid with
+                | Ok r ->
+                    (merge_reports rep (report r), sampled + 1, population + 1)
+                | Error e ->
+                    ( {
+                        rep with
+                        Message.rp_violations =
+                          rep.Message.rp_violations
+                          @ [ Printf.sprintf "%s: %s" (Oid.to_string oid) e ];
+                      },
+                      sampled + 1,
+                      population + 1 ))
+            (empty_report, 0, 0) live
+        in
+        let rep, sampled, population =
+          fold_shards t sample_one (fun (r1, s1, p1) (r2, s2, p2) ->
+              (merge_reports r1 r2, s1 + s2, p1 + p2))
+        in
+        Message.Audit_sample_resp { report = rep; sampled; population }
+      end
 
 (* Checkpoint every shard under all write locks (taken in ascending
    index order, the global multi-lock order).  With every shard

@@ -104,14 +104,19 @@ let decode s off =
   let leaf_oid, off = Value.read_varint s (off + 1) in
   let leaf_value, off = Value.decode s off in
   let nsteps, off = Value.read_varint s off in
-  if nsteps > String.length s then failwith "Proof.decode: implausible size";
+  (* Each step costs at least one byte, so a count exceeding the bytes
+     actually remaining is adversarial — reject before List.init
+     allocates a huge list. *)
+  if nsteps > String.length s - off then
+    failwith "Proof.decode: implausible size";
   let off = ref off in
   let path =
     List.init nsteps (fun _ ->
         let node_oid, o = Value.read_varint s !off in
         let node_value, o = Value.decode s o in
         let nch, o = Value.read_varint s o in
-        if nch > String.length s then failwith "Proof.decode: implausible size";
+        if nch > String.length s - o then
+          failwith "Proof.decode: implausible size";
         let o = ref o in
         let children =
           List.init nch (fun _ ->
@@ -129,3 +134,15 @@ let size_bytes t =
   let buf = Buffer.create 256 in
   encode buf t;
   Buffer.length buf
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  encode buf t;
+  Buffer.contents buf
+
+let of_encoded s =
+  match decode s 0 with
+  | t, off when off = String.length s -> Ok t
+  | _ -> Error "proof: trailing bytes after proof frame"
+  | exception Failure e -> Error e
+  | exception Invalid_argument _ -> Error "proof: truncated frame"

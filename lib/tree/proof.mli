@@ -47,3 +47,12 @@ val size_bytes : t -> int
 
 val encode : Buffer.t -> t -> unit
 val decode : string -> int -> t * int
+
+val to_string : t -> string
+(** [encode] into a fresh standalone byte string (the opaque form
+    proofs travel in over the wire). *)
+
+val of_encoded : string -> (t, string) result
+(** Total decoder for adversarial input: a standalone encoded proof
+    must parse exactly (no trailing bytes) or a typed error is
+    returned — no exception ever escapes. *)

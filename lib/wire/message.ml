@@ -55,6 +55,16 @@ type request =
       (* [where]: predicate text (Query.pred_of_string syntax; "" =
          all rows).  [agg]: aggregate text (Query.agg_of_string; "" =
          plain select). *)
+  (* -- v6 additions: sub-linear remote verification.  [Prove] asks
+     for Merkle membership proofs of one cell (or, with [col = None],
+     every cell of a row) under the published root; the proofs
+     themselves travel as opaque encoded byte strings (Tep_tree.Proof
+     encodes and decodes them) so this layer stays independent of
+     proof verification.  [Audit_sample] runs a seed-reproducible
+     DRBG-sampled α-fraction audit server-side; α travels in parts
+     per million so the wire needs no floats. *)
+  | Prove of { table : string; row : int; col : int option }
+  | Audit_sample of { seed : string; alpha_ppm : int }
 
 and lineage_kind = L_why | L_inputs | L_depth | L_impact
 
@@ -67,6 +77,13 @@ type shard_stat = {
   ss_queued : int; (* submit ops sitting in this shard's batcher queue *)
   ss_root_recomputes : int; (* root-cache misses: engine root rehashed *)
   ss_root_hits : int; (* root served from the per-shard cache *)
+  (* -- v6: proof-path observability.  A write to shard k must
+     invalidate only shard k's hot leaf→root proof cache — the
+     hit/miss split makes that observable remotely. *)
+  ss_proofs_served : int; (* membership proofs built or replayed *)
+  ss_proof_cache_hits : int; (* proofs answered from the LRU path cache *)
+  ss_proof_cache_misses : int; (* proofs rebuilt off the Merkle cache *)
+  ss_proof_bytes : int; (* cumulative encoded proof bytes served *)
 }
 
 (* A verifier report flattened for the wire: violations travel as
@@ -135,6 +152,19 @@ type response =
       avalue : Value.t option; (* aggregate value, when one was asked *)
       annot : string; (* the server-signed annotation over the result *)
     }
+  (* -- v6: proof answers.  [shard] is the owning shard's index and
+     [shard_roots] every shard's engine root in shard order, so the
+     client can chain each membership proof through the shard layer
+     (engine root → root-of-roots) to the one hash it already trusts.
+     Each item is (opaque encoded Proof.t, that leaf's provenance
+     records) — the client recomputes everything locally and believes
+     none of it a priori. *)
+  | Proof_resp of {
+      shard : int;
+      shard_roots : string list;
+      items : (string * Record.t list) list;
+    }
+  | Audit_sample_resp of { report : report; sampled : int; population : int }
   | Error_resp of { code : error_code; message : string }
 
 (* ------------------------------------------------------------------ *)
@@ -363,6 +393,19 @@ let encode_request buf = function
       Value.add_string buf table;
       Value.add_string buf where;
       Value.add_string buf agg
+  | Prove { table; row; col } ->
+      Buffer.add_char buf '\x10';
+      Value.add_string buf table;
+      Value.add_varint buf row;
+      (match col with
+      | None -> Buffer.add_char buf '\x00'
+      | Some c ->
+          Buffer.add_char buf '\x01';
+          Value.add_varint buf c)
+  | Audit_sample { seed; alpha_ppm } ->
+      Buffer.add_char buf '\x11';
+      Value.add_string buf seed;
+      Value.add_varint buf alpha_ppm
 
 let decode_request s off =
   if off >= String.length s then failwith "Message: empty request";
@@ -407,6 +450,23 @@ let decode_request s off =
       let where, off = Value.read_string s off in
       let agg, off = Value.read_string s off in
       (Annotated_query { table; where; agg }, off)
+  | '\x10' ->
+      let table, off = Value.read_string s (off + 1) in
+      let row, off = Value.read_varint s off in
+      if off >= String.length s then failwith "Message: truncated option";
+      let col, off =
+        match s.[off] with
+        | '\x00' -> (None, off + 1)
+        | '\x01' ->
+            let c, o = Value.read_varint s (off + 1) in
+            (Some c, o)
+        | _ -> failwith "Message: bad option tag"
+      in
+      (Prove { table; row; col }, off)
+  | '\x11' ->
+      let seed, off = Value.read_string s (off + 1) in
+      let alpha_ppm, off = Value.read_varint s off in
+      (Audit_sample { seed; alpha_ppm }, off)
   | c -> failwith (Printf.sprintf "Message: bad request tag %#x" (Char.code c))
 
 let request_to_string r =
@@ -520,7 +580,11 @@ let encode_response buf = function
           Value.add_varint buf s.ss_ops;
           Value.add_varint buf s.ss_queued;
           Value.add_varint buf s.ss_root_recomputes;
-          Value.add_varint buf s.ss_root_hits)
+          Value.add_varint buf s.ss_root_hits;
+          Value.add_varint buf s.ss_proofs_served;
+          Value.add_varint buf s.ss_proof_cache_hits;
+          Value.add_varint buf s.ss_proof_cache_misses;
+          Value.add_varint buf s.ss_proof_bytes)
         shards
   | Lineage_resp { poly; depth; oids } ->
       Buffer.add_char buf '\x8d';
@@ -543,6 +607,23 @@ let encode_response buf = function
           Buffer.add_char buf '\x01';
           Value.encode buf v);
       Value.add_string buf annot
+  | Proof_resp { shard; shard_roots; items } ->
+      Buffer.add_char buf '\x8f';
+      Value.add_varint buf shard;
+      Value.add_varint buf (List.length shard_roots);
+      List.iter (Value.add_string buf) shard_roots;
+      Value.add_varint buf (List.length items);
+      List.iter
+        (fun (proof, records) ->
+          Value.add_string buf proof;
+          Value.add_varint buf (List.length records);
+          List.iter (Record.encode buf) records)
+        items
+  | Audit_sample_resp { report; sampled; population } ->
+      Buffer.add_char buf '\x90';
+      add_report buf report;
+      Value.add_varint buf sampled;
+      Value.add_varint buf population
   | Error_resp { code; message } ->
       Buffer.add_char buf '\xff';
       Value.add_varint buf (error_code_tag code);
@@ -657,8 +738,22 @@ let decode_response s off =
             let ss_queued, o = Value.read_varint s o in
             let ss_root_recomputes, o = Value.read_varint s o in
             let ss_root_hits, o = Value.read_varint s o in
+            let ss_proofs_served, o = Value.read_varint s o in
+            let ss_proof_cache_hits, o = Value.read_varint s o in
+            let ss_proof_cache_misses, o = Value.read_varint s o in
+            let ss_proof_bytes, o = Value.read_varint s o in
             off := o;
-            { ss_batches; ss_ops; ss_queued; ss_root_recomputes; ss_root_hits })
+            {
+              ss_batches;
+              ss_ops;
+              ss_queued;
+              ss_root_recomputes;
+              ss_root_hits;
+              ss_proofs_served;
+              ss_proof_cache_hits;
+              ss_proof_cache_misses;
+              ss_proof_bytes;
+            })
       in
       (Shard_stats_resp shards, !off)
   | '\x8d' ->
@@ -700,6 +795,42 @@ let decode_response s off =
       in
       let annot, o = Value.read_string s !off in
       (Annotated_resp { arows; avalue; annot }, o)
+  | '\x8f' ->
+      let shard, off = Value.read_varint s (off + 1) in
+      let nroots, off = Value.read_varint s off in
+      if nroots > String.length s - off then failwith "Message: bad root count";
+      let off = ref off in
+      let shard_roots =
+        List.init nroots (fun _ ->
+            let r, o = Value.read_string s !off in
+            off := o;
+            r)
+      in
+      let nitems, o = Value.read_varint s !off in
+      if nitems > String.length s - o then failwith "Message: bad item count";
+      let off = ref o in
+      let items =
+        List.init nitems (fun _ ->
+            let proof, o = Value.read_string s !off in
+            let nrec, o = Value.read_varint s o in
+            if nrec > String.length s - o then
+              failwith "Message: bad record count";
+            let o = ref o in
+            let records =
+              List.init nrec (fun _ ->
+                  let r, o' = Record.decode s !o in
+                  o := o';
+                  r)
+            in
+            off := !o;
+            (proof, records))
+      in
+      (Proof_resp { shard; shard_roots; items }, !off)
+  | '\x90' ->
+      let report, off = read_report s (off + 1) in
+      let sampled, off = Value.read_varint s off in
+      let population, off = Value.read_varint s off in
+      (Audit_sample_resp { report; sampled; population }, off)
   | '\xff' ->
       let tag, off = Value.read_varint s (off + 1) in
       let message, off = Value.read_string s off in

@@ -39,6 +39,16 @@ let fuzz_decoders =
     fuzz "Audit.of_string" (fun s ->
         match Audit.of_string s with Ok _ | Error _ -> ());
     fuzz "Proof.decode" (fun s -> ignore (Proof.decode s 0));
+    (* the total decoder must never raise at all — wire input is
+       adversarial, and an escaping exception would kill the client
+       transport or the server connection *)
+    QCheck2.Test.make ~name:"Proof.of_encoded total" ~count:2000 gen_bytes
+      (fun s ->
+        match Proof.of_encoded s with Ok _ | Error _ -> true);
+    QCheck2.Test.make ~name:"Proof.of_encoded 'P'-prefixed total"
+      ~count:2000 gen_bytes
+      (fun s ->
+        match Proof.of_encoded ("P" ^ s) with Ok _ | Error _ -> true);
     fuzz "Slice.of_string" (fun s ->
         match Slice.of_string s with Ok _ | Error _ -> ());
     fuzz "Pki.certificate_of_string" (fun s ->

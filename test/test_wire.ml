@@ -243,6 +243,10 @@ let sample_requests =
     Message.Annotated_query { table = "stock"; where = "qty > 50"; agg = "" };
     Message.Annotated_query
       { table = "t"; where = ""; agg = "sum(qty)" };
+    Message.Prove { table = "stock"; row = 0; col = None };
+    Message.Prove { table = "orders"; row = 12345; col = Some 2 };
+    Message.Audit_sample { seed = "sweep-1"; alpha_ppm = 100_000 };
+    Message.Audit_sample { seed = ""; alpha_ppm = 1_000_000 };
   ]
 
 let sample_responses =
@@ -308,6 +312,46 @@ let sample_responses =
         annot = "opaque annotation bytes \x00\xff";
       };
     Message.Annotated_resp { arows = []; avalue = None; annot = "" };
+    Message.Shard_stats_resp
+      [
+        {
+          Message.ss_batches = 3;
+          ss_ops = 17;
+          ss_queued = 0;
+          ss_root_recomputes = 2;
+          ss_root_hits = 9;
+          ss_proofs_served = 40;
+          ss_proof_cache_hits = 31;
+          ss_proof_cache_misses = 9;
+          ss_proof_bytes = 5532;
+        };
+        {
+          Message.ss_batches = 0;
+          ss_ops = 0;
+          ss_queued = 0;
+          ss_root_recomputes = 0;
+          ss_root_hits = 0;
+          ss_proofs_served = 0;
+          ss_proof_cache_hits = 0;
+          ss_proof_cache_misses = 0;
+          ss_proof_bytes = 0;
+        };
+      ];
+    Message.Proof_resp
+      {
+        shard = 1;
+        shard_roots = [ String.make 20 '\x0a'; String.make 20 '\x0b' ];
+        items =
+          [
+            ("opaque proof bytes \x00\xff", [ sample_record ]);
+            ("", []);
+          ];
+      };
+    Message.Proof_resp { shard = 0; shard_roots = []; items = [] };
+    Message.Audit_sample_resp
+      { report = sample_report; sampled = 12; population = 480 };
+    Message.Audit_sample_resp
+      { report = clean_report; sampled = 0; population = 0 };
   ]
 
 let test_request_roundtrip () =
