@@ -507,7 +507,7 @@ let run_serve () =
   let module Server = Tep_server.Server in
   let module Client = Tep_client.Client in
   let module Message = Tep_wire.Message in
-  let make_service seed =
+  let make_service ?io_mode ?max_connections seed =
     let env = Scenario.make_env ~seed () in
     (* like every other experiment, the participant key honours the
        configured rsa_bits (Scenario.participant would pin 1024) *)
@@ -521,7 +521,7 @@ let run_serve () =
       (Database.create_table db ~name:"t1" (Schema.all_int [ "a"; "b" ]));
     let engine = Engine.create ~directory:env.Scenario.directory db in
     let server =
-      Server.create
+      Server.create ?io_mode ?max_connections
         ~drbg:(Tep_crypto.Drbg.create ~seed:(seed ^ "-srv"))
         ~participants:[ ("alice", alice) ]
         engine
@@ -593,7 +593,7 @@ let run_serve () =
         let idx = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
         a.(max 0 (min (n - 1) idx))
   in
-  let run_point transport_name clients participant connect =
+  let run_point ?(quiet = false) transport_name clients participant connect =
     let merge_lock = Mutex.create () in
     let all_lats = ref [] in
     let errors = ref 0 in
@@ -658,54 +658,277 @@ let run_serve () =
     let rps = float_of_int total /. seconds in
     let p50 = 1000. *. percentile 50. !all_lats in
     let p95 = 1000. *. percentile 95. !all_lats in
-    Printf.printf "%s,%d,%d,%.4f,%.0f,%.2f,%.2f\n" transport_name clients
-      total seconds rps p50 p95;
+    if not quiet then
+      Printf.printf "%s,%d,%d,%.4f,%.0f,%.2f,%.2f\n" transport_name clients
+        total seconds rps p50 p95;
     (transport_name, clients, seconds, rps, p50, p95)
+  in
+  (* sub-second points are bimodal under scheduler noise (the committed
+     2-clients-slower-than-1 anomaly was exactly such a roll — see
+     EXPERIMENTS.md), so each sweep point records the median-throughput
+     trial of cfg.runs fresh-service trials rather than a single one *)
+  let median_trials mk =
+    let trials = List.init (max 1 cfg.Experiments.runs) (fun _ -> mk ()) in
+    let sorted =
+      List.sort
+        (fun ((_, _, _, r1, _, _), _) ((_, _, _, r2, _, _), _) ->
+          compare r1 r2)
+        trials
+    in
+    let ((name, clients, seconds, rps, p50, p95), _) as chosen =
+      List.nth sorted (List.length sorted / 2)
+    in
+    Printf.printf "%s,%d,%d,%.4f,%.0f,%.2f,%.2f\n" name clients
+      (clients * requests) seconds rps p50 p95;
+    chosen
   in
   Printf.printf
     "transport,clients,total_requests,seconds,requests_per_s,p50_ms,p95_ms\n";
+  (* group-commit amortization for a finished point: how many ops the
+     signer averaged per signature.  This is the whole story of the
+     low-client-count variance (see EXPERIMENTS.md): a point that
+     catches the pipelined window in one batch signs ~window ops per
+     RSA operation, one that keeps electing leaders over a near-empty
+     queue pays a signature for every op or two. *)
+  let ops_per_batch server =
+    let s = Server.batch_stats server in
+    float_of_int s.Server.ops /. float_of_int (max 1 s.Server.batches)
+  in
   (* loopback: same codec path, no sockets *)
   let loopback_points =
     List.map
       (fun clients ->
-        let _, alice, server =
-          make_service (Printf.sprintf "%s-loop-%d" cfg.Experiments.seed clients)
-        in
-        run_point "loopback" clients alice (fun ci ->
-            Ok
-              (Client.loopback
-                 ~drbg:
-                   (Tep_crypto.Drbg.create
-                      ~seed:(Printf.sprintf "cli-%d-%d" clients ci))
-                 server)))
+        median_trials (fun () ->
+            let _, alice, server =
+              make_service
+                (Printf.sprintf "%s-loop-%d" cfg.Experiments.seed clients)
+            in
+            let point =
+              run_point ~quiet:true "loopback" clients alice (fun ci ->
+                  Ok
+                    (Client.loopback
+                       ~drbg:
+                         (Tep_crypto.Drbg.create
+                            ~seed:(Printf.sprintf "cli-%d-%d" clients ci))
+                       server))
+            in
+            (point, ops_per_batch server)))
       sweep
   in
-  (* real Unix-domain socket *)
-  let socket_points =
+  (* real Unix-domain socket, once per I/O mode: the event-loop
+     reactor (the provdbd default) and the thread-per-connection
+     fallback.  Same workload either way, so the pair is a direct A/B.
+     This is where the old 2-clients-slower-than-1 convoy anomaly
+     (EXPERIMENTS.md) shows up under "threaded" and disappears under
+     "event": a threaded follower blocks in the batcher's condition
+     wait and nobody reads its socket, so its pipelined window
+     stalls; the reactor keeps reading while workers batch. *)
+  (* The daemon the sweep models is a separate process, so the socket
+     points fork the server into a child: under OCaml 5 systhreads all
+     share their domain's runtime lock, and an in-process server would
+     serialize against the very client threads that are loading it
+     (which taxes the reactor's extra wakeup hops far more than the
+     thread-per-connection path — the A/B would measure the bench
+     harness, not the server).  The child also gives /proc-exact
+     thread censuses for the scaling phase below. *)
+  let with_forked_server ?max_connections ~io_mode seed body =
+    let _, alice, server = make_service ?max_connections ~io_mode seed in
+    let path = Filename.temp_file "tep_serve_bench" ".sock" in
+    Sys.remove path;
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        (* child: serve until the parent kills us; SIGKILL also keeps
+           the inherited stdio buffers from double-flushing *)
+        let stop = Stdlib.Atomic.make false in
+        (try Server.serve_unix server ~path ~stop with _ -> ());
+        Stdlib.exit 0
+    | pid ->
+        let finally () =
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+          try Sys.remove path with Sys_error _ -> ()
+        in
+        Fun.protect ~finally (fun () ->
+            let deadline = Unix.gettimeofday () +. 10. in
+            while
+              (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline
+            do
+              Thread.delay 0.02
+            done;
+            if not (Sys.file_exists path) then
+              failwith "serve bench: forked server socket never appeared";
+            body ~alice ~path ~pid)
+  in
+  (* group-commit amortization of a forked point, via the wire: Pong
+     carries the server's batch/op counters *)
+  let remote_ops_per_batch ~alice ~path ~seed =
+    let control =
+      ok (Client.connect_unix ~drbg:(Tep_crypto.Drbg.create ~seed) path)
+    in
+    ok (Client.authenticate control alice);
+    let h = ok (Client.ping control) in
+    Client.close control;
+    float_of_int h.Client.h_ops /. float_of_int (max 1 h.Client.h_batches)
+  in
+  let socket_points_for ~io_mode ~tag =
     List.map
       (fun clients ->
-        let _, alice, server =
-          make_service (Printf.sprintf "%s-sock-%d" cfg.Experiments.seed clients)
-        in
-        let path = Filename.temp_file "tep_serve_bench" ".sock" in
-        Sys.remove path;
-        let stop = Stdlib.Atomic.make false in
-        let srv_thread =
-          Thread.create (fun () -> Server.serve_unix server ~path ~stop) ()
-        in
-        let point =
-          run_point "unix-socket" clients alice (fun ci ->
-              Client.connect_unix
-                ~drbg:
-                  (Tep_crypto.Drbg.create
-                     ~seed:(Printf.sprintf "scli-%d-%d" clients ci))
-                path)
-        in
-        Stdlib.Atomic.set stop true;
-        Thread.join srv_thread;
-        (try Sys.remove path with Sys_error _ -> ());
-        point)
+        median_trials (fun () ->
+            with_forked_server ~io_mode
+              (Printf.sprintf "%s-sock-%s-%d" cfg.Experiments.seed tag clients)
+              (fun ~alice ~path ~pid:_ ->
+                let point =
+                  run_point ~quiet:true
+                    (Printf.sprintf "unix-socket[%s]" tag)
+                    clients alice
+                    (fun ci ->
+                      Client.connect_unix
+                        ~drbg:
+                          (Tep_crypto.Drbg.create
+                             ~seed:
+                               (Printf.sprintf "scli-%s-%d-%d" tag clients ci))
+                        path)
+                in
+                let opb =
+                  remote_ops_per_batch ~alice ~path
+                    ~seed:(Printf.sprintf "sctl-%s-%d" tag clients)
+                in
+                (point, opb))))
       sweep
+  in
+  let socket_event_points =
+    (* the provdbd default worker count; more workers than this just
+       queue up as group-commit followers without adding throughput *)
+    socket_points_for ~io_mode:(Server.Event { workers = 4 }) ~tag:"event"
+  in
+  let socket_threaded_points =
+    socket_points_for ~io_mode:Server.Threaded ~tag:"threaded"
+  in
+  (match
+     ( List.find_opt (fun ((_, c, _, _, _, _), _) -> c = 8) socket_event_points,
+       List.find_opt
+         (fun ((_, c, _, _, _, _), _) -> c = 8)
+         socket_threaded_points )
+   with
+  | Some ((_, _, _, ev, _, _), _), Some ((_, _, _, th, _, _), _) ->
+      Printf.printf
+        "8-client unix-socket: event %.0f req/s vs threaded %.0f req/s \
+         (%+.0f%%)\n"
+        ev th
+        ((ev -. th) /. th *. 100.)
+  | _ -> ());
+  (* -- connection scaling: mostly-idle fleets + 8 active clients ---- *)
+  (* The server runs in a forked child so (a) its fd table stays dense
+     and small while the parent hoards the idle fleet's fds, and (b)
+     /proc/<pid>/status gives an exact census of its threads — the
+     point of the exercise: under the event loop, a thousand held
+     connections must not mean a thousand server threads.  The active
+     clients connect *first* so their fds sit in the child's select
+     tier even when the idle fleet spills past FD_SETSIZE into the
+     reactor's overflow-polling tier. *)
+  let scaling_idle =
+    if cfg.Experiments.scale <= 0.02 then [ 64 ] else [ 64; 256; 1024 ]
+  in
+  let scaling_active = 8 in
+  let proc_threads pid =
+    match open_in (Printf.sprintf "/proc/%d/status" pid) with
+    | exception Sys_error _ -> -1
+    | ic ->
+        let rec scan () =
+          match input_line ic with
+          | line ->
+              if String.length line > 8 && String.sub line 0 8 = "Threads:"
+              then
+                int_of_string
+                  (String.trim (String.sub line 8 (String.length line - 8)))
+              else scan ()
+          | exception End_of_file -> -1
+        in
+        let n = try scan () with _ -> -1 in
+        close_in ic;
+        n
+  in
+  let run_scaling idle_count =
+    with_forked_server
+      ~io_mode:(Server.Event { workers = 4 })
+      ~max_connections:(idle_count + scaling_active + 8)
+      (Printf.sprintf "%s-scale-%d" cfg.Experiments.seed idle_count)
+      (fun ~alice ~path ~pid ->
+            let actives =
+              Array.init scaling_active (fun ci ->
+                  ok
+                    (Client.connect_unix
+                       ~drbg:
+                         (Tep_crypto.Drbg.create
+                            ~seed:(Printf.sprintf "scale-%d-%d" idle_count ci))
+                       path))
+            in
+            let control =
+              ok
+                (Client.connect_unix
+                   ~drbg:
+                     (Tep_crypto.Drbg.create
+                        ~seed:(Printf.sprintf "scale-ctl-%d" idle_count))
+                   path)
+            in
+            ok (Client.authenticate control alice);
+            let idles =
+              Array.init idle_count (fun _ ->
+                  let rec go n =
+                    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+                    match Unix.connect fd (Unix.ADDR_UNIX path) with
+                    | () -> fd
+                    | exception Unix.Unix_error _ when n > 0 ->
+                        (try Unix.close fd with Unix.Unix_error _ -> ());
+                        Thread.delay 0.01;
+                        go (n - 1)
+                  in
+                  go 100)
+            in
+            (* wait until the reactor has accepted the whole fleet *)
+            let expected = idle_count + scaling_active + 1 in
+            let held = ref 0 in
+            let tries = ref 200 in
+            while !held < expected && !tries > 0 do
+              let h = ok (Client.ping control) in
+              held := h.Client.active;
+              if !held < expected then Thread.delay 0.05;
+              decr tries
+            done;
+            let threads = proc_threads pid in
+            let point =
+              run_point
+                (Printf.sprintf "unix-socket[scale,%d idle]" idle_count)
+                scaling_active alice
+                (fun ci -> Ok actives.(ci))
+            in
+            Array.iter
+              (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+              idles;
+            Client.close control;
+            (idle_count, !held, threads, point))
+  in
+  Printf.printf "phase,idle_conns,held_connections,server_threads\n";
+  let scaling_points =
+    List.map
+      (fun idle ->
+        let (idle_count, held, threads, _) as sp = run_scaling idle in
+        Printf.printf "scaling,%d,%d,%d\n" idle_count held threads;
+        if held < idle_count + scaling_active then begin
+          Printf.eprintf "FAIL: scaling point %d held only %d connections\n"
+            idle_count held;
+          exit 1
+        end;
+        if threads >= 0 && threads > 64 then begin
+          Printf.eprintf
+            "FAIL: event-loop server used %d threads with %d idle conns\n"
+            threads idle_count;
+          exit 1
+        end;
+        sp)
+      scaling_idle
   in
   (* -- degraded mode: offered load at 2x the admission limit -------- *)
   (* 8 client threads race the batcher against a queue bound of 4
@@ -795,11 +1018,6 @@ let run_serve () =
       exit 1
     end;
     let offered = deg_clients * requests in
-    if shedding && !shed = 0 then begin
-      Printf.eprintf
-        "FAIL: degraded run at 2x the admission limit shed nothing\n";
-      exit 1
-    end;
     if (not shedding) && !completed <> offered then begin
       Printf.eprintf "FAIL: unlimited admission lost %d of %d requests\n"
         (offered - !completed) offered;
@@ -815,7 +1033,26 @@ let run_serve () =
   in
   Printf.printf
     "phase,shedding,offered,completed,shed,seconds,completed_per_s,p50_ms,p95_ms\n";
-  let deg_on = run_degraded true in
+  (* whether the burst overruns the 4-op queue before the batcher
+     drains it is a race the clients occasionally lose outright; a
+     run that shed nothing measured the scheduler, not admission
+     control, so roll it again (bounded) rather than fail on it *)
+  let deg_on =
+    let rec go tries =
+      let (_, _, _, shed, _, _, _, _) as r = run_degraded true in
+      if shed > 0 then r
+      else if tries > 1 then begin
+        Printf.printf "degraded: burst never overran the queue, retrying\n";
+        go (tries - 1)
+      end
+      else begin
+        Printf.eprintf
+          "FAIL: degraded runs at 2x the admission limit shed nothing\n";
+        exit 1
+      end
+    in
+    go 3
+  in
   let deg_off = run_degraded false in
   let degraded_points = [ deg_on; deg_off ] in
   print_newline ();
@@ -836,18 +1073,45 @@ let run_serve () =
        tamper_detected
        (identical_clean && identical_tampered));
   Buffer.add_string buf "  \"sweep\": [\n";
-  let points = loopback_points @ socket_points in
+  let points =
+    List.map (fun p -> ("n/a", p)) loopback_points
+    @ List.map (fun p -> ("event", p)) socket_event_points
+    @ List.map (fun p -> ("threaded", p)) socket_threaded_points
+  in
   List.iteri
-    (fun i (name, clients, seconds, rps, p50, p95) ->
+    (fun i (mode, ((name, clients, seconds, rps, p50, p95), opb)) ->
+      let base =
+        match String.index_opt name '[' with
+        | Some j -> String.sub name 0 j
+        | None -> name
+      in
       Buffer.add_string buf
         (Printf.sprintf
-           "    { \"transport\": \"%s\", \"clients\": %d, \"shards\": 1, \
-            \"seconds\": %.6f, \"requests_per_s\": %.1f, \"p50_ms\": %.3f, \
-            \"p95_ms\": %.3f }%s\n"
-           (json_escape name) clients seconds rps p50 p95
+           "    { \"transport\": \"%s\", \"io_mode\": \"%s\", \"clients\": \
+            %d, \"shards\": 1, \"seconds\": %.6f, \"requests_per_s\": %.1f, \
+            \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"ops_per_batch\": %.2f }%s\n"
+           (json_escape base) mode clients seconds rps p50 p95 opb
            (if i = List.length points - 1 then "" else ",")))
     points;
   Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"connection_scaling\": {\n\
+       \    \"io_mode\": \"event\",\n\
+       \    \"active_clients\": %d,\n\
+       \    \"points\": [\n"
+       scaling_active);
+  List.iteri
+    (fun i (idle, held, threads, (_, _, seconds, rps, p50, p95)) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      { \"idle_conns\": %d, \"held_connections\": %d, \
+            \"server_threads\": %d, \"seconds\": %.6f, \"requests_per_s\": \
+            %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f }%s\n"
+           idle held threads seconds rps p50 p95
+           (if i = List.length scaling_points - 1 then "" else ",")))
+    scaling_points;
+  Buffer.add_string buf "    ]\n  },\n";
   Buffer.add_string buf
     (Printf.sprintf
        "  \"degraded\": {\n\

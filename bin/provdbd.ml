@@ -25,7 +25,7 @@ open Cmdliner
 open Workspace
 module Server = Tep_server.Server
 
-let run dir socket port shards_flag =
+let run dir socket port shards_flag event_loop io_threads idle_timeout =
   match load dir with
   | Error f ->
       report_failure f;
@@ -48,10 +48,15 @@ let run dir socket port shards_flag =
         List.tl (Array.to_list ws.shards)
         |> List.map (fun s -> (s.s_engine, Some (ckpt_dir s.s_dir, s.s_wal)))
       in
+      let io_mode =
+        if event_loop then Server.Event { workers = io_threads }
+        else Server.Threaded
+      in
       let server =
         Server.create ~pool:(pool ())
           ~checkpoint:(ckpt_dir ws.shards.(0).s_dir, ws.wal)
-          ~shards:extra ?coord:ws.coord ~participants:ws.participants ws.engine
+          ~shards:extra ?coord:ws.coord ~io_mode ~idle_timeout
+          ~participants:ws.participants ws.engine
       in
       let stop = Atomic.make false in
       let signals = Atomic.make 0 in
@@ -64,7 +69,11 @@ let run dir socket port shards_flag =
                    (* first signal: stop accepting, refuse new writes,
                       let in-flight batches commit *)
                    Server.begin_drain server;
-                   Atomic.set stop true
+                   Atomic.set stop true;
+                   (* the serve loops block in their pollsets; nudge
+                      them so the drain starts now, not at the next
+                      housekeeping tick *)
+                   Server.wake server
                  end
                  else begin
                    (* second signal: the operator wants out now; skip
@@ -124,6 +133,31 @@ let () =
                 on-disk layout from `provdb init --shards` is \
                 authoritative; a mismatch is an error)")
   in
+  let event_loop =
+    Arg.(value & opt bool true
+         & info [ "event-loop" ] ~docv:"BOOL"
+             ~doc:
+               "Serve connections from the readiness-driven event loop \
+                (one reactor + a worker pool per listening socket; the \
+                default).  $(b,--event-loop=false) falls back to the \
+                legacy thread-per-connection path.")
+  in
+  let io_threads =
+    Arg.(value & opt int 4
+         & info [ "io-threads" ] ~docv:"N"
+             ~doc:
+               "Protocol worker threads per event loop (engine dispatch, \
+                signing and proofs run here, never on the reactor). \
+                Ignored with $(b,--event-loop=false).")
+  in
+  let idle_timeout =
+    Arg.(value & opt float 300.
+         & info [ "idle-timeout" ] ~docv:"SECONDS"
+             ~doc:
+               "Reap connections idle this long (no bytes in either \
+                direction, nothing in flight) so dead peers cannot pin \
+                connection-cap slots; reaps are counted in Ping stats.")
+  in
   let exits =
     Cmd.Exit.info exit_fail
       ~doc:"on operational errors (unloadable workspace, I/O failures)."
@@ -137,4 +171,9 @@ let () =
     Cmd.info "provdbd" ~version:"1.0.0" ~exits
       ~doc:"Networked daemon for tamper-evident database provenance"
   in
-  exit (Cmd.eval' (Cmd.v info Term.(const run $ dir $ socket $ port $ shards)))
+  exit
+    (Cmd.eval'
+       (Cmd.v info
+          Term.(
+            const run $ dir $ socket $ port $ shards $ event_loop $ io_threads
+            $ idle_timeout)))

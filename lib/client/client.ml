@@ -764,6 +764,7 @@ type health = {
   dedup_hits : int;  (* retried writes answered without re-executing *)
   wal_failures : int;  (* group commits voided by WAL errors *)
   shed : int;  (* ops refused by admission control *)
+  h_reaped : int;  (* connections closed by the server's idle reaper *)
 }
 
 let ping t =
@@ -780,6 +781,7 @@ let ping t =
              dedup_hits;
              wal_failures;
              shed;
+             reaped;
            } ->
            Ok
              {
@@ -792,6 +794,7 @@ let ping t =
                dedup_hits;
                wal_failures;
                shed;
+               h_reaped = reaped;
              }
        | _ -> unexpected)
 

@@ -130,6 +130,32 @@ let input site data =
       sleepf s;
       data
 
+(* Byte-count shaping for non-blocking I/O sites: the caller is about
+   to write (or read) [n] bytes and asks how many the fault layer will
+   let through this attempt.  Torn_write yields a strictly partial
+   count (the event loop must re-arm POLLOUT and finish later);
+   Transient yields 0 for its k consecutive hits — an injected EAGAIN
+   storm.  Unlike [output], nothing here raises except Crash_point:
+   readiness loops treat short counts as normal kernel behaviour. *)
+let allow site n =
+  match fire site with
+  | None -> n
+  | Some Crash_point -> raise (Crash site)
+  | Some (Torn_write frac) ->
+      if n <= 1 then n
+      else begin
+        let frac =
+          if frac < 0. then 0. else if frac > 1. then 1. else frac
+        in
+        let k = int_of_float (frac *. float_of_int n) in
+        max 1 (min (n - 1) k)
+      end
+  | Some (Transient _) -> 0
+  | Some Bit_flip -> n
+  | Some (Delay s) ->
+      sleepf s;
+      n
+
 let with_retry ?(attempts = 3) ?(backoff = fun _ -> ()) f =
   let rec go i =
     match f () with

@@ -88,6 +88,17 @@ val input : string -> string -> string
     wire layer to inject torn reads into a connection's byte
     stream. *)
 
+val allow : string -> int -> int
+(** [allow site n] is the byte-count shaping point for non-blocking
+    I/O: the caller intends to transfer [n] bytes and transfers only
+    the returned count this attempt.  [Torn_write f] returns a
+    strictly partial count ([max 1 (min (n-1) (f·n))] for [n > 1]) —
+    the readiness loop must keep the remainder buffered and re-arm
+    [POLLOUT]; [Transient k] returns [0] on [k] consecutive hits — an
+    injected EAGAIN storm; [Crash_point] raises; [Delay] sleeps then
+    allows everything.  Never raises [Sys_error]: short counts are
+    indistinguishable from normal kernel behaviour by design. *)
+
 val with_retry :
   ?attempts:int -> ?backoff:(int -> unit) -> (unit -> 'a) -> ('a, string) result
 (** Run [f], retrying on [Sys_error] up to [attempts] times (default

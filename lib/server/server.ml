@@ -219,6 +219,24 @@ and proof_entry = {
   mutable pe_last : int; (* s_proof_tick at last use *)
 }
 
+(* How the socket loops run: [Event] (default) is the readiness-driven
+   reactor in {!Evloop} — one I/O thread plus a small worker pool per
+   serve loop, connections held in non-blocking mode; [Threaded] is
+   the legacy thread-per-connection fallback, kept until parity is
+   proven everywhere.  [TEP_EVLOOP=0] flips the default to [Threaded];
+   [TEP_EVLOOP_WORKERS] sizes the default pool. *)
+type io_mode = Threaded | Event of { workers : int }
+
+let default_io_workers () =
+  match Sys.getenv_opt "TEP_EVLOOP_WORKERS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 4)
+  | None -> 4
+
+let default_io_mode () =
+  match Sys.getenv_opt "TEP_EVLOOP" with
+  | Some ("0" | "off" | "no" | "false") -> Threaded
+  | _ -> Event { workers = default_io_workers () }
+
 type t = {
   shards : shard array; (* at least one; index = shard id *)
   coord : Tep_store.Wal.t option;
@@ -240,6 +258,23 @@ type t = {
   dedup : dedup;
   admission : admission;
   draining : bool Atomic.t; (* drain begun: shed all new writes *)
+  io_mode : io_mode;
+  idle_timeout : float; (* reap quiet connections after this long *)
+  reaped : int Atomic.t; (* idle-timeout reaps, reported in Ping *)
+  idle_mutex : Mutex.t;
+  idle_cond : Condition.t;
+      (** signalled whenever a shard leader finishes its drain or a
+          cross-shard commit completes — the only transitions that can
+          make an already-draining server idle.  Lock order:
+          [idle_mutex] may be held while taking a batcher's [b_mutex]
+          (quiesce probing idleness); never the reverse — signallers
+          release [b_mutex]/[coord_lock] first. *)
+  wakers : (int * (unit -> unit)) list ref;
+  wakers_lock : Mutex.t;
+      (** one registered waker per live serve loop; {!wake} nudges
+          them all so a flipped stop flag is seen now, not at the next
+          housekeeping tick *)
+  waker_seq : int Atomic.t;
 }
 
 let make_batcher () =
@@ -284,7 +319,10 @@ let create ?(max_payload = Frame.default_max_payload) ?(request_timeout = 30.)
     ?(max_connections = 64) ?(max_queue_ops = 512)
     ?(max_session_inflight = 64) ?(retry_after_ms = 25)
     ?(dedup_capacity = 1024) ?drbg ?pool ?checkpoint ?(shards = []) ?coord
-    ~participants engine =
+    ?io_mode ?(idle_timeout = 300.) ~participants engine =
+  let io_mode =
+    match io_mode with Some m -> m | None -> default_io_mode ()
+  in
   let drbg =
     match drbg with Some d -> d | None -> Tep_crypto.Drbg.create_system ()
   in
@@ -320,6 +358,14 @@ let create ?(max_payload = Frame.default_max_payload) ?(request_timeout = 30.)
       };
     admission = { max_queue_ops; max_session_inflight; retry_after_ms };
     draining = Atomic.make false;
+    io_mode;
+    idle_timeout;
+    reaped = Atomic.make 0;
+    idle_mutex = Mutex.create ();
+    idle_cond = Condition.create ();
+    wakers = ref [];
+    wakers_lock = Mutex.create ();
+    waker_seq = Atomic.make 0;
   }
 
 let engine t = t.shards.(0).s_engine
@@ -369,6 +415,34 @@ let set_admission ?max_queue_ops ?max_session_inflight ?retry_after_ms t =
   Option.iter (fun v -> a.retry_after_ms <- v) retry_after_ms
 
 let active_connections t = Atomic.get t.active
+let reaped_connections t = Atomic.get t.reaped
+
+(* ------------------------------------------------------------------ *)
+(* Serve-loop wakeups                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Each running serve loop registers a waker (a wakeup-pipe write or a
+   ctl-pipe write); [wake] nudges them all.  Callers flip their stop
+   atomic (or [begin_drain]) first, then wake — the loops re-check the
+   flag on every wakeup, so shutdown latency is a syscall, not a poll
+   interval. *)
+let register_waker t f =
+  let id = Atomic.fetch_and_add t.waker_seq 1 in
+  Mutex.lock t.wakers_lock;
+  t.wakers := (id, f) :: !(t.wakers);
+  Mutex.unlock t.wakers_lock;
+  id
+
+let unregister_waker t id =
+  Mutex.lock t.wakers_lock;
+  t.wakers := List.filter (fun (i, _) -> i <> id) !(t.wakers);
+  Mutex.unlock t.wakers_lock
+
+let wake t =
+  Mutex.lock t.wakers_lock;
+  let ws = !(t.wakers) in
+  Mutex.unlock t.wakers_lock;
+  List.iter (fun (_, f) -> try f () with _ -> ()) ws
 
 (* ------------------------------------------------------------------ *)
 (* Drain                                                               *)
@@ -377,11 +451,25 @@ let active_connections t = Atomic.get t.active
 let begin_drain t = Atomic.set t.draining true
 let draining t = Atomic.get t.draining
 
+(* Called (with no batcher/coordinator lock held) after every
+   transition that can complete a drain: a leader handing back an
+   empty queue, a 2PC commit finishing. *)
+let signal_idle t =
+  Mutex.lock t.idle_mutex;
+  Condition.broadcast t.idle_cond;
+  Mutex.unlock t.idle_mutex
+
 (* Wait (bounded) until no batch leader is running on any shard, no
    job is queued anywhere, and no cross-shard commit is in flight.
    With [begin_drain] already in effect nothing new can join any
    queue, so an idle observation is stable — the daemon may then flush
-   the WALs and checkpoint without racing a commit. *)
+   the WALs and checkpoint without racing a commit.
+
+   Event-driven: leaders and cross-shard commits broadcast
+   [idle_cond] as they finish, so the wait here is a condition wait,
+   not a fixed-interval poll.  OCaml's [Condition] has no timed wait;
+   the deadline is enforced by a one-shot watchdog thread, spawned
+   lazily only when the server is actually busy at entry. *)
 let quiesce ?(timeout = 10.) t =
   let deadline = Unix.gettimeofday () +. timeout in
   let shard_idle s =
@@ -391,18 +479,34 @@ let quiesce ?(timeout = 10.) t =
     Mutex.unlock b.b_mutex;
     idle
   in
-  let rec wait () =
-    let idle =
-      (not (Atomic.get t.cross_busy)) && Array.for_all shard_idle t.shards
-    in
-    if idle then true
-    else if Unix.gettimeofday () >= deadline then false
-    else begin
-      Thread.delay 0.01;
-      wait ()
-    end
+  let idle () =
+    (not (Atomic.get t.cross_busy)) && Array.for_all shard_idle t.shards
   in
-  wait ()
+  Mutex.lock t.idle_mutex;
+  let watchdog = ref false in
+  let result = ref (idle ()) in
+  while (not !result) && Unix.gettimeofday () < deadline do
+    if not !watchdog then begin
+      watchdog := true;
+      ignore
+        (Thread.create
+           (fun () ->
+             let rec nap () =
+               let left = deadline -. Unix.gettimeofday () in
+               if left > 0. then begin
+                 Thread.delay left;
+                 nap ()
+               end
+             in
+             nap ();
+             signal_idle t)
+           ())
+    end;
+    Condition.wait t.idle_cond t.idle_mutex;
+    result := idle ()
+  done;
+  Mutex.unlock t.idle_mutex;
+  !result
 
 (* ------------------------------------------------------------------ *)
 (* Dedup table operations                                              *)
@@ -739,10 +843,12 @@ let submit_to_shard t (shard : shard) participant (ops : Message.op array) :
         }
       in
       b.b_queue <- job :: b.b_queue;
-      if b.b_leader then
+      if b.b_leader then begin
         while not job.j_done do
           Condition.wait b.b_cond b.b_mutex
-        done
+        done;
+        Mutex.unlock b.b_mutex
+      end
       else begin
         b.b_leader <- true;
         while b.b_queue <> [] do
@@ -764,9 +870,12 @@ let submit_to_shard t (shard : shard) participant (ops : Message.op array) :
           List.iter (fun j -> j.j_done <- true) jobs;
           Condition.broadcast b.b_cond
         done;
-        b.b_leader <- false
+        b.b_leader <- false;
+        Mutex.unlock b.b_mutex;
+        (* quiesce may be waiting for exactly this: the shard went
+           leaderless with an empty queue (signalled lock-free) *)
+        signal_idle t
       end;
-      Mutex.unlock b.b_mutex;
       Array.init n (fun i ->
           match job.j_failed with
           | Some (F_wal e) -> error_resp Message.Wal_failed e
@@ -872,7 +981,8 @@ let submit_cross t participant (ops : Message.op array)
       Fun.protect
         ~finally:(fun () ->
           Atomic.set t.cross_busy false;
-          Mutex.unlock t.coord_lock)
+          Mutex.unlock t.coord_lock;
+          signal_idle t)
         (fun () ->
           let results = Array.make (Array.length ops) R_pending in
           let parts =
@@ -1069,6 +1179,7 @@ let pong t =
       dedup_hits;
       wal_failures;
       shed;
+      reaped = Atomic.get t.reaped;
     }
 
 (* One shard's published root, through the per-shard cache.  A commit
@@ -1954,40 +2065,113 @@ let ignore_sigpipe =
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
      with Invalid_argument _ -> ())
 
-(* Accept loop: polls [stop] every 200ms so a daemon can shut down
-   cleanly (and save its workspace) on signal. *)
-let serve_fd t ~stop fd =
-  Lazy.force ignore_sigpipe;
+(* Legacy thread-per-connection accept loop.  Event-driven stop: the
+   select blocks on the listen fd AND a ctl pipe; {!wake} (called by
+   whoever flips [stop]) writes the pipe, so shutdown latency is one
+   syscall.  The 1 s select cap is only a backstop for callers that
+   set [stop] without waking. *)
+let serve_threaded t ~stop fd =
+  let ctl_r, ctl_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock ctl_r;
+  Unix.set_nonblock ctl_w;
+  let waker_id =
+    register_waker t (fun () ->
+        try ignore (Unix.single_write_substring ctl_w "!" 0 1) with
+        | Unix.Unix_error _ -> ())
+  in
+  let drain_ctl () =
+    let b = Bytes.create 64 in
+    let rec go () =
+      match Unix.read ctl_r b 0 64 with
+      | 64 -> go ()
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+  in
   Unix.listen fd 16;
   while not (Atomic.get stop) do
-    match Unix.select [ fd ] [] [] 0.2 with
-    | [], _, _ -> ()
-    | _ -> (
-        match Unix.accept fd with
-        | cfd, _ ->
-            if try_acquire t then begin
-              (* the acquired slot is owned by the handler thread; if
-                 the thread cannot even be created (fd/memory
-                 exhaustion) the slot and the socket must both be
-                 returned here, or the cap leaks permanently *)
-              match
-                Thread.create
-                  (fun () ->
-                    Fun.protect
-                      ~finally:(fun () -> release t)
-                      (fun () -> handle_client t cfd))
-                  ()
-              with
-              | (_ : Thread.t) -> ()
-              | exception _ ->
-                  release t;
-                  (try Unix.close cfd with Unix.Unix_error _ -> ())
-            end
-            else reject_over_capacity cfd
-        | exception Unix.Unix_error _ -> ())
+    match Unix.select [ fd; ctl_r ] [] [] 1.0 with
+    | rs, _, _ ->
+        if List.mem ctl_r rs then drain_ctl ();
+        if List.mem fd rs then begin
+          match Unix.accept fd with
+          | cfd, _ ->
+              if try_acquire t then begin
+                (* the acquired slot is owned by the handler thread; if
+                   the thread cannot even be created (fd/memory
+                   exhaustion) the slot and the socket must both be
+                   returned here, or the cap leaks permanently *)
+                match
+                  Thread.create
+                    (fun () ->
+                      Fun.protect
+                        ~finally:(fun () -> release t)
+                        (fun () -> handle_client t cfd))
+                    ()
+                with
+                | (_ : Thread.t) -> ()
+                | exception _ ->
+                    release t;
+                    (try Unix.close cfd with Unix.Unix_error _ -> ())
+              end
+              else reject_over_capacity cfd
+          | exception Unix.Unix_error _ -> ()
+        end
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
+  unregister_waker t waker_id;
+  (try Unix.close ctl_r with Unix.Unix_error _ -> ());
+  (try Unix.close ctl_w with Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Event-loop service path: the {!Evloop} reactor owns every client fd
+   non-blocking; its worker pool runs {!feed}.  Admission (connection
+   cap + advisory reject), drain and dedup semantics are exactly the
+   threaded path's: the same [try_acquire]/[release] accounting and
+   the same advisory frame bytes. *)
+let serve_event t ~stop ~workers fd =
+  let advisory =
+    Frame.to_string ~kind:Frame.Clear
+      (Message.response_to_string
+         (error_resp Message.Failed "server at connection limit"))
+  in
+  let on_accept _cfd =
+    if try_acquire t then begin
+      let c = conn t in
+      Evloop.Accept
+        {
+          Evloop.h_feed = feed c;
+          h_alive = (fun () -> alive c);
+          h_pending =
+            (fun () -> Buffer.length c.inbox > 0 || c.pending <> []);
+        }
+    end
+    else Evloop.Reject advisory
+  in
+  let cfg =
+    {
+      (Evloop.default_config ~on_accept) with
+      Evloop.workers;
+      request_timeout = t.request_timeout;
+      idle_timeout = t.idle_timeout;
+      on_close = (fun () -> release t);
+      on_reap = (fun () -> Atomic.incr t.reaped);
+    }
+  in
+  let loop = Evloop.create cfg in
+  let waker_id = register_waker t (fun () -> Evloop.wake loop) in
+  Fun.protect
+    ~finally:(fun () -> unregister_waker t waker_id)
+    (fun () -> Evloop.run loop ~listen:fd ~stop)
+
+let serve_fd t ~stop fd =
+  Lazy.force ignore_sigpipe;
+  match t.io_mode with
+  | Event { workers } -> serve_event t ~stop ~workers fd
+  | Threaded -> serve_threaded t ~stop fd
 
 let serve_unix t ~path ~stop =
   (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());

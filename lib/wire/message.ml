@@ -136,6 +136,7 @@ type response =
       dedup_hits : int; (* retried writes answered from the dedup table *)
       wal_failures : int; (* batches voided by WAL append/flush errors *)
       shed : int; (* ops refused by admission control *)
+      reaped : int; (* v7: connections closed by the idle reaper *)
     }
   | Overloaded_resp of { retry_after_ms : int; message : string }
       (* typed overload shed: admission control refused the request
@@ -556,6 +557,7 @@ let encode_response buf = function
         dedup_hits;
         wal_failures;
         shed;
+        reaped;
       } ->
       Buffer.add_char buf '\x8a';
       Buffer.add_char buf (if ready then '\x01' else '\x00');
@@ -566,7 +568,8 @@ let encode_response buf = function
       Value.add_varint buf ops;
       Value.add_varint buf dedup_hits;
       Value.add_varint buf wal_failures;
-      Value.add_varint buf shed
+      Value.add_varint buf shed;
+      Value.add_varint buf reaped
   | Overloaded_resp { retry_after_ms; message } ->
       Buffer.add_char buf '\x8b';
       Value.add_varint buf retry_after_ms;
@@ -711,6 +714,7 @@ let decode_response s off =
       let dedup_hits, off = Value.read_varint s off in
       let wal_failures, off = Value.read_varint s off in
       let shed, off = Value.read_varint s off in
+      let reaped, off = Value.read_varint s off in
       ( Pong
           {
             ready;
@@ -722,6 +726,7 @@ let decode_response s off =
             dedup_hits;
             wal_failures;
             shed;
+            reaped;
           },
         off )
   | '\x8b' ->

@@ -98,6 +98,7 @@ let test_chaos_soak () =
       Fun.protect
         ~finally:(fun () ->
           Stdlib.Atomic.set stop true;
+          Server.wake server;
           Thread.join th)
         (fun () ->
           Thread.delay 0.05 (* let the accept loop bind *);

@@ -516,6 +516,7 @@ let test_unix_socket_end_to_end () =
   Fun.protect
     ~finally:(fun () ->
       Stdlib.Atomic.set stop true;
+      Server.wake server;
       Thread.join th;
       try Sys.remove path with Sys_error _ -> ())
     (fun () ->
@@ -556,6 +557,7 @@ let test_connection_cap () =
   Fun.protect
     ~finally:(fun () ->
       Stdlib.Atomic.set stop true;
+      Server.wake server;
       Thread.join th;
       try Sys.remove path with Sys_error _ -> ())
     (fun () ->
@@ -1100,6 +1102,7 @@ let test_reconnect_replays_dropped_submit () =
     ~finally:(fun () ->
       Fault.reset ();
       Stdlib.Atomic.set stop true;
+      Server.wake server;
       Thread.join th;
       try Sys.remove path with Sys_error _ -> ())
     (fun () ->
@@ -1143,6 +1146,7 @@ let test_capacity_returns_to_zero () =
   Fun.protect
     ~finally:(fun () ->
       Stdlib.Atomic.set stop true;
+      Server.wake server;
       Thread.join th;
       try Sys.remove path with Sys_error _ -> ())
     (fun () ->

@@ -282,6 +282,7 @@ let sample_responses =
         dedup_hits = 9;
         wal_failures = 1;
         shed = 40;
+        reaped = 6;
       };
     Message.Pong
       {
@@ -294,6 +295,7 @@ let sample_responses =
         dedup_hits = 0;
         wal_failures = 0;
         shed = 0;
+        reaped = 0;
       };
     Message.Overloaded_resp { retry_after_ms = 25; message = "queue full" };
     Message.Overloaded_resp { retry_after_ms = 0; message = "" };

@@ -10,7 +10,11 @@
 # derive -> lineage why -> tamper -> detect), and the remote
 # verification gates (@proof unit suite, @proof-smoke bytes/latency
 # gate, and a scripted daemon proof session: insert -> remote prove
-# VERIFIED -> tamper -> remote prove exit 3 -> sampled audit exit 3).
+# VERIFIED -> tamper -> remote prove exit 3 -> sampled audit exit 3),
+# and the event-loop service gates (@serve-loop: the reactor suite
+# plus the service robustness group pinned to the event loop; the
+# scripted daemon sessions below run the reactor by default, with an
+# explicit thread-per-connection parity check via --event-loop=false).
 # Equivalent to `dune build @check-all` plus the daemon sessions.
 set -eu
 cd "$(dirname "$0")/.."
@@ -57,6 +61,9 @@ dune exec test/test_proof_rpc.exe
 echo "== proof-smoke (proof bytes / latency gate) =="
 TEP_SCALE=smoke TEP_BENCH_JSON=0 dune exec bench/main.exe -- proof
 
+echo "== serve-loop (event-loop reactor gate) =="
+dune build @serve-loop
+
 echo "== serve-smoke (scripted provdbd session) =="
 PROVDB=_build/default/bin/provdb.exe
 PROVDBD=_build/default/bin/provdbd.exe
@@ -86,7 +93,9 @@ wait_for_socket() {
   done
 }
 
-"$PROVDBD" "$ws" & daemon_pid=$!
+# explicit event-loop flags: the reactor with a small worker pool and
+# a non-default idle timeout, exercising the provdbd flag surface
+"$PROVDBD" "$ws" --io-threads 2 --idle-timeout 120 & daemon_pid=$!
 wait_for_socket "$ws"
 "$PROVDB" remote insert "$ws" --as alice --table stock --values 'WIDGET-1,100'
 "$PROVDB" remote query "$ws" --as alice > /dev/null
@@ -116,6 +125,23 @@ fi
 echo "drain: SIGTERM exited 0, root hash stable across restart"
 kill -TERM "$daemon_pid"
 wait "$daemon_pid"
+daemon_pid=
+
+# Thread-per-connection fallback must stay wire-compatible: the same
+# workspace served with the event loop disabled answers with the same
+# root hash.
+"$PROVDBD" "$ws" --event-loop=false & daemon_pid=$!
+wait_for_socket "$ws"
+root_legacy=$("$PROVDB" remote root-hash "$ws" --as alice)
+"$PROVDB" remote verify "$ws" --as alice
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=
+if [ "$root_legacy" != "$root_before" ]; then
+  echo "FAIL: thread-per-connection fallback served a different root hash"
+  exit 1
+fi
+echo "fallback: --event-loop=false serves the same root (wire parity)"
 
 "$PROVDB" tamper "$ws" --attack data
 
