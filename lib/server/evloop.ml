@@ -124,6 +124,7 @@ type t = {
   mutable workers_done : bool;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
+  mutable wake_dead : bool;  (* wake pipe closed; no more nudges *)
   wheel : cstate list array;  (* 1 s slots, entries are hints *)
   mutable wheel_last : int;  (* last integral second advanced to *)
 }
@@ -143,17 +144,24 @@ let create cfg =
     workers_done = false;
     wake_r;
     wake_w;
+    wake_dead = false;
     wheel = Array.make wheel_slots [];
     wheel_last = 0;
   }
 
-(* Safe from any thread, any time between create and the end of run:
-   nudges the reactor out of its pollset wait.  A full pipe means a
-   wakeup is already pending — exactly what we want. *)
+(* Safe from any thread, any time between create and after run has
+   returned: nudges the reactor out of its pollset wait.  A full pipe
+   means a wakeup is already pending — exactly what we want.  The
+   [wake_dead] flag is set under [t.lock] before [run] closes the
+   pipe, so a late waker (e.g. a server-level waker not yet
+   unregistered) can never write into a reused fd number. *)
 let wake t =
-  try ignore (Unix.single_write_substring t.wake_w "!" 0 1) with
-  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) -> ()
-  | Unix.Unix_error (Unix.EBADF, _, _) -> ()
+  Mutex.lock t.lock;
+  if not t.wake_dead then begin
+    try ignore (Unix.single_write_substring t.wake_w "!" 0 1)
+    with Unix.Unix_error _ -> ()
+  end;
+  Mutex.unlock t.lock
 
 let now () = Unix.gettimeofday ()
 
@@ -174,7 +182,15 @@ let wheel_add t ~at c =
   let slot = if slot < 0 then 0 else slot in
   t.wheel.(slot) <- c :: t.wheel.(slot)
 
-(* ---- connection lifecycle (reactor lock held) ------------------- *)
+(* ---- connection lifecycle (reactor lock held) -------------------
+
+   Client fds are closed ONLY by the reactor thread.  The reactor
+   snapshots its interest sets under the lock, releases it, and sits
+   in the pollset wait; a worker closing an fd in that window would
+   make select fail with EBADF (or, worse, have the snapshot alias a
+   reused fd number).  Workers therefore only set [killed] /
+   [want_close] and wake the reactor, which carries out the close
+   between pollset rebuilds — the same thread that builds the sets. *)
 
 let close_now t c =
   if not c.closed then begin
@@ -203,9 +219,11 @@ let enqueue_work t c =
     Condition.signal t.work_cond
   end
 
-(* ---- write path (reactor lock held) ----------------------------- *)
+(* ---- write path (lock held; worker or reactor) ------------------
+   Never closes: a failed flush only marks [killed], and the reactor
+   follows up with [maybe_close] on its own thread. *)
 
-let flush_conn t c =
+let flush_conn c =
   let more = ref true in
   while !more && not (Queue.is_empty c.outq) && not c.killed do
     let head = Queue.peek c.outq in
@@ -239,8 +257,7 @@ let flush_conn t c =
         if n < len then more := false
       end
     end
-  done;
-  maybe_close t c
+  done
 
 (* ---- worker pool ------------------------------------------------ *)
 
@@ -281,16 +298,14 @@ let worker_loop t =
          here instead of paying a wake + poll round-trip for the
          reactor to do it.  Same lock, same flush_conn — the reactor
          can never be writing this fd concurrently. *)
-      if c.out_bytes > 0 && not c.killed then flush_conn t c;
+      if c.out_bytes > 0 && not c.killed then flush_conn c;
       if c.inq <> [] && not c.killed then
         (* the reactor read more while we fed: keep ownership *)
         Queue.push c t.workq
-      else begin
-        c.busy <- false;
-        maybe_close t c
-      end;
+      else c.busy <- false;
       (* the reactor only needs a nudge if there is still reactor work:
-         leftover output to arm POLLOUT for, or a close to carry out *)
+         leftover output to arm POLLOUT for, or a close to carry out
+         (never closed here — see the lifecycle note above) *)
       let need_reactor =
         (not c.closed)
         && (c.out_bytes > 0 || c.killed || c.want_close || c.rx_eof)
@@ -318,6 +333,12 @@ let poll_wait ~read ~write ~timeout =
   match Unix.select sel_r sel_w [] timeout with
   | r, w, _ -> (r @ ovf_r, w @ ovf_w)
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> (ovf_r, ovf_w)
+  | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+      (* Closes are confined to the reactor thread, so a stale fd in
+         the sets should be impossible — but an embedder closing a fd
+         behind our back must degrade to a skipped tick (the next
+         rebuild drops the dead fd), not kill the service path. *)
+      ([], [])
 
 (* ---- reactor I/O (lock held; all fds non-blocking) -------------- *)
 
@@ -490,20 +511,33 @@ let run t ~listen ~stop =
           | _ -> ())
       r;
     ignore w;
-    (* eager flush — covers every fd the poll reported writable, plus
-       output a worker queued right before this tick's wakeup, which
-       would otherwise wait one more poll round for POLLOUT.  Sockets
-       are almost always writable; EAGAIN just leaves the fd in the
-       write interest set for the slow path.  Collected first because
-       a failed flush can close the connection and mutate the table. *)
-    let pending_out =
+    (* eager flush + deferred closes — covers every fd the poll
+       reported writable, plus output a worker queued right before
+       this tick's wakeup, which would otherwise wait one more poll
+       round for POLLOUT.  Sockets are almost always writable; EAGAIN
+       just leaves the fd in the write interest set for the slow
+       path.  This sweep is also where worker-requested closes
+       ([killed] / [want_close] / EOF) are carried out: only this
+       thread ever closes a client fd, so the pollset can never see a
+       stale one.  Collected first because a close mutates the table
+       mid-iteration. *)
+    let sweep =
       Hashtbl.fold
         (fun _ c acc ->
-          if (not c.closed) && (not c.killed) && c.out_bytes > 0 then c :: acc
+          if
+            (not c.closed)
+            && (c.out_bytes > 0 || c.killed || c.want_close || c.rx_eof)
+          then c :: acc
           else acc)
         t.conns []
     in
-    List.iter (fun c -> if not c.closed then flush_conn t c) pending_out;
+    List.iter
+      (fun c ->
+        if not c.closed then begin
+          if (not c.killed) && c.out_bytes > 0 then flush_conn c;
+          maybe_close t c
+        end)
+      sweep;
     wheel_advance t t_now;
     if (not !stopping) && Atomic.get stop then begin
       stopping := true;
@@ -535,6 +569,10 @@ let run t ~listen ~stop =
       c.busy <- false;
       close_now t c)
     remaining;
+  (* Retire the wake pipe under the lock: a concurrent [wake] either
+     completed its write before we acquired the lock or will observe
+     [wake_dead] — it can never hit a closed (or reused) fd. *)
+  t.wake_dead <- true;
   Mutex.unlock t.lock;
   (try Unix.close listen with Unix.Unix_error _ -> ());
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());

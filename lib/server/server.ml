@@ -469,7 +469,10 @@ let signal_idle t =
    [idle_cond] as they finish, so the wait here is a condition wait,
    not a fixed-interval poll.  OCaml's [Condition] has no timed wait;
    the deadline is enforced by a one-shot watchdog thread, spawned
-   lazily only when the server is actually busy at entry. *)
+   (outside [idle_mutex]) only when the server is actually busy at
+   entry.  The watchdog naps in short slices and exits as soon as
+   quiesce returns, so repeated drain/quiesce cycles never accumulate
+   sleeping threads. *)
 let quiesce ?(timeout = 10.) t =
   let deadline = Unix.gettimeofday () +. timeout in
   let shard_idle s =
@@ -482,31 +485,34 @@ let quiesce ?(timeout = 10.) t =
   let idle () =
     (not (Atomic.get t.cross_busy)) && Array.for_all shard_idle t.shards
   in
-  Mutex.lock t.idle_mutex;
-  let watchdog = ref false in
-  let result = ref (idle ()) in
-  while (not !result) && Unix.gettimeofday () < deadline do
-    if not !watchdog then begin
-      watchdog := true;
-      ignore
-        (Thread.create
-           (fun () ->
-             let rec nap () =
+  if idle () then true
+  else begin
+    let finished = Atomic.make false in
+    ignore
+      (Thread.create
+         (fun () ->
+           let rec nap () =
+             if not (Atomic.get finished) then begin
                let left = deadline -. Unix.gettimeofday () in
                if left > 0. then begin
-                 Thread.delay left;
+                 Thread.delay (Float.min left 0.05);
                  nap ()
                end
-             in
-             nap ();
-             signal_idle t)
-           ())
-    end;
-    Condition.wait t.idle_cond t.idle_mutex;
-    result := idle ()
-  done;
-  Mutex.unlock t.idle_mutex;
-  !result
+               else signal_idle t
+             end
+           in
+           nap ())
+         ());
+    Mutex.lock t.idle_mutex;
+    let result = ref (idle ()) in
+    while (not !result) && Unix.gettimeofday () < deadline do
+      Condition.wait t.idle_cond t.idle_mutex;
+      result := idle ()
+    done;
+    Mutex.unlock t.idle_mutex;
+    Atomic.set finished true;
+    !result
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Dedup table operations                                              *)

@@ -714,7 +714,14 @@ let decode_response s off =
       let dedup_hits, off = Value.read_varint s off in
       let wal_failures, off = Value.read_varint s off in
       let shed, off = Value.read_varint s off in
-      let reaped, off = Value.read_varint s off in
+      (* [reaped] was appended in v7 with no version negotiation in
+         Hello; a v6 server's Pong ends here.  Decode it as optional
+         (default 0 on an exhausted payload) so a v7 client keeps
+         interoperating with a v6 server instead of failing the whole
+         Ping on a truncated varint. *)
+      let reaped, off =
+        if off >= String.length s then (0, off) else Value.read_varint s off
+      in
       ( Pong
           {
             ready;

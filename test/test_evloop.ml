@@ -11,6 +11,7 @@ open Tep_store
 open Tep_core
 open Tep_wire
 module Server = Tep_server.Server
+module Evloop = Tep_server.Evloop
 module Client = Tep_client.Client
 module Fault = Tep_fault.Fault
 
@@ -332,6 +333,42 @@ let test_many_connections () =
       ignore (ok (Client.root_hash c));
       Client.close c)
 
+(* ------------------------------------------------------------------ *)
+(* Wake after shutdown                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A server-level waker can fire in the window after [Evloop.run] has
+   torn down its wakeup pipe but before the embedder unregisters the
+   waker (Server.serve_event does exactly that ordering).  The late
+   wake must be a guarded no-op: no exception and no stray byte
+   written into an unrelated fd that reuses the pipe's number. *)
+let test_wake_after_shutdown () =
+  let loop =
+    Evloop.create
+      (Evloop.default_config ~on_accept:(fun _ -> Evloop.Reject "full"))
+  in
+  let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let path = Filename.temp_file "tep_evloop" ".sock" in
+  Sys.remove path;
+  Unix.bind listen (Unix.ADDR_UNIX path);
+  let stop = Stdlib.Atomic.make false in
+  let th = Thread.create (fun () -> Evloop.run loop ~listen ~stop) () in
+  Thread.delay 0.05;
+  Stdlib.Atomic.set stop true;
+  Evloop.wake loop;
+  Thread.join th;
+  (try Sys.remove path with Sys_error _ -> ());
+  (* fresh fds on a quiet fd table reuse the numbers the loop just
+     released — exactly the aliasing scenario under test *)
+  let r, w = Unix.pipe () in
+  Evloop.wake loop;
+  Evloop.wake loop;
+  (match Unix.select [ r ] [] [] 0.05 with
+  | [], _, _ -> ()
+  | _ -> Alcotest.fail "late wake wrote into a reused fd");
+  Unix.close r;
+  Unix.close w
+
 let () =
   Alcotest.run "evloop"
     [
@@ -348,5 +385,7 @@ let () =
           Alcotest.test_case "write failpoints" `Quick test_write_failpoints;
           Alcotest.test_case "100 idle connections" `Quick
             test_many_connections;
+          Alcotest.test_case "wake after shutdown" `Quick
+            test_wake_after_shutdown;
         ] );
     ]

@@ -376,6 +376,37 @@ let test_response_roundtrip () =
         (Message.response_to_string resp'))
     sample_responses
 
+(* A v6 server's Pong ends after [shed]; the v7 [reaped] field must
+   decode as an optional trailing field (default 0), or a v7 client
+   could never Ping a v6 server. *)
+let test_pong_v6_compat () =
+  let v7 =
+    Message.response_to_string
+      (Message.Pong
+         {
+           ready = true;
+           draining = false;
+           active = 3;
+           queued_ops = 17;
+           batches = 128;
+           ops = 512;
+           dedup_hits = 9;
+           wal_failures = 1;
+           shed = 40;
+           reaped = 0;
+         })
+  in
+  (* a reaped count of 0 encodes as a single 0x00 varint byte: strip
+     it to obtain exactly what a v6 server would have sent *)
+  let v6 = String.sub v7 0 (String.length v7 - 1) in
+  let resp, consumed = Message.decode_response v6 0 in
+  Alcotest.(check int) "consumed all" (String.length v6) consumed;
+  match resp with
+  | Message.Pong p ->
+      Alcotest.(check int) "reaped defaults to 0" 0 p.reaped;
+      Alcotest.(check int) "shed survives" 40 p.shed
+  | _ -> Alcotest.fail "expected Pong"
+
 (* The wire report must render byte-identically to the in-process
    verifier's formatter — that is what lets a remote client print the
    same report the server computed. *)
@@ -465,6 +496,7 @@ let () =
         [
           Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
           Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+          Alcotest.test_case "pong v6 compat" `Quick test_pong_v6_compat;
           Alcotest.test_case "report rendering" `Quick test_report_rendering;
         ]
         @ List.map qtest fuzz_decoders );
